@@ -1,0 +1,66 @@
+//! Ablation A4: the adaptive policy vs fixed policies under a workload that
+//! shifts from update-heavy to read-heavy and back.
+
+use axs_bench::{build_store, Table5Config};
+use axs_core::{AdaptiveConfig, IndexingPolicy};
+use axs_workload::{docgen, OpMix, WorkloadDriver};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn shifting_workload(policy: IndexingPolicy) -> u64 {
+    let cfg = Table5Config {
+        on_disk: false,
+        ..Table5Config::default()
+    };
+    let mut store = build_store(policy, &cfg, "abl-adaptive");
+    store.bulk_insert(docgen::purchase_orders(17, 40)).unwrap();
+    let mut total = 0u64;
+    for (phase, mix) in [
+        (1u64, OpMix::update_heavy()),
+        (2, OpMix::read_heavy()),
+        (3, OpMix::update_heavy()),
+    ] {
+        let mut driver = WorkloadDriver::new(&mut store, mix, phase).unwrap();
+        total += driver.run(&mut store, 400).unwrap().total_ops();
+    }
+    total
+}
+
+fn adaptive_benches(c: &mut Criterion) {
+    axs_bench::cleanup_temp();
+    let mut group = c.benchmark_group("ablation/adaptive_vs_fixed");
+    group.sample_size(10);
+    let policies: [(&str, IndexingPolicy); 4] = [
+        (
+            "adaptive",
+            IndexingPolicy::Adaptive(AdaptiveConfig {
+                window: 128,
+                ..AdaptiveConfig::default()
+            }),
+        ),
+        (
+            "fixed-coarse",
+            IndexingPolicy::RangeOnly {
+                target_range_bytes: 8 * 1024,
+            },
+        ),
+        (
+            "fixed-lazy",
+            IndexingPolicy::default_lazy(),
+        ),
+        (
+            "fixed-full",
+            IndexingPolicy::FullIndex {
+                target_range_bytes: 64,
+            },
+        ),
+    ];
+    for (name, policy) in policies {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| shifting_workload(policy.clone()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, adaptive_benches);
+criterion_main!(benches);

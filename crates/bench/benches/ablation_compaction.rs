@@ -1,0 +1,80 @@
+//! Ablation A5 (extension): the effect of range compaction on point-read
+//! throughput over a fragmented store — the §9 "variable-sized ranges"
+//! question, measured.
+//!
+//! Expected shape: compaction *coarsens* ranges, so bare point reads get
+//! slower (they decode bigger ranges — Table 5's coarse row), while the
+//! compacted + partial-index configuration recovers and beats both: the
+//! memoized byte offsets jump straight to the node. Compaction buys
+//! storage/insert efficiency; the partial index buys back the reads.
+
+use axs_bench::{bench_random_reads, build_store, Table5Config};
+use axs_core::IndexingPolicy;
+use axs_workload::docgen;
+use axs_xdm::{NodeId, Token};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fragmented_store(cfg: &Table5Config, policy: IndexingPolicy) -> axs_core::XmlStore {
+    // A granular range target fragments every order into many tiny ranges.
+    let mut store = build_store(policy, cfg, "abl-compact");
+    store
+        .bulk_insert(vec![
+            Token::begin_element("purchase-orders"),
+            Token::EndElement,
+        ])
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    for i in 0..cfg.orders {
+        let order = docgen::purchase_order(&mut rng, i as u64 + 1);
+        store.insert_into_last(NodeId(1), order).unwrap();
+    }
+    store
+}
+
+fn compaction_benches(c: &mut Criterion) {
+    axs_bench::cleanup_temp();
+    let cfg = Table5Config {
+        orders: 300,
+        random_reads: 600,
+        read_working_set: 150,
+        ..Table5Config::default()
+    };
+    let mut group = c.benchmark_group("ablation/compaction_reads");
+    group.sample_size(10);
+
+    let granular = IndexingPolicy::RangeOnly {
+        target_range_bytes: 96,
+    };
+    let mut fragmented = fragmented_store(&cfg, granular.clone());
+    let ranges_before = fragmented.range_count();
+    group.bench_function(BenchmarkId::from_parameter("fragmented"), |b| {
+        b.iter(|| bench_random_reads(&mut fragmented, &cfg).ops);
+    });
+
+    let mut compacted = fragmented_store(&cfg, granular);
+    compacted.compact(8 * 1024).unwrap();
+    let ranges_after = compacted.range_count();
+    assert!(ranges_after < ranges_before);
+    group.bench_function(BenchmarkId::from_parameter("compacted"), |b| {
+        b.iter(|| bench_random_reads(&mut compacted, &cfg).ops);
+    });
+
+    // Compaction + lazy partial index: the read cost comes back.
+    let mut lazy = fragmented_store(
+        &cfg,
+        IndexingPolicy::RangePlusPartial {
+            target_range_bytes: 96,
+            partial: axs_index::PartialIndexConfig::default(),
+        },
+    );
+    lazy.compact(8 * 1024).unwrap();
+    group.bench_function(BenchmarkId::from_parameter("compacted+partial"), |b| {
+        b.iter(|| bench_random_reads(&mut lazy, &cfg).ops);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, compaction_benches);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Ablation A3: identifier-scheme orthogonality (§6). Compares the cost of
+//! the monotonic-integer machinery (allocation + regeneration — what the
+//! store does on every range scan) against ORDPATH-style Dewey labeling of
+//! the same fragments.
+
+use axs_idgen::{regenerate_ids, DeweyId, DeweyOrder, MonotonicIds};
+use axs_workload::docgen;
+use axs_xdm::NodeId;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn id_scheme_benches(c: &mut Criterion) {
+    axs_bench::cleanup_temp();
+    let tokens = docgen::purchase_orders(42, 200);
+    let n_ids = axs_xdm::count_ids(&tokens);
+
+    let mut group = c.benchmark_group("ablation/id_scheme");
+    group.throughput(Throughput::Elements(n_ids));
+
+    group.bench_function("monotonic/allocate", |b| {
+        b.iter(|| {
+            let mut ids = MonotonicIds::new();
+            ids.allocate(n_ids)
+        });
+    });
+    group.bench_function("monotonic/regenerate", |b| {
+        b.iter(|| regenerate_ids(NodeId(1), &tokens).len());
+    });
+    group.bench_function("dewey/label", |b| {
+        let order = DeweyOrder::new(DeweyId::root());
+        b.iter(|| order.label_fragment(&tokens).len());
+    });
+    group.bench_function("dewey/compare", |b| {
+        let order = DeweyOrder::new(DeweyId::root());
+        let labels: Vec<DeweyId> = order
+            .label_fragment(&tokens)
+            .into_iter()
+            .flatten()
+            .collect();
+        b.iter(|| {
+            let mut ordered = 0usize;
+            for w in labels.windows(2) {
+                if w[0] < w[1] {
+                    ordered += 1;
+                }
+            }
+            ordered
+        });
+    });
+    group.bench_function("dewey/insert_between", |b| {
+        let lo = DeweyId::from_components(vec![1, 8]);
+        let hi = DeweyId::from_components(vec![1, 9]);
+        b.iter(|| {
+            let mut cursor = lo.clone();
+            for _ in 0..64 {
+                cursor = DeweyId::between(&cursor, &hi);
+            }
+            cursor.depth()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, id_scheme_benches);
+criterion_main!(benches);

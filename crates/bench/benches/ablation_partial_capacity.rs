@@ -1,0 +1,70 @@
+//! Ablation A2: partial-index capacity vs random-read cost (the cache-like
+//! behaviour of §5: once the working set fits, hits dominate).
+
+use axs_bench::{bench_insert, bench_random_reads, Approach, Table5Config};
+use axs_core::IndexingPolicy;
+use axs_index::PartialIndexConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn partial_capacity_benches(c: &mut Criterion) {
+    axs_bench::cleanup_temp();
+    let base = Table5Config {
+        orders: 300,
+        random_reads: 600,
+        read_working_set: 150,
+        ..Table5Config::default()
+    };
+    let mut group = c.benchmark_group("ablation/partial_capacity_reads");
+    group.sample_size(10);
+    for capacity in [0usize, 32, 128, 1024, 8192] {
+        // Build the dataset once per capacity with the tuned policy.
+        let (_, mut store) = {
+            // Reuse the harness loader, then swap in the capacity by
+            // rebuilding with the explicit policy.
+            let policy = IndexingPolicy::RangePlusPartial {
+                target_range_bytes: 8 * 1024,
+                partial: PartialIndexConfig { capacity },
+            };
+            let mut s = axs_bench::build_store(policy, &base, "abl-partial");
+            s.bulk_insert(vec![
+                axs_xdm::Token::begin_element("purchase-orders"),
+                axs_xdm::Token::begin_element("day"),
+                axs_xdm::Token::EndElement,
+                axs_xdm::Token::EndElement,
+            ])
+            .unwrap();
+            // Feed via the standard insert benchmark shape.
+            let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(base.seed);
+            let mut day = axs_xdm::NodeId(2);
+            for i in 0..base.orders {
+                if i > 0 && i % axs_bench::harness::ORDERS_PER_DAY == 0 {
+                    day = s
+                        .insert_after(
+                            day,
+                            vec![
+                                axs_xdm::Token::begin_element("day"),
+                                axs_xdm::Token::EndElement,
+                            ],
+                        )
+                        .unwrap()
+                        .start;
+                }
+                let order = axs_workload::docgen::purchase_order(&mut rng, i as u64 + 1);
+                s.insert_into_last(day, order).unwrap();
+            }
+            ((), s)
+        };
+        group.bench_function(BenchmarkId::from_parameter(capacity), |b| {
+            b.iter(|| bench_random_reads(&mut store, &base).ops);
+        });
+    }
+    // Baseline for context: the full-index approach on the same reads.
+    let (_, mut store) = bench_insert(Approach::FullIndex, &base);
+    group.bench_function(BenchmarkId::from_parameter("full-index"), |b| {
+        b.iter(|| bench_random_reads(&mut store, &base).ops);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, partial_capacity_benches);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Ablation A1: the effect of the target range size (the granularity knob
+//! of §4.2) on insert throughput — the full series behind Table 5's
+//! "granular vs coarse" rows.
+
+use axs_bench::{build_store, Table5Config};
+use axs_core::IndexingPolicy;
+use axs_workload::docgen;
+use axs_xdm::{NodeId, Token};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn feed(store: &mut axs_core::XmlStore, orders: usize, seed: u64) {
+    let mut current_day = NodeId(2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 0..orders {
+        if i > 0 && i % axs_bench::harness::ORDERS_PER_DAY == 0 {
+            current_day = store
+                .insert_after(
+                    current_day,
+                    vec![Token::begin_element("day"), Token::EndElement],
+                )
+                .unwrap()
+                .start;
+        }
+        let order = docgen::purchase_order(&mut rng, i as u64 + 1);
+        store.insert_into_last(current_day, order).unwrap();
+    }
+}
+
+fn range_size_benches(c: &mut Criterion) {
+    axs_bench::cleanup_temp();
+    let cfg = Table5Config::default();
+    let mut group = c.benchmark_group("ablation/range_size_insert");
+    group.sample_size(10);
+    for target in [128usize, 512, 2048, 8192] {
+        group.bench_function(BenchmarkId::from_parameter(target), |b| {
+            b.iter(|| {
+                let mut store = build_store(
+                    IndexingPolicy::RangeOnly {
+                        target_range_bytes: target,
+                    },
+                    &cfg,
+                    "abl-range",
+                );
+                store
+                    .bulk_insert(vec![
+                        Token::begin_element("purchase-orders"),
+                        Token::begin_element("day"),
+                        Token::EndElement,
+                        Token::EndElement,
+                    ])
+                    .unwrap();
+                feed(&mut store, 200, cfg.seed);
+                store.range_count()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, range_size_benches);
+criterion_main!(benches);

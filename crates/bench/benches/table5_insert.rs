@@ -1,0 +1,34 @@
+//! Criterion bench for the Insert column of Table 5: the daily-batch
+//! purchase-order feed under each indexing approach.
+
+use axs_bench::{bench_insert, Approach, Table5Config};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn cfg() -> Table5Config {
+    Table5Config {
+        orders: 300,
+        ..Table5Config::default()
+    }
+}
+
+fn insert_benches(c: &mut Criterion) {
+    axs_bench::cleanup_temp();
+    let cfg = cfg();
+    let bytes = axs_bench::insert_workload_bytes(&cfg);
+    let mut group = c.benchmark_group("table5/insert");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(bytes));
+    for approach in Approach::ALL {
+        group.bench_function(BenchmarkId::from_parameter(approach.id()), |b| {
+            b.iter(|| {
+                let (m, store) = bench_insert(approach, &cfg);
+                drop(store);
+                m.ops
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, insert_benches);
+criterion_main!(benches);

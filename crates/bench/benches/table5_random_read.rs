@@ -1,0 +1,29 @@
+//! Criterion bench for the Random reads column of Table 5: point reads of
+//! small subtrees over a working set, per approach.
+
+use axs_bench::{bench_insert, bench_random_reads, Approach, Table5Config};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn read_benches(c: &mut Criterion) {
+    axs_bench::cleanup_temp();
+    let cfg = Table5Config {
+        orders: 300,
+        random_reads: 600,
+        read_working_set: 150,
+        ..Table5Config::default()
+    };
+    let mut group = c.benchmark_group("table5/random_reads");
+    group.sample_size(10);
+    for approach in Approach::ALL {
+        let (_, mut store) = bench_insert(approach, &cfg);
+        let bytes = bench_random_reads(&mut store, &cfg).bytes;
+        group.throughput(Throughput::Bytes(bytes));
+        group.bench_function(BenchmarkId::from_parameter(approach.id()), |b| {
+            b.iter(|| bench_random_reads(&mut store, &cfg).ops);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, read_benches);
+criterion_main!(benches);

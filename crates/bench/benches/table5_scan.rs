@@ -1,0 +1,28 @@
+//! Criterion bench for the Seq.scan column of Table 5: one full `read()`
+//! pass per approach. The paper's point: this column is flat — the index
+//! choice does not affect the data layout.
+
+use axs_bench::{bench_insert, bench_seq_scan, Approach, Table5Config};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn scan_benches(c: &mut Criterion) {
+    axs_bench::cleanup_temp();
+    let cfg = Table5Config {
+        orders: 300,
+        ..Table5Config::default()
+    };
+    let mut group = c.benchmark_group("table5/seq_scan");
+    group.sample_size(10);
+    for approach in Approach::ALL {
+        let (_, mut store) = bench_insert(approach, &cfg);
+        let bytes = bench_seq_scan(&mut store).bytes;
+        group.throughput(Throughput::Bytes(bytes));
+        group.bench_function(BenchmarkId::from_parameter(approach.id()), |b| {
+            b.iter(|| bench_seq_scan(&mut store).ops);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scan_benches);
+criterion_main!(benches);

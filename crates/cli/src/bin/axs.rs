@@ -1,0 +1,51 @@
+//! The `axs` interactive shell.
+//!
+//! ```sh
+//! axs                # in-memory store
+//! axs ./mystore      # directory-backed store (created if missing)
+//! ```
+
+use axs_cli::{parse_command, Session};
+use axs_cli::session::Outcome;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let dir = std::env::args().nth(1);
+    let mut session = match &dir {
+        Some(d) => Session::at_directory(d),
+        None => Session::in_memory(),
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("cannot open store: {e}");
+        std::process::exit(1);
+    });
+
+    match &dir {
+        Some(d) => println!("adaptive XML store at {d} — 'help' for commands"),
+        None => println!("in-memory adaptive XML store — 'help' for commands"),
+    }
+
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    loop {
+        print!("axs> ");
+        let _ = stdout.flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        match parse_command(&line) {
+            Ok(None) => {}
+            Ok(Some(cmd)) => match session.execute(cmd) {
+                Outcome::Output(text) => println!("{text}"),
+                Outcome::Quit => break,
+            },
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! # axs-cli — an interactive shell over the adaptive XML store
+//!
+//! A small REPL exercising the full public API: load XML documents, run
+//! XPath queries, apply the Table 1 update operations by node id, inspect
+//! the store (statistics, Range Index, storage report), compact, and
+//! persist. The command layer is a library so it is unit-testable; the
+//! `axs` binary wires it to stdin/stdout.
+//!
+//! ```text
+//! axs [directory]              # omit the directory for an in-memory store
+//! axs> load orders.xml
+//! axs> query //order[@id='7']
+//! axs> insert-last 1 <order id="8"/>
+//! axs> show 42
+//! axs> stats
+//! axs> compact
+//! axs> save
+//! ```
+
+pub mod command;
+pub mod session;
+
+pub use command::{parse_command, Command};
+pub use session::Session;

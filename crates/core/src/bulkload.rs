@@ -1,0 +1,268 @@
+//! Streaming bulk load: ingest a document-order token stream of unbounded
+//! size without materializing it.
+//!
+//! [`XmlStore::bulk_insert`] validates and allocates identifiers for a
+//! complete in-memory fragment; loading a multi-gigabyte document that way
+//! would materialize every token first. The [`BulkLoader`] instead consumes
+//! tokens one at a time, cutting ranges at the configured target size and
+//! appending them at the end of the store as it goes — the same physical
+//! layout `bulk_insert` would produce, built incrementally. Well-formedness
+//! is enforced with a running depth check; `finish()` fails unless every
+//! begin token was closed, and the loader aborts the store to its prior
+//! state is *not* attempted (the paper's store has no transactions) — a
+//! failed load leaves the already-appended prefix in place, reported in the
+//! error.
+
+use crate::error::StoreError;
+use crate::range::{RangeData, RANGE_HEADER_LEN};
+use crate::store::XmlStore;
+use axs_storage::block;
+use axs_xdm::{codec, IdInterval, NodeId, Token, TokenKind};
+
+/// Incremental document-order loader. Obtain with [`XmlStore::bulk_loader`],
+/// feed with [`BulkLoader::push`], complete with [`BulkLoader::finish`].
+pub struct BulkLoader<'s> {
+    store: &'s mut XmlStore,
+    buffer: Vec<Token>,
+    buffer_bytes: usize,
+    target_bytes: usize,
+    depth: i64,
+    first_id: Option<NodeId>,
+    ids_pushed: u64,
+    tokens_pushed: u64,
+    finished: bool,
+}
+
+impl XmlStore {
+    /// Starts a streaming bulk load appending at the end of the data
+    /// source. While the loader is alive it has exclusive access to the
+    /// store (enforced by the borrow).
+    pub fn bulk_loader(&mut self) -> BulkLoader<'_> {
+        let target = self
+            .target_range_bytes()
+            .min(block::max_payload(self.page_size()));
+        BulkLoader {
+            store: self,
+            buffer: Vec::new(),
+            buffer_bytes: 0,
+            target_bytes: target,
+            depth: 0,
+            first_id: None,
+            ids_pushed: 0,
+            tokens_pushed: 0,
+            finished: false,
+        }
+    }
+}
+
+impl BulkLoader<'_> {
+    /// Appends one token to the stream.
+    pub fn push(&mut self, token: Token) -> Result<(), StoreError> {
+        assert!(!self.finished, "loader already finished");
+        let kind = token.kind();
+        if matches!(kind, TokenKind::BeginDocument | TokenKind::EndDocument) {
+            return Err(StoreError::InvalidFragment(
+                axs_xdm::FragmentError::NestedDocument(self.tokens_pushed as usize),
+            ));
+        }
+        self.depth += i64::from(kind.depth_delta());
+        if self.depth < 0 {
+            return Err(StoreError::InvalidFragment(
+                axs_xdm::FragmentError::UnderflowAt(self.tokens_pushed as usize),
+            ));
+        }
+        let len = codec::encoded_len(&token);
+        // Cut a range when the buffer would exceed the target.
+        if !self.buffer.is_empty()
+            && RANGE_HEADER_LEN + self.buffer_bytes + len > self.target_bytes
+        {
+            self.flush_range()?;
+        }
+        self.buffer_bytes += len;
+        self.buffer.push(token);
+        self.tokens_pushed += 1;
+        Ok(())
+    }
+
+    /// Appends every token of an iterator.
+    pub fn extend(
+        &mut self,
+        tokens: impl IntoIterator<Item = Token>,
+    ) -> Result<(), StoreError> {
+        for t in tokens {
+            self.push(t)?;
+        }
+        Ok(())
+    }
+
+    fn flush_range(&mut self) -> Result<(), StoreError> {
+        if self.buffer.is_empty() {
+            return Ok(());
+        }
+        let tokens = std::mem::take(&mut self.buffer);
+        self.buffer_bytes = 0;
+        let ids = axs_xdm::count_ids(&tokens);
+        let interval = if ids > 0 {
+            Some(self.store.allocate_ids(ids))
+        } else {
+            None
+        };
+        let start_id = interval.map(|iv| iv.start).unwrap_or(NodeId::FIRST);
+        if self.first_id.is_none() {
+            self.first_id = interval.map(|iv| iv.start);
+        }
+        self.ids_pushed += ids;
+        let range_id = self.store.allocate_range_id();
+        let range = RangeData::new(range_id, start_id, tokens);
+        self.store.append_range_at_end(&range)?;
+        Ok(())
+    }
+
+    /// Completes the load, returning the identifier interval allocated to
+    /// the streamed nodes. Fails when begin tokens are left unclosed or
+    /// nothing was pushed.
+    pub fn finish(mut self) -> Result<IdInterval, StoreError> {
+        if self.depth != 0 {
+            return Err(StoreError::InvalidFragment(
+                axs_xdm::FragmentError::Unclosed(self.depth.max(0) as usize),
+            ));
+        }
+        self.flush_range()?;
+        self.finished = true;
+        let first = self
+            .first_id
+            .ok_or(StoreError::InvalidFragment(axs_xdm::FragmentError::Empty))?;
+        self.store.note_bulk_load(self.tokens_pushed);
+        Ok(IdInterval::new(
+            first,
+            NodeId(first.0 + self.ids_pushed - 1),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreBuilder;
+    use axs_storage::StorageConfig;
+    use axs_xml::{parse_fragment, ParseOptions};
+
+    fn frag(xml: &str) -> Vec<Token> {
+        parse_fragment(xml, ParseOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn streamed_load_equals_bulk_insert() {
+        let tokens = {
+            let mut xml = String::from("<r>");
+            for i in 0..500 {
+                xml.push_str(&format!("<i a=\"{i}\">{i}</i>"));
+            }
+            xml.push_str("</r>");
+            frag(&xml)
+        };
+        let cfg = StorageConfig {
+            page_size: 1024,
+            pool_frames: 8,
+        };
+        let mut bulk = StoreBuilder::new().storage(cfg.clone()).build().unwrap();
+        let iv_bulk = bulk.bulk_insert(tokens.clone()).unwrap();
+
+        let mut streamed = StoreBuilder::new().storage(cfg).build().unwrap();
+        let mut loader = streamed.bulk_loader();
+        for t in tokens.clone() {
+            loader.push(t).unwrap();
+        }
+        let iv_stream = loader.finish().unwrap();
+
+        assert_eq!(iv_bulk, iv_stream);
+        let a: Vec<_> = bulk.read().map(|r| r.unwrap()).collect();
+        let b: Vec<_> = streamed.read().map(|r| r.unwrap()).collect();
+        assert_eq!(a, b, "identical logical content and ids");
+        streamed.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn loader_appends_after_existing_content() {
+        let mut s = StoreBuilder::new().build().unwrap();
+        s.bulk_insert(frag("<first/>")).unwrap();
+        let mut loader = s.bulk_loader();
+        loader.extend(frag("<second><x/></second>")).unwrap();
+        let iv = loader.finish().unwrap();
+        assert_eq!(iv.start, NodeId(2));
+        assert!(s.read_node(iv.start).is_ok());
+        s.check_invariants().unwrap();
+        // Updates work on streamed content.
+        s.insert_into_last(iv.start, frag("<y/>")).unwrap();
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn loader_rejects_malformed_streams() {
+        let mut s = StoreBuilder::new().build().unwrap();
+        {
+            let mut loader = s.bulk_loader();
+            loader.push(Token::begin_element("a")).unwrap();
+            assert!(matches!(
+                loader.finish(),
+                Err(StoreError::InvalidFragment(_))
+            ));
+        }
+        {
+            let mut loader = s.bulk_loader();
+            assert!(loader.push(Token::EndElement).is_err());
+        }
+        {
+            let mut loader = s.bulk_loader();
+            assert!(loader.push(Token::BeginDocument).is_err());
+        }
+        {
+            let loader = s.bulk_loader();
+            assert!(matches!(
+                loader.finish(),
+                Err(StoreError::InvalidFragment(axs_xdm::FragmentError::Empty))
+            ));
+        }
+    }
+
+    #[test]
+    fn loader_chops_at_target_size() {
+        let mut s = StoreBuilder::new()
+            .policy(crate::policy::IndexingPolicy::RangeOnly {
+                target_range_bytes: 128,
+            })
+            .build()
+            .unwrap();
+        let mut loader = s.bulk_loader();
+        loader.extend(frag(&format!("<r>{}</r>", "<x/>".repeat(200)))).unwrap();
+        loader.finish().unwrap();
+        assert!(s.range_count() > 5, "stream must cut many small ranges");
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn large_stream_without_materialization() {
+        // Generate tokens on the fly — no Vec of the whole document exists.
+        let mut s = StoreBuilder::new()
+            .storage(StorageConfig {
+                page_size: 1024,
+                pool_frames: 8,
+            })
+            .build()
+            .unwrap();
+        let mut loader = s.bulk_loader();
+        loader.push(Token::begin_element("log")).unwrap();
+        for i in 0..20_000 {
+            loader.push(Token::begin_element("e")).unwrap();
+            loader.push(Token::text(format!("{i}"))).unwrap();
+            loader.push(Token::EndElement).unwrap();
+        }
+        loader.push(Token::EndElement).unwrap();
+        let iv = loader.finish().unwrap();
+        assert_eq!(iv.len(), 1 + 2 * 20_000);
+        s.check_invariants().unwrap();
+        // Point-read a node deep inside.
+        let sub = s.read_node(NodeId(20_000)).unwrap();
+        assert!(!sub.is_empty());
+    }
+}

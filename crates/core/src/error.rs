@@ -1,0 +1,108 @@
+//! Store-level errors.
+
+use axs_storage::StorageError;
+use axs_xdm::codec::CodecError;
+use axs_xdm::{FragmentError, NodeId};
+use std::fmt;
+
+/// Errors raised by the XML store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The storage substrate failed.
+    Storage(StorageError),
+    /// The target node identifier does not exist (never allocated, or its
+    /// node was deleted).
+    NodeNotFound(NodeId),
+    /// The supplied token sequence is not a well-formed fragment.
+    InvalidFragment(FragmentError),
+    /// Stored token bytes failed to decode — indicates corruption.
+    Codec(CodecError),
+    /// The operation would place content where the data model forbids it
+    /// (e.g. inserting siblings next to the document node's root position).
+    InvalidTarget {
+        /// The target node.
+        id: NodeId,
+        /// Why the placement is invalid.
+        reason: &'static str,
+    },
+    /// A single token's encoded form exceeds the block payload capacity
+    /// (tokens never span pages; use a larger page size).
+    TokenTooLarge {
+        /// Encoded size of the offending token.
+        bytes: usize,
+        /// Largest payload a block can hold.
+        max: usize,
+    },
+    /// An internal consistency check failed.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Storage(e) => write!(f, "storage error: {e}"),
+            StoreError::NodeNotFound(id) => write!(f, "node {id} not found"),
+            StoreError::InvalidFragment(e) => write!(f, "invalid fragment: {e}"),
+            StoreError::Codec(e) => write!(f, "token decode error: {e}"),
+            StoreError::InvalidTarget { id, reason } => {
+                write!(f, "invalid target {id}: {reason}")
+            }
+            StoreError::TokenTooLarge { bytes, max } => {
+                write!(f, "token of {bytes} bytes exceeds block capacity {max}")
+            }
+            StoreError::Corrupt(reason) => write!(f, "store corruption: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Storage(e) => Some(e),
+            StoreError::InvalidFragment(e) => Some(e),
+            StoreError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for StoreError {
+    fn from(e: StorageError) -> Self {
+        StoreError::Storage(e)
+    }
+}
+
+impl From<FragmentError> for StoreError {
+    fn from(e: FragmentError) -> Self {
+        StoreError::InvalidFragment(e)
+    }
+}
+
+impl From<CodecError> for StoreError {
+    fn from(e: CodecError) -> Self {
+        StoreError::Codec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: StoreError = FragmentError::Empty.into();
+        assert!(e.to_string().contains("invalid fragment"));
+        let e: StoreError = CodecError::UnexpectedEof.into();
+        assert!(e.to_string().contains("decode"));
+        let e = StoreError::NodeNotFound(NodeId(9));
+        assert!(e.to_string().contains("#9"));
+    }
+
+    #[test]
+    fn sources_are_chained() {
+        use std::error::Error;
+        let e: StoreError = FragmentError::Empty.into();
+        assert!(e.source().is_some());
+        assert!(StoreError::Corrupt("x").source().is_none());
+    }
+}

@@ -1,0 +1,384 @@
+//! Store maintenance: storage accounting and range compaction.
+//!
+//! §9 lists "the effects of variable-sized ranges" as ongoing work: ranges
+//! are created by the application's insert pattern, so a long update
+//! history fragments the store into many small ranges. [`XmlStore::compact`]
+//! merges adjacent ranges back up to a target size — the reorganization a
+//! DBA (or the adaptive policy) would schedule — and
+//! [`XmlStore::storage_report`] provides the §6.1 low-overhead accounting.
+
+use crate::error::StoreError;
+use crate::range::{RangeData, RangeHeader, RANGE_HEADER_LEN};
+use crate::store::XmlStore;
+use axs_storage::block;
+use axs_xdm::NodeId;
+
+/// Physical storage accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageReport {
+    /// Blocks in the chain.
+    pub blocks: u64,
+    /// Ranges across all blocks.
+    pub ranges: u64,
+    /// Live node identifiers.
+    pub live_nodes: u64,
+    /// Tokens stored.
+    pub tokens: u64,
+    /// Encoded token bytes (excluding range headers).
+    pub token_bytes: u64,
+    /// Payload bytes (tokens + range headers).
+    pub payload_bytes: u64,
+    /// Bytes occupied by block pages (page size × blocks).
+    pub block_page_bytes: u64,
+    /// Pages on the free list.
+    pub free_pages: u64,
+    /// Pages allocated in the index file.
+    pub index_pages: u64,
+    /// Entries in the Range Index.
+    pub range_index_entries: u64,
+}
+
+impl StorageReport {
+    /// Payload bytes over block page bytes — how full the chain is.
+    pub fn fill_factor(&self) -> f64 {
+        if self.block_page_bytes == 0 {
+            0.0
+        } else {
+            self.payload_bytes as f64 / self.block_page_bytes as f64
+        }
+    }
+}
+
+/// Result of a compaction pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Ranges before the pass.
+    pub ranges_before: u64,
+    /// Ranges after the pass.
+    pub ranges_after: u64,
+    /// Merge groups applied.
+    pub merges: u64,
+}
+
+impl XmlStore {
+    /// Computes the storage accounting by walking the chain.
+    pub fn storage_report(&self) -> Result<StorageReport, StoreError> {
+        let mut report = StorageReport {
+            blocks: 0,
+            ranges: 0,
+            live_nodes: 0,
+            tokens: 0,
+            token_bytes: 0,
+            payload_bytes: 0,
+            block_page_bytes: 0,
+            free_pages: self.free_page_count()?,
+            index_pages: self.index_file_pages(),
+            range_index_entries: self.range_index_len(),
+        };
+        let page_size = self.page_size() as u64;
+        let mut cur = self.head_block().into_option();
+        while let Some(b) = cur {
+            report.blocks += 1;
+            report.block_page_bytes += page_size;
+            let n = self.block_range_count(b)?;
+            for slot in 0..n {
+                let data = self.load_range_at(b, slot)?;
+                report.ranges += 1;
+                report.live_nodes += u64::from(data.header.id_count);
+                report.tokens += u64::from(data.header.token_count);
+                let payload = data.encoded_len() as u64;
+                report.payload_bytes += payload;
+                report.token_bytes += payload - RANGE_HEADER_LEN as u64;
+            }
+            cur = self.next_block(b)?;
+        }
+        Ok(report)
+    }
+
+    /// Merges adjacent ranges (in document order) into ranges of up to
+    /// `target_bytes` encoded payload. Only ranges whose identifier
+    /// intervals are *contiguous* merge — regeneration from the merged
+    /// start id must reproduce every token's identifier (idless ranges
+    /// merge freely). Results are unaffected; only the physical layout
+    /// changes.
+    pub fn compact(&mut self, target_bytes: usize) -> Result<CompactionReport, StoreError> {
+        let target = target_bytes
+            .min(block::max_payload(self.page_size()))
+            .max(RANGE_HEADER_LEN + 16);
+
+        // Pass 1: plan merge groups over a snapshot of the chain.
+        let mut groups: Vec<Vec<RangeHeader>> = Vec::new();
+        let mut current: Vec<RangeHeader> = Vec::new();
+        let mut current_bytes = 0usize;
+        // The identifier the group's next id-bearing range must start at
+        // (`None`: the group has no ids yet).
+        let mut expect: Option<u64> = None;
+
+        let flush = |current: &mut Vec<RangeHeader>, groups: &mut Vec<Vec<RangeHeader>>| {
+            if current.len() > 1 {
+                groups.push(std::mem::take(current));
+            } else {
+                current.clear();
+            }
+        };
+
+        let mut pos = self.first_range_pos()?;
+        while let Some((b, s)) = pos {
+            let data = self.load_range_at(b, s)?;
+            let header = data.header;
+            let body = data.encoded_len() - RANGE_HEADER_LEN;
+            let fits = !current.is_empty() && current_bytes + body <= target;
+            let contiguous = header.id_count == 0
+                || expect.is_none()
+                || expect == Some(header.start_id.0);
+            if fits && contiguous {
+                current.push(header);
+                current_bytes += body;
+            } else {
+                flush(&mut current, &mut groups);
+                current.push(header);
+                current_bytes = RANGE_HEADER_LEN + body;
+                expect = None;
+            }
+            if header.id_count > 0 {
+                expect = Some(header.start_id.0 + u64::from(header.id_count));
+            }
+            pos = self.next_range_pos(b, s)?;
+        }
+        flush(&mut current, &mut groups);
+
+        let before = self.range_count() as u64;
+        for group in &groups {
+            self.merge_group(group)?;
+        }
+        Ok(CompactionReport {
+            ranges_before: before,
+            ranges_after: self.range_count() as u64,
+            merges: groups.len() as u64,
+        })
+    }
+
+    /// Merges one planned group of adjacent ranges.
+    fn merge_group(&mut self, group: &[RangeHeader]) -> Result<(), StoreError> {
+        debug_assert!(group.len() > 1);
+        // Load all parts (ranges have not moved since planning: compaction
+        // is single-threaded and groups are disjoint).
+        let mut parts: Vec<RangeData> = Vec::with_capacity(group.len());
+        for header in group {
+            let (_, _, data) = self.load_range(header.range_id)?;
+            parts.push(data);
+        }
+        let merged_id = parts[0].header.range_id;
+        let merged_start: NodeId = parts
+            .iter()
+            .find(|p| p.header.id_count > 0)
+            .map(|p| p.header.start_id)
+            .unwrap_or(parts[0].header.start_id);
+        let mut tokens = Vec::new();
+        for p in &parts {
+            tokens.extend(p.tokens.iter().cloned());
+        }
+        let merged = RangeData::new(merged_id, merged_start, tokens);
+
+        // Remember where the group starts, then drop the old ranges. The
+        // first range's block is kept in the chain even if it empties —
+        // the merged range lands there.
+        let (first_block, first_slot, _) = self.load_range(merged_id)?;
+        for header in group {
+            self.drop_range_for_merge(header, first_block)?;
+        }
+        self.place_ranges(first_block, first_slot, std::slice::from_ref(&merged))?;
+        let block_now = self.block_of_range(merged.header.range_id)?;
+        if let Some(iv) = merged.header.interval() {
+            self.range_index_insert(iv, block_now, merged_id)?;
+        }
+        self.reindex_full(&merged)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::IndexingPolicy;
+    use crate::store::StoreBuilder;
+    use axs_xdm::Token;
+    use axs_xml::{parse_fragment, ParseOptions};
+
+    fn frag(xml: &str) -> Vec<Token> {
+        parse_fragment(xml, ParseOptions::default()).unwrap()
+    }
+
+    fn fragmented_store() -> XmlStore {
+        // Granular policy: every small insert becomes its own range.
+        let mut s = StoreBuilder::new()
+            .policy(IndexingPolicy::RangeOnly {
+                target_range_bytes: 64,
+            })
+            .build()
+            .unwrap();
+        s.bulk_insert(frag("<root/>")).unwrap();
+        for i in 0..40 {
+            s.insert_into_last(NodeId(1), frag(&format!("<c i=\"{i}\">t</c>")))
+                .unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn storage_report_accounts_for_everything() {
+        let s = fragmented_store();
+        let r = s.storage_report().unwrap();
+        assert!(r.blocks >= 1);
+        assert!(r.ranges > 40, "granular policy fragments");
+        assert_eq!(r.live_nodes, 1 + 40 * 3);
+        assert!(r.token_bytes > 0);
+        assert!(r.payload_bytes > r.token_bytes);
+        assert!(r.fill_factor() > 0.0 && r.fill_factor() <= 1.0);
+        assert!(r.range_index_entries <= r.ranges);
+        assert!(r.index_pages >= 1);
+    }
+
+    #[test]
+    fn compaction_reduces_ranges_and_preserves_content() {
+        let mut s = fragmented_store();
+        let before_tokens: Vec<_> = s.read().map(|r| r.unwrap()).collect();
+        let before = s.storage_report().unwrap();
+
+        let report = s.compact(8 * 1024).unwrap();
+        assert!(report.merges >= 1);
+        assert!(report.ranges_after < report.ranges_before, "{report:?}");
+
+        let after_tokens: Vec<_> = s.read().map(|r| r.unwrap()).collect();
+        assert_eq!(before_tokens, after_tokens, "content and ids unchanged");
+        s.check_invariants().unwrap();
+
+        let after = s.storage_report().unwrap();
+        assert!(after.ranges < before.ranges);
+        assert_eq!(after.live_nodes, before.live_nodes);
+        assert_eq!(after.token_bytes, before.token_bytes);
+        assert!(after.payload_bytes < before.payload_bytes, "fewer headers");
+    }
+
+    #[test]
+    fn compaction_respects_id_gaps() {
+        // Delete in the middle so id intervals are non-contiguous there;
+        // compaction must not merge across the gap in a way that breaks
+        // regeneration (check_invariants verifies exactly that).
+        let mut s = fragmented_store();
+        let kids = s.children_of(NodeId(1)).unwrap();
+        s.delete_node(kids[10]).unwrap();
+        s.delete_node(kids[20]).unwrap();
+        let before: Vec<_> = s.read().map(|r| r.unwrap()).collect();
+        s.compact(8 * 1024).unwrap();
+        let after: Vec<_> = s.read().map(|r| r.unwrap()).collect();
+        assert_eq!(before, after);
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn compaction_is_idempotent_at_fixpoint() {
+        let mut s = fragmented_store();
+        s.compact(8 * 1024).unwrap();
+        let r2 = s.compact(8 * 1024).unwrap();
+        assert_eq!(r2.merges, 0, "nothing left to merge: {r2:?}");
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn compaction_respects_target() {
+        let mut s = fragmented_store();
+        let ranges_before = s.range_count();
+        // A small target merges little.
+        s.compact(128).unwrap();
+        let small_target = s.range_count();
+        s.compact(8 * 1024).unwrap();
+        let big_target = s.range_count();
+        assert!(small_target <= ranges_before);
+        assert!(big_target <= small_target);
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn compaction_under_all_policies() {
+        for policy in [
+            IndexingPolicy::FullIndex {
+                target_range_bytes: 64,
+            },
+            IndexingPolicy::RangeOnly {
+                target_range_bytes: 64,
+            },
+            IndexingPolicy::RangePlusPartial {
+                target_range_bytes: 64,
+                partial: axs_index::PartialIndexConfig::default(),
+            },
+        ] {
+            let mut s = StoreBuilder::new().policy(policy.clone()).build().unwrap();
+            s.bulk_insert(frag("<root/>")).unwrap();
+            for i in 0..20 {
+                s.insert_into_last(NodeId(1), frag(&format!("<c>{i}</c>")))
+                    .unwrap();
+            }
+            // Reads before and after must agree (includes partial/full
+            // index consistency across the merge).
+            let before = s.read_node(NodeId(5)).unwrap();
+            s.compact(4096).unwrap();
+            assert_eq!(s.read_node(NodeId(5)).unwrap(), before, "{policy:?}");
+            s.check_invariants()
+                .unwrap_or_else(|e| panic!("{policy:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn empty_and_single_range_stores_compact_to_nothing() {
+        let mut s = StoreBuilder::new().build().unwrap();
+        let r = s.compact(4096).unwrap();
+        assert_eq!(r.merges, 0);
+        s.bulk_insert(frag("<a/>")).unwrap();
+        let r = s.compact(4096).unwrap();
+        assert_eq!(r.merges, 0);
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn freed_pages_are_reused_after_compaction() {
+        // Small pages so the fragmented data spans many blocks.
+        let mut s = StoreBuilder::new()
+            .policy(IndexingPolicy::RangeOnly {
+                target_range_bytes: 64,
+            })
+            .storage(axs_storage::StorageConfig {
+                page_size: 512,
+                pool_frames: 8,
+            })
+            .build()
+            .unwrap();
+        s.bulk_insert(frag("<root/>")).unwrap();
+        for i in 0..60 {
+            s.insert_into_last(NodeId(1), frag(&format!("<c i=\"{i}\">tok</c>")))
+                .unwrap();
+        }
+        let blocks_before = s.storage_report().unwrap().blocks;
+        assert!(blocks_before > 2, "fixture must span blocks");
+
+        s.compact(8 * 1024).unwrap();
+        let report = s.storage_report().unwrap();
+        // Compaction emptied blocks; their pages sit on the free list.
+        assert!(report.blocks < blocks_before);
+        assert!(report.free_pages > 0, "{report:?}");
+        // New inserts recycle freed pages instead of growing the file.
+        let allocs_before = s.data_pool_stats().allocations;
+        for i in 0..(report.free_pages * 3) {
+            s.bulk_insert(frag(&format!("<big>{}</big>", "x".repeat(300 + i as usize % 7))))
+                .unwrap();
+        }
+        let allocated = s.data_pool_stats().allocations - allocs_before;
+        assert!(
+            allocated < report.free_pages * 3,
+            "free pages must be recycled before the file grows \
+             (allocated {allocated}, free {})",
+            report.free_pages
+        );
+        s.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,631 @@
+//! The store interface of Table 1: reads, the four XUpdate inserts,
+//! deletion, and replacement.
+//!
+//! "Executing an XUpdate operation involves more steps: locating the target
+//! ID, identifying the insert position (e.g., as previous sibling, as next
+//! sibling, as first child, as last child), and performing the actual
+//! update." (§2)
+
+use crate::cursor::StoreCursor;
+use crate::error::StoreError;
+use crate::store::XmlStore;
+use axs_xdm::{IdInterval, NodeId, Token, TokenKind};
+
+impl XmlStore {
+    /// Appends a well-formed fragment at the end of the data source and
+    /// returns the identifiers allocated to its nodes. This is how a data
+    /// source is populated initially (§4.5 step 1).
+    pub fn bulk_insert(&mut self, tokens: Vec<Token>) -> Result<IdInterval, StoreError> {
+        self.observe_update_op();
+        Ok(self.insert_fragment(None, tokens)?.0)
+    }
+
+    /// `insertBefore(id, fragment)`: the fragment becomes the previous
+    /// sibling(s) of node `id`.
+    pub fn insert_before(
+        &mut self,
+        id: NodeId,
+        tokens: Vec<Token>,
+    ) -> Result<IdInterval, StoreError> {
+        self.observe_update_op();
+        let pos = self.find_position(id)?;
+        let (interval, split) =
+            self.insert_fragment(Some((pos.begin_range, pos.begin_index)), tokens)?;
+        self.rememoize(id, pos, split);
+        Ok(interval)
+    }
+
+    /// `insertAfter(id, fragment)`: the fragment becomes the next
+    /// sibling(s) of node `id`.
+    pub fn insert_after(
+        &mut self,
+        id: NodeId,
+        tokens: Vec<Token>,
+    ) -> Result<IdInterval, StoreError> {
+        self.observe_update_op();
+        let pos = self.find_position(id)?;
+        let (interval, split) =
+            self.insert_fragment(Some((pos.end_range, pos.end_index + 1)), tokens)?;
+        self.rememoize(id, pos, split);
+        Ok(interval)
+    }
+
+    /// `insertIntoFirst(id, fragment)`: the fragment becomes the first
+    /// child(ren) of node `id`, after any attribute nodes.
+    pub fn insert_into_first(
+        &mut self,
+        id: NodeId,
+        tokens: Vec<Token>,
+    ) -> Result<IdInterval, StoreError> {
+        self.observe_update_op();
+        let pos = self.find_position(id)?;
+        self.require_container(id, pos.begin_range, pos.begin_index)?;
+        // Skip attribute token pairs directly following the begin token.
+        let (mut range_id, mut idx) =
+            self.step_forward(pos.begin_range, pos.begin_index)?;
+        loop {
+            let tok = self.token_at(range_id, idx)?;
+            if tok.kind() != TokenKind::BeginAttribute {
+                break;
+            }
+            // Attributes are flat (value on the begin token): skip the pair.
+            let (r1, i1) = self.step_forward(range_id, idx)?; // end attribute
+            let (r2, i2) = self.step_forward(r1, i1)?;
+            range_id = r2;
+            idx = i2;
+        }
+        let (interval, split) = self.insert_fragment(Some((range_id, idx)), tokens)?;
+        self.rememoize(id, pos, split);
+        Ok(interval)
+    }
+
+    /// `insertIntoLast(id, fragment)`: the fragment becomes the last
+    /// child(ren) of node `id` — the paper's running example (§4.5).
+    pub fn insert_into_last(
+        &mut self,
+        id: NodeId,
+        tokens: Vec<Token>,
+    ) -> Result<IdInterval, StoreError> {
+        self.observe_update_op();
+        let pos = self.find_position(id)?;
+        self.require_container(id, pos.begin_range, pos.begin_index)?;
+        let (interval, split) =
+            self.insert_fragment(Some((pos.end_range, pos.end_index)), tokens)?;
+        self.rememoize(id, pos, split);
+        Ok(interval)
+    }
+
+    /// `deleteNode(id)`: removes the node and its entire subtree.
+    pub fn delete_node(&mut self, id: NodeId) -> Result<(), StoreError> {
+        self.observe_update_op();
+        let pos = self.find_position(id)?;
+        self.delete_span(
+            pos.begin_range,
+            pos.begin_index,
+            pos.end_range,
+            pos.end_index,
+        )?;
+        self.note_delete(id);
+        Ok(())
+    }
+
+    /// `replaceNode(id, fragment)`: the fragment takes the node's place.
+    pub fn replace_node(
+        &mut self,
+        id: NodeId,
+        tokens: Vec<Token>,
+    ) -> Result<IdInterval, StoreError> {
+        self.observe_update_op();
+        // Insert the replacement before the old node, then delete the old
+        // node; both steps re-resolve positions, so the intermediate split
+        // cannot leave stale coordinates behind.
+        let pos = self.find_position(id)?;
+        let (interval, split) =
+            self.insert_fragment(Some((pos.begin_range, pos.begin_index)), tokens)?;
+        self.rememoize(id, pos, split);
+        let pos = self.find_position(id)?;
+        self.delete_span(
+            pos.begin_range,
+            pos.begin_index,
+            pos.end_range,
+            pos.end_index,
+        )?;
+        self.note_replace(id);
+        Ok(interval)
+    }
+
+    /// `replaceContent(id, fragment)`: replaces everything between the
+    /// node's begin and end tokens (attributes included) with the fragment.
+    /// Pass an empty fragment to just empty the node.
+    pub fn replace_content(
+        &mut self,
+        id: NodeId,
+        tokens: Vec<Token>,
+    ) -> Result<Option<IdInterval>, StoreError> {
+        self.observe_update_op();
+        let pos = self.find_position(id)?;
+        self.require_container(id, pos.begin_range, pos.begin_index)?;
+        // Delete the old content, if any.
+        let first_child = self.step_forward(pos.begin_range, pos.begin_index)?;
+        if first_child != (pos.end_range, pos.end_index) {
+            // There is at least one content token: delete the span from the
+            // first content token up to (excluding) the end token.
+            let last_content = self.step_backward_from_end(pos.end_range, pos.end_index)?;
+            self.delete_span(first_child.0, first_child.1, last_content.0, last_content.1)?;
+        }
+        let interval = if tokens.is_empty() {
+            None
+        } else {
+            let pos = self.find_position(id)?;
+            let (iv, split) =
+                self.insert_fragment(Some((pos.end_range, pos.end_index)), tokens)?;
+            self.rememoize(id, pos, split);
+            Some(iv)
+        };
+        self.note_replace(id);
+        Ok(interval)
+    }
+
+    /// `read()`: a document-order cursor over the whole data source, with
+    /// regenerated node identifiers.
+    pub fn read(&mut self) -> StoreCursor<'_> {
+        self.note_full_scan();
+        self.observe_read_op();
+        StoreCursor::new(self)
+    }
+
+    /// Collects the entire data source into a token vector (ids dropped).
+    pub fn read_all(&mut self) -> Result<Vec<Token>, StoreError> {
+        self.read().map(|r| r.map(|(_, t)| t)).collect()
+    }
+
+    /// `read(id)`: the node's complete subtree as tokens. When the position
+    /// is memoized (or the full index is on), decoding starts directly at
+    /// the begin token's byte offset — no range-prefix work.
+    pub fn read_node(&mut self, id: NodeId) -> Result<Vec<Token>, StoreError> {
+        self.observe_read_op();
+        self.note_node_read();
+        let pos = self.find_position(id)?;
+        self.read_span(pos.begin_range, pos.begin_byte, pos.end_range, pos.end_byte)
+    }
+
+    /// Regenerated identifier of the node at the head of `read_node(id)` —
+    /// provided for symmetry checks; equals `id` by construction.
+    pub fn contains(&mut self, id: NodeId) -> bool {
+        self.find_begin(id).is_ok()
+    }
+
+    // ---- small traversal helpers -----------------------------------------
+
+    /// The token at `(range_id, idx)`.
+    pub(crate) fn token_at(&self, range_id: u64, idx: u32) -> Result<Token, StoreError> {
+        let (_, _, data) = self.load_range(range_id)?;
+        data.tokens
+            .get(idx as usize)
+            .cloned()
+            .ok_or(StoreError::Corrupt("token index out of range"))
+    }
+
+    /// The next token position in document order (crossing ranges/blocks).
+    pub(crate) fn step_forward(
+        &self,
+        range_id: u64,
+        idx: u32,
+    ) -> Result<(u64, u32), StoreError> {
+        let (block_page, slot, data) = self.load_range(range_id)?;
+        if (idx as usize) + 1 < data.tokens.len() {
+            return Ok((range_id, idx + 1));
+        }
+        let (mut b, mut s) = self
+            .next_range_pos(block_page, slot)?
+            .ok_or(StoreError::Corrupt("stepped past end of store"))?;
+        loop {
+            let next = self.load_range_at(b, s)?;
+            if !next.tokens.is_empty() {
+                return Ok((next.header.range_id, 0));
+            }
+            let (nb, ns) = self
+                .next_range_pos(b, s)?
+                .ok_or(StoreError::Corrupt("stepped past end of store"))?;
+            b = nb;
+            s = ns;
+        }
+    }
+
+    /// The previous token position from an end token (used to bound content
+    /// spans); only steps within or across ranges backwards by scanning
+    /// forward from the begin of the containing range run. End tokens always
+    /// have a predecessor (their begin token at worst).
+    fn step_backward_from_end(
+        &self,
+        end_range: u64,
+        end_idx: u32,
+    ) -> Result<(u64, u32), StoreError> {
+        if end_idx > 0 {
+            return Ok((end_range, end_idx - 1));
+        }
+        // Walk backward over ranges to the nearest non-empty predecessor.
+        let (block_page, slot, _) = self.load_range(end_range)?;
+        let (mut b, mut s) = self
+            .prev_range_pos(block_page, slot)?
+            .ok_or(StoreError::Corrupt("end token at start of store"))?;
+        loop {
+            let data = self.load_range_at(b, s)?;
+            if !data.tokens.is_empty() {
+                return Ok((data.header.range_id, data.tokens.len() as u32 - 1));
+            }
+            let (pb, ps) = self
+                .prev_range_pos(b, s)?
+                .ok_or(StoreError::Corrupt("end token at start of store"))?;
+            b = pb;
+            s = ps;
+        }
+    }
+
+    /// Fails unless the node at the position is an element begin token
+    /// (the only container our fragments admit).
+    fn require_container(
+        &self,
+        id: NodeId,
+        range_id: u64,
+        idx: u32,
+    ) -> Result<(), StoreError> {
+        let tok = self.token_at(range_id, idx)?;
+        if tok.kind() == TokenKind::BeginElement {
+            Ok(())
+        } else {
+            Err(StoreError::InvalidTarget {
+                id,
+                reason: "target is not an element node",
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::IndexingPolicy;
+    use crate::store::StoreBuilder;
+    use axs_xml::{parse_fragment, serialize, ParseOptions, SerializeOptions};
+
+    fn frag(xml: &str) -> Vec<Token> {
+        parse_fragment(xml, ParseOptions::default()).unwrap()
+    }
+
+    fn store_with(xml: &str) -> XmlStore {
+        let mut s = StoreBuilder::new().build().unwrap();
+        s.bulk_insert(frag(xml)).unwrap();
+        s
+    }
+
+    fn text_of(store: &mut XmlStore) -> String {
+        let tokens = store.read_all().unwrap();
+        serialize(&tokens, &SerializeOptions::default()).unwrap()
+    }
+
+    /// All policies, for cross-policy behaviour equivalence tests.
+    fn all_policies() -> Vec<IndexingPolicy> {
+        vec![
+            IndexingPolicy::FullIndex {
+                target_range_bytes: 4096,
+            },
+            IndexingPolicy::RangeOnly {
+                target_range_bytes: 4096,
+            },
+            IndexingPolicy::RangeOnly {
+                target_range_bytes: 64,
+            },
+            IndexingPolicy::default_lazy(),
+            IndexingPolicy::Adaptive(crate::policy::AdaptiveConfig::default()),
+        ]
+    }
+
+    #[test]
+    fn read_all_round_trips() {
+        let mut s = store_with("<a><b>x</b><c/></a>");
+        assert_eq!(text_of(&mut s), "<a><b>x</b><c/></a>");
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn read_node_returns_subtree() {
+        // ids: a=1, b=2, x=3, c=4
+        let mut s = store_with("<a><b>x</b><c/></a>");
+        let sub = s.read_node(NodeId(2)).unwrap();
+        assert_eq!(
+            serialize(&sub, &SerializeOptions::default()).unwrap(),
+            "<b>x</b>"
+        );
+        let leaf = s.read_node(NodeId(3)).unwrap();
+        assert_eq!(leaf, vec![Token::text("x")]);
+    }
+
+    #[test]
+    fn insert_before_and_after() {
+        let mut s = store_with("<a><b/><d/></a>"); // a=1 b=2 d=3
+        s.insert_after(NodeId(2), frag("<c/>")).unwrap();
+        s.insert_before(NodeId(2), frag("<aa/>")).unwrap();
+        assert_eq!(text_of(&mut s), "<a><aa/><b/><c/><d/></a>");
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_into_first_and_last() {
+        let mut s = store_with("<a><m/></a>"); // a=1 m=2
+        s.insert_into_first(NodeId(1), frag("<first/>")).unwrap();
+        s.insert_into_last(NodeId(1), frag("<last/>")).unwrap();
+        assert_eq!(text_of(&mut s), "<a><first/><m/><last/></a>");
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_into_first_skips_attributes() {
+        let mut s = store_with(r#"<a k="v" l="w"><m/></a>"#);
+        s.insert_into_first(NodeId(1), frag("<z/>")).unwrap();
+        assert_eq!(text_of(&mut s), r#"<a k="v" l="w"><z/><m/></a>"#);
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_into_empty_element() {
+        let mut s = store_with("<a/>");
+        s.insert_into_last(NodeId(1), frag("<x/>")).unwrap();
+        s.insert_into_first(NodeId(1), frag("<w/>")).unwrap();
+        assert_eq!(text_of(&mut s), "<a><w/><x/></a>");
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_into_leaf_fails() {
+        let mut s = store_with("<a>text</a>"); // a=1 text=2
+        let err = s.insert_into_last(NodeId(2), frag("<x/>")).unwrap_err();
+        assert!(matches!(err, StoreError::InvalidTarget { .. }));
+    }
+
+    #[test]
+    fn paper_4_5_walkthrough() {
+        // §4.5: two sibling trees of 50 nodes each (100 total), then 40
+        // nodes inserted as last child of node 60.
+        let mut s = StoreBuilder::new().build().unwrap();
+        let mut tokens = Vec::new();
+        for _ in 0..2 {
+            tokens.push(Token::begin_element("tree"));
+            for i in 0..49 {
+                tokens.push(Token::begin_element(format!("n{i}").as_str()));
+                tokens.push(Token::EndElement);
+            }
+            tokens.push(Token::EndElement);
+        }
+        let iv = s.bulk_insert(tokens).unwrap();
+        assert_eq!(iv, IdInterval::new(NodeId(1), NodeId(100)));
+        assert_eq!(s.range_index_entries().unwrap().len(), 1, "Table 2: one range");
+
+        let mut child = Vec::new();
+        child.push(Token::begin_element("new"));
+        for i in 0..39 {
+            child.push(Token::begin_element(format!("c{i}").as_str()));
+            child.push(Token::EndElement);
+        }
+        child.push(Token::EndElement);
+        let iv2 = s.insert_into_last(NodeId(60), child).unwrap();
+        assert_eq!(iv2, IdInterval::new(NodeId(101), NodeId(140)), "§4.5 step 2d");
+
+        // Table 3 shape: [1,60], [61,100], [101,140] — disjoint, covering.
+        let entries = s.range_index_entries().unwrap();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].interval, IdInterval::new(NodeId(1), NodeId(60)));
+        assert_eq!(entries[1].interval, IdInterval::new(NodeId(61), NodeId(100)));
+        assert_eq!(entries[2].interval, IdInterval::new(NodeId(101), NodeId(140)));
+        // Table 4: the partial index memoized node 60's begin and end.
+        let pos = s.partial_index().unwrap().peek(NodeId(60)).unwrap();
+        assert_ne!(pos.begin_range, pos.end_range, "end token split away");
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn delete_leaf_and_subtree() {
+        let mut s = store_with("<a><b>x</b><c><d/></c></a>"); // a1 b2 x3 c4 d5
+        s.delete_node(NodeId(3)).unwrap(); // delete text
+        assert_eq!(text_of(&mut s), "<a><b/><c><d/></c></a>");
+        s.delete_node(NodeId(4)).unwrap(); // delete <c> subtree
+        assert_eq!(text_of(&mut s), "<a><b/></a>");
+        s.check_invariants().unwrap();
+        assert!(matches!(
+            s.read_node(NodeId(4)),
+            Err(StoreError::NodeNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn delete_root_empties_store() {
+        let mut s = store_with("<a><b/><c/></a>");
+        s.delete_node(NodeId(1)).unwrap();
+        assert_eq!(text_of(&mut s), "");
+        assert_eq!(s.range_count(), 0);
+        s.check_invariants().unwrap();
+        // The store is reusable afterwards.
+        s.bulk_insert(frag("<fresh/>")).unwrap();
+        assert_eq!(text_of(&mut s), "<fresh/>");
+    }
+
+    #[test]
+    fn deleted_ids_are_not_reused() {
+        let mut s = store_with("<a><b/></a>"); // 1, 2
+        s.delete_node(NodeId(2)).unwrap();
+        let iv = s.insert_into_last(NodeId(1), frag("<c/>")).unwrap();
+        assert!(iv.start.0 >= 3, "ids are never reused");
+        assert!(!s.contains(NodeId(2)));
+    }
+
+    #[test]
+    fn replace_node_swaps_subtree() {
+        let mut s = store_with("<a><b>old</b><c/></a>"); // a1 b2 old3 c4
+        let iv = s.replace_node(NodeId(2), frag("<n>new</n>")).unwrap();
+        assert_eq!(text_of(&mut s), "<a><n>new</n><c/></a>");
+        assert!(s.contains(iv.start));
+        assert!(!s.contains(NodeId(2)));
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn replace_content_replaces_children() {
+        let mut s = store_with("<a><b/><c/></a>");
+        s.replace_content(NodeId(1), frag("<z>t</z>")).unwrap();
+        assert_eq!(text_of(&mut s), "<a><z>t</z></a>");
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn replace_content_with_empty_fragment_empties_node() {
+        let mut s = store_with("<a><b/><c/></a>");
+        let out = s.replace_content(NodeId(1), Vec::new()).unwrap();
+        assert_eq!(out, None);
+        assert_eq!(text_of(&mut s), "<a/>");
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn replace_content_removes_attributes_too() {
+        // Documented semantics: everything between begin and end tokens is
+        // replaced, attributes included.
+        let mut s = store_with(r#"<a k="v"><b/></a>"#);
+        s.replace_content(NodeId(1), frag("<c/>")).unwrap();
+        assert_eq!(text_of(&mut s), "<a><c/></a>");
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn replace_content_of_already_empty_node() {
+        let mut s = store_with("<a/>");
+        s.replace_content(NodeId(1), frag("<x/>")).unwrap();
+        assert_eq!(text_of(&mut s), "<a><x/></a>");
+    }
+
+    #[test]
+    fn cursor_regenerates_ids() {
+        let mut s = store_with("<a><b>x</b></a>");
+        let pairs: Vec<(Option<NodeId>, Token)> =
+            s.read().collect::<Result<_, _>>().unwrap();
+        let ids: Vec<Option<u64>> = pairs.iter().map(|(id, _)| id.map(|n| n.0)).collect();
+        assert_eq!(ids, vec![Some(1), Some(2), Some(3), None, None]);
+    }
+
+    #[test]
+    fn all_policies_agree_on_results() {
+        // Invariant: the indexing policy affects performance, never results.
+        let script = |s: &mut XmlStore| -> Result<String, StoreError> {
+            s.bulk_insert(frag("<root><a>1</a><b>2</b></root>"))?; // 1..=6
+            s.insert_into_last(NodeId(1), frag("<c>3</c>"))?;
+            s.insert_before(NodeId(2), frag("<pre/>"))?;
+            s.insert_after(NodeId(4), frag("<mid/>"))?;
+            s.delete_node(NodeId(3))?;
+            s.replace_node(NodeId(4), frag("<b2>two</b2>"))?;
+            let mut out = String::new();
+            let tokens = s.read_all()?;
+            out.push_str(
+                &serialize(&tokens, &SerializeOptions::default()).unwrap(),
+            );
+            Ok(out)
+        };
+        let mut results = Vec::new();
+        for policy in all_policies() {
+            let mut s = StoreBuilder::new().policy(policy.clone()).build().unwrap();
+            let text = script(&mut s).unwrap();
+            s.check_invariants()
+                .unwrap_or_else(|e| panic!("policy {policy:?}: {e}"));
+            results.push(text);
+        }
+        for w in results.windows(2) {
+            assert_eq!(w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn clearing_partial_index_changes_nothing() {
+        let mut s = store_with("<a><b>x</b><c>y</c></a>");
+        let before = s.read_node(NodeId(2)).unwrap();
+        s.clear_partial_index();
+        let after = s.read_node(NodeId(2)).unwrap();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn repeated_appends_merge_into_coarse_ranges() {
+        // The paper's purchase-order pattern: repeated insertIntoLast on the
+        // root. With a coarse target each insert is one small range.
+        let mut s = store_with("<orders/>");
+        for i in 0..50 {
+            s.insert_into_last(
+                NodeId(1),
+                frag(&format!("<order id=\"{i}\"><qty>{i}</qty></order>")),
+            )
+            .unwrap();
+        }
+        s.check_invariants().unwrap();
+        let tokens = s.read_all().unwrap();
+        let orders = tokens
+            .iter()
+            .filter(|t| t.name().is_some_and(|n| n.is_local("order")))
+            .count();
+        assert_eq!(orders, 50);
+        // The partial index served the repeated root lookups (§5: repeated
+        // search for the same logical position benefits).
+        assert!(s.partial_stats().hits >= 48, "partial index must serve repeats");
+    }
+
+    #[test]
+    fn deep_nesting_survives_updates() {
+        let mut s = StoreBuilder::new().build().unwrap();
+        let mut xml = String::new();
+        for i in 0..30 {
+            xml.push_str(&format!("<l{i}>"));
+        }
+        for i in (0..30).rev() {
+            xml.push_str(&format!("</l{i}>"));
+        }
+        s.bulk_insert(frag(&xml)).unwrap();
+        // Insert into the deepest element (id 30).
+        s.insert_into_last(NodeId(30), frag("<leaf/>")).unwrap();
+        s.check_invariants().unwrap();
+        let text = text_of(&mut s);
+        assert!(text.contains("<l29><leaf/></l29>"));
+    }
+
+    #[test]
+    fn interleaved_operations_stress() {
+        let mut s = store_with("<root/>");
+        let root = NodeId(1);
+        let mut known: Vec<NodeId> = Vec::new();
+        for i in 0..120u64 {
+            match i % 5 {
+                0 | 1 => {
+                    let iv = s
+                        .insert_into_last(root, frag(&format!("<e v=\"{i}\">t{i}</e>")))
+                        .unwrap();
+                    known.push(iv.start);
+                }
+                2 => {
+                    if let Some(&id) = known.get((i as usize * 7) % known.len().max(1)) {
+                        let _ = s.read_node(id).unwrap();
+                    }
+                }
+                3 => {
+                    if known.len() > 2 {
+                        let id = known.remove((i as usize * 3) % known.len());
+                        s.delete_node(id).unwrap();
+                    }
+                }
+                _ => {
+                    if let Some(&id) = known.last() {
+                        s.insert_after(id, frag("<sib/>")).unwrap();
+                    }
+                }
+            }
+            if i % 20 == 19 {
+                s.check_invariants().unwrap();
+            }
+        }
+        s.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,326 @@
+//! Indexing policies (§2.1, §4, §5): how much indexing the store does, and
+//! the adaptive controller that retunes it from the observed workload.
+
+use axs_index::PartialIndexConfig;
+
+/// How the store indexes node positions. The four fixed policies correspond
+/// to the rows of the paper's Table 5; `Adaptive` is the paper's stated goal
+/// ("automatic, application-specific tuning") realized as a feedback
+/// controller over the fixed policies' parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IndexingPolicy {
+    /// §4.1 baseline: every node gets an exact entry in a paged B+-tree.
+    /// Fast random access; expensive inserts; large storage.
+    FullIndex {
+        /// Target encoded size of ranges created by inserts.
+        target_range_bytes: usize,
+    },
+    /// §4.3: only the coarse Range Index. Cheap inserts; point lookups pay a
+    /// scan within the located range.
+    RangeOnly {
+        /// Target encoded size of ranges created by inserts. Small values
+        /// give "many, granular entries"; large values give "few, coarse,
+        /// large entries" (Table 5 rows 2 and 3).
+        target_range_bytes: usize,
+    },
+    /// §5: Range Index plus the lazy, memory-resident Partial Index.
+    RangePlusPartial {
+        /// Target encoded size of ranges created by inserts.
+        target_range_bytes: usize,
+        /// Partial index sizing.
+        partial: PartialIndexConfig,
+    },
+    /// Workload-driven retuning of range granularity and partial-index
+    /// capacity (§1: "adaptivity, laziness and partial").
+    Adaptive(AdaptiveConfig),
+}
+
+impl IndexingPolicy {
+    /// A reasonable default: coarse ranges plus a partial index.
+    pub fn default_lazy() -> IndexingPolicy {
+        IndexingPolicy::RangePlusPartial {
+            target_range_bytes: 8 * 1024,
+            partial: PartialIndexConfig::default(),
+        }
+    }
+
+    /// The target range size this policy starts with.
+    pub fn initial_target_range_bytes(&self) -> usize {
+        match self {
+            IndexingPolicy::FullIndex { target_range_bytes }
+            | IndexingPolicy::RangeOnly { target_range_bytes }
+            | IndexingPolicy::RangePlusPartial {
+                target_range_bytes, ..
+            } => *target_range_bytes,
+            IndexingPolicy::Adaptive(cfg) => cfg.initial_range_bytes,
+        }
+    }
+
+    /// Whether the full per-node index is maintained.
+    pub fn uses_full_index(&self) -> bool {
+        matches!(self, IndexingPolicy::FullIndex { .. })
+    }
+
+    /// The partial-index configuration this policy starts with, if any.
+    pub fn initial_partial(&self) -> Option<PartialIndexConfig> {
+        match self {
+            IndexingPolicy::RangePlusPartial { partial, .. } => Some(*partial),
+            IndexingPolicy::Adaptive(cfg) => Some(PartialIndexConfig {
+                capacity: cfg.initial_partial_capacity,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Configuration of the adaptive controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Operations per adaptation window.
+    pub window: u64,
+    /// Fraction of reads above which the workload counts as read-heavy.
+    pub read_heavy_threshold: f64,
+    /// Fraction of reads below which the workload counts as update-heavy.
+    pub update_heavy_threshold: f64,
+    /// Partial-index capacity bounds.
+    pub min_partial_capacity: usize,
+    /// Upper bound for the partial-index capacity.
+    pub max_partial_capacity: usize,
+    /// Range-granularity bounds for *future* inserts (existing ranges are
+    /// never rewritten — laziness).
+    pub min_range_bytes: usize,
+    /// Upper bound of the range-size target.
+    pub max_range_bytes: usize,
+    /// Starting range-size target.
+    pub initial_range_bytes: usize,
+    /// Starting partial capacity.
+    pub initial_partial_capacity: usize,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            window: 512,
+            read_heavy_threshold: 0.65,
+            update_heavy_threshold: 0.35,
+            min_partial_capacity: 256,
+            max_partial_capacity: 256 * 1024,
+            min_range_bytes: 512,
+            max_range_bytes: 8 * 1024,
+            initial_range_bytes: 8 * 1024,
+            initial_partial_capacity: 4 * 1024,
+        }
+    }
+}
+
+/// What the controller decided at a window boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdaptiveDecision {
+    /// Read-heavy window: grow the partial index, make future ranges finer.
+    FavorReads,
+    /// Update-heavy window: shrink the partial index, make future ranges
+    /// coarser (fewer index entries per inserted byte).
+    FavorUpdates,
+    /// Mixed window: leave the tuning alone.
+    Hold,
+}
+
+/// The feedback controller: counts reads and updates, and at each window
+/// boundary nudges the tuning knobs toward the observed workload.
+#[derive(Debug, Clone)]
+pub struct AdaptiveController {
+    config: AdaptiveConfig,
+    reads: u64,
+    updates: u64,
+    target_range_bytes: usize,
+    partial_capacity: usize,
+    decisions: u64,
+}
+
+impl AdaptiveController {
+    /// A controller starting at the configured initial tuning.
+    pub fn new(config: AdaptiveConfig) -> Self {
+        let target_range_bytes = config.initial_range_bytes;
+        let partial_capacity = config.initial_partial_capacity;
+        AdaptiveController {
+            config,
+            reads: 0,
+            updates: 0,
+            target_range_bytes,
+            partial_capacity,
+            decisions: 0,
+        }
+    }
+
+    /// Current range-size target for future inserts.
+    pub fn target_range_bytes(&self) -> usize {
+        self.target_range_bytes
+    }
+
+    /// Current partial-index capacity.
+    pub fn partial_capacity(&self) -> usize {
+        self.partial_capacity
+    }
+
+    /// Number of window-boundary decisions taken so far.
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Records a read-class operation; returns a decision when a window
+    /// closed.
+    pub fn observe_read(&mut self) -> Option<AdaptiveDecision> {
+        self.reads += 1;
+        self.maybe_decide()
+    }
+
+    /// Records an update-class operation; returns a decision when a window
+    /// closed.
+    pub fn observe_update(&mut self) -> Option<AdaptiveDecision> {
+        self.updates += 1;
+        self.maybe_decide()
+    }
+
+    fn maybe_decide(&mut self) -> Option<AdaptiveDecision> {
+        if self.reads + self.updates < self.config.window {
+            return None;
+        }
+        let read_fraction = self.reads as f64 / (self.reads + self.updates) as f64;
+        self.reads = 0;
+        self.updates = 0;
+        self.decisions += 1;
+        let decision = if read_fraction >= self.config.read_heavy_threshold {
+            self.partial_capacity =
+                (self.partial_capacity * 2).min(self.config.max_partial_capacity);
+            self.target_range_bytes =
+                (self.target_range_bytes / 2).max(self.config.min_range_bytes);
+            AdaptiveDecision::FavorReads
+        } else if read_fraction <= self.config.update_heavy_threshold {
+            self.partial_capacity =
+                (self.partial_capacity / 2).max(self.config.min_partial_capacity);
+            self.target_range_bytes =
+                (self.target_range_bytes * 2).min(self.config.max_range_bytes);
+            AdaptiveDecision::FavorUpdates
+        } else {
+            AdaptiveDecision::Hold
+        };
+        Some(decision)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(window: u64) -> AdaptiveConfig {
+        AdaptiveConfig {
+            window,
+            ..AdaptiveConfig::default()
+        }
+    }
+
+    #[test]
+    fn policy_accessors() {
+        let p = IndexingPolicy::default_lazy();
+        assert!(!p.uses_full_index());
+        assert!(p.initial_partial().is_some());
+        assert_eq!(p.initial_target_range_bytes(), 8 * 1024);
+
+        let f = IndexingPolicy::FullIndex {
+            target_range_bytes: 1024,
+        };
+        assert!(f.uses_full_index());
+        assert!(f.initial_partial().is_none());
+    }
+
+    #[test]
+    fn no_decision_before_window_closes() {
+        let mut c = AdaptiveController::new(config(10));
+        for _ in 0..9 {
+            assert_eq!(c.observe_read(), None);
+        }
+        assert!(c.observe_read().is_some());
+    }
+
+    #[test]
+    fn read_heavy_grows_partial_and_shrinks_ranges() {
+        let mut c = AdaptiveController::new(config(10));
+        let cap0 = c.partial_capacity();
+        let rb0 = c.target_range_bytes();
+        let mut last = None;
+        for _ in 0..10 {
+            last = c.observe_read().or(last);
+        }
+        assert_eq!(last, Some(AdaptiveDecision::FavorReads));
+        assert!(c.partial_capacity() > cap0);
+        assert!(c.target_range_bytes() < rb0);
+    }
+
+    #[test]
+    fn update_heavy_shrinks_partial_and_coarsens_ranges() {
+        let mut c = AdaptiveController::new(AdaptiveConfig {
+            window: 10,
+            initial_partial_capacity: 1024,
+            initial_range_bytes: 1024,
+            ..AdaptiveConfig::default()
+        });
+        let mut last = None;
+        for _ in 0..10 {
+            last = c.observe_update().or(last);
+        }
+        assert_eq!(last, Some(AdaptiveDecision::FavorUpdates));
+        assert_eq!(c.partial_capacity(), 512);
+        assert_eq!(c.target_range_bytes(), 2048);
+    }
+
+    #[test]
+    fn mixed_holds() {
+        let mut c = AdaptiveController::new(config(10));
+        let cap0 = c.partial_capacity();
+        let mut last = None;
+        for i in 0..10 {
+            last = if i % 2 == 0 {
+                c.observe_read()
+            } else {
+                c.observe_update()
+            }
+            .or(last);
+        }
+        assert_eq!(last, Some(AdaptiveDecision::Hold));
+        assert_eq!(c.partial_capacity(), cap0);
+    }
+
+    #[test]
+    fn tuning_respects_bounds() {
+        let mut c = AdaptiveController::new(AdaptiveConfig {
+            window: 2,
+            min_partial_capacity: 100,
+            max_partial_capacity: 400,
+            initial_partial_capacity: 200,
+            min_range_bytes: 100,
+            max_range_bytes: 400,
+            initial_range_bytes: 200,
+            ..AdaptiveConfig::default()
+        });
+        for _ in 0..40 {
+            c.observe_read();
+        }
+        assert_eq!(c.partial_capacity(), 400);
+        assert_eq!(c.target_range_bytes(), 100);
+        for _ in 0..40 {
+            c.observe_update();
+        }
+        assert_eq!(c.partial_capacity(), 100);
+        assert_eq!(c.target_range_bytes(), 400);
+    }
+
+    #[test]
+    fn window_counts_both_classes() {
+        let mut c = AdaptiveController::new(config(4));
+        assert_eq!(c.observe_read(), None);
+        assert_eq!(c.observe_update(), None);
+        assert_eq!(c.observe_read(), None);
+        assert!(c.observe_update().is_some());
+        assert_eq!(c.decisions(), 1);
+    }
+}

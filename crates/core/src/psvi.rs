@@ -1,0 +1,230 @@
+//! In-place PSVI annotation of stored documents (requirement 7 of §2:
+//! "PSVI should be supported in order to avoid repeated evaluation of XML
+//! schema").
+//!
+//! Annotation rewrites only each token's type-annotation byte, so a range
+//! payload keeps its exact size: every range is replaced *in place* — no
+//! splits, no moves, no index maintenance, and even memoized byte offsets
+//! stay valid. Validate once, store the types, never re-derive them.
+
+use crate::error::StoreError;
+use crate::range::RangeData;
+use crate::store::XmlStore;
+use axs_xml::Schema;
+
+/// Outcome of an annotation pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnnotateOutcome {
+    /// Every value conformed (or validation was off); annotations stored.
+    Annotated {
+        /// Tokens whose annotation byte changed.
+        tokens_retyped: u64,
+    },
+    /// Validation failed; the store is left untouched.
+    Invalid(axs_xml::SchemaError),
+}
+
+impl XmlStore {
+    /// Runs a schema-annotation pass over the whole data source, storing
+    /// the derived type annotations in place. With `validate`, lexical
+    /// values are checked first and nothing is written on a violation.
+    pub fn annotate_with(
+        &mut self,
+        schema: &Schema,
+        validate: bool,
+    ) -> Result<AnnotateOutcome, StoreError> {
+        // Pass 1 (validating runs only): check without writing.
+        if validate {
+            let mut annotator = schema.annotator(true);
+            let mut pos = self.first_range_pos()?;
+            while let Some((b, s)) = pos {
+                let data = self.load_range_at(b, s)?;
+                for tok in &data.tokens {
+                    if let Err(e) = annotator.step(tok) {
+                        return Ok(AnnotateOutcome::Invalid(e));
+                    }
+                }
+                pos = self.next_range_pos(b, s)?;
+            }
+        }
+        // Pass 2: annotate and rewrite each range in place.
+        let mut annotator = schema.annotator(false);
+        let mut retyped = 0u64;
+        let mut pos = self.first_range_pos()?;
+        while let Some((b, s)) = pos {
+            let data = self.load_range_at(b, s)?;
+            let mut changed = false;
+            let mut new_tokens = Vec::with_capacity(data.tokens.len());
+            for tok in &data.tokens {
+                let annotated = annotator
+                    .step(tok)
+                    .expect("non-validating annotator never fails");
+                if &annotated != tok {
+                    changed = true;
+                    retyped += 1;
+                }
+                new_tokens.push(annotated);
+            }
+            if changed {
+                let new_range = RangeData::new(
+                    data.header.range_id,
+                    data.header.start_id,
+                    new_tokens,
+                );
+                debug_assert_eq!(
+                    new_range.encoded_len(),
+                    data.encoded_len(),
+                    "annotation must not change payload size"
+                );
+                self.replace_range_payload_in_place(b, s, &new_range)?;
+            }
+            pos = self.next_range_pos(b, s)?;
+        }
+        Ok(AnnotateOutcome::Annotated {
+            tokens_retyped: retyped,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreBuilder;
+    use axs_xdm::{NodeId, TypeAnnotation};
+    use axs_xml::{parse_fragment, ParseOptions, SchemaRule};
+
+    fn orders_store() -> XmlStore {
+        let mut s = StoreBuilder::new()
+            .storage(axs_storage::StorageConfig {
+                page_size: 512,
+                pool_frames: 8,
+            })
+            .build()
+            .unwrap();
+        let mut xml = String::from("<orders>");
+        for i in 0..40 {
+            xml.push_str(&format!(
+                r#"<order id="{i}"><qty>{}</qty><price>{}.50</price></order>"#,
+                i % 9 + 1,
+                i + 1
+            ));
+        }
+        xml.push_str("</orders>");
+        s.bulk_insert(parse_fragment(&xml, ParseOptions::default()).unwrap())
+            .unwrap();
+        s
+    }
+
+    fn schema() -> Schema {
+        Schema::new(&[
+            SchemaRule::new("//qty", TypeAnnotation::Integer),
+            SchemaRule::new("//price", TypeAnnotation::Decimal),
+            SchemaRule::new("//order/@id", TypeAnnotation::Integer),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn annotation_persists_in_storage() {
+        let mut s = orders_store();
+        let outcome = s.annotate_with(&schema(), true).unwrap();
+        let AnnotateOutcome::Annotated { tokens_retyped } = outcome else {
+            panic!("expected success: {outcome:?}");
+        };
+        assert!(tokens_retyped > 100, "got {tokens_retyped}");
+        s.check_invariants().unwrap();
+
+        // Read back: the annotations are on the stored tokens.
+        let tokens = s.read_all().unwrap();
+        let qty_types: Vec<_> = tokens
+            .iter()
+            .filter(|t| t.name().is_some_and(|n| n.is_local("qty")))
+            .map(|t| t.type_annotation().unwrap())
+            .collect();
+        assert!(!qty_types.is_empty());
+        assert!(qty_types.iter().all(|&t| t == TypeAnnotation::Integer));
+    }
+
+    #[test]
+    fn annotation_preserves_ids_positions_and_memoization() {
+        let mut s = orders_store();
+        // Warm the partial index and remember positions.
+        let before_read = s.read_node(NodeId(10)).unwrap();
+        let pos_before = s.partial_index().unwrap().peek(NodeId(10)).unwrap();
+
+        s.annotate_with(&schema(), false).unwrap();
+
+        // Memoized positions must still be byte-exact (in-place rewrite).
+        let pos_after = s.partial_index().unwrap().peek(NodeId(10)).unwrap();
+        assert_eq!(pos_before, pos_after, "positions survive annotation");
+        let after_read = s.read_node(NodeId(10)).unwrap();
+        // Same structure and values, new annotations.
+        assert_eq!(before_read.len(), after_read.len());
+        for (a, b) in before_read.iter().zip(&after_read) {
+            assert_eq!(a.kind(), b.kind());
+            assert_eq!(a.string_value(), b.string_value());
+        }
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn validation_failure_leaves_store_untouched() {
+        let mut s = orders_store();
+        s.insert_into_last(
+            NodeId(1),
+            parse_fragment(
+                r#"<order id="bad"><qty>not-a-number</qty></order>"#,
+                ParseOptions::default(),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let before = s.read_all().unwrap();
+        let outcome = s.annotate_with(&schema(), true).unwrap();
+        match outcome {
+            AnnotateOutcome::Invalid(e) => {
+                assert!(e.path.contains("qty") || e.path.contains("@id"), "{e}");
+            }
+            other => panic!("expected validation failure: {other:?}"),
+        }
+        assert_eq!(s.read_all().unwrap(), before, "nothing written");
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn annotation_works_under_full_index_policy() {
+        let mut s = StoreBuilder::new()
+            .policy(crate::policy::IndexingPolicy::FullIndex {
+                target_range_bytes: 128,
+            })
+            .build()
+            .unwrap();
+        s.bulk_insert(
+            parse_fragment(
+                r#"<orders><order id="1"><qty>5</qty></order></orders>"#,
+                ParseOptions::default(),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        s.annotate_with(&schema(), true).unwrap();
+        s.check_invariants().unwrap();
+        // Full-index lookups still resolve to the right (retyped) tokens.
+        let qty = s.read_node(NodeId(3)).unwrap();
+        assert_eq!(qty[0].type_annotation(), Some(TypeAnnotation::Integer));
+    }
+
+    #[test]
+    fn annotation_is_idempotent() {
+        let mut s = orders_store();
+        s.annotate_with(&schema(), false).unwrap();
+        let once = s.read_all().unwrap();
+        let outcome = s.annotate_with(&schema(), false).unwrap();
+        assert_eq!(
+            outcome,
+            AnnotateOutcome::Annotated { tokens_retyped: 0 },
+            "second pass changes nothing"
+        );
+        assert_eq!(s.read_all().unwrap(), once);
+    }
+}

@@ -1,0 +1,81 @@
+//! Operation and lookup-path counters.
+
+/// Which mechanism resolved a node lookup — the observable face of the
+/// laziness story: partial hits avoid range scans, full-index probes avoid
+//  both, range scans are the fallback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupPath {
+    /// Served by the memory-resident Partial Index.
+    Partial,
+    /// Served by the per-node Full Index.
+    Full,
+    /// Located via the Range Index plus an in-range token scan.
+    RangeScan,
+}
+
+/// Monotonic counters of store activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Fragments inserted (any of the four insert operations or bulk).
+    pub inserts: u64,
+    /// Nodes deleted.
+    pub deletes: u64,
+    /// Nodes replaced (`replaceNode` + `replaceContent`).
+    pub replaces: u64,
+    /// `read(id)` point reads.
+    pub node_reads: u64,
+    /// Full-store sequential reads.
+    pub full_scans: u64,
+    /// Tokens written by inserts.
+    pub tokens_inserted: u64,
+    /// Node lookups resolved by the partial index.
+    pub lookups_partial: u64,
+    /// Node lookups resolved by the full index.
+    pub lookups_full: u64,
+    /// Node lookups resolved via range-index + scan.
+    pub lookups_range_scan: u64,
+    /// Tokens visited while scanning inside ranges during lookups — the
+    /// price of coarse indexing the Partial Index exists to amortize.
+    pub tokens_scanned: u64,
+    /// Range splits performed by inserts/deletes.
+    pub range_splits: u64,
+    /// Ranges moved to a different block by overflow handling.
+    pub range_moves: u64,
+    /// Full-index entries rewritten due to splits/moves (the §4.1 insert
+    /// penalty, made visible).
+    pub full_index_rewrites: u64,
+}
+
+impl StoreStats {
+    /// Total node lookups.
+    pub fn lookups(&self) -> u64 {
+        self.lookups_partial + self.lookups_full + self.lookups_range_scan
+    }
+
+    /// Records a lookup resolution.
+    pub fn record_lookup(&mut self, path: LookupPath) {
+        match path {
+            LookupPath::Partial => self.lookups_partial += 1,
+            LookupPath::Full => self.lookups_full += 1,
+            LookupPath::RangeScan => self.lookups_range_scan += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_recording() {
+        let mut s = StoreStats::default();
+        s.record_lookup(LookupPath::Partial);
+        s.record_lookup(LookupPath::Full);
+        s.record_lookup(LookupPath::RangeScan);
+        s.record_lookup(LookupPath::RangeScan);
+        assert_eq!(s.lookups(), 4);
+        assert_eq!(s.lookups_partial, 1);
+        assert_eq!(s.lookups_full, 1);
+        assert_eq!(s.lookups_range_scan, 2);
+    }
+}

@@ -1,0 +1,119 @@
+//! Store-level integration of the adaptive policy: controller decisions
+//! must actually retune the partial index and the range-size target, and
+//! adaptation must never change results.
+
+use axs_core::{AdaptiveConfig, IndexingPolicy, StoreBuilder, XmlStore};
+use axs_xdm::NodeId;
+use axs_xml::{parse_fragment, ParseOptions};
+
+fn frag(xml: &str) -> Vec<axs_xdm::Token> {
+    parse_fragment(xml, ParseOptions::default()).unwrap()
+}
+
+fn adaptive_store(window: u64) -> XmlStore {
+    let mut s = StoreBuilder::new()
+        .policy(IndexingPolicy::Adaptive(AdaptiveConfig {
+            window,
+            initial_partial_capacity: 1024,
+            min_partial_capacity: 16,
+            max_partial_capacity: 8192,
+            initial_range_bytes: 2048,
+            min_range_bytes: 256,
+            max_range_bytes: 8192,
+            ..AdaptiveConfig::default()
+        }))
+        .build()
+        .unwrap();
+    s.bulk_insert(frag("<root><a>1</a><b>2</b><c>3</c></root>"))
+        .unwrap();
+    s
+}
+
+#[test]
+fn read_heavy_phase_grows_partial_capacity() {
+    let mut s = adaptive_store(20);
+    let cap0 = s.partial_index().unwrap().capacity();
+    for _ in 0..40 {
+        s.read_node(NodeId(2)).unwrap();
+    }
+    assert!(
+        s.partial_index().unwrap().capacity() > cap0,
+        "read-heavy window must grow the partial budget"
+    );
+    assert!(s.target_range_bytes() < 2048, "and refine future ranges");
+    assert!(s.adaptive_controller().unwrap().decisions() >= 2);
+}
+
+#[test]
+fn update_heavy_phase_shrinks_partial_capacity() {
+    let mut s = adaptive_store(20);
+    let cap0 = s.partial_index().unwrap().capacity();
+    for i in 0..40 {
+        s.insert_into_last(NodeId(1), frag(&format!("<n>{i}</n>")))
+            .unwrap();
+    }
+    assert!(
+        s.partial_index().unwrap().capacity() < cap0,
+        "update-heavy window must shrink the partial budget"
+    );
+    assert!(s.target_range_bytes() > 2048, "and coarsen future ranges");
+}
+
+#[test]
+fn capacity_shrink_evicts_down_immediately() {
+    let mut s = adaptive_store(1000); // no adaptation during the fill
+    // Memoize many positions.
+    let iv = s
+        .bulk_insert(frag(&format!("<m>{}</m>", "<x>v</x>".repeat(200))))
+        .unwrap();
+    for id in iv.start.get()..iv.start.get() + 150 {
+        let _ = s.read_node(NodeId(id));
+    }
+    let len_before = s.partial_index().unwrap().len();
+    assert!(len_before > 20);
+    // Now force an update-heavy window with a tiny configured window.
+    let mut s2 = adaptive_store(10);
+    let iv = s2
+        .bulk_insert(frag(&format!("<m>{}</m>", "<x>v</x>".repeat(100))))
+        .unwrap();
+    for id in iv.start.get()..iv.start.get() + 50 {
+        let _ = s2.read_node(NodeId(id));
+    }
+    for i in 0..200 {
+        s2.insert_into_last(NodeId(1), frag(&format!("<n>{i}</n>")))
+            .unwrap();
+    }
+    let p = s2.partial_index().unwrap();
+    assert!(
+        p.len() <= p.capacity(),
+        "entries evicted down to the shrunken capacity"
+    );
+    s2.check_invariants().unwrap();
+}
+
+#[test]
+fn adaptation_is_transparent_to_results() {
+    // The same op script on an adaptive store and a fixed store must give
+    // identical content (§9: "The process is transparent to the
+    // application").
+    let script = |s: &mut XmlStore| {
+        for i in 0..60 {
+            s.insert_into_last(NodeId(1), frag(&format!("<e>{i}</e>")))
+                .unwrap();
+        }
+        for id in 2..30u64 {
+            let _ = s.read_node(NodeId(id));
+        }
+        for id in [5u64, 9, 13] {
+            let _ = s.delete_node(NodeId(id));
+        }
+        s.read_all().unwrap()
+    };
+    let mut adaptive = adaptive_store(15);
+    let mut fixed = StoreBuilder::new().build().unwrap();
+    fixed
+        .bulk_insert(frag("<root><a>1</a><b>2</b><c>3</c></root>"))
+        .unwrap();
+    assert_eq!(script(&mut adaptive), script(&mut fixed));
+    adaptive.check_invariants().unwrap();
+}

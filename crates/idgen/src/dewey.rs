@@ -1,0 +1,341 @@
+//! ORDPATH-style hierarchical labels: stable, globally document-order
+//! comparable, insert-friendly (§6.2's pointer to [O'Neil et al. 2004]).
+//!
+//! A [`DeweyId`] is a vector of `i64` components; document order is
+//! lexicographic component order with "shorter prefix first" (an ancestor
+//! precedes its descendants). New labels can always be generated *between*
+//! two existing labels without relabeling anything — the insert-friendliness
+//! that makes the scheme compatible with the store's update operations.
+
+use axs_xdm::Token;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A hierarchical node label.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DeweyId {
+    components: Vec<i64>,
+}
+
+impl DeweyId {
+    /// The root label (`[1]` by convention, leaving room below it).
+    pub fn root() -> Self {
+        DeweyId {
+            components: vec![1],
+        }
+    }
+
+    /// Builds a label from raw components. Panics on an empty vector.
+    pub fn from_components(components: Vec<i64>) -> Self {
+        assert!(!components.is_empty(), "empty dewey label");
+        DeweyId { components }
+    }
+
+    /// The raw components.
+    pub fn components(&self) -> &[i64] {
+        &self.components
+    }
+
+    /// Depth of the label (number of components).
+    pub fn depth(&self) -> usize {
+        self.components.len()
+    }
+
+    /// The `k`-th child label (`k` starts at 1; children are spaced out by
+    /// 8 to leave gaps for future in-between inserts).
+    pub fn child(&self, k: u32) -> DeweyId {
+        let mut c = self.components.clone();
+        c.push(i64::from(k) * 8);
+        DeweyId { components: c }
+    }
+
+    /// The parent label, or `None` at the root.
+    pub fn parent(&self) -> Option<DeweyId> {
+        if self.components.len() <= 1 {
+            return None;
+        }
+        Some(DeweyId {
+            components: self.components[..self.components.len() - 1].to_vec(),
+        })
+    }
+
+    /// True when `self` is a proper ancestor of `other`.
+    pub fn is_ancestor_of(&self, other: &DeweyId) -> bool {
+        other.components.len() > self.components.len()
+            && other.components[..self.components.len()] == self.components[..]
+    }
+
+    /// A label strictly after `self` at the same depth (next sibling slot).
+    pub fn after(&self) -> DeweyId {
+        let mut c = self.components.clone();
+        *c.last_mut().expect("non-empty") += 8;
+        DeweyId { components: c }
+    }
+
+    /// A label strictly before `self` at the same depth.
+    pub fn before(&self) -> DeweyId {
+        let mut c = self.components.clone();
+        *c.last_mut().expect("non-empty") -= 8;
+        DeweyId { components: c }
+    }
+
+    /// A label strictly between `a` and `b` (requires `a < b`). Never
+    /// relabels existing nodes: when no integer gap exists at any shared
+    /// depth, the label descends one level (the ORDPATH "caret" idea).
+    ///
+    /// ```
+    /// use axs_idgen::DeweyId;
+    /// let a = DeweyId::from_components(vec![1, 8]);
+    /// let b = DeweyId::from_components(vec![1, 9]);
+    /// let m = DeweyId::between(&a, &b);
+    /// assert!(a < m && m < b);
+    /// ```
+    pub fn between(a: &DeweyId, b: &DeweyId) -> DeweyId {
+        assert!(a < b, "between() requires a < b");
+        // Find the first differing component.
+        let shared = a
+            .components
+            .iter()
+            .zip(&b.components)
+            .take_while(|(x, y)| x == y)
+            .count();
+        if shared == a.components.len() {
+            // `a` is a proper prefix (ancestor) of `b`: descend from `a`
+            // with a component smaller than b's next component.
+            let limit = b.components[shared];
+            let mut c = a.components.clone();
+            // Any component < limit sorts before b and after a (longer than
+            // a, so after a).
+            c.push(limit - 8);
+            return DeweyId { components: c };
+        }
+        let (ca, cb) = (a.components[shared], b.components[shared]);
+        debug_assert!(ca < cb);
+        if cb - ca >= 2 {
+            // Room for an integer strictly between.
+            let mut c = a.components[..=shared].to_vec();
+            c[shared] = ca + (cb - ca) / 2;
+            return DeweyId { components: c };
+        }
+        // Adjacent components: extend below a's branch. Anything that has
+        // a[..=shared] as a prefix and one more component sorts after
+        // a[..=shared] and before b. But it must also sort after *a* itself,
+        // which may continue below `shared`. Take a's continuation and go
+        // one past it.
+        let mut c = a.components[..=shared].to_vec();
+        if a.components.len() > shared + 1 {
+            c.push(a.components[shared + 1] + 8);
+        } else {
+            c.push(0);
+        }
+        DeweyId { components: c }
+    }
+}
+
+impl PartialOrd for DeweyId {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for DeweyId {
+    /// Document order: component-wise, ancestors before descendants.
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.components.cmp(&other.components)
+    }
+}
+
+impl fmt::Display for DeweyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for c in &self.components {
+            if !first {
+                write!(f, ".")?;
+            }
+            write!(f, "{c}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+/// Assigns Dewey labels to a token fragment: each node (begin/leaf token)
+/// receives a label; end tokens receive `None`. Top-level nodes are children
+/// of `base`.
+#[derive(Debug, Clone)]
+pub struct DeweyOrder {
+    base: DeweyId,
+}
+
+impl DeweyOrder {
+    /// Labeler rooted at `base`.
+    pub fn new(base: DeweyId) -> Self {
+        DeweyOrder { base }
+    }
+
+    /// Labels every token of a fragment. Mirrors
+    /// [`crate::monotonic::regenerate_ids`] for the Dewey scheme, showing the
+    /// id-scheme orthogonality of §6.
+    pub fn label_fragment(&self, tokens: &[Token]) -> Vec<Option<DeweyId>> {
+        let mut out = Vec::with_capacity(tokens.len());
+        // Stack of (parent label, next child ordinal).
+        let mut stack: Vec<(DeweyId, u32)> = vec![(self.base.clone(), 1)];
+        for tok in tokens {
+            let kind = tok.kind();
+            if kind.is_begin() {
+                let (parent, ordinal) = stack.last_mut().expect("stack never empty");
+                let label = parent.child(*ordinal);
+                *ordinal += 1;
+                out.push(Some(label.clone()));
+                stack.push((label, 1));
+            } else if kind.is_end() {
+                stack.pop();
+                out.push(None);
+            } else if kind.consumes_id() {
+                let (parent, ordinal) = stack.last_mut().expect("stack never empty");
+                let label = parent.child(*ordinal);
+                *ordinal += 1;
+                out.push(Some(label));
+            } else {
+                out.push(None);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_and_children() {
+        let r = DeweyId::root();
+        let c1 = r.child(1);
+        let c2 = r.child(2);
+        assert!(r < c1, "ancestor before descendant");
+        assert!(c1 < c2);
+        assert!(r.is_ancestor_of(&c1));
+        assert!(!c1.is_ancestor_of(&c2));
+        assert_eq!(c1.parent(), Some(r.clone()));
+        assert_eq!(r.parent(), None);
+    }
+
+    #[test]
+    fn display_form() {
+        assert_eq!(DeweyId::root().child(2).child(1).to_string(), "1.16.8");
+    }
+
+    #[test]
+    fn between_with_gap() {
+        let a = DeweyId::from_components(vec![1, 8]);
+        let b = DeweyId::from_components(vec![1, 16]);
+        let m = DeweyId::between(&a, &b);
+        assert!(a < m && m < b, "{a} < {m} < {b}");
+        assert_eq!(m.depth(), 2, "gap exists, no descent needed");
+    }
+
+    #[test]
+    fn between_adjacent_descends() {
+        let a = DeweyId::from_components(vec![1, 8]);
+        let b = DeweyId::from_components(vec![1, 9]);
+        let m = DeweyId::between(&a, &b);
+        assert!(a < m && m < b, "{a} < {m} < {b}");
+        assert!(m.depth() > 2);
+    }
+
+    #[test]
+    fn between_ancestor_and_descendant() {
+        let a = DeweyId::from_components(vec![1]);
+        let b = DeweyId::from_components(vec![1, 8, 8]);
+        let m = DeweyId::between(&a, &b);
+        assert!(a < m && m < b, "{a} < {m} < {b}");
+    }
+
+    #[test]
+    fn between_when_a_continues_below_shared_prefix() {
+        let a = DeweyId::from_components(vec![1, 8, 40]);
+        let b = DeweyId::from_components(vec![1, 9]);
+        let m = DeweyId::between(&a, &b);
+        assert!(a < m && m < b, "{a} < {m} < {b}");
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a < b")]
+    fn between_rejects_unordered() {
+        let a = DeweyId::from_components(vec![2]);
+        let b = DeweyId::from_components(vec![1]);
+        let _ = DeweyId::between(&a, &b);
+    }
+
+    #[test]
+    fn repeated_between_never_relabels() {
+        // Insert 100 labels between two fixed neighbours; all remain
+        // strictly ordered — the insert-friendliness ORDPATH is known for.
+        let lo = DeweyId::from_components(vec![1, 8]);
+        let hi = DeweyId::from_components(vec![1, 9]);
+        let mut labels = vec![lo.clone(), hi.clone()];
+        let mut cursor = lo;
+        for _ in 0..100 {
+            let m = DeweyId::between(&cursor, &hi);
+            labels.push(m.clone());
+            cursor = m;
+        }
+        let mut sorted = labels.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), labels.len(), "all labels distinct");
+    }
+
+    #[test]
+    fn before_and_after() {
+        let x = DeweyId::from_components(vec![1, 24]);
+        assert!(x.before() < x);
+        assert!(x < x.after());
+        assert_eq!(x.before().depth(), x.depth());
+    }
+
+    #[test]
+    fn label_fragment_orders_like_document() {
+        let tokens = vec![
+            Token::begin_element("a"),  // 0
+            Token::begin_element("b"),  // 1
+            Token::text("x"),           // 2
+            Token::EndElement,          // 3
+            Token::begin_element("c"),  // 4
+            Token::EndElement,          // 5
+            Token::EndElement,          // 6
+        ];
+        let labels = DeweyOrder::new(DeweyId::root()).label_fragment(&tokens);
+        let present: Vec<&DeweyId> = labels.iter().flatten().collect();
+        // a, b, x, c in document order.
+        assert_eq!(present.len(), 4);
+        for w in present.windows(2) {
+            assert!(w[0] < w[1], "{} < {}", w[0], w[1]);
+        }
+        // b and c are siblings under a; x is a child of b.
+        let (a, b, x, c) = (present[0], present[1], present[2], present[3]);
+        assert!(a.is_ancestor_of(b) && a.is_ancestor_of(c) && a.is_ancestor_of(x));
+        assert!(b.is_ancestor_of(x));
+        assert!(!b.is_ancestor_of(c));
+        assert_eq!(b.depth(), c.depth());
+    }
+
+    #[test]
+    fn end_tokens_get_no_labels() {
+        let tokens = vec![Token::begin_element("a"), Token::EndElement];
+        let labels = DeweyOrder::new(DeweyId::root()).label_fragment(&tokens);
+        assert_eq!(labels[1], None);
+    }
+
+    #[test]
+    fn labeling_is_deterministic() {
+        let tokens = vec![
+            Token::begin_element("a"),
+            Token::comment("c"),
+            Token::EndElement,
+        ];
+        let order = DeweyOrder::new(DeweyId::root());
+        assert_eq!(order.label_fragment(&tokens), order.label_fragment(&tokens));
+    }
+}

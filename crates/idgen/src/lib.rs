@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! # axs-idgen — node identifier schemes
+//!
+//! §6 of the paper argues that identifier schemes are *orthogonal* to the
+//! range-based storage model: the store needs (a) stable identifiers
+//! assigned at insert time, (b) an `idFactory : {ID} × {token} → {ID}`
+//! function so identifiers can be **regenerated** from a range's start id
+//! instead of being stored with every token (§6.1 — low storage overhead),
+//! and optionally (c) identifiers that are comparable in document order
+//! (§6.2).
+//!
+//! Two schemes are provided:
+//!
+//! - [`MonotonicIds`] — the paper's default: unique integers assigned at
+//!   insert time. Stable; comparable *within* a range (where allocation
+//!   order equals document order) but not globally.
+//! - [`DeweyId`] / [`DeweyOrder`] — an ORDPATH-style hierarchical label
+//!   [O'Neil et al., SIGMOD 2004], stable *and* globally comparable in
+//!   document order, with insert-between capability. Demonstrates the
+//!   orthogonality claim and feeds the A3 ablation benchmark.
+//! - [`PrePostLabel`] — pre/post-order containment labels (the
+//!   XPath-accelerator family the paper cites as refs 9 and 16): O(1) ancestry
+//!   tests, but an insert renumbers on average half the document — the
+//!   update-cost criticism of §1, made executable.
+
+pub mod dewey;
+pub mod monotonic;
+pub mod prepost;
+pub mod scheme;
+
+pub use dewey::{DeweyId, DeweyOrder};
+pub use monotonic::{regenerate_ids, IdRegenerator, MonotonicIds};
+pub use prepost::{label_fragment as prepost_labels, PrePostLabel};
+pub use scheme::IdScheme;

@@ -1,0 +1,202 @@
+//! The paper's default scheme: monotonically increasing integers assigned at
+//! insert time, with regeneration from a range's start identifier.
+
+use axs_xdm::{IdInterval, NodeId, Token, TokenKind};
+
+/// Allocator of unique integer node identifiers. "Stable identifiers can be
+/// obtained by assigning unique integer numbers to nodes at insert time"
+/// (§6.2). Identifiers are never reused, even after deletes.
+#[derive(Debug, Clone)]
+pub struct MonotonicIds {
+    next: u64,
+}
+
+impl Default for MonotonicIds {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MonotonicIds {
+    /// A fresh allocator starting at [`NodeId::FIRST`].
+    pub fn new() -> Self {
+        MonotonicIds { next: NodeId::FIRST.0 }
+    }
+
+    /// Resumes an allocator whose next identifier is `next` (used when
+    /// reopening a persisted store).
+    pub fn resume(next: NodeId) -> Self {
+        assert!(next.0 >= NodeId::FIRST.0, "next id below FIRST");
+        MonotonicIds { next: next.0 }
+    }
+
+    /// The identifier the next allocation will start at.
+    pub fn peek(&self) -> NodeId {
+        NodeId(self.next)
+    }
+
+    /// Allocates `n >= 1` consecutive identifiers, returning their interval.
+    /// This is §4.5 step 1: "Allocate 100 identifiers for the inserted
+    /// nodes".
+    pub fn allocate(&mut self, n: u64) -> IdInterval {
+        assert!(n >= 1, "cannot allocate zero identifiers");
+        let start = NodeId(self.next);
+        self.next += n;
+        IdInterval::new(start, NodeId(self.next - 1))
+    }
+}
+
+/// The `idFactory` of §6.1, in streaming form: feed tokens in range order;
+/// id-consuming tokens receive consecutive identifiers starting at the
+/// range's start id.
+#[derive(Debug, Clone)]
+pub struct IdRegenerator {
+    next: u64,
+}
+
+impl IdRegenerator {
+    /// Starts regeneration at a range's start identifier.
+    pub fn new(start: NodeId) -> Self {
+        IdRegenerator { next: start.0 }
+    }
+
+    /// The identifier the next id-consuming token will receive.
+    pub fn peek(&self) -> NodeId {
+        NodeId(self.next)
+    }
+
+    /// Advances over one token, returning its identifier if the token kind
+    /// consumes one.
+    pub fn step(&mut self, kind: TokenKind) -> Option<NodeId> {
+        if kind.consumes_id() {
+            let id = NodeId(self.next);
+            self.next += 1;
+            Some(id)
+        } else {
+            None
+        }
+    }
+}
+
+/// Regenerates the identifiers of every token in `tokens`, as if the range
+/// started at `start`. Returns one entry per token (`None` for end tokens).
+pub fn regenerate_ids(start: NodeId, tokens: &[Token]) -> Vec<Option<NodeId>> {
+    let mut regen = IdRegenerator::new(start);
+    tokens.iter().map(|t| regen.step(t.kind())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_is_contiguous_and_disjoint() {
+        let mut ids = MonotonicIds::new();
+        let a = ids.allocate(100);
+        let b = ids.allocate(40);
+        assert_eq!(a, IdInterval::new(NodeId(1), NodeId(100)));
+        assert_eq!(b, IdInterval::new(NodeId(101), NodeId(140)));
+        assert!(!a.overlaps(&b));
+    }
+
+    #[test]
+    fn paper_4_5_example_allocates_1_to_140() {
+        // §4.5: 100 nodes first, then 40 more -> ids 1..=100 and 101..=140.
+        let mut ids = MonotonicIds::new();
+        assert_eq!(ids.allocate(100).end, NodeId(100));
+        assert_eq!(ids.allocate(40), IdInterval::new(NodeId(101), NodeId(140)));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero identifiers")]
+    fn zero_allocation_panics() {
+        MonotonicIds::new().allocate(0);
+    }
+
+    #[test]
+    fn resume_continues_counting() {
+        let mut ids = MonotonicIds::resume(NodeId(141));
+        assert_eq!(ids.allocate(1), IdInterval::singleton(NodeId(141)));
+    }
+
+    #[test]
+    fn regeneration_matches_figure1() {
+        // Figure 1: ticket=1, hour=2, "15"=3, name=4, "Paul"=5.
+        let tokens = vec![
+            Token::begin_element("ticket"),
+            Token::begin_element("hour"),
+            Token::text("15"),
+            Token::EndElement,
+            Token::begin_element("name"),
+            Token::text("Paul"),
+            Token::EndElement,
+            Token::EndElement,
+        ];
+        let ids = regenerate_ids(NodeId(1), &tokens);
+        assert_eq!(
+            ids,
+            vec![
+                Some(NodeId(1)),
+                Some(NodeId(2)),
+                Some(NodeId(3)),
+                None,
+                Some(NodeId(4)),
+                Some(NodeId(5)),
+                None,
+                None,
+            ]
+        );
+    }
+
+    #[test]
+    fn regeneration_is_deterministic() {
+        let tokens = vec![
+            Token::begin_element("a"),
+            Token::begin_attribute("k", "v"),
+            Token::EndAttribute,
+            Token::comment("c"),
+            Token::pi("p", "d"),
+            Token::EndElement,
+        ];
+        let once = regenerate_ids(NodeId(7), &tokens);
+        let twice = regenerate_ids(NodeId(7), &tokens);
+        assert_eq!(once, twice);
+        // a=7, @k=8, comment=9, pi=10.
+        assert_eq!(once[0], Some(NodeId(7)));
+        assert_eq!(once[1], Some(NodeId(8)));
+        assert_eq!(once[3], Some(NodeId(9)));
+        assert_eq!(once[4], Some(NodeId(10)));
+    }
+
+    #[test]
+    fn regenerator_step_by_step() {
+        let mut r = IdRegenerator::new(NodeId(60));
+        assert_eq!(r.peek(), NodeId(60));
+        assert_eq!(r.step(TokenKind::BeginElement), Some(NodeId(60)));
+        assert_eq!(r.step(TokenKind::EndElement), None);
+        assert_eq!(r.step(TokenKind::Text), Some(NodeId(61)));
+        assert_eq!(r.peek(), NodeId(62));
+    }
+
+    #[test]
+    fn ids_within_allocation_are_document_ordered() {
+        // Within a single inserted fragment, allocation order == document
+        // order == numeric order (the §6.2 "comparable inside ranges"
+        // property).
+        let tokens = vec![
+            Token::begin_element("a"),
+            Token::begin_element("b"),
+            Token::EndElement,
+            Token::begin_element("c"),
+            Token::EndElement,
+            Token::EndElement,
+        ];
+        let ids: Vec<NodeId> = regenerate_ids(NodeId(1), &tokens)
+            .into_iter()
+            .flatten()
+            .collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted);
+    }
+}

@@ -1,0 +1,194 @@
+//! Pre/post-order containment labels — the scheme family behind the
+//! XPath-accelerator and structural-join work the paper cites (ref 9, Grust;
+//! ref 16, Li & Moon): each node gets its preorder and postorder rank, and
+//! ancestry becomes a pair of comparisons:
+//!
+//! `a` is an ancestor of `b`  ⇔  `pre(a) < pre(b)` and `post(a) > post(b)`.
+//!
+//! Like the Dewey scheme, this demonstrates §6's orthogonality claim: the
+//! labels are derived from the token stream without touching the range
+//! machinery. Unlike Dewey, pre/post labels are *not* insert-friendly —
+//! an insert renumbers on average half the document — which is exactly the
+//! update-cost criticism the paper levels at containment schemes (§1).
+
+use axs_xdm::Token;
+
+/// A containment label: preorder rank, postorder rank, and depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PrePostLabel {
+    /// Preorder rank (document order), 0-based.
+    pub pre: u64,
+    /// Postorder rank, 0-based.
+    pub post: u64,
+    /// Nesting depth (top-level nodes have depth 0).
+    pub depth: u32,
+}
+
+impl PrePostLabel {
+    /// Containment test: is `self` a proper ancestor of `other`?
+    pub fn is_ancestor_of(&self, other: &PrePostLabel) -> bool {
+        self.pre < other.pre && self.post > other.post
+    }
+
+    /// Is `self` a proper descendant of `other`?
+    pub fn is_descendant_of(&self, other: &PrePostLabel) -> bool {
+        other.is_ancestor_of(self)
+    }
+
+    /// Do the two labels stand in a (proper) ancestor/descendant relation?
+    pub fn related(&self, other: &PrePostLabel) -> bool {
+        self.is_ancestor_of(other) || other.is_ancestor_of(self)
+    }
+}
+
+/// Labels every node of a token fragment with pre/post ranks. Returns one
+/// entry per token (`None` for end tokens), like the other schemes'
+/// labelers.
+pub fn label_fragment(tokens: &[Token]) -> Vec<Option<PrePostLabel>> {
+    let mut out: Vec<Option<PrePostLabel>> = vec![None; tokens.len()];
+    let mut pre = 0u64;
+    let mut post = 0u64;
+    // Stack of (output index, pre, depth) for open nodes.
+    let mut stack: Vec<(usize, u64, u32)> = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        let kind = tok.kind();
+        if kind.is_begin() {
+            stack.push((i, pre, stack.len() as u32));
+            pre += 1;
+        } else if kind.is_end() {
+            if let Some((begin_idx, node_pre, depth)) = stack.pop() {
+                out[begin_idx] = Some(PrePostLabel {
+                    pre: node_pre,
+                    post,
+                    depth,
+                });
+                post += 1;
+            }
+        } else if kind.consumes_id() {
+            // Leaf node: begin and end coincide.
+            out[i] = Some(PrePostLabel {
+                pre,
+                post,
+                depth: stack.len() as u32,
+            });
+            pre += 1;
+            post += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axs_xdm::Token;
+
+    /// <a><b>x</b><c><d/></c></a> — a=0, b=1, x=2, c=3, d=4 in preorder.
+    fn sample() -> Vec<Token> {
+        vec![
+            Token::begin_element("a"),
+            Token::begin_element("b"),
+            Token::text("x"),
+            Token::EndElement,
+            Token::begin_element("c"),
+            Token::begin_element("d"),
+            Token::EndElement,
+            Token::EndElement,
+            Token::EndElement,
+        ]
+    }
+
+    fn labels() -> Vec<PrePostLabel> {
+        label_fragment(&sample()).into_iter().flatten().collect()
+    }
+
+    #[test]
+    fn preorder_ranks_follow_document_order() {
+        let l = labels();
+        assert_eq!(l.len(), 5);
+        let pres: Vec<u64> = l.iter().map(|x| x.pre).collect();
+        // Labels are emitted at end tokens, so collect-order isn't doc
+        // order; sort by pre and check density instead.
+        let mut sorted = pres.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn postorder_ranks_are_dense() {
+        let mut posts: Vec<u64> = labels().iter().map(|x| x.post).collect();
+        posts.sort_unstable();
+        assert_eq!(posts, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn containment_matches_tree_structure() {
+        let l = labels();
+        let by_pre = |p: u64| *l.iter().find(|x| x.pre == p).unwrap();
+        let (a, b, x, c, d) = (by_pre(0), by_pre(1), by_pre(2), by_pre(3), by_pre(4));
+        assert!(a.is_ancestor_of(&b));
+        assert!(a.is_ancestor_of(&x));
+        assert!(a.is_ancestor_of(&c));
+        assert!(a.is_ancestor_of(&d));
+        assert!(b.is_ancestor_of(&x));
+        assert!(c.is_ancestor_of(&d));
+        assert!(!b.is_ancestor_of(&c));
+        assert!(!b.is_ancestor_of(&d));
+        assert!(!d.is_ancestor_of(&a));
+        assert!(x.is_descendant_of(&a));
+        assert!(b.related(&x));
+        assert!(!b.related(&c));
+    }
+
+    #[test]
+    fn depths_are_recorded() {
+        let l = labels();
+        let by_pre = |p: u64| *l.iter().find(|x| x.pre == p).unwrap();
+        assert_eq!(by_pre(0).depth, 0);
+        assert_eq!(by_pre(1).depth, 1);
+        assert_eq!(by_pre(2).depth, 2);
+        assert_eq!(by_pre(4).depth, 2);
+    }
+
+    #[test]
+    fn self_is_not_own_ancestor() {
+        for l in labels() {
+            assert!(!l.is_ancestor_of(&l));
+        }
+    }
+
+    #[test]
+    fn multiple_roots_are_unrelated() {
+        let tokens = vec![
+            Token::begin_element("a"),
+            Token::EndElement,
+            Token::begin_element("b"),
+            Token::EndElement,
+        ];
+        let l: Vec<PrePostLabel> =
+            label_fragment(&tokens).into_iter().flatten().collect();
+        assert!(!l[0].related(&l[1]));
+    }
+
+    #[test]
+    fn insert_renumbers_labels() {
+        // The update-cost criticism, demonstrated: adding one node shifts
+        // the post ranks of all its ancestors and the pre ranks of
+        // everything after it.
+        let before: Vec<PrePostLabel> =
+            label_fragment(&sample()).into_iter().flatten().collect();
+        let mut tokens = sample();
+        // Insert <new/> as first child of <a> (after index 0).
+        tokens.splice(1..1, vec![Token::begin_element("new"), Token::EndElement]);
+        let after: Vec<PrePostLabel> =
+            label_fragment(&tokens).into_iter().flatten().collect();
+        let changed = before
+            .iter()
+            .filter(|b| !after.contains(b))
+            .count();
+        assert!(
+            changed >= before.len() / 2,
+            "an early insert must renumber at least half the labels ({changed})"
+        );
+    }
+}

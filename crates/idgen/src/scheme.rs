@@ -1,0 +1,99 @@
+//! The capability matrix of identifier schemes (§6.2).
+
+use crate::dewey::DeweyOrder;
+use crate::monotonic::MonotonicIds;
+
+/// Descriptive capabilities of an identifier scheme, used by documentation,
+/// experiments, and assertions. The properties mirror the paper's
+/// vocabulary: *stable* identifiers never change once assigned; *comparable*
+/// identifiers order in document order.
+pub trait IdScheme {
+    /// Human-readable scheme name.
+    fn name(&self) -> &'static str;
+
+    /// Identifiers never change after assignment.
+    fn stable(&self) -> bool;
+
+    /// Numeric/lexicographic order equals document order *within one range*
+    /// (identifiers allocated by a single insert).
+    fn comparable_within_range(&self) -> bool;
+
+    /// Order equals document order *across the whole document*, regardless
+    /// of insertion history.
+    fn comparable_globally(&self) -> bool;
+
+    /// Identifiers can be regenerated from a range's start identifier by
+    /// scanning tokens (`idFactory`, §6.1) — the property the Range Index
+    /// exploits to avoid storing per-token identifiers.
+    fn regenerable_from_range_start(&self) -> bool;
+}
+
+impl IdScheme for MonotonicIds {
+    fn name(&self) -> &'static str {
+        "monotonic-integers"
+    }
+    fn stable(&self) -> bool {
+        true
+    }
+    fn comparable_within_range(&self) -> bool {
+        true
+    }
+    fn comparable_globally(&self) -> bool {
+        // §6.2: after out-of-order inserts, numeric order diverges from
+        // document order across ranges (e.g. Table 3: doc order is
+        // [1,60], [101,140], [61,100]).
+        false
+    }
+    fn regenerable_from_range_start(&self) -> bool {
+        true
+    }
+}
+
+impl IdScheme for DeweyOrder {
+    fn name(&self) -> &'static str {
+        "dewey-ordpath"
+    }
+    fn stable(&self) -> bool {
+        true
+    }
+    fn comparable_within_range(&self) -> bool {
+        true
+    }
+    fn comparable_globally(&self) -> bool {
+        true
+    }
+    fn regenerable_from_range_start(&self) -> bool {
+        // A Dewey label depends on the node's tree position, not only on a
+        // scan from the range start; regenerating it requires the base label
+        // of the range, which the store would have to persist per range.
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dewey::DeweyId;
+
+    #[test]
+    fn capability_matrix() {
+        let mono = MonotonicIds::new();
+        assert!(mono.stable());
+        assert!(mono.comparable_within_range());
+        assert!(!mono.comparable_globally());
+        assert!(mono.regenerable_from_range_start());
+
+        let dewey = DeweyOrder::new(DeweyId::root());
+        assert!(dewey.stable());
+        assert!(dewey.comparable_globally());
+        assert!(!dewey.regenerable_from_range_start());
+    }
+
+    #[test]
+    fn schemes_have_distinct_names() {
+        assert_ne!(
+            MonotonicIds::new().name(),
+            DeweyOrder::new(DeweyId::root()).name()
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests for identifier schemes.
+
+use axs_idgen::{regenerate_ids, DeweyId, DeweyOrder, MonotonicIds};
+use axs_xdm::{NodeId, Token};
+use proptest::prelude::*;
+
+fn fragment_strategy() -> impl Strategy<Value = Vec<Token>> {
+    let leaf = prop_oneof![
+        Just(vec![Token::text("t")]),
+        Just(vec![Token::comment("c")]),
+        Just(vec![Token::pi("p", "d")]),
+    ];
+    leaf.prop_recursive(4, 48, 4, |inner| {
+        (
+            "[a-z]{1,4}",
+            proptest::collection::vec(inner, 0..4),
+            proptest::bool::ANY,
+        )
+            .prop_map(|(name, children, with_attr)| {
+                let mut out = vec![Token::begin_element(name.as_str())];
+                if with_attr {
+                    out.push(Token::begin_attribute("k", "v"));
+                    out.push(Token::EndAttribute);
+                }
+                for c in children {
+                    out.extend(c);
+                }
+                out.push(Token::EndElement);
+                out
+            })
+    })
+}
+
+fn dewey_strategy() -> impl Strategy<Value = DeweyId> {
+    proptest::collection::vec(-64i64..64, 1..5).prop_map(DeweyId::from_components)
+}
+
+proptest! {
+    #[test]
+    fn regenerated_ids_are_consecutive_and_complete(
+        frag in fragment_strategy(),
+        start in 1u64..1_000_000,
+    ) {
+        let ids = regenerate_ids(NodeId(start), &frag);
+        prop_assert_eq!(ids.len(), frag.len());
+        let mut expected = start;
+        for (tok, id) in frag.iter().zip(&ids) {
+            if tok.consumes_id() {
+                prop_assert_eq!(*id, Some(NodeId(expected)));
+                expected += 1;
+            } else {
+                prop_assert_eq!(*id, None);
+            }
+        }
+        prop_assert_eq!(expected - start, axs_xdm::count_ids(&frag));
+    }
+
+    #[test]
+    fn allocations_are_disjoint(sizes in proptest::collection::vec(1u64..500, 1..30)) {
+        let mut ids = MonotonicIds::new();
+        let intervals: Vec<_> = sizes.iter().map(|&n| ids.allocate(n)).collect();
+        for (i, a) in intervals.iter().enumerate() {
+            prop_assert_eq!(a.len(), sizes[i]);
+            for b in &intervals[i + 1..] {
+                prop_assert!(!a.overlaps(b));
+            }
+        }
+    }
+
+    #[test]
+    fn dewey_between_is_strictly_between(a in dewey_strategy(), b in dewey_strategy()) {
+        prop_assume!(a != b);
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let m = DeweyId::between(&lo, &hi);
+        prop_assert!(lo < m, "{} < {}", lo, m);
+        prop_assert!(m < hi, "{} < {}", m, hi);
+    }
+
+    #[test]
+    fn dewey_between_chain_stays_ordered(a in dewey_strategy(), b in dewey_strategy()) {
+        prop_assume!(a != b);
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let mut prev = lo.clone();
+        for _ in 0..20 {
+            let m = DeweyId::between(&prev, &hi);
+            prop_assert!(prev < m && m < hi);
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn dewey_labels_follow_document_order(frag in fragment_strategy()) {
+        let labels = DeweyOrder::new(DeweyId::root()).label_fragment(&frag);
+        let present: Vec<_> = labels.iter().flatten().collect();
+        for w in present.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        // One label per id-consuming token.
+        prop_assert_eq!(present.len() as u64, axs_xdm::count_ids(&frag));
+    }
+
+    #[test]
+    fn dewey_ancestor_iff_prefix(a in dewey_strategy(), b in dewey_strategy()) {
+        let manual = b.components().len() > a.components().len()
+            && &b.components()[..a.components().len()] == a.components();
+        prop_assert_eq!(a.is_ancestor_of(&b), manual);
+    }
+}

@@ -1,0 +1,796 @@
+//! A paged B+-tree: `u64` keys to fixed-size byte values, stored in buffer-
+//! pool pages.
+//!
+//! This plays the role MySQL's indexes played in the paper's prototype: the
+//! disk-resident search structure whose maintenance cost is what makes the
+//! full-index approach expensive (§4.1) and whose probe cost is what the
+//! partial index avoids (§5).
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! node header (32 bytes):
+//!   magic u16 | is_leaf u8 | pad u8 | num_keys u16 | pad u16
+//!   next u64 | prev u64 | pad u64        (leaf chain; NONE elsewhere)
+//! leaf entries:      key u64 | value [value_size]
+//! internal layout:   child0 u64, then entries: key u64 | child u64
+//!                    (subtree `child[i+1]` holds keys >= key[i])
+//! ```
+//!
+//! Deletions do not rebalance (underfull nodes are allowed); the workloads
+//! of the paper are insert/lookup dominated and this keeps the structure
+//! auditable. Splits are standard right-splits; the root moves when it
+//! splits and the caller observes it via [`BTree::root`].
+
+use axs_storage::page::{get_u16, get_u64, put_u16, put_u64};
+use axs_storage::{BufferPool, PageId, StorageError};
+use std::sync::Arc;
+
+const MAGIC: u16 = 0xB7E3;
+const HDR: usize = 32;
+const OFF_MAGIC: usize = 0;
+const OFF_IS_LEAF: usize = 2;
+const OFF_NUM_KEYS: usize = 4;
+const OFF_NEXT: usize = 8;
+const OFF_PREV: usize = 16;
+
+/// A paged B+-tree handle. Cheap to clone the handle state (root + sizes);
+/// the data lives in the pool.
+pub struct BTree {
+    pool: Arc<BufferPool>,
+    root: PageId,
+    value_size: usize,
+    leaf_cap: usize,
+    internal_cap: usize,
+    len: u64,
+    depth: u32,
+}
+
+impl BTree {
+    /// Creates an empty tree with `value_size`-byte values.
+    pub fn create(pool: Arc<BufferPool>, value_size: usize) -> Result<Self, StorageError> {
+        assert!((1..=256).contains(&value_size), "value_size out of range");
+        let page_size = pool.page_size();
+        let leaf_cap = (page_size - HDR) / (8 + value_size);
+        let internal_cap = (page_size - HDR - 8) / 16;
+        assert!(leaf_cap >= 4 && internal_cap >= 4, "page too small for B+tree");
+        let root = pool.allocate()?;
+        pool.write(root, |buf| init_node(buf, true))?;
+        Ok(BTree {
+            pool,
+            root,
+            value_size,
+            leaf_cap,
+            internal_cap,
+            len: 0,
+            depth: 1,
+        })
+    }
+
+    /// Current root page (changes when the root splits).
+    pub fn root(&self) -> PageId {
+        self.root
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height of the tree (1 = a single leaf).
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Descends to the leaf that would hold `key`, recording the path of
+    /// `(internal page, child index)` taken.
+    fn descend(&self, key: u64) -> Result<(Vec<(PageId, usize)>, PageId), StorageError> {
+        let mut path = Vec::with_capacity(self.depth as usize);
+        let mut page = self.root;
+        loop {
+            let next = self.pool.read(page, |buf| {
+                if is_leaf(buf) {
+                    None
+                } else {
+                    let idx = internal_child_index(buf, key);
+                    Some((idx, internal_child(buf, idx)))
+                }
+            })?;
+            match next {
+                None => return Ok((path, page)),
+                Some((idx, child)) => {
+                    path.push((page, idx));
+                    page = child;
+                }
+            }
+        }
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: u64) -> Result<Option<Vec<u8>>, StorageError> {
+        let (_, leaf) = self.descend(key)?;
+        self.pool.read(leaf, |buf| {
+            match leaf_search(buf, self.value_size, key) {
+                Ok(pos) => Some(leaf_value(buf, self.value_size, pos).to_vec()),
+                Err(_) => None,
+            }
+        })
+    }
+
+    /// Greatest entry with key `<= key` (floor search) — the probe the
+    /// Range Index uses: "locate the range corresponding to an ID" (§4.3).
+    pub fn floor(&self, key: u64) -> Result<Option<(u64, Vec<u8>)>, StorageError> {
+        let (_, leaf) = self.descend(key)?;
+        let mut leaf = leaf;
+        loop {
+            let res = self.pool.read(leaf, |buf| {
+                let n = num_keys(buf);
+                if n == 0 {
+                    return Err(prev_leaf(buf));
+                }
+                let pos = match leaf_search(buf, self.value_size, key) {
+                    Ok(pos) => pos as isize,
+                    Err(ins) => ins as isize - 1,
+                };
+                if pos < 0 {
+                    Err(prev_leaf(buf))
+                } else {
+                    let pos = pos as usize;
+                    Ok((
+                        leaf_key(buf, self.value_size, pos),
+                        leaf_value(buf, self.value_size, pos).to_vec(),
+                    ))
+                }
+            })?;
+            match res {
+                Ok(entry) => return Ok(Some(entry)),
+                Err(prev) => match prev.into_option() {
+                    Some(p) => leaf = p,
+                    None => return Ok(None),
+                },
+            }
+        }
+    }
+
+    /// Inserts `key → value`, returning the previous value if any.
+    pub fn insert(&mut self, key: u64, value: &[u8]) -> Result<Option<Vec<u8>>, StorageError> {
+        assert_eq!(value.len(), self.value_size, "value size mismatch");
+        let (path, leaf) = self.descend(key)?;
+        let vs = self.value_size;
+        let leaf_cap = self.leaf_cap;
+
+        enum Outcome {
+            Replaced(Vec<u8>),
+            Inserted,
+            NeedsSplit,
+        }
+        let outcome = self.pool.write(leaf, |buf| {
+            match leaf_search(buf, vs, key) {
+                Ok(pos) => {
+                    let old = leaf_value(buf, vs, pos).to_vec();
+                    leaf_value_mut(buf, vs, pos).copy_from_slice(value);
+                    Outcome::Replaced(old)
+                }
+                Err(ins) => {
+                    if (num_keys(buf) as usize) < leaf_cap {
+                        leaf_insert_at(buf, vs, ins, key, value);
+                        Outcome::Inserted
+                    } else {
+                        Outcome::NeedsSplit
+                    }
+                }
+            }
+        })?;
+        match outcome {
+            Outcome::Replaced(old) => return Ok(Some(old)),
+            Outcome::Inserted => {
+                self.len += 1;
+                return Ok(None);
+            }
+            Outcome::NeedsSplit => {}
+        }
+
+        // Split the leaf, then retry the insert into the proper half.
+        let (sep, right) = self.split_leaf(leaf)?;
+        let target = if key >= sep { right } else { leaf };
+        self.pool.write(target, |buf| {
+            if let Err(ins) = leaf_search(buf, vs, key) {
+                leaf_insert_at(buf, vs, ins, key, value);
+            }
+        })?;
+        self.len += 1;
+        self.propagate_split(path, sep, right)?;
+        Ok(None)
+    }
+
+    /// Removes `key`, returning its value if present. No rebalancing.
+    pub fn delete(&mut self, key: u64) -> Result<Option<Vec<u8>>, StorageError> {
+        let (_, leaf) = self.descend(key)?;
+        let vs = self.value_size;
+        let removed = self.pool.write(leaf, |buf| {
+            match leaf_search(buf, vs, key) {
+                Ok(pos) => Some(leaf_remove_at(buf, vs, pos)),
+                Err(_) => None,
+            }
+        })?;
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        Ok(removed)
+    }
+
+    fn split_leaf(&mut self, leaf: PageId) -> Result<(u64, PageId), StorageError> {
+        let right = self.pool.allocate()?;
+        let vs = self.value_size;
+        let sep = self.pool.write_pair(leaf, right, |lb, rb| {
+            init_node(rb, true);
+            let n = num_keys(lb) as usize;
+            let mid = n / 2;
+            // Move entries [mid, n) to the right node.
+            let es = 8 + vs;
+            let src = HDR + mid * es;
+            let len = (n - mid) * es;
+            rb[HDR..HDR + len].copy_from_slice(&lb[src..src + len]);
+            set_num_keys(rb, (n - mid) as u16);
+            set_num_keys(lb, mid as u16);
+            // Chain: left <-> right <-> old-next.
+            let old_next = next_leaf(lb);
+            set_next_leaf(rb, old_next);
+            set_prev_leaf(rb, PageId::NONE); // fixed after closure (needs left id)
+            set_next_leaf(lb, PageId::NONE); // fixed below
+            leaf_key(rb, vs, 0)
+        })?;
+        // Fix chain pointers (needs page ids, unavailable inside the pair
+        // closure without capturing them — do it in separate writes).
+        let old_next = self.pool.write(leaf, |lb| {
+            let on = next_leaf(lb);
+            set_next_leaf(lb, right);
+            on
+        })?;
+        let _ = old_next;
+        let right_next = self.pool.write(right, |rb| {
+            set_prev_leaf(rb, leaf);
+            next_leaf(rb)
+        })?;
+        if let Some(rn) = right_next.into_option() {
+            self.pool.write(rn, |buf| set_prev_leaf(buf, right))?;
+        }
+        Ok((sep, right))
+    }
+
+    /// Inserts separator `sep` pointing at `right` into the parents along
+    /// `path`, splitting internals as needed; grows a new root at the top.
+    fn propagate_split(
+        &mut self,
+        mut path: Vec<(PageId, usize)>,
+        mut sep: u64,
+        mut right: PageId,
+    ) -> Result<(), StorageError> {
+        let cap = self.internal_cap;
+        while let Some((parent, child_idx)) = path.pop() {
+            let fit = self.pool.write(parent, |buf| {
+                if (num_keys(buf) as usize) < cap {
+                    internal_insert_at(buf, child_idx, sep, right);
+                    true
+                } else {
+                    false
+                }
+            })?;
+            if fit {
+                return Ok(());
+            }
+            // Split the internal node, then insert into the correct half.
+            let new_right = self.pool.allocate()?;
+            let promote = self.pool.write_pair(parent, new_right, |lb, rb| {
+                init_node(rb, false);
+                let n = num_keys(lb) as usize;
+                let mid = n / 2;
+                let promote = internal_key(lb, mid);
+                // Right node gets child[mid+1..] and keys (mid, n).
+                let rn = n - mid - 1;
+                set_internal_child0(rb, internal_child(lb, mid + 1));
+                for i in 0..rn {
+                    internal_set_entry(rb, i, internal_key(lb, mid + 1 + i), internal_child(lb, mid + 2 + i));
+                }
+                set_num_keys(rb, rn as u16);
+                set_num_keys(lb, mid as u16);
+                promote
+            })?;
+            // Insert the pending (sep, right) into whichever half owns it.
+            let mid_count = self.pool.read(parent, |buf| num_keys(buf) as usize)?;
+            if child_idx <= mid_count {
+                self.pool
+                    .write(parent, |buf| internal_insert_at(buf, child_idx, sep, right))?;
+            } else {
+                self.pool.write(new_right, |buf| {
+                    internal_insert_at(buf, child_idx - mid_count - 1, sep, right)
+                })?;
+            }
+            sep = promote;
+            right = new_right;
+        }
+        // Root split: grow the tree.
+        let new_root = self.pool.allocate()?;
+        let old_root = self.root;
+        self.pool.write(new_root, |buf| {
+            init_node(buf, false);
+            set_internal_child0(buf, old_root);
+            internal_insert_at(buf, 0, sep, right);
+        })?;
+        self.root = new_root;
+        self.depth += 1;
+        Ok(())
+    }
+
+    /// In-order iteration starting at the first key `>= from`. Collects up
+    /// to `limit` entries (u64::MAX for all).
+    pub fn scan_from(
+        &self,
+        from: u64,
+        limit: u64,
+    ) -> Result<Vec<(u64, Vec<u8>)>, StorageError> {
+        let (_, mut leaf) = self.descend(from)?;
+        let vs = self.value_size;
+        let mut out = Vec::new();
+        loop {
+            let next = self.pool.read(leaf, |buf| {
+                let n = num_keys(buf) as usize;
+                let start = match leaf_search(buf, vs, from) {
+                    Ok(p) => p,
+                    Err(p) => p,
+                };
+                for pos in start..n {
+                    if (out.len() as u64) >= limit {
+                        break;
+                    }
+                    out.push((
+                        leaf_key(buf, vs, pos),
+                        leaf_value(buf, vs, pos).to_vec(),
+                    ));
+                }
+                next_leaf(buf)
+            })?;
+            if (out.len() as u64) >= limit {
+                return Ok(out);
+            }
+            match next.into_option() {
+                Some(n) => leaf = n,
+                None => return Ok(out),
+            }
+        }
+    }
+
+    /// Structural self-check: keys sorted in every node, leaf chain sorted
+    /// and complete, entry count consistent. For tests and audits.
+    pub fn check_invariants(&self) -> Result<(), StorageError> {
+        // Walk down the left spine to the first leaf.
+        let mut page = self.root;
+        let mut depth = 1;
+        loop {
+            let leaf_or_child = self.pool.read(page, |buf| {
+                if !is_block_magic(buf) {
+                    return Err(StorageError::Corrupt {
+                        page,
+                        reason: "bad btree magic",
+                    });
+                }
+                if is_leaf(buf) {
+                    Ok(None)
+                } else {
+                    Ok(Some(internal_child(buf, 0)))
+                }
+            })??;
+            match leaf_or_child {
+                None => break,
+                Some(c) => {
+                    page = c;
+                    depth += 1;
+                }
+            }
+        }
+        if depth != self.depth {
+            return Err(StorageError::Corrupt {
+                page,
+                reason: "depth mismatch",
+            });
+        }
+        // Scan the leaf chain.
+        let mut count = 0u64;
+        let mut last_key: Option<u64> = None;
+        let vs = self.value_size;
+        let mut leaf = page;
+        let mut prev_page = PageId::NONE;
+        loop {
+            let (n, first, last, next, prev) = self.pool.read(leaf, |buf| {
+                let n = num_keys(buf) as usize;
+                for w in 1..n {
+                    if leaf_key(buf, vs, w - 1) >= leaf_key(buf, vs, w) {
+                        return Err(StorageError::Corrupt {
+                            page: leaf,
+                            reason: "unsorted leaf",
+                        });
+                    }
+                }
+                Ok((
+                    n as u64,
+                    if n > 0 { Some(leaf_key(buf, vs, 0)) } else { None },
+                    if n > 0 {
+                        Some(leaf_key(buf, vs, n - 1))
+                    } else {
+                        None
+                    },
+                    next_leaf(buf),
+                    prev_leaf(buf),
+                ))
+            })??;
+            if prev != prev_page {
+                return Err(StorageError::Corrupt {
+                    page: leaf,
+                    reason: "broken prev pointer",
+                });
+            }
+            if let (Some(lk), Some(f)) = (last_key, first) {
+                if f <= lk {
+                    return Err(StorageError::Corrupt {
+                        page: leaf,
+                        reason: "leaf chain out of order",
+                    });
+                }
+            }
+            count += n;
+            if let Some(l) = last {
+                last_key = Some(l);
+            }
+            match next.into_option() {
+                Some(nx) => {
+                    prev_page = leaf;
+                    leaf = nx;
+                }
+                None => break,
+            }
+        }
+        if count != self.len {
+            return Err(StorageError::Corrupt {
+                page: self.root,
+                reason: "entry count mismatch",
+            });
+        }
+        Ok(())
+    }
+}
+
+// ---- raw node accessors -------------------------------------------------
+
+fn init_node(buf: &mut [u8], leaf: bool) {
+    buf[..HDR].fill(0);
+    put_u16(buf, OFF_MAGIC, MAGIC);
+    buf[OFF_IS_LEAF] = u8::from(leaf);
+    put_u16(buf, OFF_NUM_KEYS, 0);
+    put_u64(buf, OFF_NEXT, PageId::NONE.0);
+    put_u64(buf, OFF_PREV, PageId::NONE.0);
+}
+
+fn is_block_magic(buf: &[u8]) -> bool {
+    get_u16(buf, OFF_MAGIC) == MAGIC
+}
+
+fn is_leaf(buf: &[u8]) -> bool {
+    buf[OFF_IS_LEAF] == 1
+}
+
+fn num_keys(buf: &[u8]) -> u16 {
+    get_u16(buf, OFF_NUM_KEYS)
+}
+
+fn set_num_keys(buf: &mut [u8], n: u16) {
+    put_u16(buf, OFF_NUM_KEYS, n);
+}
+
+fn next_leaf(buf: &[u8]) -> PageId {
+    PageId(get_u64(buf, OFF_NEXT))
+}
+
+fn set_next_leaf(buf: &mut [u8], id: PageId) {
+    put_u64(buf, OFF_NEXT, id.0);
+}
+
+fn prev_leaf(buf: &[u8]) -> PageId {
+    PageId(get_u64(buf, OFF_PREV))
+}
+
+fn set_prev_leaf(buf: &mut [u8], id: PageId) {
+    put_u64(buf, OFF_PREV, id.0);
+}
+
+fn leaf_key(buf: &[u8], value_size: usize, pos: usize) -> u64 {
+    get_u64(buf, HDR + pos * (8 + value_size))
+}
+
+fn leaf_value(buf: &[u8], value_size: usize, pos: usize) -> &[u8] {
+    let off = HDR + pos * (8 + value_size) + 8;
+    &buf[off..off + value_size]
+}
+
+fn leaf_value_mut(buf: &mut [u8], value_size: usize, pos: usize) -> &mut [u8] {
+    let off = HDR + pos * (8 + value_size) + 8;
+    &mut buf[off..off + value_size]
+}
+
+/// Binary search in a leaf: `Ok(pos)` on exact match, `Err(insertion_pos)`.
+fn leaf_search(buf: &[u8], value_size: usize, key: u64) -> Result<usize, usize> {
+    let n = num_keys(buf) as usize;
+    let mut lo = 0usize;
+    let mut hi = n;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let k = leaf_key(buf, value_size, mid);
+        match k.cmp(&key) {
+            std::cmp::Ordering::Equal => return Ok(mid),
+            std::cmp::Ordering::Less => lo = mid + 1,
+            std::cmp::Ordering::Greater => hi = mid,
+        }
+    }
+    Err(lo)
+}
+
+fn leaf_insert_at(buf: &mut [u8], value_size: usize, pos: usize, key: u64, value: &[u8]) {
+    let es = 8 + value_size;
+    let n = num_keys(buf) as usize;
+    let from = HDR + pos * es;
+    let to = HDR + n * es;
+    buf.copy_within(from..to, from + es);
+    put_u64(buf, from, key);
+    buf[from + 8..from + es].copy_from_slice(value);
+    set_num_keys(buf, (n + 1) as u16);
+}
+
+fn leaf_remove_at(buf: &mut [u8], value_size: usize, pos: usize) -> Vec<u8> {
+    let es = 8 + value_size;
+    let n = num_keys(buf) as usize;
+    let from = HDR + pos * es;
+    let value = buf[from + 8..from + es].to_vec();
+    buf.copy_within(from + es..HDR + n * es, from);
+    set_num_keys(buf, (n - 1) as u16);
+    value
+}
+
+fn set_internal_child0(buf: &mut [u8], child: PageId) {
+    put_u64(buf, HDR, child.0);
+}
+
+fn internal_key(buf: &[u8], idx: usize) -> u64 {
+    get_u64(buf, HDR + 8 + idx * 16)
+}
+
+fn internal_child(buf: &[u8], idx: usize) -> PageId {
+    if idx == 0 {
+        PageId(get_u64(buf, HDR))
+    } else {
+        PageId(get_u64(buf, HDR + 8 + (idx - 1) * 16 + 8))
+    }
+}
+
+fn internal_set_entry(buf: &mut [u8], idx: usize, key: u64, child: PageId) {
+    put_u64(buf, HDR + 8 + idx * 16, key);
+    put_u64(buf, HDR + 8 + idx * 16 + 8, child.0);
+}
+
+/// Index of the child to descend into for `key`.
+fn internal_child_index(buf: &[u8], key: u64) -> usize {
+    let n = num_keys(buf) as usize;
+    let mut lo = 0usize;
+    let mut hi = n;
+    // Find the number of separator keys <= key.
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if internal_key(buf, mid) <= key {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Inserts separator `key`/`right` so that `right` becomes child `pos+1`.
+fn internal_insert_at(buf: &mut [u8], pos: usize, key: u64, right: PageId) {
+    let n = num_keys(buf) as usize;
+    let from = HDR + 8 + pos * 16;
+    let to = HDR + 8 + n * 16;
+    buf.copy_within(from..to, from + 16);
+    put_u64(buf, from, key);
+    put_u64(buf, from + 8, right.0);
+    set_num_keys(buf, (n + 1) as u16);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axs_storage::MemPageStore;
+
+    fn tree(value_size: usize) -> BTree {
+        let pool = Arc::new(BufferPool::new(
+            Arc::new(MemPageStore::new(512)),
+            128,
+        ));
+        BTree::create(pool, value_size).unwrap()
+    }
+
+    fn val(tag: u64, size: usize) -> Vec<u8> {
+        let mut v = vec![0u8; size];
+        let n = size.min(8);
+        v[..n].copy_from_slice(&tag.to_le_bytes()[..n]);
+        v
+    }
+
+    #[test]
+    fn empty_tree_lookups() {
+        let t = tree(16);
+        assert!(t.is_empty());
+        assert_eq!(t.get(5).unwrap(), None);
+        assert_eq!(t.floor(5).unwrap(), None);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut t = tree(16);
+        assert_eq!(t.insert(10, &val(100, 16)).unwrap(), None);
+        assert_eq!(t.get(10).unwrap(), Some(val(100, 16)));
+        assert_eq!(t.get(9).unwrap(), None);
+        assert_eq!(t.len(), 1);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_replaces_and_returns_old() {
+        let mut t = tree(16);
+        t.insert(10, &val(1, 16)).unwrap();
+        let old = t.insert(10, &val(2, 16)).unwrap();
+        assert_eq!(old, Some(val(1, 16)));
+        assert_eq!(t.get(10).unwrap(), Some(val(2, 16)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn ascending_bulk_insert_splits() {
+        let mut t = tree(16);
+        for k in 0..2000u64 {
+            t.insert(k, &val(k, 16)).unwrap();
+        }
+        assert_eq!(t.len(), 2000);
+        assert!(t.depth() > 1, "splits must have occurred");
+        for k in (0..2000u64).step_by(37) {
+            assert_eq!(t.get(k).unwrap(), Some(val(k, 16)));
+        }
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn descending_and_random_inserts() {
+        let mut t = tree(16);
+        for k in (0..1000u64).rev() {
+            t.insert(k, &val(k, 16)).unwrap();
+        }
+        // Pseudo-random interleave.
+        for i in 0..1000u64 {
+            let k = 10_000 + (i * 2_654_435_761) % 100_000;
+            t.insert(k, &val(k, 16)).unwrap();
+        }
+        t.check_invariants().unwrap();
+        assert_eq!(t.get(500).unwrap(), Some(val(500, 16)));
+    }
+
+    #[test]
+    fn floor_semantics() {
+        let mut t = tree(16);
+        for k in [10u64, 20, 30, 40] {
+            t.insert(k, &val(k, 16)).unwrap();
+        }
+        assert_eq!(t.floor(5).unwrap(), None);
+        assert_eq!(t.floor(10).unwrap().unwrap().0, 10);
+        assert_eq!(t.floor(15).unwrap().unwrap().0, 10);
+        assert_eq!(t.floor(40).unwrap().unwrap().0, 40);
+        assert_eq!(t.floor(999).unwrap().unwrap().0, 40);
+    }
+
+    #[test]
+    fn floor_across_leaf_boundaries() {
+        let mut t = tree(16);
+        // Force multiple leaves, keys spaced by 10.
+        for k in (0..3000u64).map(|i| i * 10) {
+            t.insert(k, &val(k, 16)).unwrap();
+        }
+        for probe in [5u64, 15, 999, 29_995] {
+            let want = probe / 10 * 10;
+            assert_eq!(t.floor(probe).unwrap().unwrap().0, want, "probe {probe}");
+        }
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn delete_removes_and_reports() {
+        let mut t = tree(16);
+        for k in 0..100u64 {
+            t.insert(k, &val(k, 16)).unwrap();
+        }
+        assert_eq!(t.delete(50).unwrap(), Some(val(50, 16)));
+        assert_eq!(t.delete(50).unwrap(), None);
+        assert_eq!(t.get(50).unwrap(), None);
+        assert_eq!(t.len(), 99);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn scan_from_returns_sorted_range() {
+        let mut t = tree(16);
+        for k in (0..500u64).map(|i| i * 3) {
+            t.insert(k, &val(k, 16)).unwrap();
+        }
+        let got = t.scan_from(100, 10).unwrap();
+        assert_eq!(got.len(), 10);
+        assert_eq!(got[0].0, 102);
+        for w in got.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+        let all = t.scan_from(0, u64::MAX).unwrap();
+        assert_eq!(all.len(), 500);
+    }
+
+    #[test]
+    fn different_value_sizes() {
+        for vs in [1usize, 8, 24, 32, 40] {
+            let mut t = tree(vs);
+            for k in 0..300u64 {
+                t.insert(k, &val(k, vs)).unwrap();
+            }
+            assert_eq!(t.len(), 300);
+            t.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "value size mismatch")]
+    fn wrong_value_size_panics() {
+        let mut t = tree(16);
+        let _ = t.insert(1, &[0u8; 8]);
+    }
+
+    #[test]
+    fn root_page_changes_on_growth() {
+        let mut t = tree(32);
+        let r0 = t.root();
+        for k in 0..5000u64 {
+            t.insert(k, &val(k, 32)).unwrap();
+        }
+        assert_ne!(t.root(), r0);
+        assert!(t.depth() >= 2);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn interleaved_insert_delete_stays_consistent() {
+        let mut t = tree(16);
+        let mut model = std::collections::BTreeMap::new();
+        for i in 0..3000u64 {
+            let k = (i * 2_654_435_761) % 1000;
+            if i % 3 == 0 {
+                let removed = t.delete(k).unwrap();
+                assert_eq!(removed.is_some(), model.remove(&k).is_some());
+            } else {
+                t.insert(k, &val(i, 16)).unwrap();
+                model.insert(k, val(i, 16));
+            }
+        }
+        assert_eq!(t.len(), model.len() as u64);
+        for (k, v) in &model {
+            assert_eq!(t.get(*k).unwrap().as_ref(), Some(v));
+        }
+        t.check_invariants().unwrap();
+    }
+}

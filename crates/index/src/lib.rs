@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! # axs-index — index structures of the adaptive store
+//!
+//! Three structures, mirroring §4–§5 of the paper:
+//!
+//! - [`btree`] — a paged B+-tree over the buffer pool. This is the
+//!   disk-resident structure behind both the **Full Index** baseline (§4.1:
+//!   one entry per node — fast lookups, expensive inserts, large storage)
+//!   and the **Range Index** (§4.3: one entry per range, keyed by the
+//!   range's start identifier, probed with floor-search).
+//! - [`range_index`] — the Range Index proper: disjoint `[startId, endId]`
+//!   intervals mapped to the range's location; split maintenance mirrors the
+//!   paper's Tables 2 and 3.
+//! - [`partial`] — the lazy **Partial Index** (§5): a bounded,
+//!   memory-resident index-cum-cache that memoizes begin/end token positions
+//!   discovered during lookups, with LRU eviction and epoch-based
+//!   invalidation. "A combination between a real index … and a cache."
+
+pub mod btree;
+pub mod partial;
+pub mod range_index;
+
+pub use btree::BTree;
+pub use partial::{NodePosition, PartialIndex, PartialIndexConfig, PartialIndexStats};
+pub use range_index::{RangeEntry, RangeIndex};

@@ -1,0 +1,432 @@
+//! The lazy Partial Index (§5): "using the advantages of the full index, but
+//! only when needed".
+//!
+//! A bounded, memory-resident map from node identifiers to the positions of
+//! their begin and end tokens, filled *as a side effect of lookups performed
+//! during updates* — never eagerly. Because it can always be rebuilt by
+//! re-scanning, it is "actually a combination between a real index … and a
+//! cache": entries are evicted LRU under memory pressure and invalidated
+//! when the range they point into splits or moves.
+
+use axs_xdm::NodeId;
+use std::collections::{BTreeMap, HashMap};
+
+/// The position of one node inside the store, by stable range identity:
+/// the range and token ordinal of its begin and end tokens. Blocks are
+/// resolved through the store's range directory, so ranges can move between
+/// blocks without touching memoized positions. Mirrors Table 4 of the
+/// paper, where begin and end may land in different ranges after a split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodePosition {
+    /// Stable range id of the begin token's range.
+    pub begin_range: u64,
+    /// Token ordinal of the begin token within its range.
+    pub begin_index: u32,
+    /// Byte offset of the begin token within its range payload — "the
+    /// offset of a token inside its range" (§5), enabling a direct jump
+    /// without decoding the range prefix.
+    pub begin_byte: u32,
+    /// Stable range id of the end token's range (equal to `begin_range` for
+    /// leaf nodes and nodes that close within their range).
+    pub end_range: u64,
+    /// Token ordinal of the end token within its range.
+    pub end_index: u32,
+    /// Byte offset of the end token within its range payload.
+    pub end_byte: u32,
+}
+
+/// Partial index configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartialIndexConfig {
+    /// Maximum number of memoized node positions (0 disables the index).
+    pub capacity: usize,
+}
+
+impl Default for PartialIndexConfig {
+    fn default() -> Self {
+        PartialIndexConfig { capacity: 16 * 1024 }
+    }
+}
+
+/// Activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PartialIndexStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries inserted (memoized lookups).
+    pub insertions: u64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+    /// Entries dropped because their range split or moved.
+    pub invalidations: u64,
+}
+
+impl PartialIndexStats {
+    /// Hit ratio in `[0, 1]`; `1.0` when there was no traffic.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    pos: NodePosition,
+    tick: u64,
+}
+
+/// The Partial Index.
+pub struct PartialIndex {
+    capacity: usize,
+    map: HashMap<NodeId, Entry>,
+    lru: BTreeMap<u64, NodeId>,
+    /// Secondary index: range id → nodes whose positions reference it, so
+    /// a range split invalidates in O(affected) rather than O(capacity).
+    by_range: HashMap<u64, Vec<NodeId>>,
+    tick: u64,
+    stats: PartialIndexStats,
+}
+
+impl PartialIndex {
+    /// Creates an empty partial index.
+    pub fn new(config: PartialIndexConfig) -> Self {
+        PartialIndex {
+            capacity: config.capacity,
+            map: HashMap::new(),
+            lru: BTreeMap::new(),
+            by_range: HashMap::new(),
+            tick: 0,
+            stats: PartialIndexStats::default(),
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the index holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up a node, refreshing its LRU position and counting the
+    /// hit/miss.
+    pub fn get(&mut self, id: NodeId) -> Option<NodePosition> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(&id) {
+            Some(entry) => {
+                self.stats.hits += 1;
+                self.lru.remove(&entry.tick);
+                entry.tick = tick;
+                self.lru.insert(tick, id);
+                Some(entry.pos)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Looks up without touching LRU state or statistics (for audits).
+    pub fn peek(&self, id: NodeId) -> Option<NodePosition> {
+        self.map.get(&id).map(|e| e.pos)
+    }
+
+    /// Memoizes a node position discovered during a lookup. Overwrites any
+    /// stale entry for the same node. No-ops when capacity is zero.
+    pub fn insert(&mut self, id: NodeId, pos: NodePosition) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(old) = self.map.remove(&id) {
+            self.lru.remove(&old.tick);
+            self.unlink_range(old.pos, id);
+        } else if self.map.len() >= self.capacity {
+            self.evict_one();
+        }
+        self.map.insert(id, Entry { pos, tick });
+        self.lru.insert(tick, id);
+        self.by_range.entry(pos.begin_range).or_default().push(id);
+        if pos.end_range != pos.begin_range {
+            self.by_range.entry(pos.end_range).or_default().push(id);
+        }
+        self.stats.insertions += 1;
+    }
+
+    fn evict_one(&mut self) {
+        if let Some((&tick, &victim)) = self.lru.iter().next() {
+            self.lru.remove(&tick);
+            if let Some(entry) = self.map.remove(&victim) {
+                self.unlink_range(entry.pos, victim);
+            }
+            self.stats.evictions += 1;
+        }
+    }
+
+    fn unlink_range(&mut self, pos: NodePosition, id: NodeId) {
+        for range in [pos.begin_range, pos.end_range] {
+            if let Some(ids) = self.by_range.get_mut(&range) {
+                ids.retain(|&x| x != id);
+                if ids.is_empty() {
+                    self.by_range.remove(&range);
+                }
+            }
+        }
+    }
+
+    /// Drops every entry referencing `range_id` — called when a range splits
+    /// or moves so no stale position can ever be served.
+    pub fn invalidate_range(&mut self, range_id: u64) {
+        let Some(ids) = self.by_range.remove(&range_id) else {
+            return;
+        };
+        for id in ids {
+            if let Some(entry) = self.map.remove(&id) {
+                self.lru.remove(&entry.tick);
+                // Unlink from the *other* range's list too.
+                let other = if entry.pos.begin_range == range_id {
+                    entry.pos.end_range
+                } else {
+                    entry.pos.begin_range
+                };
+                if other != range_id {
+                    if let Some(v) = self.by_range.get_mut(&other) {
+                        v.retain(|&x| x != id);
+                        if v.is_empty() {
+                            self.by_range.remove(&other);
+                        }
+                    }
+                }
+                self.stats.invalidations += 1;
+            }
+        }
+    }
+
+    /// Retargets the capacity (the adaptive policy's knob), evicting LRU
+    /// entries immediately when shrinking.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        while self.map.len() > self.capacity {
+            self.evict_one();
+        }
+    }
+
+    /// The current capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Removes one node's entry (e.g. the node was deleted).
+    pub fn remove(&mut self, id: NodeId) {
+        if let Some(entry) = self.map.remove(&id) {
+            self.lru.remove(&entry.tick);
+            self.unlink_range(entry.pos, id);
+        }
+    }
+
+    /// Drops everything (correctness-preserving: the partial index is only a
+    /// cache — invariant 5 of DESIGN.md).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.lru.clear();
+        self.by_range.clear();
+    }
+
+    /// A snapshot of the counters.
+    pub fn stats(&self) -> PartialIndexStats {
+        self.stats
+    }
+
+    /// Zeroes the counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = PartialIndexStats::default();
+    }
+
+    /// Internal consistency check: LRU, map, and range links agree.
+    pub fn check_consistent(&self) -> bool {
+        if self.lru.len() != self.map.len() {
+            return false;
+        }
+        for (tick, id) in &self.lru {
+            match self.map.get(id) {
+                Some(e) if e.tick == *tick => {}
+                _ => return false,
+            }
+        }
+        for (range, ids) in &self.by_range {
+            for id in ids {
+                match self.map.get(id) {
+                    Some(e)
+                        if e.pos.begin_range == *range || e.pos.end_range == *range => {}
+                    _ => return false,
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pos(range: u64, index: u32) -> NodePosition {
+        NodePosition {
+            begin_range: range,
+            begin_index: index,
+            begin_byte: index * 4,
+            end_range: range,
+            end_index: index + 1,
+            end_byte: index * 4 + 4,
+        }
+    }
+
+    fn split_pos(begin_range: u64, end_range: u64) -> NodePosition {
+        NodePosition {
+            begin_range,
+            begin_index: 0,
+            begin_byte: 24,
+            end_range,
+            end_index: 5,
+            end_byte: 64,
+        }
+    }
+
+    fn small() -> PartialIndex {
+        PartialIndex::new(PartialIndexConfig { capacity: 3 })
+    }
+
+    #[test]
+    fn paper_table4_entry_shape() {
+        // Table 4: node 60's begin token in range 1, end token in range 3.
+        let mut idx = small();
+        idx.insert(NodeId(60), split_pos(1, 3));
+        let got = idx.get(NodeId(60)).unwrap();
+        assert_eq!(got.begin_range, 1);
+        assert_eq!(got.end_range, 3);
+        assert!(idx.check_consistent());
+    }
+
+    #[test]
+    fn miss_then_hit_counting() {
+        let mut idx = small();
+        assert!(idx.get(NodeId(1)).is_none());
+        idx.insert(NodeId(1), pos(1, 0));
+        assert!(idx.get(NodeId(1)).is_some());
+        let s = idx.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.insertions, 1);
+    }
+
+    #[test]
+    fn lru_evicts_coldest() {
+        let mut idx = small();
+        idx.insert(NodeId(1), pos(1, 0));
+        idx.insert(NodeId(2), pos(1, 1));
+        idx.insert(NodeId(3), pos(1, 2));
+        idx.get(NodeId(1)); // warm 1
+        idx.insert(NodeId(4), pos(1, 3)); // evicts 2
+        assert!(idx.peek(NodeId(1)).is_some());
+        assert!(idx.peek(NodeId(2)).is_none());
+        assert!(idx.peek(NodeId(3)).is_some());
+        assert_eq!(idx.stats().evictions, 1);
+        assert!(idx.check_consistent());
+    }
+
+    #[test]
+    fn capacity_bound_holds() {
+        let mut idx = small();
+        for i in 0..100u64 {
+            idx.insert(NodeId(i + 1), pos(1, i as u32));
+            assert!(idx.len() <= 3);
+        }
+        assert!(idx.check_consistent());
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut idx = PartialIndex::new(PartialIndexConfig { capacity: 0 });
+        idx.insert(NodeId(1), pos(1, 0));
+        assert!(idx.is_empty());
+        assert!(idx.get(NodeId(1)).is_none());
+    }
+
+    #[test]
+    fn invalidate_range_drops_only_affected() {
+        let mut idx = PartialIndex::new(PartialIndexConfig { capacity: 100 });
+        idx.insert(NodeId(1), pos(10, 0));
+        idx.insert(NodeId(2), pos(11, 0));
+        idx.insert(NodeId(3), split_pos(10, 12)); // straddles 10 and 12
+        idx.invalidate_range(10);
+        assert!(idx.peek(NodeId(1)).is_none());
+        assert!(idx.peek(NodeId(2)).is_some());
+        assert!(idx.peek(NodeId(3)).is_none(), "straddling entry dropped");
+        assert_eq!(idx.stats().invalidations, 2);
+        assert!(idx.check_consistent());
+    }
+
+    #[test]
+    fn invalidate_by_end_range() {
+        let mut idx = PartialIndex::new(PartialIndexConfig { capacity: 100 });
+        idx.insert(NodeId(3), split_pos(10, 12));
+        idx.invalidate_range(12);
+        assert!(idx.peek(NodeId(3)).is_none());
+        assert!(idx.check_consistent());
+    }
+
+    #[test]
+    fn reinsert_updates_position() {
+        let mut idx = small();
+        idx.insert(NodeId(1), pos(10, 0));
+        idx.insert(NodeId(1), pos(20, 5));
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.peek(NodeId(1)).unwrap().begin_range, 20);
+        // Old range link must be gone.
+        idx.invalidate_range(10);
+        assert!(idx.peek(NodeId(1)).is_some());
+        assert!(idx.check_consistent());
+    }
+
+    #[test]
+    fn remove_single_node() {
+        let mut idx = small();
+        idx.insert(NodeId(1), pos(1, 0));
+        idx.remove(NodeId(1));
+        assert!(idx.is_empty());
+        idx.remove(NodeId(1)); // idempotent
+        assert!(idx.check_consistent());
+    }
+
+    #[test]
+    fn clear_resets_contents_not_stats() {
+        let mut idx = small();
+        idx.insert(NodeId(1), pos(1, 0));
+        idx.get(NodeId(1));
+        idx.clear();
+        assert!(idx.is_empty());
+        assert_eq!(idx.stats().hits, 1, "stats survive clear");
+        assert!(idx.check_consistent());
+    }
+
+    #[test]
+    fn hit_ratio() {
+        let mut idx = small();
+        assert_eq!(idx.stats().hit_ratio(), 1.0);
+        idx.get(NodeId(1));
+        assert_eq!(idx.stats().hit_ratio(), 0.0);
+        idx.insert(NodeId(1), pos(1, 0));
+        idx.get(NodeId(1));
+        assert_eq!(idx.stats().hit_ratio(), 0.5);
+    }
+}

@@ -1,0 +1,265 @@
+//! The Range Index (§4.3): a coarse-grained index from disjoint node-ID
+//! intervals to range locations.
+//!
+//! "The range index contains less entries, but it is also fuzzier (i.e., it
+//! refers to an interval of Identifiers instead of to a single one)."
+//!
+//! Keys are the interval start identifiers; a lookup is a floor-probe on the
+//! backing paged B+-tree followed by a containment check. Ranges that carry
+//! no identifiers at all (e.g. a split tail consisting only of end tokens)
+//! have no entry — they are unreachable by ID and are found only by document-
+//! order traversal of the block chain.
+
+use crate::btree::BTree;
+use axs_storage::{BufferPool, PageId, StorageError};
+use axs_xdm::{IdInterval, NodeId};
+use std::sync::Arc;
+
+/// Byte width of range-index values in the backing tree.
+const VALUE_SIZE: usize = 24;
+
+/// One entry of the Range Index — a row of the paper's Tables 2/3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RangeEntry {
+    /// The identifiers allocated to nodes inside the range.
+    pub interval: IdInterval,
+    /// The block (page) holding the range.
+    pub block: PageId,
+    /// The stable range identifier (survives slot shifts within a block).
+    pub range_id: u64,
+}
+
+impl RangeEntry {
+    fn encode(&self) -> [u8; VALUE_SIZE] {
+        let mut v = [0u8; VALUE_SIZE];
+        v[0..8].copy_from_slice(&self.interval.end.0.to_le_bytes());
+        v[8..16].copy_from_slice(&self.block.0.to_le_bytes());
+        v[16..24].copy_from_slice(&self.range_id.to_le_bytes());
+        v
+    }
+
+    fn decode(start: u64, v: &[u8]) -> RangeEntry {
+        let end = u64::from_le_bytes(v[0..8].try_into().unwrap());
+        let block = u64::from_le_bytes(v[8..16].try_into().unwrap());
+        let range_id = u64::from_le_bytes(v[16..24].try_into().unwrap());
+        RangeEntry {
+            interval: IdInterval::new(NodeId(start), NodeId(end)),
+            block: PageId(block),
+            range_id,
+        }
+    }
+}
+
+/// The coarse Range Index over a paged B+-tree.
+pub struct RangeIndex {
+    tree: BTree,
+}
+
+impl RangeIndex {
+    /// Creates an empty Range Index in `pool`.
+    pub fn create(pool: Arc<BufferPool>) -> Result<Self, StorageError> {
+        Ok(RangeIndex {
+            tree: BTree::create(pool, VALUE_SIZE)?,
+        })
+    }
+
+    /// Number of range entries.
+    pub fn len(&self) -> u64 {
+        self.tree.len()
+    }
+
+    /// True when no ranges are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// Inserts an entry. The caller guarantees interval disjointness; this
+    /// is checked (cheaply, against neighbours) in debug builds and by
+    /// [`RangeIndex::check_disjoint`].
+    pub fn insert(&mut self, entry: RangeEntry) -> Result<(), StorageError> {
+        debug_assert!(
+            self.locate(entry.interval.start)?.is_none()
+                && self.locate(entry.interval.end)?.is_none(),
+            "overlapping range entry {entry:?}"
+        );
+        self.tree
+            .insert(entry.interval.start.0, &entry.encode())?;
+        Ok(())
+    }
+
+    /// Removes the entry whose interval starts at `start`.
+    pub fn remove(&mut self, start: NodeId) -> Result<Option<RangeEntry>, StorageError> {
+        Ok(self
+            .tree
+            .delete(start.0)?
+            .map(|v| RangeEntry::decode(start.0, &v)))
+    }
+
+    /// Locates the range containing `id` — the §4.3 `rangeIndexLocate`
+    /// function. Returns `None` when no interval covers `id`.
+    pub fn locate(&self, id: NodeId) -> Result<Option<RangeEntry>, StorageError> {
+        match self.tree.floor(id.0)? {
+            Some((start, v)) => {
+                let entry = RangeEntry::decode(start, &v);
+                Ok(if entry.interval.contains(id) {
+                    Some(entry)
+                } else {
+                    None
+                })
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Updates the block pointer of the entry starting at `start` (ranges
+    /// move blocks when splits overflow a page). Returns false when absent.
+    pub fn update_block(&mut self, start: NodeId, block: PageId) -> Result<bool, StorageError> {
+        match self.tree.get(start.0)? {
+            Some(v) => {
+                let mut entry = RangeEntry::decode(start.0, &v);
+                entry.block = block;
+                self.tree.insert(start.0, &entry.encode())?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// All entries in start-id order — for audits, tests, and the paper-
+    /// walkthrough example that prints Tables 2/3.
+    pub fn entries(&self) -> Result<Vec<RangeEntry>, StorageError> {
+        Ok(self
+            .tree
+            .scan_from(0, u64::MAX)?
+            .into_iter()
+            .map(|(k, v)| RangeEntry::decode(k, &v))
+            .collect())
+    }
+
+    /// Verifies invariant 3 of DESIGN.md: all intervals pairwise disjoint.
+    pub fn check_disjoint(&self) -> Result<(), StorageError> {
+        let entries = self.entries()?;
+        for w in entries.windows(2) {
+            if w[0].interval.overlaps(&w[1].interval) {
+                return Err(StorageError::Corrupt {
+                    page: w[1].block,
+                    reason: "overlapping range-index intervals",
+                });
+            }
+        }
+        self.tree.check_invariants()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axs_storage::MemPageStore;
+
+    fn index() -> RangeIndex {
+        let pool = Arc::new(BufferPool::new(Arc::new(MemPageStore::new(1024)), 64));
+        RangeIndex::create(pool).unwrap()
+    }
+
+    fn entry(start: u64, end: u64, block: u64, range_id: u64) -> RangeEntry {
+        RangeEntry {
+            interval: IdInterval::new(NodeId(start), NodeId(end)),
+            block: PageId(block),
+            range_id,
+        }
+    }
+
+    #[test]
+    fn paper_table2_initial_state() {
+        // Table 2: RangeId 1, Block 1, ids [1, 100].
+        let mut idx = index();
+        idx.insert(entry(1, 100, 1, 1)).unwrap();
+        let found = idx.locate(NodeId(60)).unwrap().unwrap();
+        assert_eq!(found, entry(1, 100, 1, 1));
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn paper_table3_after_split() {
+        // Table 3: [1,60]->block1, [101,140]->block1, [61,100]->block2.
+        let mut idx = index();
+        idx.insert(entry(1, 100, 1, 1)).unwrap();
+        // Simulate the split the store performs.
+        idx.remove(NodeId(1)).unwrap();
+        idx.insert(entry(1, 60, 1, 1)).unwrap();
+        idx.insert(entry(101, 140, 1, 2)).unwrap();
+        idx.insert(entry(61, 100, 2, 3)).unwrap();
+
+        assert_eq!(idx.locate(NodeId(60)).unwrap().unwrap().range_id, 1);
+        assert_eq!(idx.locate(NodeId(61)).unwrap().unwrap().range_id, 3);
+        assert_eq!(idx.locate(NodeId(100)).unwrap().unwrap().range_id, 3);
+        assert_eq!(idx.locate(NodeId(101)).unwrap().unwrap().range_id, 2);
+        assert_eq!(idx.locate(NodeId(140)).unwrap().unwrap().range_id, 2);
+        idx.check_disjoint().unwrap();
+
+        let rows = idx.entries().unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].interval, IdInterval::new(NodeId(1), NodeId(60)));
+        assert_eq!(rows[1].interval, IdInterval::new(NodeId(61), NodeId(100)));
+        assert_eq!(rows[2].interval, IdInterval::new(NodeId(101), NodeId(140)));
+    }
+
+    #[test]
+    fn locate_misses_in_gaps() {
+        let mut idx = index();
+        idx.insert(entry(10, 20, 1, 1)).unwrap();
+        idx.insert(entry(31, 40, 1, 2)).unwrap();
+        assert!(idx.locate(NodeId(5)).unwrap().is_none());
+        assert!(idx.locate(NodeId(25)).unwrap().is_none());
+        assert!(idx.locate(NodeId(41)).unwrap().is_none());
+        assert!(idx.locate(NodeId(31)).unwrap().is_some());
+    }
+
+    #[test]
+    fn remove_returns_entry() {
+        let mut idx = index();
+        idx.insert(entry(1, 9, 3, 7)).unwrap();
+        let removed = idx.remove(NodeId(1)).unwrap().unwrap();
+        assert_eq!(removed, entry(1, 9, 3, 7));
+        assert!(idx.locate(NodeId(5)).unwrap().is_none());
+        assert!(idx.remove(NodeId(1)).unwrap().is_none());
+    }
+
+    #[test]
+    fn update_block_moves_entry() {
+        let mut idx = index();
+        idx.insert(entry(1, 9, 3, 7)).unwrap();
+        assert!(idx.update_block(NodeId(1), PageId(12)).unwrap());
+        assert_eq!(idx.locate(NodeId(4)).unwrap().unwrap().block, PageId(12));
+        assert!(!idx.update_block(NodeId(99), PageId(1)).unwrap());
+    }
+
+    #[test]
+    fn many_entries_scale_and_stay_disjoint() {
+        let mut idx = index();
+        for i in 0..2000u64 {
+            idx.insert(entry(i * 10 + 1, i * 10 + 9, i, i)).unwrap();
+        }
+        assert_eq!(idx.len(), 2000);
+        idx.check_disjoint().unwrap();
+        assert_eq!(
+            idx.locate(NodeId(19_995)).unwrap().unwrap().range_id,
+            1999
+        );
+        assert!(idx.locate(NodeId(20_000)).unwrap().is_none());
+    }
+
+    #[test]
+    fn singleton_intervals_work() {
+        let mut idx = index();
+        idx.insert(RangeEntry {
+            interval: IdInterval::singleton(NodeId(42)),
+            block: PageId(1),
+            range_id: 1,
+        })
+        .unwrap();
+        assert!(idx.locate(NodeId(42)).unwrap().is_some());
+        assert!(idx.locate(NodeId(41)).unwrap().is_none());
+        assert!(idx.locate(NodeId(43)).unwrap().is_none());
+    }
+}

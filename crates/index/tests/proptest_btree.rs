@@ -1,0 +1,90 @@
+//! Property test: the paged B+-tree behaves identically to `BTreeMap` under
+//! arbitrary insert/delete/get/floor/scan interleavings (invariant 6 of
+//! DESIGN.md).
+
+use axs_index::BTree;
+use axs_storage::{BufferPool, MemPageStore};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u8),
+    Delete(u64),
+    Get(u64),
+    Floor(u64),
+    Scan(u64, u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Small key space to force collisions and replacements.
+    let key = 0u64..400;
+    prop_oneof![
+        4 => (key.clone(), any::<u8>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        2 => key.clone().prop_map(Op::Delete),
+        2 => key.clone().prop_map(Op::Get),
+        2 => key.clone().prop_map(Op::Floor),
+        1 => (key, any::<u8>()).prop_map(|(k, n)| Op::Scan(k, n)),
+    ]
+}
+
+fn value(tag: u8) -> Vec<u8> {
+    let mut v = vec![0u8; 16];
+    v[0] = tag;
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn btree_matches_btreemap(ops in proptest::collection::vec(op_strategy(), 0..300)) {
+        // Small pages force frequent splits; small pool forces eviction.
+        let pool = Arc::new(BufferPool::new(Arc::new(MemPageStore::new(512)), 8));
+        let mut tree = BTree::create(pool, 16).unwrap();
+        let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(k, tag) => {
+                    let old = tree.insert(k, &value(tag)).unwrap();
+                    prop_assert_eq!(old, model.insert(k, value(tag)));
+                }
+                Op::Delete(k) => {
+                    let removed = tree.delete(k).unwrap();
+                    prop_assert_eq!(removed, model.remove(&k));
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(tree.get(k).unwrap(), model.get(&k).cloned());
+                }
+                Op::Floor(k) => {
+                    let want = model.range(..=k).next_back().map(|(a, b)| (*a, b.clone()));
+                    prop_assert_eq!(tree.floor(k).unwrap(), want);
+                }
+                Op::Scan(from, n) => {
+                    let want: Vec<(u64, Vec<u8>)> = model
+                        .range(from..)
+                        .take(n as usize)
+                        .map(|(a, b)| (*a, b.clone()))
+                        .collect();
+                    prop_assert_eq!(tree.scan_from(from, n as u64).unwrap(), want);
+                }
+            }
+            prop_assert_eq!(tree.len(), model.len() as u64);
+        }
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn btree_survives_dense_ascending_load(n in 1u64..4000) {
+        let pool = Arc::new(BufferPool::new(Arc::new(MemPageStore::new(512)), 16));
+        let mut tree = BTree::create(pool, 16).unwrap();
+        for k in 0..n {
+            tree.insert(k, &value((k % 251) as u8)).unwrap();
+        }
+        prop_assert_eq!(tree.len(), n);
+        tree.check_invariants().unwrap();
+        // Spot-check floors over the dense range.
+        prop_assert_eq!(tree.floor(n + 10).unwrap().unwrap().0, n - 1);
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! # axs-lock — hierarchical locking for the three-layer store
+//!
+//! §9 of the paper: "The flat model proposed in this paper allows the
+//! definition of these concepts on a three-layer architecture: blocks,
+//! ranges and tokens. Again, the principles of storage already defined in
+//! the context by relational database systems, have an immediate
+//! application here."
+//!
+//! This crate is that application: classic multi-granularity locking
+//! (Gray's IS/IX/S/X) over the hierarchy **store → block → range**, with
+//! strict two-phase discipline per transaction and wait-for-graph deadlock
+//! detection. Locking a range takes intention locks on its block and the
+//! store automatically, so a whole-store scanner (`S` on the store) blocks
+//! range writers while two writers in different blocks proceed in parallel.
+//!
+//! The `axs-core` store itself ships with a coarse reader-writer wrapper
+//! (`ConcurrentStore`); this manager is the protocol layer a finer-grained
+//! execution engine would plug in — tested standalone, including under
+//! thread stress, and demonstrated coordinating range-level access in the
+//! crate's integration tests.
+
+pub mod manager;
+pub mod modes;
+
+pub use manager::{LockError, LockManager, TxId};
+pub use modes::{compatible, LockMode, Resource};

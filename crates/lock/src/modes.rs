@@ -1,0 +1,173 @@
+//! Lock modes, the compatibility matrix, and the resource hierarchy.
+
+use std::fmt;
+
+/// Multi-granularity lock modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockMode {
+    /// Intention shared: a descendant will be read.
+    IS,
+    /// Intention exclusive: a descendant will be written.
+    IX,
+    /// Shared: read this whole subtree.
+    S,
+    /// Exclusive: write this whole subtree.
+    X,
+}
+
+impl fmt::Display for LockMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LockMode::IS => "IS",
+            LockMode::IX => "IX",
+            LockMode::S => "S",
+            LockMode::X => "X",
+        })
+    }
+}
+
+impl LockMode {
+    /// Gray's lattice: the mode that grants both `self` and `other`.
+    pub fn supremum(self, other: LockMode) -> LockMode {
+        use LockMode::*;
+        match (self, other) {
+            (X, _) | (_, X) => X,
+            (S, IX) | (IX, S) => X, // SIX collapsed to X (no SIX mode here)
+            (S, _) | (_, S) => S,
+            (IX, _) | (_, IX) => IX,
+            (IS, IS) => IS,
+        }
+    }
+
+    /// True when `self` already implies `other` (no upgrade needed).
+    pub fn covers(self, other: LockMode) -> bool {
+        self.supremum(other) == self
+    }
+
+    /// The intention mode an ancestor must carry for this mode.
+    pub fn intention(self) -> LockMode {
+        match self {
+            LockMode::IS | LockMode::S => LockMode::IS,
+            LockMode::IX | LockMode::X => LockMode::IX,
+        }
+    }
+}
+
+/// The standard compatibility matrix (no SIX).
+///
+/// |    | IS | IX | S | X |
+/// |----|----|----|---|---|
+/// | IS | ✓  | ✓  | ✓ |   |
+/// | IX | ✓  | ✓  |   |   |
+/// | S  | ✓  |    | ✓ |   |
+/// | X  |    |    |   |   |
+pub fn compatible(held: LockMode, requested: LockMode) -> bool {
+    use LockMode::*;
+    matches!(
+        (held, requested),
+        (IS, IS) | (IS, IX) | (IS, S) | (IX, IS) | (IX, IX) | (S, IS) | (S, S)
+    )
+}
+
+/// A lockable resource in the paper's three-layer hierarchy. (Tokens — the
+/// finest layer — are covered by their range's lock.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// The whole data source.
+    Store,
+    /// One block (by page id).
+    Block(u64),
+    /// One range (by stable range id), within its block.
+    Range {
+        /// The block holding the range.
+        block: u64,
+        /// The range's stable id.
+        range: u64,
+    },
+}
+
+impl Resource {
+    /// The resource's ancestors, outermost first (empty for the store).
+    pub fn ancestors(&self) -> Vec<Resource> {
+        match self {
+            Resource::Store => vec![],
+            Resource::Block(_) => vec![Resource::Store],
+            Resource::Range { block, .. } => {
+                vec![Resource::Store, Resource::Block(*block)]
+            }
+        }
+    }
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Resource::Store => write!(f, "store"),
+            Resource::Block(b) => write!(f, "block {b}"),
+            Resource::Range { block, range } => write!(f, "range {range} (block {block})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LockMode::*;
+
+    #[test]
+    fn matrix_is_symmetric() {
+        for a in [IS, IX, S, X] {
+            for b in [IS, IX, S, X] {
+                assert_eq!(compatible(a, b), compatible(b, a), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn exclusive_conflicts_with_everything() {
+        for m in [IS, IX, S, X] {
+            assert!(!compatible(X, m));
+        }
+    }
+
+    #[test]
+    fn intentions_allow_concurrency() {
+        assert!(compatible(IX, IX), "two fine-grained writers");
+        assert!(compatible(IS, IX), "reader below, writer below");
+        assert!(!compatible(S, IX), "whole-tree reader vs fine writer");
+        assert!(!compatible(S, X));
+        assert!(compatible(S, IS));
+    }
+
+    #[test]
+    fn supremum_and_covers() {
+        assert_eq!(IS.supremum(IX), IX);
+        assert_eq!(S.supremum(IX), X);
+        assert_eq!(S.supremum(IS), S);
+        assert!(X.covers(S) && X.covers(IX) && X.covers(IS));
+        assert!(S.covers(IS));
+        assert!(!S.covers(IX));
+        assert!(!IS.covers(S));
+        for m in [IS, IX, S, X] {
+            assert!(m.covers(m));
+        }
+    }
+
+    #[test]
+    fn intention_mapping() {
+        assert_eq!(S.intention(), IS);
+        assert_eq!(IS.intention(), IS);
+        assert_eq!(X.intention(), IX);
+        assert_eq!(IX.intention(), IX);
+    }
+
+    #[test]
+    fn ancestor_chains() {
+        assert!(Resource::Store.ancestors().is_empty());
+        assert_eq!(Resource::Block(3).ancestors(), vec![Resource::Store]);
+        assert_eq!(
+            Resource::Range { block: 3, range: 9 }.ancestors(),
+            vec![Resource::Store, Resource::Block(3)]
+        );
+    }
+}

@@ -1,0 +1,470 @@
+//! The slotted *block* layout of §4.4.
+//!
+//! "The Storage level comprises chained blocks, which, at their turn,
+//! contain ordered ranges. Document order is preserved through the chaining
+//! of blocks and through the ordering of ranges inside blocks."
+//!
+//! A block is one page:
+//!
+//! ```text
+//! ┌────────────────────────────── page ──────────────────────────────┐
+//! │ header │ slot directory (grows →) │   free   │ ← payload heap    │
+//! └───────────────────────────────────────────────────────────────────┘
+//! header: magic u16 | num_slots u16 | payload_start u16 | pad u16
+//!         next u64 | prev u64                           (24 bytes)
+//! slot:   offset u16 | len u16                          (4 bytes)
+//! ```
+//!
+//! Slots are kept in *document order*: slot `k` precedes slot `k+1`. The
+//! payload heap grows downward from the page end and is kept contiguous —
+//! removals compact immediately, so free space is always one gap in the
+//! middle of the page. Payload byte positions are private to this module;
+//! callers address ranges by `(PageId, slot)`.
+
+use crate::error::StorageError;
+use crate::page::{get_u16, get_u64, put_u16, put_u64, PageId};
+
+/// Bytes of the block header.
+pub const BLOCK_HEADER_LEN: usize = 24;
+/// Bytes per slot-directory entry.
+pub const SLOT_LEN: usize = 4;
+
+const MAGIC: u16 = 0xA75B;
+const OFF_MAGIC: usize = 0;
+const OFF_NUM_SLOTS: usize = 2;
+const OFF_PAYLOAD_START: usize = 4;
+const OFF_NEXT: usize = 8;
+const OFF_PREV: usize = 16;
+
+/// Largest payload a single block can hold (one slot, empty directory).
+pub fn max_payload(page_size: usize) -> usize {
+    page_size - BLOCK_HEADER_LEN - SLOT_LEN
+}
+
+/// Formats a fresh page as an empty block with no chain links.
+///
+/// Block pages are limited to 32 KiB so payload offsets fit in `u16`.
+pub fn init(buf: &mut [u8]) {
+    let len = buf.len();
+    assert!(len <= 32768, "block pages larger than 32 KiB are unsupported");
+    buf[..BLOCK_HEADER_LEN].fill(0);
+    put_u16(buf, OFF_MAGIC, MAGIC);
+    put_u16(buf, OFF_NUM_SLOTS, 0);
+    put_u16(buf, OFF_PAYLOAD_START, len as u16);
+    put_u64(buf, OFF_NEXT, PageId::NONE.0);
+    put_u64(buf, OFF_PREV, PageId::NONE.0);
+}
+
+/// True when the page carries the block magic.
+pub fn is_block(buf: &[u8]) -> bool {
+    get_u16(buf, OFF_MAGIC) == MAGIC
+}
+
+/// Number of ranges stored in the block.
+pub fn num_ranges(buf: &[u8]) -> u16 {
+    get_u16(buf, OFF_NUM_SLOTS)
+}
+
+/// The next block in document order ([`PageId::NONE`] at the tail).
+pub fn next(buf: &[u8]) -> PageId {
+    PageId(get_u64(buf, OFF_NEXT))
+}
+
+/// Sets the next-block link.
+pub fn set_next(buf: &mut [u8], id: PageId) {
+    put_u64(buf, OFF_NEXT, id.0);
+}
+
+/// The previous block in document order ([`PageId::NONE`] at the head).
+pub fn prev(buf: &[u8]) -> PageId {
+    PageId(get_u64(buf, OFF_PREV))
+}
+
+/// Sets the previous-block link.
+pub fn set_prev(buf: &mut [u8], id: PageId) {
+    put_u64(buf, OFF_PREV, id.0);
+}
+
+fn payload_start(buf: &[u8]) -> usize {
+    get_u16(buf, OFF_PAYLOAD_START) as usize
+}
+
+fn slot_dir_end(buf: &[u8]) -> usize {
+    BLOCK_HEADER_LEN + num_ranges(buf) as usize * SLOT_LEN
+}
+
+fn slot_offset(buf: &[u8], slot: u16) -> (usize, usize) {
+    let base = BLOCK_HEADER_LEN + slot as usize * SLOT_LEN;
+    let off = get_u16(buf, base) as usize;
+    let len = get_u16(buf, base + 2) as usize;
+    (off, len)
+}
+
+/// Contiguous free bytes available for one more range payload (accounts for
+/// the slot-directory entry the insert would add).
+pub fn free_for_insert(buf: &[u8]) -> usize {
+    let gap = payload_start(buf).saturating_sub(slot_dir_end(buf));
+    gap.saturating_sub(SLOT_LEN)
+}
+
+/// Reads the payload of `slot`.
+pub fn range_bytes(buf: &[u8], page: PageId, slot: u16) -> Result<&[u8], StorageError> {
+    if slot >= num_ranges(buf) {
+        return Err(StorageError::BadSlot { page, slot });
+    }
+    let (off, len) = slot_offset(buf, slot);
+    buf.get(off..off + len)
+        .ok_or(StorageError::Corrupt {
+            page,
+            reason: "slot points outside the page",
+        })
+}
+
+/// Inserts `payload` as a new range at directory position `slot`
+/// (`0 ..= num_ranges`), shifting later slots. Fails with `BlockFull` when
+/// the payload plus directory entry does not fit.
+pub fn insert_range(
+    buf: &mut [u8],
+    page: PageId,
+    slot: u16,
+    payload: &[u8],
+) -> Result<(), StorageError> {
+    let n = num_ranges(buf);
+    if slot > n {
+        return Err(StorageError::BadSlot { page, slot });
+    }
+    // The raw gap must hold the payload *and* the new directory entry;
+    // `free_for_insert` already subtracts the entry but saturates at zero,
+    // which would wrongly admit empty payloads into a sub-entry-sized gap.
+    let gap = payload_start(buf).saturating_sub(slot_dir_end(buf));
+    if payload.len() + SLOT_LEN > gap {
+        return Err(StorageError::BlockFull {
+            page,
+            needed: payload.len(),
+            available: gap.saturating_sub(SLOT_LEN),
+        });
+    }
+    // Place payload at the bottom of the heap.
+    let new_start = payload_start(buf) - payload.len();
+    buf[new_start..new_start + payload.len()].copy_from_slice(payload);
+    put_u16(buf, OFF_PAYLOAD_START, new_start as u16);
+    // Shift directory entries [slot, n) right by one entry.
+    let from = BLOCK_HEADER_LEN + slot as usize * SLOT_LEN;
+    let to = BLOCK_HEADER_LEN + n as usize * SLOT_LEN;
+    buf.copy_within(from..to, from + SLOT_LEN);
+    put_u16(buf, from, new_start as u16);
+    put_u16(buf, from + 2, payload.len() as u16);
+    put_u16(buf, OFF_NUM_SLOTS, n + 1);
+    Ok(())
+}
+
+/// Removes the range at `slot`, returning its payload. The heap is
+/// compacted immediately so free space stays contiguous.
+pub fn remove_range(
+    buf: &mut [u8],
+    page: PageId,
+    slot: u16,
+) -> Result<Vec<u8>, StorageError> {
+    let n = num_ranges(buf);
+    if slot >= n {
+        return Err(StorageError::BadSlot { page, slot });
+    }
+    let (off, len) = slot_offset(buf, slot);
+    let payload = buf[off..off + len].to_vec();
+    // Compact: payloads located below `off` (i.e. in [payload_start, off))
+    // shift up by `len`.
+    let start = payload_start(buf);
+    buf.copy_within(start..off, start + len);
+    put_u16(buf, OFF_PAYLOAD_START, (start + len) as u16);
+    // Fix offsets of every remaining slot whose payload was below `off`.
+    // A zero-length payload sitting exactly at `off` was placed when the
+    // heap boundary was `off`, i.e. it belongs to the lower group and must
+    // shift with it.
+    for s in 0..n {
+        if s == slot {
+            continue;
+        }
+        let base = BLOCK_HEADER_LEN + s as usize * SLOT_LEN;
+        let o = get_u16(buf, base) as usize;
+        let l = get_u16(buf, base + 2) as usize;
+        if o < off || (o == off && l == 0) {
+            put_u16(buf, base, (o + len) as u16);
+        }
+    }
+    // Shift directory entries after `slot` left by one entry.
+    let from = BLOCK_HEADER_LEN + (slot as usize + 1) * SLOT_LEN;
+    let to = BLOCK_HEADER_LEN + n as usize * SLOT_LEN;
+    buf.copy_within(from..to, from - SLOT_LEN);
+    put_u16(buf, OFF_NUM_SLOTS, n - 1);
+    Ok(payload)
+}
+
+/// Replaces the payload of `slot` with `payload`, preserving its directory
+/// position. Fails with `BlockFull` when the new payload does not fit (the
+/// old payload's space is reclaimed first in the accounting).
+pub fn replace_range(
+    buf: &mut [u8],
+    page: PageId,
+    slot: u16,
+    payload: &[u8],
+) -> Result<(), StorageError> {
+    let n = num_ranges(buf);
+    if slot >= n {
+        return Err(StorageError::BadSlot { page, slot });
+    }
+    let (_, old_len) = slot_offset(buf, slot);
+    // Space check: after removal we gain old_len + SLOT_LEN, and insert
+    // consumes payload.len() + SLOT_LEN.
+    let available = free_for_insert(buf) + old_len + SLOT_LEN;
+    if payload.len() + SLOT_LEN > available {
+        return Err(StorageError::BlockFull {
+            page,
+            needed: payload.len(),
+            available: available.saturating_sub(SLOT_LEN),
+        });
+    }
+    remove_range(buf, page, slot)?;
+    insert_range(buf, page, slot, payload)
+}
+
+/// Sanity-checks the block structure: magic, directory within bounds,
+/// payloads within the heap and non-overlapping. Used by tests and the
+/// store's `check_invariants`.
+pub fn validate(buf: &[u8], page: PageId) -> Result<(), StorageError> {
+    if !is_block(buf) {
+        return Err(StorageError::Corrupt {
+            page,
+            reason: "bad magic",
+        });
+    }
+    let n = num_ranges(buf) as usize;
+    let dir_end = BLOCK_HEADER_LEN + n * SLOT_LEN;
+    let pstart = payload_start(buf);
+    if dir_end > pstart || pstart > buf.len() {
+        return Err(StorageError::Corrupt {
+            page,
+            reason: "directory overlaps payload heap",
+        });
+    }
+    let mut extents: Vec<(usize, usize)> = Vec::with_capacity(n);
+    let mut covered = 0usize;
+    for s in 0..n {
+        let (off, len) = slot_offset(buf, s as u16);
+        if off < pstart || off + len > buf.len() {
+            return Err(StorageError::Corrupt {
+                page,
+                reason: "slot outside payload heap",
+            });
+        }
+        extents.push((off, off + len));
+        covered += len;
+    }
+    extents.sort_unstable();
+    for w in extents.windows(2) {
+        if w[0].1 > w[1].0 {
+            return Err(StorageError::Corrupt {
+                page,
+                reason: "overlapping payloads",
+            });
+        }
+    }
+    // Contiguity: compaction keeps the heap hole-free.
+    if covered != buf.len() - pstart {
+        return Err(StorageError::Corrupt {
+            page,
+            reason: "payload heap has holes",
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PS: usize = 512;
+    const PAGE: PageId = PageId(7);
+
+    fn fresh() -> Vec<u8> {
+        let mut buf = vec![0u8; PS];
+        init(&mut buf);
+        buf
+    }
+
+    #[test]
+    fn init_produces_valid_empty_block() {
+        let buf = fresh();
+        assert!(is_block(&buf));
+        assert_eq!(num_ranges(&buf), 0);
+        assert!(next(&buf).is_none());
+        assert!(prev(&buf).is_none());
+        assert_eq!(free_for_insert(&buf), max_payload(PS));
+        validate(&buf, PAGE).unwrap();
+    }
+
+    #[test]
+    fn insert_and_read_back() {
+        let mut buf = fresh();
+        insert_range(&mut buf, PAGE, 0, b"hello").unwrap();
+        assert_eq!(num_ranges(&buf), 1);
+        assert_eq!(range_bytes(&buf, PAGE, 0).unwrap(), b"hello");
+        validate(&buf, PAGE).unwrap();
+    }
+
+    #[test]
+    fn slots_keep_document_order() {
+        let mut buf = fresh();
+        insert_range(&mut buf, PAGE, 0, b"bb").unwrap();
+        insert_range(&mut buf, PAGE, 0, b"aa").unwrap(); // before bb
+        insert_range(&mut buf, PAGE, 2, b"cc").unwrap(); // after bb
+        insert_range(&mut buf, PAGE, 1, b"ab").unwrap(); // between aa and bb
+        let got: Vec<&[u8]> = (0..4)
+            .map(|s| range_bytes(&buf, PAGE, s).unwrap())
+            .collect();
+        assert_eq!(got, vec![&b"aa"[..], b"ab", b"bb", b"cc"]);
+        validate(&buf, PAGE).unwrap();
+    }
+
+    #[test]
+    fn remove_returns_payload_and_compacts() {
+        let mut buf = fresh();
+        insert_range(&mut buf, PAGE, 0, b"first").unwrap();
+        insert_range(&mut buf, PAGE, 1, b"second").unwrap();
+        insert_range(&mut buf, PAGE, 2, b"third").unwrap();
+        let free_before = free_for_insert(&buf);
+        let removed = remove_range(&mut buf, PAGE, 1).unwrap();
+        assert_eq!(removed, b"second");
+        assert_eq!(num_ranges(&buf), 2);
+        assert_eq!(range_bytes(&buf, PAGE, 0).unwrap(), b"first");
+        assert_eq!(range_bytes(&buf, PAGE, 1).unwrap(), b"third");
+        assert_eq!(free_for_insert(&buf), free_before + b"second".len() + SLOT_LEN);
+        validate(&buf, PAGE).unwrap();
+    }
+
+    #[test]
+    fn remove_first_and_last() {
+        let mut buf = fresh();
+        for (i, p) in [b"a" as &[u8], b"bb", b"ccc"].iter().enumerate() {
+            insert_range(&mut buf, PAGE, i as u16, p).unwrap();
+        }
+        assert_eq!(remove_range(&mut buf, PAGE, 0).unwrap(), b"a");
+        assert_eq!(remove_range(&mut buf, PAGE, 1).unwrap(), b"ccc");
+        assert_eq!(range_bytes(&buf, PAGE, 0).unwrap(), b"bb");
+        validate(&buf, PAGE).unwrap();
+    }
+
+    #[test]
+    fn replace_preserves_position() {
+        let mut buf = fresh();
+        insert_range(&mut buf, PAGE, 0, b"aa").unwrap();
+        insert_range(&mut buf, PAGE, 1, b"bb").unwrap();
+        insert_range(&mut buf, PAGE, 2, b"cc").unwrap();
+        replace_range(&mut buf, PAGE, 1, b"a-much-longer-payload").unwrap();
+        assert_eq!(range_bytes(&buf, PAGE, 0).unwrap(), b"aa");
+        assert_eq!(range_bytes(&buf, PAGE, 1).unwrap(), b"a-much-longer-payload");
+        assert_eq!(range_bytes(&buf, PAGE, 2).unwrap(), b"cc");
+        validate(&buf, PAGE).unwrap();
+    }
+
+    #[test]
+    fn replace_shrinking_frees_space() {
+        let mut buf = fresh();
+        insert_range(&mut buf, PAGE, 0, &[1u8; 100]).unwrap();
+        let before = free_for_insert(&buf);
+        replace_range(&mut buf, PAGE, 0, &[2u8; 10]).unwrap();
+        assert_eq!(free_for_insert(&buf), before + 90);
+        validate(&buf, PAGE).unwrap();
+    }
+
+    #[test]
+    fn fill_to_capacity_exactly() {
+        let mut buf = fresh();
+        let cap = max_payload(PS);
+        insert_range(&mut buf, PAGE, 0, &vec![9u8; cap]).unwrap();
+        assert_eq!(free_for_insert(&buf), 0);
+        validate(&buf, PAGE).unwrap();
+    }
+
+    #[test]
+    fn overflow_reports_block_full() {
+        let mut buf = fresh();
+        let cap = max_payload(PS);
+        let err = insert_range(&mut buf, PAGE, 0, &vec![9u8; cap + 1]).unwrap_err();
+        assert!(matches!(err, StorageError::BlockFull { .. }));
+        // Block unchanged.
+        assert_eq!(num_ranges(&buf), 0);
+        validate(&buf, PAGE).unwrap();
+    }
+
+    #[test]
+    fn bad_slot_errors() {
+        let mut buf = fresh();
+        assert!(matches!(
+            range_bytes(&buf, PAGE, 0),
+            Err(StorageError::BadSlot { .. })
+        ));
+        assert!(matches!(
+            insert_range(&mut buf, PAGE, 1, b"x"),
+            Err(StorageError::BadSlot { .. })
+        ));
+        assert!(matches!(
+            remove_range(&mut buf, PAGE, 0),
+            Err(StorageError::BadSlot { .. })
+        ));
+        assert!(matches!(
+            replace_range(&mut buf, PAGE, 0, b"x"),
+            Err(StorageError::BadSlot { .. })
+        ));
+    }
+
+    #[test]
+    fn chain_links_round_trip() {
+        let mut buf = fresh();
+        set_next(&mut buf, PageId(11));
+        set_prev(&mut buf, PageId(5));
+        assert_eq!(next(&buf), PageId(11));
+        assert_eq!(prev(&buf), PageId(5));
+    }
+
+    #[test]
+    fn validate_detects_bad_magic() {
+        let buf = vec![0u8; PS];
+        assert!(matches!(
+            validate(&buf, PAGE),
+            Err(StorageError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_payloads_are_allowed() {
+        let mut buf = fresh();
+        insert_range(&mut buf, PAGE, 0, b"").unwrap();
+        insert_range(&mut buf, PAGE, 1, b"x").unwrap();
+        assert_eq!(range_bytes(&buf, PAGE, 0).unwrap(), b"");
+        assert_eq!(range_bytes(&buf, PAGE, 1).unwrap(), b"x");
+        assert_eq!(remove_range(&mut buf, PAGE, 0).unwrap(), b"");
+        validate(&buf, PAGE).unwrap();
+    }
+
+    #[test]
+    fn many_inserts_and_removes_stay_consistent() {
+        let mut buf = fresh();
+        // Interleave inserts and removes, validating continuously.
+        let mut expected: Vec<Vec<u8>> = Vec::new();
+        for i in 0u16..40 {
+            let payload = vec![i as u8; (i % 7) as usize + 1];
+            let pos = (i % (expected.len() as u16 + 1)) as usize;
+            insert_range(&mut buf, PAGE, pos as u16, &payload).unwrap();
+            expected.insert(pos, payload);
+            if i % 3 == 0 && !expected.is_empty() {
+                let rpos = (i as usize * 5) % expected.len();
+                let got = remove_range(&mut buf, PAGE, rpos as u16).unwrap();
+                assert_eq!(got, expected.remove(rpos));
+            }
+            validate(&buf, PAGE).unwrap();
+            for (s, want) in expected.iter().enumerate() {
+                assert_eq!(range_bytes(&buf, PAGE, s as u16).unwrap(), &want[..]);
+            }
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Storage-layer errors.
+
+use crate::page::PageId;
+use std::fmt;
+use std::io;
+
+/// Errors raised by the storage substrate.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying file I/O failed.
+    Io(io::Error),
+    /// A page id beyond the end of the store was accessed.
+    PageOutOfBounds(PageId),
+    /// On-disk data failed a structural check.
+    Corrupt {
+        /// Page on which corruption was detected.
+        page: PageId,
+        /// Description of the check that failed.
+        reason: &'static str,
+    },
+    /// A block had no room for the requested payload.
+    BlockFull {
+        /// The block page.
+        page: PageId,
+        /// Bytes requested.
+        needed: usize,
+        /// Bytes available.
+        available: usize,
+    },
+    /// A slot index beyond the block's directory was accessed.
+    BadSlot {
+        /// The block page.
+        page: PageId,
+        /// The offending slot.
+        slot: u16,
+    },
+    /// Invalid configuration.
+    BadConfig(&'static str),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "i/o error: {e}"),
+            StorageError::PageOutOfBounds(p) => write!(f, "page {p} out of bounds"),
+            StorageError::Corrupt { page, reason } => {
+                write!(f, "corrupt page {page}: {reason}")
+            }
+            StorageError::BlockFull {
+                page,
+                needed,
+                available,
+            } => write!(
+                f,
+                "block {page} full: need {needed} bytes, {available} available"
+            ),
+            StorageError::BadSlot { page, slot } => {
+                write!(f, "block {page} has no slot {slot}")
+            }
+            StorageError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StorageError::BlockFull {
+            page: PageId(3),
+            needed: 100,
+            available: 10,
+        };
+        let s = e.to_string();
+        assert!(s.contains("100") && s.contains("10"));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        use std::error::Error;
+        let e: StorageError = io::Error::other("boom").into();
+        assert!(e.source().is_some());
+    }
+}

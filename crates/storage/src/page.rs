@@ -1,0 +1,112 @@
+//! Page identifiers and little-endian field access helpers.
+
+use std::fmt;
+
+/// Identifies one fixed-size page in a [`crate::PageStore`]. Page ids are
+/// dense, starting at 0; the storage layer reserves no pages — metadata
+/// placement is the store's concern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u64);
+
+impl PageId {
+    /// Sentinel meaning "no page" in chain pointers. Page 0 is a valid page,
+    /// so the sentinel is `u64::MAX`.
+    pub const NONE: PageId = PageId(u64::MAX);
+
+    /// True when this is the [`PageId::NONE`] sentinel.
+    pub fn is_none(self) -> bool {
+        self == PageId::NONE
+    }
+
+    /// Wraps the sentinel into an `Option`.
+    pub fn into_option(self) -> Option<PageId> {
+        if self.is_none() {
+            None
+        } else {
+            Some(self)
+        }
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_none() {
+            write!(f, "p·none")
+        } else {
+            write!(f, "p{}", self.0)
+        }
+    }
+}
+
+/// Reads a little-endian `u16` at `off`.
+#[inline]
+pub fn get_u16(buf: &[u8], off: usize) -> u16 {
+    u16::from_le_bytes(buf[off..off + 2].try_into().unwrap())
+}
+
+/// Writes a little-endian `u16` at `off`.
+#[inline]
+pub fn put_u16(buf: &mut [u8], off: usize, v: u16) {
+    buf[off..off + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Reads a little-endian `u32` at `off`.
+#[inline]
+pub fn get_u32(buf: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(buf[off..off + 4].try_into().unwrap())
+}
+
+/// Writes a little-endian `u32` at `off`.
+#[inline]
+pub fn put_u32(buf: &mut [u8], off: usize, v: u32) {
+    buf[off..off + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Reads a little-endian `u64` at `off`.
+#[inline]
+pub fn get_u64(buf: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(buf[off..off + 8].try_into().unwrap())
+}
+
+/// Writes a little-endian `u64` at `off`.
+#[inline]
+pub fn put_u64(buf: &mut [u8], off: usize, v: u64) {
+    buf[off..off + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sentinel_behaviour() {
+        assert!(PageId::NONE.is_none());
+        assert!(!PageId(0).is_none());
+        assert_eq!(PageId(7).into_option(), Some(PageId(7)));
+        assert_eq!(PageId::NONE.into_option(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(PageId(3).to_string(), "p3");
+        assert_eq!(PageId::NONE.to_string(), "p·none");
+    }
+
+    #[test]
+    fn field_round_trips() {
+        let mut buf = vec![0u8; 32];
+        put_u16(&mut buf, 1, 0xBEEF);
+        put_u32(&mut buf, 4, 0xDEAD_BEEF);
+        put_u64(&mut buf, 10, 0x0123_4567_89AB_CDEF);
+        assert_eq!(get_u16(&buf, 1), 0xBEEF);
+        assert_eq!(get_u32(&buf, 4), 0xDEAD_BEEF);
+        assert_eq!(get_u64(&buf, 10), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_read_panics() {
+        let buf = vec![0u8; 4];
+        let _ = get_u64(&buf, 0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property test: the slotted block behaves like a `Vec<Vec<u8>>` model
+//! under arbitrary insert/remove/replace interleavings, and its structural
+//! invariants hold after every operation.
+
+use axs_storage::block;
+use axs_storage::PageId;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { pos: usize, payload: Vec<u8> },
+    Remove { pos: usize },
+    Replace { pos: usize, payload: Vec<u8> },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (any::<usize>(), proptest::collection::vec(any::<u8>(), 0..60))
+            .prop_map(|(pos, payload)| Op::Insert { pos, payload }),
+        1 => any::<usize>().prop_map(|pos| Op::Remove { pos }),
+        1 => (any::<usize>(), proptest::collection::vec(any::<u8>(), 0..60))
+            .prop_map(|(pos, payload)| Op::Replace { pos, payload }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn block_matches_vec_model(ops in proptest::collection::vec(op_strategy(), 0..120)) {
+        const PS: usize = 1024;
+        let page = PageId(1);
+        let mut buf = vec![0u8; PS];
+        block::init(&mut buf);
+        let mut model: Vec<Vec<u8>> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Insert { pos, payload } => {
+                    let pos = pos % (model.len() + 1);
+                    match block::insert_range(&mut buf, page, pos as u16, &payload) {
+                        Ok(()) => model.insert(pos, payload),
+                        Err(axs_storage::StorageError::BlockFull { .. }) => {
+                            // Model must agree there wasn't room (an empty
+                            // payload can still fail when the gap cannot fit
+                            // the directory entry, where free_for_insert
+                            // reports zero).
+                            prop_assert!(payload.len() >= block::free_for_insert(&buf));
+                        }
+                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                    }
+                }
+                Op::Remove { pos } => {
+                    if model.is_empty() {
+                        prop_assert!(block::remove_range(&mut buf, page, 0).is_err());
+                    } else {
+                        let pos = pos % model.len();
+                        let got = block::remove_range(&mut buf, page, pos as u16).unwrap();
+                        prop_assert_eq!(got, model.remove(pos));
+                    }
+                }
+                Op::Replace { pos, payload } => {
+                    if model.is_empty() {
+                        prop_assert!(block::replace_range(&mut buf, page, 0, &payload).is_err());
+                    } else {
+                        let pos = pos % model.len();
+                        match block::replace_range(&mut buf, page, pos as u16, &payload) {
+                            Ok(()) => model[pos] = payload,
+                            Err(axs_storage::StorageError::BlockFull { .. }) => {}
+                            Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                        }
+                    }
+                }
+            }
+            block::validate(&buf, page).unwrap();
+            prop_assert_eq!(block::num_ranges(&buf) as usize, model.len());
+            for (s, want) in model.iter().enumerate() {
+                prop_assert_eq!(block::range_bytes(&buf, page, s as u16).unwrap(), &want[..]);
+            }
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Synthetic document generators (seeded, deterministic).
+
+use axs_xdm::Token;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters for the random-tree generator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DocGenConfig {
+    /// RNG seed (same seed ⇒ same document).
+    pub seed: u64,
+    /// Approximate number of element nodes.
+    pub elements: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Maximum children per element.
+    pub max_fanout: usize,
+    /// Probability that an element carries a text child.
+    pub text_probability: f64,
+    /// Probability that an element carries an attribute.
+    pub attribute_probability: f64,
+}
+
+impl Default for DocGenConfig {
+    fn default() -> Self {
+        DocGenConfig {
+            seed: 42,
+            elements: 1000,
+            max_depth: 8,
+            max_fanout: 8,
+            text_probability: 0.6,
+            attribute_probability: 0.3,
+        }
+    }
+}
+
+const NAMES: &[&str] = &[
+    "item", "entry", "record", "node", "field", "group", "section", "meta",
+];
+
+/// A random tree with exactly `cfg.elements` non-root elements under a
+/// single root (the root keeps sprouting subtrees until the budget is
+/// spent, so the requested size is always reached).
+pub fn random_tree(cfg: &DocGenConfig) -> Vec<Token> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut out = vec![Token::begin_element("root")];
+    let mut budget = cfg.elements;
+    while budget > 0 {
+        grow_element(&mut out, &mut rng, cfg, 1, &mut budget);
+    }
+    out.push(Token::EndElement);
+    out
+}
+
+/// Emits one element (consuming budget) and a random batch of child
+/// subtrees below it.
+fn grow_element(
+    out: &mut Vec<Token>,
+    rng: &mut StdRng,
+    cfg: &DocGenConfig,
+    depth: usize,
+    budget: &mut usize,
+) {
+    *budget -= 1;
+    let name = NAMES[rng.gen_range(0..NAMES.len())];
+    out.push(Token::begin_element(name));
+    if rng.gen_bool(cfg.attribute_probability) {
+        out.push(Token::begin_attribute(
+            "k",
+            format!("v{}", rng.gen_range(0..1000)),
+        ));
+        out.push(Token::EndAttribute);
+    }
+    if rng.gen_bool(cfg.text_probability) {
+        out.push(Token::text(format!("t{}", rng.gen_range(0..100_000))));
+    }
+    if depth + 1 < cfg.max_depth {
+        let fanout = rng.gen_range(0..=cfg.max_fanout);
+        for _ in 0..fanout {
+            if *budget == 0 {
+                break;
+            }
+            grow_element(out, rng, cfg, depth + 1, budget);
+        }
+    }
+    out.push(Token::EndElement);
+}
+
+/// One `<purchase-order>` element — the paper's §4.1 motivating unit
+/// ("insert a `<purchase-order>` element as the last child of the root").
+pub fn purchase_order(rng: &mut StdRng, order_no: u64) -> Vec<Token> {
+    let lines = rng.gen_range(1..=5);
+    let mut out = vec![
+        Token::begin_element("purchase-order"),
+        Token::begin_attribute("id", order_no.to_string()),
+        Token::EndAttribute,
+        Token::begin_element("customer"),
+        Token::text(format!("customer-{}", rng.gen_range(0..500))),
+        Token::EndElement,
+        Token::begin_element("date"),
+        Token::text(format!(
+            "2005-{:02}-{:02}",
+            rng.gen_range(1..=12),
+            rng.gen_range(1..=28)
+        )),
+        Token::EndElement,
+    ];
+    for line in 0..lines {
+        out.push(Token::begin_element("line"));
+        out.push(Token::begin_attribute("no", (line + 1).to_string()));
+        out.push(Token::EndAttribute);
+        out.push(Token::begin_element("sku"));
+        out.push(Token::text(format!("SKU-{:05}", rng.gen_range(0..10_000))));
+        out.push(Token::EndElement);
+        out.push(Token::begin_element("qty"));
+        out.push(Token::text(rng.gen_range(1..100).to_string()));
+        out.push(Token::EndElement);
+        out.push(Token::begin_element("price"));
+        out.push(Token::text(format!(
+            "{}.{:02}",
+            rng.gen_range(1..500),
+            rng.gen_range(0..100)
+        )));
+        out.push(Token::EndElement);
+        out.push(Token::EndElement);
+    }
+    out.push(Token::EndElement);
+    out
+}
+
+/// A `<purchase-orders>` feed with `n` orders.
+pub fn purchase_orders(seed: u64, n: usize) -> Vec<Token> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = vec![Token::begin_element("purchase-orders")];
+    for i in 0..n {
+        out.extend(purchase_order(&mut rng, i as u64 + 1));
+    }
+    out.push(Token::EndElement);
+    out
+}
+
+/// An XMark-flavoured auction-site document: regions with items, people,
+/// and open auctions with nested bids. Exercises mixed depth, attributes,
+/// and text-heavy description content.
+pub fn auction_site(seed: u64, items_per_region: usize) -> Vec<Token> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = vec![Token::begin_element("site")];
+
+    out.push(Token::begin_element("regions"));
+    for region in ["africa", "asia", "europe", "namerica"] {
+        out.push(Token::begin_element(region));
+        for i in 0..items_per_region {
+            out.push(Token::begin_element("item"));
+            out.push(Token::begin_attribute("id", format!("item{region}{i}")));
+            out.push(Token::EndAttribute);
+            out.push(Token::begin_element("name"));
+            out.push(Token::text(format!("lot {} of {region}", i + 1)));
+            out.push(Token::EndElement);
+            out.push(Token::begin_element("description"));
+            let words = rng.gen_range(4..20);
+            let mut text = String::new();
+            for w in 0..words {
+                if w > 0 {
+                    text.push(' ');
+                }
+                text.push_str(NAMES[rng.gen_range(0..NAMES.len())]);
+            }
+            out.push(Token::text(text));
+            out.push(Token::EndElement);
+            out.push(Token::EndElement);
+        }
+        out.push(Token::EndElement);
+    }
+    out.push(Token::EndElement);
+
+    out.push(Token::begin_element("people"));
+    for p in 0..(items_per_region / 2).max(1) {
+        out.push(Token::begin_element("person"));
+        out.push(Token::begin_attribute("id", format!("person{p}")));
+        out.push(Token::EndAttribute);
+        out.push(Token::begin_element("name"));
+        out.push(Token::text(format!("Person {p}")));
+        out.push(Token::EndElement);
+        out.push(Token::EndElement);
+    }
+    out.push(Token::EndElement);
+
+    out.push(Token::begin_element("open_auctions"));
+    for a in 0..items_per_region {
+        out.push(Token::begin_element("open_auction"));
+        out.push(Token::begin_attribute("id", format!("auction{a}")));
+        out.push(Token::EndAttribute);
+        let bids = rng.gen_range(0..6);
+        for _ in 0..bids {
+            out.push(Token::begin_element("bidder"));
+            out.push(Token::begin_element("increase"));
+            out.push(Token::text(format!(
+                "{}.{:02}",
+                rng.gen_range(1..50),
+                rng.gen_range(0..100)
+            )));
+            out.push(Token::EndElement);
+            out.push(Token::EndElement);
+        }
+        out.push(Token::EndElement);
+    }
+    out.push(Token::EndElement);
+
+    out.push(Token::EndElement);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axs_xdm::{count_ids, fragment_well_formed};
+
+    #[test]
+    fn random_tree_is_well_formed_and_sized() {
+        let cfg = DocGenConfig::default();
+        let tokens = random_tree(&cfg);
+        fragment_well_formed(&tokens).unwrap();
+        let elements = tokens
+            .iter()
+            .filter(|t| t.kind() == axs_xdm::TokenKind::BeginElement)
+            .count();
+        assert_eq!(elements, cfg.elements + 1, "root + exact budget");
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let cfg = DocGenConfig::default();
+        assert_eq!(random_tree(&cfg), random_tree(&cfg));
+        assert_eq!(purchase_orders(7, 10), purchase_orders(7, 10));
+        assert_eq!(auction_site(7, 5), auction_site(7, 5));
+        // Different seeds differ.
+        assert_ne!(purchase_orders(7, 10), purchase_orders(8, 10));
+    }
+
+    #[test]
+    fn purchase_orders_shape() {
+        let tokens = purchase_orders(1, 25);
+        fragment_well_formed(&tokens).unwrap();
+        let orders = tokens
+            .iter()
+            .filter(|t| t.name().is_some_and(|n| n.is_local("purchase-order")))
+            .count();
+        assert_eq!(orders, 25);
+        assert!(count_ids(&tokens) > 25 * 5);
+    }
+
+    #[test]
+    fn auction_site_shape() {
+        let tokens = auction_site(3, 10);
+        fragment_well_formed(&tokens).unwrap();
+        let items = tokens
+            .iter()
+            .filter(|t| t.name().is_some_and(|n| n.is_local("item")))
+            .count();
+        assert_eq!(items, 40, "4 regions x 10 items");
+    }
+
+    #[test]
+    fn documents_parse_back_from_serialized_form() {
+        let tokens = purchase_orders(5, 5);
+        let text =
+            axs_xml::serialize(&tokens, &axs_xml::SerializeOptions::default()).unwrap();
+        let back = axs_xml::parse_fragment(&text, axs_xml::ParseOptions::default()).unwrap();
+        assert_eq!(back, tokens);
+    }
+
+    #[test]
+    fn budget_bounds_tree_size() {
+        let cfg = DocGenConfig {
+            elements: 50,
+            ..DocGenConfig::default()
+        };
+        let tokens = random_tree(&cfg);
+        let elements = tokens
+            .iter()
+            .filter(|t| t.kind() == axs_xdm::TokenKind::BeginElement)
+            .count();
+        assert_eq!(elements, 51, "root + budget, got {elements}");
+    }
+}

@@ -1,0 +1,317 @@
+//! Applies an operation stream to a store, tracking live node identifiers.
+
+use crate::docgen::purchase_order;
+use crate::opgen::{Op, OpMix};
+use axs_core::{StoreError, XmlStore};
+use axs_xdm::{NodeId, Token, TokenKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Counters the driver reports after a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DriverReport {
+    /// `read(id)` operations executed.
+    pub reads: u64,
+    /// Full scans executed.
+    pub scans: u64,
+    /// Insert operations executed.
+    pub inserts: u64,
+    /// Delete operations executed.
+    pub deletes: u64,
+    /// Replace operations executed.
+    pub replaces: u64,
+    /// Tokens read back by reads/scans.
+    pub tokens_read: u64,
+    /// Tokens written by inserts/replaces.
+    pub tokens_written: u64,
+}
+
+impl DriverReport {
+    /// Total operations.
+    pub fn total_ops(&self) -> u64 {
+        self.reads + self.scans + self.inserts + self.deletes + self.replaces
+    }
+}
+
+/// A seeded workload driver. Maintains the set of live *element* ids so
+/// every generated operation targets a real node.
+pub struct WorkloadDriver {
+    rng: StdRng,
+    mix: OpMix,
+    root: NodeId,
+    live_elements: Vec<NodeId>,
+    order_no: u64,
+}
+
+impl WorkloadDriver {
+    /// Creates a driver over a store that already contains a root element.
+    /// `live_elements` is seeded by scanning the store once.
+    pub fn new(store: &mut XmlStore, mix: OpMix, seed: u64) -> Result<Self, StoreError> {
+        let mut live_elements = Vec::new();
+        let mut root = None;
+        for item in store.read() {
+            let (id, tok) = item?;
+            if tok.kind() == TokenKind::BeginElement {
+                let id = id.expect("begin tokens carry ids");
+                if root.is_none() {
+                    root = Some(id);
+                }
+                live_elements.push(id);
+            }
+        }
+        let root = root.ok_or(StoreError::Corrupt("driver needs a non-empty store"))?;
+        Ok(WorkloadDriver {
+            rng: StdRng::seed_from_u64(seed),
+            mix,
+            root,
+            live_elements,
+            order_no: 0,
+        })
+    }
+
+    /// The root element every append targets.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of live element targets known to the driver.
+    pub fn live_count(&self) -> usize {
+        self.live_elements.len()
+    }
+
+    fn fresh_fragment(&mut self) -> Vec<Token> {
+        self.order_no += 1;
+        purchase_order(&mut self.rng, self.order_no)
+    }
+
+    fn random_target(&mut self) -> NodeId {
+        let idx = self.rng.gen_range(0..self.live_elements.len());
+        self.live_elements[idx]
+    }
+
+    /// Picks a non-root victim, removing it (and nothing else — descendants
+    /// are lazily discovered as `NodeNotFound` and dropped) from the live
+    /// set. Returns `None` when only the root remains.
+    fn random_victim(&mut self) -> Option<NodeId> {
+        if self.live_elements.len() <= 1 {
+            return None;
+        }
+        let idx = self.rng.gen_range(1..self.live_elements.len());
+        Some(self.live_elements.swap_remove(idx))
+    }
+
+    /// Executes one operation; transparently retries when a randomly chosen
+    /// target turns out to have been deleted as part of an ancestor.
+    fn run_one(&mut self, store: &mut XmlStore, report: &mut DriverReport) -> Result<(), StoreError> {
+        let op = self.mix.pick(self.rng.gen_range(0..self.mix.total()));
+        for _attempt in 0..16 {
+            let outcome = self.try_op(store, op, report);
+            match outcome {
+                Err(StoreError::NodeNotFound(id)) => {
+                    // Stale live-set entry (deleted with an ancestor).
+                    self.live_elements.retain(|&x| x != id);
+                    if self.live_elements.is_empty() {
+                        return Err(StoreError::Corrupt("workload deleted everything"));
+                    }
+                    continue;
+                }
+                other => return other,
+            }
+        }
+        Err(StoreError::Corrupt("workload could not find a live target"))
+    }
+
+    fn try_op(
+        &mut self,
+        store: &mut XmlStore,
+        op: Op,
+        report: &mut DriverReport,
+    ) -> Result<(), StoreError> {
+        match op {
+            Op::ReadNode => {
+                let id = self.random_target();
+                let tokens = store.read_node(id)?;
+                report.reads += 1;
+                report.tokens_read += tokens.len() as u64;
+            }
+            Op::Scan => {
+                let mut n = 0u64;
+                for item in store.read() {
+                    item?;
+                    n += 1;
+                }
+                report.scans += 1;
+                report.tokens_read += n;
+            }
+            Op::InsertIntoLast => {
+                let frag = self.fresh_fragment();
+                let len = frag.len() as u64;
+                let interval = store.insert_into_last(self.root, frag)?;
+                self.live_elements.push(interval.start);
+                report.inserts += 1;
+                report.tokens_written += len;
+            }
+            Op::InsertAfter => {
+                let id = self.random_target();
+                if id == self.root {
+                    // Siblings of the root are legal in a fragment store but
+                    // keep the document single-rooted for realism.
+                    return self.try_op(store, Op::InsertIntoLast, report);
+                }
+                let frag = self.fresh_fragment();
+                let len = frag.len() as u64;
+                let interval = store.insert_after(id, frag)?;
+                self.live_elements.push(interval.start);
+                report.inserts += 1;
+                report.tokens_written += len;
+            }
+            Op::Delete => {
+                let Some(id) = self.random_victim() else {
+                    return self.try_op(store, Op::InsertIntoLast, report);
+                };
+                store.delete_node(id)?;
+                report.deletes += 1;
+            }
+            Op::Replace => {
+                let Some(id) = self.random_victim() else {
+                    return self.try_op(store, Op::InsertIntoLast, report);
+                };
+                let frag = self.fresh_fragment();
+                let len = frag.len() as u64;
+                let interval = store.replace_node(id, frag)?;
+                self.live_elements.push(interval.start);
+                report.replaces += 1;
+                report.tokens_written += len;
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs `n` operations, returning the report.
+    pub fn run(&mut self, store: &mut XmlStore, n: u64) -> Result<DriverReport, StoreError> {
+        let mut report = DriverReport::default();
+        for _ in 0..n {
+            self.run_one(store, &mut report)?;
+        }
+        Ok(report)
+    }
+
+    /// Runs `n` operations, compacting the store every `compact_every`
+    /// operations (a background-maintenance pattern). Compaction must be
+    /// invisible to the workload (invariant: physical only).
+    pub fn run_with_compaction(
+        &mut self,
+        store: &mut XmlStore,
+        n: u64,
+        compact_every: u64,
+        target_bytes: usize,
+    ) -> Result<DriverReport, StoreError> {
+        assert!(compact_every >= 1);
+        let mut report = DriverReport::default();
+        for i in 0..n {
+            self.run_one(store, &mut report)?;
+            if (i + 1) % compact_every == 0 {
+                store.compact(target_bytes)?;
+            }
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::docgen::purchase_orders;
+    use axs_core::{IndexingPolicy, StoreBuilder};
+
+    fn seeded_store(policy: IndexingPolicy) -> XmlStore {
+        let mut s = StoreBuilder::new().policy(policy).build().unwrap();
+        s.bulk_insert(purchase_orders(11, 20)).unwrap();
+        s
+    }
+
+    #[test]
+    fn driver_discovers_live_elements() {
+        let mut s = seeded_store(IndexingPolicy::default_lazy());
+        let d = WorkloadDriver::new(&mut s, OpMix::balanced(), 1).unwrap();
+        assert!(d.live_count() > 20, "root + orders + lines");
+        assert_eq!(d.root(), NodeId(1));
+    }
+
+    #[test]
+    fn append_only_run() {
+        let mut s = seeded_store(IndexingPolicy::default_lazy());
+        let mut d = WorkloadDriver::new(&mut s, OpMix::append_only(), 2).unwrap();
+        let report = d.run(&mut s, 50).unwrap();
+        assert_eq!(report.inserts, 50);
+        assert_eq!(report.total_ops(), 50);
+        assert!(report.tokens_written > 0);
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn balanced_run_keeps_store_consistent() {
+        for policy in [
+            IndexingPolicy::FullIndex {
+                target_range_bytes: 4096,
+            },
+            IndexingPolicy::RangeOnly {
+                target_range_bytes: 4096,
+            },
+            IndexingPolicy::default_lazy(),
+        ] {
+            let mut s = seeded_store(policy);
+            let mut d = WorkloadDriver::new(&mut s, OpMix::balanced(), 3).unwrap();
+            let report = d.run(&mut s, 200).unwrap();
+            assert_eq!(report.total_ops(), 200);
+            s.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn update_heavy_run_deletes_and_replaces() {
+        let mut s = seeded_store(IndexingPolicy::default_lazy());
+        let mut d = WorkloadDriver::new(&mut s, OpMix::update_heavy(), 4).unwrap();
+        let report = d.run(&mut s, 300).unwrap();
+        assert!(report.deletes > 0);
+        assert!(report.replaces > 0);
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn compaction_during_workload_is_invisible() {
+        // The same seeded workload with and without periodic compaction
+        // must produce identical logical content.
+        let run = |compact: bool| {
+            let mut s = seeded_store(IndexingPolicy::RangeOnly {
+                target_range_bytes: 96,
+            });
+            let mut d = WorkloadDriver::new(&mut s, OpMix::balanced(), 5).unwrap();
+            if compact {
+                d.run_with_compaction(&mut s, 150, 25, 4096).unwrap();
+            } else {
+                d.run(&mut s, 150).unwrap();
+            }
+            s.check_invariants().unwrap();
+            s.read_all().unwrap()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn runs_are_deterministic_given_seed() {
+        let run = |seed: u64| {
+            let mut s = seeded_store(IndexingPolicy::default_lazy());
+            let mut d = WorkloadDriver::new(&mut s, OpMix::balanced(), seed).unwrap();
+            let report = d.run(&mut s, 100).unwrap();
+            (report, s.read_all().unwrap())
+        };
+        let (r1, t1) = run(9);
+        let (r2, t2) = run(9);
+        assert_eq!(r1, r2);
+        assert_eq!(t1, t2);
+        let (r3, _) = run(10);
+        assert_ne!(r1, r3);
+    }
+}

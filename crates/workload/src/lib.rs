@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! # axs-workload — document and operation generators
+//!
+//! Deterministic (seeded) generators for the experiment harness:
+//!
+//! - [`docgen`] — synthetic documents: the paper's motivating
+//!   purchase-order feed (§4.1), an XMark-flavoured auction site, and
+//!   parameterized random trees;
+//! - [`opgen`] — operation mixes (reads / scans / the four inserts /
+//!   deletes / replaces) with configurable weights;
+//! - [`driver`] — applies a generated operation stream to a store while
+//!   tracking live node identifiers, so deletes and reads always target
+//!   real nodes.
+
+pub mod docgen;
+pub mod driver;
+pub mod opgen;
+
+pub use docgen::{auction_site, purchase_orders, random_tree, DocGenConfig};
+pub use driver::{DriverReport, WorkloadDriver};
+pub use opgen::{Op, OpMix};

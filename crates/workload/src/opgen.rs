@@ -1,0 +1,162 @@
+//! Operation mixes.
+
+use serde::{Deserialize, Serialize};
+
+/// The operation classes a workload can issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// `read(id)` of a random live node.
+    ReadNode,
+    /// Full sequential scan.
+    Scan,
+    /// Insert a small fragment as last child of a random live element.
+    InsertIntoLast,
+    /// Insert a small fragment after a random live node.
+    InsertAfter,
+    /// Delete a random live node (never the root).
+    Delete,
+    /// Replace a random live node with a fresh fragment.
+    Replace,
+}
+
+/// Weighted operation mix. Weights are relative; zero disables a class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpMix {
+    /// Weight of [`Op::ReadNode`].
+    pub read_node: u32,
+    /// Weight of [`Op::Scan`].
+    pub scan: u32,
+    /// Weight of [`Op::InsertIntoLast`].
+    pub insert_into_last: u32,
+    /// Weight of [`Op::InsertAfter`].
+    pub insert_after: u32,
+    /// Weight of [`Op::Delete`].
+    pub delete: u32,
+    /// Weight of [`Op::Replace`].
+    pub replace: u32,
+}
+
+impl OpMix {
+    /// A read-dominated mix (the "read-oriented" application of §2).
+    pub fn read_heavy() -> OpMix {
+        OpMix {
+            read_node: 80,
+            scan: 5,
+            insert_into_last: 10,
+            insert_after: 3,
+            delete: 1,
+            replace: 1,
+        }
+    }
+
+    /// An update-dominated mix (the "heavy-update scenario" of §2).
+    pub fn update_heavy() -> OpMix {
+        OpMix {
+            read_node: 10,
+            scan: 0,
+            insert_into_last: 50,
+            insert_after: 20,
+            delete: 12,
+            replace: 8,
+        }
+    }
+
+    /// A balanced mix.
+    pub fn balanced() -> OpMix {
+        OpMix {
+            read_node: 40,
+            scan: 2,
+            insert_into_last: 30,
+            insert_after: 14,
+            delete: 8,
+            replace: 6,
+        }
+    }
+
+    /// Appends only — the paper's purchase-order feed.
+    pub fn append_only() -> OpMix {
+        OpMix {
+            read_node: 0,
+            scan: 0,
+            insert_into_last: 100,
+            insert_after: 0,
+            delete: 0,
+            replace: 0,
+        }
+    }
+
+    /// Total weight.
+    pub fn total(&self) -> u32 {
+        self.read_node
+            + self.scan
+            + self.insert_into_last
+            + self.insert_after
+            + self.delete
+            + self.replace
+    }
+
+    /// Maps a roll in `[0, total)` to an operation class.
+    pub fn pick(&self, mut roll: u32) -> Op {
+        debug_assert!(roll < self.total());
+        for (w, op) in [
+            (self.read_node, Op::ReadNode),
+            (self.scan, Op::Scan),
+            (self.insert_into_last, Op::InsertIntoLast),
+            (self.insert_after, Op::InsertAfter),
+            (self.delete, Op::Delete),
+            (self.replace, Op::Replace),
+        ] {
+            if roll < w {
+                return op;
+            }
+            roll -= w;
+        }
+        unreachable!("roll within total weight")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pick_covers_all_classes() {
+        let mix = OpMix::balanced();
+        let mut seen = std::collections::HashSet::new();
+        for roll in 0..mix.total() {
+            seen.insert(mix.pick(roll));
+        }
+        assert_eq!(seen.len(), 6);
+    }
+
+    #[test]
+    fn pick_respects_boundaries() {
+        let mix = OpMix {
+            read_node: 2,
+            scan: 0,
+            insert_into_last: 3,
+            insert_after: 0,
+            delete: 0,
+            replace: 1,
+        };
+        assert_eq!(mix.pick(0), Op::ReadNode);
+        assert_eq!(mix.pick(1), Op::ReadNode);
+        assert_eq!(mix.pick(2), Op::InsertIntoLast);
+        assert_eq!(mix.pick(4), Op::InsertIntoLast);
+        assert_eq!(mix.pick(5), Op::Replace);
+    }
+
+    #[test]
+    fn zero_weight_classes_never_picked() {
+        let mix = OpMix::append_only();
+        for roll in 0..mix.total() {
+            assert_eq!(mix.pick(roll), Op::InsertIntoLast);
+        }
+    }
+
+    #[test]
+    fn presets_have_expected_bias() {
+        assert!(OpMix::read_heavy().read_node > OpMix::read_heavy().insert_into_last);
+        assert!(OpMix::update_heavy().insert_into_last > OpMix::update_heavy().read_node);
+    }
+}

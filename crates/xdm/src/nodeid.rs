@@ -1,0 +1,179 @@
+//! Stable node identifiers and identifier intervals.
+//!
+//! The default identifier scheme of the paper (§6.2): unique integers
+//! assigned at insert time. IDs are *stable* (they never change once
+//! assigned) and *comparable within a range* (document order inside a range
+//! equals numeric order), which is exactly what the Range Index needs.
+//! Cross-range document order is derived from range chaining, not from IDs.
+
+use std::fmt;
+
+/// A stable node identifier. `NodeId(0)` is reserved as "no node" and is
+/// never handed out by any identifier scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u64);
+
+impl NodeId {
+    /// The smallest identifier any scheme will assign.
+    pub const FIRST: NodeId = NodeId(1);
+
+    /// Raw integer value.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The identifier immediately after this one in allocation order.
+    pub fn next(self) -> NodeId {
+        NodeId(self.0 + 1)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl From<u64> for NodeId {
+    fn from(v: u64) -> Self {
+        NodeId(v)
+    }
+}
+
+/// A closed interval `[start, end]` of node identifiers, the key type of the
+/// Range Index (§4.3, Tables 2 and 3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IdInterval {
+    /// First identifier in the interval (inclusive).
+    pub start: NodeId,
+    /// Last identifier in the interval (inclusive).
+    pub end: NodeId,
+}
+
+impl IdInterval {
+    /// Creates `[start, end]`. Panics when `start > end`, which would be a
+    /// logic error in range bookkeeping.
+    pub fn new(start: NodeId, end: NodeId) -> Self {
+        assert!(
+            start <= end,
+            "invalid IdInterval: start {start} > end {end}"
+        );
+        IdInterval { start, end }
+    }
+
+    /// A single-identifier interval.
+    pub fn singleton(id: NodeId) -> Self {
+        IdInterval { start: id, end: id }
+    }
+
+    /// Number of identifiers covered.
+    pub fn len(&self) -> u64 {
+        self.end.0 - self.start.0 + 1
+    }
+
+    /// Intervals are never empty, but the standard pair keeps clippy happy
+    /// and documents the invariant.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// True when `id` lies in `[start, end]`.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.start <= id && id <= self.end
+    }
+
+    /// True when the two intervals share at least one identifier.
+    pub fn overlaps(&self, other: &IdInterval) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// Splits `[start, end]` around `at`, producing `[start, at]` and
+    /// `[at+1, end]`. Returns `None` when `at` is not a proper internal split
+    /// point (i.e. `at` outside the interval or equal to `end`).
+    pub fn split_after(&self, at: NodeId) -> Option<(IdInterval, IdInterval)> {
+        if !self.contains(at) || at == self.end {
+            return None;
+        }
+        Some((
+            IdInterval::new(self.start, at),
+            IdInterval::new(at.next(), self.end),
+        ))
+    }
+}
+
+impl fmt::Display for IdInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.start.0, self.end.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_increments() {
+        assert_eq!(NodeId(1).next(), NodeId(2));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId(60).to_string(), "#60");
+        assert_eq!(
+            IdInterval::new(NodeId(1), NodeId(100)).to_string(),
+            "[1, 100]"
+        );
+    }
+
+    #[test]
+    fn interval_len_and_contains() {
+        let iv = IdInterval::new(NodeId(1), NodeId(100));
+        assert_eq!(iv.len(), 100);
+        assert!(iv.contains(NodeId(1)));
+        assert!(iv.contains(NodeId(60)));
+        assert!(iv.contains(NodeId(100)));
+        assert!(!iv.contains(NodeId(101)));
+    }
+
+    #[test]
+    fn singleton_interval() {
+        let iv = IdInterval::singleton(NodeId(7));
+        assert_eq!(iv.len(), 1);
+        assert!(iv.contains(NodeId(7)));
+        assert!(!iv.contains(NodeId(8)));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid IdInterval")]
+    fn inverted_interval_panics() {
+        let _ = IdInterval::new(NodeId(5), NodeId(4));
+    }
+
+    #[test]
+    fn overlap_cases() {
+        let a = IdInterval::new(NodeId(1), NodeId(60));
+        let b = IdInterval::new(NodeId(61), NodeId(100));
+        let c = IdInterval::new(NodeId(50), NodeId(70));
+        assert!(!a.overlaps(&b));
+        assert!(a.overlaps(&c));
+        assert!(b.overlaps(&c));
+        assert!(a.overlaps(&a));
+    }
+
+    #[test]
+    fn split_after_paper_example() {
+        // Table 2 -> Table 3: range [1,100] split after id 60.
+        let iv = IdInterval::new(NodeId(1), NodeId(100));
+        let (left, right) = iv.split_after(NodeId(60)).unwrap();
+        assert_eq!(left, IdInterval::new(NodeId(1), NodeId(60)));
+        assert_eq!(right, IdInterval::new(NodeId(61), NodeId(100)));
+    }
+
+    #[test]
+    fn split_after_rejects_boundary_and_outside() {
+        let iv = IdInterval::new(NodeId(1), NodeId(100));
+        assert!(iv.split_after(NodeId(100)).is_none());
+        assert!(iv.split_after(NodeId(101)).is_none());
+        assert!(iv.split_after(NodeId(0)).is_none());
+    }
+}

@@ -1,0 +1,316 @@
+//! Helpers over token slices: nesting, subtree boundaries, fragment
+//! well-formedness, and identifier counting.
+//!
+//! These operations are what the store's range logic is built from: finding
+//! the end token of a node (the expensive lookup the Partial Index
+//! memoizes, §5), validating fragments before insertion, and counting how
+//! many identifiers a fragment will consume (§4.5 step 1: "Allocate 100
+//! identifiers for the inserted nodes").
+
+use crate::token::{Token, TokenKind};
+use std::fmt;
+
+/// Why a token sequence is not a valid insertable fragment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FragmentError {
+    /// An end token appeared with no matching open begin token.
+    UnderflowAt(usize),
+    /// Begin tokens left unclosed at the end of the sequence.
+    Unclosed(usize),
+    /// An end token of the wrong kind closed an open begin token.
+    MismatchedEnd(usize),
+    /// The fragment was empty.
+    Empty,
+    /// A document token appeared inside a fragment (documents cannot nest).
+    NestedDocument(usize),
+}
+
+impl fmt::Display for FragmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FragmentError::UnderflowAt(i) => {
+                write!(f, "end token at position {i} closes nothing")
+            }
+            FragmentError::Unclosed(n) => write!(f, "{n} begin token(s) left unclosed"),
+            FragmentError::MismatchedEnd(i) => {
+                write!(f, "end token at position {i} does not match the open begin token")
+            }
+            FragmentError::Empty => write!(f, "empty fragment"),
+            FragmentError::NestedDocument(i) => {
+                write!(f, "document token at position {i} inside a fragment")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FragmentError {}
+
+/// Nesting-depth contribution of one token (`+1`, `0`, or `-1`).
+pub fn depth_delta(token: &Token) -> i32 {
+    token.kind().depth_delta()
+}
+
+/// Index of the last token of the node whose begin token sits at `start`.
+///
+/// For leaf tokens (text, comment, PI) this is `start` itself. For begin
+/// tokens it is the index of the matching end token. Returns `None` when
+/// `start` is out of bounds, points at an end token, or the subtree is not
+/// closed within the slice.
+pub fn subtree_end(tokens: &[Token], start: usize) -> Option<usize> {
+    let first = tokens.get(start)?;
+    let kind = first.kind();
+    if kind.is_end() {
+        return None;
+    }
+    if !kind.is_begin() {
+        return Some(start);
+    }
+    let mut depth = 1i32;
+    for (offset, tok) in tokens[start + 1..].iter().enumerate() {
+        depth += depth_delta(tok);
+        if depth == 0 {
+            return Some(start + 1 + offset);
+        }
+    }
+    None
+}
+
+/// Number of node identifiers the sequence consumes (one per begin /
+/// leaf-node token; end tokens consume none).
+pub fn count_ids(tokens: &[Token]) -> u64 {
+    tokens.iter().filter(|t| t.consumes_id()).count() as u64
+}
+
+/// Checks that `tokens` forms a sequence of one or more *complete nodes*:
+/// balanced, properly nested, never dipping below depth zero, and containing
+/// no document tokens (fragments are inserted inside a document).
+pub fn fragment_well_formed(tokens: &[Token]) -> Result<(), FragmentError> {
+    if tokens.is_empty() {
+        return Err(FragmentError::Empty);
+    }
+    let mut stack: Vec<TokenKind> = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        let kind = tok.kind();
+        if matches!(kind, TokenKind::BeginDocument | TokenKind::EndDocument) {
+            return Err(FragmentError::NestedDocument(i));
+        }
+        if kind.is_begin() {
+            stack.push(kind);
+        } else if kind.is_end() {
+            match stack.pop() {
+                None => return Err(FragmentError::UnderflowAt(i)),
+                Some(open) => {
+                    if open.matching_end() != Some(kind) {
+                        return Err(FragmentError::MismatchedEnd(i));
+                    }
+                }
+            }
+        }
+    }
+    if stack.is_empty() {
+        Ok(())
+    } else {
+        Err(FragmentError::Unclosed(stack.len()))
+    }
+}
+
+/// Checks that `tokens` is a complete *document*: `BeginDocument`, a
+/// well-formed body, `EndDocument`.
+pub fn document_well_formed(tokens: &[Token]) -> Result<(), FragmentError> {
+    if tokens.len() < 2 {
+        return Err(FragmentError::Empty);
+    }
+    if tokens[0].kind() != TokenKind::BeginDocument {
+        return Err(FragmentError::NestedDocument(0));
+    }
+    if tokens[tokens.len() - 1].kind() != TokenKind::EndDocument {
+        return Err(FragmentError::Unclosed(1));
+    }
+    let body = &tokens[1..tokens.len() - 1];
+    if body.is_empty() {
+        return Ok(());
+    }
+    fragment_well_formed(body)
+}
+
+/// Iterator over the `(start, end)` index pairs of the *top-level nodes* of a
+/// well-formed fragment.
+pub fn top_level_nodes(tokens: &[Token]) -> TopLevelNodes<'_> {
+    TopLevelNodes { tokens, pos: 0 }
+}
+
+/// See [`top_level_nodes`].
+pub struct TopLevelNodes<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl Iterator for TopLevelNodes<'_> {
+    type Item = (usize, usize);
+
+    fn next(&mut self) -> Option<(usize, usize)> {
+        if self.pos >= self.tokens.len() {
+            return None;
+        }
+        let start = self.pos;
+        let end = subtree_end(self.tokens, start)?;
+        self.pos = end + 1;
+        Some((start, end))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::Token;
+
+    /// The Figure 1 ticket document body (no document wrapper).
+    fn ticket_fragment() -> Vec<Token> {
+        vec![
+            Token::begin_element("ticket"),   // 0   id 1
+            Token::begin_element("hour"),     // 1   id 2
+            Token::text("15"),                // 2   id 3
+            Token::EndElement,                // 3
+            Token::begin_element("name"),     // 4   id 4
+            Token::text("Paul"),              // 5   id 5
+            Token::EndElement,                // 6
+            Token::EndElement,                // 7
+        ]
+    }
+
+    #[test]
+    fn figure1_consumes_five_ids() {
+        assert_eq!(count_ids(&ticket_fragment()), 5);
+    }
+
+    #[test]
+    fn subtree_end_of_root() {
+        let toks = ticket_fragment();
+        assert_eq!(subtree_end(&toks, 0), Some(7));
+    }
+
+    #[test]
+    fn subtree_end_of_inner_element() {
+        let toks = ticket_fragment();
+        assert_eq!(subtree_end(&toks, 1), Some(3)); // <hour>
+        assert_eq!(subtree_end(&toks, 4), Some(6)); // <name>
+    }
+
+    #[test]
+    fn subtree_end_of_leaf_is_itself() {
+        let toks = ticket_fragment();
+        assert_eq!(subtree_end(&toks, 2), Some(2)); // text "15"
+    }
+
+    #[test]
+    fn subtree_end_rejects_end_tokens_and_oob() {
+        let toks = ticket_fragment();
+        assert_eq!(subtree_end(&toks, 3), None);
+        assert_eq!(subtree_end(&toks, 99), None);
+    }
+
+    #[test]
+    fn subtree_end_detects_unclosed() {
+        let toks = vec![Token::begin_element("a"), Token::text("x")];
+        assert_eq!(subtree_end(&toks, 0), None);
+    }
+
+    #[test]
+    fn fragment_ok() {
+        assert!(fragment_well_formed(&ticket_fragment()).is_ok());
+    }
+
+    #[test]
+    fn fragment_multiple_roots_ok() {
+        let toks = vec![
+            Token::begin_element("a"),
+            Token::EndElement,
+            Token::begin_element("b"),
+            Token::EndElement,
+        ];
+        assert!(fragment_well_formed(&toks).is_ok());
+    }
+
+    #[test]
+    fn fragment_rejects_empty() {
+        assert_eq!(fragment_well_formed(&[]), Err(FragmentError::Empty));
+    }
+
+    #[test]
+    fn fragment_rejects_underflow() {
+        let toks = vec![Token::EndElement];
+        assert_eq!(
+            fragment_well_formed(&toks),
+            Err(FragmentError::UnderflowAt(0))
+        );
+    }
+
+    #[test]
+    fn fragment_rejects_unclosed() {
+        let toks = vec![Token::begin_element("a")];
+        assert_eq!(fragment_well_formed(&toks), Err(FragmentError::Unclosed(1)));
+    }
+
+    #[test]
+    fn fragment_rejects_mismatched_end() {
+        let toks = vec![Token::begin_element("a"), Token::EndAttribute];
+        assert_eq!(
+            fragment_well_formed(&toks),
+            Err(FragmentError::MismatchedEnd(1))
+        );
+    }
+
+    #[test]
+    fn fragment_rejects_document_tokens() {
+        let toks = vec![Token::BeginDocument, Token::EndDocument];
+        assert_eq!(
+            fragment_well_formed(&toks),
+            Err(FragmentError::NestedDocument(0))
+        );
+    }
+
+    #[test]
+    fn document_well_formed_accepts_wrapped_fragment() {
+        let mut toks = vec![Token::BeginDocument];
+        toks.extend(ticket_fragment());
+        toks.push(Token::EndDocument);
+        assert!(document_well_formed(&toks).is_ok());
+    }
+
+    #[test]
+    fn document_well_formed_accepts_empty_document() {
+        assert!(document_well_formed(&[Token::BeginDocument, Token::EndDocument]).is_ok());
+    }
+
+    #[test]
+    fn document_well_formed_rejects_bare_fragment() {
+        assert!(document_well_formed(&ticket_fragment()).is_err());
+    }
+
+    #[test]
+    fn top_level_nodes_iterates_siblings() {
+        let toks = vec![
+            Token::begin_element("a"), // 0..=2
+            Token::text("x"),
+            Token::EndElement,
+            Token::comment("c"),       // 3..=3
+            Token::begin_element("b"), // 4..=5
+            Token::EndElement,
+        ];
+        let nodes: Vec<_> = top_level_nodes(&toks).collect();
+        assert_eq!(nodes, vec![(0, 2), (3, 3), (4, 5)]);
+    }
+
+    #[test]
+    fn attribute_nodes_nest() {
+        let toks = vec![
+            Token::begin_element("e"),
+            Token::begin_attribute("k", "v"),
+            Token::EndAttribute,
+            Token::EndElement,
+        ];
+        assert!(fragment_well_formed(&toks).is_ok());
+        assert_eq!(subtree_end(&toks, 1), Some(2));
+        assert_eq!(count_ids(&toks), 2);
+    }
+}

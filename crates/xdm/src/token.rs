@@ -1,0 +1,367 @@
+//! The token vocabulary (§3.2 of the paper, Figure 1).
+//!
+//! Tokens are "a materialization of enriched SAX events" [BEA/XQRL]: richer
+//! than SAX because attributes are separated from their element and given
+//! their own begin/end tokens. A node of the XQuery Data Model is represented
+//! by a token subsequence whose *begin* token carries the node identifier —
+//! logically: on storage the identifiers are regenerated, not stored (§6.1).
+
+use crate::qname::QName;
+use crate::types::TypeAnnotation;
+use std::fmt;
+
+/// The kind of a token, without its payload. Used by identifier schemes
+/// (which must decide ID consumption from the kind alone — the `idFactory`
+/// signature of §6.1) and by the codec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum TokenKind {
+    /// Start of a document node.
+    BeginDocument = 0,
+    /// End of a document node.
+    EndDocument = 1,
+    /// Start of an element node; carries the name.
+    BeginElement = 2,
+    /// End of the innermost open element.
+    EndElement = 3,
+    /// Start of an attribute node; carries name and value.
+    BeginAttribute = 4,
+    /// End of an attribute node.
+    EndAttribute = 5,
+    /// A text node (a complete node in itself).
+    Text = 6,
+    /// A comment node.
+    Comment = 7,
+    /// A processing-instruction node.
+    ProcessingInstruction = 8,
+}
+
+impl TokenKind {
+    /// All kinds in tag order.
+    pub const ALL: [TokenKind; 9] = [
+        TokenKind::BeginDocument,
+        TokenKind::EndDocument,
+        TokenKind::BeginElement,
+        TokenKind::EndElement,
+        TokenKind::BeginAttribute,
+        TokenKind::EndAttribute,
+        TokenKind::Text,
+        TokenKind::Comment,
+        TokenKind::ProcessingInstruction,
+    ];
+
+    /// Wire tag for the codec.
+    pub fn to_tag(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`TokenKind::to_tag`].
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        Self::ALL.get(tag as usize).copied()
+    }
+
+    /// Whether a token of this kind *consumes a node identifier*. This is the
+    /// heart of the `idFactory : {ID} × {token} → {ID}` property (§6.1):
+    /// because consumption depends only on the kind, IDs can be regenerated
+    /// by scanning a range from its start identifier.
+    pub fn consumes_id(self) -> bool {
+        matches!(
+            self,
+            TokenKind::BeginDocument
+                | TokenKind::BeginElement
+                | TokenKind::BeginAttribute
+                | TokenKind::Text
+                | TokenKind::Comment
+                | TokenKind::ProcessingInstruction
+        )
+    }
+
+    /// Nesting-depth contribution: `+1` for begin tokens, `-1` for end
+    /// tokens, `0` for leaf tokens.
+    pub fn depth_delta(self) -> i32 {
+        match self {
+            TokenKind::BeginDocument | TokenKind::BeginElement | TokenKind::BeginAttribute => 1,
+            TokenKind::EndDocument | TokenKind::EndElement | TokenKind::EndAttribute => -1,
+            TokenKind::Text | TokenKind::Comment | TokenKind::ProcessingInstruction => 0,
+        }
+    }
+
+    /// True for `Begin*` tokens.
+    pub fn is_begin(self) -> bool {
+        self.depth_delta() > 0
+    }
+
+    /// True for `End*` tokens.
+    pub fn is_end(self) -> bool {
+        self.depth_delta() < 0
+    }
+
+    /// The end kind that closes this begin kind, if any.
+    pub fn matching_end(self) -> Option<TokenKind> {
+        match self {
+            TokenKind::BeginDocument => Some(TokenKind::EndDocument),
+            TokenKind::BeginElement => Some(TokenKind::EndElement),
+            TokenKind::BeginAttribute => Some(TokenKind::EndAttribute),
+            _ => None,
+        }
+    }
+}
+
+/// One token of the flat XML representation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Token {
+    /// Start of a document node.
+    BeginDocument,
+    /// End of a document node.
+    EndDocument,
+    /// Start of an element node.
+    BeginElement {
+        /// Element name.
+        name: QName,
+        /// PSVI type annotation (requirement 7).
+        type_ann: TypeAnnotation,
+    },
+    /// End of the innermost open element.
+    EndElement,
+    /// Start of an attribute node. The attribute value is carried on the
+    /// begin token so that identifier assignment stays stateless (the value
+    /// is not a text *node* in the XQuery Data Model).
+    BeginAttribute {
+        /// Attribute name.
+        name: QName,
+        /// Attribute value (already entity-decoded).
+        value: Box<str>,
+        /// PSVI type annotation.
+        type_ann: TypeAnnotation,
+    },
+    /// End of an attribute node.
+    EndAttribute,
+    /// A text node.
+    Text {
+        /// Character content (entity-decoded).
+        value: Box<str>,
+        /// PSVI type annotation.
+        type_ann: TypeAnnotation,
+    },
+    /// A comment node.
+    Comment {
+        /// Comment content (without `<!--`/`-->`).
+        value: Box<str>,
+    },
+    /// A processing instruction node.
+    ProcessingInstruction {
+        /// PI target.
+        target: Box<str>,
+        /// PI data (may be empty).
+        value: Box<str>,
+    },
+}
+
+impl Token {
+    /// Convenience constructor for an untyped element-begin token.
+    pub fn begin_element(name: impl Into<QName>) -> Token {
+        Token::BeginElement {
+            name: name.into(),
+            type_ann: TypeAnnotation::Untyped,
+        }
+    }
+
+    /// Convenience constructor for an untyped attribute node begin token.
+    pub fn begin_attribute(name: impl Into<QName>, value: impl Into<String>) -> Token {
+        Token::BeginAttribute {
+            name: name.into(),
+            value: value.into().into_boxed_str(),
+            type_ann: TypeAnnotation::Untyped,
+        }
+    }
+
+    /// Convenience constructor for an untyped text token.
+    pub fn text(value: impl Into<String>) -> Token {
+        Token::Text {
+            value: value.into().into_boxed_str(),
+            type_ann: TypeAnnotation::Untyped,
+        }
+    }
+
+    /// Convenience constructor for a comment token.
+    pub fn comment(value: impl Into<String>) -> Token {
+        Token::Comment {
+            value: value.into().into_boxed_str(),
+        }
+    }
+
+    /// Convenience constructor for a processing-instruction token.
+    pub fn pi(target: impl Into<String>, value: impl Into<String>) -> Token {
+        Token::ProcessingInstruction {
+            target: target.into().into_boxed_str(),
+            value: value.into().into_boxed_str(),
+        }
+    }
+
+    /// The kind of this token.
+    pub fn kind(&self) -> TokenKind {
+        match self {
+            Token::BeginDocument => TokenKind::BeginDocument,
+            Token::EndDocument => TokenKind::EndDocument,
+            Token::BeginElement { .. } => TokenKind::BeginElement,
+            Token::EndElement => TokenKind::EndElement,
+            Token::BeginAttribute { .. } => TokenKind::BeginAttribute,
+            Token::EndAttribute => TokenKind::EndAttribute,
+            Token::Text { .. } => TokenKind::Text,
+            Token::Comment { .. } => TokenKind::Comment,
+            Token::ProcessingInstruction { .. } => TokenKind::ProcessingInstruction,
+        }
+    }
+
+    /// See [`TokenKind::consumes_id`].
+    pub fn consumes_id(&self) -> bool {
+        self.kind().consumes_id()
+    }
+
+    /// The node name, for element and attribute begin tokens.
+    pub fn name(&self) -> Option<&QName> {
+        match self {
+            Token::BeginElement { name, .. } | Token::BeginAttribute { name, .. } => Some(name),
+            _ => None,
+        }
+    }
+
+    /// The string value carried directly on this token (attribute value,
+    /// text content, comment content, or PI data).
+    pub fn string_value(&self) -> Option<&str> {
+        match self {
+            Token::BeginAttribute { value, .. }
+            | Token::Text { value, .. }
+            | Token::Comment { value }
+            | Token::ProcessingInstruction { value, .. } => Some(value),
+            _ => None,
+        }
+    }
+
+    /// The type annotation, where applicable.
+    pub fn type_annotation(&self) -> Option<TypeAnnotation> {
+        match self {
+            Token::BeginElement { type_ann, .. }
+            | Token::BeginAttribute { type_ann, .. }
+            | Token::Text { type_ann, .. } => Some(*type_ann),
+            _ => None,
+        }
+    }
+
+    /// Returns a copy of this token with the type annotation replaced.
+    /// No-op for kinds that carry no annotation.
+    pub fn with_type(mut self, ty: TypeAnnotation) -> Token {
+        match &mut self {
+            Token::BeginElement { type_ann, .. }
+            | Token::BeginAttribute { type_ann, .. }
+            | Token::Text { type_ann, .. } => *type_ann = ty,
+            _ => {}
+        }
+        self
+    }
+}
+
+impl fmt::Display for Token {
+    /// Figure-1 style rendering, e.g. `[BEGIN_ELEMENT ticket]`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::BeginDocument => write!(f, "[BEGIN_DOCUMENT]"),
+            Token::EndDocument => write!(f, "[END_DOCUMENT]"),
+            Token::BeginElement { name, .. } => write!(f, "[BEGIN_ELEMENT {name}]"),
+            Token::EndElement => write!(f, "[END_ELEMENT]"),
+            Token::BeginAttribute { name, value, .. } => {
+                write!(f, "[BEGIN_ATTRIBUTE {name}={value:?}]")
+            }
+            Token::EndAttribute => write!(f, "[END_ATTRIBUTE]"),
+            Token::Text { value, .. } => write!(f, "[TEXT_TOKEN {value:?}]"),
+            Token::Comment { value } => write!(f, "[COMMENT {value:?}]"),
+            Token::ProcessingInstruction { target, value } => {
+                write!(f, "[PI {target} {value:?}]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_tags_round_trip() {
+        for k in TokenKind::ALL {
+            assert_eq!(TokenKind::from_tag(k.to_tag()), Some(k));
+        }
+        assert_eq!(TokenKind::from_tag(99), None);
+    }
+
+    #[test]
+    fn id_consumption_matches_xdm_node_kinds() {
+        // Nodes of the XQuery Data Model: document, element, attribute,
+        // text, comment, processing instruction. Exactly their begin tokens
+        // consume identifiers.
+        assert!(TokenKind::BeginDocument.consumes_id());
+        assert!(TokenKind::BeginElement.consumes_id());
+        assert!(TokenKind::BeginAttribute.consumes_id());
+        assert!(TokenKind::Text.consumes_id());
+        assert!(TokenKind::Comment.consumes_id());
+        assert!(TokenKind::ProcessingInstruction.consumes_id());
+        assert!(!TokenKind::EndDocument.consumes_id());
+        assert!(!TokenKind::EndElement.consumes_id());
+        assert!(!TokenKind::EndAttribute.consumes_id());
+    }
+
+    #[test]
+    fn depth_deltas_sum_to_zero_for_balanced_pairs() {
+        for k in TokenKind::ALL {
+            if let Some(end) = k.matching_end() {
+                assert_eq!(k.depth_delta() + end.depth_delta(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn begin_end_classification() {
+        assert!(TokenKind::BeginElement.is_begin());
+        assert!(TokenKind::EndAttribute.is_end());
+        assert!(!TokenKind::Text.is_begin());
+        assert!(!TokenKind::Text.is_end());
+    }
+
+    #[test]
+    fn constructors_and_accessors() {
+        let t = Token::begin_element("ticket");
+        assert_eq!(t.kind(), TokenKind::BeginElement);
+        assert_eq!(t.name().unwrap().local_part(), "ticket");
+        assert_eq!(t.string_value(), None);
+
+        let a = Token::begin_attribute("id", "42");
+        assert_eq!(a.string_value(), Some("42"));
+        assert_eq!(a.type_annotation(), Some(TypeAnnotation::Untyped));
+
+        let x = Token::text("15");
+        assert_eq!(x.string_value(), Some("15"));
+
+        let p = Token::pi("xml-stylesheet", "href='x.css'");
+        assert_eq!(p.string_value(), Some("href='x.css'"));
+        assert_eq!(p.type_annotation(), None);
+    }
+
+    #[test]
+    fn with_type_sets_annotation() {
+        let t = Token::text("15").with_type(TypeAnnotation::Integer);
+        assert_eq!(t.type_annotation(), Some(TypeAnnotation::Integer));
+        // End tokens silently ignore annotations.
+        let e = Token::EndElement.with_type(TypeAnnotation::Integer);
+        assert_eq!(e, Token::EndElement);
+    }
+
+    #[test]
+    fn display_matches_figure1_style() {
+        assert_eq!(
+            Token::begin_element("hour").to_string(),
+            "[BEGIN_ELEMENT hour]"
+        );
+        assert_eq!(Token::text("15").to_string(), "[TEXT_TOKEN \"15\"]");
+        assert_eq!(Token::EndElement.to_string(), "[END_ELEMENT]");
+    }
+}

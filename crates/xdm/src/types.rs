@@ -1,0 +1,221 @@
+//! PSVI-style type annotations.
+//!
+//! Requirement 7 of §2: "Support PSVI" — the store must be able to carry the
+//! XML-Schema type derived after validation so schema evaluation is not
+//! repeated. Tokens carry a [`TypeAnnotation`]; the `axs-xml` crate provides
+//! a lightweight annotator that assigns these from path rules.
+
+use std::fmt;
+
+/// Atomic/complex type annotation attached to element, attribute, and text
+/// tokens. A small but representative subset of the XML Schema built-ins:
+/// enough to exercise the "store it, don't re-derive it" property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(u8)]
+pub enum TypeAnnotation {
+    /// `xs:untyped` / `xs:untypedAtomic` — no schema validation happened.
+    #[default]
+    Untyped = 0,
+    /// `xs:anyType` — validated, no more specific type.
+    AnyType = 1,
+    /// `xs:string`
+    String = 2,
+    /// `xs:integer`
+    Integer = 3,
+    /// `xs:decimal`
+    Decimal = 4,
+    /// `xs:double`
+    Double = 5,
+    /// `xs:boolean`
+    Boolean = 6,
+    /// `xs:date`
+    Date = 7,
+    /// `xs:dateTime`
+    DateTime = 8,
+    /// `xs:ID`
+    Id = 9,
+    /// `xs:IDREF`
+    IdRef = 10,
+}
+
+impl TypeAnnotation {
+    /// All annotation variants, in tag order. Used by the codec tests to make
+    /// sure every variant round-trips.
+    pub const ALL: [TypeAnnotation; 11] = [
+        TypeAnnotation::Untyped,
+        TypeAnnotation::AnyType,
+        TypeAnnotation::String,
+        TypeAnnotation::Integer,
+        TypeAnnotation::Decimal,
+        TypeAnnotation::Double,
+        TypeAnnotation::Boolean,
+        TypeAnnotation::Date,
+        TypeAnnotation::DateTime,
+        TypeAnnotation::Id,
+        TypeAnnotation::IdRef,
+    ];
+
+    /// The wire tag for the codec.
+    pub fn to_tag(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`TypeAnnotation::to_tag`].
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        Self::ALL.get(tag as usize).copied()
+    }
+
+    /// The `xs:`-prefixed lexical name of the type.
+    pub fn xs_name(self) -> &'static str {
+        match self {
+            TypeAnnotation::Untyped => "xs:untyped",
+            TypeAnnotation::AnyType => "xs:anyType",
+            TypeAnnotation::String => "xs:string",
+            TypeAnnotation::Integer => "xs:integer",
+            TypeAnnotation::Decimal => "xs:decimal",
+            TypeAnnotation::Double => "xs:double",
+            TypeAnnotation::Boolean => "xs:boolean",
+            TypeAnnotation::Date => "xs:date",
+            TypeAnnotation::DateTime => "xs:dateTime",
+            TypeAnnotation::Id => "xs:ID",
+            TypeAnnotation::IdRef => "xs:IDREF",
+        }
+    }
+
+    /// Validates a lexical value against this type. `Untyped`, `AnyType`,
+    /// `String`, `Id` and `IdRef` accept anything; the others check syntax.
+    pub fn accepts(self, lexical: &str) -> bool {
+        match self {
+            TypeAnnotation::Untyped
+            | TypeAnnotation::AnyType
+            | TypeAnnotation::String
+            | TypeAnnotation::Id
+            | TypeAnnotation::IdRef => true,
+            TypeAnnotation::Integer => {
+                let s = lexical.trim();
+                let s = s.strip_prefix(['+', '-']).unwrap_or(s);
+                !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit())
+            }
+            TypeAnnotation::Decimal | TypeAnnotation::Double => {
+                lexical.trim().parse::<f64>().is_ok()
+            }
+            TypeAnnotation::Boolean => {
+                matches!(lexical.trim(), "true" | "false" | "0" | "1")
+            }
+            TypeAnnotation::Date => is_date(lexical.trim()),
+            TypeAnnotation::DateTime => {
+                let s = lexical.trim();
+                match s.split_once('T') {
+                    Some((d, t)) => is_date(d) && is_time(t),
+                    None => false,
+                }
+            }
+        }
+    }
+}
+
+fn is_date(s: &str) -> bool {
+    // YYYY-MM-DD (proleptic syntax check only).
+    let bytes = s.as_bytes();
+    bytes.len() == 10
+        && bytes[4] == b'-'
+        && bytes[7] == b'-'
+        && bytes[..4].iter().all(u8::is_ascii_digit)
+        && bytes[5..7].iter().all(u8::is_ascii_digit)
+        && bytes[8..10].iter().all(u8::is_ascii_digit)
+        && (1..=12).contains(&s[5..7].parse::<u8>().unwrap_or(0))
+        && (1..=31).contains(&s[8..10].parse::<u8>().unwrap_or(0))
+}
+
+fn is_time(s: &str) -> bool {
+    // HH:MM:SS with optional fraction / zone suffix accepted loosely.
+    let bytes = s.as_bytes();
+    bytes.len() >= 8
+        && bytes[2] == b':'
+        && bytes[5] == b':'
+        && bytes[..2].iter().all(u8::is_ascii_digit)
+        && bytes[3..5].iter().all(u8::is_ascii_digit)
+        && bytes[6..8].iter().all(u8::is_ascii_digit)
+}
+
+impl fmt::Display for TypeAnnotation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.xs_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_round_trip() {
+        for ty in TypeAnnotation::ALL {
+            assert_eq!(TypeAnnotation::from_tag(ty.to_tag()), Some(ty));
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_none() {
+        assert_eq!(TypeAnnotation::from_tag(200), None);
+    }
+
+    #[test]
+    fn default_is_untyped() {
+        assert_eq!(TypeAnnotation::default(), TypeAnnotation::Untyped);
+    }
+
+    #[test]
+    fn integer_accepts_signed() {
+        assert!(TypeAnnotation::Integer.accepts("42"));
+        assert!(TypeAnnotation::Integer.accepts("-7"));
+        assert!(TypeAnnotation::Integer.accepts("+0"));
+        assert!(TypeAnnotation::Integer.accepts(" 15 "));
+        assert!(!TypeAnnotation::Integer.accepts("4.2"));
+        assert!(!TypeAnnotation::Integer.accepts(""));
+        assert!(!TypeAnnotation::Integer.accepts("abc"));
+    }
+
+    #[test]
+    fn decimal_accepts_floats() {
+        assert!(TypeAnnotation::Decimal.accepts("3.14"));
+        assert!(TypeAnnotation::Double.accepts("1e10"));
+        assert!(!TypeAnnotation::Decimal.accepts("pi"));
+    }
+
+    #[test]
+    fn boolean_lexical_space() {
+        for ok in ["true", "false", "0", "1"] {
+            assert!(TypeAnnotation::Boolean.accepts(ok));
+        }
+        assert!(!TypeAnnotation::Boolean.accepts("yes"));
+    }
+
+    #[test]
+    fn date_syntax() {
+        assert!(TypeAnnotation::Date.accepts("2005-06-14"));
+        assert!(!TypeAnnotation::Date.accepts("2005-13-14"));
+        assert!(!TypeAnnotation::Date.accepts("2005-6-14"));
+        assert!(!TypeAnnotation::Date.accepts("not-a-date"));
+    }
+
+    #[test]
+    fn datetime_syntax() {
+        assert!(TypeAnnotation::DateTime.accepts("2005-06-14T12:30:00"));
+        assert!(!TypeAnnotation::DateTime.accepts("2005-06-14"));
+    }
+
+    #[test]
+    fn string_accepts_everything() {
+        assert!(TypeAnnotation::String.accepts(""));
+        assert!(TypeAnnotation::Untyped.accepts("anything at all"));
+    }
+
+    #[test]
+    fn xs_names_unique() {
+        let mut names: Vec<_> = TypeAnnotation::ALL.iter().map(|t| t.xs_name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), TypeAnnotation::ALL.len());
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests for the token codec and sequence helpers.
+
+use axs_xdm::{
+    codec, count_ids, fragment_well_formed, subtree_end, top_level_nodes, Token, TypeAnnotation,
+};
+use proptest::prelude::*;
+
+/// Strategy for a "name-ish" string (non-empty, alphanumeric, no colon).
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9_-]{0,11}"
+}
+
+/// Strategy for arbitrary text content, including unicode.
+fn text_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~\u{e4}\u{fc}\u{2603}]{0,40}").unwrap()
+}
+
+fn annotation_strategy() -> impl Strategy<Value = TypeAnnotation> {
+    proptest::sample::select(TypeAnnotation::ALL.to_vec())
+}
+
+/// Strategy for a single leaf token.
+fn leaf_token() -> impl Strategy<Value = Token> {
+    prop_oneof![
+        (text_strategy(), annotation_strategy())
+            .prop_map(|(v, a)| Token::text(v).with_type(a)),
+        text_strategy().prop_map(Token::comment),
+        (name_strategy(), text_strategy()).prop_map(|(t, v)| Token::pi(t, v)),
+    ]
+}
+
+/// Strategy for a well-formed fragment (sequence of complete nodes) of
+/// bounded depth and width.
+fn fragment_strategy() -> impl Strategy<Value = Vec<Token>> {
+    let leaf = leaf_token().prop_map(|t| vec![t]);
+    leaf.prop_recursive(4, 64, 5, |inner| {
+        (
+            name_strategy(),
+            proptest::collection::vec((name_strategy(), text_strategy()), 0..3),
+            proptest::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(name, attrs, children)| {
+                let mut out = vec![Token::begin_element(name.as_str())];
+                for (an, av) in attrs {
+                    out.push(Token::begin_attribute(an.as_str(), av));
+                    out.push(Token::EndAttribute);
+                }
+                for child in children {
+                    out.extend(child);
+                }
+                out.push(Token::EndElement);
+                out
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn codec_round_trips_any_fragment(frag in fragment_strategy()) {
+        let bytes = codec::encode_tokens(&frag);
+        let back = codec::decode_tokens(&bytes).unwrap();
+        prop_assert_eq!(frag, back);
+    }
+
+    #[test]
+    fn encoded_len_matches_actual(frag in fragment_strategy()) {
+        let expected: usize = frag.iter().map(codec::encoded_len).sum();
+        prop_assert_eq!(codec::encode_tokens(&frag).len(), expected);
+    }
+
+    #[test]
+    fn generated_fragments_are_well_formed(frag in fragment_strategy()) {
+        prop_assert!(fragment_well_formed(&frag).is_ok());
+    }
+
+    #[test]
+    fn subtree_end_matches_manual_depth_scan(frag in fragment_strategy()) {
+        // For every begin token, subtree_end must land on the token where a
+        // running depth counter returns to its pre-begin value.
+        for (i, tok) in frag.iter().enumerate() {
+            if !tok.kind().is_begin() {
+                continue;
+            }
+            let end = subtree_end(&frag, i).expect("well-formed fragment");
+            let mut depth = 0i32;
+            for t in &frag[i..=end] {
+                depth += t.kind().depth_delta();
+            }
+            prop_assert_eq!(depth, 0);
+            // And no earlier position closes it.
+            let mut depth = 0i32;
+            for (j, t) in frag[i..end].iter().enumerate() {
+                depth += t.kind().depth_delta();
+                prop_assert!(depth > 0, "closed early at {}", i + j);
+            }
+        }
+    }
+
+    #[test]
+    fn top_level_nodes_partition_fragment(frag in fragment_strategy()) {
+        let spans: Vec<_> = top_level_nodes(&frag).collect();
+        // Spans are contiguous and cover the whole fragment.
+        let mut next = 0usize;
+        for (s, e) in &spans {
+            prop_assert_eq!(*s, next);
+            prop_assert!(*e >= *s);
+            next = e + 1;
+        }
+        prop_assert_eq!(next, frag.len());
+    }
+
+    #[test]
+    fn count_ids_equals_begin_and_leaf_tokens(frag in fragment_strategy()) {
+        let manual = frag
+            .iter()
+            .filter(|t| t.kind().is_begin() || t.kind().depth_delta() == 0)
+            .count() as u64;
+        prop_assert_eq!(count_ids(&frag), manual);
+    }
+
+    #[test]
+    fn varint_round_trip(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        codec::write_varint(&mut buf, v);
+        prop_assert_eq!(buf.len(), codec::varint_len(v));
+        let mut pos = 0;
+        prop_assert_eq!(codec::read_varint(&buf, &mut pos).unwrap(), v);
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Decoding arbitrary bytes must fail cleanly, never panic.
+        let _ = codec::decode_tokens(&bytes);
+    }
+}

@@ -1,0 +1,948 @@
+//! A from-scratch XML pull parser producing XDM tokens.
+//!
+//! Modeled on the pull-based representation of [Florescu et al., VLDB 2003]
+//! that the paper adopts (§3.2): the parser is an iterator of [`Token`]s,
+//! with attributes *separated from their element* and given their own
+//! begin/end tokens.
+
+use crate::entities::{self, EntityError};
+use axs_xdm::{QName, Token};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Parser configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ParseOptions {
+    /// Drop text nodes that consist solely of whitespace (typical for
+    /// data-oriented documents where indentation is insignificant).
+    pub trim_whitespace_text: bool,
+    /// Keep comment nodes (`false` drops them).
+    pub keep_comments: bool,
+    /// Keep processing-instruction nodes (`false` drops them).
+    pub keep_pis: bool,
+}
+
+impl Default for ParseOptions {
+    fn default() -> Self {
+        ParseOptions {
+            trim_whitespace_text: false,
+            keep_comments: true,
+            keep_pis: true,
+        }
+    }
+}
+
+impl ParseOptions {
+    /// Options for data-centric documents: whitespace-only text dropped.
+    pub fn data_centric() -> Self {
+        ParseOptions {
+            trim_whitespace_text: true,
+            ..ParseOptions::default()
+        }
+    }
+}
+
+/// A parse failure, with the byte offset where it was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Input ended while structures were still open.
+    UnexpectedEof {
+        /// Byte offset of end of input.
+        at: usize,
+    },
+    /// A syntactic construct was malformed.
+    Syntax {
+        /// Byte offset.
+        at: usize,
+        /// What the parser expected.
+        expected: &'static str,
+    },
+    /// `</b>` closed `<a>`.
+    MismatchedCloseTag {
+        /// Byte offset of the close tag.
+        at: usize,
+        /// The open element's name.
+        expected: String,
+        /// The close tag's name.
+        found: String,
+    },
+    /// An element or attribute name was not a valid QName.
+    InvalidName {
+        /// Byte offset.
+        at: usize,
+        /// The offending name.
+        name: String,
+    },
+    /// The same attribute appeared twice on one element.
+    DuplicateAttribute {
+        /// Byte offset.
+        at: usize,
+        /// The repeated attribute name.
+        name: String,
+    },
+    /// An entity reference could not be resolved.
+    Entity {
+        /// Byte offset of the reference.
+        at: usize,
+        /// The underlying entity error.
+        source: EntityError,
+    },
+    /// Document mode: content after the root element, or no root element.
+    BadDocumentStructure {
+        /// Byte offset.
+        at: usize,
+        /// Description of the violation.
+        reason: &'static str,
+    },
+}
+
+impl ParseError {
+    /// Byte offset at which the error was detected.
+    pub fn offset(&self) -> usize {
+        match self {
+            ParseError::UnexpectedEof { at }
+            | ParseError::Syntax { at, .. }
+            | ParseError::MismatchedCloseTag { at, .. }
+            | ParseError::InvalidName { at, .. }
+            | ParseError::DuplicateAttribute { at, .. }
+            | ParseError::Entity { at, .. }
+            | ParseError::BadDocumentStructure { at, .. } => *at,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::UnexpectedEof { at } => write!(f, "unexpected end of input at byte {at}"),
+            ParseError::Syntax { at, expected } => {
+                write!(f, "syntax error at byte {at}: expected {expected}")
+            }
+            ParseError::MismatchedCloseTag {
+                at,
+                expected,
+                found,
+            } => write!(
+                f,
+                "mismatched close tag </{found}> at byte {at}: open element is <{expected}>"
+            ),
+            ParseError::InvalidName { at, name } => {
+                write!(f, "invalid name {name:?} at byte {at}")
+            }
+            ParseError::DuplicateAttribute { at, name } => {
+                write!(f, "duplicate attribute {name:?} at byte {at}")
+            }
+            ParseError::Entity { at, source } => write!(f, "at byte {at}: {source}"),
+            ParseError::BadDocumentStructure { at, reason } => {
+                write!(f, "bad document structure at byte {at}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Streaming pull parser. Create with [`PullParser::new`], consume via the
+/// [`Iterator`] implementation; each item is a [`Token`] or the first error.
+pub struct PullParser<'a> {
+    input: &'a str,
+    pos: usize,
+    opts: ParseOptions,
+    pending: VecDeque<Token>,
+    stack: Vec<QName>,
+    failed: bool,
+}
+
+impl<'a> PullParser<'a> {
+    /// Creates a parser over `input` in *fragment* mode: a sequence of
+    /// complete nodes (elements, text, comments, PIs) with no prolog.
+    pub fn new(input: &'a str, opts: ParseOptions) -> Self {
+        PullParser {
+            input,
+            pos: 0,
+            opts,
+            pending: VecDeque::new(),
+            stack: Vec::new(),
+            failed: false,
+        }
+    }
+
+    /// Current nesting depth (open elements).
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn eat(&mut self, prefix: &str) -> bool {
+        if self.rest().starts_with(prefix) {
+            self.pos += prefix.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, prefix: &str, expected: &'static str) -> Result<(), ParseError> {
+        if self.eat(prefix) {
+            Ok(())
+        } else if self.pos >= self.input.len() {
+            Err(ParseError::UnexpectedEof { at: self.pos })
+        } else {
+            Err(ParseError::Syntax {
+                at: self.pos,
+                expected,
+            })
+        }
+    }
+
+    fn find_terminated(&mut self, terminator: &str, expected: &'static str) -> Result<&'a str, ParseError> {
+        match self.rest().find(terminator) {
+            Some(idx) => {
+                let content = &self.rest()[..idx];
+                self.pos += idx + terminator.len();
+                Ok(content)
+            }
+            None => {
+                let _ = expected;
+                Err(ParseError::UnexpectedEof {
+                    at: self.input.len(),
+                })
+            }
+        }
+    }
+
+    fn is_name_start(c: char) -> bool {
+        c.is_alphabetic() || c == '_'
+    }
+
+    fn is_name_char(c: char) -> bool {
+        c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | ':')
+    }
+
+    fn parse_name(&mut self) -> Result<QName, ParseError> {
+        let start = self.pos;
+        match self.peek() {
+            Some(c) if Self::is_name_start(c) => {
+                self.bump();
+            }
+            _ => {
+                return Err(ParseError::Syntax {
+                    at: self.pos,
+                    expected: "name",
+                })
+            }
+        }
+        while matches!(self.peek(), Some(c) if Self::is_name_char(c)) {
+            self.bump();
+        }
+        let raw = &self.input[start..self.pos];
+        QName::parse(raw).ok_or_else(|| ParseError::InvalidName {
+            at: start,
+            name: raw.to_string(),
+        })
+    }
+
+    fn parse_attribute_value(&mut self) -> Result<String, ParseError> {
+        let quote = match self.peek() {
+            Some(q @ ('"' | '\'')) => q,
+            Some(_) => {
+                return Err(ParseError::Syntax {
+                    at: self.pos,
+                    expected: "quoted attribute value",
+                })
+            }
+            None => return Err(ParseError::UnexpectedEof { at: self.pos }),
+        };
+        self.bump();
+        let start = self.pos;
+        let raw = {
+            let rest = self.rest();
+            match rest.find(quote) {
+                Some(idx) => {
+                    self.pos += idx + 1;
+                    &rest[..idx]
+                }
+                None => {
+                    return Err(ParseError::UnexpectedEof {
+                        at: self.input.len(),
+                    })
+                }
+            }
+        };
+        if raw.contains('<') {
+            return Err(ParseError::Syntax {
+                at: start,
+                expected: "no '<' in attribute value",
+            });
+        }
+        entities::decode(raw).map_err(|source| ParseError::Entity { at: start, source })
+    }
+
+    /// Parses an open tag at `<`, queueing the begin-element token, attribute
+    /// token pairs, and — for self-closing tags — the end-element token.
+    fn parse_open_tag(&mut self) -> Result<(), ParseError> {
+        debug_assert!(self.eat("<"));
+        let name = self.parse_name()?;
+        self.pending.push_back(Token::begin_element(name.clone()));
+        let mut seen: Vec<QName> = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some('>') => {
+                    self.bump();
+                    self.stack.push(name);
+                    return Ok(());
+                }
+                Some('/') => {
+                    self.bump();
+                    self.expect(">", "'>' after '/'")?;
+                    self.pending.push_back(Token::EndElement);
+                    return Ok(());
+                }
+                Some(c) if Self::is_name_start(c) => {
+                    let attr_start = self.pos;
+                    let attr_name = self.parse_name()?;
+                    if seen.contains(&attr_name) {
+                        return Err(ParseError::DuplicateAttribute {
+                            at: attr_start,
+                            name: attr_name.to_lexical(),
+                        });
+                    }
+                    self.skip_ws();
+                    self.expect("=", "'=' after attribute name")?;
+                    self.skip_ws();
+                    let value = self.parse_attribute_value()?;
+                    self.pending
+                        .push_back(Token::begin_attribute(attr_name.clone(), value));
+                    self.pending.push_back(Token::EndAttribute);
+                    seen.push(attr_name);
+                }
+                Some(_) => {
+                    return Err(ParseError::Syntax {
+                        at: self.pos,
+                        expected: "attribute, '>' or '/>'",
+                    })
+                }
+                None => return Err(ParseError::UnexpectedEof { at: self.pos }),
+            }
+        }
+    }
+
+    fn parse_close_tag(&mut self) -> Result<Token, ParseError> {
+        let tag_at = self.pos;
+        debug_assert!(self.eat("</"));
+        let name = self.parse_name()?;
+        self.skip_ws();
+        self.expect(">", "'>' closing the end tag")?;
+        match self.stack.pop() {
+            Some(open) if open == name => Ok(Token::EndElement),
+            Some(open) => Err(ParseError::MismatchedCloseTag {
+                at: tag_at,
+                expected: open.to_lexical(),
+                found: name.to_lexical(),
+            }),
+            None => Err(ParseError::MismatchedCloseTag {
+                at: tag_at,
+                expected: "(nothing open)".to_string(),
+                found: name.to_lexical(),
+            }),
+        }
+    }
+
+    fn parse_text(&mut self) -> Result<Option<Token>, ParseError> {
+        let start = self.pos;
+        let raw = match self.rest().find('<') {
+            Some(idx) => {
+                let r = &self.rest()[..idx];
+                self.pos += idx;
+                r
+            }
+            None => {
+                let r = self.rest();
+                self.pos = self.input.len();
+                r
+            }
+        };
+        if self.opts.trim_whitespace_text && raw.bytes().all(|b| b.is_ascii_whitespace()) {
+            return Ok(None);
+        }
+        let decoded =
+            entities::decode(raw).map_err(|source| ParseError::Entity { at: start, source })?;
+        Ok(Some(Token::text(decoded)))
+    }
+
+    /// Produces the next token, or `None` at clean end of input.
+    fn next_inner(&mut self) -> Result<Option<Token>, ParseError> {
+        loop {
+            if let Some(tok) = self.pending.pop_front() {
+                return Ok(Some(tok));
+            }
+            if self.pos >= self.input.len() {
+                if let Some(open) = self.stack.last() {
+                    let _ = open;
+                    return Err(ParseError::UnexpectedEof { at: self.pos });
+                }
+                return Ok(None);
+            }
+            if self.rest().starts_with("</") {
+                return self.parse_close_tag().map(Some);
+            }
+            if self.eat("<!--") {
+                let content = self.find_terminated("-->", "'-->'")?.to_string();
+                if content.contains("--") {
+                    return Err(ParseError::Syntax {
+                        at: self.pos,
+                        expected: "no '--' inside comment",
+                    });
+                }
+                if self.opts.keep_comments {
+                    return Ok(Some(Token::comment(content)));
+                }
+                continue;
+            }
+            if self.eat("<![CDATA[") {
+                let content = self.find_terminated("]]>", "']]>'")?.to_string();
+                return Ok(Some(Token::text(content)));
+            }
+            if self.rest().starts_with("<!") {
+                return Err(ParseError::Syntax {
+                    at: self.pos,
+                    expected: "element, text, comment, CDATA, or PI",
+                });
+            }
+            if self.eat("<?") {
+                let at = self.pos;
+                let content = self.find_terminated("?>", "'?>'")?;
+                let (target, data) = match content.find(|c: char| c.is_ascii_whitespace()) {
+                    Some(idx) => (&content[..idx], content[idx..].trim_start()),
+                    None => (content, ""),
+                };
+                if target.is_empty() {
+                    return Err(ParseError::Syntax {
+                        at,
+                        expected: "PI target",
+                    });
+                }
+                if target.eq_ignore_ascii_case("xml") {
+                    return Err(ParseError::Syntax {
+                        at,
+                        expected: "PI target other than 'xml'",
+                    });
+                }
+                if self.opts.keep_pis {
+                    return Ok(Some(Token::pi(target, data)));
+                }
+                continue;
+            }
+            if self.rest().starts_with('<') {
+                self.parse_open_tag()?;
+                continue;
+            }
+            match self.parse_text()? {
+                Some(tok) => return Ok(Some(tok)),
+                None => continue,
+            }
+        }
+    }
+}
+
+impl Iterator for PullParser<'_> {
+    type Item = Result<Token, ParseError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        match self.next_inner() {
+            Ok(Some(tok)) => Some(Ok(tok)),
+            Ok(None) => None,
+            Err(e) => {
+                self.failed = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Merges adjacent text tokens (CDATA sections parse as separate text tokens;
+/// the XQuery Data Model has no adjacent text nodes).
+fn coalesce_text(tokens: Vec<Token>) -> Vec<Token> {
+    let mut out: Vec<Token> = Vec::with_capacity(tokens.len());
+    for tok in tokens {
+        if let (Some(Token::Text { value: prev, .. }), Token::Text { value, .. }) =
+            (out.last_mut(), &tok)
+        {
+            let mut merged = String::with_capacity(prev.len() + value.len());
+            merged.push_str(prev);
+            merged.push_str(value);
+            *prev = merged.into_boxed_str();
+            continue;
+        }
+        out.push(tok);
+    }
+    out
+}
+
+/// Parses a *fragment*: a sequence of complete nodes. Returns the token
+/// sequence without a document wrapper.
+///
+/// ```
+/// use axs_xml::{parse_fragment, serialize, ParseOptions, SerializeOptions};
+/// let tokens = parse_fragment("<a k=\"v\">x</a>", ParseOptions::default())?;
+/// assert_eq!(tokens.len(), 5); // begin, attr begin/end, text, end
+/// assert_eq!(serialize(&tokens, &SerializeOptions::default())?, "<a k=\"v\">x</a>");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn parse_fragment(input: &str, opts: ParseOptions) -> Result<Vec<Token>, ParseError> {
+    let tokens = PullParser::new(input, opts).collect::<Result<Vec<_>, _>>()?;
+    Ok(coalesce_text(tokens))
+}
+
+/// Parses a complete *document*: optional XML declaration and DOCTYPE,
+/// exactly one root element (with optional surrounding comments/PIs), wrapped
+/// in `BeginDocument` / `EndDocument` tokens.
+pub fn parse_document(input: &str, opts: ParseOptions) -> Result<Vec<Token>, ParseError> {
+    let mut body_start = 0usize;
+    let trimmed = input.trim_start();
+    body_start += input.len() - trimmed.len();
+    let mut rest = trimmed;
+    // XML declaration.
+    if rest.starts_with("<?xml") {
+        match rest.find("?>") {
+            Some(idx) => {
+                body_start += idx + 2;
+                rest = &input[body_start..];
+            }
+            None => return Err(ParseError::UnexpectedEof { at: input.len() }),
+        }
+    }
+    // DOCTYPE (skipped; internal subsets with nested brackets supported).
+    let ws = rest.len() - rest.trim_start().len();
+    body_start += ws;
+    rest = &input[body_start..];
+    if rest.starts_with("<!DOCTYPE") {
+        let mut depth = 0usize;
+        let mut end = None;
+        for (i, b) in rest.bytes().enumerate() {
+            match b {
+                b'[' => depth += 1,
+                b']' => depth = depth.saturating_sub(1),
+                b'>' if depth == 0 => {
+                    end = Some(i);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        match end {
+            Some(idx) => {
+                body_start += idx + 1;
+            }
+            None => return Err(ParseError::UnexpectedEof { at: input.len() }),
+        }
+    }
+
+    let mut doc_opts = opts;
+    // Whitespace between top-level constructs is never significant.
+    doc_opts.trim_whitespace_text = true;
+    let parser = PullParser::new(&input[body_start..], doc_opts);
+
+    let mut tokens = vec![Token::BeginDocument];
+    let mut depth = 0i32;
+    let mut root_seen = false;
+    for item in parser {
+        let tok = item.map_err(|e| bump_offset(e, body_start))?;
+        let delta = tok.kind().depth_delta();
+        if depth == 0 {
+            match &tok {
+                Token::BeginElement { .. } => {
+                    if root_seen {
+                        return Err(ParseError::BadDocumentStructure {
+                            at: body_start,
+                            reason: "multiple root elements",
+                        });
+                    }
+                    root_seen = true;
+                }
+                Token::Text { .. } => {
+                    return Err(ParseError::BadDocumentStructure {
+                        at: body_start,
+                        reason: "text content outside the root element",
+                    });
+                }
+                _ => {}
+            }
+        }
+        depth += delta;
+        tokens.push(tok);
+    }
+    if !root_seen {
+        return Err(ParseError::BadDocumentStructure {
+            at: input.len(),
+            reason: "no root element",
+        });
+    }
+    tokens.push(Token::EndDocument);
+    // Re-run whitespace policy: inside the root, the caller's option applies;
+    // the parser above already applied `opts` for nested content because
+    // trim only matters at depth 0 for document structure. When the caller
+    // wanted whitespace preserved we must re-parse without top-level
+    // trimming side effects — but trimming only dropped *whitespace-only*
+    // text nodes, which at depth > 0 the caller may want. Handle by
+    // re-parsing only when the caller preserves whitespace.
+    if !opts.trim_whitespace_text {
+        let parser = PullParser::new(&input[body_start..], opts);
+        let mut tokens2 = vec![Token::BeginDocument];
+        let mut depth = 0i32;
+        for item in parser {
+            let tok = item.map_err(|e| bump_offset(e, body_start))?;
+            let delta = tok.kind().depth_delta();
+            if depth == 0 && matches!(tok, Token::Text { .. }) {
+                // Top-level whitespace: skip (already validated above that
+                // only whitespace occurs here).
+                continue;
+            }
+            depth += delta;
+            tokens2.push(tok);
+        }
+        tokens2.push(Token::EndDocument);
+        return Ok(coalesce_text(tokens2));
+    }
+    Ok(coalesce_text(tokens))
+}
+
+fn bump_offset(e: ParseError, by: usize) -> ParseError {
+    match e {
+        ParseError::UnexpectedEof { at } => ParseError::UnexpectedEof { at: at + by },
+        ParseError::Syntax { at, expected } => ParseError::Syntax {
+            at: at + by,
+            expected,
+        },
+        ParseError::MismatchedCloseTag {
+            at,
+            expected,
+            found,
+        } => ParseError::MismatchedCloseTag {
+            at: at + by,
+            expected,
+            found,
+        },
+        ParseError::InvalidName { at, name } => ParseError::InvalidName { at: at + by, name },
+        ParseError::DuplicateAttribute { at, name } => {
+            ParseError::DuplicateAttribute { at: at + by, name }
+        }
+        ParseError::Entity { at, source } => ParseError::Entity { at: at + by, source },
+        ParseError::BadDocumentStructure { at, reason } => {
+            ParseError::BadDocumentStructure { at: at + by, reason }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axs_xdm::{fragment_well_formed, TokenKind};
+
+    fn frag(input: &str) -> Vec<Token> {
+        parse_fragment(input, ParseOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn figure1_ticket() {
+        // The paper's Figure 1 document.
+        let tokens = parse_fragment(
+            "<ticket><hour>15</hour><name>Paul</name></ticket>",
+            ParseOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::begin_element("ticket"),
+                Token::begin_element("hour"),
+                Token::text("15"),
+                Token::EndElement,
+                Token::begin_element("name"),
+                Token::text("Paul"),
+                Token::EndElement,
+                Token::EndElement,
+            ]
+        );
+    }
+
+    #[test]
+    fn attributes_become_token_pairs() {
+        let tokens = frag(r#"<e a="1" b="two"/>"#);
+        assert_eq!(
+            tokens,
+            vec![
+                Token::begin_element("e"),
+                Token::begin_attribute("a", "1"),
+                Token::EndAttribute,
+                Token::begin_attribute("b", "two"),
+                Token::EndAttribute,
+                Token::EndElement,
+            ]
+        );
+    }
+
+    #[test]
+    fn single_quoted_attributes() {
+        let tokens = frag("<e a='x \"y\"'/>");
+        assert_eq!(tokens[1], Token::begin_attribute("a", "x \"y\""));
+    }
+
+    #[test]
+    fn self_closing_equals_empty_pair() {
+        assert_eq!(frag("<a/>"), frag("<a></a>"));
+        assert_eq!(frag("<a />"), frag("<a></a>"));
+    }
+
+    #[test]
+    fn entities_decode_in_text_and_attributes() {
+        let tokens = frag(r#"<e a="&lt;&amp;&gt;">x &#65; &quot;y&quot;</e>"#);
+        assert_eq!(tokens[1], Token::begin_attribute("a", "<&>"));
+        assert_eq!(tokens[3], Token::text("x A \"y\""));
+    }
+
+    #[test]
+    fn cdata_is_raw_text() {
+        let tokens = frag("<e><![CDATA[<not> &parsed;]]></e>");
+        assert_eq!(tokens[1], Token::text("<not> &parsed;"));
+    }
+
+    #[test]
+    fn cdata_merges_with_adjacent_text() {
+        let tokens = frag("<e>a<![CDATA[b]]>c</e>");
+        assert_eq!(tokens[1], Token::text("abc"));
+        assert_eq!(tokens.len(), 3);
+    }
+
+    #[test]
+    fn comments_and_pis() {
+        let tokens = frag("<e><!-- note --><?target data here?></e>");
+        assert_eq!(tokens[1], Token::comment(" note "));
+        assert_eq!(tokens[2], Token::pi("target", "data here"));
+    }
+
+    #[test]
+    fn pi_without_data() {
+        let tokens = frag("<e><?stop?></e>");
+        assert_eq!(tokens[1], Token::pi("stop", ""));
+    }
+
+    #[test]
+    fn options_drop_comments_and_pis() {
+        let opts = ParseOptions {
+            keep_comments: false,
+            keep_pis: false,
+            ..ParseOptions::default()
+        };
+        let tokens = parse_fragment("<e><!--c--><?p d?>x</e>", opts).unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::begin_element("e"),
+                Token::text("x"),
+                Token::EndElement
+            ]
+        );
+    }
+
+    #[test]
+    fn whitespace_trimming_option() {
+        let input = "<a>\n  <b>x</b>\n</a>";
+        let kept = parse_fragment(input, ParseOptions::default()).unwrap();
+        assert_eq!(kept.iter().filter(|t| t.kind() == TokenKind::Text).count(), 3);
+        let trimmed = parse_fragment(input, ParseOptions::data_centric()).unwrap();
+        assert_eq!(
+            trimmed.iter().filter(|t| t.kind() == TokenKind::Text).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn nested_structure_is_well_formed() {
+        let tokens = frag("<a><b><c>x</c></b><d/></a>");
+        assert!(fragment_well_formed(&tokens).is_ok());
+    }
+
+    #[test]
+    fn multiple_roots_allowed_in_fragment() {
+        let tokens = frag("<a/><b/>");
+        assert_eq!(
+            tokens,
+            vec![
+                Token::begin_element("a"),
+                Token::EndElement,
+                Token::begin_element("b"),
+                Token::EndElement,
+            ]
+        );
+    }
+
+    #[test]
+    fn prefixed_names() {
+        let tokens = frag(r#"<po:order xmlns:po="urn:po" po:id="9"/>"#);
+        assert_eq!(tokens[0].name().unwrap().to_lexical(), "po:order");
+        assert_eq!(tokens[1].name().unwrap().to_lexical(), "xmlns:po");
+        assert_eq!(tokens[3].name().unwrap().to_lexical(), "po:id");
+    }
+
+    #[test]
+    fn error_mismatched_close() {
+        let err = parse_fragment("<a></b>", ParseOptions::default()).unwrap_err();
+        assert!(matches!(err, ParseError::MismatchedCloseTag { .. }));
+    }
+
+    #[test]
+    fn error_unclosed_element() {
+        let err = parse_fragment("<a><b>x</b>", ParseOptions::default()).unwrap_err();
+        assert!(matches!(err, ParseError::UnexpectedEof { .. }));
+    }
+
+    #[test]
+    fn error_stray_close() {
+        let err = parse_fragment("</a>", ParseOptions::default()).unwrap_err();
+        assert!(matches!(err, ParseError::MismatchedCloseTag { .. }));
+    }
+
+    #[test]
+    fn error_duplicate_attribute() {
+        let err = parse_fragment(r#"<e a="1" a="2"/>"#, ParseOptions::default()).unwrap_err();
+        assert!(matches!(err, ParseError::DuplicateAttribute { .. }));
+    }
+
+    #[test]
+    fn error_bad_entity() {
+        let err = parse_fragment("<e>&nope;</e>", ParseOptions::default()).unwrap_err();
+        assert!(matches!(err, ParseError::Entity { .. }));
+    }
+
+    #[test]
+    fn error_lt_in_attribute() {
+        let err = parse_fragment(r#"<e a="<"/>"#, ParseOptions::default()).unwrap_err();
+        assert!(matches!(err, ParseError::Syntax { .. }));
+    }
+
+    #[test]
+    fn error_double_hyphen_in_comment() {
+        let err = parse_fragment("<e><!-- a -- b --></e>", ParseOptions::default()).unwrap_err();
+        assert!(matches!(err, ParseError::Syntax { .. }));
+    }
+
+    #[test]
+    fn error_xml_pi_target_in_content() {
+        let err = parse_fragment("<e><?xml version='1.0'?></e>", ParseOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, ParseError::Syntax { .. }));
+    }
+
+    #[test]
+    fn iterator_stops_after_error() {
+        let mut p = PullParser::new("<a></b><c/>", ParseOptions::default());
+        assert!(p.next().unwrap().is_ok()); // <a>
+        assert!(p.next().unwrap().is_err()); // </b>
+        assert!(p.next().is_none()); // fused
+    }
+
+    #[test]
+    fn document_with_prolog() {
+        let tokens = parse_document(
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<!DOCTYPE r [<!ENTITY x \"y\">]>\n<r>hi</r>\n",
+            ParseOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::BeginDocument,
+                Token::begin_element("r"),
+                Token::text("hi"),
+                Token::EndElement,
+                Token::EndDocument,
+            ]
+        );
+    }
+
+    #[test]
+    fn document_allows_top_level_comments_and_pis() {
+        let tokens = parse_document(
+            "<!-- head --><r/><?tail pi?>",
+            ParseOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(tokens[1], Token::comment(" head "));
+        assert_eq!(tokens[4], Token::pi("tail", "pi"));
+    }
+
+    #[test]
+    fn document_rejects_two_roots() {
+        let err = parse_document("<a/><b/>", ParseOptions::default()).unwrap_err();
+        assert!(matches!(err, ParseError::BadDocumentStructure { .. }));
+    }
+
+    #[test]
+    fn document_rejects_top_level_text() {
+        let err = parse_document("<a/>stray", ParseOptions::default()).unwrap_err();
+        assert!(matches!(err, ParseError::BadDocumentStructure { .. }));
+    }
+
+    #[test]
+    fn document_rejects_empty_input() {
+        let err = parse_document("   ", ParseOptions::default()).unwrap_err();
+        assert!(matches!(err, ParseError::BadDocumentStructure { .. }));
+    }
+
+    #[test]
+    fn document_preserves_inner_whitespace_by_default() {
+        let tokens =
+            parse_document("<r> <a/> </r>", ParseOptions::default()).unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::BeginDocument,
+                Token::begin_element("r"),
+                Token::text(" "),
+                Token::begin_element("a"),
+                Token::EndElement,
+                Token::text(" "),
+                Token::EndElement,
+                Token::EndDocument,
+            ]
+        );
+    }
+
+    #[test]
+    fn unicode_names_and_content() {
+        let tokens = frag("<gr\u{fc}sse>z\u{fc}rich</gr\u{fc}sse>");
+        assert_eq!(tokens[0].name().unwrap().local_part(), "gr\u{fc}sse");
+        assert_eq!(tokens[1], Token::text("z\u{fc}rich"));
+    }
+
+    #[test]
+    fn error_offsets_point_into_input() {
+        let input = "<aaa><b></c></aaa>";
+        let err = parse_fragment(input, ParseOptions::default()).unwrap_err();
+        assert_eq!(err.offset(), input.find("</c>").unwrap());
+    }
+}

@@ -1,0 +1,447 @@
+//! Lightweight PSVI annotation (requirement 7 of §2).
+//!
+//! The paper requires that the store can carry the Post-Schema-Validation
+//! Infoset "in order to avoid repeated evaluation of XML schema". Full XSD
+//! validation is out of the paper's scope; what matters to the *store* is
+//! that type annotations are attached to tokens once and then persist. This
+//! module provides that: a [`Schema`] is a list of path rules mapping
+//! element/attribute paths to [`TypeAnnotation`]s, plus an annotation pass
+//! that applies them to a token sequence and (optionally) validates the
+//! lexical values.
+
+use axs_xdm::{QName, Token, TypeAnnotation};
+use std::fmt;
+
+/// One annotation rule: a path pattern and the type it assigns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaRule {
+    /// Path pattern, e.g. `/orders/order/qty`, `//price`, or `//item/@sku`.
+    /// `/` anchors at the root; `//` matches at any depth. The last step may
+    /// be `@name` to target an attribute.
+    pub path: String,
+    /// Type assigned to matching element text / attribute values.
+    pub annotation: TypeAnnotation,
+}
+
+impl SchemaRule {
+    /// Creates a rule.
+    pub fn new(path: impl Into<String>, annotation: TypeAnnotation) -> Self {
+        SchemaRule {
+            path: path.into(),
+            annotation,
+        }
+    }
+}
+
+/// Validation failure raised by [`Schema::annotate`] in validating mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaError {
+    /// Slash-joined element path of the offending node.
+    pub path: String,
+    /// The expected type.
+    pub expected: TypeAnnotation,
+    /// The offending lexical value.
+    pub value: String,
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "value {:?} at {} does not conform to {}",
+            self.value, self.path, self.expected
+        )
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+#[derive(Debug, Clone)]
+struct CompiledRule {
+    steps: Vec<String>,
+    anchored: bool,
+    attribute: Option<String>,
+    annotation: TypeAnnotation,
+}
+
+impl CompiledRule {
+    fn matches(&self, element_path: &[QName], attribute: Option<&QName>) -> bool {
+        match (&self.attribute, attribute) {
+            (Some(want), Some(got)) => {
+                if want != &got.to_lexical() {
+                    return false;
+                }
+            }
+            (None, None) => {}
+            _ => return false,
+        }
+        let path: Vec<&str> = element_path.iter().map(|q| q.local_part()).collect();
+        if self.anchored {
+            path.len() == self.steps.len()
+                && path
+                    .iter()
+                    .zip(&self.steps)
+                    .all(|(a, b)| step_matches(b, a))
+        } else {
+            // `//a/b`: path must *end with* the steps.
+            path.len() >= self.steps.len()
+                && path[path.len() - self.steps.len()..]
+                    .iter()
+                    .zip(&self.steps)
+                    .all(|(a, b)| step_matches(b, a))
+        }
+    }
+}
+
+fn step_matches(pattern: &str, name: &str) -> bool {
+    pattern == "*" || pattern == name
+}
+
+/// A set of annotation rules. Later rules win on conflict.
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    rules: Vec<CompiledRule>,
+}
+
+impl Schema {
+    /// Builds a schema from rules. Returns `None` when any rule path is
+    /// syntactically invalid (empty, or empty steps).
+    pub fn new(rules: &[SchemaRule]) -> Option<Schema> {
+        let mut compiled = Vec::with_capacity(rules.len());
+        for rule in rules {
+            compiled.push(Self::compile(rule)?);
+        }
+        Some(Schema { rules: compiled })
+    }
+
+    fn compile(rule: &SchemaRule) -> Option<CompiledRule> {
+        let path = rule.path.as_str();
+        let (anchored, body) = if let Some(rest) = path.strip_prefix("//") {
+            (false, rest)
+        } else if let Some(rest) = path.strip_prefix('/') {
+            (true, rest)
+        } else {
+            (false, path)
+        };
+        if body.is_empty() {
+            return None;
+        }
+        let mut steps: Vec<String> = Vec::new();
+        let mut attribute = None;
+        for (i, step) in body.split('/').enumerate() {
+            let _ = i;
+            if step.is_empty() {
+                return None;
+            }
+            if let Some(attr) = step.strip_prefix('@') {
+                if attr.is_empty() {
+                    return None;
+                }
+                attribute = Some(attr.to_string());
+            } else {
+                if attribute.is_some() {
+                    return None; // steps after @attr
+                }
+                steps.push(step.to_string());
+            }
+        }
+        if steps.is_empty() && attribute.is_some() {
+            return None;
+        }
+        Some(CompiledRule {
+            steps,
+            anchored,
+            attribute,
+            annotation: rule.annotation,
+        })
+    }
+
+    fn lookup(&self, path: &[QName], attribute: Option<&QName>) -> Option<TypeAnnotation> {
+        self.rules
+            .iter()
+            .rev()
+            .find(|r| r.matches(path, attribute))
+            .map(|r| r.annotation)
+    }
+
+    /// Annotates a token sequence: element begin tokens and their text
+    /// children get the matching element rule's type; attribute tokens get
+    /// the matching attribute rule's type. When `validate` is set, lexical
+    /// values are checked against the assigned type and the first violation
+    /// is returned.
+    pub fn annotate(&self, tokens: &[Token], validate: bool) -> Result<Vec<Token>, SchemaError> {
+        let mut annotator = Annotator::new(self, validate);
+        tokens.iter().map(|t| annotator.step(t)).collect()
+    }
+
+    /// Starts a streaming annotation pass (used to annotate stored
+    /// documents range by range without materializing them).
+    pub fn annotator(&self, validate: bool) -> Annotator<'_> {
+        Annotator::new(self, validate)
+    }
+}
+
+/// Streaming annotator: feed tokens in document order; each comes back with
+/// its PSVI annotation attached. Annotation never changes a token's encoded
+/// size (the annotation byte is always present), which is what makes
+/// in-place store annotation possible.
+pub struct Annotator<'s> {
+    schema: &'s Schema,
+    validate: bool,
+    path: Vec<QName>,
+    text_ann: Vec<Option<TypeAnnotation>>,
+    in_attribute: bool,
+}
+
+impl<'s> Annotator<'s> {
+    fn new(schema: &'s Schema, validate: bool) -> Annotator<'s> {
+        Annotator {
+            schema,
+            validate,
+            path: Vec::new(),
+            text_ann: Vec::new(),
+            in_attribute: false,
+        }
+    }
+
+    /// Processes one token.
+    pub fn step(&mut self, tok: &Token) -> Result<Token, SchemaError> {
+        Ok(match tok {
+            Token::BeginElement { name, .. } => {
+                self.path.push(name.clone());
+                let ann = self.schema.lookup(&self.path, None);
+                self.text_ann.push(ann);
+                tok.clone().with_type(ann.unwrap_or_default())
+            }
+            Token::EndElement => {
+                self.path.pop();
+                self.text_ann.pop();
+                tok.clone()
+            }
+            Token::BeginAttribute { name, value, .. } => {
+                self.in_attribute = true;
+                match self.schema.lookup(&self.path, Some(name)) {
+                    Some(ann) => {
+                        if self.validate && !ann.accepts(value) {
+                            return Err(SchemaError {
+                                path: render_path(&self.path, Some(name)),
+                                expected: ann,
+                                value: value.to_string(),
+                            });
+                        }
+                        tok.clone().with_type(ann)
+                    }
+                    None => tok.clone(),
+                }
+            }
+            Token::EndAttribute => {
+                self.in_attribute = false;
+                tok.clone()
+            }
+            Token::Text { value, .. } if !self.in_attribute => {
+                match self.text_ann.last().copied().flatten() {
+                    Some(ann) => {
+                        if self.validate && !ann.accepts(value) {
+                            return Err(SchemaError {
+                                path: render_path(&self.path, None),
+                                expected: ann,
+                                value: value.to_string(),
+                            });
+                        }
+                        tok.clone().with_type(ann)
+                    }
+                    None => tok.clone(),
+                }
+            }
+            _ => tok.clone(),
+        })
+    }
+}
+
+fn render_path(path: &[QName], attribute: Option<&QName>) -> String {
+    let mut s = String::new();
+    for q in path {
+        s.push('/');
+        q.write_lexical(&mut s);
+    }
+    if let Some(a) = attribute {
+        s.push_str("/@");
+        a.write_lexical(&mut s);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_fragment, ParseOptions};
+
+    fn order_tokens() -> Vec<Token> {
+        parse_fragment(
+            r#"<order id="9"><qty>4</qty><price>2.50</price><note>hi</note></order>"#,
+            ParseOptions::default(),
+        )
+        .unwrap()
+    }
+
+    fn schema() -> Schema {
+        Schema::new(&[
+            SchemaRule::new("/order/qty", TypeAnnotation::Integer),
+            SchemaRule::new("//price", TypeAnnotation::Decimal),
+            SchemaRule::new("/order/@id", TypeAnnotation::Integer),
+        ])
+        .unwrap()
+    }
+
+    fn find_text<'a>(tokens: &'a [Token], value: &str) -> &'a Token {
+        tokens
+            .iter()
+            .find(|t| matches!(t, Token::Text { value: v, .. } if &**v == value))
+            .unwrap()
+    }
+
+    #[test]
+    fn annotates_element_text() {
+        let annotated = schema().annotate(&order_tokens(), false).unwrap();
+        assert_eq!(
+            find_text(&annotated, "4").type_annotation(),
+            Some(TypeAnnotation::Integer)
+        );
+        assert_eq!(
+            find_text(&annotated, "2.50").type_annotation(),
+            Some(TypeAnnotation::Decimal)
+        );
+        // Unmatched element stays untyped.
+        assert_eq!(
+            find_text(&annotated, "hi").type_annotation(),
+            Some(TypeAnnotation::Untyped)
+        );
+    }
+
+    #[test]
+    fn annotates_element_begin_tokens() {
+        let annotated = schema().annotate(&order_tokens(), false).unwrap();
+        let qty = annotated
+            .iter()
+            .find(|t| t.name().is_some_and(|n| n.is_local("qty")))
+            .unwrap();
+        assert_eq!(qty.type_annotation(), Some(TypeAnnotation::Integer));
+    }
+
+    #[test]
+    fn annotates_attributes() {
+        let annotated = schema().annotate(&order_tokens(), false).unwrap();
+        let id = annotated
+            .iter()
+            .find(|t| matches!(t, Token::BeginAttribute { .. }))
+            .unwrap();
+        assert_eq!(id.type_annotation(), Some(TypeAnnotation::Integer));
+    }
+
+    #[test]
+    fn validation_passes_conforming_values() {
+        assert!(schema().annotate(&order_tokens(), true).is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_integer() {
+        let tokens = parse_fragment(
+            r#"<order id="9"><qty>four</qty></order>"#,
+            ParseOptions::default(),
+        )
+        .unwrap();
+        let err = schema().annotate(&tokens, true).unwrap_err();
+        assert_eq!(err.path, "/order/qty");
+        assert_eq!(err.expected, TypeAnnotation::Integer);
+        assert_eq!(err.value, "four");
+    }
+
+    #[test]
+    fn validation_rejects_bad_attribute() {
+        let tokens =
+            parse_fragment(r#"<order id="ninety"/>"#, ParseOptions::default()).unwrap();
+        let err = schema().annotate(&tokens, true).unwrap_err();
+        assert_eq!(err.path, "/order/@id");
+    }
+
+    #[test]
+    fn descendant_rule_matches_any_depth() {
+        let tokens = parse_fragment(
+            "<a><b><price>1.5</price></b><price>2</price></a>",
+            ParseOptions::default(),
+        )
+        .unwrap();
+        let s = Schema::new(&[SchemaRule::new("//price", TypeAnnotation::Decimal)]).unwrap();
+        let annotated = s.annotate(&tokens, false).unwrap();
+        assert_eq!(
+            find_text(&annotated, "1.5").type_annotation(),
+            Some(TypeAnnotation::Decimal)
+        );
+        assert_eq!(
+            find_text(&annotated, "2").type_annotation(),
+            Some(TypeAnnotation::Decimal)
+        );
+    }
+
+    #[test]
+    fn anchored_rule_requires_full_path() {
+        let tokens =
+            parse_fragment("<x><qty>1</qty></x>", ParseOptions::default()).unwrap();
+        let annotated = schema().annotate(&tokens, false).unwrap();
+        assert_eq!(
+            find_text(&annotated, "1").type_annotation(),
+            Some(TypeAnnotation::Untyped)
+        );
+    }
+
+    #[test]
+    fn wildcard_step() {
+        let tokens =
+            parse_fragment("<a><b>3</b><c>4</c></a>", ParseOptions::default()).unwrap();
+        let s = Schema::new(&[SchemaRule::new("/a/*", TypeAnnotation::Integer)]).unwrap();
+        let annotated = s.annotate(&tokens, false).unwrap();
+        assert_eq!(
+            find_text(&annotated, "3").type_annotation(),
+            Some(TypeAnnotation::Integer)
+        );
+        assert_eq!(
+            find_text(&annotated, "4").type_annotation(),
+            Some(TypeAnnotation::Integer)
+        );
+    }
+
+    #[test]
+    fn later_rules_win() {
+        let tokens = parse_fragment("<a><b>3</b></a>", ParseOptions::default()).unwrap();
+        let s = Schema::new(&[
+            SchemaRule::new("//b", TypeAnnotation::Integer),
+            SchemaRule::new("/a/b", TypeAnnotation::String),
+        ])
+        .unwrap();
+        let annotated = s.annotate(&tokens, false).unwrap();
+        assert_eq!(
+            find_text(&annotated, "3").type_annotation(),
+            Some(TypeAnnotation::String)
+        );
+    }
+
+    #[test]
+    fn invalid_rule_paths_rejected() {
+        for bad in ["", "/", "//", "/a//b", "/@x", "a/@x/y", "/a/@"] {
+            assert!(
+                Schema::new(&[SchemaRule::new(bad, TypeAnnotation::String)]).is_none(),
+                "path {bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn annotation_survives_codec_round_trip() {
+        // The PSVI requirement: annotations, once attached, persist through
+        // the storage representation.
+        let annotated = schema().annotate(&order_tokens(), false).unwrap();
+        let bytes = axs_xdm::encode_tokens(&annotated);
+        let back = axs_xdm::decode_tokens(&bytes).unwrap();
+        assert_eq!(annotated, back);
+    }
+}

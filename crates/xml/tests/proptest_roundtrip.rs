@@ -1,0 +1,134 @@
+//! Property tests: serialize∘parse and parse∘serialize round trips.
+
+use axs_xdm::{fragment_well_formed, Token};
+use axs_xml::{parse_fragment, serialize, ParseOptions, SerializeOptions};
+use proptest::prelude::*;
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,7}"
+}
+
+/// Text content avoiding "]]>" so CDATA-free serialization stays simple, and
+/// avoiding chars the serializer escapes asymmetrically in carriage returns.
+fn text_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~\u{e9}\u{2603}]{1,30}")
+        .unwrap()
+        .prop_filter("no cr", |s| !s.contains('\r'))
+}
+
+fn fragment_strategy() -> impl Strategy<Value = Vec<Token>> {
+    let leaf = prop_oneof![
+        text_strategy().prop_map(|v| vec![Token::text(v)]),
+        text_strategy()
+            .prop_filter("comment constraints", |s| !s.contains("--") && !s.ends_with('-'))
+            .prop_map(|v| vec![Token::comment(v)]),
+        (name_strategy(), text_strategy())
+            .prop_filter("pi data", |(_, v)| !v.contains("?>"))
+            // Leading/trailing whitespace in PI data is not preserved by the
+            // `<?target data?>` convention; normalize in the generator.
+            .prop_map(|(t, v)| vec![Token::pi(t, v.trim())]),
+    ];
+    leaf.prop_recursive(4, 48, 4, |inner| {
+        (
+            name_strategy(),
+            proptest::collection::vec((name_strategy(), text_strategy()), 0..3),
+            proptest::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(name, attrs, children)| {
+                let mut out = vec![Token::begin_element(name.as_str())];
+                let mut seen = std::collections::HashSet::new();
+                for (an, av) in attrs {
+                    if seen.insert(an.clone()) {
+                        out.push(Token::begin_attribute(an.as_str(), av));
+                        out.push(Token::EndAttribute);
+                    }
+                }
+                for child in children {
+                    out.extend(child);
+                }
+                out.push(Token::EndElement);
+                out
+            })
+    })
+    // Wrap in a root element so fragments with adjacent generated text
+    // tokens (which the parser would merge) are normalized first.
+    .prop_map(|body| {
+        let mut out = vec![Token::begin_element("root")];
+        out.extend(body);
+        out.push(Token::EndElement);
+        out
+    })
+}
+
+/// Merge adjacent text tokens the way the parser does, to obtain the
+/// normal form the round trip preserves.
+fn normalize(tokens: &[Token]) -> Vec<Token> {
+    let mut out: Vec<Token> = Vec::new();
+    for tok in tokens {
+        if let (Some(Token::Text { value: prev, .. }), Token::Text { value, .. }) =
+            (out.last_mut(), tok)
+        {
+            let mut merged = String::with_capacity(prev.len() + value.len());
+            merged.push_str(prev);
+            merged.push_str(value);
+            *prev = merged.into_boxed_str();
+            continue;
+        }
+        out.push(tok.clone());
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn serialize_then_parse_recovers_tokens(frag in fragment_strategy()) {
+        prop_assert!(fragment_well_formed(&frag).is_ok());
+        let text = serialize(&frag, &SerializeOptions::default()).unwrap();
+        let back = parse_fragment(&text, ParseOptions::default()).unwrap();
+        prop_assert_eq!(normalize(&frag), back);
+    }
+
+    #[test]
+    fn serialize_without_self_close_also_round_trips(frag in fragment_strategy()) {
+        let opts = SerializeOptions { self_close_empty: false, ..SerializeOptions::default() };
+        let text = serialize(&frag, &opts).unwrap();
+        let back = parse_fragment(&text, ParseOptions::default()).unwrap();
+        prop_assert_eq!(normalize(&frag), back);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(input in "[ -~]{0,120}") {
+        let _ = parse_fragment(&input, ParseOptions::default());
+    }
+
+    #[test]
+    fn parser_never_panics_on_tag_soup(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("<a>".to_string()),
+                Just("</a>".to_string()),
+                Just("<b x='1'>".to_string()),
+                Just("<!--c-->".to_string()),
+                Just("<?p d?>".to_string()),
+                Just("text&amp;".to_string()),
+                Just("<![CDATA[x]]>".to_string()),
+                Just("&#65;".to_string()),
+                Just("<".to_string()),
+                Just("&".to_string()),
+            ],
+            0..24,
+        )
+    ) {
+        let input = parts.concat();
+        let _ = parse_fragment(&input, ParseOptions::default());
+    }
+
+    #[test]
+    fn successful_parses_are_well_formed(input in "[ -~]{0,120}") {
+        if let Ok(tokens) = parse_fragment(&input, ParseOptions::default()) {
+            if !tokens.is_empty() {
+                prop_assert!(fragment_well_formed(&tokens).is_ok());
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # axs-xpath — XPath-subset evaluation over the token store
+//!
+//! The paper's requirement 1 (§2) is that the store can serve query
+//! evaluation over the XQuery Data Model. This crate demonstrates that the
+//! flat token/range representation supports navigational queries without
+//! a DOM: paths are compiled to a small AST and evaluated against a
+//! lightweight node table (spans + child lists) built in one pass over the
+//! store's document-order cursor — no per-node objects, no pointers back
+//! into mutable storage.
+//!
+//! Supported grammar (an XPath 1.0 subset):
+//!
+//! ```text
+//! path      := '/'? step ('/' step)*  |  '//' step ('/' step)*
+//! step      := axis? nodetest predicate*
+//! axis      := 'child::' (default) | 'descendant::' ('//' shorthand)
+//!            | 'attribute::' ('@' shorthand) | 'self::'
+//! nodetest  := name | '*' | 'text()' | 'comment()' | 'node()'
+//! predicate := '[' integer ']'                    positional
+//!            | '[' relpath ']'                    existence
+//!            | '[' relpath '=' 'literal' ']'      value comparison
+//!            | '[' '@' name '=' 'literal' ']'     attribute comparison
+//! ```
+
+pub mod ast;
+pub mod eval;
+pub mod parser;
+
+pub use ast::{Axis, CompareOp, NodeTest, Predicate, Step, XPath};
+pub use eval::{evaluate, evaluate_from_roots, evaluate_store, Match, StoreMatch};
+pub use parser::{compile, XPathError};

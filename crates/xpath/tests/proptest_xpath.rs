@@ -1,0 +1,220 @@
+//! Property tests for the XPath evaluator.
+//!
+//! A deliberately different reference implementation (recursive span
+//! filtering over `subtree_end`, no node table) checks predicate-free
+//! child/descendant paths; metamorphic properties cover the rest.
+
+use axs_xdm::{subtree_end, top_level_nodes, Token, TokenKind};
+use axs_xpath::{compile, evaluate};
+use proptest::prelude::*;
+
+// ---- reference evaluator (independent implementation) --------------------
+
+/// Children spans (begin..=end token indexes) of the span `(start, end)`.
+fn child_spans(tokens: &[Token], start: usize, end: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    if start == end {
+        return out; // leaf
+    }
+    let mut i = start + 1;
+    while i < end {
+        let e = subtree_end(tokens, i).expect("well-formed");
+        // Skip attribute nodes: not children.
+        if tokens[i].kind() != TokenKind::BeginAttribute {
+            out.push((i, e));
+        }
+        i = e + 1;
+    }
+    out
+}
+
+fn descendant_spans(tokens: &[Token], start: usize, end: usize, out: &mut Vec<(usize, usize)>) {
+    for (s, e) in child_spans(tokens, start, end) {
+        out.push((s, e));
+        descendant_spans(tokens, s, e, out);
+    }
+}
+
+fn name_matches(tokens: &[Token], span: (usize, usize), name: &str) -> bool {
+    tokens[span.0].kind() == TokenKind::BeginElement
+        && tokens[span.0]
+            .name()
+            .is_some_and(|n| n.to_lexical() == name)
+}
+
+/// Reference evaluation of a predicate-free path like `/a/b` or `/a//b`
+/// given as (descendant?, name) steps.
+fn reference_eval(tokens: &[Token], steps: &[(bool, String)]) -> Vec<(usize, usize)> {
+    // Virtual root: contexts are spans; start with top-level nodes for the
+    // first step.
+    let mut contexts: Vec<(usize, usize)> = vec![(usize::MAX, usize::MAX)]; // virtual
+    for (i, (descendant, name)) in steps.iter().enumerate() {
+        let mut next: Vec<(usize, usize)> = Vec::new();
+        for &ctx in &contexts {
+            let candidates: Vec<(usize, usize)> = if ctx.0 == usize::MAX {
+                if *descendant {
+                    let mut all = Vec::new();
+                    for (s, e) in top_level_nodes(tokens) {
+                        all.push((s, e));
+                        descendant_spans(tokens, s, e, &mut all);
+                    }
+                    all
+                } else {
+                    top_level_nodes(tokens).collect()
+                }
+            } else if *descendant {
+                let mut all = Vec::new();
+                descendant_spans(tokens, ctx.0, ctx.1, &mut all);
+                all
+            } else {
+                child_spans(tokens, ctx.0, ctx.1)
+            };
+            for span in candidates {
+                if name_matches(tokens, span, name) && !next.contains(&span) {
+                    next.push(span);
+                }
+            }
+        }
+        next.sort_unstable();
+        if i == steps.len() - 1 {
+            return next;
+        }
+        contexts = next;
+    }
+    Vec::new()
+}
+
+// ---- strategies -----------------------------------------------------------
+
+const NAMES: [&str; 4] = ["a", "b", "c", "d"];
+
+fn doc_strategy() -> impl Strategy<Value = Vec<Token>> {
+    let leaf = prop_oneof![
+        Just(vec![Token::text("x")]),
+        (0usize..4).prop_map(|n| vec![
+            Token::begin_element(NAMES[n]),
+            Token::EndElement
+        ]),
+    ];
+    leaf.prop_recursive(4, 40, 4, |inner| {
+        (
+            0usize..4,
+            proptest::bool::ANY,
+            proptest::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(n, attr, children)| {
+                let mut out = vec![Token::begin_element(NAMES[n])];
+                if attr {
+                    out.push(Token::begin_attribute("k", "v"));
+                    out.push(Token::EndAttribute);
+                }
+                for c in children {
+                    out.extend(c);
+                }
+                out.push(Token::EndElement);
+                out
+            })
+    })
+}
+
+fn path_strategy() -> impl Strategy<Value = Vec<(bool, String)>> {
+    proptest::collection::vec(
+        (proptest::bool::ANY, (0usize..4).prop_map(|n| NAMES[n].to_string())),
+        1..4,
+    )
+}
+
+fn path_text(steps: &[(bool, String)]) -> String {
+    let mut s = String::new();
+    for (i, (descendant, name)) in steps.iter().enumerate() {
+        let _ = i;
+        if *descendant {
+            s.push_str("//");
+        } else {
+            s.push('/');
+        }
+        s.push_str(name);
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+    #[test]
+    fn evaluator_matches_reference_on_simple_paths(
+        doc in doc_strategy(),
+        steps in path_strategy(),
+    ) {
+        let text = path_text(&steps);
+        let compiled = compile(&text).unwrap();
+        let got: Vec<(usize, usize)> = evaluate(&doc, &compiled)
+            .into_iter()
+            .map(|m| (m.token_start, m.token_end))
+            .collect();
+        let want = reference_eval(&doc, &steps);
+        prop_assert_eq!(got, want, "path {}", text);
+    }
+
+    #[test]
+    fn results_are_in_document_order_and_unique(
+        doc in doc_strategy(),
+        steps in path_strategy(),
+    ) {
+        let compiled = compile(&path_text(&steps)).unwrap();
+        let got = evaluate(&doc, &compiled);
+        for w in got.windows(2) {
+            prop_assert!(w[0].token_start < w[1].token_start);
+        }
+    }
+
+    #[test]
+    fn child_results_subset_of_descendant_results(
+        doc in doc_strategy(),
+        name in (0usize..4).prop_map(|n| NAMES[n]),
+    ) {
+        let child = evaluate(&doc, &compile(&format!("/{name}")).unwrap());
+        let desc = evaluate(&doc, &compile(&format!("//{name}")).unwrap());
+        for m in &child {
+            prop_assert!(desc.contains(m));
+        }
+    }
+
+    #[test]
+    fn position_predicates_partition_results(
+        doc in doc_strategy(),
+        name in (0usize..4).prop_map(|n| NAMES[n]),
+    ) {
+        // The union of /name[1], /name[2], ... equals /name.
+        let all = evaluate(&doc, &compile(&format!("/{name}")).unwrap());
+        let mut unioned = Vec::new();
+        for k in 1..=all.len() + 1 {
+            unioned.extend(evaluate(
+                &doc,
+                &compile(&format!("/{name}[{k}]")).unwrap(),
+            ));
+        }
+        unioned.sort_by_key(|m| m.token_start);
+        prop_assert_eq!(unioned, all);
+    }
+
+    #[test]
+    fn parent_of_child_is_identity_context(
+        doc in doc_strategy(),
+        name in (0usize..4).prop_map(|n| NAMES[n]),
+    ) {
+        // //name/.. spans must each contain at least one `name` child.
+        let parents = evaluate(&doc, &compile(&format!("//{name}/..")).unwrap());
+        for p in &parents {
+            let kids = child_spans(&doc, p.token_start, p.token_end);
+            prop_assert!(
+                kids.iter().any(|&k| name_matches(&doc, k, name)),
+                "parent span without matching child"
+            );
+        }
+    }
+
+    #[test]
+    fn compile_never_panics(input in "[ -~]{0,40}") {
+        let _ = compile(&input);
+    }
+}

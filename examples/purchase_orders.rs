@@ -1,0 +1,84 @@
+//! The paper's §4.1 motivating workload: a purchase-order feed where every
+//! operation is "insert a `<purchase-order>` element as the last child of
+//! the root".
+//!
+//! Demonstrates why a full per-node index is the wrong default for this
+//! pattern: the same scenario is run under the Full-Index baseline and the
+//! lazy Range+Partial policy, and the store counters show where the work
+//! went.
+//!
+//! ```sh
+//! cargo run --release --example purchase_orders
+//! ```
+
+use adaptive_xml_storage::prelude::*;
+use axs_core::IndexingPolicy;
+use axs_workload::docgen;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+const ORDERS: usize = 2_000;
+
+fn run(label: &str, policy: IndexingPolicy) -> Result<(), Box<dyn std::error::Error>> {
+    let mut store = StoreBuilder::new().policy(policy).build()?;
+    store.bulk_insert(vec![
+        Token::begin_element("purchase-orders"),
+        Token::EndElement,
+    ])?;
+    let root = NodeId(1);
+
+    let mut rng = StdRng::seed_from_u64(2005);
+    let started = Instant::now();
+    for i in 0..ORDERS {
+        let order = docgen::purchase_order(&mut rng, i as u64 + 1);
+        store.insert_into_last(root, order)?;
+    }
+    let elapsed = started.elapsed();
+
+    let stats = store.stats();
+    let partial = store.partial_stats();
+    let index_io = store.index_pool_stats();
+    println!("== {label}");
+    println!("   {ORDERS} orders appended in {elapsed:?}");
+    println!(
+        "   ranges: {}   range splits: {}   tokens inserted: {}",
+        store.range_count(),
+        stats.range_splits,
+        stats.tokens_inserted
+    );
+    println!(
+        "   lookups: partial={} full={} range-scan={} (tokens scanned {})",
+        stats.lookups_partial, stats.lookups_full, stats.lookups_range_scan, stats.tokens_scanned
+    );
+    println!(
+        "   partial index: {} hits / {} misses   index-file pages written: {}",
+        partial.hits, partial.misses, index_io.physical_writes
+    );
+    store.check_invariants()?;
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    run(
+        "full index (§4.1 baseline: every node indexed eagerly)",
+        IndexingPolicy::FullIndex {
+            target_range_bytes: 8 * 1024,
+        },
+    )?;
+    run(
+        "range index only (coarse, §4.3)",
+        IndexingPolicy::RangeOnly {
+            target_range_bytes: 8 * 1024,
+        },
+    )?;
+    run(
+        "range index + lazy partial index (§5 — the paper's design)",
+        IndexingPolicy::default_lazy(),
+    )?;
+    println!();
+    println!("The lazy configuration appends as cheaply as the coarse range");
+    println!("index while the memoized root position keeps the per-insert");
+    println!("lookup constant — the \"importance of being lazy\".");
+    Ok(())
+}

@@ -1,0 +1,98 @@
+//! Storage accounting and compaction (§6.1 "low storage overhead" and the
+//! §9 ongoing work on variable-sized ranges).
+//!
+//! A long update history fragments the store into many small ranges; this
+//! example fragments a store on purpose, prints the storage report, runs
+//! [`XmlStore::compact`], and shows that content and identifiers are
+//! untouched while ranges, index entries, and pages shrink.
+//!
+//! ```sh
+//! cargo run --example storage_maintenance
+//! ```
+
+use adaptive_xml_storage::prelude::*;
+use axs_core::{IndexingPolicy, StorageReport};
+use axs_xml::ParseOptions;
+
+fn print_report(label: &str, r: &StorageReport) {
+    println!("{label}");
+    println!(
+        "   blocks {:>4}   ranges {:>5}   index entries {:>5}   free pages {:>3}",
+        r.blocks, r.ranges, r.range_index_entries, r.free_pages
+    );
+    println!(
+        "   tokens {:>5}   token bytes {:>7}   payload bytes {:>7}   fill {:>5.1}%",
+        r.tokens,
+        r.token_bytes,
+        r.payload_bytes,
+        r.fill_factor() * 100.0
+    );
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A granular policy + small pages: the worst case for fragmentation.
+    let mut store = StoreBuilder::new()
+        .policy(IndexingPolicy::RangeOnly {
+            target_range_bytes: 96,
+        })
+        .storage(StorageConfig {
+            page_size: 1024,
+            pool_frames: 16,
+        })
+        .build()?;
+
+    store.bulk_insert(parse_fragment("<log/>", ParseOptions::default())?)?;
+    for i in 0..300 {
+        store.insert_into_last(
+            NodeId(1),
+            parse_fragment(
+                &format!(r#"<entry seq="{i}">event {i}</entry>"#),
+                ParseOptions::default(),
+            )?,
+        )?;
+    }
+    // Delete a band in the middle (leaves identifier gaps compaction must
+    // respect).
+    let kids = store.children_of(NodeId(1))?;
+    for id in &kids[100..120] {
+        store.delete_node(*id)?;
+    }
+
+    let before_tokens = store.read_all()?;
+    let before = store.storage_report()?;
+    print_report("before compaction:", &before);
+
+    let outcome = store.compact(1024)?;
+    println!();
+    println!(
+        "compact(1024): {} merges, {} -> {} ranges",
+        outcome.merges, outcome.ranges_before, outcome.ranges_after
+    );
+    println!();
+
+    let after = store.storage_report()?;
+    print_report("after compaction:", &after);
+
+    assert_eq!(store.read_all()?, before_tokens);
+    store.check_invariants()?;
+    println!();
+    println!(
+        "content and identifiers unchanged; headers saved: {} bytes",
+        before.payload_bytes - after.payload_bytes
+    );
+
+    // Freed pages are recycled by future inserts.
+    for i in 0..40 {
+        store.insert_into_last(
+            NodeId(1),
+            parse_fragment(&format!("<entry>late {i}</entry>"), ParseOptions::default())?,
+        )?;
+    }
+    let reuse = store.storage_report()?;
+    println!(
+        "after 40 more inserts: {} blocks, {} free pages left (pages recycled)",
+        reuse.blocks, reuse.free_pages
+    );
+    store.check_invariants()?;
+    Ok(())
+}

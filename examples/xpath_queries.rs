@@ -1,0 +1,63 @@
+//! Query evaluation over a stored XMark-flavoured auction document:
+//! the store's flat token/range representation serving navigational XPath
+//! (requirement 1 of §2), including queries after updates.
+//!
+//! ```sh
+//! cargo run --example xpath_queries
+//! ```
+
+use adaptive_xml_storage::prelude::*;
+use axs_workload::docgen;
+use axs_xml::ParseOptions;
+use axs_xpath::evaluate_store;
+
+fn show(
+    store: &mut XmlStore,
+    query: &str,
+    limit: usize,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let compiled = compile(query)?;
+    let results = evaluate_store(store, &compiled)?;
+    println!("{query}  →  {} match(es)", results.len());
+    for (id, tokens) in results.iter().take(limit) {
+        let text = serialize(tokens, &SerializeOptions::default())
+            .unwrap_or_else(|_| format!("{:?}", tokens[0].string_value()));
+        let id = id.map(|n| n.to_string()).unwrap_or_default();
+        println!("   {id:<6} {text}");
+    }
+    if results.len() > limit {
+        println!("   … {} more", results.len() - limit);
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut store = StoreBuilder::new().build()?;
+    store.bulk_insert(docgen::auction_site(2005, 8))?;
+
+    show(&mut store, "/site/regions/europe/item", 2)?;
+    show(&mut store, "//item[name]", 2)?;
+    show(&mut store, "/site/regions/*/item[1]/name", 4)?;
+    show(&mut store, "/site/open_auctions/open_auction[bidder]/@id", 3)?;
+    show(&mut store, "//person[2]", 2)?;
+
+    // Update, then re-query: the same paths see the new state.
+    println!();
+    println!("-- after inserting a hot item into <asia> --");
+    let asia = compile("/site/regions/asia")?;
+    let asia_id = evaluate_store(&mut store, &asia)?[0]
+        .0
+        .expect("store matches carry ids");
+    store.insert_into_first(
+        asia_id,
+        parse_fragment(
+            r#"<item id="hot1"><name>rare stamp</name><description>mint</description></item>"#,
+            ParseOptions::default(),
+        )?,
+    )?;
+    show(&mut store, "/site/regions/asia/item[1]/name", 1)?;
+    show(&mut store, "//item[@id='hot1']", 1)?;
+
+    store.check_invariants()?;
+    Ok(())
+}

@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+
+//! # adaptive-xml-storage
+//!
+//! Umbrella crate for the Adaptive XML Storage system — a Rust reproduction
+//! of *Duda & Kossmann, "Adaptive XML Storage or The Importance of Being
+//! Lazy"* (SIGMOD 2005).
+//!
+//! This crate re-exports the public API of every workspace crate so that a
+//! downstream user can depend on a single crate:
+//!
+//! ```
+//! use adaptive_xml_storage::prelude::*;
+//! ```
+//!
+//! See the individual crates for detail:
+//!
+//! - [`xdm`] — XQuery Data Model tokens, node IDs, type annotations, codec
+//! - [`xml`] — pull parser, serializer, schema annotator
+//! - [`storage`] — pages, buffer pool, slotted blocks
+//! - [`index`] — paged B+-tree, Range Index, Partial Index
+//! - [`idgen`] — identifier schemes (monotonic ints, Dewey/ORDPATH-style)
+//! - [`core`] — the XML store: ranges, XUpdate operations, policies
+//! - [`xpath`] — XPath-subset evaluation over stored documents
+//! - [`xquery`] — FLWOR-subset queries (for/where/order by/return)
+//! - [`workload`] — document and operation generators for experiments
+
+pub use axs_core as core;
+pub use axs_idgen as idgen;
+pub use axs_index as index;
+pub use axs_storage as storage;
+pub use axs_workload as workload;
+pub use axs_xdm as xdm;
+pub use axs_xml as xml;
+pub use axs_xpath as xpath;
+pub use axs_xquery as xquery;
+
+/// Everything a typical user needs, one `use` away.
+pub mod prelude {
+    pub use axs_core::{
+        AdaptiveConfig, CompactionReport, ConcurrentStore, IndexingPolicy, StorageReport,
+        StoreBuilder, StoreError, StoreStats, XmlStore,
+    };
+    pub use axs_idgen::{DeweyId, DeweyOrder, IdScheme, MonotonicIds};
+    pub use axs_index::PartialIndexConfig;
+    pub use axs_storage::StorageConfig;
+    pub use axs_workload::{DocGenConfig, OpMix, WorkloadDriver};
+    pub use axs_xdm::{NodeId, QName, Token, TokenKind, TypeAnnotation};
+    pub use axs_xml::{parse_document, parse_fragment, serialize, SerializeOptions};
+    pub use axs_xpath::{compile, XPath};
+    pub use axs_xquery::{evaluate_flwor, parse_flwor, FlworQuery};
+}

@@ -1,0 +1,205 @@
+//! End-to-end pipelines across crates: XML text → schema annotation →
+//! store → updates → XPath → serialization → reopen.
+
+use adaptive_xml_storage::prelude::*;
+use axs_core::IndexingPolicy;
+use axs_workload::docgen;
+use axs_xml::{parse_document, Schema, SchemaRule, ParseOptions};
+use axs_xpath::evaluate_store;
+
+fn frag(xml: &str) -> Vec<Token> {
+    parse_fragment(xml, ParseOptions::default()).unwrap()
+}
+
+#[test]
+fn document_pipeline_with_psvi() {
+    // Parse a document with prolog, annotate with a schema (PSVI,
+    // requirement 7), store it, and verify the annotations persist through
+    // the storage representation.
+    let text = r#"<?xml version="1.0"?>
+<orders>
+  <order id="1"><qty>5</qty><price>9.50</price></order>
+  <order id="2"><qty>2</qty><price>3.25</price></order>
+</orders>"#;
+    let doc = parse_document(text, ParseOptions::data_centric()).unwrap();
+    // Strip the document wrapper: the store holds fragments.
+    let body: Vec<Token> = doc[1..doc.len() - 1].to_vec();
+
+    let schema = Schema::new(&[
+        SchemaRule::new("//qty", TypeAnnotation::Integer),
+        SchemaRule::new("//price", TypeAnnotation::Decimal),
+        SchemaRule::new("//order/@id", TypeAnnotation::Integer),
+    ])
+    .unwrap();
+    let annotated = schema.annotate(&body, true).unwrap();
+
+    let mut store = StoreBuilder::new().build().unwrap();
+    store.bulk_insert(annotated.clone()).unwrap();
+    let back = store.read_all().unwrap();
+    assert_eq!(back, annotated, "PSVI annotations survive storage");
+
+    let qty_types: Vec<_> = back
+        .iter()
+        .filter(|t| t.name().is_some_and(|n| n.is_local("qty")))
+        .map(|t| t.type_annotation().unwrap())
+        .collect();
+    assert!(qty_types.iter().all(|&t| t == TypeAnnotation::Integer));
+}
+
+#[test]
+fn full_lifecycle_on_disk() {
+    let dir = std::env::temp_dir().join(format!(
+        "axs-e2e-{}-{}",
+        std::process::id(),
+        line!()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let expected_text;
+    {
+        let mut store = StoreBuilder::new()
+            .directory(&dir)
+            .storage(StorageConfig {
+                page_size: 1024,
+                pool_frames: 8,
+            })
+            .build()
+            .unwrap();
+        store.bulk_insert(docgen::purchase_orders(3, 40)).unwrap();
+        // A few updates.
+        store
+            .insert_into_last(NodeId(1), frag("<purchase-order id=\"41\"/>"))
+            .unwrap();
+        let path = compile("/purchase-orders/purchase-order[1]").unwrap();
+        let first = evaluate_store(&mut store, &path).unwrap()[0].0.unwrap();
+        store.delete_node(first).unwrap();
+        expected_text = serialize(
+            &store.read_all().unwrap(),
+            &SerializeOptions::default(),
+        )
+        .unwrap();
+        store.flush().unwrap();
+    }
+    {
+        // Reopen: indexes rebuild from the data file; content identical.
+        let mut store = StoreBuilder::new()
+            .directory(&dir)
+            .storage(StorageConfig {
+                page_size: 1024,
+                pool_frames: 8,
+            })
+            .open()
+            .unwrap();
+        store.check_invariants().unwrap();
+        let text = serialize(
+            &store.read_all().unwrap(),
+            &SerializeOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(text, expected_text);
+        // And it remains updatable with continuing ids.
+        let iv = store
+            .insert_into_last(NodeId(1), frag("<purchase-order id=\"42\"/>"))
+            .unwrap();
+        assert!(iv.start.get() > 40);
+        store.check_invariants().unwrap();
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn policies_agree_on_query_results() {
+    let doc = docgen::auction_site(99, 6);
+    let queries = [
+        "/site/regions/asia/item",
+        "//item[name]/@id",
+        "/site/open_auctions/open_auction[1]",
+        "//bidder/increase",
+        "//person[name='Person 1']",
+    ];
+    let mut reference: Option<Vec<Vec<String>>> = None;
+    for policy in [
+        IndexingPolicy::FullIndex {
+            target_range_bytes: 2048,
+        },
+        IndexingPolicy::RangeOnly {
+            target_range_bytes: 512,
+        },
+        IndexingPolicy::default_lazy(),
+    ] {
+        let mut store = StoreBuilder::new()
+            .policy(policy)
+            .storage(StorageConfig {
+                page_size: 1024,
+                pool_frames: 8,
+            })
+            .build()
+            .unwrap();
+        store.bulk_insert(doc.clone()).unwrap();
+        let results: Vec<Vec<String>> = queries
+            .iter()
+            .map(|q| {
+                evaluate_store(&mut store, &compile(q).unwrap())
+                    .unwrap()
+                    .into_iter()
+                    .map(|(id, sub)| format!("{:?}:{}", id, sub.len()))
+                    .collect()
+            })
+            .collect();
+        match &reference {
+            None => reference = Some(results),
+            Some(r) => assert_eq!(r, &results),
+        }
+    }
+}
+
+#[test]
+fn heavy_update_session_stays_well_formed() {
+    let mut store = StoreBuilder::new()
+        .storage(StorageConfig {
+            page_size: 512,
+            pool_frames: 6,
+        })
+        .build()
+        .unwrap();
+    store.bulk_insert(docgen::purchase_orders(5, 10)).unwrap();
+    let mut driver = WorkloadDriver::new(&mut store, OpMix::update_heavy(), 77).unwrap();
+    driver.run(&mut store, 400).unwrap();
+    store.check_invariants().unwrap();
+    // The final document parses back from its serialization.
+    let tokens = store.read_all().unwrap();
+    let text = serialize(&tokens, &SerializeOptions::default()).unwrap();
+    let reparsed = parse_fragment(&text, ParseOptions::default()).unwrap();
+    assert_eq!(reparsed.len(), tokens.len());
+}
+
+#[test]
+fn dewey_labels_track_store_document_order() {
+    // §6 orthogonality: an external, globally comparable labeling can be
+    // derived from the store's token stream at any time.
+    use axs_idgen::{DeweyId, DeweyOrder};
+    let mut store = StoreBuilder::new().build().unwrap();
+    store.bulk_insert(frag("<a><b/><c><d/></c></a>")).unwrap();
+    store.insert_after(NodeId(2), frag("<b2/>")).unwrap();
+
+    let tokens = store.read_all().unwrap();
+    let labels = DeweyOrder::new(DeweyId::root()).label_fragment(&tokens);
+    let present: Vec<_> = labels.iter().flatten().collect();
+    for w in present.windows(2) {
+        assert!(w[0] < w[1], "labels sorted in document order");
+    }
+    assert_eq!(present.len() as u64, axs_xdm::count_ids(&tokens));
+}
+
+#[test]
+fn read_does_not_modify() {
+    let mut store = StoreBuilder::new().build().unwrap();
+    store.bulk_insert(docgen::random_tree(&DocGenConfig::default())).unwrap();
+    let t1 = store.read_all().unwrap();
+    for id in [1u64, 5, 17, 100] {
+        let _ = store.read_node(NodeId(id));
+    }
+    let t2 = store.read_all().unwrap();
+    assert_eq!(t1, t2);
+    store.check_invariants().unwrap();
+}

@@ -1,0 +1,199 @@
+//! Persistence behaviours: reopening with different policies (indexes are
+//! derived data, so the policy can change between sessions), streamed loads
+//! surviving restarts, and adaptive state reset semantics.
+
+use adaptive_xml_storage::prelude::*;
+use axs_core::IndexingPolicy;
+use axs_workload::docgen;
+use axs_xml::ParseOptions;
+use std::path::PathBuf;
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("axs-persist-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn cfg() -> StorageConfig {
+    StorageConfig {
+        page_size: 1024,
+        pool_frames: 8,
+    }
+}
+
+#[test]
+fn reopen_with_a_different_policy_rebuilds_matching_indexes() {
+    let dir = tmp("policy-switch");
+    {
+        // Built lazy…
+        let mut s = StoreBuilder::new()
+            .directory(&dir)
+            .storage(cfg())
+            .policy(IndexingPolicy::default_lazy())
+            .build()
+            .unwrap();
+        s.bulk_insert(docgen::purchase_orders(21, 25)).unwrap();
+        s.flush().unwrap();
+    }
+    {
+        // …reopened with the full-index policy: the per-node index is built
+        // from the data file on open.
+        let mut s = StoreBuilder::new()
+            .directory(&dir)
+            .storage(cfg())
+            .policy(IndexingPolicy::FullIndex {
+                target_range_bytes: 1024,
+            })
+            .open()
+            .unwrap();
+        s.check_invariants().unwrap(); // includes the full-index audit
+        s.read_node(NodeId(10)).unwrap();
+        assert_eq!(s.stats().lookups_full, 1, "lookups go through the full index");
+        s.flush().unwrap();
+    }
+    {
+        // …and back to range-only.
+        let mut s = StoreBuilder::new()
+            .directory(&dir)
+            .storage(cfg())
+            .policy(IndexingPolicy::RangeOnly {
+                target_range_bytes: 2048,
+            })
+            .open()
+            .unwrap();
+        s.check_invariants().unwrap();
+        s.read_node(NodeId(10)).unwrap();
+        assert_eq!(s.stats().lookups_range_scan, 1);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn streamed_load_survives_reopen() {
+    let dir = tmp("stream");
+    let interval;
+    {
+        let mut s = StoreBuilder::new()
+            .directory(&dir)
+            .storage(cfg())
+            .build()
+            .unwrap();
+        let mut loader = s.bulk_loader();
+        loader.push(Token::begin_element("log")).unwrap();
+        for i in 0..2_000 {
+            loader.push(Token::begin_element("e")).unwrap();
+            loader.push(Token::text(format!("{i}"))).unwrap();
+            loader.push(Token::EndElement).unwrap();
+        }
+        loader.push(Token::EndElement).unwrap();
+        interval = loader.finish().unwrap();
+        s.flush().unwrap();
+    }
+    {
+        let mut s = StoreBuilder::new()
+            .directory(&dir)
+            .storage(cfg())
+            .open()
+            .unwrap();
+        s.check_invariants().unwrap();
+        assert!(s.contains(interval.start));
+        assert!(s.contains(interval.end));
+        // Ids continue past the streamed interval.
+        let iv = s
+            .insert_into_last(
+                NodeId(1),
+                parse_fragment("<tail/>", ParseOptions::default()).unwrap(),
+            )
+            .unwrap();
+        assert!(iv.start > interval.end);
+        s.check_invariants().unwrap();
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn compacted_store_reopens_cleanly() {
+    let dir = tmp("compacted");
+    let text_before;
+    {
+        let mut s = StoreBuilder::new()
+            .directory(&dir)
+            .storage(cfg())
+            .policy(IndexingPolicy::RangeOnly {
+                target_range_bytes: 64,
+            })
+            .build()
+            .unwrap();
+        s.bulk_insert(parse_fragment("<root/>", ParseOptions::default()).unwrap())
+            .unwrap();
+        for i in 0..60 {
+            s.insert_into_last(
+                NodeId(1),
+                parse_fragment(&format!("<e>{i}</e>"), ParseOptions::default()).unwrap(),
+            )
+            .unwrap();
+        }
+        s.compact(900).unwrap();
+        text_before = serialize(&s.read_all().unwrap(), &SerializeOptions::default()).unwrap();
+        s.flush().unwrap();
+    }
+    {
+        let mut s = StoreBuilder::new()
+            .directory(&dir)
+            .storage(cfg())
+            .open()
+            .unwrap();
+        s.check_invariants().unwrap();
+        let text_after =
+            serialize(&s.read_all().unwrap(), &SerializeOptions::default()).unwrap();
+        assert_eq!(text_before, text_after);
+        // Free pages recorded in the meta survive the reopen and get reused.
+        let report = s.storage_report().unwrap();
+        if report.free_pages > 0 {
+            let allocs = s.data_pool_stats().allocations;
+            s.bulk_insert(parse_fragment("<post/>", ParseOptions::default()).unwrap())
+                .unwrap();
+            // Inserting into existing tail block or recycled page — either
+            // way the file must not grow by more than the insert needs.
+            assert!(s.data_pool_stats().allocations <= allocs + 1);
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn many_reopen_cycles_accumulate_correctly() {
+    let dir = tmp("cycles");
+    {
+        let mut s = StoreBuilder::new()
+            .directory(&dir)
+            .storage(cfg())
+            .build()
+            .unwrap();
+        s.bulk_insert(parse_fragment("<root/>", ParseOptions::default()).unwrap())
+            .unwrap();
+        s.flush().unwrap();
+    }
+    for cycle in 0..5 {
+        let mut s = StoreBuilder::new()
+            .directory(&dir)
+            .storage(cfg())
+            .open()
+            .unwrap();
+        s.insert_into_last(
+            NodeId(1),
+            parse_fragment(&format!("<c n=\"{cycle}\"/>"), ParseOptions::default()).unwrap(),
+        )
+        .unwrap();
+        s.flush().unwrap();
+    }
+    let mut s = StoreBuilder::new()
+        .directory(&dir)
+        .storage(cfg())
+        .open()
+        .unwrap();
+    let kids = s.children_of(NodeId(1)).unwrap();
+    assert_eq!(kids.len(), 5);
+    s.check_invariants().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,341 @@
+//! Model-based property test: the store, under any policy, behaves exactly
+//! like an in-memory reference implementation of the XQuery-Data-Model
+//! fragment semantics — same tokens, same regenerated identifiers, in
+//! document order (invariant 2 of DESIGN.md).
+
+use adaptive_xml_storage::prelude::*;
+use axs_core::IndexingPolicy;
+use axs_xdm::{subtree_end, TokenKind};
+use proptest::prelude::*;
+
+/// The reference model: a flat list of (id, token) pairs with the same id
+/// allocation discipline as the store (consecutive ids per fragment, never
+/// reused).
+#[derive(Debug, Clone, Default)]
+struct Model {
+    items: Vec<(Option<u64>, Token)>,
+    next_id: u64,
+}
+
+impl Model {
+    fn new() -> Model {
+        Model {
+            items: Vec::new(),
+            next_id: 1,
+        }
+    }
+
+    fn tokens(&self) -> Vec<Token> {
+        self.items.iter().map(|(_, t)| t.clone()).collect()
+    }
+
+    fn assign(&mut self, tokens: &[Token]) -> Vec<(Option<u64>, Token)> {
+        tokens
+            .iter()
+            .map(|t| {
+                if t.consumes_id() {
+                    let id = self.next_id;
+                    self.next_id += 1;
+                    (Some(id), t.clone())
+                } else {
+                    (None, t.clone())
+                }
+            })
+            .collect()
+    }
+
+    fn index_of(&self, id: u64) -> Option<usize> {
+        self.items.iter().position(|(i, _)| *i == Some(id))
+    }
+
+    fn end_of(&self, begin: usize) -> usize {
+        let toks = self.tokens();
+        subtree_end(&toks, begin).expect("model stays well-formed")
+    }
+
+    fn live_element_ids(&self) -> Vec<u64> {
+        self.items
+            .iter()
+            .filter(|(id, t)| id.is_some() && t.kind() == TokenKind::BeginElement)
+            .map(|(id, _)| id.unwrap())
+            .collect()
+    }
+
+    fn bulk_insert(&mut self, tokens: &[Token]) {
+        let assigned = self.assign(tokens);
+        self.items.extend(assigned);
+    }
+
+    fn insert_at(&mut self, pos: usize, tokens: &[Token]) {
+        let assigned = self.assign(tokens);
+        self.items.splice(pos..pos, assigned);
+    }
+
+    fn insert_before(&mut self, id: u64, tokens: &[Token]) {
+        let pos = self.index_of(id).unwrap();
+        self.insert_at(pos, tokens);
+    }
+
+    fn insert_after(&mut self, id: u64, tokens: &[Token]) {
+        let begin = self.index_of(id).unwrap();
+        let end = self.end_of(begin);
+        self.insert_at(end + 1, tokens);
+    }
+
+    fn insert_into_first(&mut self, id: u64, tokens: &[Token]) {
+        let begin = self.index_of(id).unwrap();
+        // Skip attribute pairs.
+        let mut pos = begin + 1;
+        while self.items[pos].1.kind() == TokenKind::BeginAttribute {
+            pos += 2; // begin + end attribute
+        }
+        self.insert_at(pos, tokens);
+    }
+
+    fn insert_into_last(&mut self, id: u64, tokens: &[Token]) {
+        let begin = self.index_of(id).unwrap();
+        let end = self.end_of(begin);
+        self.insert_at(end, tokens);
+    }
+
+    fn delete_node(&mut self, id: u64) {
+        let begin = self.index_of(id).unwrap();
+        let end = self.end_of(begin);
+        self.items.drain(begin..=end);
+    }
+
+    fn replace_node(&mut self, id: u64, tokens: &[Token]) {
+        // Mirrors the store: insert before, then delete.
+        self.insert_before(id, tokens);
+        self.delete_node(id);
+    }
+
+    fn replace_content(&mut self, id: u64, tokens: &[Token]) {
+        let begin = self.index_of(id).unwrap();
+        let end = self.end_of(begin);
+        self.items.drain(begin + 1..end);
+        if !tokens.is_empty() {
+            let begin = self.index_of(id).unwrap();
+            let end = self.end_of(begin);
+            self.insert_at(end, tokens);
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum StoreOp {
+    InsertBefore(usize, Vec<Token>),
+    InsertAfter(usize, Vec<Token>),
+    InsertIntoFirst(usize, Vec<Token>),
+    InsertIntoLast(usize, Vec<Token>),
+    Delete(usize),
+    ReplaceNode(usize, Vec<Token>),
+    ReplaceContent(usize, Vec<Token>),
+    ReadNode(usize),
+    ClearPartial,
+    /// Physical reorganization: merges adjacent ranges. Must never change
+    /// logical content or identifiers.
+    Compact(u16),
+    /// Navigation spot-checks against the model.
+    Navigate(usize),
+}
+
+fn small_fragment() -> impl Strategy<Value = Vec<Token>> {
+    let leaf = prop_oneof![
+        "[a-z]{1,6}".prop_map(|v| vec![Token::text(v)]),
+        Just(vec![Token::comment("c")]),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        (
+            "[a-z]{1,5}",
+            proptest::bool::ANY,
+            proptest::collection::vec(inner, 0..3),
+        )
+            .prop_map(|(name, attr, children)| {
+                let mut out = vec![Token::begin_element(name.as_str())];
+                if attr {
+                    out.push(Token::begin_attribute("k", "v"));
+                    out.push(Token::EndAttribute);
+                }
+                for c in children {
+                    out.extend(c);
+                }
+                out.push(Token::EndElement);
+                out
+            })
+    })
+}
+
+fn op_strategy() -> impl Strategy<Value = StoreOp> {
+    let sel = any::<usize>();
+    prop_oneof![
+        2 => (sel, small_fragment()).prop_map(|(s, f)| StoreOp::InsertBefore(s, f)),
+        2 => (sel, small_fragment()).prop_map(|(s, f)| StoreOp::InsertAfter(s, f)),
+        2 => (sel, small_fragment()).prop_map(|(s, f)| StoreOp::InsertIntoFirst(s, f)),
+        3 => (sel, small_fragment()).prop_map(|(s, f)| StoreOp::InsertIntoLast(s, f)),
+        2 => sel.prop_map(StoreOp::Delete),
+        1 => (sel, small_fragment()).prop_map(|(s, f)| StoreOp::ReplaceNode(s, f)),
+        1 => (sel, small_fragment()).prop_map(|(s, f)| StoreOp::ReplaceContent(s, f)),
+        3 => sel.prop_map(StoreOp::ReadNode),
+        1 => Just(StoreOp::ClearPartial),
+        1 => any::<u16>().prop_map(StoreOp::Compact),
+        2 => sel.prop_map(StoreOp::Navigate),
+    ]
+}
+
+fn policies() -> Vec<IndexingPolicy> {
+    vec![
+        IndexingPolicy::FullIndex {
+            target_range_bytes: 256,
+        },
+        IndexingPolicy::RangeOnly {
+            target_range_bytes: 128,
+        },
+        IndexingPolicy::RangePlusPartial {
+            target_range_bytes: 256,
+            partial: axs_index::PartialIndexConfig { capacity: 8 },
+        },
+        IndexingPolicy::Adaptive(axs_core::AdaptiveConfig {
+            window: 16,
+            min_range_bytes: 128,
+            initial_range_bytes: 256,
+            initial_partial_capacity: 8,
+            min_partial_capacity: 2,
+            ..axs_core::AdaptiveConfig::default()
+        }),
+    ]
+}
+
+fn check_equal(store: &mut XmlStore, model: &Model) -> Result<(), TestCaseError> {
+    let got: Vec<(Option<u64>, Token)> = store
+        .read()
+        .map(|r| r.map(|(id, t)| (id.map(|n| n.get()), t)))
+        .collect::<Result<_, _>>()
+        .unwrap();
+    prop_assert_eq!(&got, &model.items);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn store_matches_reference_model(
+        initial in small_fragment(),
+        ops in proptest::collection::vec(op_strategy(), 0..40),
+        policy_idx in 0usize..4,
+    ) {
+        let policy = policies()[policy_idx].clone();
+        // Tiny pages + pool to stress splits, chaining, and eviction.
+        let mut store = StoreBuilder::new()
+            .policy(policy)
+            .storage(StorageConfig { page_size: 512, pool_frames: 4 })
+            .build()
+            .unwrap();
+        let mut model = Model::new();
+
+        store.bulk_insert(initial.clone()).unwrap();
+        model.bulk_insert(&initial);
+        check_equal(&mut store, &model)?;
+
+        for op in ops {
+            let elements = model.live_element_ids();
+            if elements.is_empty() {
+                break;
+            }
+            let pick = |sel: usize| elements[sel % elements.len()];
+            match op {
+                StoreOp::InsertBefore(sel, frag) => {
+                    let id = pick(sel);
+                    store.insert_before(NodeId(id), frag.clone()).unwrap();
+                    model.insert_before(id, &frag);
+                }
+                StoreOp::InsertAfter(sel, frag) => {
+                    let id = pick(sel);
+                    store.insert_after(NodeId(id), frag.clone()).unwrap();
+                    model.insert_after(id, &frag);
+                }
+                StoreOp::InsertIntoFirst(sel, frag) => {
+                    let id = pick(sel);
+                    store.insert_into_first(NodeId(id), frag.clone()).unwrap();
+                    model.insert_into_first(id, &frag);
+                }
+                StoreOp::InsertIntoLast(sel, frag) => {
+                    let id = pick(sel);
+                    store.insert_into_last(NodeId(id), frag.clone()).unwrap();
+                    model.insert_into_last(id, &frag);
+                }
+                StoreOp::Delete(sel) => {
+                    let id = pick(sel);
+                    store.delete_node(NodeId(id)).unwrap();
+                    model.delete_node(id);
+                }
+                StoreOp::ReplaceNode(sel, frag) => {
+                    let id = pick(sel);
+                    store.replace_node(NodeId(id), frag.clone()).unwrap();
+                    model.replace_node(id, &frag);
+                }
+                StoreOp::ReplaceContent(sel, frag) => {
+                    let id = pick(sel);
+                    store.replace_content(NodeId(id), frag.clone()).unwrap();
+                    model.replace_content(id, &frag);
+                }
+                StoreOp::ReadNode(sel) => {
+                    let id = pick(sel);
+                    let begin = model.index_of(id).unwrap();
+                    let end = model.end_of(begin);
+                    let expected: Vec<Token> = model.items[begin..=end]
+                        .iter()
+                        .map(|(_, t)| t.clone())
+                        .collect();
+                    prop_assert_eq!(store.read_node(NodeId(id)).unwrap(), expected);
+                }
+                StoreOp::ClearPartial => store.clear_partial_index(),
+                StoreOp::Compact(t) => {
+                    store.compact(usize::from(t) + 64).unwrap();
+                }
+                StoreOp::Navigate(sel) => {
+                    let id = pick(sel);
+                    // parent_of must agree with a model-side ancestor scan.
+                    let begin = model.index_of(id).unwrap();
+                    let toks = model.tokens();
+                    let mut depth = 0i32;
+                    let mut parent = None;
+                    for i in (0..begin).rev() {
+                        depth += toks[i].kind().depth_delta();
+                        if depth > 0 {
+                            parent = model.items[i].0;
+                            break;
+                        }
+                    }
+                    prop_assert_eq!(
+                        store.parent_of(NodeId(id)).unwrap().map(|n| n.get()),
+                        parent
+                    );
+                    // string_value must equal the model's text concatenation.
+                    let end = model.end_of(begin);
+                    let mut expected = String::new();
+                    if toks[begin].kind() == TokenKind::BeginElement {
+                        let mut in_attr = 0;
+                        for t in &toks[begin..=end] {
+                            match t.kind() {
+                                TokenKind::BeginAttribute => in_attr += 1,
+                                TokenKind::EndAttribute => in_attr -= 1,
+                                TokenKind::Text if in_attr == 0 => {
+                                    expected.push_str(t.string_value().unwrap_or_default())
+                                }
+                                _ => {}
+                            }
+                        }
+                    } else {
+                        expected.push_str(toks[begin].string_value().unwrap_or_default());
+                    }
+                    prop_assert_eq!(store.string_value(NodeId(id)).unwrap(), expected);
+                }
+            }
+            prop_assert_eq!(model.next_id, store.next_node_id().get(),
+                "id allocation must match the model");
+            check_equal(&mut store, &model)?;
+            store.check_invariants().unwrap();
+        }
+    }
+}
