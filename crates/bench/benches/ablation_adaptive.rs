@@ -43,10 +43,7 @@ fn adaptive_benches(c: &mut Criterion) {
                 target_range_bytes: 8 * 1024,
             },
         ),
-        (
-            "fixed-lazy",
-            IndexingPolicy::default_lazy(),
-        ),
+        ("fixed-lazy", IndexingPolicy::default_lazy()),
         (
             "fixed-full",
             IndexingPolicy::FullIndex {

@@ -86,7 +86,9 @@ fn table5(cfg: &Table5Config) {
             scan.kb_per_sec(),
             reads.kb_per_sec()
         );
-        store.check_invariants().expect("store consistent after run");
+        store
+            .check_invariants()
+            .expect("store consistent after run");
     }
     println!();
     println!("expected shape (paper; absolute numbers are 2005 hardware):");

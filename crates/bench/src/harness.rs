@@ -262,9 +262,7 @@ pub fn bench_random_reads(store: &mut XmlStore, cfg: &Table5Config) -> Measureme
     let mut line_ids: Vec<NodeId> = Vec::new();
     for item in store.read() {
         let (id, tok) = item.expect("scan");
-        if tok.kind() == TokenKind::BeginElement
-            && tok.name().is_some_and(|n| n.is_local("line"))
-        {
+        if tok.kind() == TokenKind::BeginElement && tok.name().is_some_and(|n| n.is_local("line")) {
             line_ids.push(id.expect("begin tokens carry ids"));
         }
     }

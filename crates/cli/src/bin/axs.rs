@@ -5,8 +5,8 @@
 //! axs ./mystore      # directory-backed store (created if missing)
 //! ```
 
-use axs_cli::{parse_command, Session};
 use axs_cli::session::Outcome;
+use axs_cli::{parse_command, Session};
 use std::io::{BufRead, Write};
 
 fn main() {

@@ -46,6 +46,10 @@ pub enum Command {
     Compact(Option<usize>),
     /// `save` — flush to disk.
     Save,
+    /// `recover` — close and reopen the store, running crash recovery.
+    Recover,
+    /// `verify` — check structural invariants and page checksums.
+    Verify,
     /// `export <path>` — stream the whole store to an XML file.
     Export(String),
     /// `help`.
@@ -83,10 +87,7 @@ fn parse_id(word: Option<&str>, usage: &str) -> Result<NodeId, ParseCommandError
         .map_err(|_| err(format!("{word:?} is not a node id; usage: {usage}")))
 }
 
-fn id_and_rest<'a>(
-    rest: &'a str,
-    usage: &str,
-) -> Result<(NodeId, &'a str), ParseCommandError> {
+fn id_and_rest<'a>(rest: &'a str, usage: &str) -> Result<(NodeId, &'a str), ParseCommandError> {
     let mut parts = rest.splitn(2, char::is_whitespace);
     let id = parse_id(parts.next().filter(|s| !s.is_empty()), usage)?;
     let xml = parts.next().map(str::trim).unwrap_or("");
@@ -178,6 +179,8 @@ pub fn parse_command(line: &str) -> Result<Option<Command>, ParseCommandError> {
             Command::Compact(target)
         }
         "save" => Command::Save,
+        "recover" => Command::Recover,
+        "verify" => Command::Verify,
         "export" => Command::Export(need_rest("export <path>")?),
         "help" | "?" => Command::Help,
         "quit" | "exit" => Command::Quit,
@@ -202,6 +205,8 @@ commands:
   stats | report | ranges     inspect counters / storage / Range Index
   compact [bytes]             merge adjacent ranges
   save                        flush to disk (directory-backed stores)
+  recover                     reopen the store through crash recovery
+  verify                      check invariants and page checksums
   export <path>               stream the store to an XML file
   help | quit";
 
@@ -292,6 +297,12 @@ mod tests {
             parse_command("flwor for $x in /a return { $x }").unwrap(),
             Some(Command::Flwor("for $x in /a return { $x }".to_string()))
         );
+    }
+
+    #[test]
+    fn recover_and_verify_commands() {
+        assert_eq!(parse_command("recover").unwrap(), Some(Command::Recover));
+        assert_eq!(parse_command("verify").unwrap(), Some(Command::Verify));
     }
 
     #[test]

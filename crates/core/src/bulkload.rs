@@ -73,8 +73,7 @@ impl BulkLoader<'_> {
         }
         let len = codec::encoded_len(&token);
         // Cut a range when the buffer would exceed the target.
-        if !self.buffer.is_empty()
-            && RANGE_HEADER_LEN + self.buffer_bytes + len > self.target_bytes
+        if !self.buffer.is_empty() && RANGE_HEADER_LEN + self.buffer_bytes + len > self.target_bytes
         {
             self.flush_range()?;
         }
@@ -85,10 +84,7 @@ impl BulkLoader<'_> {
     }
 
     /// Appends every token of an iterator.
-    pub fn extend(
-        &mut self,
-        tokens: impl IntoIterator<Item = Token>,
-    ) -> Result<(), StoreError> {
+    pub fn extend(&mut self, tokens: impl IntoIterator<Item = Token>) -> Result<(), StoreError> {
         for t in tokens {
             self.push(t)?;
         }
@@ -234,7 +230,9 @@ mod tests {
             .build()
             .unwrap();
         let mut loader = s.bulk_loader();
-        loader.extend(frag(&format!("<r>{}</r>", "<x/>".repeat(200)))).unwrap();
+        loader
+            .extend(frag(&format!("<r>{}</r>", "<x/>".repeat(200))))
+            .unwrap();
         loader.finish().unwrap();
         assert!(s.range_count() > 5, "stream must cut many small ranges");
         s.check_invariants().unwrap();

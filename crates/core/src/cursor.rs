@@ -145,10 +145,7 @@ mod tests {
         let mut s = StoreBuilder::new().build().unwrap();
         s.bulk_insert(frag("<a><b/><c/></a>")).unwrap(); // 1,2,3
         s.insert_after(NodeId(2), frag("<n/>")).unwrap(); // 4, placed between
-        let ids: Vec<u64> = s
-            .read()
-            .filter_map(|r| r.unwrap().0.map(|n| n.0))
-            .collect();
+        let ids: Vec<u64> = s.read().filter_map(|r| r.unwrap().0.map(|n| n.0)).collect();
         assert_eq!(ids, vec![1, 2, 4, 3], "document order with stable ids");
     }
 

@@ -93,10 +93,7 @@ mod tests {
                 scope.spawn(move || {
                     for i in 0..25 {
                         store
-                            .insert_into_last(
-                                NodeId(1),
-                                frag(&format!("<w t=\"{t}\" i=\"{i}\"/>")),
-                            )
+                            .insert_into_last(NodeId(1), frag(&format!("<w t=\"{t}\" i=\"{i}\"/>")))
                             .unwrap();
                     }
                 });

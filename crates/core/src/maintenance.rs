@@ -128,9 +128,8 @@ impl XmlStore {
             let header = data.header;
             let body = data.encoded_len() - RANGE_HEADER_LEN;
             let fits = !current.is_empty() && current_bytes + body <= target;
-            let contiguous = header.id_count == 0
-                || expect.is_none()
-                || expect == Some(header.start_id.0);
+            let contiguous =
+                header.id_count == 0 || expect.is_none() || expect == Some(header.start_id.0);
             if fits && contiguous {
                 current.push(header);
                 current_bytes += body;
@@ -369,8 +368,11 @@ mod tests {
         // New inserts recycle freed pages instead of growing the file.
         let allocs_before = s.data_pool_stats().allocations;
         for i in 0..(report.free_pages * 3) {
-            s.bulk_insert(frag(&format!("<big>{}</big>", "x".repeat(300 + i as usize % 7))))
-                .unwrap();
+            s.bulk_insert(frag(&format!(
+                "<big>{}</big>",
+                "x".repeat(300 + i as usize % 7)
+            )))
+            .unwrap();
         }
         let allocated = s.data_pool_stats().allocations - allocs_before;
         assert!(

@@ -186,18 +186,20 @@ impl XmlStore {
                         if kind == TokenKind::BeginAttribute {
                             continue;
                         }
-                        return Ok(Some(data.token_id(idx as usize).ok_or(
-                            StoreError::Corrupt("begin token without id"),
-                        )?));
+                        return Ok(Some(
+                            data.token_id(idx as usize)
+                                .ok_or(StoreError::Corrupt("begin token without id"))?,
+                        ));
                     }
                 }
                 -1 => balance -= 1,
                 _ => {
                     if balance == 0 {
                         // A leaf sibling.
-                        return Ok(Some(data.token_id(idx as usize).ok_or(
-                            StoreError::Corrupt("leaf token without id"),
-                        )?));
+                        return Ok(Some(
+                            data.token_id(idx as usize)
+                                .ok_or(StoreError::Corrupt("leaf token without id"))?,
+                        ));
                     }
                 }
             }
@@ -227,8 +229,7 @@ impl XmlStore {
         loop {
             let tok = data.tokens[idx].clone();
             let nid = regen.step(tok.kind());
-            let done =
-                data.header.range_id == pos.end_range && idx as u32 == pos.end_index;
+            let done = data.header.range_id == pos.end_range && idx as u32 == pos.end_index;
             out.push((nid, tok));
             if done {
                 return Ok(out);

@@ -61,8 +61,7 @@ impl XmlStore {
         let pos = self.find_position(id)?;
         self.require_container(id, pos.begin_range, pos.begin_index)?;
         // Skip attribute token pairs directly following the begin token.
-        let (mut range_id, mut idx) =
-            self.step_forward(pos.begin_range, pos.begin_index)?;
+        let (mut range_id, mut idx) = self.step_forward(pos.begin_range, pos.begin_index)?;
         loop {
             let tok = self.token_at(range_id, idx)?;
             if tok.kind() != TokenKind::BeginAttribute {
@@ -157,8 +156,7 @@ impl XmlStore {
             None
         } else {
             let pos = self.find_position(id)?;
-            let (iv, split) =
-                self.insert_fragment(Some((pos.end_range, pos.end_index)), tokens)?;
+            let (iv, split) = self.insert_fragment(Some((pos.end_range, pos.end_index)), tokens)?;
             self.rememoize(id, pos, split);
             Some(iv)
         };
@@ -207,11 +205,7 @@ impl XmlStore {
     }
 
     /// The next token position in document order (crossing ranges/blocks).
-    pub(crate) fn step_forward(
-        &self,
-        range_id: u64,
-        idx: u32,
-    ) -> Result<(u64, u32), StoreError> {
+    pub(crate) fn step_forward(&self, range_id: u64, idx: u32) -> Result<(u64, u32), StoreError> {
         let (block_page, slot, data) = self.load_range(range_id)?;
         if (idx as usize) + 1 < data.tokens.len() {
             return Ok((range_id, idx + 1));
@@ -264,12 +258,7 @@ impl XmlStore {
 
     /// Fails unless the node at the position is an element begin token
     /// (the only container our fragments admit).
-    fn require_container(
-        &self,
-        id: NodeId,
-        range_id: u64,
-        idx: u32,
-    ) -> Result<(), StoreError> {
+    fn require_container(&self, id: NodeId, range_id: u64, idx: u32) -> Result<(), StoreError> {
         let tok = self.token_at(range_id, idx)?;
         if tok.kind() == TokenKind::BeginElement {
             Ok(())
@@ -399,7 +388,11 @@ mod tests {
         }
         let iv = s.bulk_insert(tokens).unwrap();
         assert_eq!(iv, IdInterval::new(NodeId(1), NodeId(100)));
-        assert_eq!(s.range_index_entries().unwrap().len(), 1, "Table 2: one range");
+        assert_eq!(
+            s.range_index_entries().unwrap().len(),
+            1,
+            "Table 2: one range"
+        );
 
         let mut child = Vec::new();
         child.push(Token::begin_element("new"));
@@ -409,14 +402,24 @@ mod tests {
         }
         child.push(Token::EndElement);
         let iv2 = s.insert_into_last(NodeId(60), child).unwrap();
-        assert_eq!(iv2, IdInterval::new(NodeId(101), NodeId(140)), "§4.5 step 2d");
+        assert_eq!(
+            iv2,
+            IdInterval::new(NodeId(101), NodeId(140)),
+            "§4.5 step 2d"
+        );
 
         // Table 3 shape: [1,60], [61,100], [101,140] — disjoint, covering.
         let entries = s.range_index_entries().unwrap();
         assert_eq!(entries.len(), 3);
         assert_eq!(entries[0].interval, IdInterval::new(NodeId(1), NodeId(60)));
-        assert_eq!(entries[1].interval, IdInterval::new(NodeId(61), NodeId(100)));
-        assert_eq!(entries[2].interval, IdInterval::new(NodeId(101), NodeId(140)));
+        assert_eq!(
+            entries[1].interval,
+            IdInterval::new(NodeId(61), NodeId(100))
+        );
+        assert_eq!(
+            entries[2].interval,
+            IdInterval::new(NodeId(101), NodeId(140))
+        );
         // Table 4: the partial index memoized node 60's begin and end.
         let pos = s.partial_index().unwrap().peek(NodeId(60)).unwrap();
         assert_ne!(pos.begin_range, pos.end_range, "end token split away");
@@ -505,8 +508,7 @@ mod tests {
     #[test]
     fn cursor_regenerates_ids() {
         let mut s = store_with("<a><b>x</b></a>");
-        let pairs: Vec<(Option<NodeId>, Token)> =
-            s.read().collect::<Result<_, _>>().unwrap();
+        let pairs: Vec<(Option<NodeId>, Token)> = s.read().collect::<Result<_, _>>().unwrap();
         let ids: Vec<Option<u64>> = pairs.iter().map(|(id, _)| id.map(|n| n.0)).collect();
         assert_eq!(ids, vec![Some(1), Some(2), Some(3), None, None]);
     }
@@ -523,9 +525,7 @@ mod tests {
             s.replace_node(NodeId(4), frag("<b2>two</b2>"))?;
             let mut out = String::new();
             let tokens = s.read_all()?;
-            out.push_str(
-                &serialize(&tokens, &SerializeOptions::default()).unwrap(),
-            );
+            out.push_str(&serialize(&tokens, &SerializeOptions::default()).unwrap());
             Ok(out)
         };
         let mut results = Vec::new();
@@ -571,7 +571,10 @@ mod tests {
         assert_eq!(orders, 50);
         // The partial index served the repeated root lookups (§5: repeated
         // search for the same logical position benefits).
-        assert!(s.partial_stats().hits >= 48, "partial index must serve repeats");
+        assert!(
+            s.partial_stats().hits >= 48,
+            "partial index must serve repeats"
+        );
     }
 
     #[test]

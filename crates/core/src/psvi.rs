@@ -66,11 +66,8 @@ impl XmlStore {
                 new_tokens.push(annotated);
             }
             if changed {
-                let new_range = RangeData::new(
-                    data.header.range_id,
-                    data.header.start_id,
-                    new_tokens,
-                );
+                let new_range =
+                    RangeData::new(data.header.range_id, data.header.start_id, new_tokens);
                 debug_assert_eq!(
                     new_range.encoded_len(),
                     data.encoded_len(),

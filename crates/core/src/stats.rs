@@ -44,6 +44,14 @@ pub struct StoreStats {
     /// Full-index entries rewritten due to splits/moves (the §4.1 insert
     /// penalty, made visible).
     pub full_index_rewrites: u64,
+    /// WAL records appended (page images + commits) by `flush()`.
+    pub wal_records: u64,
+    /// Recovery passes at `open()` that replayed committed WAL batches.
+    pub recoveries: u64,
+    /// Torn tails truncated during recovery (data file and WAL combined).
+    pub torn_tail_truncations: u64,
+    /// Transient I/O errors absorbed by the data pool's retry policy.
+    pub io_retries: u64,
 }
 
 impl StoreStats {

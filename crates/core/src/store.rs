@@ -13,7 +13,10 @@ use crate::stats::{LookupPath, StoreStats};
 use axs_idgen::MonotonicIds;
 use axs_index::{BTree, NodePosition, PartialIndex, PartialIndexConfig, RangeEntry, RangeIndex};
 use axs_storage::page::{get_u64, put_u64};
-use axs_storage::{block, BufferPool, FilePageStore, MemPageStore, PageId, PageStore, PoolStats, StorageConfig, StorageError};
+use axs_storage::{
+    block, checksum, BufferPool, FilePageStore, MemPageStore, PageId, PageStore, PoolOptions,
+    PoolStats, RetryPolicy, StorageConfig, StorageError, Wal,
+};
 use axs_xdm::{fragment_well_formed, NodeId, Token};
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -40,11 +43,17 @@ pub(crate) struct SplitInfo {
 const META_MAGIC: u64 = 0x4158_535F_4D45_5441; // "AXS_META"
 const FREE_PAGE_MAGIC: u64 = 0x4158_535F_4652_4545; // "AXS_FREE"
 
+/// A hook interposed between the data file and its buffer pool (fault
+/// injection wraps the store here).
+type StoreWrapper = Box<dyn Fn(Arc<dyn PageStore>) -> Arc<dyn PageStore>>;
+
 /// Builder for an [`XmlStore`].
 pub struct StoreBuilder {
     policy: IndexingPolicy,
     storage: StorageConfig,
     dir: Option<PathBuf>,
+    retry: RetryPolicy,
+    wrap_data: Option<StoreWrapper>,
 }
 
 impl Default for StoreBuilder {
@@ -55,12 +64,14 @@ impl Default for StoreBuilder {
 
 impl StoreBuilder {
     /// Default configuration: lazy policy (coarse ranges + partial index),
-    /// 8 KiB pages, in-memory backing.
+    /// 8 KiB pages, in-memory backing, three transient-I/O retries.
     pub fn new() -> Self {
         StoreBuilder {
             policy: IndexingPolicy::default_lazy(),
             storage: StorageConfig::default(),
             dir: None,
+            retry: RetryPolicy { max_retries: 3 },
+            wrap_data: None,
         }
     }
 
@@ -76,8 +87,8 @@ impl StoreBuilder {
         self
     }
 
-    /// Backs the store by `data.pages` / `index.pages` files in `dir`
-    /// (created if missing).
+    /// Backs the store by `data.pages` / `index.pages` / `wal.log` files in
+    /// `dir` (created if missing).
     pub fn directory(mut self, dir: impl Into<PathBuf>) -> Self {
         self.dir = Some(dir.into());
         self
@@ -89,9 +100,30 @@ impl StoreBuilder {
         self
     }
 
+    /// How many transient (`Interrupted`) I/O errors the buffer pools
+    /// absorb per operation before surfacing them (see
+    /// `StoreStats::io_retries`).
+    pub fn io_retries(mut self, max_retries: u32) -> Self {
+        self.retry = RetryPolicy { max_retries };
+        self
+    }
+
+    /// Interposes `wrap` between the data file and its buffer pool — the
+    /// hook fault-injection tests use to wrap the store in a
+    /// `FaultyPageStore` (crash/torn-write/transient schedules) without
+    /// touching files externally.
+    pub fn wrap_data_store(
+        mut self,
+        wrap: impl Fn(Arc<dyn PageStore>) -> Arc<dyn PageStore> + 'static,
+    ) -> Self {
+        self.wrap_data = Some(Box::new(wrap));
+        self
+    }
+
     fn make_pools(&self) -> Result<(Arc<BufferPool>, Arc<BufferPool>), StoreError> {
         self.storage.validate()?;
-        let (data, index): (Arc<dyn PageStore>, Arc<dyn PageStore>) = match &self.dir {
+        let (data, index, durable): (Arc<dyn PageStore>, Arc<dyn PageStore>, bool) = match &self.dir
+        {
             Some(dir) => {
                 std::fs::create_dir_all(dir).map_err(StorageError::Io)?;
                 (
@@ -103,16 +135,45 @@ impl StoreBuilder {
                         &dir.join("index.pages"),
                         self.storage.page_size,
                     )?),
+                    true,
                 )
             }
             None => (
                 Arc::new(MemPageStore::new(self.storage.page_size)),
                 Arc::new(MemPageStore::new(self.storage.page_size)),
+                false,
             ),
         };
+        let data = match &self.wrap_data {
+            Some(wrap) => wrap(data),
+            None => data,
+        };
+        // Durable stores run the data pool in no-steal + checksum mode: a
+        // dirty page can only reach the file through flush(), after its
+        // image is committed to the WAL, and every physical read verifies
+        // the page stamp. In-memory stores keep the classic steal/LRU cache
+        // the experiments measure. Indexes are derived data (rebuilt on
+        // open), so the index pool never needs either guarantee.
+        let data_opts = PoolOptions {
+            checksums: durable,
+            no_steal: durable,
+            retry: self.retry,
+        };
+        let index_opts = PoolOptions {
+            retry: self.retry,
+            ..PoolOptions::default()
+        };
         Ok((
-            Arc::new(BufferPool::new(data, self.storage.pool_frames)),
-            Arc::new(BufferPool::new(index, self.storage.pool_frames)),
+            Arc::new(BufferPool::with_options(
+                data,
+                self.storage.pool_frames,
+                data_opts,
+            )),
+            Arc::new(BufferPool::with_options(
+                index,
+                self.storage.pool_frames,
+                index_opts,
+            )),
         ))
     }
 
@@ -125,21 +186,70 @@ impl StoreBuilder {
                 "directory already contains a store; use open()",
             ));
         }
+        let wal = match &self.dir {
+            Some(dir) => Some(Wal::create(&dir.join("wal.log"), self.storage.page_size)?),
+            None => None,
+        };
         let meta_page = data_pool.allocate()?;
         debug_assert_eq!(meta_page, PageId(0));
         let mut store = XmlStore::empty(self.policy, data_pool, index_pool, meta_page)?;
+        store.wal = wal;
         store.write_meta()?;
         Ok(store)
     }
 
-    /// Opens an existing directory-backed store, rebuilding the indexes by
-    /// scanning the data file (indexes are derived data).
+    /// Opens an existing directory-backed store: runs crash recovery
+    /// (repair torn file tails, replay committed WAL batches, discard the
+    /// rest), then rebuilds the indexes by scanning the data file (indexes
+    /// are derived data).
     pub fn open(self) -> Result<XmlStore, StoreError> {
         let dir = self
             .dir
             .clone()
             .ok_or(StoreError::Corrupt("open() requires a directory backing"))?;
-        let _ = dir;
+        self.storage.validate()?;
+        let page_size = self.storage.page_size;
+        std::fs::create_dir_all(&dir).map_err(StorageError::Io)?;
+        let data_path = dir.join("data.pages");
+
+        // ---- recovery (before any pool caches a page) ---------------------
+        // 1. A crash mid-page-write leaves a torn tail on the data file;
+        //    drop the partial page. Complete-but-stale pages are repaired by
+        //    WAL replay below, torn interior pages are caught by checksums.
+        let mut torn_tails = 0u64;
+        if FilePageStore::repair_tail(&data_path, page_size)? > 0 {
+            torn_tails += 1;
+        }
+        // 2. Scan the WAL: committed batches are replayed (redo), the torn
+        //    or uncommitted tail is discarded — those flushes never promised
+        //    durability.
+        let (mut wal, scan) = Wal::recover(&dir.join("wal.log"), page_size)?;
+        if scan.torn_tail_bytes > 0 {
+            torn_tails += 1;
+        }
+        let replayed: u64 = scan.batches.iter().map(|b| b.len() as u64).sum();
+        if replayed > 0 {
+            let raw = FilePageStore::open(&data_path, page_size)?;
+            for batch in &scan.batches {
+                for img in batch {
+                    // The torn page dropped in step 1 may be one the batch
+                    // rewrites; re-extend the file as needed.
+                    while img.page.0 >= raw.num_pages() {
+                        raw.allocate_page()?;
+                    }
+                    let mut page = img.image.clone();
+                    checksum::stamp_page(&mut page, img.lsn);
+                    raw.write_page(img.page, &page)?;
+                }
+            }
+            raw.sync()?;
+        }
+        wal.reset()?;
+        // 3. The index file is derived data, rebuilt from the chain below;
+        //    starting it empty also recovers from torn index writes.
+        std::fs::write(dir.join("index.pages"), []).map_err(StorageError::Io)?;
+
+        // ---- normal open --------------------------------------------------
         let (data_pool, index_pool) = self.make_pools()?;
         if data_pool.store().num_pages() == 0 {
             return Err(StoreError::Corrupt("no store found; use build()"));
@@ -151,20 +261,23 @@ impl StoreBuilder {
                     get_u64(buf, 0),
                     PageId(get_u64(buf, 8)),
                     PageId(get_u64(buf, 16)),
-                    get_u64(buf, 24),
                     get_u64(buf, 32),
-                    PageId(get_u64(buf, 40)),
+                    get_u64(buf, 40),
+                    PageId(get_u64(buf, 48)),
                 )
             })?;
         if magic != META_MAGIC {
             return Err(StoreError::Corrupt("bad meta page magic"));
         }
         let mut store = XmlStore::empty(self.policy, data_pool, index_pool, meta_page)?;
+        store.wal = Some(wal);
         store.head_block = head;
         store.tail_block = tail;
         store.ids = MonotonicIds::resume(NodeId(next_id.max(NodeId::FIRST.0)));
         store.next_range_id = next_range.max(1);
         store.free_head = free_head;
+        store.stats.recoveries = u64::from(replayed > 0);
+        store.stats.torn_tail_truncations = torn_tails;
         store.rebuild_indexes()?;
         Ok(store)
     }
@@ -208,6 +321,8 @@ pub struct XmlStore {
     partial: Option<PartialIndex>,
     /// Head of the free-page list (pages recovered from emptied blocks).
     free_head: PageId,
+    /// Write-ahead log for directory-backed stores (None in memory).
+    wal: Option<Wal>,
     adaptive: Option<AdaptiveController>,
     target_range_bytes: usize,
     policy: IndexingPolicy,
@@ -245,6 +360,7 @@ impl XmlStore {
             head_block: PageId::NONE,
             tail_block: PageId::NONE,
             free_head: PageId::NONE,
+            wal: None,
             ids: MonotonicIds::new(),
             next_range_id: 1,
             range_index,
@@ -265,7 +381,9 @@ impl XmlStore {
 
     /// Activity counters.
     pub fn stats(&self) -> StoreStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.io_retries = self.data_pool.stats().io_retries + self.index_pool.stats().io_retries;
+        stats
     }
 
     /// Buffer-pool counters for the data file.
@@ -280,10 +398,7 @@ impl XmlStore {
 
     /// Partial-index counters (zeroed struct when the policy has none).
     pub fn partial_stats(&self) -> axs_index::PartialIndexStats {
-        self.partial
-            .as_ref()
-            .map(|p| p.stats())
-            .unwrap_or_default()
+        self.partial.as_ref().map(|p| p.stats()).unwrap_or_default()
     }
 
     /// Zeroes all counters (store, pools, partial index).
@@ -357,10 +472,7 @@ impl XmlStore {
 
     /// The block after `page` in the chain.
     pub(crate) fn next_block(&self, page: PageId) -> Result<Option<PageId>, StoreError> {
-        Ok(self
-            .data_pool
-            .read(page, block::next)?
-            .into_option())
+        Ok(self.data_pool.read(page, block::next)?.into_option())
     }
 
     /// Inserts a Range Index entry (maintenance helper).
@@ -407,9 +519,34 @@ impl XmlStore {
     }
 
     /// Flushes dirty pages and metadata to the backing stores.
+    ///
+    /// Directory-backed stores flush with a redo protocol: every dirty data
+    /// page's image is appended to the WAL and committed (fsync) *before*
+    /// any of them is written in place, so a crash at any point leaves
+    /// either the previous flush's state (commit record absent — the batch
+    /// is discarded at recovery) or this one (commit present — the batch is
+    /// replayed over any torn in-place writes). Once the data file itself
+    /// is synced the WAL is reset, bounding it at one flush's dirty set.
     pub fn flush(&mut self) -> Result<(), StoreError> {
         self.write_meta()?;
-        self.data_pool.sync()?;
+        if let Some(wal) = &mut self.wal {
+            let images = self.data_pool.dirty_page_images();
+            if !images.is_empty() {
+                let mut last_lsn = 0;
+                for (page, image) in &images {
+                    last_lsn = wal.append_image(*page, image)?;
+                }
+                wal.commit()?;
+                self.stats.wal_records += images.len() as u64 + 1;
+                // In-place pages are stamped with the batch's final LSN so a
+                // later checksum failure identifies *which* flush tore.
+                self.data_pool.set_stamp_lsn(last_lsn);
+            }
+            self.data_pool.sync()?;
+            wal.reset()?;
+        } else {
+            self.data_pool.sync()?;
+        }
         self.index_pool.sync()?;
         Ok(())
     }
@@ -424,9 +561,10 @@ impl XmlStore {
             put_u64(buf, 0, META_MAGIC);
             put_u64(buf, 8, head.0);
             put_u64(buf, 16, tail.0);
-            put_u64(buf, 24, next_id);
-            put_u64(buf, 32, next_range);
-            put_u64(buf, 40, free_head.0);
+            // [24, 32) is the uniform page stamp window (checksum::).
+            put_u64(buf, 32, next_id);
+            put_u64(buf, 40, next_range);
+            put_u64(buf, 48, free_head.0);
         })?;
         Ok(())
     }
@@ -581,11 +719,9 @@ impl XmlStore {
         block_page: PageId,
         slot: u16,
     ) -> Result<RangeData, StoreError> {
-        let payload = self
-            .data_pool
-            .read(block_page, |buf| {
-                block::range_bytes(buf, block_page, slot).map(<[u8]>::to_vec)
-            })??;
+        let payload = self.data_pool.read(block_page, |buf| {
+            block::range_bytes(buf, block_page, slot).map(<[u8]>::to_vec)
+        })??;
         RangeData::decode(&payload)
     }
 
@@ -841,11 +977,9 @@ impl XmlStore {
     ) -> Result<(PageId, u16, Vec<u8>), StoreError> {
         let block_page = self.block_of_range(range_id)?;
         let slot = self.find_slot(block_page, range_id)?;
-        let payload = self
-            .data_pool
-            .read(block_page, |buf| {
-                block::range_bytes(buf, block_page, slot).map(<[u8]>::to_vec)
-            })??;
+        let payload = self.data_pool.read(block_page, |buf| {
+            block::range_bytes(buf, block_page, slot).map(<[u8]>::to_vec)
+        })??;
         Ok((block_page, slot, payload))
     }
 
@@ -1004,13 +1138,11 @@ impl XmlStore {
         let budget = self
             .target_range_bytes
             .min(block::max_payload(self.page_size));
-        let mut new_ranges =
-            chop_fragment(tokens, interval.start, &mut self.next_range_id, budget);
+        let mut new_ranges = chop_fragment(tokens, interval.start, &mut self.next_range_id, budget);
 
         // Resolve the physical target.
         let mut split_info: Option<SplitInfo> = None;
-        let (block_page, insert_slot, right_part): (PageId, u16, Option<RangeData>) = match target
-        {
+        let (block_page, insert_slot, right_part): (PageId, u16, Option<RangeData>) = match target {
             None => {
                 // Document end.
                 if self.head_block.is_none() {
@@ -1170,7 +1302,8 @@ impl XmlStore {
     ) -> Result<(), StoreError> {
         // Collect affected ranges in document order.
         let (first_block, first_slot, first_data) = self.load_range(start_range)?;
-        let mut affected: Vec<(PageId, u16, RangeData)> = vec![(first_block, first_slot, first_data)];
+        let mut affected: Vec<(PageId, u16, RangeData)> =
+            vec![(first_block, first_slot, first_data)];
         while affected.last().unwrap().2.header.range_id != end_range {
             let (b, s) = {
                 let last = affected.last().unwrap();
@@ -1370,12 +1503,10 @@ impl XmlStore {
         let mut cur = self.head_block;
         let mut expected_entries = 0usize;
         while let Some(b) = cur.into_option() {
-            let (prev, next) = self
-                .data_pool
-                .read(b, |buf| {
-                    block::validate(buf, b)?;
-                    Ok::<_, StorageError>((block::prev(buf), block::next(buf)))
-                })??;
+            let (prev, next) = self.data_pool.read(b, |buf| {
+                block::validate(buf, b)?;
+                Ok::<_, StorageError>((block::prev(buf), block::next(buf)))
+            })??;
             if prev != prev_block {
                 return Err(StoreError::Corrupt("broken block prev pointer"));
             }
@@ -1524,7 +1655,10 @@ mod tests {
         let (range_id, idx, byte) = store.find_begin(NodeId(4)).unwrap();
         let (_, _, data) = store.load_range(range_id).unwrap();
         assert_eq!(data.byte_offset_of(idx as usize), byte as usize);
-        assert_eq!(data.tokens[idx as usize].name().unwrap().local_part(), "name");
+        assert_eq!(
+            data.tokens[idx as usize].name().unwrap().local_part(),
+            "name"
+        );
         assert_eq!(store.stats().lookups_range_scan, 1);
     }
 
@@ -1585,15 +1719,12 @@ mod tests {
         // observe the three-entry index of Table 3's shape.
         let mut store = StoreBuilder::new().build().unwrap();
         store.insert_fragment(None, ticket()).unwrap(); // ids 1..=5
-        // Insert before <name> (token index 4 of range 1).
+                                                        // Insert before <name> (token index 4 of range 1).
         let (range_id, idx, _) = store.find_begin(NodeId(4)).unwrap();
         let (iv, split) = store
             .insert_fragment(
                 Some((range_id, idx)),
-                vec![
-                    Token::begin_element("extra"),
-                    Token::EndElement,
-                ],
+                vec![Token::begin_element("extra"), Token::EndElement],
             )
             .unwrap();
         assert!(split.is_some(), "interior insert must report its split");
@@ -1636,9 +1767,7 @@ mod tests {
             .build()
             .unwrap();
         let huge = Token::text("x".repeat(4096));
-        let err = store
-            .insert_fragment(None, vec![huge])
-            .unwrap_err();
+        let err = store.insert_fragment(None, vec![huge]).unwrap_err();
         assert!(matches!(err, StoreError::TokenTooLarge { .. }));
     }
 

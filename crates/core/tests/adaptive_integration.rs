@@ -62,7 +62,7 @@ fn update_heavy_phase_shrinks_partial_capacity() {
 #[test]
 fn capacity_shrink_evicts_down_immediately() {
     let mut s = adaptive_store(1000); // no adaptation during the fill
-    // Memoize many positions.
+                                      // Memoize many positions.
     let iv = s
         .bulk_insert(frag(&format!("<m>{}</m>", "<x>v</x>".repeat(200))))
         .unwrap();

@@ -298,13 +298,13 @@ mod tests {
     #[test]
     fn label_fragment_orders_like_document() {
         let tokens = vec![
-            Token::begin_element("a"),  // 0
-            Token::begin_element("b"),  // 1
-            Token::text("x"),           // 2
-            Token::EndElement,          // 3
-            Token::begin_element("c"),  // 4
-            Token::EndElement,          // 5
-            Token::EndElement,          // 6
+            Token::begin_element("a"), // 0
+            Token::begin_element("b"), // 1
+            Token::text("x"),          // 2
+            Token::EndElement,         // 3
+            Token::begin_element("c"), // 4
+            Token::EndElement,         // 5
+            Token::EndElement,         // 6
         ];
         let labels = DeweyOrder::new(DeweyId::root()).label_fragment(&tokens);
         let present: Vec<&DeweyId> = labels.iter().flatten().collect();

@@ -20,7 +20,9 @@ impl Default for MonotonicIds {
 impl MonotonicIds {
     /// A fresh allocator starting at [`NodeId::FIRST`].
     pub fn new() -> Self {
-        MonotonicIds { next: NodeId::FIRST.0 }
+        MonotonicIds {
+            next: NodeId::FIRST.0,
+        }
     }
 
     /// Resumes an allocator whose next identifier is `next` (used when

@@ -165,8 +165,7 @@ mod tests {
             Token::begin_element("b"),
             Token::EndElement,
         ];
-        let l: Vec<PrePostLabel> =
-            label_fragment(&tokens).into_iter().flatten().collect();
+        let l: Vec<PrePostLabel> = label_fragment(&tokens).into_iter().flatten().collect();
         assert!(!l[0].related(&l[1]));
     }
 
@@ -175,17 +174,12 @@ mod tests {
         // The update-cost criticism, demonstrated: adding one node shifts
         // the post ranks of all its ancestors and the pre ranks of
         // everything after it.
-        let before: Vec<PrePostLabel> =
-            label_fragment(&sample()).into_iter().flatten().collect();
+        let before: Vec<PrePostLabel> = label_fragment(&sample()).into_iter().flatten().collect();
         let mut tokens = sample();
         // Insert <new/> as first child of <a> (after index 0).
         tokens.splice(1..1, vec![Token::begin_element("new"), Token::EndElement]);
-        let after: Vec<PrePostLabel> =
-            label_fragment(&tokens).into_iter().flatten().collect();
-        let changed = before
-            .iter()
-            .filter(|b| !after.contains(b))
-            .count();
+        let after: Vec<PrePostLabel> = label_fragment(&tokens).into_iter().flatten().collect();
+        let changed = before.iter().filter(|b| !after.contains(b)).count();
         assert!(
             changed >= before.len() / 2,
             "an early insert must renumber at least half the labels ({changed})"

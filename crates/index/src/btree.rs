@@ -53,7 +53,10 @@ impl BTree {
         let page_size = pool.page_size();
         let leaf_cap = (page_size - HDR) / (8 + value_size);
         let internal_cap = (page_size - HDR - 8) / 16;
-        assert!(leaf_cap >= 4 && internal_cap >= 4, "page too small for B+tree");
+        assert!(
+            leaf_cap >= 4 && internal_cap >= 4,
+            "page too small for B+tree"
+        );
         let root = pool.allocate()?;
         pool.write(root, |buf| init_node(buf, true))?;
         Ok(BTree {
@@ -114,12 +117,11 @@ impl BTree {
     /// Point lookup.
     pub fn get(&self, key: u64) -> Result<Option<Vec<u8>>, StorageError> {
         let (_, leaf) = self.descend(key)?;
-        self.pool.read(leaf, |buf| {
-            match leaf_search(buf, self.value_size, key) {
+        self.pool
+            .read(leaf, |buf| match leaf_search(buf, self.value_size, key) {
                 Ok(pos) => Some(leaf_value(buf, self.value_size, pos).to_vec()),
                 Err(_) => None,
-            }
-        })
+            })
     }
 
     /// Greatest entry with key `<= key` (floor search) — the probe the
@@ -169,8 +171,9 @@ impl BTree {
             Inserted,
             NeedsSplit,
         }
-        let outcome = self.pool.write(leaf, |buf| {
-            match leaf_search(buf, vs, key) {
+        let outcome = self
+            .pool
+            .write(leaf, |buf| match leaf_search(buf, vs, key) {
                 Ok(pos) => {
                     let old = leaf_value(buf, vs, pos).to_vec();
                     leaf_value_mut(buf, vs, pos).copy_from_slice(value);
@@ -184,8 +187,7 @@ impl BTree {
                         Outcome::NeedsSplit
                     }
                 }
-            }
-        })?;
+            })?;
         match outcome {
             Outcome::Replaced(old) => return Ok(Some(old)),
             Outcome::Inserted => {
@@ -212,12 +214,12 @@ impl BTree {
     pub fn delete(&mut self, key: u64) -> Result<Option<Vec<u8>>, StorageError> {
         let (_, leaf) = self.descend(key)?;
         let vs = self.value_size;
-        let removed = self.pool.write(leaf, |buf| {
-            match leaf_search(buf, vs, key) {
+        let removed = self
+            .pool
+            .write(leaf, |buf| match leaf_search(buf, vs, key) {
                 Ok(pos) => Some(leaf_remove_at(buf, vs, pos)),
                 Err(_) => None,
-            }
-        })?;
+            })?;
         if removed.is_some() {
             self.len -= 1;
         }
@@ -295,7 +297,12 @@ impl BTree {
                 let rn = n - mid - 1;
                 set_internal_child0(rb, internal_child(lb, mid + 1));
                 for i in 0..rn {
-                    internal_set_entry(rb, i, internal_key(lb, mid + 1 + i), internal_child(lb, mid + 2 + i));
+                    internal_set_entry(
+                        rb,
+                        i,
+                        internal_key(lb, mid + 1 + i),
+                        internal_child(lb, mid + 2 + i),
+                    );
                 }
                 set_num_keys(rb, rn as u16);
                 set_num_keys(lb, mid as u16);
@@ -329,11 +336,7 @@ impl BTree {
 
     /// In-order iteration starting at the first key `>= from`. Collects up
     /// to `limit` entries (u64::MAX for all).
-    pub fn scan_from(
-        &self,
-        from: u64,
-        limit: u64,
-    ) -> Result<Vec<(u64, Vec<u8>)>, StorageError> {
+    pub fn scan_from(&self, from: u64, limit: u64) -> Result<Vec<(u64, Vec<u8>)>, StorageError> {
         let (_, mut leaf) = self.descend(from)?;
         let vs = self.value_size;
         let mut out = Vec::new();
@@ -348,10 +351,7 @@ impl BTree {
                     if (out.len() as u64) >= limit {
                         break;
                     }
-                    out.push((
-                        leaf_key(buf, vs, pos),
-                        leaf_value(buf, vs, pos).to_vec(),
-                    ));
+                    out.push((leaf_key(buf, vs, pos), leaf_value(buf, vs, pos).to_vec()));
                 }
                 next_leaf(buf)
             })?;
@@ -418,7 +418,11 @@ impl BTree {
                 }
                 Ok((
                     n as u64,
-                    if n > 0 { Some(leaf_key(buf, vs, 0)) } else { None },
+                    if n > 0 {
+                        Some(leaf_key(buf, vs, 0))
+                    } else {
+                        None
+                    },
                     if n > 0 {
                         Some(leaf_key(buf, vs, n - 1))
                     } else {
@@ -614,10 +618,7 @@ mod tests {
     use axs_storage::MemPageStore;
 
     fn tree(value_size: usize) -> BTree {
-        let pool = Arc::new(BufferPool::new(
-            Arc::new(MemPageStore::new(512)),
-            128,
-        ));
+        let pool = Arc::new(BufferPool::new(Arc::new(MemPageStore::new(512)), 128));
         BTree::create(pool, value_size).unwrap()
     }
 

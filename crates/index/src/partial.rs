@@ -44,7 +44,9 @@ pub struct PartialIndexConfig {
 
 impl Default for PartialIndexConfig {
     fn default() -> Self {
-        PartialIndexConfig { capacity: 16 * 1024 }
+        PartialIndexConfig {
+            capacity: 16 * 1024,
+        }
     }
 }
 
@@ -266,8 +268,7 @@ impl PartialIndex {
         for (range, ids) in &self.by_range {
             for id in ids {
                 match self.map.get(id) {
-                    Some(e)
-                        if e.pos.begin_range == *range || e.pos.end_range == *range => {}
+                    Some(e) if e.pos.begin_range == *range || e.pos.end_range == *range => {}
                     _ => return false,
                 }
             }

@@ -82,8 +82,7 @@ impl RangeIndex {
                 && self.locate(entry.interval.end)?.is_none(),
             "overlapping range entry {entry:?}"
         );
-        self.tree
-            .insert(entry.interval.start.0, &entry.encode())?;
+        self.tree.insert(entry.interval.start.0, &entry.encode())?;
         Ok(())
     }
 
@@ -242,10 +241,7 @@ mod tests {
         }
         assert_eq!(idx.len(), 2000);
         idx.check_disjoint().unwrap();
-        assert_eq!(
-            idx.locate(NodeId(19_995)).unwrap().unwrap().range_id,
-            1999
-        );
+        assert_eq!(idx.locate(NodeId(19_995)).unwrap().unwrap().range_id, 1999);
         assert!(idx.locate(NodeId(20_000)).unwrap().is_none());
     }
 

@@ -58,9 +58,7 @@ impl Inner {
         let Some(holders) = self.holders.get(&res) else {
             return Vec::new();
         };
-        let desired = holders
-            .get(&tx)
-            .map_or(mode, |held| held.supremum(mode));
+        let desired = holders.get(&tx).map_or(mode, |held| held.supremum(mode));
         holders
             .iter()
             .filter(|(other, held)| **other != tx && !compatible(**held, desired))
@@ -137,12 +135,7 @@ impl LockManager {
     /// Acquires `mode` on `resource` for `tx`, taking the matching
     /// intention locks on all ancestors first. Blocks until granted;
     /// returns [`LockError::Deadlock`] when waiting would close a cycle.
-    pub fn lock(
-        &self,
-        tx: TxId,
-        resource: Resource,
-        mode: LockMode,
-    ) -> Result<(), LockError> {
+    pub fn lock(&self, tx: TxId, resource: Resource, mode: LockMode) -> Result<(), LockError> {
         for ancestor in resource.ancestors() {
             self.lock_one(tx, ancestor, mode.intention())?;
         }

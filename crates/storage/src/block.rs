@@ -11,9 +11,13 @@
 //! │ header │ slot directory (grows →) │   free   │ ← payload heap    │
 //! └───────────────────────────────────────────────────────────────────┘
 //! header: magic u16 | num_slots u16 | payload_start u16 | pad u16
-//!         next u64 | prev u64                           (24 bytes)
+//!         next u64 | prev u64 | crc u32 | lsn u32       (32 bytes)
 //! slot:   offset u16 | len u16                          (4 bytes)
 //! ```
+//!
+//! The `crc`/`lsn` pair at bytes `[24, 32)` is the uniform page stamp (see
+//! `checksum`): this module never touches it — the buffer pool stamps it at
+//! physical-write time and verifies it at physical-read time.
 //!
 //! Slots are kept in *document order*: slot `k` precedes slot `k+1`. The
 //! payload heap grows downward from the page end and is kept contiguous —
@@ -24,8 +28,8 @@
 use crate::error::StorageError;
 use crate::page::{get_u16, get_u64, put_u16, put_u64, PageId};
 
-/// Bytes of the block header.
-pub const BLOCK_HEADER_LEN: usize = 24;
+/// Bytes of the block header (including the reserved page-stamp window).
+pub const BLOCK_HEADER_LEN: usize = 32;
 /// Bytes per slot-directory entry.
 pub const SLOT_LEN: usize = 4;
 
@@ -46,7 +50,10 @@ pub fn max_payload(page_size: usize) -> usize {
 /// Block pages are limited to 32 KiB so payload offsets fit in `u16`.
 pub fn init(buf: &mut [u8]) {
     let len = buf.len();
-    assert!(len <= 32768, "block pages larger than 32 KiB are unsupported");
+    assert!(
+        len <= 32768,
+        "block pages larger than 32 KiB are unsupported"
+    );
     buf[..BLOCK_HEADER_LEN].fill(0);
     put_u16(buf, OFF_MAGIC, MAGIC);
     put_u16(buf, OFF_NUM_SLOTS, 0);
@@ -113,11 +120,10 @@ pub fn range_bytes(buf: &[u8], page: PageId, slot: u16) -> Result<&[u8], Storage
         return Err(StorageError::BadSlot { page, slot });
     }
     let (off, len) = slot_offset(buf, slot);
-    buf.get(off..off + len)
-        .ok_or(StorageError::Corrupt {
-            page,
-            reason: "slot points outside the page",
-        })
+    buf.get(off..off + len).ok_or(StorageError::Corrupt {
+        page,
+        reason: "slot points outside the page",
+    })
 }
 
 /// Inserts `payload` as a new range at directory position `slot`
@@ -160,11 +166,7 @@ pub fn insert_range(
 
 /// Removes the range at `slot`, returning its payload. The heap is
 /// compacted immediately so free space stays contiguous.
-pub fn remove_range(
-    buf: &mut [u8],
-    page: PageId,
-    slot: u16,
-) -> Result<Vec<u8>, StorageError> {
+pub fn remove_range(buf: &mut [u8], page: PageId, slot: u16) -> Result<Vec<u8>, StorageError> {
     let n = num_ranges(buf);
     if slot >= n {
         return Err(StorageError::BadSlot { page, slot });
@@ -337,7 +339,10 @@ mod tests {
         assert_eq!(num_ranges(&buf), 2);
         assert_eq!(range_bytes(&buf, PAGE, 0).unwrap(), b"first");
         assert_eq!(range_bytes(&buf, PAGE, 1).unwrap(), b"third");
-        assert_eq!(free_for_insert(&buf), free_before + b"second".len() + SLOT_LEN);
+        assert_eq!(
+            free_for_insert(&buf),
+            free_before + b"second".len() + SLOT_LEN
+        );
         validate(&buf, PAGE).unwrap();
     }
 
@@ -361,7 +366,10 @@ mod tests {
         insert_range(&mut buf, PAGE, 2, b"cc").unwrap();
         replace_range(&mut buf, PAGE, 1, b"a-much-longer-payload").unwrap();
         assert_eq!(range_bytes(&buf, PAGE, 0).unwrap(), b"aa");
-        assert_eq!(range_bytes(&buf, PAGE, 1).unwrap(), b"a-much-longer-payload");
+        assert_eq!(
+            range_bytes(&buf, PAGE, 1).unwrap(),
+            b"a-much-longer-payload"
+        );
         assert_eq!(range_bytes(&buf, PAGE, 2).unwrap(), b"cc");
         validate(&buf, PAGE).unwrap();
     }

@@ -1,0 +1,294 @@
+//! Deterministic fault injection for crash and I/O-error testing.
+//!
+//! [`FaultyPageStore`] wraps any [`PageStore`] and misbehaves on cue:
+//!
+//! - **Crash after the Nth write**: the first N *write operations*
+//!   (`write_page`, `allocate_page`, `sync`) pass through; the next one
+//!   fails — optionally persisting only a torn prefix of the page first —
+//!   and every operation after that fails permanently, as if the process
+//!   had died. Sweeping N over a scripted workload visits every crash
+//!   point without flipping bytes in files externally.
+//! - **Transient errors**: every `transient_every`-th operation (reads
+//!   included) fails once with [`std::io::ErrorKind::Interrupted`]; the
+//!   retry — a new operation — succeeds. The buffer pool's retry policy
+//!   turns these into `io_retries` counter ticks instead of user errors.
+//!
+//! All scheduling is a pure function of the counters, so a given
+//! configuration reproduces the same fault sequence on every run. Tests
+//! keep a [`FaultHandle`] (shared state) to reconfigure faults and read
+//! counters after the store has been moved into a pool.
+
+use crate::error::StorageError;
+use crate::page::PageId;
+use crate::store::PageStore;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Fault schedule. Disabled by default.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultConfig {
+    /// After this many successful write operations, the next write crashes
+    /// and the store fails permanently.
+    pub crash_after_writes: Option<u64>,
+    /// When crashing on a `write_page`, persist the first half of the page
+    /// (a torn write) before failing.
+    pub torn_crash: bool,
+    /// Every Nth operation (N >= 2) fails once with `Interrupted`.
+    pub transient_every: Option<u64>,
+}
+
+#[derive(Debug, Default)]
+struct FaultState {
+    config: FaultConfig,
+    /// Write operations attempted (write_page + allocate_page + sync).
+    writes: u64,
+    /// All operations attempted (for the transient schedule).
+    ops: u64,
+    crashed: bool,
+}
+
+/// Shared handle to a [`FaultyPageStore`]'s state: tests keep a clone to
+/// steer faults and read counters after the store is owned by a pool.
+#[derive(Clone, Default)]
+pub struct FaultHandle {
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl FaultHandle {
+    /// A handle with the given initial schedule.
+    pub fn new(config: FaultConfig) -> Self {
+        FaultHandle {
+            state: Arc::new(Mutex::new(FaultState {
+                config,
+                ..FaultState::default()
+            })),
+        }
+    }
+
+    /// Replaces the fault schedule (counters keep running).
+    pub fn set_config(&self, config: FaultConfig) {
+        self.state.lock().config = config;
+    }
+
+    /// Arms (or disarms) the crash point relative to writes *already seen*:
+    /// the next `k` write operations succeed, then the store crashes.
+    pub fn crash_after_more_writes(&self, k: Option<u64>) {
+        let mut s = self.state.lock();
+        s.config.crash_after_writes = k.map(|k| s.writes + k);
+    }
+
+    /// Write operations attempted so far.
+    pub fn writes(&self) -> u64 {
+        self.state.lock().writes
+    }
+
+    /// Whether the simulated crash has happened.
+    pub fn crashed(&self) -> bool {
+        self.state.lock().crashed
+    }
+}
+
+/// A [`PageStore`] wrapper that injects faults per its [`FaultHandle`].
+pub struct FaultyPageStore {
+    inner: Arc<dyn PageStore>,
+    state: Arc<Mutex<FaultState>>,
+}
+
+enum Verdict {
+    Proceed,
+    /// Crash now; for write_page with torn_crash, persist a prefix first.
+    Crash {
+        torn: bool,
+    },
+    Transient,
+}
+
+fn crash_error() -> StorageError {
+    StorageError::Io(std::io::Error::other("simulated crash: store is dead"))
+}
+
+fn transient_error() -> StorageError {
+    StorageError::Io(std::io::Error::new(
+        std::io::ErrorKind::Interrupted,
+        "simulated transient I/O error",
+    ))
+}
+
+impl FaultyPageStore {
+    /// Wraps `inner`, driven by (a clone of) `handle`'s state.
+    pub fn new(inner: Arc<dyn PageStore>, handle: &FaultHandle) -> Self {
+        FaultyPageStore {
+            inner,
+            state: handle.state.clone(),
+        }
+    }
+
+    /// Books one operation and decides its fate. `is_write` operations
+    /// count against the crash schedule.
+    fn admit(&self, is_write: bool) -> Verdict {
+        let mut s = self.state.lock();
+        if s.crashed {
+            return Verdict::Crash { torn: false };
+        }
+        s.ops += 1;
+        if let Some(every) = s.config.transient_every {
+            debug_assert!(every >= 2, "transient_every < 2 would starve retries");
+            if every >= 2 && s.ops.is_multiple_of(every) {
+                return Verdict::Transient;
+            }
+        }
+        if is_write {
+            if let Some(limit) = s.config.crash_after_writes {
+                if s.writes >= limit {
+                    s.crashed = true;
+                    return Verdict::Crash {
+                        torn: s.config.torn_crash,
+                    };
+                }
+            }
+            s.writes += 1;
+        }
+        Verdict::Proceed
+    }
+}
+
+impl PageStore for FaultyPageStore {
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.inner.num_pages()
+    }
+
+    fn read_page(&self, id: PageId, buf: &mut [u8]) -> Result<(), StorageError> {
+        match self.admit(false) {
+            Verdict::Proceed => self.inner.read_page(id, buf),
+            Verdict::Crash { .. } => Err(crash_error()),
+            Verdict::Transient => Err(transient_error()),
+        }
+    }
+
+    fn write_page(&self, id: PageId, buf: &[u8]) -> Result<(), StorageError> {
+        match self.admit(true) {
+            Verdict::Proceed => self.inner.write_page(id, buf),
+            Verdict::Crash { torn: true } => {
+                // Persist a torn prefix: new first half, old second half.
+                let mut torn = vec![0u8; buf.len()];
+                if self.inner.read_page(id, &mut torn).is_ok() {
+                    let half = buf.len() / 2;
+                    torn[..half].copy_from_slice(&buf[..half]);
+                    let _ = self.inner.write_page(id, &torn);
+                }
+                Err(crash_error())
+            }
+            Verdict::Crash { torn: false } => Err(crash_error()),
+            Verdict::Transient => Err(transient_error()),
+        }
+    }
+
+    fn allocate_page(&self) -> Result<PageId, StorageError> {
+        match self.admit(true) {
+            Verdict::Proceed => self.inner.allocate_page(),
+            Verdict::Crash { .. } => Err(crash_error()),
+            Verdict::Transient => Err(transient_error()),
+        }
+    }
+
+    fn sync(&self) -> Result<(), StorageError> {
+        match self.admit(true) {
+            Verdict::Proceed => self.inner.sync(),
+            Verdict::Crash { .. } => Err(crash_error()),
+            Verdict::Transient => Err(transient_error()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemPageStore;
+
+    fn faulty(config: FaultConfig) -> (FaultyPageStore, FaultHandle) {
+        let handle = FaultHandle::new(config);
+        let store = FaultyPageStore::new(Arc::new(MemPageStore::new(128)), &handle);
+        (store, handle)
+    }
+
+    #[test]
+    fn passthrough_without_faults() {
+        let (s, h) = faulty(FaultConfig::default());
+        let p = s.allocate_page().unwrap();
+        s.write_page(p, &[7u8; 128]).unwrap();
+        let mut buf = [0u8; 128];
+        s.read_page(p, &mut buf).unwrap();
+        assert_eq!(buf[0], 7);
+        s.sync().unwrap();
+        assert_eq!(h.writes(), 3); // allocate + write + sync
+        assert!(!h.crashed());
+    }
+
+    #[test]
+    fn crash_after_k_writes_is_permanent() {
+        let (s, h) = faulty(FaultConfig {
+            crash_after_writes: Some(2),
+            ..FaultConfig::default()
+        });
+        let p = s.allocate_page().unwrap(); // write 1
+        s.write_page(p, &[1u8; 128]).unwrap(); // write 2
+        assert!(s.write_page(p, &[2u8; 128]).is_err()); // crash
+        assert!(h.crashed());
+        // Everything fails from here on, reads included.
+        let mut buf = [0u8; 128];
+        assert!(s.read_page(p, &mut buf).is_err());
+        assert!(s.sync().is_err());
+        assert!(s.allocate_page().is_err());
+    }
+
+    #[test]
+    fn torn_crash_persists_half_the_page() {
+        let inner = Arc::new(MemPageStore::new(128));
+        let handle = FaultHandle::new(FaultConfig {
+            crash_after_writes: Some(2),
+            torn_crash: true,
+            ..FaultConfig::default()
+        });
+        let s = FaultyPageStore::new(inner.clone(), &handle);
+        let p = s.allocate_page().unwrap();
+        s.write_page(p, &[1u8; 128]).unwrap();
+        assert!(s.write_page(p, &[9u8; 128]).is_err());
+        let mut buf = [0u8; 128];
+        inner.read_page(p, &mut buf).unwrap();
+        assert_eq!(&buf[..64], &[9u8; 64][..], "new prefix persisted");
+        assert_eq!(&buf[64..], &[1u8; 64][..], "old suffix kept");
+    }
+
+    #[test]
+    fn transient_errors_fire_deterministically_and_recover() {
+        let (s, _h) = faulty(FaultConfig {
+            transient_every: Some(3),
+            ..FaultConfig::default()
+        });
+        let p = s.allocate_page().unwrap(); // op 1
+        s.write_page(p, &[1u8; 128]).unwrap(); // op 2
+        let mut buf = [0u8; 128];
+        let e = s.read_page(p, &mut buf).unwrap_err(); // op 3: transient
+        match e {
+            StorageError::Io(io) => assert_eq!(io.kind(), std::io::ErrorKind::Interrupted),
+            other => panic!("expected Io(Interrupted), got {other}"),
+        }
+        s.read_page(p, &mut buf).unwrap(); // op 4: retry succeeds
+        assert_eq!(buf[0], 1);
+    }
+
+    #[test]
+    fn crash_after_more_writes_is_relative() {
+        let (s, h) = faulty(FaultConfig::default());
+        let p = s.allocate_page().unwrap();
+        s.write_page(p, &[1u8; 128]).unwrap();
+        h.crash_after_more_writes(Some(1));
+        s.sync().unwrap(); // one more write allowed
+        assert!(s.sync().is_err());
+        assert!(h.crashed());
+    }
+}

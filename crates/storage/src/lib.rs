@@ -14,19 +14,32 @@
 //!   harness reports alongside wall-clock numbers);
 //! - [`block`] — the slotted *block* layout of §4.4: a block is one page
 //!   holding an ordered directory of ranges, chained to the next/previous
-//!   block to preserve document order across pages.
+//!   block to preserve document order across pages;
+//! - [`wal`] — a redo-only write-ahead log of page images with commit
+//!   records and torn-tail recovery (see DESIGN.md, "Durability &
+//!   Recovery");
+//! - [`checksum`] — the uniform per-page CRC/LSN stamp verified by the
+//!   buffer pool on physical reads;
+//! - [`faulty`] — a deterministic fault-injecting [`PageStore`] wrapper
+//!   (crash-after-Nth-write, torn writes, transient errors) for crash
+//!   testing.
 
 pub mod block;
+pub mod checksum;
 pub mod error;
+pub mod faulty;
 pub mod page;
 pub mod pool;
 pub mod store;
+pub mod wal;
 
 pub use block::{BLOCK_HEADER_LEN, SLOT_LEN};
 pub use error::StorageError;
+pub use faulty::{FaultConfig, FaultHandle, FaultyPageStore};
 pub use page::PageId;
-pub use pool::{BufferPool, PoolStats};
+pub use pool::{BufferPool, PoolOptions, PoolStats, RetryPolicy};
 pub use store::{FilePageStore, MemPageStore, PageStore};
+pub use wal::{RecoveredImage, Wal, WalRecovery};
 
 /// Configuration for a storage instance.
 #[derive(Debug, Clone)]

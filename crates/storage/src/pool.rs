@@ -7,6 +7,7 @@
 //! logical vs physical I/O (a machine-independent view of the Table 5
 //! shape).
 
+use crate::checksum;
 use crate::error::StorageError;
 use crate::page::PageId;
 use crate::store::PageStore;
@@ -31,6 +32,33 @@ pub struct PoolStats {
     pub evictions: u64,
     /// Pages allocated through the pool.
     pub allocations: u64,
+    /// Transient I/O errors absorbed by the retry policy.
+    pub io_retries: u64,
+}
+
+/// How the pool reacts to transient ([`std::io::ErrorKind::Interrupted`])
+/// I/O errors from the underlying store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries attempted per operation before the error surfaces.
+    pub max_retries: u32,
+}
+
+/// Durability-related behavior knobs. [`BufferPool::new`] uses the default
+/// (steal, no checksums, no retries) — the classic cache the experiments
+/// measure; the store's durable data pool opts in to all three.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PoolOptions {
+    /// Stamp pages (CRC + LSN at bytes `[24, 32)`, see `checksum`) on every
+    /// physical write and verify the stamp on every physical read.
+    pub checksums: bool,
+    /// Never write a dirty frame during eviction (no-steal): evict clean
+    /// frames only, growing past `capacity` when everything is dirty. This
+    /// confines physical writes to `flush_all`, which is what lets the WAL
+    /// commit record gate them.
+    pub no_steal: bool,
+    /// Transient-error retry policy for all physical I/O.
+    pub retry: RetryPolicy,
 }
 
 impl PoolStats {
@@ -66,23 +94,56 @@ struct AtomicStats {
     physical_writes: AtomicU64,
     evictions: AtomicU64,
     allocations: AtomicU64,
+    io_retries: AtomicU64,
+}
+
+/// Runs `op`, absorbing up to `policy.max_retries` transient
+/// (`Interrupted`) errors; each absorbed error ticks `retries`.
+fn with_retry<R>(
+    policy: RetryPolicy,
+    retries: &AtomicU64,
+    mut op: impl FnMut() -> Result<R, StorageError>,
+) -> Result<R, StorageError> {
+    let mut attempts = 0u32;
+    loop {
+        match op() {
+            Err(StorageError::Io(e))
+                if e.kind() == std::io::ErrorKind::Interrupted && attempts < policy.max_retries =>
+            {
+                attempts += 1;
+                retries.fetch_add(1, Ordering::Relaxed);
+            }
+            other => return other,
+        }
+    }
 }
 
 /// A buffer pool over a [`PageStore`].
 pub struct BufferPool {
     store: Arc<dyn PageStore>,
     capacity: usize,
+    options: PoolOptions,
+    /// LSN stamped onto pages at physical-write time (checksum mode).
+    stamp_lsn: AtomicU64,
     inner: Mutex<PoolInner>,
     stats: AtomicStats,
 }
 
 impl BufferPool {
-    /// Creates a pool holding at most `capacity` frames.
+    /// Creates a pool holding at most `capacity` frames, with default
+    /// [`PoolOptions`].
     pub fn new(store: Arc<dyn PageStore>, capacity: usize) -> Self {
+        Self::with_options(store, capacity, PoolOptions::default())
+    }
+
+    /// Creates a pool with explicit [`PoolOptions`].
+    pub fn with_options(store: Arc<dyn PageStore>, capacity: usize, options: PoolOptions) -> Self {
         assert!(capacity >= 1, "buffer pool needs at least one frame");
         BufferPool {
             store,
             capacity,
+            options,
+            stamp_lsn: AtomicU64::new(0),
             inner: Mutex::new(PoolInner {
                 frames: Vec::with_capacity(capacity),
                 map: HashMap::with_capacity(capacity),
@@ -107,6 +168,19 @@ impl BufferPool {
         self.capacity
     }
 
+    /// Writes one frame's contents back to the store, stamping the page
+    /// first when checksums are on.
+    fn write_back(&self, page: PageId, data: &mut [u8]) -> Result<(), StorageError> {
+        if self.options.checksums {
+            checksum::stamp_page(data, self.stamp_lsn.load(Ordering::Relaxed));
+        }
+        with_retry(self.options.retry, &self.stats.io_retries, || {
+            self.store.write_page(page, data)
+        })?;
+        self.stats.physical_writes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
     /// Loads `id` into a frame (evicting if needed) and returns its index.
     fn fetch(&self, inner: &mut PoolInner, id: PageId) -> Result<usize, StorageError> {
         inner.tick += 1;
@@ -118,37 +192,56 @@ impl BufferPool {
         }
         self.stats.misses.fetch_add(1, Ordering::Relaxed);
 
-        let idx = if inner.frames.len() < self.capacity {
-            inner.frames.push(Frame {
-                page: PageId::NONE,
-                data: vec![0u8; self.store.page_size()].into_boxed_slice(),
-                dirty: false,
-                last_used: 0,
-            });
-            inner.frames.len() - 1
+        // Pick a frame: a fresh one while under capacity, otherwise the
+        // least-recently-used victim. Under no-steal only clean frames are
+        // candidates, and the pool grows (soft capacity) when every frame
+        // is dirty — dirty pages must reach the store via flush_all alone.
+        let victim = if inner.frames.len() < self.capacity {
+            None
         } else {
-            // Evict the least-recently-used frame.
-            let idx = inner
+            inner
                 .frames
                 .iter()
                 .enumerate()
+                .filter(|(_, f)| !(self.options.no_steal && f.dirty))
                 .min_by_key(|(_, f)| f.last_used)
                 .map(|(i, _)| i)
-                .expect("capacity >= 1");
-            let victim = &mut inner.frames[idx];
-            if victim.dirty {
-                self.store.write_page(victim.page, &victim.data)?;
-                self.stats.physical_writes.fetch_add(1, Ordering::Relaxed);
-                victim.dirty = false;
+        };
+        let idx = match victim {
+            None => {
+                inner.frames.push(Frame {
+                    page: PageId::NONE,
+                    data: vec![0u8; self.store.page_size()].into_boxed_slice(),
+                    dirty: false,
+                    last_used: 0,
+                });
+                inner.frames.len() - 1
             }
-            let old = victim.page;
-            inner.map.remove(&old);
-            self.stats.evictions.fetch_add(1, Ordering::Relaxed);
-            idx
+            Some(idx) => {
+                let victim = &mut inner.frames[idx];
+                if victim.dirty {
+                    debug_assert!(!self.options.no_steal);
+                    let page = victim.page;
+                    self.write_back(page, &mut victim.data)?;
+                    victim.dirty = false;
+                }
+                let old = inner.frames[idx].page;
+                inner.map.remove(&old);
+                self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+                idx
+            }
         };
 
-        self.store.read_page(id, &mut inner.frames[idx].data)?;
+        inner.frames[idx].page = PageId::NONE;
+        with_retry(self.options.retry, &self.stats.io_retries, || {
+            self.store.read_page(id, &mut inner.frames[idx].data)
+        })?;
         self.stats.physical_reads.fetch_add(1, Ordering::Relaxed);
+        if self.options.checksums {
+            if let Err(reason) = checksum::verify_page(&inner.frames[idx].data) {
+                return Err(StorageError::Corrupt { page: id, reason });
+            }
+        }
         inner.frames[idx].page = id;
         inner.frames[idx].dirty = false;
         inner.frames[idx].last_used = tick;
@@ -157,22 +250,14 @@ impl BufferPool {
     }
 
     /// Runs `f` over the contents of page `id` (read-only).
-    pub fn read<R>(
-        &self,
-        id: PageId,
-        f: impl FnOnce(&[u8]) -> R,
-    ) -> Result<R, StorageError> {
+    pub fn read<R>(&self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R, StorageError> {
         let mut inner = self.inner.lock();
         let idx = self.fetch(&mut inner, id)?;
         Ok(f(&inner.frames[idx].data))
     }
 
     /// Runs `f` over the mutable contents of page `id`, marking it dirty.
-    pub fn write<R>(
-        &self,
-        id: PageId,
-        f: impl FnOnce(&mut [u8]) -> R,
-    ) -> Result<R, StorageError> {
+    pub fn write<R>(&self, id: PageId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R, StorageError> {
         let mut inner = self.inner.lock();
         let idx = self.fetch(&mut inner, id)?;
         inner.frames[idx].dirty = true;
@@ -210,7 +295,9 @@ impl BufferPool {
 
     /// Allocates a fresh zeroed page and caches it.
     pub fn allocate(&self) -> Result<PageId, StorageError> {
-        let id = self.store.allocate_page()?;
+        let id = with_retry(self.options.retry, &self.stats.io_retries, || {
+            self.store.allocate_page()
+        })?;
         self.stats.allocations.fetch_add(1, Ordering::Relaxed);
         // Prime the frame so the first write does not re-read from disk.
         let mut inner = self.inner.lock();
@@ -218,15 +305,36 @@ impl BufferPool {
         Ok(id)
     }
 
+    /// Snapshots every dirty frame as `(page, bytes)`, sorted by page id —
+    /// the images the store logs to the WAL before flushing. Under no-steal
+    /// this is exactly the set of pages that changed since the last flush.
+    pub fn dirty_page_images(&self) -> Vec<(PageId, Vec<u8>)> {
+        let inner = self.inner.lock();
+        let mut images: Vec<(PageId, Vec<u8>)> = inner
+            .frames
+            .iter()
+            .filter(|f| f.dirty && f.page != PageId::NONE)
+            .map(|f| (f.page, f.data.to_vec()))
+            .collect();
+        images.sort_by_key(|(page, _)| page.0);
+        images
+    }
+
+    /// Sets the LSN stamped onto pages by subsequent physical writes
+    /// (checksum mode only).
+    pub fn set_stamp_lsn(&self, lsn: u64) {
+        self.stamp_lsn.store(lsn, Ordering::Relaxed);
+    }
+
     /// Writes all dirty frames back to the store (does not sync the medium;
     /// call [`BufferPool::sync`] for durability).
     pub fn flush_all(&self) -> Result<(), StorageError> {
         let mut inner = self.inner.lock();
-        for frame in &mut inner.frames {
-            if frame.dirty {
-                self.store.write_page(frame.page, &frame.data)?;
-                self.stats.physical_writes.fetch_add(1, Ordering::Relaxed);
-                frame.dirty = false;
+        for idx in 0..inner.frames.len() {
+            if inner.frames[idx].dirty {
+                let page = inner.frames[idx].page;
+                self.write_back(page, &mut inner.frames[idx].data)?;
+                inner.frames[idx].dirty = false;
             }
         }
         Ok(())
@@ -235,7 +343,9 @@ impl BufferPool {
     /// Flushes and syncs the underlying medium.
     pub fn sync(&self) -> Result<(), StorageError> {
         self.flush_all()?;
-        self.store.sync()
+        with_retry(self.options.retry, &self.stats.io_retries, || {
+            self.store.sync()
+        })
     }
 
     /// A snapshot of the activity counters.
@@ -247,6 +357,7 @@ impl BufferPool {
             physical_writes: self.stats.physical_writes.load(Ordering::Relaxed),
             evictions: self.stats.evictions.load(Ordering::Relaxed),
             allocations: self.stats.allocations.load(Ordering::Relaxed),
+            io_retries: self.stats.io_retries.load(Ordering::Relaxed),
         }
     }
 
@@ -258,6 +369,7 @@ impl BufferPool {
         self.stats.physical_writes.store(0, Ordering::Relaxed);
         self.stats.evictions.store(0, Ordering::Relaxed);
         self.stats.allocations.store(0, Ordering::Relaxed);
+        self.stats.io_retries.store(0, Ordering::Relaxed);
     }
 }
 
@@ -387,5 +499,155 @@ mod tests {
         p.read(id, |_| ()).unwrap();
         p.reset_stats();
         assert_eq!(p.stats(), PoolStats::default());
+    }
+
+    #[test]
+    fn no_steal_never_writes_dirty_on_eviction() {
+        let store = Arc::new(MemPageStore::new(256));
+        let p = BufferPool::with_options(
+            store.clone(),
+            2,
+            PoolOptions {
+                no_steal: true,
+                ..PoolOptions::default()
+            },
+        );
+        let ids: Vec<PageId> = (0..4).map(|_| p.allocate().unwrap()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            p.write(id, |buf| buf[0] = i as u8 + 1).unwrap();
+        }
+        // Every frame is dirty: the pool grew past capacity instead of
+        // stealing, and nothing reached the store.
+        assert_eq!(p.stats().physical_writes, 0);
+        let mut buf = vec![0u8; 256];
+        store.read_page(ids[0], &mut buf).unwrap();
+        assert_eq!(buf[0], 0, "dirty page must not hit the store pre-flush");
+        // Flush is the only write path.
+        p.flush_all().unwrap();
+        assert_eq!(p.stats().physical_writes, 4);
+        store.read_page(ids[0], &mut buf).unwrap();
+        assert_eq!(buf[0], 1);
+    }
+
+    #[test]
+    fn checksums_stamp_on_write_and_catch_corruption() {
+        let store = Arc::new(MemPageStore::new(256));
+        let p = BufferPool::with_options(
+            store.clone(),
+            4,
+            PoolOptions {
+                checksums: true,
+                ..PoolOptions::default()
+            },
+        );
+        let id = p.allocate().unwrap();
+        p.write(id, |buf| buf[40] = 9).unwrap();
+        p.set_stamp_lsn(5);
+        p.flush_all().unwrap();
+        let mut raw = vec![0u8; 256];
+        store.read_page(id, &mut raw).unwrap();
+        crate::checksum::verify_page(&raw).unwrap();
+        assert_eq!(crate::checksum::page_lsn(&raw), 5);
+        // Corrupt one byte behind the pool's back; the next physical read
+        // must surface Corrupt.
+        raw[100] ^= 0xFF;
+        store.write_page(id, &raw).unwrap();
+        let p2 = BufferPool::with_options(
+            store,
+            4,
+            PoolOptions {
+                checksums: true,
+                ..PoolOptions::default()
+            },
+        );
+        assert!(matches!(
+            p2.read(id, |_| ()),
+            Err(StorageError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn fresh_zero_pages_pass_checksum_reads() {
+        let store = Arc::new(MemPageStore::new(256));
+        let id = store.allocate_page().unwrap();
+        let p = BufferPool::with_options(
+            store,
+            4,
+            PoolOptions {
+                checksums: true,
+                ..PoolOptions::default()
+            },
+        );
+        p.read(id, |buf| assert!(buf.iter().all(|&b| b == 0)))
+            .unwrap();
+    }
+
+    #[test]
+    fn transient_errors_are_retried_and_counted() {
+        use crate::faulty::{FaultConfig, FaultHandle, FaultyPageStore};
+        let handle = FaultHandle::new(FaultConfig {
+            transient_every: Some(3),
+            ..FaultConfig::default()
+        });
+        let inner = Arc::new(MemPageStore::new(256));
+        let faulty = Arc::new(FaultyPageStore::new(inner, &handle));
+        let p = BufferPool::with_options(
+            faulty,
+            4,
+            PoolOptions {
+                retry: RetryPolicy { max_retries: 2 },
+                ..PoolOptions::default()
+            },
+        );
+        // Drive enough traffic to cross several transient fault points.
+        let ids: Vec<PageId> = (0..4).map(|_| p.allocate().unwrap()).collect();
+        for round in 0..5u8 {
+            for &id in &ids {
+                p.write(id, |buf| buf[0] = round).unwrap();
+            }
+            p.sync().unwrap();
+        }
+        assert!(p.stats().io_retries > 0, "retries should have happened");
+    }
+
+    #[test]
+    fn exhausted_retries_surface_the_error() {
+        use crate::faulty::{FaultConfig, FaultHandle, FaultyPageStore};
+        let handle = FaultHandle::new(FaultConfig {
+            transient_every: Some(2),
+            ..FaultConfig::default()
+        });
+        let inner = Arc::new(MemPageStore::new(256));
+        let faulty = Arc::new(FaultyPageStore::new(inner, &handle));
+        // max_retries 0: the first transient error reaches the caller.
+        let p = BufferPool::new(faulty, 4);
+        let mut failed = false;
+        for _ in 0..4 {
+            if p.allocate().is_err() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(
+            failed,
+            "with no retry budget a transient error must surface"
+        );
+    }
+
+    #[test]
+    fn dirty_page_images_snapshot_sorted() {
+        let p = pool(8);
+        let ids: Vec<PageId> = (0..3).map(|_| p.allocate().unwrap()).collect();
+        p.write(ids[2], |buf| buf[0] = 3).unwrap();
+        p.write(ids[0], |buf| buf[0] = 1).unwrap();
+        let images = p.dirty_page_images();
+        // Allocation primes frames clean; only explicit writes are dirty.
+        assert_eq!(images.len(), 2);
+        assert_eq!(images[0].0, ids[0]);
+        assert_eq!(images[1].0, ids[2]);
+        assert_eq!(images[0].1[0], 1);
+        assert_eq!(images[1].1[0], 3);
+        p.flush_all().unwrap();
+        assert!(p.dirty_page_images().is_empty());
     }
 }

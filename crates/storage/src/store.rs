@@ -118,6 +118,25 @@ impl FilePageStore {
         })
     }
 
+    /// Truncates a torn tail: if the file at `path` exists and its length
+    /// is not a multiple of `page_size` (a write was cut short mid-page),
+    /// drops the partial page and syncs. Returns the bytes removed. This is
+    /// the recovery-path entry point; [`FilePageStore::open`] itself stays
+    /// strict so ordinary opens never silently discard data.
+    pub fn repair_tail(path: &Path, page_size: usize) -> Result<u64, StorageError> {
+        if !path.exists() {
+            return Ok(0);
+        }
+        let file = OpenOptions::new().write(true).open(path)?;
+        let len = file.metadata()?.len();
+        let torn = len % page_size as u64;
+        if torn != 0 {
+            file.set_len(len - torn)?;
+            file.sync_data()?;
+        }
+        Ok(torn)
+    }
+
     fn check_bounds(&self, id: PageId) -> Result<u64, StorageError> {
         if id.0 >= self.num_pages.load(Ordering::Acquire) {
             return Err(StorageError::PageOutOfBounds(id));
@@ -254,6 +273,26 @@ mod tests {
             FilePageStore::open(&path, 512),
             Err(StorageError::BadConfig(_))
         ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn repair_tail_truncates_partial_pages_only() {
+        let dir = std::env::temp_dir().join(format!("axs-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("repair.pages");
+        let mut bytes = vec![7u8; 512];
+        bytes.extend_from_slice(&[9u8; 100]); // torn second page
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(FilePageStore::repair_tail(&path, 512).unwrap(), 100);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 512);
+        // Aligned files (and repeat repairs) are untouched.
+        assert_eq!(FilePageStore::repair_tail(&path, 512).unwrap(), 0);
+        let store = FilePageStore::open(&path, 512).unwrap();
+        assert_eq!(store.num_pages(), 1);
+        // Missing files are fine too.
+        let missing = dir.join("nope.pages");
+        assert_eq!(FilePageStore::repair_tail(&missing, 512).unwrap(), 0);
         std::fs::remove_file(&path).unwrap();
     }
 }

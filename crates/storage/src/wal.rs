@@ -1,0 +1,411 @@
+//! Write-ahead log: redo-only page-image logging with torn-tail recovery.
+//!
+//! The store batches all dirtied data pages at each `flush()` boundary,
+//! appends one [`PageImage`](RecordKind::PageImage) record per page, seals
+//! the batch with a fsynced [`Commit`](RecordKind::Commit) record, then
+//! writes the pages to the data file and truncates the log back to its
+//! header (checkpoint-by-reset). Because the data pool never steals dirty
+//! frames, the data file only ever changes *after* a commit record is
+//! durable, so replaying committed batches always repairs a torn flush.
+//!
+//! File layout:
+//!
+//! ```text
+//! header:  magic "AXS_WAL\0" u64 | version u32 | page_size u32   (16 bytes)
+//! record:  kind u8 | lsn u64 | page u64 | len u32 | payload | crc32 u32
+//! ```
+//!
+//! All fields are little-endian. The record CRC covers `kind ..= payload`.
+//! LSNs are assigned monotonically per log lifetime; recovery resumes the
+//! counter past the highest LSN it saw. A scan stops at the first record
+//! that is incomplete or fails its CRC — everything after that offset is a
+//! torn tail and is reported (and later truncated), never replayed.
+//! Complete records with no following commit are an uncommitted batch and
+//! are discarded too: the flush that wrote them never promised durability.
+
+use crate::error::StorageError;
+use crate::page::PageId;
+use std::fs::{File, OpenOptions};
+use std::os::unix::fs::FileExt;
+use std::path::Path;
+
+const MAGIC: u64 = u64::from_le_bytes(*b"AXS_WAL\0");
+const VERSION: u32 = 1;
+const HEADER_LEN: u64 = 16;
+/// kind u8 + lsn u64 + page u64 + len u32.
+const RECORD_HEADER_LEN: usize = 21;
+const TRAILER_LEN: usize = 4;
+
+/// Kinds of log records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// Full image of one data page, part of the batch in progress.
+    PageImage = 1,
+    /// Seals the batch appended since the previous commit.
+    Commit = 2,
+}
+
+/// A page image recovered from a committed batch.
+#[derive(Debug, Clone)]
+pub struct RecoveredImage {
+    /// The page the image belongs to.
+    pub page: PageId,
+    /// The LSN of the record carrying the image.
+    pub lsn: u64,
+    /// The page bytes (exactly one page long, unstamped).
+    pub image: Vec<u8>,
+}
+
+/// What a recovery scan found in the log.
+#[derive(Debug, Default)]
+pub struct WalRecovery {
+    /// Committed batches, in commit order. Replaying them in order (later
+    /// images win) reproduces the state the last successful commit promised.
+    pub batches: Vec<Vec<RecoveredImage>>,
+    /// Bytes past the last structurally-valid record — a torn append.
+    pub torn_tail_bytes: u64,
+    /// Complete page-image records that were never sealed by a commit.
+    pub uncommitted_records: u64,
+}
+
+/// An append-only write-ahead log over one file.
+pub struct Wal {
+    file: File,
+    page_size: usize,
+    /// Next byte offset to append at.
+    end: u64,
+    /// Next LSN to assign.
+    next_lsn: u64,
+    /// Records appended through this handle (images + commits).
+    appended: u64,
+}
+
+fn open_file(path: &Path) -> Result<File, StorageError> {
+    Ok(OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create(true)
+        .truncate(false)
+        .open(path)?)
+}
+
+impl Wal {
+    /// Creates a fresh, empty log at `path`, truncating any previous file.
+    pub fn create(path: &Path, page_size: usize) -> Result<Wal, StorageError> {
+        let file = open_file(path)?;
+        file.set_len(0)?;
+        let mut header = [0u8; HEADER_LEN as usize];
+        header[0..8].copy_from_slice(&MAGIC.to_le_bytes());
+        header[8..12].copy_from_slice(&VERSION.to_le_bytes());
+        header[12..16].copy_from_slice(&(page_size as u32).to_le_bytes());
+        file.write_all_at(&header, 0)?;
+        file.sync_data()?;
+        Ok(Wal {
+            file,
+            page_size,
+            end: HEADER_LEN,
+            next_lsn: 1,
+            appended: 0,
+        })
+    }
+
+    /// Opens (creating if missing) the log at `path` and scans it for
+    /// committed batches. The caller replays the batches into the data
+    /// file and then calls [`Wal::reset`]; the returned handle appends
+    /// after the last valid byte until then.
+    pub fn recover(path: &Path, page_size: usize) -> Result<(Wal, WalRecovery), StorageError> {
+        if !path.exists() {
+            return Ok((Wal::create(path, page_size)?, WalRecovery::default()));
+        }
+        let file = open_file(path)?;
+        let len = file.metadata()?.len();
+        if len < HEADER_LEN {
+            // Torn header: nothing can be valid, start over.
+            drop(file);
+            let wal = Wal::create(path, page_size)?;
+            return Ok((
+                wal,
+                WalRecovery {
+                    torn_tail_bytes: len,
+                    ..WalRecovery::default()
+                },
+            ));
+        }
+        let mut buf = vec![0u8; len as usize];
+        file.read_exact_at(&mut buf, 0)?;
+        let magic = u64::from_le_bytes(buf[0..8].try_into().unwrap());
+        let version = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+        let ps = u32::from_le_bytes(buf[12..16].try_into().unwrap());
+        if magic != MAGIC || version != VERSION {
+            return Err(StorageError::BadConfig("not a recognized WAL file"));
+        }
+        if ps as usize != page_size {
+            return Err(StorageError::BadConfig(
+                "WAL page size disagrees with the store",
+            ));
+        }
+
+        let mut recovery = WalRecovery::default();
+        let mut pending: Vec<RecoveredImage> = Vec::new();
+        let mut max_lsn = 0u64;
+        let mut offset = HEADER_LEN as usize;
+        let mut valid_end = offset;
+        while offset < buf.len() {
+            let Some(record) = parse_record(&buf[offset..], page_size) else {
+                break; // torn or corrupt tail
+            };
+            max_lsn = max_lsn.max(record.lsn);
+            match record.kind {
+                RecordKind::PageImage => pending.push(RecoveredImage {
+                    page: PageId(record.page),
+                    lsn: record.lsn,
+                    image: record.payload,
+                }),
+                RecordKind::Commit => recovery.batches.push(std::mem::take(&mut pending)),
+            }
+            offset += record.total_len;
+            valid_end = offset;
+        }
+        recovery.torn_tail_bytes = (buf.len() - valid_end) as u64;
+        recovery.uncommitted_records = pending.len() as u64;
+        Ok((
+            Wal {
+                file,
+                page_size,
+                end: valid_end as u64,
+                next_lsn: max_lsn + 1,
+                appended: 0,
+            },
+            recovery,
+        ))
+    }
+
+    /// Appends a page-image record, returning its LSN. Not yet durable —
+    /// call [`Wal::commit`] to seal the batch.
+    pub fn append_image(&mut self, page: PageId, image: &[u8]) -> Result<u64, StorageError> {
+        assert_eq!(image.len(), self.page_size, "image must be one page");
+        let lsn = self.append(RecordKind::PageImage, page.0, image)?;
+        Ok(lsn)
+    }
+
+    /// Appends a commit record and syncs the log: the batch appended since
+    /// the previous commit is now durable.
+    pub fn commit(&mut self) -> Result<u64, StorageError> {
+        let lsn = self.append(RecordKind::Commit, 0, &[])?;
+        self.file.sync_data()?;
+        Ok(lsn)
+    }
+
+    fn append(&mut self, kind: RecordKind, page: u64, payload: &[u8]) -> Result<u64, StorageError> {
+        let lsn = self.next_lsn;
+        let mut rec = Vec::with_capacity(RECORD_HEADER_LEN + payload.len() + TRAILER_LEN);
+        rec.push(kind as u8);
+        rec.extend_from_slice(&lsn.to_le_bytes());
+        rec.extend_from_slice(&page.to_le_bytes());
+        rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        rec.extend_from_slice(payload);
+        let crc = crate::checksum::crc32(&rec);
+        rec.extend_from_slice(&crc.to_le_bytes());
+        self.file.write_all_at(&rec, self.end)?;
+        self.end += rec.len() as u64;
+        self.next_lsn += 1;
+        self.appended += 1;
+        Ok(lsn)
+    }
+
+    /// Truncates the log back to its header (checkpoint: the data file now
+    /// holds everything the last commit promised).
+    pub fn reset(&mut self) -> Result<(), StorageError> {
+        self.file.set_len(HEADER_LEN)?;
+        self.file.sync_data()?;
+        self.end = HEADER_LEN;
+        Ok(())
+    }
+
+    /// Records appended through this handle.
+    pub fn records_appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// The LSN the next record will receive.
+    pub fn next_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+}
+
+struct ParsedRecord {
+    kind: RecordKind,
+    lsn: u64,
+    page: u64,
+    payload: Vec<u8>,
+    total_len: usize,
+}
+
+/// Parses one record at the start of `buf`; `None` for torn/corrupt data.
+fn parse_record(buf: &[u8], page_size: usize) -> Option<ParsedRecord> {
+    if buf.len() < RECORD_HEADER_LEN + TRAILER_LEN {
+        return None;
+    }
+    let kind = match buf[0] {
+        1 => RecordKind::PageImage,
+        2 => RecordKind::Commit,
+        _ => return None,
+    };
+    let lsn = u64::from_le_bytes(buf[1..9].try_into().unwrap());
+    let page = u64::from_le_bytes(buf[9..17].try_into().unwrap());
+    let len = u32::from_le_bytes(buf[17..21].try_into().unwrap()) as usize;
+    let expected = match kind {
+        RecordKind::PageImage => page_size,
+        RecordKind::Commit => 0,
+    };
+    if len != expected {
+        return None;
+    }
+    let total_len = RECORD_HEADER_LEN + len + TRAILER_LEN;
+    if buf.len() < total_len {
+        return None;
+    }
+    let body = &buf[..RECORD_HEADER_LEN + len];
+    let stored = u32::from_le_bytes(buf[RECORD_HEADER_LEN + len..total_len].try_into().unwrap());
+    if crate::checksum::crc32(body) != stored {
+        return None;
+    }
+    Some(ParsedRecord {
+        kind,
+        lsn,
+        page,
+        payload: buf[RECORD_HEADER_LEN..RECORD_HEADER_LEN + len].to_vec(),
+        total_len,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    const PS: usize = 256;
+
+    fn temp_wal(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("axs-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("wal.log")
+    }
+
+    fn image(fill: u8) -> Vec<u8> {
+        vec![fill; PS]
+    }
+
+    #[test]
+    fn committed_batches_are_recovered_in_order() {
+        let path = temp_wal("basic");
+        {
+            let mut wal = Wal::create(&path, PS).unwrap();
+            wal.append_image(PageId(3), &image(1)).unwrap();
+            wal.append_image(PageId(5), &image(2)).unwrap();
+            wal.commit().unwrap();
+            wal.append_image(PageId(3), &image(9)).unwrap();
+            wal.commit().unwrap();
+            assert_eq!(wal.records_appended(), 5);
+        }
+        let (wal, rec) = Wal::recover(&path, PS).unwrap();
+        assert_eq!(rec.batches.len(), 2);
+        assert_eq!(rec.torn_tail_bytes, 0);
+        assert_eq!(rec.uncommitted_records, 0);
+        assert_eq!(rec.batches[0].len(), 2);
+        assert_eq!(rec.batches[0][0].page, PageId(3));
+        assert_eq!(rec.batches[0][0].image, image(1));
+        assert_eq!(rec.batches[1][0].image, image(9));
+        // LSNs continue past what was scanned.
+        assert!(wal.next_lsn() > rec.batches[1][0].lsn);
+    }
+
+    #[test]
+    fn uncommitted_tail_is_discarded() {
+        let path = temp_wal("uncommitted");
+        {
+            let mut wal = Wal::create(&path, PS).unwrap();
+            wal.append_image(PageId(1), &image(1)).unwrap();
+            wal.commit().unwrap();
+            wal.append_image(PageId(2), &image(2)).unwrap();
+            // no commit
+        }
+        let (_, rec) = Wal::recover(&path, PS).unwrap();
+        assert_eq!(rec.batches.len(), 1);
+        assert_eq!(rec.uncommitted_records, 1);
+        assert_eq!(rec.torn_tail_bytes, 0);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_replayed() {
+        let path = temp_wal("torn");
+        {
+            let mut wal = Wal::create(&path, PS).unwrap();
+            wal.append_image(PageId(1), &image(1)).unwrap();
+            wal.commit().unwrap();
+            wal.append_image(PageId(2), &image(2)).unwrap();
+            wal.commit().unwrap();
+        }
+        // Tear the last commit record: drop its final 2 bytes.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 2).unwrap();
+        drop(f);
+        let (mut wal, rec) = Wal::recover(&path, PS).unwrap();
+        assert_eq!(rec.batches.len(), 1, "torn commit must not seal batch 2");
+        assert_eq!(rec.uncommitted_records, 1);
+        assert!(rec.torn_tail_bytes > 0);
+        wal.reset().unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), HEADER_LEN);
+    }
+
+    #[test]
+    fn corrupt_record_stops_the_scan() {
+        let path = temp_wal("corrupt");
+        {
+            let mut wal = Wal::create(&path, PS).unwrap();
+            wal.append_image(PageId(1), &image(1)).unwrap();
+            wal.commit().unwrap();
+            wal.append_image(PageId(2), &image(2)).unwrap();
+            wal.commit().unwrap();
+        }
+        // Flip one payload byte of the second batch's image.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let second_image_payload = HEADER_LEN as usize
+            + (RECORD_HEADER_LEN + PS + TRAILER_LEN)      // first image
+            + (RECORD_HEADER_LEN + TRAILER_LEN)           // first commit
+            + RECORD_HEADER_LEN
+            + 10;
+        bytes[second_image_payload] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, rec) = Wal::recover(&path, PS).unwrap();
+        assert_eq!(rec.batches.len(), 1);
+        assert!(rec.torn_tail_bytes > 0);
+    }
+
+    #[test]
+    fn reset_then_reuse() {
+        let path = temp_wal("reset");
+        let mut wal = Wal::create(&path, PS).unwrap();
+        wal.append_image(PageId(1), &image(1)).unwrap();
+        wal.commit().unwrap();
+        wal.reset().unwrap();
+        wal.append_image(PageId(7), &image(7)).unwrap();
+        wal.commit().unwrap();
+        drop(wal);
+        let (_, rec) = Wal::recover(&path, PS).unwrap();
+        assert_eq!(rec.batches.len(), 1);
+        assert_eq!(rec.batches[0][0].page, PageId(7));
+    }
+
+    #[test]
+    fn page_size_mismatch_is_rejected() {
+        let path = temp_wal("psmismatch");
+        drop(Wal::create(&path, PS).unwrap());
+        assert!(matches!(
+            Wal::recover(&path, PS * 2),
+            Err(StorageError::BadConfig(_))
+        ));
+    }
+}

@@ -65,7 +65,9 @@ fn concurrent_increments_on_shared_page() {
     });
 
     let count = pool
-        .read(shared, |buf| u64::from_le_bytes(buf[..8].try_into().unwrap()))
+        .read(shared, |buf| {
+            u64::from_le_bytes(buf[..8].try_into().unwrap())
+        })
         .unwrap();
     assert_eq!(count, 4 * 400, "increments lost under eviction pressure");
     assert!(pool.stats().evictions > 0, "test must actually evict");
@@ -90,7 +92,10 @@ fn concurrent_allocate_and_write() {
                 })
             })
             .collect();
-        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
     });
     // All ids distinct, all stamps intact.
     let mut ids: Vec<u64> = allocated.iter().map(|p| p.0).collect();

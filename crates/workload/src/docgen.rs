@@ -3,10 +3,9 @@
 use axs_xdm::Token;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Parameters for the random-tree generator.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DocGenConfig {
     /// RNG seed (same seed ⇒ same document).
     pub seed: u64,
@@ -264,8 +263,7 @@ mod tests {
     #[test]
     fn documents_parse_back_from_serialized_form() {
         let tokens = purchase_orders(5, 5);
-        let text =
-            axs_xml::serialize(&tokens, &axs_xml::SerializeOptions::default()).unwrap();
+        let text = axs_xml::serialize(&tokens, &axs_xml::SerializeOptions::default()).unwrap();
         let back = axs_xml::parse_fragment(&text, axs_xml::ParseOptions::default()).unwrap();
         assert_eq!(back, tokens);
     }

@@ -6,10 +6,9 @@ use axs_core::{StoreError, XmlStore};
 use axs_xdm::{NodeId, Token, TokenKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Counters the driver reports after a run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DriverReport {
     /// `read(id)` operations executed.
     pub reads: u64,
@@ -103,7 +102,11 @@ impl WorkloadDriver {
 
     /// Executes one operation; transparently retries when a randomly chosen
     /// target turns out to have been deleted as part of an ancestor.
-    fn run_one(&mut self, store: &mut XmlStore, report: &mut DriverReport) -> Result<(), StoreError> {
+    fn run_one(
+        &mut self,
+        store: &mut XmlStore,
+        report: &mut DriverReport,
+    ) -> Result<(), StoreError> {
         let op = self.mix.pick(self.rng.gen_range(0..self.mix.total()));
         for _attempt in 0..16 {
             let outcome = self.try_op(store, op, report);

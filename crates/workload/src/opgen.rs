@@ -1,9 +1,7 @@
 //! Operation mixes.
 
-use serde::{Deserialize, Serialize};
-
 /// The operation classes a workload can issue.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Op {
     /// `read(id)` of a random live node.
     ReadNode,
@@ -20,7 +18,7 @@ pub enum Op {
 }
 
 /// Weighted operation mix. Weights are relative; zero disables a class.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OpMix {
     /// Weight of [`Op::ReadNode`].
     pub read_node: u32,

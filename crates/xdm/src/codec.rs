@@ -131,10 +131,7 @@ fn read_qname(buf: &[u8], pos: &mut usize) -> Result<QName, CodecError> {
 pub fn encode_token(out: &mut Vec<u8>, token: &Token) {
     out.push(token.kind().to_tag());
     match token {
-        Token::BeginDocument
-        | Token::EndDocument
-        | Token::EndElement
-        | Token::EndAttribute => {}
+        Token::BeginDocument | Token::EndDocument | Token::EndElement | Token::EndAttribute => {}
         Token::BeginElement { name, type_ann } => {
             out.push(type_ann.to_tag());
             write_lpstr(out, &name.to_lexical());
@@ -164,10 +161,7 @@ pub fn encode_token(out: &mut Vec<u8>, token: &Token) {
 /// allocating. The store uses this for page free-space accounting.
 pub fn encoded_len(token: &Token) -> usize {
     1 + match token {
-        Token::BeginDocument
-        | Token::EndDocument
-        | Token::EndElement
-        | Token::EndAttribute => 0,
+        Token::BeginDocument | Token::EndDocument | Token::EndElement | Token::EndAttribute => 0,
         Token::BeginElement { name, .. } => {
             let name_len = name.lexical_len();
             1 + varint_len(name_len as u64) + name_len

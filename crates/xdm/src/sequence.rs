@@ -33,7 +33,10 @@ impl fmt::Display for FragmentError {
             }
             FragmentError::Unclosed(n) => write!(f, "{n} begin token(s) left unclosed"),
             FragmentError::MismatchedEnd(i) => {
-                write!(f, "end token at position {i} does not match the open begin token")
+                write!(
+                    f,
+                    "end token at position {i} does not match the open begin token"
+                )
             }
             FragmentError::Empty => write!(f, "empty fragment"),
             FragmentError::NestedDocument(i) => {
@@ -167,14 +170,14 @@ mod tests {
     /// The Figure 1 ticket document body (no document wrapper).
     fn ticket_fragment() -> Vec<Token> {
         vec![
-            Token::begin_element("ticket"),   // 0   id 1
-            Token::begin_element("hour"),     // 1   id 2
-            Token::text("15"),                // 2   id 3
-            Token::EndElement,                // 3
-            Token::begin_element("name"),     // 4   id 4
-            Token::text("Paul"),              // 5   id 5
-            Token::EndElement,                // 6
-            Token::EndElement,                // 7
+            Token::begin_element("ticket"), // 0   id 1
+            Token::begin_element("hour"),   // 1   id 2
+            Token::text("15"),              // 2   id 3
+            Token::EndElement,              // 3
+            Token::begin_element("name"),   // 4   id 4
+            Token::text("Paul"),            // 5   id 5
+            Token::EndElement,              // 6
+            Token::EndElement,              // 7
         ]
     }
 

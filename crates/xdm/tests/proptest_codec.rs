@@ -22,8 +22,7 @@ fn annotation_strategy() -> impl Strategy<Value = TypeAnnotation> {
 /// Strategy for a single leaf token.
 fn leaf_token() -> impl Strategy<Value = Token> {
     prop_oneof![
-        (text_strategy(), annotation_strategy())
-            .prop_map(|(v, a)| Token::text(v).with_type(a)),
+        (text_strategy(), annotation_strategy()).prop_map(|(v, a)| Token::text(v).with_type(a)),
         text_strategy().prop_map(Token::comment),
         (name_strategy(), text_strategy()).prop_map(|(t, v)| Token::pi(t, v)),
     ]

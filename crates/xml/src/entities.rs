@@ -11,7 +11,11 @@ pub struct EntityError {
 
 impl fmt::Display for EntityError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unknown or invalid entity reference &{};", self.reference)
+        write!(
+            f,
+            "unknown or invalid entity reference &{};",
+            self.reference
+        )
     }
 }
 
@@ -31,7 +35,10 @@ pub fn resolve(reference: &str) -> Result<char, EntityError> {
         "apos" => Ok('\''),
         "quot" => Ok('"'),
         _ => {
-            let code = if let Some(hex) = reference.strip_prefix("#x").or_else(|| reference.strip_prefix("#X")) {
+            let code = if let Some(hex) = reference
+                .strip_prefix("#x")
+                .or_else(|| reference.strip_prefix("#X"))
+            {
                 u32::from_str_radix(hex, 16).map_err(|_| err())?
             } else if let Some(dec) = reference.strip_prefix('#') {
                 dec.parse::<u32>().map_err(|_| err())?

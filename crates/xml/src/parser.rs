@@ -214,7 +214,11 @@ impl<'a> PullParser<'a> {
         }
     }
 
-    fn find_terminated(&mut self, terminator: &str, expected: &'static str) -> Result<&'a str, ParseError> {
+    fn find_terminated(
+        &mut self,
+        terminator: &str,
+        expected: &'static str,
+    ) -> Result<&'a str, ParseError> {
         match self.rest().find(terminator) {
             Some(idx) => {
                 let content = &self.rest()[..idx];
@@ -300,7 +304,8 @@ impl<'a> PullParser<'a> {
     /// Parses an open tag at `<`, queueing the begin-element token, attribute
     /// token pairs, and — for self-closing tags — the end-element token.
     fn parse_open_tag(&mut self) -> Result<(), ParseError> {
-        debug_assert!(self.eat("<"));
+        let ate = self.eat("<");
+        debug_assert!(ate);
         let name = self.parse_name()?;
         self.pending.push_back(Token::begin_element(name.clone()));
         let mut seen: Vec<QName> = Vec::new();
@@ -349,7 +354,8 @@ impl<'a> PullParser<'a> {
 
     fn parse_close_tag(&mut self) -> Result<Token, ParseError> {
         let tag_at = self.pos;
-        debug_assert!(self.eat("</"));
+        let ate = self.eat("</");
+        debug_assert!(ate);
         let name = self.parse_name()?;
         self.skip_ws();
         self.expect(">", "'>' closing the end tag")?;
@@ -650,10 +656,14 @@ fn bump_offset(e: ParseError, by: usize) -> ParseError {
         ParseError::DuplicateAttribute { at, name } => {
             ParseError::DuplicateAttribute { at: at + by, name }
         }
-        ParseError::Entity { at, source } => ParseError::Entity { at: at + by, source },
-        ParseError::BadDocumentStructure { at, reason } => {
-            ParseError::BadDocumentStructure { at: at + by, reason }
-        }
+        ParseError::Entity { at, source } => ParseError::Entity {
+            at: at + by,
+            source,
+        },
+        ParseError::BadDocumentStructure { at, reason } => ParseError::BadDocumentStructure {
+            at: at + by,
+            reason,
+        },
     }
 }
 
@@ -772,10 +782,16 @@ mod tests {
     fn whitespace_trimming_option() {
         let input = "<a>\n  <b>x</b>\n</a>";
         let kept = parse_fragment(input, ParseOptions::default()).unwrap();
-        assert_eq!(kept.iter().filter(|t| t.kind() == TokenKind::Text).count(), 3);
+        assert_eq!(
+            kept.iter().filter(|t| t.kind() == TokenKind::Text).count(),
+            3
+        );
         let trimmed = parse_fragment(input, ParseOptions::data_centric()).unwrap();
         assert_eq!(
-            trimmed.iter().filter(|t| t.kind() == TokenKind::Text).count(),
+            trimmed
+                .iter()
+                .filter(|t| t.kind() == TokenKind::Text)
+                .count(),
             1
         );
     }
@@ -852,8 +868,8 @@ mod tests {
 
     #[test]
     fn error_xml_pi_target_in_content() {
-        let err = parse_fragment("<e><?xml version='1.0'?></e>", ParseOptions::default())
-            .unwrap_err();
+        let err =
+            parse_fragment("<e><?xml version='1.0'?></e>", ParseOptions::default()).unwrap_err();
         assert!(matches!(err, ParseError::Syntax { .. }));
     }
 
@@ -886,11 +902,8 @@ mod tests {
 
     #[test]
     fn document_allows_top_level_comments_and_pis() {
-        let tokens = parse_document(
-            "<!-- head --><r/><?tail pi?>",
-            ParseOptions::default(),
-        )
-        .unwrap();
+        let tokens =
+            parse_document("<!-- head --><r/><?tail pi?>", ParseOptions::default()).unwrap();
         assert_eq!(tokens[1], Token::comment(" head "));
         assert_eq!(tokens[4], Token::pi("tail", "pi"));
     }
@@ -915,8 +928,7 @@ mod tests {
 
     #[test]
     fn document_preserves_inner_whitespace_by_default() {
-        let tokens =
-            parse_document("<r> <a/> </r>", ParseOptions::default()).unwrap();
+        let tokens = parse_document("<r> <a/> </r>", ParseOptions::default()).unwrap();
         assert_eq!(
             tokens,
             vec![

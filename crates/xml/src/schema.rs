@@ -358,8 +358,7 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_attribute() {
-        let tokens =
-            parse_fragment(r#"<order id="ninety"/>"#, ParseOptions::default()).unwrap();
+        let tokens = parse_fragment(r#"<order id="ninety"/>"#, ParseOptions::default()).unwrap();
         let err = schema().annotate(&tokens, true).unwrap_err();
         assert_eq!(err.path, "/order/@id");
     }
@@ -385,8 +384,7 @@ mod tests {
 
     #[test]
     fn anchored_rule_requires_full_path() {
-        let tokens =
-            parse_fragment("<x><qty>1</qty></x>", ParseOptions::default()).unwrap();
+        let tokens = parse_fragment("<x><qty>1</qty></x>", ParseOptions::default()).unwrap();
         let annotated = schema().annotate(&tokens, false).unwrap();
         assert_eq!(
             find_text(&annotated, "1").type_annotation(),
@@ -396,8 +394,7 @@ mod tests {
 
     #[test]
     fn wildcard_step() {
-        let tokens =
-            parse_fragment("<a><b>3</b><c>4</c></a>", ParseOptions::default()).unwrap();
+        let tokens = parse_fragment("<a><b>3</b><c>4</c></a>", ParseOptions::default()).unwrap();
         let s = Schema::new(&[SchemaRule::new("/a/*", TypeAnnotation::Integer)]).unwrap();
         let annotated = s.annotate(&tokens, false).unwrap();
         assert_eq!(

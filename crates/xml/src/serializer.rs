@@ -55,7 +55,10 @@ impl fmt::Display for SerializeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SerializeError::MisplacedAttribute(i) => {
-                write!(f, "attribute token at position {i} outside an element start")
+                write!(
+                    f,
+                    "attribute token at position {i} outside an element start"
+                )
             }
             SerializeError::Underflow(i) => {
                 write!(f, "end token at position {i} closes nothing")

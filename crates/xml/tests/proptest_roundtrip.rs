@@ -20,7 +20,8 @@ fn fragment_strategy() -> impl Strategy<Value = Vec<Token>> {
     let leaf = prop_oneof![
         text_strategy().prop_map(|v| vec![Token::text(v)]),
         text_strategy()
-            .prop_filter("comment constraints", |s| !s.contains("--") && !s.ends_with('-'))
+            .prop_filter("comment constraints", |s| !s.contains("--")
+                && !s.ends_with('-'))
             .prop_map(|v| vec![Token::comment(v)]),
         (name_strategy(), text_strategy())
             .prop_filter("pi data", |(_, v)| !v.contains("?>"))

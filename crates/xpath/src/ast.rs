@@ -71,12 +71,8 @@ impl CompareOp {
             Some((value.trim().parse().ok()?, literal.trim().parse().ok()?))
         };
         match self {
-            CompareOp::Eq => {
-                value == literal || nums().is_some_and(|(a, b)| a == b)
-            }
-            CompareOp::Ne => {
-                value != literal && nums().is_none_or(|(a, b)| a != b)
-            }
+            CompareOp::Eq => value == literal || nums().is_some_and(|(a, b)| a == b),
+            CompareOp::Ne => value != literal && nums().is_none_or(|(a, b)| a != b),
             CompareOp::Lt => nums().is_some_and(|(a, b)| a < b),
             CompareOp::Le => nums().is_some_and(|(a, b)| a <= b),
             CompareOp::Gt => nums().is_some_and(|(a, b)| a > b),
@@ -99,7 +95,6 @@ pub enum Predicate {
     /// `[last()]` — the last candidate per context.
     Last,
 }
-
 
 /// One location step.
 #[derive(Debug, Clone, PartialEq)]

@@ -111,7 +111,6 @@ impl Tree {
             self.descendants_of(Some(c), out);
         }
     }
-
 }
 
 /// Evaluator bound to the token table (so string values can be read).
@@ -324,13 +323,9 @@ pub type StoreMatch = (Option<NodeId>, Vec<Token>);
 
 /// Evaluates a compiled path over the whole store, returning each match's
 /// stable node id and subtree tokens.
-pub fn evaluate_store(
-    store: &mut XmlStore,
-    path: &XPath,
-) -> Result<Vec<StoreMatch>, StoreError> {
+pub fn evaluate_store(store: &mut XmlStore, path: &XPath) -> Result<Vec<StoreMatch>, StoreError> {
     let pairs: Vec<(Option<NodeId>, Token)> = store.read().collect::<Result<_, _>>()?;
-    let borrowed: Vec<(Option<NodeId>, &Token)> =
-        pairs.iter().map(|(id, t)| (*id, t)).collect();
+    let borrowed: Vec<(Option<NodeId>, &Token)> = pairs.iter().map(|(id, t)| (*id, t)).collect();
     let matches = evaluate_pairs(borrowed, path);
     Ok(matches
         .into_iter()
@@ -423,7 +418,10 @@ mod tests {
             run(DOC, "/orders/order[item='nut']/qty"),
             vec!["<qty>9</qty>"]
         );
-        assert_eq!(run(DOC, "/orders/order[@id='1']/item"), vec!["<item>bolt</item>"]);
+        assert_eq!(
+            run(DOC, "/orders/order[@id='1']/item"),
+            vec!["<item>bolt</item>"]
+        );
         assert_eq!(run(DOC, "/orders/order[@id='9']").len(), 0);
     }
 
@@ -445,10 +443,7 @@ mod tests {
 
     #[test]
     fn element_string_value_concatenates_descendants() {
-        assert_eq!(
-            run("<a><b>x<c>y</c></b></a>", "/a[b='xy']").len(),
-            1
-        );
+        assert_eq!(run("<a><b>x<c>y</c></b></a>", "/a[b='xy']").len(), 1);
     }
 
     #[test]
@@ -480,17 +475,17 @@ mod tests {
 
     #[test]
     fn parent_axis() {
-        assert_eq!(
-            run(DOC, "//qty/parent::order/@id"),
-            vec!["1", "2"]
-        );
+        assert_eq!(run(DOC, "//qty/parent::order/@id"), vec!["1", "2"]);
         assert_eq!(run(DOC, "//item/..").len(), 2);
         assert_eq!(run(DOC, "/orders/..").len(), 0, "roots have no parent");
     }
 
     #[test]
     fn last_predicate() {
-        assert_eq!(run(DOC, "/orders/order[last()]/item"), vec!["<item>nut</item>"]);
+        assert_eq!(
+            run(DOC, "/orders/order[last()]/item"),
+            vec!["<item>nut</item>"]
+        );
         assert_eq!(run(DOC, "/orders/missing[last()]").len(), 0);
         assert_eq!(run(DOC, "//order[last()]/@id"), vec!["2"]);
     }
@@ -519,10 +514,7 @@ mod tests {
         let before = evaluate_store(&mut store, &path).unwrap();
         assert_eq!(before.len(), 2);
         store
-            .insert_into_last(
-                before[1].0.unwrap(),
-                toks("<late>true</late>"),
-            )
+            .insert_into_last(before[1].0.unwrap(), toks("<late>true</late>"))
             .unwrap();
         let root = NodeId(1);
         store

@@ -91,10 +91,7 @@ const NAMES: [&str; 4] = ["a", "b", "c", "d"];
 fn doc_strategy() -> impl Strategy<Value = Vec<Token>> {
     let leaf = prop_oneof![
         Just(vec![Token::text("x")]),
-        (0usize..4).prop_map(|n| vec![
-            Token::begin_element(NAMES[n]),
-            Token::EndElement
-        ]),
+        (0usize..4).prop_map(|n| vec![Token::begin_element(NAMES[n]), Token::EndElement]),
     ];
     leaf.prop_recursive(4, 40, 4, |inner| {
         (
@@ -119,7 +116,10 @@ fn doc_strategy() -> impl Strategy<Value = Vec<Token>> {
 
 fn path_strategy() -> impl Strategy<Value = Vec<(bool, String)>> {
     proptest::collection::vec(
-        (proptest::bool::ANY, (0usize..4).prop_map(|n| NAMES[n].to_string())),
+        (
+            proptest::bool::ANY,
+            (0usize..4).prop_map(|n| NAMES[n].to_string()),
+        ),
         1..4,
     )
 }

@@ -262,13 +262,11 @@ mod tests {
     #[test]
     fn let_bindings_flow_through_clauses() {
         // Bind the qty element once, reuse it in where, order, and return.
-        let rows = run(
-            "for $o in /orders/order \
+        let rows = run("for $o in /orders/order \
              let $q := $o/qty \
              where $q > 1 \
              order by $q numeric descending \
-             return <r id=\"{ $o/@id }\" q=\"{ $q }\"/>",
-        );
+             return <r id=\"{ $o/@id }\" q=\"{ $q }\"/>");
         assert_eq!(
             rows,
             vec![
@@ -281,33 +279,28 @@ mod tests {
 
     #[test]
     fn let_chains_navigate_below_earlier_lets() {
-        let rows = run(
-            "for $o in /orders/order \
+        let rows = run("for $o in /orders/order \
              let $i := $o/item \
              let $t := $i/text() \
              where $o/@id = '2' \
-             return <n>{ $t }</n>",
-        );
+             return <n>{ $t }</n>");
         assert_eq!(rows, vec!["<n>nut</n>"]);
     }
 
     #[test]
     fn let_of_whole_binding() {
-        let rows = run(
-            "for $o in /orders/order let $copy := $o where $o/@id = '3' return { $copy }",
-        );
+        let rows =
+            run("for $o in /orders/order let $copy := $o where $o/@id = '3' return { $copy }");
         assert_eq!(rows.len(), 1);
         assert!(rows[0].starts_with(r#"<order id="3">"#));
     }
 
     #[test]
     fn order_by_string_and_numeric() {
-        let rows =
-            run("for $o in /orders/order order by $o/item return { string($o/item) }");
+        let rows = run("for $o in /orders/order order by $o/item return { string($o/item) }");
         assert_eq!(rows, vec!["bolt", "cog", "nut"]);
-        let rows = run(
-            "for $o in /orders/order order by $o/price numeric return { string($o/@id) }",
-        );
+        let rows =
+            run("for $o in /orders/order order by $o/price numeric return { string($o/@id) }");
         assert_eq!(rows, vec!["2", "1", "3"], "0.75 < 2.50 < 12.00 numerically");
         let rows = run(
             "for $o in /orders/order order by $o/price numeric descending \
@@ -315,18 +308,15 @@ mod tests {
         );
         assert_eq!(rows, vec!["3", "1", "2"]);
         // String ordering would sort '12.00' before '2.50'.
-        let rows =
-            run("for $o in /orders/order order by $o/price return { string($o/@id) }");
+        let rows = run("for $o in /orders/order order by $o/price return { string($o/@id) }");
         assert_eq!(rows, vec!["2", "3", "1"]);
     }
 
     #[test]
     fn element_construction_with_templates() {
-        let rows = run(
-            "for $o in /orders/order where $o/qty >= 5 \
+        let rows = run("for $o in /orders/order where $o/qty >= 5 \
              order by $o/qty numeric descending \
-             return <big id=\"{ $o/@id }\" n=\"x{ $o/qty }y\">{ $o/item }</big>",
-        );
+             return <big id=\"{ $o/@id }\" n=\"x{ $o/qty }y\">{ $o/item }</big>");
         assert_eq!(
             rows,
             vec![
@@ -338,18 +328,15 @@ mod tests {
 
     #[test]
     fn nested_constructors() {
-        let rows = run(
-            "for $o in /orders/order where $o/@id = '3' \
-             return <wrap><label>order</label><body>{ $o }</body></wrap>",
-        );
+        let rows = run("for $o in /orders/order where $o/@id = '3' \
+             return <wrap><label>order</label><body>{ $o }</body></wrap>");
         assert_eq!(rows.len(), 1);
         assert!(rows[0].starts_with("<wrap><label>order</label><body><order"));
     }
 
     #[test]
     fn attribute_splice_as_text_content() {
-        let rows =
-            run("for $o in /orders/order where $o/@id = '1' return <v>{ $o/@id }</v>");
+        let rows = run("for $o in /orders/order where $o/@id = '1' return <v>{ $o/@id }</v>");
         assert_eq!(rows, vec!["<v>1</v>"]);
     }
 

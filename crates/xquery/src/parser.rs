@@ -41,12 +41,7 @@ impl<'a> P<'a> {
     }
 
     fn skip_ws(&mut self) {
-        while self
-            .rest()
-            .chars()
-            .next()
-            .is_some_and(char::is_whitespace)
-        {
+        while self.rest().chars().next().is_some_and(char::is_whitespace) {
             self.pos += 1;
         }
     }
@@ -443,7 +438,9 @@ mod tests {
         assert!(q.lets.is_empty());
         assert_eq!(q.where_clause, None);
         assert_eq!(q.order_by, None);
-        assert!(matches!(q.ret, Constructor::Splice(VarPath { ref var, path: None }) if var == "x"));
+        assert!(
+            matches!(q.ret, Constructor::Splice(VarPath { ref var, path: None }) if var == "x")
+        );
     }
 
     #[test]
@@ -494,10 +491,22 @@ mod tests {
 
     #[test]
     fn let_errors() {
-        assert!(parse_flwor("for $x in /a let $x := $x/b return { $x }").is_err(), "rebind");
-        assert!(parse_flwor("for $x in /a let $y = $x/b return { $y }").is_err(), ":= required");
-        assert!(parse_flwor("for $x in /a let $y := $z/b return { $y }").is_err(), "unbound rhs");
-        assert!(parse_flwor("for $x in /a return { $y }").is_err(), "unbound in return");
+        assert!(
+            parse_flwor("for $x in /a let $x := $x/b return { $x }").is_err(),
+            "rebind"
+        );
+        assert!(
+            parse_flwor("for $x in /a let $y = $x/b return { $y }").is_err(),
+            ":= required"
+        );
+        assert!(
+            parse_flwor("for $x in /a let $y := $z/b return { $y }").is_err(),
+            "unbound rhs"
+        );
+        assert!(
+            parse_flwor("for $x in /a return { $y }").is_err(),
+            "unbound in return"
+        );
     }
 
     #[test]
@@ -519,10 +528,9 @@ mod tests {
 
     #[test]
     fn nested_constructors_and_text() {
-        let q = parse_flwor(
-            "for $x in //a return <out><label>fixed</label><copy>{ $x }</copy></out>",
-        )
-        .unwrap();
+        let q =
+            parse_flwor("for $x in //a return <out><label>fixed</label><copy>{ $x }</copy></out>")
+                .unwrap();
         match q.ret {
             Constructor::Element { children, .. } => {
                 assert_eq!(children.len(), 2);
@@ -546,9 +554,15 @@ mod tests {
     #[test]
     fn errors() {
         assert!(parse_flwor("for x in /a return { $x }").is_err());
-        assert!(parse_flwor("for $x in a return { $x }").is_err(), "relative source");
+        assert!(
+            parse_flwor("for $x in a return { $x }").is_err(),
+            "relative source"
+        );
         assert!(parse_flwor("for $x in /a").is_err(), "missing return");
-        assert!(parse_flwor("for $x in /a return <a></b>").is_err(), "mismatch");
+        assert!(
+            parse_flwor("for $x in /a return <a></b>").is_err(),
+            "mismatch"
+        );
         assert!(parse_flwor("for $x in /a return { $x } extra").is_err());
         assert!(parse_flwor("for $x in /a where $x/q > return { $x }").is_err());
     }

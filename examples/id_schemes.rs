@@ -17,7 +17,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?)?;
     // Make the interesting case: an out-of-order insert, so integer order
     // diverges from document order across ranges.
-    store.insert_after(NodeId(2), parse_fragment("<late/>", ParseOptions::default())?)?;
+    store.insert_after(
+        NodeId(2),
+        parse_fragment("<late/>", ParseOptions::default())?,
+    )?;
 
     let pairs: Vec<(Option<NodeId>, Token)> = store.read().collect::<Result<_, _>>()?;
     let tokens: Vec<Token> = pairs.iter().map(|(_, t)| t.clone()).collect();
@@ -45,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pp = prepost_labels(&tokens);
 
     println!();
-    println!("{:<18} {:>6} {:>12} {:>14}", "node", "int id", "dewey", "pre/post");
+    println!(
+        "{:<18} {:>6} {:>12} {:>14}",
+        "node", "int id", "dewey", "pre/post"
+    );
     let mut dewey_it = dewey_labels.iter();
     let mut pp_it = pp.iter();
     for (id, tok) in &pairs {

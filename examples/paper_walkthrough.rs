@@ -43,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let interval = store.bulk_insert(tokens)?;
     println!("  allocated identifiers {interval}");
-    print_range_index("Table 2: the Range Index (coarse) with an initial range", &store)?;
+    print_range_index(
+        "Table 2: the Range Index (coarse) with an initial range",
+        &store,
+    )?;
 
     println!();
     println!("§4.5 step 2: insertIntoLast(60, <<40 nodes>>)");
@@ -63,17 +66,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- Table 4 ----------------------------------------------------------
     println!();
     println!("Table 4: the Partial Index after the insert (lookup positions memorized)");
-    let partial = store.partial_index().expect("lazy policy has a partial index");
+    let partial = store
+        .partial_index()
+        .expect("lazy policy has a partial index");
     let pos = partial.peek(NodeId(60)).expect("node 60 was looked up");
     println!("  NodeID   Begin Token (range)   End Token (range)");
-    println!(
-        "  60       {:<21} {}",
-        pos.begin_range, pos.end_range
-    );
+    println!("  60       {:<21} {}", pos.begin_range, pos.end_range);
 
     // The memoized entry makes the repeated search free:
     let stats_before = store.partial_stats();
-    store.insert_into_last(NodeId(60), parse_fragment("<again/>", ParseOptions::default())?)?;
+    store.insert_into_last(
+        NodeId(60),
+        parse_fragment("<again/>", ParseOptions::default())?,
+    )?;
     let stats_after = store.partial_stats();
     println!();
     println!(
@@ -86,10 +91,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn print_range_index(
-    title: &str,
-    store: &XmlStore,
-) -> Result<(), Box<dyn std::error::Error>> {
+fn print_range_index(title: &str, store: &XmlStore) -> Result<(), Box<dyn std::error::Error>> {
     println!("  {title}");
     println!("  RangeId  BlockId  StartId  EndId");
     for e in store.range_index_entries()? {

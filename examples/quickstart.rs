@@ -24,17 +24,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Point-read a node by its stable identifier. Figure 1 assigns:
     //    ticket=1, hour=2, "15"=3, name=4, "Paul"=5.
     let hour = store.read_node(NodeId(2))?;
-    println!("node #2  = {}", serialize(&hour, &SerializeOptions::default())?);
+    println!(
+        "node #2  = {}",
+        serialize(&hour, &SerializeOptions::default())?
+    );
 
     // 4. Update with the Table 1 interface.
     store.insert_into_last(
         NodeId(1),
         parse_fragment("<gate>B42</gate>", ParseOptions::default())?,
     )?;
-    store.replace_content(
-        NodeId(2),
-        parse_fragment("16", ParseOptions::default())?,
-    )?;
+    store.replace_content(NodeId(2), parse_fragment("16", ParseOptions::default())?)?;
 
     // 5. Query with the XPath subset.
     let path = compile("/ticket/gate")?;
@@ -48,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 6. Serialize the whole data source.
     let all = store.read_all()?;
-    println!("document = {}", serialize(&all, &SerializeOptions::default())?);
+    println!(
+        "document = {}",
+        serialize(&all, &SerializeOptions::default())?
+    );
 
     // 7. Peek at what the laziness did.
     let stats = store.stats();

@@ -11,11 +11,7 @@ use axs_workload::docgen;
 use axs_xml::ParseOptions;
 use axs_xpath::evaluate_store;
 
-fn show(
-    store: &mut XmlStore,
-    query: &str,
-    limit: usize,
-) -> Result<(), Box<dyn std::error::Error>> {
+fn show(store: &mut XmlStore, query: &str, limit: usize) -> Result<(), Box<dyn std::error::Error>> {
     let compiled = compile(query)?;
     let results = evaluate_store(store, &compiled)?;
     println!("{query}  →  {} match(es)", results.len());
@@ -38,7 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     show(&mut store, "/site/regions/europe/item", 2)?;
     show(&mut store, "//item[name]", 2)?;
     show(&mut store, "/site/regions/*/item[1]/name", 4)?;
-    show(&mut store, "/site/open_auctions/open_auction[bidder]/@id", 3)?;
+    show(
+        &mut store,
+        "/site/open_auctions/open_auction[bidder]/@id",
+        3,
+    )?;
     show(&mut store, "//person[2]", 2)?;
 
     // Update, then re-query: the same paths see the new state.

@@ -1,10 +1,10 @@
 //! Concurrency stress over the reader-writer store wrapper (§9 outlook),
-//! driven with crossbeam scoped threads and channels.
+//! driven with std scoped threads and channels.
 
 use adaptive_xml_storage::prelude::*;
 use axs_core::ConcurrentStore;
 use axs_xml::ParseOptions;
-use crossbeam::channel;
+use std::sync::mpsc;
 
 fn frag(xml: &str) -> Vec<Token> {
     parse_fragment(xml, ParseOptions::default()).unwrap()
@@ -18,22 +18,24 @@ fn producer_consumer_feed() {
     store.bulk_insert(frag("<purchase-orders/>")).unwrap();
     let root = NodeId(1);
 
-    let (tx, rx) = channel::bounded::<Vec<Token>>(16);
+    let (tx, rx) = mpsc::sync_channel::<Vec<Token>>(16);
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for producer in 0..3 {
             let tx = tx.clone();
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for i in 0..40 {
-                    tx.send(frag(&format!("<purchase-order p=\"{producer}\" i=\"{i}\"/>")))
-                        .unwrap();
+                    tx.send(frag(&format!(
+                        "<purchase-order p=\"{producer}\" i=\"{i}\"/>"
+                    )))
+                    .unwrap();
                 }
             });
         }
         drop(tx);
 
         let applier_store = store.clone();
-        scope.spawn(move |_| {
+        scope.spawn(move || {
             for order in rx.iter() {
                 applier_store.insert_into_last(root, order).unwrap();
             }
@@ -41,15 +43,14 @@ fn producer_consumer_feed() {
 
         for _ in 0..2 {
             let reader = store.clone();
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for _ in 0..30 {
                     let tokens = reader.read_all().unwrap();
                     axs_xdm::fragment_well_formed(&tokens).unwrap();
                 }
             });
         }
-    })
-    .unwrap();
+    });
 
     let tokens = store.read_all().unwrap();
     let orders = tokens
@@ -67,11 +68,11 @@ fn mixed_writers_and_point_readers() {
         .bulk_insert(frag("<root><a/><b/><c/><d/></root>"))
         .unwrap();
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         // Two writers appending under different subtrees.
         for (t, target) in [(0u64, 2u64), (1, 3)] {
             let store = store.clone();
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for i in 0..30 {
                     store
                         .with_write(|s| {
@@ -87,7 +88,7 @@ fn mixed_writers_and_point_readers() {
         // Point readers over stable targets.
         for _ in 0..3 {
             let store = store.clone();
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for _ in 0..60 {
                     let sub = store.read_node(NodeId(4)).unwrap();
                     assert_eq!(sub[0].name().unwrap().local_part(), "c");
@@ -96,11 +97,10 @@ fn mixed_writers_and_point_readers() {
         }
         // A deleter on an isolated subtree.
         let deleter = store.clone();
-        scope.spawn(move |_| {
+        scope.spawn(move || {
             deleter.delete_node(NodeId(5)).unwrap(); // <d/>
         });
-    })
-    .unwrap();
+    });
 
     store.with_read(|s| s.check_invariants()).unwrap();
     let tokens = store.read_all().unwrap();

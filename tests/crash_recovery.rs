@@ -1,0 +1,221 @@
+//! Crash matrix: a scripted update workload is run against a store whose
+//! data file dies after its k-th physical write — for *every* k the
+//! workload produces. After each crash the store is reopened (running WAL
+//! recovery) and must land exactly on an admissible snapshot:
+//!
+//! - the last successfully flushed state (`durable`), or
+//! - the state a crash-interrupted `flush()` was committing (`pending`) —
+//!   admissible only when the crash hit during a flush, since the WAL
+//!   commit record may or may not have reached disk before the data file
+//!   died.
+//!
+//! A shadow in-memory store executes the identical script to produce the
+//! expected snapshots; node-id allocation is deterministic, so equality is
+//! exact token-sequence equality, not a weaker consistency check.
+
+use adaptive_xml_storage::prelude::*;
+use axs_storage::{FaultConfig, FaultHandle, FaultyPageStore, PageStore};
+use axs_workload::docgen;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn storage() -> StorageConfig {
+    StorageConfig {
+        page_size: 1024,
+        pool_frames: 8,
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("axs-crash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A fragment bulky enough that most rounds dirty more than one page.
+fn order_frag(i: usize) -> Vec<Token> {
+    let mut xml = format!("<order id=\"crash-{i}\"><qty>{}</qty>", i * 3 + 1);
+    for item in 0..6 {
+        xml.push_str(&format!(
+            "<item sku=\"sku-{i}-{item}\"><desc>replacement flux coupling, lot {i} unit {item}</desc></item>"
+        ));
+    }
+    xml.push_str("</order>");
+    parse_fragment(&xml, axs_xml::ParseOptions::data_centric()).unwrap()
+}
+
+#[derive(Clone, Copy)]
+enum Op {
+    Insert(usize),
+    DeleteOldest,
+    Flush,
+}
+
+/// Deterministic mixed workload: inserts every round, a delete every third
+/// round, a flush every second round and one final flush.
+fn script() -> Vec<Op> {
+    let mut ops = Vec::new();
+    for r in 0..60 {
+        ops.push(Op::Insert(r));
+        if r % 3 == 2 {
+            ops.push(Op::DeleteOldest);
+        }
+        if r % 2 == 1 {
+            ops.push(Op::Flush);
+        }
+    }
+    ops.push(Op::Flush);
+    ops
+}
+
+/// Builds the phase-1 store (no faults) once; trials copy its files.
+fn build_template(dir: &Path) -> Vec<Token> {
+    let mut s = StoreBuilder::new()
+        .directory(dir)
+        .storage(storage())
+        .build()
+        .unwrap();
+    s.bulk_insert(docgen::purchase_orders(2, 6)).unwrap();
+    s.flush().unwrap();
+    s.read_all().unwrap()
+}
+
+fn copy_template(tmpl: &Path, trial: &Path) {
+    std::fs::create_dir_all(trial).unwrap();
+    for file in ["data.pages", "index.pages", "wal.log"] {
+        std::fs::copy(tmpl.join(file), trial.join(file)).unwrap();
+    }
+}
+
+struct TrialResult {
+    /// Physical write ops the data file saw during the scripted phase.
+    writes: u64,
+    /// Whether the injected crash fired.
+    crashed: bool,
+}
+
+/// Replays the script against a faulty store in `trial` and a pristine
+/// shadow, then reopens and checks the recovered state is admissible.
+fn run_trial(tmpl: &Path, trial: &Path, crash_after: Option<u64>, torn: bool) -> TrialResult {
+    copy_template(tmpl, trial);
+    let handle = FaultHandle::new(FaultConfig {
+        crash_after_writes: crash_after,
+        torn_crash: torn,
+        transient_every: None,
+    });
+    let h = handle.clone();
+    let mut real = StoreBuilder::new()
+        .directory(trial)
+        .storage(storage())
+        .wrap_data_store(move |inner| {
+            Arc::new(FaultyPageStore::new(inner, &h)) as Arc<dyn PageStore>
+        })
+        .open()
+        .unwrap();
+
+    // The shadow replays the store's entire life in memory.
+    let mut shadow = StoreBuilder::new().storage(storage()).build().unwrap();
+    shadow.bulk_insert(docgen::purchase_orders(2, 6)).unwrap();
+
+    let root = NodeId(1);
+    let mut live = std::collections::VecDeque::new();
+    let mut durable = shadow.read_all().unwrap();
+    let mut pending: Option<Vec<Token>> = None;
+    let mut crashed = false;
+
+    for op in script() {
+        match op {
+            Op::Insert(i) => {
+                let iv = shadow.insert_into_last(root, order_frag(i)).unwrap();
+                live.push_back(iv.start);
+                match real.insert_into_last(root, order_frag(i)) {
+                    Ok(riv) => assert_eq!(riv, iv, "id allocation must be deterministic"),
+                    Err(_) => {
+                        crashed = true;
+                        break;
+                    }
+                }
+            }
+            Op::DeleteOldest => {
+                let id = match live.pop_front() {
+                    Some(id) => id,
+                    None => continue,
+                };
+                shadow.delete_node(id).unwrap();
+                if real.delete_node(id).is_err() {
+                    crashed = true;
+                    break;
+                }
+            }
+            Op::Flush => {
+                pending = Some(shadow.read_all().unwrap());
+                match real.flush() {
+                    Ok(()) => durable = pending.take().unwrap(),
+                    Err(_) => {
+                        crashed = true;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    let writes = handle.writes();
+    assert_eq!(
+        crashed,
+        handle.crashed(),
+        "only injected faults may fail ops"
+    );
+    drop(real);
+
+    // Reopen without faults: recovery must land on an admissible snapshot.
+    let mut recovered = StoreBuilder::new()
+        .directory(trial)
+        .storage(storage())
+        .open()
+        .expect("recovery must reopen the store");
+    recovered.check_invariants().unwrap();
+    let tokens = recovered.read_all().unwrap();
+    if crashed {
+        let admissible = tokens == durable || pending.as_deref() == Some(&tokens[..]);
+        assert!(
+            admissible,
+            "crash_after={crash_after:?} torn={torn}: recovered state is neither the \
+             last flushed snapshot ({} tokens) nor the in-flight one ({:?} tokens); got {}",
+            durable.len(),
+            pending.as_ref().map(Vec::len),
+            tokens.len(),
+        );
+    } else {
+        // No crash: the script ends with a flush, so the final state is it.
+        assert_eq!(tokens, durable, "uncrashed trial must persist everything");
+    }
+    std::fs::remove_dir_all(trial).unwrap();
+    TrialResult { writes, crashed }
+}
+
+#[test]
+fn crash_matrix_every_write_index() {
+    let tmpl = temp_dir("tmpl");
+    build_template(&tmpl);
+    let trial = temp_dir("trial");
+
+    // Dry run: count the writes the script produces so the matrix covers
+    // every crash point with none left over.
+    let dry = run_trial(&tmpl, &trial, None, false);
+    assert!(!dry.crashed);
+    assert!(
+        dry.writes >= 200,
+        "workload too small for a meaningful matrix: {} writes",
+        dry.writes
+    );
+
+    let mut crashes = 0u64;
+    for k in 0..dry.writes {
+        // Alternate clean and torn crashes across the matrix.
+        let r = run_trial(&tmpl, &trial, Some(k), k % 2 == 0);
+        assert!(r.crashed, "crash point {k} of {} never fired", dry.writes);
+        crashes += 1;
+    }
+    assert_eq!(crashes, dry.writes);
+    std::fs::remove_dir_all(&tmpl).unwrap();
+}

@@ -4,7 +4,7 @@
 use adaptive_xml_storage::prelude::*;
 use axs_core::IndexingPolicy;
 use axs_workload::docgen;
-use axs_xml::{parse_document, Schema, SchemaRule, ParseOptions};
+use axs_xml::{parse_document, ParseOptions, Schema, SchemaRule};
 use axs_xpath::evaluate_store;
 
 fn frag(xml: &str) -> Vec<Token> {
@@ -48,11 +48,7 @@ fn document_pipeline_with_psvi() {
 
 #[test]
 fn full_lifecycle_on_disk() {
-    let dir = std::env::temp_dir().join(format!(
-        "axs-e2e-{}-{}",
-        std::process::id(),
-        line!()
-    ));
+    let dir = std::env::temp_dir().join(format!("axs-e2e-{}-{}", std::process::id(), line!()));
     let _ = std::fs::remove_dir_all(&dir);
 
     let expected_text;
@@ -73,11 +69,8 @@ fn full_lifecycle_on_disk() {
         let path = compile("/purchase-orders/purchase-order[1]").unwrap();
         let first = evaluate_store(&mut store, &path).unwrap()[0].0.unwrap();
         store.delete_node(first).unwrap();
-        expected_text = serialize(
-            &store.read_all().unwrap(),
-            &SerializeOptions::default(),
-        )
-        .unwrap();
+        expected_text =
+            serialize(&store.read_all().unwrap(), &SerializeOptions::default()).unwrap();
         store.flush().unwrap();
     }
     {
@@ -91,11 +84,7 @@ fn full_lifecycle_on_disk() {
             .open()
             .unwrap();
         store.check_invariants().unwrap();
-        let text = serialize(
-            &store.read_all().unwrap(),
-            &SerializeOptions::default(),
-        )
-        .unwrap();
+        let text = serialize(&store.read_all().unwrap(), &SerializeOptions::default()).unwrap();
         assert_eq!(text, expected_text);
         // And it remains updatable with continuing ids.
         let iv = store
@@ -194,7 +183,9 @@ fn dewey_labels_track_store_document_order() {
 #[test]
 fn read_does_not_modify() {
     let mut store = StoreBuilder::new().build().unwrap();
-    store.bulk_insert(docgen::random_tree(&DocGenConfig::default())).unwrap();
+    store
+        .bulk_insert(docgen::random_tree(&DocGenConfig::default()))
+        .unwrap();
     let t1 = store.read_all().unwrap();
     for id in [1u64, 5, 17, 100] {
         let _ = store.read_node(NodeId(id));

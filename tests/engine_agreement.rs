@@ -28,11 +28,7 @@ fn flwor_where_equals_xpath_predicate() {
     let mut store = StoreBuilder::new().build().unwrap();
     store.bulk_insert(docgen::purchase_orders(3, 30)).unwrap();
 
-    let via_predicate = evaluate_store(
-        &mut store,
-        &compile("//line[qty>90]").unwrap(),
-    )
-    .unwrap();
+    let via_predicate = evaluate_store(&mut store, &compile("//line[qty>90]").unwrap()).unwrap();
     let via_where = evaluate_flwor(
         &mut store,
         &parse_flwor("for $l in //line where $l/qty > 90 return { $l }").unwrap(),
@@ -59,10 +55,7 @@ fn navigation_agrees_with_xpath_children() {
         // XPath: node() children of this specific item — reachable via its
         // subtree evaluation.
         let sub = store.read_node(id).unwrap();
-        let child_matches = axs_xpath::evaluate_from_roots(
-            &sub,
-            &compile("node()").unwrap(),
-        );
+        let child_matches = axs_xpath::evaluate_from_roots(&sub, &compile("node()").unwrap());
         assert_eq!(kids.len(), child_matches.len(), "node {id}");
         // And each child's parent is the item.
         for kid in kids {
@@ -76,8 +69,7 @@ fn string_values_agree_between_store_and_query_layers() {
     let mut store = StoreBuilder::new().build().unwrap();
     store.bulk_insert(docgen::purchase_orders(9, 10)).unwrap();
 
-    let customers =
-        evaluate_store(&mut store, &compile("//customer").unwrap()).unwrap();
+    let customers = evaluate_store(&mut store, &compile("//customer").unwrap()).unwrap();
     for (id, sub) in customers {
         let via_store = store.string_value(id.unwrap()).unwrap();
         // Serialize + strip tags via the FLWOR string() of self is overkill;

@@ -3,6 +3,7 @@
 
 use adaptive_xml_storage::prelude::*;
 use axs_core::StoreError;
+use axs_storage::StorageError;
 use axs_workload::docgen;
 use std::fs::OpenOptions;
 use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
@@ -60,6 +61,10 @@ fn smashed_meta_magic_fails_cleanly() {
     build_store(&dir).unwrap();
     corrupt(&dir, 0, 8); // meta magic
     match open_store(&dir) {
+        // The page checksum fires before the magic is even inspected.
+        Err(StoreError::Storage(StorageError::Corrupt { page, .. })) => {
+            assert_eq!(page.0, 0);
+        }
         Err(StoreError::Corrupt(reason)) => assert!(reason.contains("meta")),
         Err(other) => panic!("expected corrupt-meta error, got {other}"),
         Ok(_) => panic!("corrupt meta must not open"),
@@ -112,17 +117,24 @@ fn truncated_index_file_is_rebuilt_on_open() {
 }
 
 #[test]
-fn misaligned_data_file_rejected() {
+fn misaligned_data_file_is_repaired_on_open() {
     let dir = temp_dir("misaligned");
     build_store(&dir).unwrap();
-    // Append garbage so the file length is no longer page-aligned.
+    // Append garbage so the file length is no longer page-aligned — the
+    // signature a torn page-append crash leaves behind.
     let mut f = OpenOptions::new()
         .append(true)
         .open(dir.join("data.pages"))
         .unwrap();
     f.write_all(b"garbage").unwrap();
     drop(f);
-    assert!(open_store(&dir).is_err());
+    let mut s = open_store(&dir).expect("recovery repairs the torn tail");
+    assert!(s.stats().torn_tail_truncations >= 1);
+    s.check_invariants().unwrap();
+    assert!(!s.read_all().unwrap().is_empty());
+    // The repair is durable: the file is aligned again.
+    let len = std::fs::metadata(dir.join("data.pages")).unwrap().len();
+    assert_eq!(len % 1024, 0);
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
@@ -156,11 +168,13 @@ fn random_page_corruption_never_panics() {
 }
 
 #[test]
-fn reopen_after_unflushed_changes_sees_flushed_state() {
-    // Without flush(), changes may or may not be durable (no WAL — as
-    // documented); what must hold is that the reopened store is internally
-    // consistent.
+fn reopen_after_unflushed_changes_sees_exactly_the_flushed_state() {
+    // The data pool runs no-steal for directory stores: dirty pages only
+    // reach the file through flush(), so dropping a store mid-update must
+    // land the reopened store exactly on the last flushed snapshot — not
+    // merely "something internally consistent".
     let dir = temp_dir("unflushed");
+    let flushed;
     {
         let mut s = StoreBuilder::new()
             .directory(&dir)
@@ -172,15 +186,41 @@ fn reopen_after_unflushed_changes_sees_flushed_state() {
             .unwrap();
         s.bulk_insert(docgen::purchase_orders(9, 10)).unwrap();
         s.flush().unwrap();
+        flushed = s.read_all().unwrap();
         // More inserts, deliberately not flushed.
         s.bulk_insert(docgen::purchase_orders(10, 10)).unwrap();
         // Dropped without flush.
     }
-    match open_store(&dir) {
-        Ok(s) => s.check_invariants().unwrap(),
-        Err(e) => {
-            // Torn state detected is also acceptable — but it must be typed.
-            let _ = e.to_string();
+    let mut s = open_store(&dir).unwrap();
+    s.check_invariants().unwrap();
+    assert_eq!(s.read_all().unwrap(), flushed);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn single_byte_corruption_always_detected() {
+    // Sweep every byte offset of one data page: each single-byte flip must
+    // surface as StorageError::Corrupt when the page is read back — no
+    // offset may slip past the checksum (including flips inside the stamp
+    // itself).
+    let dir = temp_dir("sweep");
+    build_store(&dir).unwrap();
+    let pristine = std::fs::read(dir.join("data.pages")).unwrap();
+    assert!(pristine.len() >= 2048, "need at least two pages");
+    for offset in 0..1024usize {
+        let mut bytes = pristine.clone();
+        bytes[1024 + offset] ^= 0xFF; // page 1: the first block page
+        std::fs::write(dir.join("data.pages"), &bytes).unwrap();
+        let outcome = open_store(&dir).and_then(|mut s| {
+            s.read_all()?;
+            Ok(())
+        });
+        match outcome {
+            Err(StoreError::Storage(StorageError::Corrupt { page, .. })) => {
+                assert_eq!(page.0, 1, "flip at offset {offset} blamed page {page:?}");
+            }
+            Err(other) => panic!("offset {offset}: wrong error type: {other}"),
+            Ok(()) => panic!("offset {offset}: corruption went undetected"),
         }
     }
     std::fs::remove_dir_all(&dir).unwrap();

@@ -114,9 +114,7 @@ fn deadlocked_transactions_abort_and_retry() {
                         }
                     }
                     if !aborted {
-                        store
-                            .insert_into_last(order[0], frag("<w/>"))
-                            .unwrap();
+                        store.insert_into_last(order[0], frag("<w/>")).unwrap();
                         committed += 1;
                     }
                     mgr.unlock_all(tx);

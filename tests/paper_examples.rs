@@ -135,7 +135,11 @@ fn figure4_partial_enrichment() {
     // granular entries; the coarse index alone still answers everything.
     let mut store = StoreBuilder::new().build().unwrap();
     store.bulk_insert(hundred_nodes()).unwrap();
-    assert_eq!(store.partial_index().unwrap().len(), 0, "lazy: empty at start");
+    assert_eq!(
+        store.partial_index().unwrap().len(),
+        0,
+        "lazy: empty at start"
+    );
     store.read_node(NodeId(30)).unwrap();
     store.read_node(NodeId(60)).unwrap();
     assert_eq!(
@@ -172,11 +176,20 @@ fn table3_after_insert_split() {
     assert_eq!(entries.len(), 3, "Table 3 has three ranges");
     // In start-id order: [1,60] (range 1), [61,100] (range 3, the split
     // tail), [101,140] (range 2, the new data) — the paper's numbering.
-    assert_eq!(entries[0].interval, axs_xdm::IdInterval::new(NodeId(1), NodeId(60)));
+    assert_eq!(
+        entries[0].interval,
+        axs_xdm::IdInterval::new(NodeId(1), NodeId(60))
+    );
     assert_eq!(entries[0].range_id, 1);
-    assert_eq!(entries[1].interval, axs_xdm::IdInterval::new(NodeId(61), NodeId(100)));
+    assert_eq!(
+        entries[1].interval,
+        axs_xdm::IdInterval::new(NodeId(61), NodeId(100))
+    );
     assert_eq!(entries[1].range_id, 3);
-    assert_eq!(entries[2].interval, axs_xdm::IdInterval::new(NodeId(101), NodeId(140)));
+    assert_eq!(
+        entries[2].interval,
+        axs_xdm::IdInterval::new(NodeId(101), NodeId(140))
+    );
     assert_eq!(entries[2].range_id, 2);
     store.check_invariants().unwrap();
 }
@@ -201,7 +214,9 @@ fn table1_interface_is_complete() {
     store.bulk_insert(frag("<r><a/><b/></r>")).unwrap(); // r=1 a=2 b=3
     store.insert_before(NodeId(2), frag("<pre/>")).unwrap();
     store.insert_after(NodeId(2), frag("<post/>")).unwrap();
-    store.insert_into_first(NodeId(1), frag("<first/>")).unwrap();
+    store
+        .insert_into_first(NodeId(1), frag("<first/>"))
+        .unwrap();
     store.insert_into_last(NodeId(1), frag("<last/>")).unwrap();
     store.delete_node(NodeId(3)).unwrap();
     store.replace_node(NodeId(2), frag("<a2/>")).unwrap();

@@ -48,7 +48,11 @@ fn reopen_with_a_different_policy_rebuilds_matching_indexes() {
             .unwrap();
         s.check_invariants().unwrap(); // includes the full-index audit
         s.read_node(NodeId(10)).unwrap();
-        assert_eq!(s.stats().lookups_full, 1, "lookups go through the full index");
+        assert_eq!(
+            s.stats().lookups_full,
+            1,
+            "lookups go through the full index"
+        );
         s.flush().unwrap();
     }
     {
@@ -144,8 +148,7 @@ fn compacted_store_reopens_cleanly() {
             .open()
             .unwrap();
         s.check_invariants().unwrap();
-        let text_after =
-            serialize(&s.read_all().unwrap(), &SerializeOptions::default()).unwrap();
+        let text_after = serialize(&s.read_all().unwrap(), &SerializeOptions::default()).unwrap();
         assert_eq!(text_before, text_after);
         // Free pages recorded in the meta survive the reopen and get reused.
         let report = s.storage_report().unwrap();

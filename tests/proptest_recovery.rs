@@ -1,0 +1,193 @@
+//! Property: for ANY op sequence and ANY crash point, recovery lands the
+//! store on a consistent prefix of its own history — exactly the last
+//! flushed snapshot, or (when the crash interrupted a flush) the snapshot
+//! that flush was committing. Shrinking reduces failures to a minimal op
+//! sequence plus crash fraction.
+
+use adaptive_xml_storage::prelude::*;
+use axs_storage::{FaultConfig, FaultHandle, FaultyPageStore, PageStore};
+use axs_workload::docgen;
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn storage() -> StorageConfig {
+    StorageConfig {
+        page_size: 1024,
+        pool_frames: 8,
+    }
+}
+
+fn unique_dir() -> PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("axs-proprec-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Insert an order with `0..=n` items under the root.
+    Insert(u8),
+    /// Delete the n-th oldest surviving inserted node (skip if none).
+    Delete(u8),
+    Flush,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u8..4).prop_map(Op::Insert),
+        1 => (0u8..8).prop_map(Op::Delete),
+        1 => Just(Op::Flush),
+    ]
+}
+
+fn frag(round: usize, n: u8) -> Vec<Token> {
+    let mut xml = format!("<order id=\"p{round}\">");
+    for item in 0..=n {
+        xml.push_str(&format!(
+            "<item n=\"{item}\">prop row {round}.{item}</item>"
+        ));
+    }
+    xml.push_str("</order>");
+    parse_fragment(&xml, axs_xml::ParseOptions::data_centric()).unwrap()
+}
+
+/// Applies `op` to `store`, mirroring bookkeeping in `live`.
+fn apply(
+    store: &mut XmlStore,
+    op: Op,
+    round: usize,
+    live: &mut Vec<NodeId>,
+) -> Result<(), StoreError> {
+    match op {
+        Op::Insert(n) => {
+            let iv = store.insert_into_last(NodeId(1), frag(round, n))?;
+            live.push(iv.start);
+        }
+        Op::Delete(n) => {
+            if live.is_empty() {
+                return Ok(());
+            }
+            let id = live.remove(n as usize % live.len());
+            store.delete_node(id)?;
+        }
+        Op::Flush => store.flush()?,
+    }
+    Ok(())
+}
+
+/// Builds the non-faulted preamble store in `dir` (root + one flush).
+fn preamble(dir: &Path) {
+    let mut s = StoreBuilder::new()
+        .directory(dir)
+        .storage(storage())
+        .build()
+        .unwrap();
+    s.bulk_insert(docgen::purchase_orders(5, 2)).unwrap();
+    s.flush().unwrap();
+}
+
+/// Runs `ops` against a store in `dir` whose data file crashes after
+/// `crash_after` writes (`None` = never). Returns the write count, plus
+/// the admissible snapshots at the stop point.
+struct RunOutcome {
+    writes: u64,
+    crashed: bool,
+    durable: Vec<Token>,
+    pending: Option<Vec<Token>>,
+}
+
+fn run_ops(dir: &Path, ops: &[Op], crash_after: Option<u64>, torn: bool) -> RunOutcome {
+    preamble(dir);
+    let handle = FaultHandle::new(FaultConfig {
+        crash_after_writes: crash_after,
+        torn_crash: torn,
+        transient_every: None,
+    });
+    let h = handle.clone();
+    let mut real = StoreBuilder::new()
+        .directory(dir)
+        .storage(storage())
+        .wrap_data_store(move |inner| {
+            Arc::new(FaultyPageStore::new(inner, &h)) as Arc<dyn PageStore>
+        })
+        .open()
+        .unwrap();
+
+    let mut shadow = StoreBuilder::new().storage(storage()).build().unwrap();
+    shadow.bulk_insert(docgen::purchase_orders(5, 2)).unwrap();
+
+    let mut live_real = Vec::new();
+    let mut live_shadow = Vec::new();
+    let mut durable = shadow.read_all().unwrap();
+    let mut pending = None;
+    let mut crashed = false;
+    for (round, &op) in ops.iter().enumerate() {
+        apply(&mut shadow, op, round, &mut live_shadow).unwrap();
+        if matches!(op, Op::Flush) {
+            pending = Some(shadow.read_all().unwrap());
+        }
+        match apply(&mut real, op, round, &mut live_real) {
+            Ok(()) => {
+                if matches!(op, Op::Flush) {
+                    durable = pending.take().unwrap();
+                }
+            }
+            Err(_) => {
+                crashed = true;
+                if !matches!(op, Op::Flush) {
+                    pending = None;
+                }
+                break;
+            }
+        }
+    }
+    RunOutcome {
+        writes: handle.writes(),
+        crashed,
+        durable,
+        pending,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+    #[test]
+    fn any_ops_any_crash_point_recovers_a_consistent_prefix(
+        ops in proptest::collection::vec(op_strategy(), 1..24),
+        crash_frac in 0u32..=1000,
+    ) {
+        // Dry run to size the crash point to this particular op sequence.
+        let dry_dir = unique_dir();
+        let dry = run_ops(&dry_dir, &ops, None, false);
+        std::fs::remove_dir_all(&dry_dir).unwrap();
+        prop_assert!(!dry.crashed);
+
+        let k = dry.writes * u64::from(crash_frac) / 1000;
+        let torn = crash_frac % 2 == 1;
+        let dir = unique_dir();
+        let run = run_ops(&dir, &ops, Some(k), torn);
+
+        let mut recovered = StoreBuilder::new()
+            .directory(&dir)
+            .storage(storage())
+            .open()
+            .expect("recovery must reopen the store");
+        recovered.check_invariants().unwrap();
+        let tokens = recovered.read_all().unwrap();
+        let admissible = tokens == run.durable
+            || run.pending.as_deref() == Some(&tokens[..]);
+        prop_assert!(
+            admissible,
+            "ops={ops:?} k={k} torn={torn}: recovered {} tokens; durable {} tokens, \
+             pending {:?} tokens",
+            tokens.len(),
+            run.durable.len(),
+            run.pending.as_ref().map(Vec::len),
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,24 @@
+//! Boolean strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+use crate::tree::Tree;
+use rand::Rng;
+
+/// Strategy over both booleans; `true` shrinks to `false`.
+#[derive(Debug, Clone, Copy)]
+pub struct BoolStrategy;
+
+/// Generates either boolean.
+pub const ANY: BoolStrategy = BoolStrategy;
+
+impl Strategy for BoolStrategy {
+    type Value = bool;
+    fn new_tree(&self, runner: &mut TestRunner) -> Tree<bool> {
+        if runner.rng.gen_range(0u32..2) == 1 {
+            Tree::with_children(true, || vec![Tree::leaf(false)])
+        } else {
+            Tree::leaf(false)
+        }
+    }
+}

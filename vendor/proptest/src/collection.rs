@@ -1,0 +1,78 @@
+//! Collection strategies (`vec`).
+
+use crate::strategy::{BoxedStrategy, Strategy};
+use crate::test_runner::TestRunner;
+use crate::tree::{vec_tree, Tree};
+use rand::Rng;
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// An inclusive bound on collection sizes.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+/// Strategy for `Vec<T>` with a length drawn from `size`.
+pub struct VecStrategy<T: Clone + fmt::Debug + 'static> {
+    element: BoxedStrategy<T>,
+    size: SizeRange,
+}
+
+impl<T: Clone + fmt::Debug + 'static> Clone for VecStrategy<T> {
+    fn clone(&self) -> Self {
+        VecStrategy {
+            element: self.element.clone(),
+            size: self.size,
+        }
+    }
+}
+
+impl<T: Clone + fmt::Debug + 'static> Strategy for VecStrategy<T> {
+    type Value = Vec<T>;
+    fn new_tree(&self, runner: &mut TestRunner) -> Tree<Vec<T>> {
+        let len = if self.size.min == self.size.max {
+            self.size.min
+        } else {
+            runner.rng.gen_range(self.size.min..=self.size.max)
+        };
+        let elements: Vec<Tree<T>> = (0..len).map(|_| self.element.new_tree(runner)).collect();
+        vec_tree(Rc::new(elements), self.size.min)
+    }
+}
+
+/// Generates vectors of values from `element`, sized within `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S::Value> {
+    VecStrategy {
+        element: element.boxed(),
+        size: size.into(),
+    }
+}

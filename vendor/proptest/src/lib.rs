@@ -1,0 +1,239 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest this workspace uses, on top of
+//! hedgehog-style lazy rose trees so shrinking is integrated: every
+//! generated value carries a lazily-computed tree of simpler variants,
+//! and combinators (`prop_map`, `prop_filter`, tuples, `collection::vec`)
+//! transform trees, not just values. Failing cases therefore shrink to
+//! locally-minimal counterexamples with no per-type shrink code.
+//!
+//! Supported surface: `proptest!`, `prop_assert!`, `prop_assert_eq!`,
+//! `prop_assert_ne!`, `prop_assume!`, `prop_oneof!`, `any::<T>()`,
+//! `Just`, integer-range strategies, string strategies from a regex
+//! subset, `collection::vec`, `sample::select`, `bool::ANY`,
+//! `Strategy::{prop_map, prop_filter, prop_recursive, boxed}`,
+//! `BoxedStrategy`, `ProptestConfig`, and `TestCaseError`.
+//!
+//! Deliberately not implemented: persistence of failing seeds, forking,
+//! timeouts, `prop_flat_map`, and the full regex syntax. Seeds derive
+//! from the test name, so failures reproduce deterministically.
+
+pub mod bool;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+pub mod tree;
+
+/// The common imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{any, Any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests: `proptest! { #[test] fn f(x in strat) {..} }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $( #[test] fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let strategy = ($($strat,)+);
+                $crate::test_runner::run(
+                    stringify!($name),
+                    config,
+                    strategy,
+                    |($($arg,)+)| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}\n{}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `left != right`\n  both: {:?}",
+            left
+        );
+    }};
+}
+
+/// Rejects the current case (does not count as a failure) unless `cond`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Weighted or unweighted choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( ($weight as u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( (1u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn vec_len_within_bounds(v in crate::collection::vec(any::<u8>(), 2..10)) {
+            prop_assert!((2..10).contains(&v.len()), "len={}", v.len());
+        }
+
+        #[test]
+        fn oneof_and_map_compose(
+            x in prop_oneof![2 => (0u8..10).prop_map(|v| v as u16), 1 => Just(99u16)],
+        ) {
+            prop_assert!(x < 10 || x == 99);
+        }
+
+        #[test]
+        fn strings_match_class(s in "[a-f]{1,8}") {
+            prop_assert!(!s.is_empty() && s.chars().all(|c| ('a'..='f').contains(&c)));
+        }
+
+        #[test]
+        fn assume_rejects_not_fails(a in 0u8..4, b in 0u8..4) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn failing_case_shrinks_to_minimum() {
+        let result = std::panic::catch_unwind(|| {
+            crate::test_runner::run(
+                "shrink_probe",
+                ProptestConfig::with_cases(64),
+                crate::collection::vec(0u32..1000, 0..50),
+                |v: Vec<u32>| {
+                    // Fails whenever any element is >= 10; minimal
+                    // counterexample is the single vector [10].
+                    if v.iter().any(|&x| x >= 10) {
+                        Err(TestCaseError::fail("element too large"))
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        });
+        let msg = match result {
+            Err(payload) => *payload.downcast::<String>().expect("panic payload"),
+            Ok(()) => panic!("property unexpectedly passed"),
+        };
+        assert!(
+            msg.contains("minimal failing input"),
+            "unexpected message: {msg}"
+        );
+        // `{:#?}` of the fully-shrunk vec![10u32].
+        assert!(msg.contains("[\n    10,\n]"), "not minimal: {msg}");
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Clone, Debug)]
+        #[allow(dead_code)] // variants exist to exercise tree shapes
+        enum T {
+            Leaf(u8),
+            Node(Vec<T>),
+        }
+        let leaf = (0u8..10).prop_map(T::Leaf).boxed();
+        let strat = leaf.prop_recursive(3, 16, 3, |inner| {
+            crate::collection::vec(inner, 0..4).prop_map(T::Node)
+        });
+        let mut runner = TestRunner::new(17);
+        for _ in 0..100 {
+            let tree = strat.new_tree(&mut runner);
+            fn depth(t: &T) -> usize {
+                match t {
+                    T::Leaf(_) => 1,
+                    T::Node(children) => 1 + children.iter().map(depth).max().unwrap_or(0),
+                }
+            }
+            assert!(depth(&tree.value) <= 4);
+        }
+    }
+}

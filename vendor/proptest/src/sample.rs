@@ -1,0 +1,32 @@
+//! Sampling strategies (`select`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+use crate::tree::{int_tree, Tree};
+use rand::Rng;
+use std::fmt;
+use std::rc::Rc;
+
+/// Strategy picking one element of a fixed list; shrinks toward the
+/// first element.
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone + fmt::Debug + 'static> {
+    options: Rc<Vec<T>>,
+}
+
+impl<T: Clone + fmt::Debug + 'static> Strategy for Select<T> {
+    type Value = T;
+    fn new_tree(&self, runner: &mut TestRunner) -> Tree<T> {
+        let idx = runner.rng.gen_range(0..self.options.len());
+        let options = Rc::clone(&self.options);
+        int_tree(idx as i128, 0).map_fn(move |i| options[*i as usize].clone())
+    }
+}
+
+/// Picks uniformly from `options` (must be non-empty).
+pub fn select<T: Clone + fmt::Debug + 'static>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select() needs at least one option");
+    Select {
+        options: Rc::new(options),
+    }
+}

@@ -1,0 +1,360 @@
+//! The `Strategy` trait and its combinators.
+
+use crate::test_runner::TestRunner;
+use crate::tree::{int_tree, pair, Tree};
+use rand::Rng;
+use std::fmt;
+use std::rc::Rc;
+
+/// A recipe for generating shrinkable values.
+///
+/// Combinator methods carry `where Self: Sized` so the trait stays
+/// object-safe; [`BoxedStrategy`] is `Rc<dyn Strategy>` underneath.
+pub trait Strategy: 'static {
+    /// The type of generated values.
+    type Value: Clone + fmt::Debug + 'static;
+
+    /// Generates one value together with its shrink tree.
+    fn new_tree(&self, runner: &mut TestRunner) -> Tree<Self::Value>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self::Value, U>
+    where
+        Self: Sized,
+        U: Clone + fmt::Debug + 'static,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        Map {
+            inner: self.boxed(),
+            f: Rc::new(f),
+        }
+    }
+
+    /// Keeps only values satisfying `pred`; `reason` labels the filter.
+    fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self::Value>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool + 'static,
+    {
+        Filter {
+            inner: self.boxed(),
+            reason: reason.into(),
+            pred: Rc::new(pred),
+        }
+    }
+
+    /// Builds recursive structures: `recurse` receives a strategy for the
+    /// structure so far and wraps it one level deeper, `depth` times. The
+    /// base case stays reachable at every level.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+    {
+        let base = self.boxed();
+        let mut strat = base.clone();
+        for _ in 0..depth {
+            let deeper = recurse(strat).boxed();
+            strat = Union::new(vec![(1, base.clone()), (2, deeper)]).boxed();
+        }
+        strat
+    }
+
+    /// Type-erases the strategy behind a cheaply-clonable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy handle.
+pub struct BoxedStrategy<T: Clone + fmt::Debug + 'static>(Rc<dyn Strategy<Value = T>>);
+
+impl<T: Clone + fmt::Debug + 'static> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T: Clone + fmt::Debug + 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_tree(&self, runner: &mut TestRunner) -> Tree<T> {
+        self.0.new_tree(runner)
+    }
+}
+
+/// Always produces the same value. See [`Strategy`].
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + fmt::Debug + 'static>(pub T);
+
+impl<T: Clone + fmt::Debug + 'static> Strategy for Just<T> {
+    type Value = T;
+    fn new_tree(&self, _runner: &mut TestRunner) -> Tree<T> {
+        Tree::leaf(self.0.clone())
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<T: Clone + fmt::Debug + 'static, U: Clone + fmt::Debug + 'static> {
+    inner: BoxedStrategy<T>,
+    f: Rc<dyn Fn(T) -> U>,
+}
+
+impl<T: Clone + fmt::Debug + 'static, U: Clone + fmt::Debug + 'static> Clone for Map<T, U> {
+    fn clone(&self) -> Self {
+        Map {
+            inner: self.inner.clone(),
+            f: Rc::clone(&self.f),
+        }
+    }
+}
+
+impl<T: Clone + fmt::Debug + 'static, U: Clone + fmt::Debug + 'static> Strategy for Map<T, U> {
+    type Value = U;
+    fn new_tree(&self, runner: &mut TestRunner) -> Tree<U> {
+        let f = Rc::clone(&self.f);
+        self.inner
+            .new_tree(runner)
+            .map(Rc::new(move |t: &T| f(t.clone())))
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_filter`].
+pub struct Filter<T: Clone + fmt::Debug + 'static> {
+    inner: BoxedStrategy<T>,
+    reason: String,
+    pred: Rc<dyn Fn(&T) -> bool>,
+}
+
+impl<T: Clone + fmt::Debug + 'static> Clone for Filter<T> {
+    fn clone(&self) -> Self {
+        Filter {
+            inner: self.inner.clone(),
+            reason: self.reason.clone(),
+            pred: Rc::clone(&self.pred),
+        }
+    }
+}
+
+impl<T: Clone + fmt::Debug + 'static> Strategy for Filter<T> {
+    type Value = T;
+    fn new_tree(&self, runner: &mut TestRunner) -> Tree<T> {
+        for _ in 0..1000 {
+            let tree = self.inner.new_tree(runner);
+            if (self.pred)(&tree.value) {
+                return tree.filter(Rc::clone(&self.pred));
+            }
+        }
+        panic!(
+            "prop_filter {:?}: gave up after 1000 rejected candidates",
+            self.reason
+        );
+    }
+}
+
+/// Weighted choice between strategies of a common value type. Built by
+/// `prop_oneof!`.
+pub struct Union<T: Clone + fmt::Debug + 'static> {
+    variants: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T: Clone + fmt::Debug + 'static> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            variants: self.variants.clone(),
+        }
+    }
+}
+
+impl<T: Clone + fmt::Debug + 'static> Union<T> {
+    /// Builds a union from `(weight, strategy)` pairs.
+    pub fn new(variants: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!variants.is_empty(), "prop_oneof! needs at least one arm");
+        assert!(
+            variants.iter().any(|(w, _)| *w > 0),
+            "prop_oneof! needs a positive weight"
+        );
+        Union { variants }
+    }
+}
+
+impl<T: Clone + fmt::Debug + 'static> Strategy for Union<T> {
+    type Value = T;
+    fn new_tree(&self, runner: &mut TestRunner) -> Tree<T> {
+        let total: u64 = self.variants.iter().map(|(w, _)| *w as u64).sum();
+        let mut pick = runner.rng.gen_range(0..total);
+        for (w, strat) in &self.variants {
+            if pick < *w as u64 {
+                return strat.new_tree(runner);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($( ($($s:ident / $v:ident / $idx:tt),+ $(,)?) ),+ $(,)?) => {$(
+        impl<$($s),+> Strategy for ($($s,)+)
+        where
+            $($s: Strategy,)+
+        {
+            type Value = ($($s::Value,)+);
+            fn new_tree(&self, runner: &mut TestRunner) -> Tree<Self::Value> {
+                // Fold component trees into nested pairs, then flatten.
+                tuple_strategy!(@build (self), runner, ($($v / $idx),+))
+            }
+        }
+    )+};
+    (@build ($self:expr), $runner:ident, ($v0:ident / $i0:tt)) => {{
+        let t0 = $self.$i0.new_tree($runner);
+        t0.map_fn(|v| (v.clone(),))
+    }};
+    (@build ($self:expr), $runner:ident, ($($v:ident / $idx:tt),+)) => {{
+        $(let $v = $self.$idx.new_tree($runner);)+
+        let nested = tuple_strategy!(@pairup $($v),+);
+        nested.map_fn(|n| tuple_strategy!(@flatten n, $($v),+))
+    }};
+    (@pairup $a:ident) => { $a };
+    (@pairup $a:ident, $($rest:ident),+) => {
+        pair($a, tuple_strategy!(@pairup $($rest),+))
+    };
+    (@flatten $n:ident, $a:ident, $b:ident) => {{
+        let (ref a, ref b) = *$n;
+        (a.clone(), b.clone())
+    }};
+    (@flatten $n:ident, $a:ident, $b:ident, $c:ident) => {{
+        let (ref a, (ref b, ref c)) = *$n;
+        (a.clone(), b.clone(), c.clone())
+    }};
+    (@flatten $n:ident, $a:ident, $b:ident, $c:ident, $d:ident) => {{
+        let (ref a, (ref b, (ref c, ref d))) = *$n;
+        (a.clone(), b.clone(), c.clone(), d.clone())
+    }};
+    (@flatten $n:ident, $a:ident, $b:ident, $c:ident, $d:ident, $e:ident) => {{
+        let (ref a, (ref b, (ref c, (ref d, ref e)))) = *$n;
+        (a.clone(), b.clone(), c.clone(), d.clone(), e.clone())
+    }};
+    (@flatten $n:ident, $a:ident, $b:ident, $c:ident, $d:ident, $e:ident, $f:ident) => {{
+        let (ref a, (ref b, (ref c, (ref d, (ref e, ref f))))) = *$n;
+        (a.clone(), b.clone(), c.clone(), d.clone(), e.clone(), f.clone())
+    }};
+}
+
+tuple_strategy! {
+    (S0/t0/0),
+    (S0/t0/0, S1/t1/1),
+    (S0/t0/0, S1/t1/1, S2/t2/2),
+    (S0/t0/0, S1/t1/1, S2/t2/2, S3/t3/3),
+    (S0/t0/0, S1/t1/1, S2/t2/2, S3/t3/3, S4/t4/4),
+    (S0/t0/0, S1/t1/1, S2/t2/2, S3/t3/3, S4/t4/4, S5/t5/5),
+}
+
+/// Integer types usable with range strategies and `any`.
+pub trait IntValue: Copy + Clone + fmt::Debug + PartialOrd + 'static {
+    /// Widens to `i128` (lossless for all supported types).
+    fn to_i128(self) -> i128;
+    /// Narrows from `i128`; the value is known to fit.
+    fn from_i128(v: i128) -> Self;
+    /// The type's full range, as `(min, max)` in `i128`.
+    fn full_range() -> (i128, i128);
+}
+
+macro_rules! impl_int_value {
+    ($($t:ty),+) => {$(
+        impl IntValue for $t {
+            fn to_i128(self) -> i128 { self as i128 }
+            fn from_i128(v: i128) -> Self { v as $t }
+            fn full_range() -> (i128, i128) {
+                (<$t>::MIN as i128, <$t>::MAX as i128)
+            }
+        }
+    )+};
+}
+
+impl_int_value!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+fn int_range_tree<T: IntValue>(runner: &mut TestRunner, lo: i128, hi_incl: i128) -> Tree<T> {
+    assert!(lo <= hi_incl, "empty integer range");
+    let span = (hi_incl - lo + 1) as u128;
+    let word = runner.rng.gen_range(0..u64::MAX) as u128;
+    let value = lo + (word % span) as i128;
+    // Shrink toward zero when the range allows it, else toward the bound
+    // nearest zero.
+    let origin = 0i128.clamp(lo, hi_incl);
+    int_tree(value, origin).map_fn(|v| T::from_i128(*v))
+}
+
+impl<T: IntValue> Strategy for std::ops::Range<T> {
+    type Value = T;
+    fn new_tree(&self, runner: &mut TestRunner) -> Tree<T> {
+        let lo = self.start.to_i128();
+        let hi = self.end.to_i128();
+        assert!(lo < hi, "empty range strategy");
+        int_range_tree(runner, lo, hi - 1)
+    }
+}
+
+impl<T: IntValue> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+    fn new_tree(&self, runner: &mut TestRunner) -> Tree<T> {
+        let lo = self.start().to_i128();
+        let hi = self.end().to_i128();
+        int_range_tree(runner, lo, hi)
+    }
+}
+
+/// Full-range strategy for a primitive type, returned by [`any`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: IntValue> Strategy for Any<T> {
+    type Value = T;
+    fn new_tree(&self, runner: &mut TestRunner) -> Tree<T> {
+        let (lo, hi) = T::full_range();
+        int_range_tree(runner, lo, hi)
+    }
+}
+
+/// Types with a canonical "generate anything" strategy.
+pub trait Arbitrary: Clone + fmt::Debug + Sized + 'static {
+    /// The strategy type returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical full-range strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            type Strategy = Any<$t>;
+            fn arbitrary() -> Any<$t> {
+                Any(std::marker::PhantomData)
+            }
+        }
+    )+};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    type Strategy = crate::bool::BoolStrategy;
+    fn arbitrary() -> crate::bool::BoolStrategy {
+        crate::bool::ANY
+    }
+}
+
+/// The canonical strategy for `T`: full range for integers, both values
+/// for `bool`.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}

@@ -1,0 +1,213 @@
+//! String strategies from a small regex subset.
+//!
+//! Supported syntax — the subset this workspace's tests use:
+//! character classes `[a-z0-9_-]` (ranges, literals, trailing `-`),
+//! bare literal characters, and `{n}` / `{m,n}` repetition counts.
+//! Alternation, groups, `*`/`+`/`?`, and escapes are rejected.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+use crate::tree::{int_tree, pair, vec_tree, Tree};
+use rand::Rng;
+use std::fmt;
+use std::rc::Rc;
+
+/// One regex item: a set of candidate chars and a repetition range.
+#[derive(Debug, Clone)]
+struct Item {
+    chars: Rc<Vec<char>>,
+    min: usize,
+    max: usize,
+}
+
+/// A malformed or unsupported pattern.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn err(message: impl Into<String>) -> Error {
+    Error {
+        message: message.into(),
+    }
+}
+
+fn parse(pattern: &str) -> Result<Vec<Item>, Error> {
+    let mut items = Vec::new();
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let set: Vec<char> = match chars[i] {
+            '[' => {
+                i += 1;
+                let mut set = Vec::new();
+                loop {
+                    let c = *chars
+                        .get(i)
+                        .ok_or_else(|| err(format!("unterminated class in {pattern:?}")))?;
+                    if c == ']' {
+                        break;
+                    }
+                    // `a-z` range iff a dash sits between two members.
+                    if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|c| *c != ']')
+                    {
+                        let hi = chars[i + 2];
+                        if (c as u32) > (hi as u32) {
+                            return Err(err(format!("bad range {c}-{hi} in {pattern:?}")));
+                        }
+                        for code in c as u32..=hi as u32 {
+                            if let Some(ch) = char::from_u32(code) {
+                                set.push(ch);
+                            }
+                        }
+                        i += 3;
+                    } else {
+                        set.push(c);
+                        i += 1;
+                    }
+                }
+                i += 1; // consume ']'
+                set
+            }
+            c @ ('(' | ')' | '|' | '*' | '+' | '?' | '.' | '\\') => {
+                return Err(err(format!(
+                    "unsupported regex construct {c:?} in {pattern:?}"
+                )));
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        if set.is_empty() {
+            return Err(err(format!("empty character class in {pattern:?}")));
+        }
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|c| *c == '}')
+                .ok_or_else(|| err(format!("unterminated count in {pattern:?}")))?;
+            let body: String = chars[i + 1..i + close].iter().collect();
+            i += close + 1;
+            let parts: Vec<&str> = body.split(',').collect();
+            let parse_n = |s: &str| {
+                s.trim()
+                    .parse::<usize>()
+                    .map_err(|_| err(format!("bad count {body:?} in {pattern:?}")))
+            };
+            match parts.as_slice() {
+                [n] => {
+                    let n = parse_n(n)?;
+                    (n, n)
+                }
+                [m, n] => (parse_n(m)?, parse_n(n)?),
+                _ => return Err(err(format!("bad count {body:?} in {pattern:?}"))),
+            }
+        } else {
+            (1, 1)
+        };
+        if min > max {
+            return Err(err(format!("inverted count in {pattern:?}")));
+        }
+        items.push(Item {
+            chars: Rc::new(set),
+            min,
+            max,
+        });
+    }
+    Ok(items)
+}
+
+/// Strategy generating strings matching a (subset) regex.
+#[derive(Debug, Clone)]
+pub struct RegexString {
+    items: Vec<Item>,
+}
+
+fn item_tree(item: &Item, runner: &mut TestRunner) -> Tree<String> {
+    let len = if item.min == item.max {
+        item.min
+    } else {
+        runner.rng.gen_range(item.min..=item.max)
+    };
+    let chars = Rc::clone(&item.chars);
+    let element_trees: Vec<Tree<char>> = (0..len)
+        .map(|_| {
+            let idx = runner.rng.gen_range(0..item.chars.len());
+            let chars = Rc::clone(&chars);
+            // Shrink a char toward the first member of its class.
+            int_tree(idx as i128, 0).map_fn(move |i| chars[*i as usize])
+        })
+        .collect();
+    vec_tree(Rc::new(element_trees), item.min).map_fn(|v| v.iter().collect::<String>())
+}
+
+impl Strategy for RegexString {
+    type Value = String;
+    fn new_tree(&self, runner: &mut TestRunner) -> Tree<String> {
+        let mut tree = Tree::leaf(String::new());
+        for item in &self.items {
+            let next = item_tree(item, runner);
+            tree = pair(tree, next).map_fn(|(a, b)| format!("{a}{b}"));
+        }
+        tree
+    }
+}
+
+/// Compiles `pattern` into a string strategy.
+pub fn string_regex(pattern: &str) -> Result<RegexString, Error> {
+    Ok(RegexString {
+        items: parse(pattern)?,
+    })
+}
+
+/// String literals act as regex strategies directly.
+impl Strategy for &'static str {
+    type Value = String;
+    fn new_tree(&self, runner: &mut TestRunner) -> Tree<String> {
+        string_regex(self)
+            .unwrap_or_else(|e| panic!("bad regex strategy: {e}"))
+            .new_tree(runner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_classes_and_counts() {
+        let items = parse("[a-c]{1,3}x[0-9-]").unwrap();
+        assert_eq!(items.len(), 3);
+        assert_eq!(*items[0].chars, vec!['a', 'b', 'c']);
+        assert_eq!((items[0].min, items[0].max), (1, 3));
+        assert_eq!(*items[1].chars, vec!['x']);
+        assert!(items[2].chars.contains(&'-'));
+    }
+
+    #[test]
+    fn rejects_unsupported() {
+        assert!(parse("(a|b)").is_err());
+        assert!(parse("a*").is_err());
+        assert!(parse("[abc").is_err());
+    }
+
+    #[test]
+    fn generates_matching_strings() {
+        let strat = string_regex("[a-z]{2,5}").unwrap();
+        let mut runner = TestRunner::new(3);
+        for _ in 0..50 {
+            let t = strat.new_tree(&mut runner);
+            assert!((2..=5).contains(&t.value.len()), "{:?}", t.value);
+            assert!(t.value.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+}

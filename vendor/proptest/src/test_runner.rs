@@ -1,0 +1,183 @@
+//! Test execution: case generation, failure detection, shrinking.
+
+use crate::strategy::Strategy;
+use crate::tree::Tree;
+use rand::{rngs::StdRng, SeedableRng};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Source of randomness handed to strategies.
+pub struct TestRunner {
+    /// The underlying deterministic generator.
+    pub rng: StdRng,
+}
+
+impl TestRunner {
+    /// A runner seeded deterministically.
+    pub fn new(seed: u64) -> Self {
+        TestRunner {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Cap on candidate evaluations while shrinking.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_shrink_iters: 4096,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config overriding only the case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The inputs did not satisfy an assumption; try other inputs.
+    Reject(String),
+    /// The property failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failed property.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejected (assumed-away) case.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+            TestCaseError::Fail(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+enum CaseResult {
+    Pass,
+    Reject,
+    Fail(String),
+}
+
+fn run_case<V, F>(test: &F, value: &V) -> CaseResult
+where
+    V: Clone,
+    F: Fn(V) -> Result<(), TestCaseError>,
+{
+    match catch_unwind(AssertUnwindSafe(|| test(value.clone()))) {
+        Ok(Ok(())) => CaseResult::Pass,
+        Ok(Err(TestCaseError::Reject(_))) => CaseResult::Reject,
+        Ok(Err(TestCaseError::Fail(m))) => CaseResult::Fail(m),
+        Err(payload) => CaseResult::Fail(panic_message(payload)),
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".to_string()
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `config.cases` generated cases of `test`, shrinking the first
+/// failure to a locally-minimal counterexample and panicking with it.
+///
+/// Seeds derive from the test name, so runs are deterministic.
+pub fn run<S, F>(name: &str, config: ProptestConfig, strategy: S, test: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let base_seed = fnv1a(name.as_bytes());
+    let mut passed = 0u32;
+    let mut attempts = 0u64;
+    while passed < config.cases {
+        attempts += 1;
+        if attempts > config.cases as u64 * 20 {
+            panic!(
+                "proptest '{name}': too many rejected cases \
+                 ({passed}/{} passed after {attempts} attempts)",
+                config.cases
+            );
+        }
+        let seed = base_seed ^ attempts.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut runner = TestRunner::new(seed);
+        let tree = strategy.new_tree(&mut runner);
+        match run_case(&test, &tree.value) {
+            CaseResult::Pass => passed += 1,
+            CaseResult::Reject => {}
+            CaseResult::Fail(msg) => {
+                let (minimal, msg, shrinks) = shrink(&tree, &test, msg, config.max_shrink_iters);
+                panic!(
+                    "proptest '{name}' failed (seed {seed:#x}, {shrinks} shrinks)\n\
+                     minimal failing input: {minimal:#?}\nerror: {msg}"
+                );
+            }
+        }
+    }
+}
+
+fn shrink<V, F>(root: &Tree<V>, test: &F, first_msg: String, max_iters: u32) -> (V, String, u32)
+where
+    V: Clone + fmt::Debug + 'static,
+    F: Fn(V) -> Result<(), TestCaseError>,
+{
+    let mut current = root.clone();
+    let mut msg = first_msg;
+    let mut iters = 0u32;
+    let mut shrinks = 0u32;
+    'outer: loop {
+        for child in current.shrinks() {
+            iters += 1;
+            if iters > max_iters {
+                break 'outer;
+            }
+            if let CaseResult::Fail(m) = run_case(test, &child.value) {
+                current = child;
+                msg = m;
+                shrinks += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (current.value.clone(), msg, shrinks)
+}

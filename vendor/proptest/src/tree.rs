@@ -1,0 +1,198 @@
+//! Lazy rose trees: a generated value plus a lazily-computed list of
+//! simpler variants (hedgehog-style integrated shrinking).
+
+use std::rc::Rc;
+
+/// A generated value and its shrink candidates. Children are produced on
+/// demand so enormous shrink spaces cost nothing until a test fails.
+pub struct Tree<T: 'static> {
+    /// The generated value.
+    pub value: T,
+    children: Rc<dyn Fn() -> Vec<Tree<T>>>,
+}
+
+impl<T: Clone + 'static> Clone for Tree<T> {
+    fn clone(&self) -> Self {
+        Tree {
+            value: self.value.clone(),
+            children: Rc::clone(&self.children),
+        }
+    }
+}
+
+impl<T: Clone + 'static> Tree<T> {
+    /// A tree with no shrink candidates.
+    pub fn leaf(value: T) -> Self {
+        Tree {
+            value,
+            children: Rc::new(Vec::new),
+        }
+    }
+
+    /// A tree with explicit lazy children.
+    pub fn with_children(value: T, children: impl Fn() -> Vec<Tree<T>> + 'static) -> Self {
+        Tree {
+            value,
+            children: Rc::new(children),
+        }
+    }
+
+    /// Materialises the immediate shrink candidates.
+    pub fn shrinks(&self) -> Vec<Tree<T>> {
+        (self.children)()
+    }
+
+    /// Maps the tree (and, lazily, all its shrinks) through `f`.
+    pub fn map<U: Clone + 'static>(&self, f: Rc<dyn Fn(&T) -> U>) -> Tree<U> {
+        let value = f(&self.value);
+        let children = Rc::clone(&self.children);
+        let f2 = Rc::clone(&f);
+        Tree {
+            value,
+            children: Rc::new(move || children().iter().map(|t| t.map(Rc::clone(&f2))).collect()),
+        }
+    }
+
+    /// Like [`Tree::map`] but takes any closure; the common entry point.
+    pub fn map_fn<U: Clone + 'static>(&self, f: impl Fn(&T) -> U + 'static) -> Tree<U> {
+        self.map(Rc::new(f))
+    }
+
+    /// Prunes shrink candidates (recursively) that fail `pred`. The root
+    /// value is assumed to satisfy the predicate already.
+    pub fn filter(&self, pred: Rc<dyn Fn(&T) -> bool>) -> Tree<T> {
+        let value = self.value.clone();
+        let children = Rc::clone(&self.children);
+        let p = Rc::clone(&pred);
+        Tree {
+            value,
+            children: Rc::new(move || {
+                children()
+                    .iter()
+                    .filter(|t| p(&t.value))
+                    .map(|t| t.filter(Rc::clone(&p)))
+                    .collect()
+            }),
+        }
+    }
+}
+
+/// Combines two trees into a tree of pairs; shrinks one side at a time.
+pub fn pair<A: Clone + 'static, B: Clone + 'static>(a: Tree<A>, b: Tree<B>) -> Tree<(A, B)> {
+    let value = (a.value.clone(), b.value.clone());
+    Tree {
+        value,
+        children: Rc::new(move || {
+            let mut out = Vec::new();
+            for ax in a.shrinks() {
+                out.push(pair(ax, b.clone()));
+            }
+            for bx in b.shrinks() {
+                out.push(pair(a.clone(), bx));
+            }
+            out
+        }),
+    }
+}
+
+/// Builds a tree of integers shrinking toward `origin` by bisection.
+pub fn int_tree(value: i128, origin: i128) -> Tree<i128> {
+    Tree {
+        value,
+        children: Rc::new(move || {
+            if value == origin {
+                return Vec::new();
+            }
+            let mut out = vec![int_tree(origin, origin)];
+            let mut diff = value - origin;
+            // Halve the distance repeatedly: origin+d/2, origin+d/4, ...
+            loop {
+                diff /= 2;
+                if diff == 0 {
+                    break;
+                }
+                let candidate = origin + diff;
+                if candidate != origin && candidate != value {
+                    out.push(int_tree(candidate, origin));
+                }
+            }
+            // The nearest neighbour, so shrinking can always make one step.
+            let step = if value > origin { value - 1 } else { value + 1 };
+            if step != origin && out.iter().all(|t| t.value != step) {
+                out.push(int_tree(step, origin));
+            }
+            out
+        }),
+    }
+}
+
+/// Builds a tree over a vector of element trees. Shrinks by removing
+/// chunks of elements (largest first), then by shrinking each element.
+pub fn vec_tree<T: Clone + 'static>(elements: Rc<Vec<Tree<T>>>, min_len: usize) -> Tree<Vec<T>> {
+    let value: Vec<T> = elements.iter().map(|t| t.value.clone()).collect();
+    Tree {
+        value,
+        children: Rc::new(move || {
+            let mut out = Vec::new();
+            let len = elements.len();
+            if len > min_len {
+                let mut sizes = Vec::new();
+                let mut s = len - min_len;
+                while s > 0 {
+                    sizes.push(s);
+                    s /= 2;
+                }
+                for size in sizes {
+                    let mut start = 0;
+                    while start + size <= len {
+                        let mut v: Vec<Tree<T>> = Vec::with_capacity(len - size);
+                        v.extend(elements[..start].iter().cloned());
+                        v.extend(elements[start + size..].iter().cloned());
+                        out.push(vec_tree(Rc::new(v), min_len));
+                        start += size.max(1);
+                    }
+                }
+            }
+            for (i, t) in elements.iter().enumerate() {
+                for c in t.shrinks() {
+                    let mut v = (*elements).clone();
+                    v[i] = c;
+                    out.push(vec_tree(Rc::new(v), min_len));
+                }
+            }
+            out
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_tree_reaches_origin() {
+        let t = int_tree(100, 0);
+        assert_eq!(t.value, 100);
+        let kids = t.shrinks();
+        assert_eq!(kids[0].value, 0);
+        assert!(kids.iter().any(|k| k.value == 50));
+        assert!(kids.iter().any(|k| k.value == 99));
+    }
+
+    #[test]
+    fn vec_tree_can_empty() {
+        let els: Vec<Tree<i128>> = (0..4).map(|v| int_tree(v, 0)).collect();
+        let t = vec_tree(Rc::new(els), 0);
+        assert_eq!(t.value, vec![0, 1, 2, 3]);
+        assert!(t.shrinks().iter().any(|k| k.value.is_empty()));
+    }
+
+    #[test]
+    fn pair_shrinks_each_side() {
+        let t = pair(int_tree(4, 0), int_tree(7, 0));
+        assert_eq!(t.value, (4, 7));
+        let kids = t.shrinks();
+        assert!(kids.iter().any(|k| k.value == (0, 7)));
+        assert!(kids.iter().any(|k| k.value == (4, 0)));
+    }
+}
