@@ -1,0 +1,140 @@
+//! Loopback throughput for the `axsd` server: requests/sec and latency
+//! percentiles at 1, 4, and 16 client threads.
+//!
+//! Each client owns one subtree of the shared document and alternates a
+//! range insert with two point reads — the mixed read/write shape the
+//! server's lock hierarchy is built for. Results print as one JSON object
+//! per configuration (same spirit as the Table 5 harness: machine-readable
+//! lines CI can archive and diff).
+//!
+//! ```sh
+//! cargo run --release -p axs-bench --bin netbench            # full sweep
+//! AXS_NETBENCH_OPS=50 cargo run -p axs-bench --bin netbench  # quick pass
+//! ```
+
+use axs_client::Client;
+use axs_core::StoreBuilder;
+use axs_server::{Server, ServerConfig};
+use std::time::{Duration, Instant};
+
+const CLIENT_COUNTS: &[usize] = &[1, 4, 16];
+
+fn ops_per_client() -> usize {
+    std::env::var("AXS_NETBENCH_OPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300)
+}
+
+fn main() {
+    let ops = ops_per_client();
+    println!(
+        "axsd loopback throughput — {ops} op-groups/client, \
+         1 insert + 2 point reads per group"
+    );
+    for &clients in CLIENT_COUNTS {
+        let result = run_one(clients, ops);
+        println!("{result}");
+    }
+}
+
+/// One configuration: a fresh in-memory server, `clients` threads, each
+/// performing `ops` groups of (insert, read-back, parent). Returns the
+/// JSON result line.
+fn run_one(clients: usize, ops: usize) -> String {
+    let workers = clients.clamp(2, 8);
+    let handle = Server::start(
+        StoreBuilder::new().build().unwrap(),
+        ServerConfig {
+            workers,
+            queue_depth: 1024,
+            max_connections: clients + 4,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+
+    // One subtree per client so writers contend on the hierarchy, not on
+    // a single range.
+    let seed: String = {
+        let subtrees: String = (0..clients).map(|t| format!("<t{t}/>")).collect();
+        format!("<root>{subtrees}</root>")
+    };
+    let mut setup = Client::connect(handle.local_addr()).unwrap();
+    let (root, _) = setup.bulk_load(&seed).unwrap();
+    let kids = setup.children(root).unwrap();
+
+    let started = Instant::now();
+    let mut latencies_us: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|t| {
+                let addr = handle.local_addr();
+                let subtree = kids[t].0;
+                scope.spawn(move || {
+                    let mut c = Client::connect(addr).unwrap();
+                    c.set_timeout(Some(Duration::from_secs(60))).unwrap();
+                    let mut lat = Vec::with_capacity(ops * 3);
+                    let mut timed = |f: &mut dyn FnMut(&mut Client)| {
+                        let t0 = Instant::now();
+                        // Busy under saturation is a retry, and the retry
+                        // time is part of the observed latency.
+                        f(&mut c);
+                        lat.push(t0.elapsed().as_micros() as u64);
+                    };
+                    for j in 0..ops {
+                        let frag = format!(r#"<e j="{j}"/>"#);
+                        let mut inserted = 0u64;
+                        timed(&mut |c| {
+                            inserted = loop {
+                                match c.insert_last(subtree, &frag) {
+                                    Ok((start, _)) => break start,
+                                    Err(e) if e.is_busy() => continue,
+                                    Err(e) => panic!("insert: {e}"),
+                                }
+                            };
+                        });
+                        timed(&mut |c| loop {
+                            match c.read_node(inserted) {
+                                Ok(_) => break,
+                                Err(e) if e.is_busy() => continue,
+                                Err(e) => panic!("read: {e}"),
+                            }
+                        });
+                        timed(&mut |c| loop {
+                            match c.parent(inserted) {
+                                Ok(_) => break,
+                                Err(e) if e.is_busy() => continue,
+                                Err(e) => panic!("parent: {e}"),
+                            }
+                        });
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    let elapsed = started.elapsed();
+
+    handle.shutdown();
+    handle.join().unwrap();
+
+    latencies_us.sort_unstable();
+    let requests = latencies_us.len();
+    let pct = |p: f64| -> u64 {
+        let idx = ((requests as f64 - 1.0) * p).round() as usize;
+        latencies_us[idx]
+    };
+    format!(
+        "{{\"bench\":\"server_loopback\",\"clients\":{clients},\"workers\":{workers},\
+         \"requests\":{requests},\"elapsed_s\":{:.3},\"rps\":{:.0},\
+         \"p50_us\":{},\"p99_us\":{}}}",
+        elapsed.as_secs_f64(),
+        requests as f64 / elapsed.as_secs_f64().max(1e-9),
+        pct(0.50),
+        pct(0.99),
+    )
+}

@@ -1,51 +1,300 @@
-//! The `axs` interactive shell.
+//! The `axs` command-line tool.
 //!
 //! ```sh
-//! axs                # in-memory store
-//! axs ./mystore      # directory-backed store (created if missing)
+//! axs                      # interactive shell, in-memory store
+//! axs ./mystore            # interactive shell, directory-backed store
+//! axs serve ./mystore      # run the axsd server in front of a store
+//! axs connect HOST:PORT    # interactive shell against a remote server
+//! axs verify ./mystore     # invariant + checksum check; exit 1 on corruption
+//! axs recover ./mystore    # WAL crash recovery; exit 1 on failure
 //! ```
 
 use axs_cli::session::Outcome;
-use axs_cli::{parse_command, Session};
+use axs_cli::{parse_command, RemoteSession, Session};
+use axs_core::StoreBuilder;
+use axs_server::{Server, ServerConfig};
 use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+const USAGE: &str = "usage:
+  axs [directory]                 interactive shell (in-memory without a directory)
+  axs serve [directory] [--addr HOST:PORT] [--workers N] [--queue N]
+            [--max-connections N] [--debug-sleep]
+                                  run the axsd server (in-memory without a directory)
+  axs connect HOST:PORT           interactive shell against a running server
+  axs verify <directory>          check invariants + checksums; exit 1 on corruption
+  axs recover <directory>         run WAL crash recovery; exit 1 on failure";
 
 fn main() {
-    let dir = std::env::args().nth(1);
-    let mut session = match &dir {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("connect") => cmd_connect(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
+        Some("recover") => cmd_recover(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") => {
+            println!("{USAGE}");
+            0
+        }
+        _ => cmd_repl(args.first().cloned()),
+    };
+    std::process::exit(code);
+}
+
+// ---- interactive shells ---------------------------------------------------
+
+fn cmd_repl(dir: Option<String>) -> i32 {
+    let session = match &dir {
         Some(d) => Session::at_directory(d),
         None => Session::in_memory(),
-    }
-    .unwrap_or_else(|e| {
-        eprintln!("cannot open store: {e}");
-        std::process::exit(1);
-    });
-
+    };
+    let mut session = match session {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot open store: {e}");
+            return 1;
+        }
+    };
     match &dir {
         Some(d) => println!("adaptive XML store at {d} — 'help' for commands"),
         None => println!("in-memory adaptive XML store — 'help' for commands"),
     }
+    repl(move |cmd| session.execute(cmd))
+}
 
+fn cmd_connect(args: &[String]) -> i32 {
+    let Some(addr) = args.first() else {
+        eprintln!("usage: axs connect HOST:PORT");
+        return 2;
+    };
+    let mut session = match RemoteSession::connect(addr.as_str()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            return 1;
+        }
+    };
+    println!("connected to axsd at {addr} — 'help' for commands");
+    repl(move |cmd| session.execute(cmd))
+}
+
+/// The shared REPL loop: read lines, parse, execute, print. Output goes
+/// through explicit writes so a closed pipe (e.g. `axs connect | head`)
+/// ends the session instead of panicking.
+fn repl(mut execute: impl FnMut(axs_cli::Command) -> Outcome) -> i32 {
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();
+    let mut emit = move |text: &str| -> bool {
+        stdout
+            .write_all(text.as_bytes())
+            .and_then(|()| stdout.flush())
+            .is_ok()
+    };
     loop {
-        print!("axs> ");
-        let _ = stdout.flush();
+        if !emit("axs> ") {
+            return 0;
+        }
         let mut line = String::new();
         match stdin.lock().read_line(&mut line) {
-            Ok(0) => break, // EOF
+            Ok(0) => return 0, // EOF
             Ok(_) => {}
             Err(e) => {
                 eprintln!("read error: {e}");
-                break;
+                return 1;
             }
         }
-        match parse_command(&line) {
-            Ok(None) => {}
-            Ok(Some(cmd)) => match session.execute(cmd) {
-                Outcome::Output(text) => println!("{text}"),
-                Outcome::Quit => break,
+        let output = match parse_command(&line) {
+            Ok(None) => continue,
+            Ok(Some(cmd)) => match execute(cmd) {
+                Outcome::Output(text) => text,
+                Outcome::Quit => return 0,
             },
-            Err(e) => println!("error: {e}"),
+            Err(e) => format!("error: {e}"),
+        };
+        if !emit(&format!("{output}\n")) {
+            return 0;
+        }
+    }
+}
+
+// ---- axs serve ------------------------------------------------------------
+
+/// Set by the SIGINT/SIGTERM handler; polled by the serve loop.
+static SHUTDOWN_SIGNAL: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    // Raw libc `signal(2)` — the process links libc already and the
+    // handler only flips an atomic, which is async-signal-safe.
+    extern "C" fn on_signal(_sig: i32) {
+        SHUTDOWN_SIGNAL.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+fn cmd_serve(args: &[String]) -> i32 {
+    let mut dir: Option<String> = None;
+    let mut config = ServerConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        let parsed = match arg.as_str() {
+            "--addr" => value_of("--addr").map(|v| config.addr = v),
+            "--workers" => value_of("--workers").and_then(|v| {
+                v.parse()
+                    .map(|n| config.workers = n)
+                    .map_err(|e| format!("--workers: {e}"))
+            }),
+            "--queue" => value_of("--queue").and_then(|v| {
+                v.parse()
+                    .map(|n| config.queue_depth = n)
+                    .map_err(|e| format!("--queue: {e}"))
+            }),
+            "--max-connections" => value_of("--max-connections").and_then(|v| {
+                v.parse()
+                    .map(|n| config.max_connections = n)
+                    .map_err(|e| format!("--max-connections: {e}"))
+            }),
+            "--debug-sleep" => {
+                config.debug_sleep = true;
+                Ok(())
+            }
+            flag if flag.starts_with("--") => Err(format!("unknown flag {flag}")),
+            path if dir.is_none() => {
+                dir = Some(path.to_string());
+                Ok(())
+            }
+            extra => Err(format!("unexpected argument {extra:?}")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("error: {e}\n{USAGE}");
+            return 2;
+        }
+    }
+
+    let store = match &dir {
+        Some(d) => {
+            let existing = std::path::Path::new(d).join("data.pages").exists();
+            let builder = StoreBuilder::new().directory(d);
+            if existing {
+                builder.open()
+            } else {
+                builder.build()
+            }
+        }
+        None => StoreBuilder::new().build(),
+    };
+    let store = match store {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot open store: {e}");
+            return 1;
+        }
+    };
+
+    install_signal_handlers();
+    let handle = match Server::start(store, config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("cannot start server: {e}");
+            return 1;
+        }
+    };
+    // The smoke test and humans both read this line to learn the port.
+    println!("axsd listening on {}", handle.local_addr());
+    match &dir {
+        Some(d) => println!("store: {d}"),
+        None => println!("store: in-memory (contents are lost at shutdown)"),
+    }
+    let _ = std::io::stdout().flush();
+
+    // Serve until a signal or a client's Shutdown opcode.
+    while !SHUTDOWN_SIGNAL.load(Ordering::SeqCst) && !handle.shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    eprintln!("axsd: shutting down (draining sessions, flushing WAL)");
+    handle.shutdown();
+    match handle.join() {
+        Ok(()) => {
+            eprintln!("axsd: clean shutdown");
+            0
+        }
+        Err(e) => {
+            eprintln!("axsd: shutdown flush failed: {e}");
+            1
+        }
+    }
+}
+
+// ---- axs verify / axs recover --------------------------------------------
+
+fn cmd_verify(args: &[String]) -> i32 {
+    let Some(dir) = args.first() else {
+        eprintln!("usage: axs verify <directory>");
+        return 2;
+    };
+    let mut store = match StoreBuilder::new().directory(dir).open() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("verify {dir}: cannot open store: {e}");
+            return 1;
+        }
+    };
+    if let Err(e) = store.check_invariants() {
+        eprintln!("verify {dir}: corruption detected: {e}");
+        return 1;
+    }
+    // Walking every token forces every data page through the pool, so
+    // checksum verification covers the whole file.
+    match store.read_all() {
+        Ok(tokens) => {
+            println!(
+                "ok: invariants hold, {} tokens readable, {} range(s)",
+                tokens.len(),
+                store.range_count()
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("verify {dir}: corruption detected: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_recover(args: &[String]) -> i32 {
+    let Some(dir) = args.first() else {
+        eprintln!("usage: axs recover <directory>");
+        return 2;
+    };
+    match StoreBuilder::new().directory(dir).open() {
+        Ok(store) => {
+            let s = store.stats();
+            println!(
+                "recovered from {dir}: {} replay pass(es), {} torn tail(s) truncated",
+                s.recoveries, s.torn_tail_truncations
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("recover {dir}: recovery failed: {e}");
+            1
         }
     }
 }

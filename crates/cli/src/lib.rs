@@ -20,7 +20,9 @@
 //! ```
 
 pub mod command;
+pub mod remote;
 pub mod session;
 
 pub use command::{parse_command, Command};
+pub use remote::RemoteSession;
 pub use session::Session;

@@ -1,0 +1,211 @@
+//! Remote session: the same shell commands, executed over a TCP
+//! connection to an `axsd` server instead of an embedded store.
+//!
+//! Mirrors [`crate::session::Session`]'s rendering so `axs connect` feels
+//! identical to the local REPL; only `recover` is refused (recovery is the
+//! server's job, at startup).
+
+use crate::command::{Command, HELP};
+use crate::session::Outcome;
+use axs_client::{Client, ClientError};
+use std::fmt::Write as _;
+use std::net::ToSocketAddrs;
+
+/// An interactive session over one server connection.
+pub struct RemoteSession {
+    client: Client,
+}
+
+impl RemoteSession {
+    /// Connects to an `axsd` server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<RemoteSession, ClientError> {
+        Ok(RemoteSession {
+            client: Client::connect(addr)?,
+        })
+    }
+
+    /// Wraps an existing client connection.
+    pub fn from_client(client: Client) -> RemoteSession {
+        RemoteSession { client }
+    }
+
+    /// Executes one command, producing printable output.
+    pub fn execute(&mut self, cmd: Command) -> Outcome {
+        match self.try_execute(cmd) {
+            Ok(outcome) => outcome,
+            Err(message) => Outcome::Output(format!("error: {message}")),
+        }
+    }
+
+    fn try_execute(&mut self, cmd: Command) -> Result<Outcome, String> {
+        let c = &mut self.client;
+        let fail = |e: ClientError| e.to_string();
+        let out = match cmd {
+            Command::Quit => return Ok(Outcome::Quit),
+            Command::Help => HELP.to_string(),
+            Command::Load(path) => {
+                let text = std::fs::read_to_string(&path).map_err(|e| e.to_string())?;
+                let (start, end) = c.bulk_load(&text).map_err(fail)?;
+                format!("loaded nodes [#{start}, #{end}]")
+            }
+            Command::LoadXml(xml) => {
+                let (start, end) = c.bulk_load(&xml).map_err(fail)?;
+                format!("loaded nodes [#{start}, #{end}]")
+            }
+            Command::Query(path) => {
+                let matches = c.query(&path).map_err(fail)?;
+                let mut out = format!("{} match(es)\n", matches.len());
+                for m in matches.iter().take(50) {
+                    let id = m.id.map(|n| format!("#{n}")).unwrap_or_default();
+                    let _ = writeln!(out, "  {id:<8} {}", m.xml);
+                }
+                if matches.len() > 50 {
+                    let _ = writeln!(out, "  … {} more", matches.len() - 50);
+                }
+                out
+            }
+            Command::Flwor(text) => {
+                let rows = c.flwor(&text).map_err(fail)?;
+                let mut out = format!("{} row(s)\n", rows.len());
+                for row in rows.iter().take(50) {
+                    let _ = writeln!(out, "  {row}");
+                }
+                if rows.len() > 50 {
+                    let _ = writeln!(out, "  … {} more", rows.len() - 50);
+                }
+                out
+            }
+            Command::Show(id) => c.read_node(id.get()).map_err(fail)?,
+            Command::Value(id) => c.string_value(id.get()).map_err(fail)?,
+            Command::Children(id) => {
+                let kids = c.children(id.get()).map_err(fail)?;
+                let mut out = String::new();
+                for (kid, name) in kids {
+                    let _ = writeln!(out, "  #{kid:<7} {name}");
+                }
+                if out.is_empty() {
+                    out.push_str("(no children)");
+                }
+                out
+            }
+            Command::Parent(id) => match c.parent(id.get()).map_err(fail)? {
+                Some(p) => format!("#{p}"),
+                None => "(top level)".to_string(),
+            },
+            Command::InsertFirst(id, xml) => {
+                let (start, end) = c.insert_first(id.get(), &xml).map_err(fail)?;
+                format!("inserted [#{start}, #{end}]")
+            }
+            Command::InsertLast(id, xml) => {
+                let (start, end) = c.insert_last(id.get(), &xml).map_err(fail)?;
+                format!("inserted [#{start}, #{end}]")
+            }
+            Command::InsertBefore(id, xml) => {
+                let (start, end) = c.insert_before(id.get(), &xml).map_err(fail)?;
+                format!("inserted [#{start}, #{end}]")
+            }
+            Command::InsertAfter(id, xml) => {
+                let (start, end) = c.insert_after(id.get(), &xml).map_err(fail)?;
+                format!("inserted [#{start}, #{end}]")
+            }
+            Command::Delete(id) => {
+                c.delete(id.get()).map_err(fail)?;
+                format!("deleted {id}")
+            }
+            Command::Replace(id, xml) => {
+                let (start, end) = c.replace(id.get(), &xml).map_err(fail)?;
+                format!("replaced {id} with [#{start}, #{end}]")
+            }
+            Command::Print => {
+                let text = c.read_all().map_err(fail)?;
+                if text.is_empty() {
+                    "(empty store)".to_string()
+                } else {
+                    text
+                }
+            }
+            Command::Stats => {
+                let entries = c.stats().map_err(fail)?;
+                let mut out = String::new();
+                for e in entries {
+                    let _ = writeln!(out, "{:<32} {}", e.name, e.value);
+                }
+                out
+            }
+            Command::Report => c.report().map_err(fail)?,
+            Command::Ranges => c.ranges().map_err(fail)?,
+            Command::Compact(target) => {
+                let (merges, before, after) =
+                    c.compact(target.unwrap_or(8 * 1024) as u64).map_err(fail)?;
+                format!("{merges} merges, {before} -> {after} ranges")
+            }
+            Command::Export(path) => {
+                let text = c.read_all().map_err(fail)?;
+                std::fs::write(&path, &text).map_err(|e| e.to_string())?;
+                format!("exported {} bytes to {path}", text.len())
+            }
+            Command::Save => {
+                c.flush().map_err(fail)?;
+                "flushed on the server".to_string()
+            }
+            Command::Recover => {
+                return Err("recover runs on the server at startup, not remotely".to_string())
+            }
+            Command::Verify => c.verify().map_err(fail)?,
+        };
+        Ok(Outcome::Output(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::parse_command;
+    use axs_core::StoreBuilder;
+    use axs_server::{Server, ServerConfig};
+
+    fn run(session: &mut RemoteSession, line: &str) -> String {
+        let cmd = parse_command(line).unwrap().unwrap();
+        match session.execute(cmd) {
+            Outcome::Output(s) => s,
+            Outcome::Quit => "(quit)".to_string(),
+        }
+    }
+
+    #[test]
+    fn remote_repl_mirrors_local_session() {
+        let handle = Server::start(
+            StoreBuilder::new().build().unwrap(),
+            ServerConfig::default(),
+        )
+        .unwrap();
+        let mut s = RemoteSession::connect(handle.local_addr()).unwrap();
+
+        let out = run(&mut s, r#"loadxml <orders><order id="1"/></orders>"#);
+        assert!(out.contains("loaded nodes"), "{out}");
+        let out = run(&mut s, "query /orders/order");
+        assert!(out.starts_with("1 match(es)"), "{out}");
+        let out = run(&mut s, r#"insert-last 1 <order id="2"/>"#);
+        assert!(out.contains("inserted"), "{out}");
+        let out = run(&mut s, "query //order");
+        assert!(out.starts_with("2 match(es)"), "{out}");
+        assert_eq!(run(&mut s, "parent 2"), "#1");
+        let out = run(&mut s, "print");
+        assert!(out.contains(r#"<order id="2"/>"#), "{out}");
+        let stats = run(&mut s, "stats");
+        assert!(
+            stats.contains("store.inserts") && stats.contains("server.requests"),
+            "{stats}"
+        );
+        assert!(run(&mut s, "report").contains("blocks"));
+        assert!(run(&mut s, "ranges").contains("RangeId"));
+        assert!(run(&mut s, "verify").starts_with("ok:"));
+        // Errors render, the session survives, recover is refused.
+        assert!(run(&mut s, "show 999").starts_with("error:"));
+        assert!(run(&mut s, "recover").starts_with("error:"));
+        assert!(run(&mut s, "save").contains("flushed"));
+
+        handle.shutdown();
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,417 @@
+//! A blocking client over the `axsd` wire protocol.
+
+use crate::wire::{
+    self, put_str, put_u32, put_u64, ErrorCode, Frame, OpCode, Reader, Status, WireError,
+};
+use std::fmt;
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// What went wrong talking to the server.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, timeout at the socket).
+    Io(std::io::Error),
+    /// The server's bytes did not decode as protocol frames.
+    Wire(WireError),
+    /// The server answered with a typed error frame.
+    Server {
+        /// Typed error code.
+        code: ErrorCode,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl ClientError {
+    /// True when the server rejected the request with `Busy` — the caller
+    /// should back off and retry rather than treat it as a failure.
+    pub fn is_busy(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Server {
+                code: ErrorCode::Busy,
+                ..
+            }
+        )
+    }
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Wire(e) => write!(f, "{e}"),
+            ClientError::Server { code, message } => write!(f, "server [{code}]: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// One XPath match: the node's stable id (when the match is a whole node)
+/// and its serialized subtree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Match {
+    /// Stable node id, absent for synthesized values (attribute strings).
+    pub id: Option<u64>,
+    /// Serialized XML of the match.
+    pub xml: String,
+}
+
+/// One named counter from the `stats` opcode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatEntry {
+    /// Counter name, e.g. `store.inserts` or `server.busy_rejections`.
+    pub name: String,
+    /// Counter value.
+    pub value: u64,
+}
+
+/// A blocking connection to one `axsd` server.
+///
+/// One request is in flight at a time (the protocol is strictly
+/// request/response per connection); open several clients for parallelism.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_req: u64,
+}
+
+impl Client {
+    /// Connects and performs the protocol handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let mut writer = BufWriter::new(stream.try_clone()?);
+        let mut reader = BufReader::new(stream);
+        wire::write_hello(&mut writer)?;
+        wire::read_hello(&mut reader)?;
+        Ok(Client {
+            reader,
+            writer,
+            next_req: 1,
+        })
+    }
+
+    /// Applies a socket read timeout to every subsequent response wait
+    /// (`None` blocks indefinitely, the default).
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    fn roundtrip(&mut self, opcode: OpCode, payload: Vec<u8>) -> Result<Vec<u8>, ClientError> {
+        let frames = self.roundtrip_stream(opcode, payload)?;
+        debug_assert_eq!(frames.len(), 1);
+        // roundtrip_stream always returns at least the final Done frame.
+        Ok(frames
+            .into_iter()
+            .last()
+            .map(|f| f.payload)
+            .unwrap_or_default())
+    }
+
+    /// Sends one request and collects the full response: zero or more
+    /// `More` frames followed by the final `Done` frame (last element).
+    fn roundtrip_stream(
+        &mut self,
+        opcode: OpCode,
+        payload: Vec<u8>,
+    ) -> Result<Vec<Frame>, ClientError> {
+        let req_id = self.next_req;
+        self.next_req += 1;
+        wire::write_frame(&mut self.writer, &Frame::request(req_id, opcode, payload))?;
+        let mut frames = Vec::new();
+        loop {
+            let frame = wire::read_frame(&mut self.reader)?;
+            // Error frames apply to the connection's single in-flight
+            // request even when the server could not echo its id (e.g. a
+            // connection-limit rejection sent before any request).
+            if Status::from_u8(frame.status) == Some(Status::Err) {
+                let (code, message) = frame.decode_error()?;
+                return Err(ClientError::Server { code, message });
+            }
+            if frame.req_id != req_id || frame.opcode != opcode as u8 {
+                return Err(WireError {
+                    message: format!(
+                        "response mismatch: got req {} op {}, expected req {req_id} op {}",
+                        frame.req_id, frame.opcode, opcode as u8
+                    ),
+                }
+                .into());
+            }
+            match Status::from_u8(frame.status) {
+                Some(Status::More) => frames.push(frame),
+                Some(Status::Done) => {
+                    frames.push(frame);
+                    return Ok(frames);
+                }
+                _ => {
+                    return Err(WireError {
+                        message: format!("unknown status byte {}", frame.status),
+                    }
+                    .into())
+                }
+            }
+        }
+    }
+
+    fn interval(payload: &[u8]) -> Result<(u64, u64), ClientError> {
+        let mut r = Reader::new(payload);
+        let start = r.u64()?;
+        let end = r.u64()?;
+        r.finish()?;
+        Ok((start, end))
+    }
+
+    fn id_xml(id: u64, xml: &str) -> Vec<u8> {
+        let mut p = Vec::with_capacity(8 + 4 + xml.len());
+        put_u64(&mut p, id);
+        put_str(&mut p, xml);
+        p
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.roundtrip(OpCode::Ping, Vec::new()).map(|_| ())
+    }
+
+    /// Bulk-appends an XML document or fragment; returns the allocated
+    /// node-id interval `(start, end)`.
+    pub fn bulk_load(&mut self, xml: &str) -> Result<(u64, u64), ClientError> {
+        let mut p = Vec::with_capacity(4 + xml.len());
+        put_str(&mut p, xml);
+        let out = self.roundtrip(OpCode::BulkLoad, p)?;
+        Self::interval(&out)
+    }
+
+    /// Evaluates an XPath expression, collecting the streamed matches.
+    pub fn query(&mut self, path: &str) -> Result<Vec<Match>, ClientError> {
+        let mut p = Vec::with_capacity(4 + path.len());
+        put_str(&mut p, path);
+        let frames = self.roundtrip_stream(OpCode::Query, p)?;
+        let mut out = Vec::with_capacity(frames.len().saturating_sub(1));
+        for frame in &frames[..frames.len() - 1] {
+            let mut r = Reader::new(&frame.payload);
+            let has_id = r.u8()? != 0;
+            let id = r.u64()?;
+            let xml = r.str()?;
+            r.finish()?;
+            out.push(Match {
+                id: has_id.then_some(id),
+                xml,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Evaluates a FLWOR query, collecting the streamed rows.
+    pub fn flwor(&mut self, query: &str) -> Result<Vec<String>, ClientError> {
+        let mut p = Vec::with_capacity(4 + query.len());
+        put_str(&mut p, query);
+        let frames = self.roundtrip_stream(OpCode::Flwor, p)?;
+        let mut out = Vec::with_capacity(frames.len().saturating_sub(1));
+        for frame in &frames[..frames.len() - 1] {
+            let mut r = Reader::new(&frame.payload);
+            out.push(r.str()?);
+            r.finish()?;
+        }
+        Ok(out)
+    }
+
+    /// Reads one node's serialized subtree.
+    pub fn read_node(&mut self, id: u64) -> Result<String, ClientError> {
+        let mut p = Vec::new();
+        put_u64(&mut p, id);
+        let out = self.roundtrip(OpCode::ReadNode, p)?;
+        let mut r = Reader::new(&out);
+        let xml = r.str()?;
+        r.finish()?;
+        Ok(xml)
+    }
+
+    /// A node's string value.
+    pub fn string_value(&mut self, id: u64) -> Result<String, ClientError> {
+        let mut p = Vec::new();
+        put_u64(&mut p, id);
+        let out = self.roundtrip(OpCode::Value, p)?;
+        let mut r = Reader::new(&out);
+        let v = r.str()?;
+        r.finish()?;
+        Ok(v)
+    }
+
+    /// Child ids and element names.
+    pub fn children(&mut self, id: u64) -> Result<Vec<(u64, String)>, ClientError> {
+        let mut p = Vec::new();
+        put_u64(&mut p, id);
+        let out = self.roundtrip(OpCode::Children, p)?;
+        let mut r = Reader::new(&out);
+        let n = r.u32()? as usize;
+        let mut kids = Vec::with_capacity(n);
+        for _ in 0..n {
+            let id = r.u64()?;
+            let name = r.str()?;
+            kids.push((id, name));
+        }
+        r.finish()?;
+        Ok(kids)
+    }
+
+    /// The node's parent id, `None` at top level.
+    pub fn parent(&mut self, id: u64) -> Result<Option<u64>, ClientError> {
+        let mut p = Vec::new();
+        put_u64(&mut p, id);
+        let out = self.roundtrip(OpCode::Parent, p)?;
+        let mut r = Reader::new(&out);
+        let has = r.u8()? != 0;
+        let pid = r.u64()?;
+        r.finish()?;
+        Ok(has.then_some(pid))
+    }
+
+    /// `insertIntoFirst(id, fragment)`.
+    pub fn insert_first(&mut self, id: u64, xml: &str) -> Result<(u64, u64), ClientError> {
+        let out = self.roundtrip(OpCode::InsertFirst, Self::id_xml(id, xml))?;
+        Self::interval(&out)
+    }
+
+    /// `insertIntoLast(id, fragment)`.
+    pub fn insert_last(&mut self, id: u64, xml: &str) -> Result<(u64, u64), ClientError> {
+        let out = self.roundtrip(OpCode::InsertLast, Self::id_xml(id, xml))?;
+        Self::interval(&out)
+    }
+
+    /// `insertBefore(id, fragment)`.
+    pub fn insert_before(&mut self, id: u64, xml: &str) -> Result<(u64, u64), ClientError> {
+        let out = self.roundtrip(OpCode::InsertBefore, Self::id_xml(id, xml))?;
+        Self::interval(&out)
+    }
+
+    /// `insertAfter(id, fragment)`.
+    pub fn insert_after(&mut self, id: u64, xml: &str) -> Result<(u64, u64), ClientError> {
+        let out = self.roundtrip(OpCode::InsertAfter, Self::id_xml(id, xml))?;
+        Self::interval(&out)
+    }
+
+    /// `deleteNode(id)`.
+    pub fn delete(&mut self, id: u64) -> Result<(), ClientError> {
+        let mut p = Vec::new();
+        put_u64(&mut p, id);
+        self.roundtrip(OpCode::Delete, p).map(|_| ())
+    }
+
+    /// `replaceNode(id, fragment)`.
+    pub fn replace(&mut self, id: u64, xml: &str) -> Result<(u64, u64), ClientError> {
+        let out = self.roundtrip(OpCode::Replace, Self::id_xml(id, xml))?;
+        Self::interval(&out)
+    }
+
+    /// Serializes the whole store, streaming chunks into one string.
+    pub fn read_all(&mut self) -> Result<String, ClientError> {
+        let frames = self.roundtrip_stream(OpCode::ReadAll, Vec::new())?;
+        // Chunks are raw bytes and may split multi-byte characters, so the
+        // UTF-8 validation happens once over the whole accumulation.
+        let mut bytes = Vec::new();
+        for frame in &frames[..frames.len() - 1] {
+            bytes.extend_from_slice(&frame.payload);
+        }
+        String::from_utf8(bytes).map_err(|_| {
+            WireError {
+                message: "read_all stream not UTF-8".into(),
+            }
+            .into()
+        })
+    }
+
+    /// Counter snapshot (store + pools + locks + server), as named pairs
+    /// in server-defined order.
+    pub fn stats(&mut self) -> Result<Vec<StatEntry>, ClientError> {
+        let out = self.roundtrip(OpCode::Stats, Vec::new())?;
+        let mut r = Reader::new(&out);
+        let n = r.u32()? as usize;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = r.str()?;
+            let value = r.u64()?;
+            entries.push(StatEntry { name, value });
+        }
+        r.finish()?;
+        Ok(entries)
+    }
+
+    /// Rendered storage report.
+    pub fn report(&mut self) -> Result<String, ClientError> {
+        let out = self.roundtrip(OpCode::Report, Vec::new())?;
+        let mut r = Reader::new(&out);
+        let text = r.str()?;
+        r.finish()?;
+        Ok(text)
+    }
+
+    /// Flushes the store through the WAL.
+    pub fn flush(&mut self) -> Result<(), ClientError> {
+        self.roundtrip(OpCode::Flush, Vec::new()).map(|_| ())
+    }
+
+    /// Runs invariant + checksum verification; `Ok` carries the summary,
+    /// corruption surfaces as a [`ClientError::Server`] with
+    /// [`ErrorCode::Store`].
+    pub fn verify(&mut self) -> Result<String, ClientError> {
+        let out = self.roundtrip(OpCode::Verify, Vec::new())?;
+        let mut r = Reader::new(&out);
+        let text = r.str()?;
+        r.finish()?;
+        Ok(text)
+    }
+
+    /// Merges adjacent ranges up to `target_bytes`; returns
+    /// `(merges, ranges_before, ranges_after)`.
+    pub fn compact(&mut self, target_bytes: u64) -> Result<(u64, u64, u64), ClientError> {
+        let mut p = Vec::new();
+        put_u64(&mut p, target_bytes);
+        let out = self.roundtrip(OpCode::Compact, p)?;
+        let mut r = Reader::new(&out);
+        let merges = r.u64()?;
+        let before = r.u64()?;
+        let after = r.u64()?;
+        r.finish()?;
+        Ok((merges, before, after))
+    }
+
+    /// Rendered Range Index dump.
+    pub fn ranges(&mut self) -> Result<String, ClientError> {
+        let out = self.roundtrip(OpCode::Ranges, Vec::new())?;
+        let mut r = Reader::new(&out);
+        let text = r.str()?;
+        r.finish()?;
+        Ok(text)
+    }
+
+    /// Holds a worker for `ms` milliseconds (servers reject this unless
+    /// configured with `debug_sleep`; used to test backpressure).
+    pub fn sleep(&mut self, ms: u32) -> Result<(), ClientError> {
+        let mut p = Vec::new();
+        put_u32(&mut p, ms);
+        self.roundtrip(OpCode::Sleep, p).map(|_| ())
+    }
+
+    /// Asks the server to shut down gracefully (flushing through the WAL).
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        self.roundtrip(OpCode::Shutdown, Vec::new()).map(|_| ())
+    }
+}

@@ -44,5 +44,5 @@ pub use maintenance::{CompactionReport, StorageReport};
 pub use policy::{AdaptiveConfig, AdaptiveController, IndexingPolicy};
 pub use psvi::AnnotateOutcome;
 pub use range::{RangeHeader, RANGE_HEADER_LEN};
-pub use stats::{LookupPath, StoreStats};
+pub use stats::{LookupPath, SharedStats, StoreStats};
 pub use store::{StoreBuilder, XmlStore};

@@ -1,5 +1,7 @@
 //! Operation and lookup-path counters.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 /// Which mechanism resolved a node lookup — the observable face of the
 /// laziness story: partial hits avoid range scans, full-index probes avoid
 //  both, range scans are the fallback.
@@ -67,6 +69,93 @@ impl StoreStats {
             LookupPath::Full => self.lookups_full += 1,
             LookupPath::RangeScan => self.lookups_range_scan += 1,
         }
+    }
+}
+
+macro_rules! shared_stats {
+    ($($(#[$doc:meta])* $field:ident),* $(,)?) => {
+        /// The live, thread-safe form of [`StoreStats`]: every counter is an
+        /// atomic so concurrent sessions (server workers, pool readers) can
+        /// record activity through a shared reference — no `&mut XmlStore`
+        /// required. [`SharedStats::snapshot`] produces the plain
+        /// [`StoreStats`] value the inspection API has always returned.
+        #[derive(Debug, Default)]
+        pub struct SharedStats {
+            $($(#[$doc])* pub $field: AtomicU64,)*
+        }
+
+        impl SharedStats {
+            /// A point-in-time copy of every counter.
+            pub fn snapshot(&self) -> StoreStats {
+                StoreStats {
+                    $($field: self.$field.load(Ordering::Relaxed),)*
+                }
+            }
+
+            /// Zeroes every counter.
+            pub fn reset(&self) {
+                $(self.$field.store(0, Ordering::Relaxed);)*
+            }
+        }
+    };
+}
+
+shared_stats! {
+    /// See [`StoreStats::inserts`].
+    inserts,
+    /// See [`StoreStats::deletes`].
+    deletes,
+    /// See [`StoreStats::replaces`].
+    replaces,
+    /// See [`StoreStats::node_reads`].
+    node_reads,
+    /// See [`StoreStats::full_scans`].
+    full_scans,
+    /// See [`StoreStats::tokens_inserted`].
+    tokens_inserted,
+    /// See [`StoreStats::lookups_partial`].
+    lookups_partial,
+    /// See [`StoreStats::lookups_full`].
+    lookups_full,
+    /// See [`StoreStats::lookups_range_scan`].
+    lookups_range_scan,
+    /// See [`StoreStats::tokens_scanned`].
+    tokens_scanned,
+    /// See [`StoreStats::range_splits`].
+    range_splits,
+    /// See [`StoreStats::range_moves`].
+    range_moves,
+    /// See [`StoreStats::full_index_rewrites`].
+    full_index_rewrites,
+    /// See [`StoreStats::wal_records`].
+    wal_records,
+    /// See [`StoreStats::recoveries`].
+    recoveries,
+    /// See [`StoreStats::torn_tail_truncations`].
+    torn_tail_truncations,
+    /// See [`StoreStats::io_retries`].
+    io_retries,
+}
+
+impl SharedStats {
+    /// Adds `n` to a counter (relaxed; counters are advisory).
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments a counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a lookup resolution.
+    pub fn record_lookup(&self, path: LookupPath) {
+        let counter = match path {
+            LookupPath::Partial => &self.lookups_partial,
+            LookupPath::Full => &self.lookups_full,
+            LookupPath::RangeScan => &self.lookups_range_scan,
+        };
+        Self::bump(counter);
     }
 }
 

@@ -9,7 +9,7 @@
 use crate::error::StoreError;
 use crate::policy::{AdaptiveController, AdaptiveDecision, IndexingPolicy};
 use crate::range::{chop_fragment, RangeData, RangeHeader, RANGE_HEADER_LEN};
-use crate::stats::{LookupPath, StoreStats};
+use crate::stats::{LookupPath, SharedStats, StoreStats};
 use axs_idgen::MonotonicIds;
 use axs_index::{BTree, NodePosition, PartialIndex, PartialIndexConfig, RangeEntry, RangeIndex};
 use axs_storage::page::{get_u64, put_u64};
@@ -276,8 +276,14 @@ impl StoreBuilder {
         store.ids = MonotonicIds::resume(NodeId(next_id.max(NodeId::FIRST.0)));
         store.next_range_id = next_range.max(1);
         store.free_head = free_head;
-        store.stats.recoveries = u64::from(replayed > 0);
-        store.stats.torn_tail_truncations = torn_tails;
+        store.stats.recoveries.store(
+            u64::from(replayed > 0),
+            std::sync::atomic::Ordering::Relaxed,
+        );
+        store
+            .stats
+            .torn_tail_truncations
+            .store(torn_tails, std::sync::atomic::Ordering::Relaxed);
         store.rebuild_indexes()?;
         Ok(store)
     }
@@ -326,7 +332,7 @@ pub struct XmlStore {
     adaptive: Option<AdaptiveController>,
     target_range_bytes: usize,
     policy: IndexingPolicy,
-    stats: StoreStats,
+    stats: SharedStats,
 }
 
 impl XmlStore {
@@ -370,7 +376,7 @@ impl XmlStore {
             adaptive,
             target_range_bytes,
             policy,
-            stats: StoreStats::default(),
+            stats: SharedStats::default(),
         })
     }
 
@@ -381,9 +387,15 @@ impl XmlStore {
 
     /// Activity counters.
     pub fn stats(&self) -> StoreStats {
-        let mut stats = self.stats;
+        let mut stats = self.stats.snapshot();
         stats.io_retries = self.data_pool.stats().io_retries + self.index_pool.stats().io_retries;
         stats
+    }
+
+    /// The live atomic counters, shareable across threads (the server
+    /// records per-session activity through this without `&mut`).
+    pub fn shared_stats(&self) -> &SharedStats {
+        &self.stats
     }
 
     /// Buffer-pool counters for the data file.
@@ -403,7 +415,7 @@ impl XmlStore {
 
     /// Zeroes all counters (store, pools, partial index).
     pub fn reset_stats(&mut self) {
-        self.stats = StoreStats::default();
+        self.stats.reset();
         self.data_pool.reset_stats();
         self.index_pool.reset_stats();
         if let Some(p) = &mut self.partial {
@@ -420,6 +432,17 @@ impl XmlStore {
     /// paper). For inspection and tests.
     pub fn range_index_entries(&self) -> Result<Vec<RangeEntry>, StoreError> {
         Ok(self.range_index.entries()?)
+    }
+
+    /// Locates the range covering `id` via the Range Index — `(block page,
+    /// stable range id)` — without touching per-lookup statistics or the
+    /// partial index. The server uses this to map a node id onto its
+    /// lockable resource before acquiring hierarchical locks.
+    pub fn locate_range(&self, id: NodeId) -> Result<Option<(u64, u64)>, StoreError> {
+        Ok(self
+            .range_index
+            .locate(id)?
+            .map(|e| (e.block.0, e.range_id)))
     }
 
     /// Direct read access to the partial index (for inspection).
@@ -537,7 +560,7 @@ impl XmlStore {
                     last_lsn = wal.append_image(*page, image)?;
                 }
                 wal.commit()?;
-                self.stats.wal_records += images.len() as u64 + 1;
+                SharedStats::add(&self.stats.wal_records, images.len() as u64 + 1);
                 // In-place pages are stamped with the batch's final LSN so a
                 // later checksum failure identifies *which* flush tore.
                 self.data_pool.set_stamp_lsn(last_lsn);
@@ -808,8 +831,8 @@ impl XmlStore {
 
     /// Records a completed bulk load in the statistics.
     pub(crate) fn note_bulk_load(&mut self, tokens: u64) {
-        self.stats.inserts += 1;
-        self.stats.tokens_inserted += tokens;
+        SharedStats::bump(&self.stats.inserts);
+        SharedStats::add(&self.stats.tokens_inserted, tokens);
     }
 
     /// Replaces a range's payload with an equal-sized re-encoding (used by
@@ -830,25 +853,25 @@ impl XmlStore {
     // ---- stats hooks used by the ops module --------------------------------
 
     pub(crate) fn note_delete(&mut self, id: NodeId) {
-        self.stats.deletes += 1;
+        SharedStats::bump(&self.stats.deletes);
         if let Some(p) = &mut self.partial {
             p.remove(id);
         }
     }
 
     pub(crate) fn note_replace(&mut self, id: NodeId) {
-        self.stats.replaces += 1;
+        SharedStats::bump(&self.stats.replaces);
         if let Some(p) = &mut self.partial {
             p.remove(id);
         }
     }
 
     pub(crate) fn note_full_scan(&mut self) {
-        self.stats.full_scans += 1;
+        SharedStats::bump(&self.stats.full_scans);
     }
 
     pub(crate) fn note_node_read(&mut self) {
-        self.stats.node_reads += 1;
+        SharedStats::bump(&self.stats.node_reads);
     }
 
     /// First range of the store in document order.
@@ -898,7 +921,7 @@ impl XmlStore {
             .index_of_id(id)
             .ok_or(StoreError::Corrupt("range index points at wrong range"))?;
         self.stats.record_lookup(LookupPath::RangeScan);
-        self.stats.tokens_scanned += idx as u64 + 1;
+        SharedStats::add(&self.stats.tokens_scanned, idx as u64 + 1);
         Ok((entry.range_id, idx as u32, data.byte_offset_of(idx) as u32))
     }
 
@@ -961,7 +984,7 @@ impl XmlStore {
                 idx = 0;
                 byte = RANGE_HEADER_LEN;
             }
-            self.stats.tokens_scanned += 1;
+            SharedStats::bump(&self.stats.tokens_scanned);
             depth += data.tokens[idx].kind().depth_delta();
             if depth == 0 {
                 return Ok((data.header.range_id, idx as u32, byte as u32));
@@ -1080,7 +1103,7 @@ impl XmlStore {
             }
             Ok::<Vec<Vec<u8>>, StorageError>(out)
         })??;
-        self.stats.range_moves += moved_tail.len() as u64;
+        SharedStats::add(&self.stats.range_moves, moved_tail.len() as u64);
 
         let mut cur = block_page;
         for payload in payloads.iter().chain(moved_tail.iter()) {
@@ -1169,7 +1192,7 @@ impl XmlStore {
                     let right_id = self.next_range_id;
                     self.next_range_id += 1;
                     let (left, right) = data.split_at(token_idx, right_id);
-                    self.stats.range_splits += 1;
+                    SharedStats::bump(&self.stats.range_splits);
                     if let Some(p) = &mut self.partial {
                         p.invalidate_range(range_id);
                     }
@@ -1226,8 +1249,8 @@ impl XmlStore {
             self.reindex_full(r)?;
         }
 
-        self.stats.inserts += 1;
-        self.stats.tokens_inserted += token_count;
+        SharedStats::bump(&self.stats.inserts);
+        SharedStats::add(&self.stats.tokens_inserted, token_count);
         Ok((interval, split_info))
     }
 
@@ -1278,7 +1301,7 @@ impl XmlStore {
                 v[12..16].copy_from_slice(&byte.to_le_bytes());
                 let old = tree.insert(next, &v)?;
                 if old.is_some() {
-                    self.stats.full_index_rewrites += 1;
+                    SharedStats::bump(&self.stats.full_index_rewrites);
                 }
                 next += 1;
             }
@@ -1437,7 +1460,7 @@ impl XmlStore {
         let right_id = self.next_range_id;
         self.next_range_id += 1;
         let right = RangeData::new(right_id, suffix_start, suffix);
-        self.stats.range_splits += 1;
+        SharedStats::bump(&self.stats.range_splits);
         let left_payload = left.encode();
         self.data_pool.write(block_page, |buf| {
             block::replace_range(buf, block_page, slot, &left_payload)

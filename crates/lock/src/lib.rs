@@ -24,5 +24,5 @@
 pub mod manager;
 pub mod modes;
 
-pub use manager::{LockError, LockManager, TxId};
+pub use manager::{LockError, LockManager, LockStats, TxId};
 pub use modes::{compatible, LockMode, Resource};

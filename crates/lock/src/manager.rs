@@ -87,6 +87,18 @@ impl Inner {
     }
 }
 
+/// Cumulative lock-manager activity counters (a snapshot; the live
+/// counters are atomics so sessions record concurrently).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockStats {
+    /// Lock requests granted (including re-entrant grants and upgrades).
+    pub acquisitions: u64,
+    /// Times a requester had to block waiting for a holder.
+    pub waits: u64,
+    /// Requests aborted because waiting would have closed a cycle.
+    pub deadlocks: u64,
+}
+
 /// The hierarchical lock manager. Cheap to share behind an `Arc`.
 ///
 /// ```
@@ -109,6 +121,9 @@ pub struct LockManager {
     inner: Mutex<Inner>,
     released: Condvar,
     next_tx: AtomicU64,
+    acquisitions: AtomicU64,
+    waits: AtomicU64,
+    deadlocks: AtomicU64,
 }
 
 impl Default for LockManager {
@@ -124,6 +139,18 @@ impl LockManager {
             inner: Mutex::new(Inner::default()),
             released: Condvar::new(),
             next_tx: AtomicU64::new(1),
+            acquisitions: AtomicU64::new(0),
+            waits: AtomicU64::new(0),
+            deadlocks: AtomicU64::new(0),
+        }
+    }
+
+    /// A snapshot of the cumulative activity counters.
+    pub fn stats(&self) -> LockStats {
+        LockStats {
+            acquisitions: self.acquisitions.load(Ordering::Relaxed),
+            waits: self.waits.load(Ordering::Relaxed),
+            deadlocks: self.deadlocks.load(Ordering::Relaxed),
         }
     }
 
@@ -177,6 +204,7 @@ impl LockManager {
             if conflicts.is_empty() {
                 inner.grant(tx, res, mode);
                 inner.waits_for.remove(&tx);
+                self.acquisitions.fetch_add(1, Ordering::Relaxed);
                 return Ok(());
             }
             // Would waiting close a cycle?
@@ -184,9 +212,11 @@ impl LockManager {
                 let mut seen = HashSet::new();
                 if inner.reaches(holder, tx, &mut seen) {
                     inner.waits_for.remove(&tx);
+                    self.deadlocks.fetch_add(1, Ordering::Relaxed);
                     return Err(LockError::Deadlock { victim: tx });
                 }
             }
+            self.waits.fetch_add(1, Ordering::Relaxed);
             inner
                 .waits_for
                 .entry(tx)

@@ -1,0 +1,53 @@
+//! Server tuning knobs.
+
+use std::time::Duration;
+
+/// Configuration for one [`crate::Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address; port 0 picks an ephemeral port (the bound address
+    /// is reported by [`crate::ServerHandle::local_addr`]).
+    pub addr: String,
+    /// Worker threads executing requests against the store.
+    pub workers: usize,
+    /// Requests that may wait for a worker before new ones are rejected
+    /// with a typed `Busy` error instead of queueing unboundedly.
+    pub queue_depth: usize,
+    /// Concurrent connections admitted; excess connections receive a
+    /// `Busy` error at the handshake and are closed.
+    pub max_connections: usize,
+    /// A connection with no complete frame for this long is closed. Also
+    /// bounds how long a mid-frame stall may hold a session thread.
+    pub idle_timeout: Duration,
+    /// A request whose worker has not answered within this window gets a
+    /// typed `Timeout` error (the worker still completes; its result is
+    /// discarded).
+    pub request_timeout: Duration,
+    /// Honor the `Sleep` opcode (holds a worker; integration tests use it
+    /// to fill the queue deterministically). Off in production.
+    pub debug_sleep: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_depth: 64,
+            max_connections: 64,
+            idle_timeout: Duration::from_secs(300),
+            request_timeout: Duration::from_secs(30),
+            debug_sleep: false,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Validates the knobs, normalizing zeroes to minimal sane values.
+    pub fn normalized(mut self) -> ServerConfig {
+        self.workers = self.workers.max(1);
+        self.queue_depth = self.queue_depth.max(1);
+        self.max_connections = self.max_connections.max(1);
+        self
+    }
+}

@@ -1,0 +1,563 @@
+//! Request execution: opcode dispatch against the shared store, isolated
+//! by the hierarchical lock manager.
+//!
+//! Every request runs as one short transaction: acquire the locks its
+//! opcode needs (shared for reads, exclusive for writes, scoped to the
+//! range subtree the target node lives in where one can be located),
+//! execute against the store, release everything (strict two-phase — all
+//! locks at the end). A request picked as a deadlock victim is answered
+//! with a typed `Lock` error and can simply be retried by the client.
+//!
+//! Physical access to the [`XmlStore`] is serialized by a mutex — the
+//! store's API is `&mut self` because even reads memoize partial-index
+//! entries — while the lock manager provides the *logical* concurrency
+//! control of the paper's three-layer hierarchy (store / block / range):
+//! admission, isolation, and deadlock detection for many sessions.
+
+use crate::stats::ServerStats;
+use axs_client::wire::{put_str, put_u32, put_u64, ErrorCode, Frame, OpCode, Reader, WireError};
+use axs_core::{StoreError, XmlStore};
+use axs_lock::{LockError, LockManager, LockMode, Resource};
+use axs_xdm::{NodeId, Token};
+use axs_xml::{parse_document, parse_fragment, serialize, ParseOptions, SerializeOptions};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Streamed `ReadAll` chunk size: big enough to amortize framing, small
+/// enough that slow clients see steady progress.
+const READ_ALL_CHUNK: usize = 64 * 1024;
+
+/// What one dispatched request produced.
+pub(crate) struct DispatchOutcome {
+    /// Response frames, in write order (zero or more `More`, one final).
+    pub frames: Vec<Frame>,
+    /// The request asked the server to shut down.
+    pub shutdown: bool,
+}
+
+impl DispatchOutcome {
+    fn done(frames: Vec<Frame>) -> DispatchOutcome {
+        DispatchOutcome {
+            frames,
+            shutdown: false,
+        }
+    }
+}
+
+/// The locks an opcode needs before touching the store.
+enum Intent {
+    /// No store access (ping, sleep).
+    None,
+    /// Shared read scoped to the range subtree holding this node.
+    ReadNode(NodeId),
+    /// Exclusive write scoped to the range subtree holding this node.
+    WriteNode(NodeId),
+    /// Shared read over the whole store (queries, scans, inspection).
+    ReadStore,
+    /// Exclusive write over the whole store (bulk load, flush, compact).
+    WriteStore,
+}
+
+/// A request-level failure, mapped onto a typed wire error.
+struct ExecError {
+    code: ErrorCode,
+    message: String,
+}
+
+impl ExecError {
+    fn new(code: ErrorCode, message: impl Into<String>) -> ExecError {
+        ExecError {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl From<WireError> for ExecError {
+    fn from(e: WireError) -> Self {
+        ExecError::new(ErrorCode::Protocol, e.message)
+    }
+}
+
+impl From<StoreError> for ExecError {
+    fn from(e: StoreError) -> Self {
+        ExecError::new(ErrorCode::Store, e.to_string())
+    }
+}
+
+impl From<LockError> for ExecError {
+    fn from(e: LockError) -> Self {
+        ExecError::new(ErrorCode::Lock, e.to_string())
+    }
+}
+
+/// The shared execution engine: one store, one lock manager, the server's
+/// own counters. Shared by every session and worker.
+pub(crate) struct Engine {
+    store: Mutex<XmlStore>,
+    locks: LockManager,
+    stats: Arc<ServerStats>,
+    debug_sleep: bool,
+}
+
+impl Engine {
+    pub(crate) fn new(store: XmlStore, stats: Arc<ServerStats>, debug_sleep: bool) -> Engine {
+        Engine {
+            store: Mutex::new(store),
+            locks: LockManager::new(),
+            stats,
+            debug_sleep,
+        }
+    }
+
+    /// Flushes the store through the WAL (graceful-shutdown path; callers
+    /// must ensure no workers are still executing).
+    pub(crate) fn flush_store(&self) -> Result<(), StoreError> {
+        self.store.lock().flush()
+    }
+
+    /// Executes one request frame, producing the full ordered response.
+    /// Never panics outward; failures become typed error frames.
+    pub(crate) fn dispatch(&self, req: &Frame) -> DispatchOutcome {
+        let Some(opcode) = OpCode::from_u8(req.opcode) else {
+            ServerStats::bump(&self.stats.protocol_errors);
+            return DispatchOutcome::done(vec![Frame::error(
+                req.req_id,
+                req.opcode,
+                ErrorCode::Unsupported,
+                &format!("unknown opcode {}", req.opcode),
+            )]);
+        };
+        if opcode == OpCode::Shutdown {
+            return DispatchOutcome {
+                frames: vec![Frame::done(req.req_id, req.opcode, Vec::new())],
+                shutdown: true,
+            };
+        }
+        match self.dispatch_inner(req, opcode) {
+            Ok(frames) => DispatchOutcome::done(frames),
+            Err(e) => {
+                match e.code {
+                    ErrorCode::Protocol | ErrorCode::Parse => {
+                        ServerStats::bump(&self.stats.protocol_errors)
+                    }
+                    ErrorCode::Lock => ServerStats::bump(&self.stats.deadlocks),
+                    _ => {}
+                }
+                DispatchOutcome::done(vec![Frame::error(
+                    req.req_id, req.opcode, e.code, &e.message,
+                )])
+            }
+        }
+    }
+
+    fn dispatch_inner(&self, req: &Frame, opcode: OpCode) -> Result<Vec<Frame>, ExecError> {
+        match self.intent_of(req, opcode)? {
+            Intent::None => self.run(req, opcode),
+            intent => self.run_locked(req, opcode, intent),
+        }
+    }
+
+    /// Decodes enough of the payload to know what the opcode will lock.
+    fn intent_of(&self, req: &Frame, opcode: OpCode) -> Result<Intent, ExecError> {
+        use OpCode::*;
+        Ok(match opcode {
+            Ping | Sleep | Shutdown => Intent::None,
+            ReadNode | Value | Children | Parent => Intent::ReadNode(Self::peek_id(req)?),
+            InsertFirst | InsertLast | InsertBefore | InsertAfter | Delete | Replace => {
+                Intent::WriteNode(Self::peek_id(req)?)
+            }
+            Query | Flwor | ReadAll | Stats | Report | Ranges | Verify => Intent::ReadStore,
+            BulkLoad | Flush | Compact => Intent::WriteStore,
+        })
+    }
+
+    fn peek_id(req: &Frame) -> Result<NodeId, ExecError> {
+        let mut r = Reader::new(&req.payload);
+        Ok(NodeId(r.u64()?))
+    }
+
+    /// Acquires the intent's locks, runs the opcode, releases everything.
+    ///
+    /// Node-scoped intents map the node id onto its range resource via the
+    /// Range Index *before* locking, so the mapping can be stale by the
+    /// time the lock is granted (a concurrent writer may have split or
+    /// moved the range). After acquiring, the mapping is re-checked and
+    /// the locks re-taken until it is stable — the classic lock-then-
+    /// validate loop.
+    fn run_locked(
+        &self,
+        req: &Frame,
+        opcode: OpCode,
+        intent: Intent,
+    ) -> Result<Vec<Frame>, ExecError> {
+        let tx = self.locks.begin();
+        let result = (|| {
+            match intent {
+                Intent::ReadStore => self.locks.lock(tx, Resource::Store, LockMode::S)?,
+                Intent::WriteStore => self.locks.lock(tx, Resource::Store, LockMode::X)?,
+                Intent::ReadNode(id) => self.lock_node(tx, id, LockMode::S)?,
+                Intent::WriteNode(id) => self.lock_node(tx, id, LockMode::X)?,
+                Intent::None => {}
+            }
+            self.run(req, opcode)
+        })();
+        self.locks.unlock_all(tx);
+        result
+    }
+
+    /// Locks the range subtree holding `id` in `mode` (plus intention
+    /// modes up the hierarchy), validating the id→range mapping after the
+    /// grant. Nodes the Range Index does not cover (not yet inserted, or
+    /// deleted) fall back to a whole-store lock so the store itself can
+    /// produce the precise `NodeNotFound` error under protection.
+    fn lock_node(&self, tx: axs_lock::TxId, id: NodeId, mode: LockMode) -> Result<(), ExecError> {
+        // Bounded retries: under heavy splitting the mapping may keep
+        // moving; degrade to a whole-store lock rather than live-lock.
+        for _ in 0..4 {
+            let located = self.store.lock().locate_range(id)?;
+            let Some((block, range)) = located else {
+                let store_mode = if mode == LockMode::S {
+                    LockMode::S
+                } else {
+                    LockMode::X
+                };
+                self.locks.lock(tx, Resource::Store, store_mode)?;
+                return Ok(());
+            };
+            self.locks
+                .lock(tx, Resource::Range { block, range }, mode)?;
+            if self.store.lock().locate_range(id)? == Some((block, range)) {
+                return Ok(());
+            }
+            // Mapping moved while we waited; drop and retry from scratch.
+            self.locks.unlock_all(tx);
+        }
+        self.locks.lock(
+            tx,
+            Resource::Store,
+            if mode == LockMode::S {
+                LockMode::S
+            } else {
+                LockMode::X
+            },
+        )?;
+        Ok(())
+    }
+
+    /// Executes the opcode body. Lock acquisition already happened (or was
+    /// deliberately skipped for lock-free opcodes).
+    fn run(&self, req: &Frame, opcode: OpCode) -> Result<Vec<Frame>, ExecError> {
+        use OpCode::*;
+        let id = req.req_id;
+        let op = req.opcode;
+        let mut r = Reader::new(&req.payload);
+        let frames = match opcode {
+            Ping => {
+                r.finish()?;
+                vec![Frame::done(id, op, Vec::new())]
+            }
+            Sleep => {
+                let ms = r.u32()?;
+                r.finish()?;
+                if !self.debug_sleep {
+                    return Err(ExecError::new(
+                        ErrorCode::Unsupported,
+                        "sleep requires a server configured with debug_sleep",
+                    ));
+                }
+                std::thread::sleep(std::time::Duration::from_millis(u64::from(ms)));
+                vec![Frame::done(id, op, Vec::new())]
+            }
+            BulkLoad => {
+                let xml = r.str()?;
+                r.finish()?;
+                let tokens = Self::parse_xml(&xml)?;
+                let iv = self.store.lock().bulk_insert(tokens)?;
+                vec![Frame::done(id, op, Self::interval_payload(iv))]
+            }
+            Query => {
+                let path = r.str()?;
+                r.finish()?;
+                let compiled = axs_xpath::compile(&path)
+                    .map_err(|e| ExecError::new(ErrorCode::Parse, e.to_string()))?;
+                let matches = axs_xpath::evaluate_store(&mut self.store.lock(), &compiled)?;
+                let mut frames = Vec::with_capacity(matches.len() + 1);
+                for (node, tokens) in &matches {
+                    let mut p = Vec::new();
+                    p.push(u8::from(node.is_some()));
+                    put_u64(&mut p, node.map_or(0, NodeId::get));
+                    put_str(&mut p, &Self::render(tokens)?);
+                    frames.push(Frame::more(id, op, p));
+                }
+                let mut fin = Vec::new();
+                put_u64(&mut fin, matches.len() as u64);
+                frames.push(Frame::done(id, op, fin));
+                frames
+            }
+            Flwor => {
+                let text = r.str()?;
+                r.finish()?;
+                let q = axs_xquery::parse_flwor(&text)
+                    .map_err(|e| ExecError::new(ErrorCode::Parse, e.to_string()))?;
+                let rows = axs_xquery::evaluate_flwor(&mut self.store.lock(), &q)?;
+                let mut frames = Vec::with_capacity(rows.len() + 1);
+                for row in &rows {
+                    let mut p = Vec::new();
+                    put_str(&mut p, &Self::render(row)?);
+                    frames.push(Frame::more(id, op, p));
+                }
+                let mut fin = Vec::new();
+                put_u64(&mut fin, rows.len() as u64);
+                frames.push(Frame::done(id, op, fin));
+                frames
+            }
+            ReadNode => {
+                let node = NodeId(r.u64()?);
+                r.finish()?;
+                let tokens = self.store.lock().read_node(node)?;
+                let mut p = Vec::new();
+                put_str(&mut p, &Self::render(&tokens)?);
+                vec![Frame::done(id, op, p)]
+            }
+            Value => {
+                let node = NodeId(r.u64()?);
+                r.finish()?;
+                let value = self.store.lock().string_value(node)?;
+                let mut p = Vec::new();
+                put_str(&mut p, &value);
+                vec![Frame::done(id, op, p)]
+            }
+            Children => {
+                let node = NodeId(r.u64()?);
+                r.finish()?;
+                let mut store = self.store.lock();
+                let kids = store.children_of(node)?;
+                let mut p = Vec::new();
+                put_u32(&mut p, kids.len() as u32);
+                for kid in kids {
+                    put_u64(&mut p, kid.get());
+                    let name = store
+                        .name_of(kid)?
+                        .map(|q| q.to_lexical())
+                        .unwrap_or_default();
+                    put_str(&mut p, &name);
+                }
+                vec![Frame::done(id, op, p)]
+            }
+            Parent => {
+                let node = NodeId(r.u64()?);
+                r.finish()?;
+                let parent = self.store.lock().parent_of(node)?;
+                let mut p = Vec::new();
+                p.push(u8::from(parent.is_some()));
+                put_u64(&mut p, parent.map_or(0, NodeId::get));
+                vec![Frame::done(id, op, p)]
+            }
+            InsertFirst | InsertLast | InsertBefore | InsertAfter | Replace => {
+                let node = NodeId(r.u64()?);
+                let xml = r.str()?;
+                r.finish()?;
+                let tokens = Self::parse_xml(&xml)?;
+                let mut store = self.store.lock();
+                let iv = match opcode {
+                    InsertFirst => store.insert_into_first(node, tokens)?,
+                    InsertLast => store.insert_into_last(node, tokens)?,
+                    InsertBefore => store.insert_before(node, tokens)?,
+                    InsertAfter => store.insert_after(node, tokens)?,
+                    Replace => store.replace_node(node, tokens)?,
+                    _ => unreachable!(),
+                };
+                vec![Frame::done(id, op, Self::interval_payload(iv))]
+            }
+            Delete => {
+                let node = NodeId(r.u64()?);
+                r.finish()?;
+                self.store.lock().delete_node(node)?;
+                vec![Frame::done(id, op, Vec::new())]
+            }
+            ReadAll => {
+                r.finish()?;
+                let tokens = self.store.lock().read_all()?;
+                let text = Self::render(&tokens)?;
+                let mut frames = Vec::with_capacity(text.len() / READ_ALL_CHUNK + 2);
+                // Chunks split on byte boundaries; the client re-validates
+                // UTF-8 over the whole accumulation.
+                for chunk in text.as_bytes().chunks(READ_ALL_CHUNK) {
+                    frames.push(Frame::more(id, op, chunk.to_vec()));
+                }
+                let mut fin = Vec::new();
+                put_u64(&mut fin, tokens.len() as u64);
+                frames.push(Frame::done(id, op, fin));
+                frames
+            }
+            Stats => {
+                r.finish()?;
+                let entries = self.stat_entries();
+                let mut p = Vec::new();
+                put_u32(&mut p, entries.len() as u32);
+                for (name, value) in entries {
+                    put_str(&mut p, &name);
+                    put_u64(&mut p, value);
+                }
+                vec![Frame::done(id, op, p)]
+            }
+            Report => {
+                r.finish()?;
+                let store = self.store.lock();
+                let rep = store.storage_report()?;
+                let text = format!(
+                    "blocks {}  ranges {}  index entries {}  free pages {}\n\
+                     nodes {}  tokens {}  token bytes {}  payload bytes {}\n\
+                     fill {:.1}%  index pages {}",
+                    rep.blocks,
+                    rep.ranges,
+                    rep.range_index_entries,
+                    rep.free_pages,
+                    rep.live_nodes,
+                    rep.tokens,
+                    rep.token_bytes,
+                    rep.payload_bytes,
+                    rep.fill_factor() * 100.0,
+                    rep.index_pages,
+                );
+                let mut p = Vec::new();
+                put_str(&mut p, &text);
+                vec![Frame::done(id, op, p)]
+            }
+            Flush => {
+                r.finish()?;
+                self.store.lock().flush()?;
+                vec![Frame::done(id, op, Vec::new())]
+            }
+            Verify => {
+                r.finish()?;
+                let mut store = self.store.lock();
+                store.check_invariants()?;
+                // Walking every token forces every data page through the
+                // pool, so checksum verification covers the whole file.
+                let tokens = store.read_all()?;
+                let summary = format!(
+                    "ok: invariants hold, {} tokens readable, {} range(s)",
+                    tokens.len(),
+                    store.range_count(),
+                );
+                let mut p = Vec::new();
+                put_str(&mut p, &summary);
+                vec![Frame::done(id, op, p)]
+            }
+            Compact => {
+                let target = r.u64()?;
+                r.finish()?;
+                let rep = self.store.lock().compact(target as usize)?;
+                let mut p = Vec::new();
+                put_u64(&mut p, rep.merges);
+                put_u64(&mut p, rep.ranges_before);
+                put_u64(&mut p, rep.ranges_after);
+                vec![Frame::done(id, op, p)]
+            }
+            Ranges => {
+                r.finish()?;
+                let entries = self.store.lock().range_index_entries()?;
+                let mut text = String::from("RangeId  BlockId  StartId  EndId\n");
+                for e in entries {
+                    use std::fmt::Write as _;
+                    let _ = writeln!(
+                        text,
+                        "{:<8} {:<8} {:<8} {}",
+                        e.range_id,
+                        e.block.0,
+                        e.interval.start.get(),
+                        e.interval.end.get()
+                    );
+                }
+                let mut p = Vec::new();
+                put_str(&mut p, &text);
+                vec![Frame::done(id, op, p)]
+            }
+            Shutdown => unreachable!("handled by dispatch"),
+        };
+        Ok(frames)
+    }
+
+    /// Every counter the server can name: store ops, buffer pools, partial
+    /// index, lock manager, and the server's own session counters.
+    fn stat_entries(&self) -> Vec<(String, u64)> {
+        let mut out = Vec::with_capacity(40);
+        {
+            let store = self.store.lock();
+            let s = store.stats();
+            for (name, value) in [
+                ("store.inserts", s.inserts),
+                ("store.deletes", s.deletes),
+                ("store.replaces", s.replaces),
+                ("store.node_reads", s.node_reads),
+                ("store.full_scans", s.full_scans),
+                ("store.tokens_inserted", s.tokens_inserted),
+                ("store.lookups_partial", s.lookups_partial),
+                ("store.lookups_full", s.lookups_full),
+                ("store.lookups_range_scan", s.lookups_range_scan),
+                ("store.tokens_scanned", s.tokens_scanned),
+                ("store.range_splits", s.range_splits),
+                ("store.range_moves", s.range_moves),
+                ("store.full_index_rewrites", s.full_index_rewrites),
+                ("store.wal_records", s.wal_records),
+                ("store.recoveries", s.recoveries),
+                ("store.torn_tail_truncations", s.torn_tail_truncations),
+                ("store.io_retries", s.io_retries),
+                ("store.ranges", store.range_count() as u64),
+            ] {
+                out.push((name.to_string(), value));
+            }
+            let data = store.data_pool_stats();
+            let index = store.index_pool_stats();
+            out.push(("pool.data.hits".to_string(), data.hits));
+            out.push(("pool.data.misses".to_string(), data.misses));
+            out.push(("pool.data.evictions".to_string(), data.evictions));
+            out.push(("pool.index.hits".to_string(), index.hits));
+            out.push(("pool.index.misses".to_string(), index.misses));
+            out.push(("pool.index.evictions".to_string(), index.evictions));
+            let partial = store.partial_stats();
+            out.push(("partial.hits".to_string(), partial.hits));
+            out.push(("partial.misses".to_string(), partial.misses));
+            out.push((
+                "partial.entries".to_string(),
+                store.partial_index().map_or(0, |p| p.len() as u64),
+            ));
+        }
+        let locks = self.locks.stats();
+        out.push(("lock.acquisitions".to_string(), locks.acquisitions));
+        out.push(("lock.waits".to_string(), locks.waits));
+        out.push(("lock.deadlocks".to_string(), locks.deadlocks));
+        for (name, value) in self.stats.snapshot() {
+            out.push((name.to_string(), value));
+        }
+        out
+    }
+
+    fn parse_xml(xml: &str) -> Result<Vec<Token>, ExecError> {
+        // Accept full documents (with prolog) or bare fragments, exactly
+        // like the CLI's load commands.
+        let trimmed = xml.trim_start();
+        if trimmed.starts_with("<?xml") || trimmed.starts_with("<!DOCTYPE") {
+            let doc = parse_document(xml, ParseOptions::data_centric())
+                .map_err(|e| ExecError::new(ErrorCode::Parse, e.to_string()))?;
+            Ok(doc[1..doc.len() - 1].to_vec())
+        } else {
+            parse_fragment(xml, ParseOptions::data_centric())
+                .map_err(|e| ExecError::new(ErrorCode::Parse, e.to_string()))
+        }
+    }
+
+    fn render(tokens: &[Token]) -> Result<String, ExecError> {
+        serialize(tokens, &SerializeOptions::default())
+            .map_err(|e| ExecError::new(ErrorCode::Store, e.to_string()))
+    }
+
+    fn interval_payload(iv: axs_xdm::IdInterval) -> Vec<u8> {
+        let mut p = Vec::with_capacity(16);
+        put_u64(&mut p, iv.start.get());
+        put_u64(&mut p, iv.end.get());
+        p
+    }
+}

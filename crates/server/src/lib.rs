@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! # axs-server — `axsd`, a concurrent network front for the adaptive store
+//!
+//! The paper's store already carries the ingredients of a multi-user
+//! system: hierarchical range/block locking (`axs-lock`), a partial index
+//! designed around concurrent updaters (§5, §7) and a crash-safe WAL. This
+//! crate puts a network face on those ingredients: a multi-threaded TCP
+//! server that owns one [`axs_core::XmlStore`] and serves many concurrent
+//! sessions over the length-prefixed binary protocol defined in
+//! [`axs_client::wire`].
+//!
+//! Architecture, per connection and per request:
+//!
+//! ```text
+//! accept loop ─→ session thread (frame I/O, timeouts, backpressure)
+//!                   │  bounded queue (Busy beyond the limit)
+//!                   ▼
+//!                worker pool ─→ exec: hierarchical locks (S readers /
+//!                               X writers per range subtree) around the
+//!                               shared store, results streamed back
+//! ```
+//!
+//! Graceful shutdown (SIGTERM, Ctrl-C, or the `Shutdown` opcode) drains
+//! sessions and workers, then flushes the store through the WAL so the
+//! directory reopens clean.
+//!
+//! ```no_run
+//! use axs_core::StoreBuilder;
+//! use axs_server::{Server, ServerConfig};
+//!
+//! let store = StoreBuilder::new().build()?;
+//! let handle = Server::start(store, ServerConfig::default())?;
+//! println!("axsd listening on {}", handle.local_addr());
+//! handle.join()?; // serves until shutdown is requested
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod config;
+mod exec;
+mod pool;
+mod server;
+mod stats;
+
+pub use config::ServerConfig;
+pub use server::{Server, ServerError, ServerHandle};
+pub use stats::ServerStats;

@@ -1,0 +1,164 @@
+//! A bounded worker pool: fixed threads over a capped job queue. A full
+//! queue rejects instead of buffering — that is the server's backpressure.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Why a job was not enqueued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SubmitError {
+    /// The queue is at capacity; the caller should answer `Busy`.
+    Full,
+    /// The pool is shutting down.
+    Closed,
+}
+
+struct QueueInner {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+struct Queue {
+    inner: Mutex<QueueInner>,
+    available: Condvar,
+    capacity: usize,
+}
+
+pub(crate) struct WorkerPool {
+    queue: Arc<Queue>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl WorkerPool {
+    pub(crate) fn new(workers: usize, capacity: usize) -> WorkerPool {
+        let queue = Arc::new(Queue {
+            inner: Mutex::new(QueueInner {
+                jobs: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity,
+        });
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let queue = queue.clone();
+                std::thread::Builder::new()
+                    .name(format!("axsd-worker-{i}"))
+                    .spawn(move || loop {
+                        let job = {
+                            let mut inner = queue.inner.lock();
+                            loop {
+                                if let Some(job) = inner.jobs.pop_front() {
+                                    break Some(job);
+                                }
+                                if inner.closed {
+                                    break None;
+                                }
+                                queue.available.wait(&mut inner);
+                            }
+                        };
+                        match job {
+                            Some(job) => job(),
+                            None => return,
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            queue,
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// Enqueues `job` unless the queue is full or closed. Never blocks.
+    pub(crate) fn try_submit(&self, job: Job) -> Result<(), SubmitError> {
+        let mut inner = self.queue.inner.lock();
+        if inner.closed {
+            return Err(SubmitError::Closed);
+        }
+        if inner.jobs.len() >= self.queue.capacity {
+            return Err(SubmitError::Full);
+        }
+        inner.jobs.push_back(job);
+        drop(inner);
+        self.queue.available.notify_one();
+        Ok(())
+    }
+
+    /// Closes the queue (queued jobs still run) and joins every worker.
+    pub(crate) fn shutdown(&self) {
+        {
+            let mut inner = self.queue.inner.lock();
+            inner.closed = true;
+        }
+        self.queue.available.notify_all();
+        let handles = std::mem::take(&mut *self.handles.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    #[test]
+    fn runs_jobs_and_reports_full() {
+        let pool = WorkerPool::new(1, 1);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let ran = Arc::new(AtomicU64::new(0));
+
+        // Occupy the single worker...
+        let r = ran.clone();
+        pool.try_submit(Box::new(move || {
+            gate_rx.recv().unwrap();
+            r.fetch_add(1, Ordering::SeqCst);
+        }))
+        .unwrap();
+        // Give the worker a moment to pick the job up, then fill the queue.
+        std::thread::sleep(Duration::from_millis(30));
+        let r = ran.clone();
+        pool.try_submit(Box::new(move || {
+            r.fetch_add(1, Ordering::SeqCst);
+        }))
+        .unwrap();
+        // ...and the next submit must be rejected, not buffered.
+        let r = ran.clone();
+        let verdict = pool.try_submit(Box::new(move || {
+            r.fetch_add(1, Ordering::SeqCst);
+        }));
+        assert_eq!(verdict.unwrap_err(), SubmitError::Full);
+
+        gate_tx.send(()).unwrap();
+        pool.shutdown(); // drains the queued job before joining
+        assert_eq!(ran.load(Ordering::SeqCst), 2);
+        assert_eq!(
+            pool.try_submit(Box::new(|| {})).unwrap_err(),
+            SubmitError::Closed
+        );
+    }
+
+    #[test]
+    fn parallel_workers_make_progress() {
+        let pool = WorkerPool::new(4, 64);
+        let done = Arc::new(AtomicU64::new(0));
+        for _ in 0..32 {
+            let done = done.clone();
+            pool.try_submit(Box::new(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            }))
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 32);
+    }
+}

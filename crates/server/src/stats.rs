@@ -1,0 +1,50 @@
+//! Server-level activity counters, recorded concurrently by sessions.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic counters describing the server's own behavior (as opposed to
+/// the store's), surfaced through the `stats` opcode.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted over the server's lifetime.
+    pub connections: AtomicU64,
+    /// Connections currently open.
+    pub connections_active: AtomicU64,
+    /// Connections rejected at the connection cap.
+    pub connections_rejected: AtomicU64,
+    /// Request frames received.
+    pub requests: AtomicU64,
+    /// Requests rejected with `Busy` because the worker queue was full.
+    pub busy_rejections: AtomicU64,
+    /// Requests answered with `Timeout` after the request window lapsed.
+    pub timeouts: AtomicU64,
+    /// Requests aborted as deadlock victims (answered with `Lock`).
+    pub deadlocks: AtomicU64,
+    /// Malformed frames / payloads answered with `Protocol`.
+    pub protocol_errors: AtomicU64,
+}
+
+impl ServerStats {
+    /// Increments a counter.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Named snapshot of every counter, in stable order.
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        let read = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        vec![
+            ("server.connections", read(&self.connections)),
+            ("server.connections_active", read(&self.connections_active)),
+            (
+                "server.connections_rejected",
+                read(&self.connections_rejected),
+            ),
+            ("server.requests", read(&self.requests)),
+            ("server.busy_rejections", read(&self.busy_rejections)),
+            ("server.timeouts", read(&self.timeouts)),
+            ("server.deadlocks", read(&self.deadlocks)),
+            ("server.protocol_errors", read(&self.protocol_errors)),
+        ]
+    }
+}

@@ -1,0 +1,354 @@
+//! End-to-end tests: a real `axsd` listener on a loopback socket, driven
+//! by real `axs-client` connections.
+//!
+//! The centerpiece is the mixed-workload test: 16 client threads doing
+//! XPath reads and range inserts concurrently, asserted equal to a
+//! single-threaded shadow store replaying the same operations.
+
+use axs_client::{Client, ClientError};
+use axs_core::StoreBuilder;
+use axs_server::{Server, ServerConfig, ServerHandle};
+use axs_xml::{parse_fragment, serialize, ParseOptions, SerializeOptions};
+use std::time::Duration;
+
+fn start_in_memory(config: ServerConfig) -> ServerHandle {
+    Server::start(StoreBuilder::new().build().unwrap(), config).unwrap()
+}
+
+fn connect(handle: &ServerHandle) -> Client {
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    client
+}
+
+#[test]
+fn loopback_full_surface() {
+    let handle = start_in_memory(ServerConfig::default());
+    let mut c = connect(&handle);
+
+    c.ping().unwrap();
+
+    // Bulkload, query, insert, stats — the acceptance-criteria quartet.
+    let (root, _) = c
+        .bulk_load(r#"<orders><order id="1"><qty>5</qty></order></orders>"#)
+        .unwrap();
+    assert_eq!(root, 1);
+
+    let matches = c.query("/orders/order").unwrap();
+    assert_eq!(matches.len(), 1);
+    assert!(matches[0].xml.contains(r#"<order id="1">"#));
+    assert_eq!(matches[0].id, Some(2));
+
+    let (start, end) = c
+        .insert_last(root, r#"<order id="2"><qty>9</qty></order>"#)
+        .unwrap();
+    assert!(start <= end && start > 0);
+    assert_eq!(c.query("//order").unwrap().len(), 2);
+
+    let stats = c.stats().unwrap();
+    let get = |name: &str| {
+        stats
+            .iter()
+            .find(|e| e.name == name)
+            .unwrap_or_else(|| panic!("stat {name} missing"))
+            .value
+    };
+    assert!(get("store.inserts") >= 2, "bulkload + insert recorded");
+    assert!(get("server.requests") >= 4);
+    assert!(get("lock.acquisitions") >= 1);
+
+    // Navigation.
+    assert_eq!(c.parent(2).unwrap(), Some(1));
+    assert_eq!(c.parent(1).unwrap(), None);
+    let kids = c.children(root).unwrap();
+    assert_eq!(kids.len(), 2);
+    assert_eq!(kids[0].1, "order");
+    let qty = c.query("/orders/order/qty").unwrap()[0].id.unwrap();
+    assert_eq!(c.string_value(qty).unwrap(), "5");
+    assert!(c.read_node(2).unwrap().starts_with(r#"<order id="1">"#));
+
+    // FLWOR.
+    let rows = c
+        .flwor(r#"for $o in /orders/order where $o/qty > 6 return <hot id="{ $o/@id }"/>"#)
+        .unwrap();
+    assert_eq!(rows, vec![r#"<hot id="2"/>"#.to_string()]);
+
+    // Mutations: replace + delete round-trip through read_all.
+    let (rid, _) = c.replace(2, r#"<order id="1b"/>"#).unwrap();
+    c.delete(rid).unwrap();
+    let all = c.read_all().unwrap();
+    assert!(
+        all.contains(r#"<order id="2">"#) && !all.contains("1b"),
+        "{all}"
+    );
+
+    // Inspection + maintenance.
+    assert!(c.report().unwrap().contains("blocks"));
+    assert!(c.ranges().unwrap().contains("RangeId"));
+    let (_, before, after) = c.compact(8192).unwrap();
+    assert!(after <= before);
+    c.flush().unwrap();
+    assert!(c.verify().unwrap().starts_with("ok:"));
+
+    // Errors surface as typed codes, and the session survives them.
+    let err = c.read_node(9999).unwrap_err();
+    assert!(matches!(err, ClientError::Server { .. }), "{err}");
+    let err = c.query("///").unwrap_err();
+    assert!(
+        matches!(&err, ClientError::Server { code, .. } if format!("{code}") == "parse"),
+        "{err}"
+    );
+    c.ping().unwrap();
+
+    handle.shutdown();
+    handle.join().unwrap();
+}
+
+/// 16 concurrent clients: each owns one subtree and does range inserts
+/// into it, interleaved with XPath reads over the shared document. The
+/// final document must be byte-identical to a single-threaded shadow
+/// store replaying the same operations.
+#[test]
+fn concurrent_mixed_workload_matches_shadow_store() {
+    const THREADS: usize = 16;
+    const INSERTS: usize = 8;
+
+    let handle = start_in_memory(ServerConfig {
+        workers: 8,
+        queue_depth: 256,
+        ..ServerConfig::default()
+    });
+
+    let seed: String = {
+        let subtrees: String = (0..THREADS).map(|t| format!("<t{t}/>")).collect();
+        format!("<root>{subtrees}</root>")
+    };
+    let mut setup = connect(&handle);
+    let (root, _) = setup.bulk_load(&seed).unwrap();
+    let kids = setup.children(root).unwrap();
+    assert_eq!(kids.len(), THREADS);
+
+    std::thread::scope(|scope| {
+        for (t, (subtree, name)) in kids.clone().into_iter().enumerate() {
+            let addr = handle.local_addr();
+            scope.spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                c.set_timeout(Some(Duration::from_secs(30))).unwrap();
+                assert_eq!(name, format!("t{t}"));
+                for j in 0..INSERTS {
+                    // Busy is a legal answer under load; retry.
+                    loop {
+                        match c.insert_last(subtree, &format!(r#"<e t="{t}" j="{j}"/>"#)) {
+                            Ok(_) => break,
+                            Err(e) if e.is_busy() => continue,
+                            Err(e) => panic!("insert failed: {e}"),
+                        }
+                    }
+                    // Interleaved reads: every snapshot must be well-formed
+                    // and this thread's subtree must show all inserts so far.
+                    let xml = loop {
+                        match c.read_node(subtree) {
+                            Ok(xml) => break xml,
+                            Err(e) if e.is_busy() => continue,
+                            Err(e) => panic!("read failed: {e}"),
+                        }
+                    };
+                    assert_eq!(xml.matches("<e ").count(), j + 1, "{xml}");
+                    let matches = loop {
+                        match c.query(&format!("/root/t{t}/e")) {
+                            Ok(m) => break m,
+                            Err(e) if e.is_busy() => continue,
+                            Err(e) => panic!("query failed: {e}"),
+                        }
+                    };
+                    assert_eq!(matches.len(), j + 1);
+                }
+            });
+        }
+    });
+
+    // Shadow store: the same logical operations, single-threaded. Node ids
+    // differ (allocation order depends on interleaving) but the document
+    // must not.
+    let mut shadow = StoreBuilder::new().build().unwrap();
+    let opts = ParseOptions::data_centric();
+    shadow
+        .bulk_insert(parse_fragment(&seed, opts).unwrap())
+        .unwrap();
+    let shadow_kids = shadow.children_of(axs_xdm::NodeId(root)).unwrap();
+    for (t, subtree) in shadow_kids.into_iter().enumerate() {
+        for j in 0..INSERTS {
+            shadow
+                .insert_into_last(
+                    subtree,
+                    parse_fragment(&format!(r#"<e t="{t}" j="{j}"/>"#), opts).unwrap(),
+                )
+                .unwrap();
+        }
+    }
+    let shadow_xml = serialize(&shadow.read_all().unwrap(), &SerializeOptions::default()).unwrap();
+
+    let live_xml = setup.read_all().unwrap();
+    assert_eq!(live_xml, shadow_xml);
+    assert_eq!(
+        setup.query("//e").unwrap().len(),
+        THREADS * INSERTS,
+        "every insert visible over TCP"
+    );
+    assert!(setup.verify().unwrap().starts_with("ok:"));
+
+    handle.shutdown();
+    handle.join().unwrap();
+}
+
+/// A full worker queue answers `Busy` instead of hanging the caller.
+#[test]
+fn backpressure_returns_busy_not_hang() {
+    let handle = start_in_memory(ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        debug_sleep: true,
+        ..ServerConfig::default()
+    });
+
+    std::thread::scope(|scope| {
+        // Occupy the single worker...
+        let addr = handle.local_addr();
+        scope.spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            c.sleep(600).unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(150));
+        // ...fill the one queue slot...
+        let addr = handle.local_addr();
+        scope.spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            c.sleep(600).unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(150));
+        // ...and the next request must come back Busy, promptly.
+        let mut c = connect(&handle);
+        c.set_timeout(Some(Duration::from_secs(5))).unwrap();
+        let err = c.ping().unwrap_err();
+        assert!(err.is_busy(), "expected Busy, got {err}");
+    });
+
+    // After the sleepers drain, the server serves normally again.
+    let mut c = connect(&handle);
+    c.ping().unwrap();
+    assert!(
+        handle
+            .stats()
+            .busy_rejections
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1
+    );
+
+    handle.shutdown();
+    handle.join().unwrap();
+}
+
+/// A request that outlives the request window gets a typed `Timeout`; the
+/// connection stays usable afterwards.
+#[test]
+fn slow_requests_get_typed_timeout() {
+    let handle = start_in_memory(ServerConfig {
+        workers: 1,
+        request_timeout: Duration::from_millis(100),
+        debug_sleep: true,
+        ..ServerConfig::default()
+    });
+    let mut c = connect(&handle);
+    let err = c.sleep(500).unwrap_err();
+    match err {
+        ClientError::Server { code, .. } => assert_eq!(format!("{code}"), "timeout"),
+        other => panic!("expected server timeout, got {other}"),
+    }
+    // Wait out the sleeper so the worker is free, then reuse the session.
+    std::thread::sleep(Duration::from_millis(600));
+    c.ping().unwrap();
+
+    handle.shutdown();
+    handle.join().unwrap();
+}
+
+/// Connections beyond the cap receive a typed `Busy` at the handshake.
+#[test]
+fn connection_cap_rejects_with_busy() {
+    let handle = start_in_memory(ServerConfig {
+        max_connections: 1,
+        ..ServerConfig::default()
+    });
+    let mut first = connect(&handle);
+    first.ping().unwrap();
+
+    let mut second = Client::connect(handle.local_addr()).unwrap();
+    second.set_timeout(Some(Duration::from_secs(5))).unwrap();
+    let err = second.ping().unwrap_err();
+    assert!(err.is_busy(), "expected Busy at the cap, got {err}");
+
+    // The admitted session is unaffected, and closing it frees the slot.
+    first.ping().unwrap();
+    drop(first);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let mut retry = Client::connect(handle.local_addr()).unwrap();
+        retry.set_timeout(Some(Duration::from_secs(5))).unwrap();
+        match retry.ping() {
+            Ok(()) => break,
+            Err(e) if e.is_busy() && std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => panic!("slot never freed: {e}"),
+        }
+    }
+
+    handle.shutdown();
+    handle.join().unwrap();
+}
+
+/// The `Shutdown` opcode flushes through the WAL: a directory-backed
+/// store reopens clean with every acknowledged write present.
+#[test]
+fn graceful_shutdown_persists_through_wal() {
+    let dir = std::env::temp_dir().join(format!("axsd-shutdown-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let store = StoreBuilder::new().directory(&dir).build().unwrap();
+    let handle = Server::start(store, ServerConfig::default()).unwrap();
+    let mut c = connect(&handle);
+    let (root, _) = c.bulk_load("<ledger><seed/></ledger>").unwrap();
+    for i in 0..10 {
+        c.insert_last(root, &format!(r#"<entry n="{i}"/>"#))
+            .unwrap();
+    }
+    // No explicit flush: shutdown itself must make the writes durable.
+    c.shutdown_server().unwrap();
+    handle.join().unwrap();
+
+    let mut reopened = StoreBuilder::new().directory(&dir).open().unwrap();
+    reopened.check_invariants().unwrap();
+    let xml = serialize(&reopened.read_all().unwrap(), &SerializeOptions::default()).unwrap();
+    for i in 0..10 {
+        assert!(xml.contains(&format!(r#"<entry n="{i}"/>"#)), "{xml}");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// After shutdown is requested, new connections cannot start requests.
+#[test]
+fn requests_after_shutdown_are_rejected() {
+    let handle = start_in_memory(ServerConfig::default());
+    let mut c = connect(&handle);
+    c.ping().unwrap();
+    handle.shutdown();
+    // Either the connection is already closed (Io) or the server answers
+    // with a typed ShuttingDown error; both are acceptable, hanging is not.
+    match c.ping() {
+        Err(ClientError::Server { code, .. }) => assert_eq!(format!("{code}"), "shutting-down"),
+        Err(ClientError::Io(_)) => {}
+        Ok(()) => panic!("request accepted after shutdown"),
+        Err(other) => panic!("unexpected error: {other}"),
+    }
+    handle.join().unwrap();
+}

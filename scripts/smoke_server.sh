@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Loopback smoke test for the axsd server: start `axs serve` on a
+# directory-backed store, drive a scripted `axs connect` session, shut the
+# server down with SIGTERM, and check the store reopens clean with the
+# remote writes persisted.
+#
+# Usage: scripts/smoke_server.sh [path-to-axs-binary]
+# The caller is expected to wrap this in a hard timeout (CI uses
+# `timeout 120 …`) so a deadlocked server fails the job instead of hanging.
+set -euo pipefail
+
+AXS="${1:-target/release/axs}"
+PORT="${AXS_SMOKE_PORT:-48155}"
+WORK="$(mktemp -d)"
+STORE="$WORK/store"
+SERVER_LOG="$WORK/server.log"
+SERVER_PID=""
+
+cleanup() {
+    if [[ -n "$SERVER_PID" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
+        kill -9 "$SERVER_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "smoke: FAIL — $1" >&2
+    echo "---- server log ----" >&2
+    cat "$SERVER_LOG" >&2 || true
+    exit 1
+}
+
+[[ -x "$AXS" ]] || fail "axs binary not found at $AXS"
+
+"$AXS" serve "$STORE" --addr "127.0.0.1:$PORT" >"$SERVER_LOG" 2>&1 &
+SERVER_PID=$!
+
+# Wait for the listening line (the server prints it once the port is bound).
+for _ in $(seq 1 100); do
+    grep -q "axsd listening on" "$SERVER_LOG" 2>/dev/null && break
+    kill -0 "$SERVER_PID" 2>/dev/null || fail "server exited during startup"
+    sleep 0.1
+done
+grep -q "axsd listening on" "$SERVER_LOG" || fail "server never reported listening"
+
+# A scripted remote session: load, query, update, stats, flush.
+CLIENT_OUT="$("$AXS" connect "127.0.0.1:$PORT" <<'EOF'
+loadxml <orders><order id="1"><qty>5</qty></order></orders>
+query /orders/order
+insert-last 1 <order id="2"/>
+query //order
+stats
+save
+quit
+EOF
+)"
+
+echo "$CLIENT_OUT" | grep -q "loaded nodes"    || fail "bulkload did not succeed: $CLIENT_OUT"
+echo "$CLIENT_OUT" | grep -q "1 match(es)"     || fail "first query wrong: $CLIENT_OUT"
+echo "$CLIENT_OUT" | grep -q "inserted"        || fail "insert did not succeed: $CLIENT_OUT"
+echo "$CLIENT_OUT" | grep -q "2 match(es)"     || fail "post-insert query wrong: $CLIENT_OUT"
+echo "$CLIENT_OUT" | grep -q "server.requests" || fail "stats missing server counters: $CLIENT_OUT"
+echo "$CLIENT_OUT" | grep -q "flushed"         || fail "flush did not succeed: $CLIENT_OUT"
+
+# Graceful shutdown must drain and flush through the WAL.
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || fail "server exited non-zero on SIGTERM"
+SERVER_PID=""
+grep -q "clean shutdown" "$SERVER_LOG" || fail "server did not report clean shutdown"
+
+# The store must reopen clean with the remote insert persisted.
+VERIFY_OUT="$("$AXS" verify "$STORE")" || fail "verify failed after shutdown: $VERIFY_OUT"
+echo "$VERIFY_OUT" | grep -q "^ok:" || fail "verify output unexpected: $VERIFY_OUT"
+
+echo "smoke: OK — $VERIFY_OUT"
