@@ -22,6 +22,9 @@ pub enum ClientError {
         /// Human-readable message.
         message: String,
     },
+    /// An earlier `Io`/`Wire` error poisoned this connection (the stream
+    /// may be desynchronized mid-frame); reconnect to continue.
+    Poisoned,
 }
 
 impl ClientError {
@@ -44,6 +47,9 @@ impl fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "io: {e}"),
             ClientError::Wire(e) => write!(f, "{e}"),
             ClientError::Server { code, message } => write!(f, "server [{code}]: {message}"),
+            ClientError::Poisoned => {
+                write!(f, "connection poisoned by an earlier io/wire error; reconnect")
+            }
         }
     }
 }
@@ -85,10 +91,20 @@ pub struct StatEntry {
 ///
 /// One request is in flight at a time (the protocol is strictly
 /// request/response per connection); open several clients for parallelism.
+///
+/// Any [`ClientError::Io`] or [`ClientError::Wire`] failure *poisons* the
+/// connection: the stream may have stopped mid-frame (e.g. a read timeout
+/// set via [`Client::set_timeout`] firing while a response is in flight),
+/// after which the remaining bytes cannot be trusted to frame correctly.
+/// Every subsequent request on a poisoned client fails fast with
+/// [`ClientError::Poisoned`] instead of silently decoding garbage;
+/// reconnect to continue. Typed server errors ([`ClientError::Server`])
+/// leave the stream framed and do not poison.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
     next_req: u64,
+    poisoned: bool,
 }
 
 impl Client {
@@ -104,14 +120,26 @@ impl Client {
             reader,
             writer,
             next_req: 1,
+            poisoned: false,
         })
     }
 
     /// Applies a socket read timeout to every subsequent response wait
     /// (`None` blocks indefinitely, the default).
+    ///
+    /// A timeout that fires mid-response surfaces as [`ClientError::Io`]
+    /// and poisons the connection (see [`Client`]): the request's outcome
+    /// is unknown and the stream may be desynchronized, so further
+    /// requests require a fresh connection.
     pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
         self.reader.get_ref().set_read_timeout(timeout)?;
         Ok(())
+    }
+
+    /// True once an `Io`/`Wire` error has poisoned this connection; every
+    /// further request fails with [`ClientError::Poisoned`].
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
     }
 
     fn roundtrip(&mut self, opcode: OpCode, payload: Vec<u8>) -> Result<Vec<u8>, ClientError> {
@@ -127,7 +155,24 @@ impl Client {
 
     /// Sends one request and collects the full response: zero or more
     /// `More` frames followed by the final `Done` frame (last element).
+    /// Transport (`Io`) and framing (`Wire`) failures poison the
+    /// connection; see [`Client`].
     fn roundtrip_stream(
+        &mut self,
+        opcode: OpCode,
+        payload: Vec<u8>,
+    ) -> Result<Vec<Frame>, ClientError> {
+        if self.poisoned {
+            return Err(ClientError::Poisoned);
+        }
+        let result = self.roundtrip_stream_inner(opcode, payload);
+        if matches!(result, Err(ClientError::Io(_) | ClientError::Wire(_))) {
+            self.poisoned = true;
+        }
+        result
+    }
+
+    fn roundtrip_stream_inner(
         &mut self,
         opcode: OpCode,
         payload: Vec<u8>,

@@ -356,6 +356,11 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
 
 /// Reads one frame. Oversized or truncated frames surface as
 /// `InvalidData` I/O errors.
+///
+/// Only sound on a stream that cannot fail mid-frame and resume: the
+/// sequential `read_exact` calls lose partially-consumed bytes on a
+/// `WouldBlock`/`TimedOut`, desynchronizing the stream. Readers that poll
+/// under a socket read timeout must use [`FrameDecoder`] instead.
 pub fn read_frame(r: &mut impl Read) -> io::Result<Frame> {
     let mut len = [0u8; 4];
     r.read_exact(&mut len)?;
@@ -376,6 +381,96 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Frame> {
         status: fixed[9],
         payload,
     })
+}
+
+/// A resumable frame decoder for reads polled under a socket timeout.
+///
+/// Bytes already pulled from the stream are buffered here, so a
+/// `WouldBlock`/`TimedOut` mid-frame — inevitable for large frames
+/// arriving over a slow link when the reader polls with a short timeout —
+/// preserves the partial frame; the next [`FrameDecoder::poll`] resumes
+/// exactly where the previous one stopped instead of reinterpreting
+/// mid-frame bytes as a fresh length prefix.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    /// Bytes of the current frame received so far (length prefix included).
+    buf: Vec<u8>,
+    /// Decoded body length, once the 4-byte prefix is complete.
+    body_len: Option<usize>,
+}
+
+impl FrameDecoder {
+    /// A decoder with no buffered bytes.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// True when part of a frame has been buffered — the peer has started
+    /// a frame but not finished it.
+    pub fn mid_frame(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Reads from `r` until one full frame is buffered, then decodes it.
+    ///
+    /// `WouldBlock`/`TimedOut` from `r` propagate with the partial state
+    /// intact — call again with the same decoder to resume. Any other
+    /// error (bad length prefix as `InvalidData`, EOF as `UnexpectedEof`)
+    /// is terminal for the stream.
+    pub fn poll(&mut self, r: &mut impl Read) -> io::Result<Frame> {
+        loop {
+            let need = match self.body_len {
+                None => 4,
+                Some(body) => 4 + body,
+            };
+            self.fill(r, need)?;
+            match self.body_len {
+                None => {
+                    let body = u32::from_le_bytes(self.buf[..4].try_into().unwrap()) as usize;
+                    if !(FRAME_HEADER..=FRAME_MAX).contains(&body) {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("frame body of {body} B outside [{FRAME_HEADER}, {FRAME_MAX}]"),
+                        ));
+                    }
+                    self.body_len = Some(body);
+                }
+                Some(body) => {
+                    let frame = Frame {
+                        req_id: u64::from_le_bytes(self.buf[4..12].try_into().unwrap()),
+                        opcode: self.buf[12],
+                        status: self.buf[13],
+                        payload: self.buf[4 + FRAME_HEADER..4 + body].to_vec(),
+                    };
+                    self.buf.clear();
+                    self.body_len = None;
+                    return Ok(frame);
+                }
+            }
+        }
+    }
+
+    /// Buffers bytes from `r` until `target` are held. Grows the buffer
+    /// with what actually arrives, so a hostile length prefix never
+    /// triggers a large upfront allocation.
+    fn fill(&mut self, r: &mut impl Read, target: usize) -> io::Result<()> {
+        let mut chunk = [0u8; 16 * 1024];
+        while self.buf.len() < target {
+            let want = (target - self.buf.len()).min(chunk.len());
+            match r.read(&mut chunk[..want]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "peer closed mid-frame",
+                    ))
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
 }
 
 // ---- payload encoding -----------------------------------------------------
@@ -527,6 +622,90 @@ mod tests {
         let mut r = Reader::new(&p);
         r.u64().unwrap();
         assert!(r.finish().is_err());
+    }
+
+    /// A reader that yields its bytes one at a time, returning
+    /// `WouldBlock` between every byte — the worst-case stall pattern for
+    /// a decoder polled under a read timeout.
+    struct StallingReader {
+        bytes: Vec<u8>,
+        pos: usize,
+        ready: bool,
+    }
+
+    impl Read for StallingReader {
+        fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+            if !self.ready {
+                self.ready = true;
+                return Err(io::Error::from(io::ErrorKind::WouldBlock));
+            }
+            self.ready = false;
+            if self.pos == self.bytes.len() {
+                return Ok(0);
+            }
+            out[0] = self.bytes[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn frame_decoder_resumes_across_would_block_stalls() {
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 7);
+        put_str(&mut payload, "large enough to straddle many stalls");
+        let frames = vec![
+            Frame::request(1, OpCode::Query, payload),
+            Frame::done(1, OpCode::Query as u8, b"tail".to_vec()),
+        ];
+        let mut bytes = Vec::new();
+        for f in &frames {
+            write_frame(&mut bytes, f).unwrap();
+        }
+        let mut reader = StallingReader {
+            bytes,
+            pos: 0,
+            ready: false,
+        };
+        let mut decoder = FrameDecoder::new();
+        let mut decoded = Vec::new();
+        while decoded.len() < frames.len() {
+            match decoder.poll(&mut reader) {
+                Ok(frame) => decoded.push(frame),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => continue,
+                Err(e) => panic!("decoder lost sync: {e}"),
+            }
+        }
+        assert_eq!(decoded, frames);
+        assert!(!decoder.mid_frame());
+    }
+
+    #[test]
+    fn frame_decoder_reports_mid_frame_and_rejects_bad_prefix() {
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &Frame::request(3, OpCode::Ping, vec![0; 32])).unwrap();
+        let half = bytes.len() / 2;
+        let mut decoder = FrameDecoder::new();
+        let mut front = &bytes[..half];
+        match decoder.poll(&mut front) {
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {}
+            other => panic!("expected EOF mid-frame, got {other:?}"),
+        }
+        assert!(decoder.mid_frame());
+        // The same decoder finishes the frame from the remaining bytes,
+        // even though the first read ended inside the payload.
+        let mut back = &bytes[half..];
+        let frame = decoder.poll(&mut back).unwrap();
+        assert_eq!(frame.req_id, 3);
+        assert_eq!(frame.payload, vec![0; 32]);
+
+        let mut hostile = Vec::new();
+        put_u32(&mut hostile, (FRAME_MAX + 1) as u32);
+        let mut decoder = FrameDecoder::new();
+        match decoder.poll(&mut hostile.as_slice()) {
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {}
+            other => panic!("expected InvalidData, got {other:?}"),
+        }
     }
 
     #[test]

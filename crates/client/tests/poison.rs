@@ -1,0 +1,65 @@
+//! The client poisons its connection after transport/framing errors: a
+//! stream that failed mid-frame cannot be trusted to frame correctly, so
+//! further requests must fail fast instead of decoding garbage.
+
+use axs_client::{wire, Client, ClientError};
+use std::net::TcpListener;
+
+#[test]
+fn wire_error_poisons_the_client() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let (mut sock, _) = listener.accept().unwrap();
+        let mut reader = std::io::BufReader::new(sock.try_clone().unwrap());
+        wire::write_hello(&mut sock).unwrap();
+        wire::read_hello(&mut reader).unwrap();
+        // Answer the request with an unknown status byte — a framing-level
+        // lie rather than a typed server error.
+        let req = wire::read_frame(&mut reader).unwrap();
+        let garbage = wire::Frame {
+            req_id: req.req_id,
+            opcode: req.opcode,
+            status: 9,
+            payload: Vec::new(),
+        };
+        wire::write_frame(&mut sock, &garbage).unwrap();
+        // Hold the socket open so the client's failure is framing, not EOF.
+        std::thread::sleep(std::time::Duration::from_millis(200));
+    });
+
+    let mut client = Client::connect(addr).unwrap();
+    let err = client.ping().unwrap_err();
+    assert!(matches!(err, ClientError::Wire(_)), "{err}");
+    assert!(client.is_poisoned());
+    assert!(matches!(client.ping(), Err(ClientError::Poisoned)));
+    server.join().unwrap();
+}
+
+#[test]
+fn typed_server_errors_do_not_poison() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let (mut sock, _) = listener.accept().unwrap();
+        let mut reader = std::io::BufReader::new(sock.try_clone().unwrap());
+        wire::write_hello(&mut sock).unwrap();
+        wire::read_hello(&mut reader).unwrap();
+        for _ in 0..2 {
+            let req = wire::read_frame(&mut reader).unwrap();
+            wire::write_frame(
+                &mut sock,
+                &wire::Frame::error(req.req_id, req.opcode, wire::ErrorCode::Busy, "later"),
+            )
+            .unwrap();
+        }
+    });
+
+    let mut client = Client::connect(addr).unwrap();
+    assert!(client.ping().unwrap_err().is_busy());
+    // The stream is still framed after a typed error; the client stays
+    // usable and the next roundtrip completes.
+    assert!(!client.is_poisoned());
+    assert!(client.ping().unwrap_err().is_busy());
+    server.join().unwrap();
+}

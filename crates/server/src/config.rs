@@ -20,8 +20,11 @@ pub struct ServerConfig {
     /// bounds how long a mid-frame stall may hold a session thread.
     pub idle_timeout: Duration,
     /// A request whose worker has not answered within this window gets a
-    /// typed `Timeout` error (the worker still completes; its result is
-    /// discarded).
+    /// typed `Timeout` error and the connection is then closed: the worker
+    /// is still executing (its result is discarded) and may yet commit,
+    /// so a retry must reconnect rather than race it on the same session.
+    /// For mutating opcodes a timeout therefore means *ambiguous outcome*
+    /// (at-least-once), exactly as with a dropped connection.
     pub request_timeout: Duration,
     /// Honor the `Sleep` opcode (holds a worker; integration tests use it
     /// to fill the queue deterministically). Off in production.

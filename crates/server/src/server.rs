@@ -5,10 +5,12 @@
 //!
 //! - one accept thread owns the listener and spawns a session thread per
 //!   admitted connection (a connection cap rejects the excess with `Busy`);
-//! - each session thread reads frames, answers protocol errors itself, and
-//!   hands well-formed requests to the bounded worker pool with a
-//!   response channel — a full queue answers `Busy`, a lapsed request
-//!   window answers `Timeout` (the worker's eventual result is discarded);
+//! - each session thread reads frames (via a resumable decoder, so a read
+//!   timeout mid-frame never desynchronizes the stream), answers protocol
+//!   errors itself, and hands well-formed requests to the bounded worker
+//!   pool with a response channel — a full queue answers `Busy`, a lapsed
+//!   request window answers `Timeout` and then closes the connection (the
+//!   worker may still be running; a retry must not race it);
 //! - shutdown (handle, `Shutdown` opcode, or signal via the CLI) flips one
 //!   flag; sessions and the accept loop notice within their poll tick,
 //!   drain, and the store is flushed through the WAL last, once no worker
@@ -32,6 +34,11 @@ use std::time::{Duration, Instant};
 /// How often blocked reads wake up to check the shutdown flag and the
 /// idle deadline. Bounds shutdown latency, not throughput.
 const POLL_TICK: Duration = Duration::from_millis(100);
+
+/// Concurrent courtesy-reject threads (see [`reject_connection`]). Beyond
+/// this, over-cap connections are dropped outright so a connection flood
+/// cannot grow threads without bound.
+const MAX_REJECT_THREADS: usize = 32;
 
 /// Failures starting or finishing the server.
 #[derive(Debug)]
@@ -67,6 +74,7 @@ struct Shared {
     local_addr: SocketAddr,
     shutdown: AtomicBool,
     active_sessions: AtomicUsize,
+    reject_threads: AtomicUsize,
     sessions: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -100,6 +108,7 @@ impl Server {
             local_addr,
             shutdown: AtomicBool::new(false),
             active_sessions: AtomicUsize::new(0),
+            reject_threads: AtomicUsize::new(0),
             sessions: Mutex::new(Vec::new()),
         });
         let accept_shared = shared.clone();
@@ -189,7 +198,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
         if active > shared.config.max_connections {
             shared.active_sessions.fetch_sub(1, Ordering::SeqCst);
             ServerStats::bump(&shared.stats.connections_rejected);
-            reject_connection(stream);
+            reject_connection(stream, &shared);
             continue;
         }
         ServerStats::bump(&shared.stats.connections_active);
@@ -229,35 +238,51 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
 /// a well-formed `Busy` error, then linger until the peer closes.
 /// Runs on its own short-lived thread — closing immediately would race
 /// the peer's first request write and turn the queued `Busy` frame into a
-/// connection reset.
-fn reject_connection(stream: TcpStream) {
-    let _ = std::thread::Builder::new()
+/// connection reset. At most [`MAX_REJECT_THREADS`] run at once; beyond
+/// that the stream is simply dropped (the peer sees a reset), so a
+/// connection flood cannot recreate the unbounded-thread problem
+/// `max_connections` exists to prevent.
+fn reject_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    if shared.reject_threads.fetch_add(1, Ordering::SeqCst) >= MAX_REJECT_THREADS {
+        shared.reject_threads.fetch_sub(1, Ordering::SeqCst);
+        return;
+    }
+    let thread_shared = shared.clone();
+    let spawned = std::thread::Builder::new()
         .name("axsd-reject".to_string())
         .spawn(move || {
-            let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
-            let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
-            let read_half = stream.try_clone();
-            let mut writer = BufWriter::new(stream);
-            if wire::write_hello(&mut writer).is_err() {
-                return;
-            }
-            let _ = wire::write_frame(
-                &mut writer,
-                &Frame::error(
-                    0,
-                    OpCode::Ping as u8,
-                    ErrorCode::Busy,
-                    "connection limit reached",
-                ),
-            );
-            // Drain until the peer hangs up (or 2 s) so the error frame is
-            // not discarded by an early RST.
-            if let Ok(mut read_half) = read_half {
-                use std::io::Read as _;
-                let mut sink = [0u8; 512];
-                while matches!(read_half.read(&mut sink), Ok(n) if n > 0) {}
-            }
+            send_busy_and_drain(stream);
+            thread_shared.reject_threads.fetch_sub(1, Ordering::SeqCst);
         });
+    if spawned.is_err() {
+        shared.reject_threads.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn send_busy_and_drain(stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let read_half = stream.try_clone();
+    let mut writer = BufWriter::new(stream);
+    if wire::write_hello(&mut writer).is_err() {
+        return;
+    }
+    let _ = wire::write_frame(
+        &mut writer,
+        &Frame::error(
+            0,
+            OpCode::Ping as u8,
+            ErrorCode::Busy,
+            "connection limit reached",
+        ),
+    );
+    // Drain until the peer hangs up (or 2 s) so the error frame is
+    // not discarded by an early RST.
+    if let Ok(mut read_half) = read_half {
+        use std::io::Read as _;
+        let mut sink = [0u8; 512];
+        while matches!(read_half.read(&mut sink), Ok(n) if n > 0) {}
+    }
 }
 
 fn run_session(stream: TcpStream, shared: &Arc<Shared>) {
@@ -274,6 +299,14 @@ fn run_session(stream: TcpStream, shared: &Arc<Shared>) {
         return;
     }
 
+    // Frames are read through a resumable decoder: the 100 ms poll tick
+    // can fire mid-frame (inevitable for large frames over a slow link),
+    // and the partially-read bytes must survive the tick instead of being
+    // discarded — read_exact-based framing would reinterpret mid-frame
+    // bytes as a fresh length prefix and desynchronize the stream. The
+    // idle timeout still bounds how long a stalled mid-frame transfer can
+    // hold the session thread.
+    let mut decoder = wire::FrameDecoder::new();
     let mut idle_since = Instant::now();
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
@@ -282,7 +315,7 @@ fn run_session(stream: TcpStream, shared: &Arc<Shared>) {
         if idle_since.elapsed() > shared.config.idle_timeout {
             return;
         }
-        let req = match wire::read_frame(&mut reader) {
+        let req = match decoder.poll(&mut reader) {
             Ok(frame) => frame,
             Err(e) if would_block(&e) => continue,
             Err(e) if e.kind() == ErrorKind::InvalidData => {
@@ -320,15 +353,21 @@ fn run_session(stream: TcpStream, shared: &Arc<Shared>) {
 
 /// The hello is read under the same poll tick as frames so a client that
 /// connects and never speaks cannot pin the session thread past the idle
-/// timeout.
+/// timeout. Accumulates the 8 bytes across ticks — a tick that fires
+/// after part of the hello arrived must not discard it.
 fn read_hello_polled(
     reader: &mut BufReader<TcpStream>,
     shared: &Shared,
 ) -> Result<(), std::io::Error> {
+    use std::io::Read as _;
     let deadline = Instant::now() + shared.config.idle_timeout;
-    loop {
-        match wire::read_hello(reader) {
-            Ok(()) => return Ok(()),
+    let mut hello = [0u8; 8];
+    let mut got = 0;
+    while got < hello.len() {
+        match reader.read(&mut hello[got..]) {
+            Ok(0) => return Err(ErrorKind::UnexpectedEof.into()),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
             Err(e) if would_block(&e) => {
                 if shared.shutdown.load(Ordering::SeqCst) || Instant::now() > deadline {
                     return Err(e);
@@ -337,6 +376,7 @@ fn read_hello_polled(
             Err(e) => return Err(e),
         }
     }
+    wire::read_hello(&mut &hello[..])
 }
 
 /// Dispatches one request through the pool and writes the response.
@@ -410,20 +450,24 @@ fn answer(req: &Frame, shared: &Arc<Shared>, writer: &mut BufWriter<TcpStream>) 
         }
         Err(mpsc::RecvTimeoutError::Timeout) => {
             ServerStats::bump(&shared.stats.timeouts);
-            // The worker still completes eventually; its result lands in
-            // the dropped channel. The connection stays usable — requests
-            // are strictly serial per connection, so there is no stale
-            // frame to confuse the next request with.
-            wire::write_frame(
+            // The worker is still executing and may yet commit its effects
+            // (its result lands in the dropped channel). Keeping the
+            // connection open would let the client's next request — e.g. a
+            // retry of this one — run concurrently with it, breaking the
+            // one-request-per-connection invariant server-side and
+            // risking duplicate writes. Answer Timeout, then close: a
+            // retry must reconnect, and for mutating opcodes the
+            // timed-out request's outcome is ambiguous (at-least-once).
+            let _ = wire::write_frame(
                 writer,
                 &Frame::error(
                     req.req_id,
                     req.opcode,
                     ErrorCode::Timeout,
-                    "request exceeded the server's request timeout",
+                    "request exceeded the server's request timeout; connection closing",
                 ),
-            )
-            .is_ok()
+            );
+            false
         }
         Err(mpsc::RecvTimeoutError::Disconnected) => {
             // Worker pool shut down mid-request.

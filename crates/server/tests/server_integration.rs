@@ -248,10 +248,12 @@ fn backpressure_returns_busy_not_hang() {
     handle.join().unwrap();
 }
 
-/// A request that outlives the request window gets a typed `Timeout`; the
-/// connection stays usable afterwards.
+/// A request that outlives the request window gets a typed `Timeout` and
+/// the server then closes the connection: the timed-out worker may still
+/// be executing, so a retry must reconnect instead of racing it on the
+/// same session.
 #[test]
-fn slow_requests_get_typed_timeout() {
+fn slow_requests_get_typed_timeout_then_disconnect() {
     let handle = start_in_memory(ServerConfig {
         workers: 1,
         request_timeout: Duration::from_millis(100),
@@ -264,9 +266,66 @@ fn slow_requests_get_typed_timeout() {
         ClientError::Server { code, .. } => assert_eq!(format!("{code}"), "timeout"),
         other => panic!("expected server timeout, got {other}"),
     }
-    // Wait out the sleeper so the worker is free, then reuse the session.
+    // The server closed the connection after answering Timeout, so the
+    // next request on the same client fails at the transport...
+    match c.ping() {
+        Err(ClientError::Io(_)) => {}
+        other => panic!("expected closed connection after timeout, got {other:?}"),
+    }
+    // ...and the Io error poisons the client: further calls fail fast.
+    assert!(c.is_poisoned());
+    assert!(matches!(c.ping(), Err(ClientError::Poisoned)));
+
+    // Wait out the sleeper so the worker is free; a fresh connection works.
     std::thread::sleep(Duration::from_millis(600));
-    c.ping().unwrap();
+    let mut fresh = connect(&handle);
+    fresh.ping().unwrap();
+
+    handle.shutdown();
+    handle.join().unwrap();
+}
+
+/// A frame trickled in with a stall far longer than the server's 100 ms
+/// read-poll tick must not desynchronize the session: the server's
+/// resumable decoder keeps the partial frame across ticks instead of
+/// reinterpreting mid-frame bytes as a fresh length prefix.
+#[test]
+fn mid_frame_stall_does_not_desync_session() {
+    use axs_client::wire;
+    use std::io::Write as _;
+
+    let handle = start_in_memory(ServerConfig::default());
+    let mut sock = std::net::TcpStream::connect(handle.local_addr()).unwrap();
+    sock.set_nodelay(true).unwrap();
+    wire::write_hello(&mut sock).unwrap();
+    wire::read_hello(&mut sock).unwrap();
+
+    let mut bytes = Vec::new();
+    wire::write_frame(
+        &mut bytes,
+        &wire::Frame::request(1, wire::OpCode::Ping, Vec::new()),
+    )
+    .unwrap();
+    // Send the length prefix plus part of the header, stall past several
+    // poll ticks, then send the rest.
+    sock.write_all(&bytes[..7]).unwrap();
+    sock.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(400));
+    sock.write_all(&bytes[7..]).unwrap();
+    sock.flush().unwrap();
+
+    let resp = wire::read_frame(&mut sock).unwrap();
+    assert_eq!(resp.req_id, 1);
+    assert_eq!(wire::Status::from_u8(resp.status), Some(wire::Status::Done));
+
+    // The session is still framed: a normally-sent request round-trips.
+    wire::write_frame(
+        &mut sock,
+        &wire::Frame::request(2, wire::OpCode::Ping, Vec::new()),
+    )
+    .unwrap();
+    let resp = wire::read_frame(&mut sock).unwrap();
+    assert_eq!(resp.req_id, 2);
 
     handle.shutdown();
     handle.join().unwrap();
