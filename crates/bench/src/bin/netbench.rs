@@ -1,15 +1,23 @@
 //! Loopback throughput for the `axsd` server: requests/sec and latency
-//! percentiles at 1, 4, and 16 client threads.
+//! percentiles at 1, 4, and 16 client threads, split into read and write
+//! families.
 //!
-//! Each client owns one subtree of the shared document and alternates a
-//! range insert with two point reads — the mixed read/write shape the
-//! server's lock hierarchy is built for. Results print as one JSON object
-//! per configuration (same spirit as the Table 5 harness: machine-readable
-//! lines CI can archive and diff).
+//! Each client owns one subtree of the shared document and interleaves
+//! point reads with range inserts in a configurable ratio (`--read-pct`,
+//! default 90) — the read-mostly shape the shared read path is built for.
+//! The store is durable by default (`--mem` opts out), so writes pay the
+//! real group-commit price and the sweep measures what the shared read
+//! path buys: with one client every commit stall serializes behind the
+//! reads, while with many clients reads keep flowing through the shared
+//! lock during writers' commit windows. Results print as one JSON object
+//! per configuration and the whole sweep is archived to
+//! `BENCH_netbench.json` (override with `--out`), including a
+//! `read_scaling` section comparing the 1-client run against the widest.
 //!
 //! ```sh
-//! cargo run --release -p axs-bench --bin netbench            # full sweep
-//! AXS_NETBENCH_OPS=50 cargo run -p axs-bench --bin netbench  # quick pass
+//! cargo run --release -p axs-bench --bin netbench             # full sweep
+//! cargo run --release -p axs-bench --bin netbench -- --read-pct 50
+//! AXS_NETBENCH_OPS=50 cargo run -p axs-bench --bin netbench   # quick pass
 //! ```
 
 use axs_client::Client;
@@ -19,36 +27,217 @@ use std::time::{Duration, Instant};
 
 const CLIENT_COUNTS: &[usize] = &[1, 4, 16];
 
-fn ops_per_client() -> usize {
-    std::env::var("AXS_NETBENCH_OPS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(300)
+struct Options {
+    /// Percentage of operations that are reads, evenly interleaved.
+    read_pct: u32,
+    /// Operations per client (reads + writes together).
+    ops: usize,
+    /// Where the machine-readable sweep is written.
+    out: String,
+    /// Group-commit window for the durable store.
+    commit_window: Duration,
+    /// Benchmark an in-memory store instead of a durable one (no WAL, no
+    /// commit stalls — measures the wire + dispatch path alone).
+    mem: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        read_pct: 90,
+        ops: std::env::var("AXS_NETBENCH_OPS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(900),
+        out: "BENCH_netbench.json".to_string(),
+        commit_window: Duration::from_millis(1),
+        mem: false,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--read-pct" => {
+                let v: u32 = value_of("--read-pct")?
+                    .parse()
+                    .map_err(|e| format!("--read-pct: {e}"))?;
+                if v > 100 {
+                    return Err("--read-pct must be 0..=100".to_string());
+                }
+                opts.read_pct = v;
+            }
+            "--ops" => {
+                opts.ops = value_of("--ops")?
+                    .parse()
+                    .map_err(|e| format!("--ops: {e}"))?;
+            }
+            "--out" => opts.out = value_of("--out")?,
+            "--commit-window-ms" => {
+                let v: u64 = value_of("--commit-window-ms")?
+                    .parse()
+                    .map_err(|e| format!("--commit-window-ms: {e}"))?;
+                opts.commit_window = Duration::from_millis(v);
+            }
+            "--mem" => opts.mem = true,
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(opts)
 }
 
 fn main() {
-    let ops = ops_per_client();
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: netbench [--read-pct N] [--ops N] [--out PATH] \
+                 [--commit-window-ms N] [--mem]"
+            );
+            std::process::exit(2);
+        }
+    };
     println!(
-        "axsd loopback throughput — {ops} op-groups/client, \
-         1 insert + 2 point reads per group"
+        "axsd loopback throughput — {} ops/client, {}% reads, {}",
+        opts.ops,
+        opts.read_pct,
+        match opts.mem {
+            true => "in-memory store".to_string(),
+            false => format!(
+                "durable store, {} ms commit window",
+                opts.commit_window.as_millis()
+            ),
+        }
     );
-    for &clients in CLIENT_COUNTS {
-        let result = run_one(clients, ops);
-        println!("{result}");
+    let runs: Vec<RunResult> = CLIENT_COUNTS
+        .iter()
+        .map(|&clients| {
+            let r = run_one(clients, &opts);
+            println!("{}", r.to_json());
+            r
+        })
+        .collect();
+
+    // The 1-client run cannot overlap anything; it is the serialized
+    // baseline the shared read path is measured against.
+    let baseline = &runs[0];
+    let widest = runs.last().unwrap();
+    let scaling = format!(
+        "{{\"baseline_clients\":{},\"baseline_read_rps\":{:.0},\
+         \"widest_clients\":{},\"widest_read_rps\":{:.0},\"read_speedup\":{:.2}}}",
+        baseline.clients,
+        baseline.read_rps(),
+        widest.clients,
+        widest.read_rps(),
+        widest.read_rps() / baseline.read_rps().max(1e-9),
+    );
+    println!("read_scaling {scaling}");
+
+    let mut doc = String::from("{\n");
+    doc.push_str(&format!(
+        "  \"bench\": \"server_loopback\",\n  \"read_pct\": {},\n  \"ops_per_client\": {},\n",
+        opts.read_pct, opts.ops
+    ));
+    doc.push_str(&format!(
+        "  \"durable\": {},\n  \"commit_window_ms\": {},\n",
+        !opts.mem,
+        opts.commit_window.as_millis()
+    ));
+    doc.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        let sep = if i + 1 < runs.len() { "," } else { "" };
+        doc.push_str(&format!("    {}{sep}\n", r.to_json()));
+    }
+    doc.push_str("  ],\n");
+    doc.push_str(&format!("  \"read_scaling\": {scaling},\n"));
+    doc.push_str(
+        "  \"note\": \"baseline = 1 client (every request serialized, the \
+         pre-shared-read-path behavior); widest = concurrent clients on the \
+         shared read path overlapping writers' group-commit windows\"\n}\n",
+    );
+    if let Err(e) = std::fs::write(&opts.out, doc) {
+        eprintln!("cannot write {}: {e}", opts.out);
+        std::process::exit(1);
+    }
+    println!("wrote {}", opts.out);
+}
+
+struct RunResult {
+    clients: usize,
+    workers: usize,
+    read_pct: u32,
+    elapsed: Duration,
+    read_latencies_us: Vec<u64>,
+    write_latencies_us: Vec<u64>,
+}
+
+impl RunResult {
+    fn read_rps(&self) -> f64 {
+        self.read_latencies_us.len() as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    fn write_rps(&self) -> f64 {
+        self.write_latencies_us.len() as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    fn to_json(&self) -> String {
+        let requests = self.read_latencies_us.len() + self.write_latencies_us.len();
+        let pct = |sorted: &[u64], p: f64| -> u64 {
+            if sorted.is_empty() {
+                return 0;
+            }
+            let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+            sorted[idx]
+        };
+        format!(
+            "{{\"bench\":\"server_loopback\",\"clients\":{},\"workers\":{},\
+             \"read_pct\":{},\"requests\":{requests},\"reads\":{},\"writes\":{},\
+             \"elapsed_s\":{:.3},\"rps\":{:.0},\"read_rps\":{:.0},\"write_rps\":{:.0},\
+             \"read_p50_us\":{},\"read_p99_us\":{},\"write_p50_us\":{},\"write_p99_us\":{}}}",
+            self.clients,
+            self.workers,
+            self.read_pct,
+            self.read_latencies_us.len(),
+            self.write_latencies_us.len(),
+            self.elapsed.as_secs_f64(),
+            requests as f64 / self.elapsed.as_secs_f64().max(1e-9),
+            self.read_rps(),
+            self.write_rps(),
+            pct(&self.read_latencies_us, 0.50),
+            pct(&self.read_latencies_us, 0.99),
+            pct(&self.write_latencies_us, 0.50),
+            pct(&self.write_latencies_us, 0.99),
+        )
     }
 }
 
-/// One configuration: a fresh in-memory server, `clients` threads, each
-/// performing `ops` groups of (insert, read-back, parent). Returns the
-/// JSON result line.
-fn run_one(clients: usize, ops: usize) -> String {
-    let workers = clients.clamp(2, 8);
+/// One configuration: a fresh server (durable by default, so writes pay
+/// the real WAL-commit price), `clients` threads, each performing `ops`
+/// operations of which `read_pct`% are point reads and the rest range
+/// inserts, evenly interleaved (Bresenham-style, so the mix holds at
+/// every prefix and every run is deterministic).
+fn run_one(clients: usize, opts: &Options) -> RunResult {
+    let (ops, read_pct) = (opts.ops, opts.read_pct);
+    let workers = clients.clamp(2, 16);
+    let dir = std::env::temp_dir().join(format!("axs-netbench-{}-{clients}", std::process::id()));
+    let store = match opts.mem {
+        true => StoreBuilder::new().build().unwrap(),
+        false => {
+            let _ = std::fs::remove_dir_all(&dir);
+            StoreBuilder::new().directory(&dir).build().unwrap()
+        }
+    };
     let handle = Server::start(
-        StoreBuilder::new().build().unwrap(),
+        store,
         ServerConfig {
             workers,
             queue_depth: 1024,
             max_connections: clients + 4,
+            commit_window: opts.commit_window,
             ..ServerConfig::default()
         },
     )
@@ -65,7 +254,7 @@ fn run_one(clients: usize, ops: usize) -> String {
     let kids = setup.children(root).unwrap();
 
     let started = Instant::now();
-    let mut latencies_us: Vec<u64> = std::thread::scope(|scope| {
+    let lat: Vec<(Vec<u64>, Vec<u64>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|t| {
                 let addr = handle.local_addr();
@@ -73,68 +262,77 @@ fn run_one(clients: usize, ops: usize) -> String {
                 scope.spawn(move || {
                     let mut c = Client::connect(addr).unwrap();
                     c.set_timeout(Some(Duration::from_secs(60))).unwrap();
-                    let mut lat = Vec::with_capacity(ops * 3);
-                    let mut timed = |f: &mut dyn FnMut(&mut Client)| {
-                        let t0 = Instant::now();
-                        // Busy under saturation is a retry, and the retry
-                        // time is part of the observed latency.
-                        f(&mut c);
-                        lat.push(t0.elapsed().as_micros() as u64);
-                    };
+                    // Every client seeds one element before the clock-free
+                    // loop so reads always have a target.
+                    let (mut last, _) = c.insert_last(subtree, r#"<e j="seed"/>"#).unwrap();
+                    let mut reads = Vec::new();
+                    let mut writes = Vec::new();
+                    let write_share = 100 - read_pct as usize;
                     for j in 0..ops {
-                        let frag = format!(r#"<e j="{j}"/>"#);
-                        let mut inserted = 0u64;
-                        timed(&mut |c| {
-                            inserted = loop {
+                        // Op j is a write when the Bresenham accumulator
+                        // crosses an integer: exactly `write_share` writes
+                        // per 100 ops, evenly spread.
+                        let is_write = (j + 1) * write_share / 100 > j * write_share / 100;
+                        let t0 = Instant::now();
+                        if is_write {
+                            let frag = format!(r#"<e j="{j}"/>"#);
+                            last = loop {
+                                // Busy under saturation is a retry, and the
+                                // retry time is part of the observed latency.
                                 match c.insert_last(subtree, &frag) {
                                     Ok((start, _)) => break start,
                                     Err(e) if e.is_busy() => continue,
                                     Err(e) => panic!("insert: {e}"),
                                 }
                             };
-                        });
-                        timed(&mut |c| loop {
-                            match c.read_node(inserted) {
-                                Ok(_) => break,
-                                Err(e) if e.is_busy() => continue,
-                                Err(e) => panic!("read: {e}"),
+                            writes.push(t0.elapsed().as_micros() as u64);
+                        } else {
+                            // Rotate across the point-read surface; all
+                            // targets stay O(1)-sized as the document grows.
+                            let kind = j % 3;
+                            loop {
+                                let r = match kind {
+                                    0 => c.read_node(last).map(|_| ()),
+                                    1 => c.parent(last).map(|_| ()),
+                                    _ => c.string_value(last).map(|_| ()),
+                                };
+                                match r {
+                                    Ok(()) => break,
+                                    Err(e) if e.is_busy() => continue,
+                                    Err(e) => panic!("read: {e}"),
+                                }
                             }
-                        });
-                        timed(&mut |c| loop {
-                            match c.parent(inserted) {
-                                Ok(_) => break,
-                                Err(e) if e.is_busy() => continue,
-                                Err(e) => panic!("parent: {e}"),
-                            }
-                        });
+                            reads.push(t0.elapsed().as_micros() as u64);
+                        }
                     }
-                    lat
+                    (reads, writes)
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().unwrap())
-            .collect()
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
     let elapsed = started.elapsed();
 
     handle.shutdown();
     handle.join().unwrap();
+    if !opts.mem {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 
-    latencies_us.sort_unstable();
-    let requests = latencies_us.len();
-    let pct = |p: f64| -> u64 {
-        let idx = ((requests as f64 - 1.0) * p).round() as usize;
-        latencies_us[idx]
-    };
-    format!(
-        "{{\"bench\":\"server_loopback\",\"clients\":{clients},\"workers\":{workers},\
-         \"requests\":{requests},\"elapsed_s\":{:.3},\"rps\":{:.0},\
-         \"p50_us\":{},\"p99_us\":{}}}",
-        elapsed.as_secs_f64(),
-        requests as f64 / elapsed.as_secs_f64().max(1e-9),
-        pct(0.50),
-        pct(0.99),
-    )
+    let mut read_latencies_us: Vec<u64> = Vec::new();
+    let mut write_latencies_us: Vec<u64> = Vec::new();
+    for (r, w) in lat {
+        read_latencies_us.extend(r);
+        write_latencies_us.extend(w);
+    }
+    read_latencies_us.sort_unstable();
+    write_latencies_us.sort_unstable();
+    RunResult {
+        clients,
+        workers,
+        read_pct,
+        elapsed,
+        read_latencies_us,
+        write_latencies_us,
+    }
 }

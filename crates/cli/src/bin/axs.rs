@@ -20,7 +20,7 @@ use std::time::Duration;
 const USAGE: &str = "usage:
   axs [directory]                 interactive shell (in-memory without a directory)
   axs serve [directory] [--addr HOST:PORT] [--workers N] [--queue N]
-            [--max-connections N] [--debug-sleep]
+            [--max-connections N] [--commit-window-ms N] [--debug-sleep]
                                   run the axsd server (in-memory without a directory)
   axs connect HOST:PORT           interactive shell against a running server
   axs verify <directory>          check invariants + checksums; exit 1 on corruption
@@ -171,6 +171,11 @@ fn cmd_serve(args: &[String]) -> i32 {
                     .map(|n| config.max_connections = n)
                     .map_err(|e| format!("--max-connections: {e}"))
             }),
+            "--commit-window-ms" => value_of("--commit-window-ms").and_then(|v| {
+                v.parse::<u64>()
+                    .map(|n| config.commit_window = Duration::from_millis(n))
+                    .map_err(|e| format!("--commit-window-ms: {e}"))
+            }),
             "--debug-sleep" => {
                 config.debug_sleep = true;
                 Ok(())
@@ -249,7 +254,7 @@ fn cmd_verify(args: &[String]) -> i32 {
         eprintln!("usage: axs verify <directory>");
         return 2;
     };
-    let mut store = match StoreBuilder::new().directory(dir).open() {
+    let store = match StoreBuilder::new().directory(dir).open() {
         Ok(s) => s,
         Err(e) => {
             eprintln!("verify {dir}: cannot open store: {e}");

@@ -80,8 +80,8 @@ impl Session {
             Command::LoadXml(xml) => self.load_xml_text(&xml)?,
             Command::Query(path) => {
                 let compiled = axs_xpath::compile(&path).map_err(|e| e.to_string())?;
-                let matches = axs_xpath::evaluate_store(&mut self.store, &compiled)
-                    .map_err(|e| e.to_string())?;
+                let matches =
+                    axs_xpath::evaluate_store(&self.store, &compiled).map_err(|e| e.to_string())?;
                 let mut out = format!("{} match(es)\n", matches.len());
                 for (id, tokens) in matches.iter().take(50) {
                     let id = id.map(|n| n.to_string()).unwrap_or_default();
@@ -95,7 +95,7 @@ impl Session {
             Command::Flwor(text) => {
                 let q = axs_xquery::parse_flwor(&text).map_err(|e| e.to_string())?;
                 let rows =
-                    axs_xquery::evaluate_flwor(&mut self.store, &q).map_err(|e| e.to_string())?;
+                    axs_xquery::evaluate_flwor(&self.store, &q).map_err(|e| e.to_string())?;
                 let mut out = format!("{} row(s)\n", rows.len());
                 for row in rows.iter().take(50) {
                     let _ = writeln!(out, "  {}", Self::render(row));

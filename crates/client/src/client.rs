@@ -48,7 +48,10 @@ impl fmt::Display for ClientError {
             ClientError::Wire(e) => write!(f, "{e}"),
             ClientError::Server { code, message } => write!(f, "server [{code}]: {message}"),
             ClientError::Poisoned => {
-                write!(f, "connection poisoned by an earlier io/wire error; reconnect")
+                write!(
+                    f,
+                    "connection poisoned by an earlier io/wire error; reconnect"
+                )
             }
         }
     }

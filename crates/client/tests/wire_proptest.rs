@@ -1,0 +1,96 @@
+//! Property test: [`FrameDecoder`] decodes a byte stream split at
+//! arbitrary chunk boundaries — with a `WouldBlock` stall between every
+//! chunk — to exactly the frames a one-shot decode of the whole stream
+//! yields. This is the resumability contract the client relies on when it
+//! polls a socket under a read timeout.
+
+use axs_client::wire::{write_frame, Frame, FrameDecoder};
+use proptest::prelude::*;
+use std::io::{self, Read};
+
+/// Serves the stream in caller-prescribed chunk sizes, raising
+/// `WouldBlock` once between chunks to model a read timeout firing
+/// mid-frame.
+struct ChunkedReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    /// Cycled through; each entry caps one chunk's size.
+    chunks: &'a [usize],
+    next_chunk: usize,
+    stalled: bool,
+}
+
+impl Read for ChunkedReader<'_> {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        if self.pos == self.bytes.len() {
+            return Ok(0); // EOF
+        }
+        if !self.stalled {
+            self.stalled = true;
+            return Err(io::Error::new(io::ErrorKind::WouldBlock, "stall"));
+        }
+        self.stalled = false;
+        let cap = match self.chunks.is_empty() {
+            true => self.bytes.len(),
+            false => {
+                let cap = self.chunks[self.next_chunk % self.chunks.len()];
+                self.next_chunk += 1;
+                cap
+            }
+        };
+        let n = cap.min(out.len()).min(self.bytes.len() - self.pos);
+        out[..n].copy_from_slice(&self.bytes[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+fn frame_strategy() -> impl Strategy<Value = Frame> {
+    (
+        any::<u64>(),
+        any::<u8>(),
+        any::<u8>(),
+        proptest::collection::vec(any::<u8>(), 0..200),
+    )
+        .prop_map(|(req_id, opcode, status, payload)| Frame {
+            req_id,
+            opcode,
+            status,
+            payload,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn decoder_is_chunk_boundary_invariant(
+        frames in proptest::collection::vec(frame_strategy(), 1..8),
+        chunks in proptest::collection::vec(1usize..64, 0..40),
+    ) {
+        let mut bytes = Vec::new();
+        for f in &frames {
+            write_frame(&mut bytes, f).unwrap();
+        }
+
+        let mut reader = ChunkedReader {
+            bytes: &bytes,
+            pos: 0,
+            chunks: &chunks,
+            next_chunk: 0,
+            stalled: false,
+        };
+        let mut decoder = FrameDecoder::new();
+        let mut decoded = Vec::new();
+        while decoded.len() < frames.len() {
+            match decoder.poll(&mut reader) {
+                Ok(frame) => decoded.push(frame),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => continue,
+                Err(e) => prop_assert!(false, "decoder lost sync: {e}"),
+            }
+        }
+
+        prop_assert_eq!(&decoded, &frames);
+        prop_assert!(!decoder.mid_frame(), "no bytes may linger after the last frame");
+        prop_assert_eq!(reader.pos, bytes.len(), "every byte consumed");
+    }
+}

@@ -120,7 +120,7 @@ mod tests {
 
     #[test]
     fn empty_store_yields_nothing() {
-        let mut s = StoreBuilder::new().build().unwrap();
+        let s = StoreBuilder::new().build().unwrap();
         assert_eq!(s.read().count(), 0);
     }
 

@@ -36,6 +36,7 @@ pub mod range;
 pub mod stats;
 pub mod store;
 
+pub use axs_storage::{CommitTicket, GroupCommitStats, GC_HISTOGRAM_BOUNDS, GC_HISTOGRAM_BUCKETS};
 pub use bulkload::BulkLoader;
 pub use cursor::StoreCursor;
 pub use error::StoreError;

@@ -30,9 +30,9 @@ impl ConcurrentStore {
 
     /// Runs a closure with shared read access.
     ///
-    /// Note: operations that update statistics or memoize partial-index
-    /// entries need `write`; this entry point is for the genuinely read-only
-    /// inspection API (`check_invariants`, `range_index_entries`, stats).
+    /// The whole read API works through `&XmlStore` — statistics and
+    /// partial-index memoization are internally synchronized — so every
+    /// read-only operation belongs here, not under `with_write`.
     pub fn with_read<R>(&self, f: impl FnOnce(&XmlStore) -> R) -> R {
         f(&self.inner.read())
     }
@@ -42,14 +42,36 @@ impl ConcurrentStore {
         f(&mut self.inner.write())
     }
 
-    /// `read(id)` under the lock.
-    pub fn read_node(&self, id: NodeId) -> Result<Vec<Token>, StoreError> {
-        self.with_write(|s| s.read_node(id))
+    /// Runs a closure with exclusive access, commits, and waits for
+    /// durability *after* releasing the lock — the group-commit discipline:
+    /// while this writer blocks on the shared fsync, the store is free for
+    /// readers and the next writer, whose commit lands in the same fsync
+    /// batch (see `XmlStore::commit`). In-memory stores skip the wait.
+    pub fn with_write_durable<R>(
+        &self,
+        f: impl FnOnce(&mut XmlStore) -> R,
+    ) -> Result<R, StoreError> {
+        let (result, ticket) = {
+            let mut store = self.inner.write();
+            let result = f(&mut store);
+            let ticket = store.commit()?;
+            (result, ticket)
+        };
+        if let Some(ticket) = ticket {
+            ticket.wait()?;
+        }
+        Ok(result)
     }
 
-    /// Whole-store read under the lock.
+    /// `read(id)` under shared access: concurrent readers proceed in
+    /// parallel, memoizing positions as they go.
+    pub fn read_node(&self, id: NodeId) -> Result<Vec<Token>, StoreError> {
+        self.with_read(|s| s.read_node(id))
+    }
+
+    /// Whole-store read under shared access.
     pub fn read_all(&self) -> Result<Vec<Token>, StoreError> {
-        self.with_write(|s| s.read_all())
+        self.with_read(|s| s.read_all())
     }
 
     /// `insertIntoLast` under the lock.
@@ -107,6 +129,67 @@ mod tests {
             .count();
         assert_eq!(children, 100);
         store.with_read(|s| s.check_invariants()).unwrap();
+    }
+
+    #[test]
+    fn durable_writes_share_fsyncs() {
+        let dir = std::env::temp_dir().join(format!("axs-lock-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ConcurrentStore::new(
+            StoreBuilder::new()
+                .directory(&dir)
+                .commit_window(std::time::Duration::from_millis(1))
+                .build()
+                .unwrap(),
+        );
+        store
+            .with_write_durable(|s| s.bulk_insert(frag("<root/>")))
+            .unwrap()
+            .unwrap();
+
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let store = store.clone();
+                scope.spawn(move || {
+                    for i in 0..10 {
+                        store
+                            .with_write_durable(|s| {
+                                s.insert_into_last(
+                                    NodeId(1),
+                                    frag(&format!("<w t=\"{t}\" i=\"{i}\"/>")),
+                                )
+                            })
+                            .unwrap()
+                            .unwrap();
+                    }
+                });
+            }
+        });
+
+        let (children, gc) = store.with_read(|s| {
+            s.check_invariants().unwrap();
+            let tokens = s.read_all().unwrap();
+            let children = tokens
+                .iter()
+                .filter(|t| t.name().is_some_and(|n| n.is_local("w")))
+                .count();
+            (children, s.group_commit_stats().unwrap())
+        });
+        assert_eq!(children, 40);
+        assert_eq!(gc.commits, 41);
+        assert_eq!(gc.batches.iter().sum::<u64>(), gc.syncs);
+        drop(store);
+
+        // Nothing was flushed: recovery alone must reproduce all 40 writes.
+        let reopened = StoreBuilder::new().directory(&dir).open().unwrap();
+        let tokens = reopened.read_all().unwrap();
+        let children = tokens
+            .iter()
+            .filter(|t| t.name().is_some_and(|n| n.is_local("w")))
+            .count();
+        assert_eq!(children, 40);
+        drop(reopened);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -14,20 +14,20 @@ use axs_xdm::{NodeId, QName, Token, TokenKind};
 
 impl XmlStore {
     /// The node's name, for element and attribute nodes.
-    pub fn name_of(&mut self, id: NodeId) -> Result<Option<QName>, StoreError> {
+    pub fn name_of(&self, id: NodeId) -> Result<Option<QName>, StoreError> {
         let (range_id, idx, _) = self.find_begin(id)?;
         Ok(self.token_at(range_id, idx)?.name().cloned())
     }
 
     /// The node kind (token kind of the begin token).
-    pub fn kind_of(&mut self, id: NodeId) -> Result<TokenKind, StoreError> {
+    pub fn kind_of(&self, id: NodeId) -> Result<TokenKind, StoreError> {
         let (range_id, idx, _) = self.find_begin(id)?;
         Ok(self.token_at(range_id, idx)?.kind())
     }
 
     /// The XPath string value: concatenated descendant text for elements,
     /// the value itself for attribute/text/comment/PI nodes.
-    pub fn string_value(&mut self, id: NodeId) -> Result<String, StoreError> {
+    pub fn string_value(&self, id: NodeId) -> Result<String, StoreError> {
         let tokens = self.read_node(id)?;
         let mut out = String::new();
         match tokens[0].kind() {
@@ -51,7 +51,7 @@ impl XmlStore {
 
     /// Identifiers of the node's children (attributes excluded), in
     /// document order. Empty for leaf nodes.
-    pub fn children_of(&mut self, id: NodeId) -> Result<Vec<NodeId>, StoreError> {
+    pub fn children_of(&self, id: NodeId) -> Result<Vec<NodeId>, StoreError> {
         let subtree = self.read_subtree_with_ids(id)?;
         let mut out = Vec::new();
         let mut depth = 0i32;
@@ -70,10 +70,7 @@ impl XmlStore {
     }
 
     /// Identifiers and values of the node's attribute nodes.
-    pub fn attributes_of(
-        &mut self,
-        id: NodeId,
-    ) -> Result<Vec<(NodeId, QName, String)>, StoreError> {
+    pub fn attributes_of(&self, id: NodeId) -> Result<Vec<(NodeId, QName, String)>, StoreError> {
         let subtree = self.read_subtree_with_ids(id)?;
         let mut out = Vec::new();
         let mut depth = 0i32;
@@ -93,7 +90,7 @@ impl XmlStore {
     /// Implemented by a backward structural scan from the begin token: the
     /// parent is the first unmatched begin token to the left. Identifier
     /// regeneration works per range, so each visited range is decoded once.
-    pub fn parent_of(&mut self, id: NodeId) -> Result<Option<NodeId>, StoreError> {
+    pub fn parent_of(&self, id: NodeId) -> Result<Option<NodeId>, StoreError> {
         let (begin_range, begin_index, _) = self.find_begin(id)?;
         let (mut block_page, mut slot, mut data) = self.load_range(begin_range)?;
         let mut idx = begin_index as i64;
@@ -126,7 +123,7 @@ impl XmlStore {
     }
 
     /// The node's following sibling, if any.
-    pub fn next_sibling_of(&mut self, id: NodeId) -> Result<Option<NodeId>, StoreError> {
+    pub fn next_sibling_of(&self, id: NodeId) -> Result<Option<NodeId>, StoreError> {
         let pos = self.find_position(id)?;
         let (mut block_page, mut slot, mut data) = self.load_range(pos.end_range)?;
         let mut idx = pos.end_index as usize + 1;
@@ -153,7 +150,7 @@ impl XmlStore {
     }
 
     /// The node's preceding sibling, if any.
-    pub fn prev_sibling_of(&mut self, id: NodeId) -> Result<Option<NodeId>, StoreError> {
+    pub fn prev_sibling_of(&self, id: NodeId) -> Result<Option<NodeId>, StoreError> {
         let (begin_range, begin_index, _) = self.find_begin(id)?;
         let (mut block_page, mut slot, mut data) = self.load_range(begin_range)?;
         let mut idx = begin_index as i64;
@@ -208,7 +205,7 @@ impl XmlStore {
 
     /// Reads a subtree with regenerated identifiers (helper for navigation).
     fn read_subtree_with_ids(
-        &mut self,
+        &self,
         id: NodeId,
     ) -> Result<Vec<(Option<NodeId>, Token)>, StoreError> {
         let pos = self.find_position(id)?;
@@ -269,7 +266,7 @@ mod tests {
 
     #[test]
     fn names_and_kinds() {
-        let mut s = store();
+        let s = store();
         assert_eq!(s.name_of(NodeId(1)).unwrap().unwrap().local_part(), "a");
         assert_eq!(s.name_of(NodeId(2)).unwrap().unwrap().local_part(), "k");
         assert_eq!(s.name_of(NodeId(4)).unwrap(), None);
@@ -279,7 +276,7 @@ mod tests {
 
     #[test]
     fn string_values() {
-        let mut s = store();
+        let s = store();
         assert_eq!(s.string_value(NodeId(1)).unwrap(), "xy");
         assert_eq!(s.string_value(NodeId(3)).unwrap(), "x");
         assert_eq!(s.string_value(NodeId(2)).unwrap(), "v");
@@ -289,7 +286,7 @@ mod tests {
 
     #[test]
     fn children_exclude_attributes() {
-        let mut s = store();
+        let s = store();
         assert_eq!(
             s.children_of(NodeId(1)).unwrap(),
             vec![NodeId(3), NodeId(5), NodeId(7)]
@@ -301,7 +298,7 @@ mod tests {
 
     #[test]
     fn attributes_listed() {
-        let mut s = store();
+        let s = store();
         let attrs = s.attributes_of(NodeId(1)).unwrap();
         assert_eq!(attrs.len(), 1);
         assert_eq!(attrs[0].0, NodeId(2));
@@ -312,7 +309,7 @@ mod tests {
 
     #[test]
     fn parents() {
-        let mut s = store();
+        let s = store();
         assert_eq!(s.parent_of(NodeId(1)).unwrap(), None);
         assert_eq!(s.parent_of(NodeId(2)).unwrap(), Some(NodeId(1)));
         assert_eq!(s.parent_of(NodeId(3)).unwrap(), Some(NodeId(1)));
@@ -323,7 +320,7 @@ mod tests {
 
     #[test]
     fn siblings() {
-        let mut s = store();
+        let s = store();
         assert_eq!(s.next_sibling_of(NodeId(3)).unwrap(), Some(NodeId(5)));
         assert_eq!(s.next_sibling_of(NodeId(5)).unwrap(), Some(NodeId(7)));
         assert_eq!(s.next_sibling_of(NodeId(7)).unwrap(), None);

@@ -166,21 +166,26 @@ impl XmlStore {
 
     /// `read()`: a document-order cursor over the whole data source, with
     /// regenerated node identifiers.
-    pub fn read(&mut self) -> StoreCursor<'_> {
+    ///
+    /// Takes `&self` — like every read below — so callers holding shared
+    /// access (e.g. the server's concurrent read path) can scan while other
+    /// readers proceed; memoization and statistics are internally
+    /// synchronized.
+    pub fn read(&self) -> StoreCursor<'_> {
         self.note_full_scan();
         self.observe_read_op();
         StoreCursor::new(self)
     }
 
     /// Collects the entire data source into a token vector (ids dropped).
-    pub fn read_all(&mut self) -> Result<Vec<Token>, StoreError> {
+    pub fn read_all(&self) -> Result<Vec<Token>, StoreError> {
         self.read().map(|r| r.map(|(_, t)| t)).collect()
     }
 
     /// `read(id)`: the node's complete subtree as tokens. When the position
     /// is memoized (or the full index is on), decoding starts directly at
     /// the begin token's byte offset — no range-prefix work.
-    pub fn read_node(&mut self, id: NodeId) -> Result<Vec<Token>, StoreError> {
+    pub fn read_node(&self, id: NodeId) -> Result<Vec<Token>, StoreError> {
         self.observe_read_op();
         self.note_node_read();
         let pos = self.find_position(id)?;
@@ -189,7 +194,7 @@ impl XmlStore {
 
     /// Regenerated identifier of the node at the head of `read_node(id)` —
     /// provided for symmetry checks; equals `id` by construction.
-    pub fn contains(&mut self, id: NodeId) -> bool {
+    pub fn contains(&self, id: NodeId) -> bool {
         self.find_begin(id).is_ok()
     }
 
@@ -320,7 +325,7 @@ mod tests {
     #[test]
     fn read_node_returns_subtree() {
         // ids: a=1, b=2, x=3, c=4
-        let mut s = store_with("<a><b>x</b><c/></a>");
+        let s = store_with("<a><b>x</b><c/></a>");
         let sub = s.read_node(NodeId(2)).unwrap();
         assert_eq!(
             serialize(&sub, &SerializeOptions::default()).unwrap(),
@@ -507,7 +512,7 @@ mod tests {
 
     #[test]
     fn cursor_regenerates_ids() {
-        let mut s = store_with("<a><b>x</b></a>");
+        let s = store_with("<a><b>x</b></a>");
         let pairs: Vec<(Option<NodeId>, Token)> = s.read().collect::<Result<_, _>>().unwrap();
         let ids: Vec<Option<u64>> = pairs.iter().map(|(id, _)| id.map(|n| n.0)).collect();
         assert_eq!(ids, vec![Some(1), Some(2), Some(3), None, None]);

@@ -11,15 +11,17 @@ use crate::policy::{AdaptiveController, AdaptiveDecision, IndexingPolicy};
 use crate::range::{chop_fragment, RangeData, RangeHeader, RANGE_HEADER_LEN};
 use crate::stats::{LookupPath, SharedStats, StoreStats};
 use axs_idgen::MonotonicIds;
-use axs_index::{BTree, NodePosition, PartialIndex, PartialIndexConfig, RangeEntry, RangeIndex};
+use axs_index::{BTree, NodePosition, PartialIndex, RangeEntry, RangeIndex};
 use axs_storage::page::{get_u64, put_u64};
 use axs_storage::{
-    block, checksum, BufferPool, FilePageStore, MemPageStore, PageId, PageStore, PoolOptions,
-    PoolStats, RetryPolicy, StorageConfig, StorageError, Wal,
+    block, checksum, BufferPool, CommitTicket, FilePageStore, GroupCommitStats, MemPageStore,
+    PageId, PageStore, PoolOptions, PoolStats, RetryPolicy, StorageConfig, StorageError, Wal,
 };
 use axs_xdm::{fragment_well_formed, NodeId, Token};
+use parking_lot::{Mutex, MutexGuard};
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Width of a full-index value: begin token position as
@@ -54,6 +56,7 @@ pub struct StoreBuilder {
     dir: Option<PathBuf>,
     retry: RetryPolicy,
     wrap_data: Option<StoreWrapper>,
+    commit_window: std::time::Duration,
 }
 
 impl Default for StoreBuilder {
@@ -72,7 +75,17 @@ impl StoreBuilder {
             dir: None,
             retry: RetryPolicy { max_retries: 3 },
             wrap_data: None,
+            commit_window: std::time::Duration::ZERO,
         }
+    }
+
+    /// Sets the group-commit window: how long a commit-fsync leader waits
+    /// for more commits to queue behind it before issuing one shared
+    /// `fsync` (see [`XmlStore::commit`]). Zero (the default) syncs
+    /// immediately; 0–2 ms is the useful range.
+    pub fn commit_window(mut self, window: std::time::Duration) -> Self {
+        self.commit_window = window;
+        self
     }
 
     /// Sets the indexing policy.
@@ -187,7 +200,11 @@ impl StoreBuilder {
             ));
         }
         let wal = match &self.dir {
-            Some(dir) => Some(Wal::create(&dir.join("wal.log"), self.storage.page_size)?),
+            Some(dir) => {
+                let wal = Wal::create(&dir.join("wal.log"), self.storage.page_size)?;
+                wal.group_commit().set_window(self.commit_window);
+                Some(wal)
+            }
             None => None,
         };
         let meta_page = data_pool.allocate()?;
@@ -224,6 +241,7 @@ impl StoreBuilder {
         //    or uncommitted tail is discarded — those flushes never promised
         //    durability.
         let (mut wal, scan) = Wal::recover(&dir.join("wal.log"), page_size)?;
+        wal.group_commit().set_window(self.commit_window);
         if scan.torn_tail_bytes > 0 {
             torn_tails += 1;
         }
@@ -329,8 +347,12 @@ pub struct XmlStore {
     free_head: PageId,
     /// Write-ahead log for directory-backed stores (None in memory).
     wal: Option<Wal>,
-    adaptive: Option<AdaptiveController>,
-    target_range_bytes: usize,
+    /// The adaptive controller sits behind a mutex so concurrent shared
+    /// readers can feed it observations without exclusive store access.
+    adaptive: Option<Mutex<AdaptiveController>>,
+    /// Target encoded range size — atomic so adaptive decisions reached
+    /// under shared access apply without a writer in between.
+    target_range_bytes: AtomicUsize,
     policy: IndexingPolicy,
     stats: SharedStats,
 }
@@ -351,7 +373,7 @@ impl XmlStore {
         };
         let partial = policy.initial_partial().map(PartialIndex::new);
         let adaptive = match &policy {
-            IndexingPolicy::Adaptive(cfg) => Some(AdaptiveController::new(cfg.clone())),
+            IndexingPolicy::Adaptive(cfg) => Some(Mutex::new(AdaptiveController::new(cfg.clone()))),
             _ => None,
         };
         let target_range_bytes = policy
@@ -374,7 +396,7 @@ impl XmlStore {
             full_index,
             partial,
             adaptive,
-            target_range_bytes,
+            target_range_bytes: AtomicUsize::new(target_range_bytes),
             policy,
             stats: SharedStats::default(),
         })
@@ -418,7 +440,7 @@ impl XmlStore {
         self.stats.reset();
         self.data_pool.reset_stats();
         self.index_pool.reset_stats();
-        if let Some(p) = &mut self.partial {
+        if let Some(p) = &self.partial {
             p.reset_stats();
         }
     }
@@ -453,19 +475,20 @@ impl XmlStore {
     /// Drops every memoized partial-index entry. Results must be unaffected
     /// (invariant 5 of DESIGN.md) — only performance changes.
     pub fn clear_partial_index(&mut self) {
-        if let Some(p) = &mut self.partial {
+        if let Some(p) = &self.partial {
             p.clear();
         }
     }
 
     /// The current target encoded size of ranges created by inserts.
     pub fn target_range_bytes(&self) -> usize {
-        self.target_range_bytes
+        self.target_range_bytes.load(Ordering::Relaxed)
     }
 
-    /// The adaptive controller, when the policy is adaptive.
-    pub fn adaptive_controller(&self) -> Option<&AdaptiveController> {
-        self.adaptive.as_ref()
+    /// The adaptive controller, when the policy is adaptive (locked for
+    /// the duration of the returned guard).
+    pub fn adaptive_controller(&self) -> Option<MutexGuard<'_, AdaptiveController>> {
+        self.adaptive.as_ref().map(Mutex::lock)
     }
 
     /// The identifier the next insert will start allocating at.
@@ -532,7 +555,7 @@ impl XmlStore {
         if let Some(iv) = header.interval() {
             self.range_index.remove(iv.start)?;
         }
-        if let Some(p) = &mut self.partial {
+        if let Some(p) = &self.partial {
             p.invalidate_range(range_id);
         }
         if block_page != keep_block && self.block_range_count(block_page)? == 0 {
@@ -574,6 +597,51 @@ impl XmlStore {
         Ok(())
     }
 
+    /// Commits the changes made since the last commit or flush: appends the
+    /// pages newly dirtied since then to the WAL, seals them with a commit
+    /// record, and returns a [`CommitTicket`] whose [`CommitTicket::wait`]
+    /// makes the batch durable through the group-commit fsync batcher.
+    ///
+    /// This is the amortized-durability write path: the caller mutates and
+    /// commits under exclusive access, *releases* that access, and only then
+    /// waits on the ticket — so commits from concurrently queued writers
+    /// share one fsync (see [`StoreBuilder::commit_window`]). Unlike
+    /// [`XmlStore::flush`], no data page reaches the data file and the WAL
+    /// keeps growing until the next flush; recovery replays the committed
+    /// batches in order. Returns `Ok(None)` for in-memory stores, which
+    /// have nothing to make durable.
+    pub fn commit(&mut self) -> Result<Option<CommitTicket>, StoreError> {
+        self.write_meta()?;
+        let Some(wal) = &mut self.wal else {
+            return Ok(None);
+        };
+        let images = self.data_pool.unlogged_dirty_images();
+        let mut last_lsn = 0;
+        for (page, image) in &images {
+            last_lsn = wal.append_image(*page, image)?;
+        }
+        let ticket = wal.commit_nosync()?;
+        SharedStats::add(&self.stats.wal_records, images.len() as u64 + 1);
+        if last_lsn > 0 {
+            self.data_pool.set_stamp_lsn(last_lsn);
+        }
+        Ok(Some(ticket))
+    }
+
+    /// Group-commit activity (fsync batching behind [`XmlStore::commit`]);
+    /// `None` for in-memory stores.
+    pub fn group_commit_stats(&self) -> Option<GroupCommitStats> {
+        self.wal.as_ref().map(|w| w.group_commit().stats())
+    }
+
+    /// Adjusts the group-commit window at runtime (see
+    /// [`StoreBuilder::commit_window`]). No-op for in-memory stores.
+    pub fn set_commit_window(&self, window: std::time::Duration) {
+        if let Some(wal) = &self.wal {
+            wal.group_commit().set_window(window);
+        }
+    }
+
     fn write_meta(&mut self) -> Result<(), StoreError> {
         let head = self.head_block;
         let tail = self.tail_block;
@@ -593,36 +661,45 @@ impl XmlStore {
     }
 
     // ---- adaptive plumbing ------------------------------------------------
+    //
+    // Both hooks take `&self`: reads feed the controller while holding only
+    // shared store access, so the controller lives behind its own mutex and
+    // decisions land in atomics / the internally-synchronized partial index.
 
-    pub(crate) fn observe_read_op(&mut self) {
-        if let Some(ctl) = &mut self.adaptive {
+    pub(crate) fn observe_read_op(&self) {
+        if let Some(ctl) = &self.adaptive {
+            let mut ctl = ctl.lock();
             if let Some(decision) = ctl.observe_read() {
-                self.apply_adaptive(decision);
+                let (cap, target) = (ctl.partial_capacity(), ctl.target_range_bytes());
+                drop(ctl);
+                self.apply_adaptive(decision, cap, target);
             }
         }
     }
 
-    pub(crate) fn observe_update_op(&mut self) {
-        if let Some(ctl) = &mut self.adaptive {
+    pub(crate) fn observe_update_op(&self) {
+        if let Some(ctl) = &self.adaptive {
+            let mut ctl = ctl.lock();
             if let Some(decision) = ctl.observe_update() {
-                self.apply_adaptive(decision);
+                let (cap, target) = (ctl.partial_capacity(), ctl.target_range_bytes());
+                drop(ctl);
+                self.apply_adaptive(decision, cap, target);
             }
         }
     }
 
-    fn apply_adaptive(&mut self, decision: AdaptiveDecision) {
+    fn apply_adaptive(&self, decision: AdaptiveDecision, cap: usize, target: usize) {
         let _ = decision;
-        let Some(ctl) = &self.adaptive else { return };
-        let cap = ctl.partial_capacity();
-        let target = ctl.target_range_bytes();
-        self.target_range_bytes = target
-            .min(block::max_payload(self.page_size))
-            .max(RANGE_HEADER_LEN + 16);
-        match &mut self.partial {
-            Some(p) => p.set_capacity(cap),
-            None => {
-                self.partial = Some(PartialIndex::new(PartialIndexConfig { capacity: cap }));
-            }
+        self.target_range_bytes.store(
+            target
+                .min(block::max_payload(self.page_size))
+                .max(RANGE_HEADER_LEN + 16),
+            Ordering::Relaxed,
+        );
+        // The adaptive policy always starts with a partial index
+        // (`IndexingPolicy::initial_partial`), so only the capacity moves.
+        if let Some(p) = &self.partial {
+            p.set_capacity(cap);
         }
     }
 
@@ -854,23 +931,23 @@ impl XmlStore {
 
     pub(crate) fn note_delete(&mut self, id: NodeId) {
         SharedStats::bump(&self.stats.deletes);
-        if let Some(p) = &mut self.partial {
+        if let Some(p) = &self.partial {
             p.remove(id);
         }
     }
 
     pub(crate) fn note_replace(&mut self, id: NodeId) {
         SharedStats::bump(&self.stats.replaces);
-        if let Some(p) = &mut self.partial {
+        if let Some(p) = &self.partial {
             p.remove(id);
         }
     }
 
-    pub(crate) fn note_full_scan(&mut self) {
+    pub(crate) fn note_full_scan(&self) {
         SharedStats::bump(&self.stats.full_scans);
     }
 
-    pub(crate) fn note_node_read(&mut self) {
+    pub(crate) fn note_node_read(&self) {
         SharedStats::bump(&self.stats.node_reads);
     }
 
@@ -890,9 +967,13 @@ impl XmlStore {
 
     /// Locates the begin token of `id`:
     /// `(range_id, token_index, byte_offset)`.
-    pub(crate) fn find_begin(&mut self, id: NodeId) -> Result<(u64, u32, u32), StoreError> {
+    ///
+    /// Takes `&self`: every structure touched (partial index, range index
+    /// pages through the pool, statistics) is internally synchronized, so
+    /// concurrent shared readers can locate nodes without exclusive access.
+    pub(crate) fn find_begin(&self, id: NodeId) -> Result<(u64, u32, u32), StoreError> {
         // 1. Partial index (lazy).
-        if let Some(p) = &mut self.partial {
+        if let Some(p) = &self.partial {
             if let Some(pos) = p.get(id) {
                 self.stats.record_lookup(LookupPath::Partial);
                 return Ok((pos.begin_range, pos.begin_index, pos.begin_byte));
@@ -928,8 +1009,8 @@ impl XmlStore {
     /// Locates begin and end tokens of `id`, memoizing the result in the
     /// partial index (the §5 laziness: granular entries appear only for
     /// nodes that were actually looked up).
-    pub(crate) fn find_position(&mut self, id: NodeId) -> Result<NodePosition, StoreError> {
-        if let Some(p) = &mut self.partial {
+    pub(crate) fn find_position(&self, id: NodeId) -> Result<NodePosition, StoreError> {
+        if let Some(p) = &self.partial {
             if let Some(pos) = p.get(id) {
                 self.stats.record_lookup(LookupPath::Partial);
                 return Ok(pos);
@@ -946,7 +1027,7 @@ impl XmlStore {
             end_index,
             end_byte,
         };
-        if let Some(p) = &mut self.partial {
+        if let Some(p) = &self.partial {
             p.insert(id, pos);
         }
         Ok(pos)
@@ -955,7 +1036,7 @@ impl XmlStore {
     /// Scans forward from a begin token to its matching end token,
     /// tracking byte offsets.
     fn scan_end(
-        &mut self,
+        &self,
         begin_range: u64,
         begin_index: u32,
         begin_byte: u32,
@@ -1011,7 +1092,7 @@ impl XmlStore {
     /// directly from the byte offsets — the "jump to the end of the given
     /// node" fast path the Partial Index enables (§5).
     pub(crate) fn read_span(
-        &mut self,
+        &self,
         begin_range: u64,
         begin_byte: u32,
         end_range: u64,
@@ -1159,7 +1240,7 @@ impl XmlStore {
         // range ids precede the split tail's (matching the paper's §4.5
         // numbering: new data = range 2, split-off tail = range 3).
         let budget = self
-            .target_range_bytes
+            .target_range_bytes()
             .min(block::max_payload(self.page_size));
         let mut new_ranges = chop_fragment(tokens, interval.start, &mut self.next_range_id, budget);
 
@@ -1193,7 +1274,7 @@ impl XmlStore {
                     self.next_range_id += 1;
                     let (left, right) = data.split_at(token_idx, right_id);
                     SharedStats::bump(&self.stats.range_splits);
-                    if let Some(p) = &mut self.partial {
+                    if let Some(p) = &self.partial {
                         p.invalidate_range(range_id);
                     }
                     // Range-index: the old entry covers both halves; replace
@@ -1280,7 +1361,7 @@ impl XmlStore {
                 }
             }
         }
-        if let Some(p) = &mut self.partial {
+        if let Some(p) = &self.partial {
             p.insert(id, pos);
         }
     }
@@ -1342,7 +1423,7 @@ impl XmlStore {
         let mut deleted_ids: Vec<u64> = Vec::new();
         let single = affected.len() == 1;
         for (i, (_, _, data)) in affected.iter().enumerate() {
-            if let Some(p) = &mut self.partial {
+            if let Some(p) = &self.partial {
                 p.invalidate_range(data.header.range_id);
             }
             let from = if i == 0 { start_idx as usize } else { 0 };
@@ -1821,5 +1902,51 @@ mod tests {
     #[test]
     fn open_without_directory_fails() {
         assert!(StoreBuilder::new().open().is_err());
+    }
+
+    #[test]
+    fn commit_without_flush_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("axs-core-commit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut s = StoreBuilder::new().directory(&dir).build().unwrap();
+            s.insert_fragment(None, ticket()).unwrap();
+            s.commit().unwrap().unwrap().wait().unwrap();
+            s.insert_fragment(None, ticket()).unwrap();
+            s.commit().unwrap().unwrap().wait().unwrap();
+            // Dropped without flush(): the data file never saw these pages;
+            // only the WAL's committed batches carry them.
+        }
+        {
+            let s = StoreBuilder::new().directory(&dir).open().unwrap();
+            s.check_invariants().unwrap();
+            assert_eq!(s.range_count(), 2);
+            assert!(s.stats().recoveries > 0, "reopen must replay the WAL");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn commit_logs_only_newly_dirtied_pages() {
+        let dir = std::env::temp_dir().join(format!("axs-core-commit-inc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut s = StoreBuilder::new().directory(&dir).build().unwrap();
+        s.insert_fragment(None, ticket()).unwrap();
+        s.commit().unwrap().unwrap().wait().unwrap();
+        let after_first = s.stats().wal_records;
+        // A commit with no intervening mutation logs at most the meta page.
+        s.commit().unwrap().unwrap().wait().unwrap();
+        let delta = s.stats().wal_records - after_first;
+        assert!(delta <= 2, "idle commit re-logged {delta} records");
+        drop(s);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn in_memory_commit_is_a_noop() {
+        let mut s = StoreBuilder::new().build().unwrap();
+        s.insert_fragment(None, ticket()).unwrap();
+        assert!(s.commit().unwrap().is_none());
+        assert!(s.group_commit_stats().is_none());
     }
 }

@@ -31,7 +31,7 @@ fn adaptive_store(window: u64) -> XmlStore {
 
 #[test]
 fn read_heavy_phase_grows_partial_capacity() {
-    let mut s = adaptive_store(20);
+    let s = adaptive_store(20);
     let cap0 = s.partial_index().unwrap().capacity();
     for _ in 0..40 {
         s.read_node(NodeId(2)).unwrap();

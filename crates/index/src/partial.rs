@@ -7,8 +7,14 @@
 //! re-scanning, it is "actually a combination between a real index … and a
 //! cache": entries are evicted LRU under memory pressure and invalidated
 //! when the range they point into splits or moves.
+//!
+//! The index is internally synchronized (one mutex around the map + LRU
+//! state) so concurrent readers sharing a store can memoize positions
+//! through `&self` — lookups during shared-access reads are the common
+//! case, and the critical section is a couple of hash-map operations.
 
 use axs_xdm::NodeId;
+use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 
 /// The position of one node inside the store, by stable range identity:
@@ -82,8 +88,7 @@ struct Entry {
     tick: u64,
 }
 
-/// The Partial Index.
-pub struct PartialIndex {
+struct Inner {
     capacity: usize,
     map: HashMap<NodeId, Entry>,
     lru: BTreeMap<u64, NodeId>,
@@ -94,44 +99,54 @@ pub struct PartialIndex {
     stats: PartialIndexStats,
 }
 
+/// The Partial Index.
+pub struct PartialIndex {
+    inner: Mutex<Inner>,
+}
+
 impl PartialIndex {
     /// Creates an empty partial index.
     pub fn new(config: PartialIndexConfig) -> Self {
         PartialIndex {
-            capacity: config.capacity,
-            map: HashMap::new(),
-            lru: BTreeMap::new(),
-            by_range: HashMap::new(),
-            tick: 0,
-            stats: PartialIndexStats::default(),
+            inner: Mutex::new(Inner {
+                capacity: config.capacity,
+                map: HashMap::new(),
+                lru: BTreeMap::new(),
+                by_range: HashMap::new(),
+                tick: 0,
+                stats: PartialIndexStats::default(),
+            }),
         }
     }
 
     /// Number of live entries.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.inner.lock().map.len()
     }
 
     /// True when the index holds nothing.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.inner.lock().map.is_empty()
     }
 
     /// Looks up a node, refreshing its LRU position and counting the
     /// hit/miss.
-    pub fn get(&mut self, id: NodeId) -> Option<NodePosition> {
-        self.tick += 1;
-        let tick = self.tick;
-        match self.map.get_mut(&id) {
+    pub fn get(&self, id: NodeId) -> Option<NodePosition> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(&id) {
             Some(entry) => {
-                self.stats.hits += 1;
-                self.lru.remove(&entry.tick);
+                let old_tick = entry.tick;
                 entry.tick = tick;
-                self.lru.insert(tick, id);
-                Some(entry.pos)
+                let pos = entry.pos;
+                inner.stats.hits += 1;
+                inner.lru.remove(&old_tick);
+                inner.lru.insert(tick, id);
+                Some(pos)
             }
             None => {
-                self.stats.misses += 1;
+                inner.stats.misses += 1;
                 None
             }
         }
@@ -139,32 +154,130 @@ impl PartialIndex {
 
     /// Looks up without touching LRU state or statistics (for audits).
     pub fn peek(&self, id: NodeId) -> Option<NodePosition> {
-        self.map.get(&id).map(|e| e.pos)
+        self.inner.lock().map.get(&id).map(|e| e.pos)
     }
 
     /// Memoizes a node position discovered during a lookup. Overwrites any
     /// stale entry for the same node. No-ops when capacity is zero.
-    pub fn insert(&mut self, id: NodeId, pos: NodePosition) {
-        if self.capacity == 0 {
+    pub fn insert(&self, id: NodeId, pos: NodePosition) {
+        let mut inner = self.inner.lock();
+        if inner.capacity == 0 {
             return;
         }
-        self.tick += 1;
-        let tick = self.tick;
-        if let Some(old) = self.map.remove(&id) {
-            self.lru.remove(&old.tick);
-            self.unlink_range(old.pos, id);
-        } else if self.map.len() >= self.capacity {
-            self.evict_one();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(old) = inner.map.remove(&id) {
+            inner.lru.remove(&old.tick);
+            inner.unlink_range(old.pos, id);
+        } else if inner.map.len() >= inner.capacity {
+            inner.evict_one();
         }
-        self.map.insert(id, Entry { pos, tick });
-        self.lru.insert(tick, id);
-        self.by_range.entry(pos.begin_range).or_default().push(id);
+        inner.map.insert(id, Entry { pos, tick });
+        inner.lru.insert(tick, id);
+        inner.by_range.entry(pos.begin_range).or_default().push(id);
         if pos.end_range != pos.begin_range {
-            self.by_range.entry(pos.end_range).or_default().push(id);
+            inner.by_range.entry(pos.end_range).or_default().push(id);
         }
-        self.stats.insertions += 1;
+        inner.stats.insertions += 1;
     }
 
+    /// Drops every entry referencing `range_id` — called when a range splits
+    /// or moves so no stale position can ever be served.
+    pub fn invalidate_range(&self, range_id: u64) {
+        let mut inner = self.inner.lock();
+        let Some(ids) = inner.by_range.remove(&range_id) else {
+            return;
+        };
+        for id in ids {
+            if let Some(entry) = inner.map.remove(&id) {
+                inner.lru.remove(&entry.tick);
+                // Unlink from the *other* range's list too.
+                let other = if entry.pos.begin_range == range_id {
+                    entry.pos.end_range
+                } else {
+                    entry.pos.begin_range
+                };
+                if other != range_id {
+                    if let Some(v) = inner.by_range.get_mut(&other) {
+                        v.retain(|&x| x != id);
+                        if v.is_empty() {
+                            inner.by_range.remove(&other);
+                        }
+                    }
+                }
+                inner.stats.invalidations += 1;
+            }
+        }
+    }
+
+    /// Retargets the capacity (the adaptive policy's knob), evicting LRU
+    /// entries immediately when shrinking.
+    pub fn set_capacity(&self, capacity: usize) {
+        let mut inner = self.inner.lock();
+        inner.capacity = capacity;
+        while inner.map.len() > inner.capacity {
+            inner.evict_one();
+        }
+    }
+
+    /// The current capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().capacity
+    }
+
+    /// Removes one node's entry (e.g. the node was deleted).
+    pub fn remove(&self, id: NodeId) {
+        let mut inner = self.inner.lock();
+        if let Some(entry) = inner.map.remove(&id) {
+            inner.lru.remove(&entry.tick);
+            inner.unlink_range(entry.pos, id);
+        }
+    }
+
+    /// Drops everything (correctness-preserving: the partial index is only a
+    /// cache — invariant 5 of DESIGN.md).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        inner.lru.clear();
+        inner.by_range.clear();
+    }
+
+    /// A snapshot of the counters.
+    pub fn stats(&self) -> PartialIndexStats {
+        self.inner.lock().stats
+    }
+
+    /// Zeroes the counters.
+    pub fn reset_stats(&self) {
+        self.inner.lock().stats = PartialIndexStats::default();
+    }
+
+    /// Internal consistency check: LRU, map, and range links agree.
+    pub fn check_consistent(&self) -> bool {
+        let inner = self.inner.lock();
+        if inner.lru.len() != inner.map.len() {
+            return false;
+        }
+        for (tick, id) in &inner.lru {
+            match inner.map.get(id) {
+                Some(e) if e.tick == *tick => {}
+                _ => return false,
+            }
+        }
+        for (range, ids) in &inner.by_range {
+            for id in ids {
+                match inner.map.get(id) {
+                    Some(e) if e.pos.begin_range == *range || e.pos.end_range == *range => {}
+                    _ => return false,
+                }
+            }
+        }
+        true
+    }
+}
+
+impl Inner {
     fn evict_one(&mut self) {
         if let Some((&tick, &victim)) = self.lru.iter().next() {
             self.lru.remove(&tick);
@@ -184,96 +297,6 @@ impl PartialIndex {
                 }
             }
         }
-    }
-
-    /// Drops every entry referencing `range_id` — called when a range splits
-    /// or moves so no stale position can ever be served.
-    pub fn invalidate_range(&mut self, range_id: u64) {
-        let Some(ids) = self.by_range.remove(&range_id) else {
-            return;
-        };
-        for id in ids {
-            if let Some(entry) = self.map.remove(&id) {
-                self.lru.remove(&entry.tick);
-                // Unlink from the *other* range's list too.
-                let other = if entry.pos.begin_range == range_id {
-                    entry.pos.end_range
-                } else {
-                    entry.pos.begin_range
-                };
-                if other != range_id {
-                    if let Some(v) = self.by_range.get_mut(&other) {
-                        v.retain(|&x| x != id);
-                        if v.is_empty() {
-                            self.by_range.remove(&other);
-                        }
-                    }
-                }
-                self.stats.invalidations += 1;
-            }
-        }
-    }
-
-    /// Retargets the capacity (the adaptive policy's knob), evicting LRU
-    /// entries immediately when shrinking.
-    pub fn set_capacity(&mut self, capacity: usize) {
-        self.capacity = capacity;
-        while self.map.len() > self.capacity {
-            self.evict_one();
-        }
-    }
-
-    /// The current capacity bound.
-    pub fn capacity(&self) -> usize {
-        self.capacity
-    }
-
-    /// Removes one node's entry (e.g. the node was deleted).
-    pub fn remove(&mut self, id: NodeId) {
-        if let Some(entry) = self.map.remove(&id) {
-            self.lru.remove(&entry.tick);
-            self.unlink_range(entry.pos, id);
-        }
-    }
-
-    /// Drops everything (correctness-preserving: the partial index is only a
-    /// cache — invariant 5 of DESIGN.md).
-    pub fn clear(&mut self) {
-        self.map.clear();
-        self.lru.clear();
-        self.by_range.clear();
-    }
-
-    /// A snapshot of the counters.
-    pub fn stats(&self) -> PartialIndexStats {
-        self.stats
-    }
-
-    /// Zeroes the counters.
-    pub fn reset_stats(&mut self) {
-        self.stats = PartialIndexStats::default();
-    }
-
-    /// Internal consistency check: LRU, map, and range links agree.
-    pub fn check_consistent(&self) -> bool {
-        if self.lru.len() != self.map.len() {
-            return false;
-        }
-        for (tick, id) in &self.lru {
-            match self.map.get(id) {
-                Some(e) if e.tick == *tick => {}
-                _ => return false,
-            }
-        }
-        for (range, ids) in &self.by_range {
-            for id in ids {
-                match self.map.get(id) {
-                    Some(e) if e.pos.begin_range == *range || e.pos.end_range == *range => {}
-                    _ => return false,
-                }
-            }
-        }
-        true
     }
 }
 
@@ -310,7 +333,7 @@ mod tests {
     #[test]
     fn paper_table4_entry_shape() {
         // Table 4: node 60's begin token in range 1, end token in range 3.
-        let mut idx = small();
+        let idx = small();
         idx.insert(NodeId(60), split_pos(1, 3));
         let got = idx.get(NodeId(60)).unwrap();
         assert_eq!(got.begin_range, 1);
@@ -320,7 +343,7 @@ mod tests {
 
     #[test]
     fn miss_then_hit_counting() {
-        let mut idx = small();
+        let idx = small();
         assert!(idx.get(NodeId(1)).is_none());
         idx.insert(NodeId(1), pos(1, 0));
         assert!(idx.get(NodeId(1)).is_some());
@@ -332,7 +355,7 @@ mod tests {
 
     #[test]
     fn lru_evicts_coldest() {
-        let mut idx = small();
+        let idx = small();
         idx.insert(NodeId(1), pos(1, 0));
         idx.insert(NodeId(2), pos(1, 1));
         idx.insert(NodeId(3), pos(1, 2));
@@ -347,7 +370,7 @@ mod tests {
 
     #[test]
     fn capacity_bound_holds() {
-        let mut idx = small();
+        let idx = small();
         for i in 0..100u64 {
             idx.insert(NodeId(i + 1), pos(1, i as u32));
             assert!(idx.len() <= 3);
@@ -357,7 +380,7 @@ mod tests {
 
     #[test]
     fn zero_capacity_disables() {
-        let mut idx = PartialIndex::new(PartialIndexConfig { capacity: 0 });
+        let idx = PartialIndex::new(PartialIndexConfig { capacity: 0 });
         idx.insert(NodeId(1), pos(1, 0));
         assert!(idx.is_empty());
         assert!(idx.get(NodeId(1)).is_none());
@@ -365,7 +388,7 @@ mod tests {
 
     #[test]
     fn invalidate_range_drops_only_affected() {
-        let mut idx = PartialIndex::new(PartialIndexConfig { capacity: 100 });
+        let idx = PartialIndex::new(PartialIndexConfig { capacity: 100 });
         idx.insert(NodeId(1), pos(10, 0));
         idx.insert(NodeId(2), pos(11, 0));
         idx.insert(NodeId(3), split_pos(10, 12)); // straddles 10 and 12
@@ -379,7 +402,7 @@ mod tests {
 
     #[test]
     fn invalidate_by_end_range() {
-        let mut idx = PartialIndex::new(PartialIndexConfig { capacity: 100 });
+        let idx = PartialIndex::new(PartialIndexConfig { capacity: 100 });
         idx.insert(NodeId(3), split_pos(10, 12));
         idx.invalidate_range(12);
         assert!(idx.peek(NodeId(3)).is_none());
@@ -388,7 +411,7 @@ mod tests {
 
     #[test]
     fn reinsert_updates_position() {
-        let mut idx = small();
+        let idx = small();
         idx.insert(NodeId(1), pos(10, 0));
         idx.insert(NodeId(1), pos(20, 5));
         assert_eq!(idx.len(), 1);
@@ -401,7 +424,7 @@ mod tests {
 
     #[test]
     fn remove_single_node() {
-        let mut idx = small();
+        let idx = small();
         idx.insert(NodeId(1), pos(1, 0));
         idx.remove(NodeId(1));
         assert!(idx.is_empty());
@@ -411,7 +434,7 @@ mod tests {
 
     #[test]
     fn clear_resets_contents_not_stats() {
-        let mut idx = small();
+        let idx = small();
         idx.insert(NodeId(1), pos(1, 0));
         idx.get(NodeId(1));
         idx.clear();
@@ -422,12 +445,33 @@ mod tests {
 
     #[test]
     fn hit_ratio() {
-        let mut idx = small();
+        let idx = small();
         assert_eq!(idx.stats().hit_ratio(), 1.0);
         idx.get(NodeId(1));
         assert_eq!(idx.stats().hit_ratio(), 0.0);
         idx.insert(NodeId(1), pos(1, 0));
         idx.get(NodeId(1));
         assert_eq!(idx.stats().hit_ratio(), 0.5);
+    }
+
+    #[test]
+    fn concurrent_readers_memoize_safely() {
+        use std::sync::Arc;
+        let idx = Arc::new(PartialIndex::new(PartialIndexConfig { capacity: 64 }));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let idx = Arc::clone(&idx);
+                scope.spawn(move || {
+                    for i in 0..200u64 {
+                        let id = NodeId(t * 1000 + i % 16 + 1);
+                        if idx.get(id).is_none() {
+                            idx.insert(id, pos(t + 1, i as u32));
+                        }
+                    }
+                });
+            }
+        });
+        assert!(idx.check_consistent());
+        assert!(idx.len() <= 64);
     }
 }

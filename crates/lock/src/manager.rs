@@ -97,6 +97,9 @@ pub struct LockStats {
     pub waits: u64,
     /// Requests aborted because waiting would have closed a cycle.
     pub deadlocks: u64,
+    /// Shared (S/IS) requests granted with their whole intention path in
+    /// one step by the fast path — the common case for read traffic.
+    pub fast_shared_grants: u64,
 }
 
 /// The hierarchical lock manager. Cheap to share behind an `Arc`.
@@ -124,6 +127,7 @@ pub struct LockManager {
     acquisitions: AtomicU64,
     waits: AtomicU64,
     deadlocks: AtomicU64,
+    fast_shared_grants: AtomicU64,
 }
 
 impl Default for LockManager {
@@ -142,6 +146,7 @@ impl LockManager {
             acquisitions: AtomicU64::new(0),
             waits: AtomicU64::new(0),
             deadlocks: AtomicU64::new(0),
+            fast_shared_grants: AtomicU64::new(0),
         }
     }
 
@@ -151,6 +156,7 @@ impl LockManager {
             acquisitions: self.acquisitions.load(Ordering::Relaxed),
             waits: self.waits.load(Ordering::Relaxed),
             deadlocks: self.deadlocks.load(Ordering::Relaxed),
+            fast_shared_grants: self.fast_shared_grants.load(Ordering::Relaxed),
         }
     }
 
@@ -162,11 +168,59 @@ impl LockManager {
     /// Acquires `mode` on `resource` for `tx`, taking the matching
     /// intention locks on all ancestors first. Blocks until granted;
     /// returns [`LockError::Deadlock`] when waiting would close a cycle.
+    ///
+    /// Shared requests (S/IS) first try a fast path granting the whole
+    /// intention path under a single manager-mutex acquisition — the
+    /// common case for read traffic, where nothing conflicts and the
+    /// per-level lock/unlock round trips of the general path are pure
+    /// overhead. Any conflict anywhere on the path falls back to the
+    /// general level-by-level path with its waiting and deadlock checks.
     pub fn lock(&self, tx: TxId, resource: Resource, mode: LockMode) -> Result<(), LockError> {
+        if matches!(mode, LockMode::S | LockMode::IS) && self.try_fast_shared(tx, resource, mode) {
+            return Ok(());
+        }
         for ancestor in resource.ancestors() {
             self.lock_one(tx, ancestor, mode.intention())?;
         }
         self.lock_one(tx, resource, mode)
+    }
+
+    /// One-shot shared grant over the whole path; `false` on any conflict
+    /// (no partial grants — the caller re-runs the general path).
+    fn try_fast_shared(&self, tx: TxId, resource: Resource, mode: LockMode) -> bool {
+        let mut inner = self.inner.lock();
+        let covered = |inner: &Inner, res: Resource, m: LockMode| {
+            inner
+                .holders
+                .get(&res)
+                .and_then(|h| h.get(&tx))
+                .is_some_and(|held| held.covers(m))
+        };
+        let mut granted = 0u64;
+        for ancestor in resource.ancestors() {
+            let im = mode.intention();
+            if covered(&inner, ancestor, im) {
+                continue;
+            }
+            if !inner.conflicts(tx, ancestor, im).is_empty() {
+                return false;
+            }
+            granted += 1;
+        }
+        if !covered(&inner, resource, mode) {
+            if !inner.conflicts(tx, resource, mode).is_empty() {
+                return false;
+            }
+            granted += 1;
+        }
+        for ancestor in resource.ancestors() {
+            inner.grant(tx, ancestor, mode.intention());
+        }
+        inner.grant(tx, resource, mode);
+        drop(inner);
+        self.acquisitions.fetch_add(granted, Ordering::Relaxed);
+        self.fast_shared_grants.fetch_add(1, Ordering::Relaxed);
+        true
     }
 
     /// Non-blocking variant: returns `false` instead of waiting.
@@ -353,6 +407,48 @@ mod tests {
         mgr.lock(tx, range(1, 7), X).unwrap(); // upgrade, no other holders
         let held = mgr.held_by(tx);
         assert!(held.contains(&(range(1, 7), X)));
+    }
+
+    #[test]
+    fn shared_fast_path_grants_whole_path() {
+        let mgr = LockManager::new();
+        let r1 = mgr.begin();
+        let r2 = mgr.begin();
+        mgr.lock(r1, range(1, 7), S).unwrap();
+        mgr.lock(r2, range(1, 7), S).unwrap();
+        let stats = mgr.stats();
+        assert_eq!(stats.fast_shared_grants, 2, "uncontended reads fast-path");
+        assert_eq!(stats.waits, 0);
+        // The grants are the same as the general path would produce.
+        let held = mgr.held_by(r1);
+        assert!(held.contains(&(Resource::Store, IS)));
+        assert!(held.contains(&(Resource::Block(1), IS)));
+        assert!(held.contains(&(range(1, 7), S)));
+        mgr.unlock_all(r1);
+        mgr.unlock_all(r2);
+    }
+
+    #[test]
+    fn shared_fast_path_declines_under_conflict() {
+        let mgr = Arc::new(LockManager::new());
+        let w = mgr.begin();
+        mgr.lock(w, range(1, 7), X).unwrap();
+        let before = mgr.stats().fast_shared_grants;
+        let r = mgr.begin();
+        let mgr2 = mgr.clone();
+        let t = std::thread::spawn(move || {
+            mgr2.lock(r, range(1, 7), S).unwrap();
+            mgr2.unlock_all(r);
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        mgr.unlock_all(w);
+        t.join().unwrap();
+        let stats = mgr.stats();
+        assert_eq!(
+            stats.fast_shared_grants, before,
+            "a conflicting X holder must force the general path"
+        );
+        assert!(stats.waits > 0, "the reader really waited");
     }
 
     #[test]

@@ -8,19 +8,25 @@
 //! locks at the end). A request picked as a deadlock victim is answered
 //! with a typed `Lock` error and can simply be retried by the client.
 //!
-//! Physical access to the [`XmlStore`] is serialized by a mutex — the
-//! store's API is `&mut self` because even reads memoize partial-index
-//! entries — while the lock manager provides the *logical* concurrency
-//! control of the paper's three-layer hierarchy (store / block / range):
-//! admission, isolation, and deadlock detection for many sessions.
+//! Physical access to the [`XmlStore`] is a reader-writer lock mirroring
+//! the logical modes: the store's entire read API works through `&self`
+//! (partial-index memoization and statistics are internally synchronized),
+//! so every read-only opcode executes under *shared* access and genuinely
+//! overlaps with other readers. Mutating opcodes take the writer side,
+//! commit, then release it *before* waiting on the group-commit fsync —
+//! so the store is already serving the next request while this writer's
+//! durability is batched with its neighbors'. The lock manager layers the
+//! *logical* concurrency control of the paper's three-layer hierarchy
+//! (store / block / range) on top: admission, isolation, and deadlock
+//! detection for many sessions.
 
 use crate::stats::ServerStats;
 use axs_client::wire::{put_str, put_u32, put_u64, ErrorCode, Frame, OpCode, Reader, WireError};
-use axs_core::{StoreError, XmlStore};
+use axs_core::{StoreError, XmlStore, GC_HISTOGRAM_BOUNDS, GC_HISTOGRAM_BUCKETS};
 use axs_lock::{LockError, LockManager, LockMode, Resource};
 use axs_xdm::{NodeId, Token};
 use axs_xml::{parse_document, parse_fragment, serialize, ParseOptions, SerializeOptions};
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 use std::sync::Arc;
 
 /// Streamed `ReadAll` chunk size: big enough to amortize framing, small
@@ -94,7 +100,7 @@ impl From<LockError> for ExecError {
 /// The shared execution engine: one store, one lock manager, the server's
 /// own counters. Shared by every session and worker.
 pub(crate) struct Engine {
-    store: Mutex<XmlStore>,
+    store: RwLock<XmlStore>,
     locks: LockManager,
     stats: Arc<ServerStats>,
     debug_sleep: bool,
@@ -103,7 +109,7 @@ pub(crate) struct Engine {
 impl Engine {
     pub(crate) fn new(store: XmlStore, stats: Arc<ServerStats>, debug_sleep: bool) -> Engine {
         Engine {
-            store: Mutex::new(store),
+            store: RwLock::new(store),
             locks: LockManager::new(),
             stats,
             debug_sleep,
@@ -113,7 +119,7 @@ impl Engine {
     /// Flushes the store through the WAL (graceful-shutdown path; callers
     /// must ensure no workers are still executing).
     pub(crate) fn flush_store(&self) -> Result<(), StoreError> {
-        self.store.lock().flush()
+        self.store.write().flush()
     }
 
     /// Executes one request frame, producing the full ordered response.
@@ -215,7 +221,7 @@ impl Engine {
         // Bounded retries: under heavy splitting the mapping may keep
         // moving; degrade to a whole-store lock rather than live-lock.
         for _ in 0..4 {
-            let located = self.store.lock().locate_range(id)?;
+            let located = self.store.read().locate_range(id)?;
             let Some((block, range)) = located else {
                 let store_mode = if mode == LockMode::S {
                     LockMode::S
@@ -227,7 +233,7 @@ impl Engine {
             };
             self.locks
                 .lock(tx, Resource::Range { block, range }, mode)?;
-            if self.store.lock().locate_range(id)? == Some((block, range)) {
+            if self.store.read().locate_range(id)? == Some((block, range)) {
                 return Ok(());
             }
             // Mapping moved while we waited; drop and retry from scratch.
@@ -246,18 +252,56 @@ impl Engine {
     }
 
     /// Executes the opcode body. Lock acquisition already happened (or was
-    /// deliberately skipped for lock-free opcodes).
+    /// deliberately skipped for lock-free opcodes). Read opcodes run under
+    /// shared physical access; write opcodes take exclusive access, commit,
+    /// and wait for group-commit durability only after releasing it.
     fn run(&self, req: &Frame, opcode: OpCode) -> Result<Vec<Frame>, ExecError> {
         use OpCode::*;
+        match opcode {
+            Ping | Sleep => self.run_control(req, opcode),
+            ReadNode | Value | Children | Parent | Query | Flwor | ReadAll | Stats | Report
+            | Ranges | Verify => {
+                let store = self.store.read();
+                self.stats.read_enter();
+                let result = self.run_read(req, opcode, &store);
+                self.stats.read_exit();
+                result
+            }
+            BulkLoad | InsertFirst | InsertLast | InsertBefore | InsertAfter | Delete | Replace
+            | Flush | Compact => {
+                ServerStats::bump(&self.stats.writes_exclusive);
+                let (frames, ticket) = {
+                    let mut store = self.store.write();
+                    let frames = self.run_write(req, opcode, &mut store)?;
+                    // Flush is its own durability point; everything else
+                    // commits here and waits below, outside the lock.
+                    let ticket = if opcode == Flush {
+                        None
+                    } else {
+                        store.commit()?
+                    };
+                    (frames, ticket)
+                };
+                if let Some(ticket) = ticket {
+                    ServerStats::bump(&self.stats.commit_waits);
+                    ticket.wait().map_err(StoreError::from)?;
+                }
+                Ok(frames)
+            }
+            Shutdown => unreachable!("handled by dispatch"),
+        }
+    }
+
+    fn run_control(&self, req: &Frame, opcode: OpCode) -> Result<Vec<Frame>, ExecError> {
         let id = req.req_id;
         let op = req.opcode;
         let mut r = Reader::new(&req.payload);
         let frames = match opcode {
-            Ping => {
+            OpCode::Ping => {
                 r.finish()?;
                 vec![Frame::done(id, op, Vec::new())]
             }
-            Sleep => {
+            OpCode::Sleep => {
                 let ms = r.u32()?;
                 r.finish()?;
                 if !self.debug_sleep {
@@ -269,19 +313,30 @@ impl Engine {
                 std::thread::sleep(std::time::Duration::from_millis(u64::from(ms)));
                 vec![Frame::done(id, op, Vec::new())]
             }
-            BulkLoad => {
-                let xml = r.str()?;
-                r.finish()?;
-                let tokens = Self::parse_xml(&xml)?;
-                let iv = self.store.lock().bulk_insert(tokens)?;
-                vec![Frame::done(id, op, Self::interval_payload(iv))]
-            }
+            _ => unreachable!("not a control opcode"),
+        };
+        Ok(frames)
+    }
+
+    /// Read-only opcodes: `store` is a shared borrow — any number of these
+    /// run concurrently.
+    fn run_read(
+        &self,
+        req: &Frame,
+        opcode: OpCode,
+        store: &XmlStore,
+    ) -> Result<Vec<Frame>, ExecError> {
+        use OpCode::*;
+        let id = req.req_id;
+        let op = req.opcode;
+        let mut r = Reader::new(&req.payload);
+        let frames = match opcode {
             Query => {
                 let path = r.str()?;
                 r.finish()?;
                 let compiled = axs_xpath::compile(&path)
                     .map_err(|e| ExecError::new(ErrorCode::Parse, e.to_string()))?;
-                let matches = axs_xpath::evaluate_store(&mut self.store.lock(), &compiled)?;
+                let matches = axs_xpath::evaluate_store(store, &compiled)?;
                 let mut frames = Vec::with_capacity(matches.len() + 1);
                 for (node, tokens) in &matches {
                     let mut p = Vec::new();
@@ -300,7 +355,7 @@ impl Engine {
                 r.finish()?;
                 let q = axs_xquery::parse_flwor(&text)
                     .map_err(|e| ExecError::new(ErrorCode::Parse, e.to_string()))?;
-                let rows = axs_xquery::evaluate_flwor(&mut self.store.lock(), &q)?;
+                let rows = axs_xquery::evaluate_flwor(store, &q)?;
                 let mut frames = Vec::with_capacity(rows.len() + 1);
                 for row in &rows {
                     let mut p = Vec::new();
@@ -315,7 +370,7 @@ impl Engine {
             ReadNode => {
                 let node = NodeId(r.u64()?);
                 r.finish()?;
-                let tokens = self.store.lock().read_node(node)?;
+                let tokens = store.read_node(node)?;
                 let mut p = Vec::new();
                 put_str(&mut p, &Self::render(&tokens)?);
                 vec![Frame::done(id, op, p)]
@@ -323,7 +378,7 @@ impl Engine {
             Value => {
                 let node = NodeId(r.u64()?);
                 r.finish()?;
-                let value = self.store.lock().string_value(node)?;
+                let value = store.string_value(node)?;
                 let mut p = Vec::new();
                 put_str(&mut p, &value);
                 vec![Frame::done(id, op, p)]
@@ -331,7 +386,6 @@ impl Engine {
             Children => {
                 let node = NodeId(r.u64()?);
                 r.finish()?;
-                let mut store = self.store.lock();
                 let kids = store.children_of(node)?;
                 let mut p = Vec::new();
                 put_u32(&mut p, kids.len() as u32);
@@ -348,37 +402,15 @@ impl Engine {
             Parent => {
                 let node = NodeId(r.u64()?);
                 r.finish()?;
-                let parent = self.store.lock().parent_of(node)?;
+                let parent = store.parent_of(node)?;
                 let mut p = Vec::new();
                 p.push(u8::from(parent.is_some()));
                 put_u64(&mut p, parent.map_or(0, NodeId::get));
                 vec![Frame::done(id, op, p)]
             }
-            InsertFirst | InsertLast | InsertBefore | InsertAfter | Replace => {
-                let node = NodeId(r.u64()?);
-                let xml = r.str()?;
-                r.finish()?;
-                let tokens = Self::parse_xml(&xml)?;
-                let mut store = self.store.lock();
-                let iv = match opcode {
-                    InsertFirst => store.insert_into_first(node, tokens)?,
-                    InsertLast => store.insert_into_last(node, tokens)?,
-                    InsertBefore => store.insert_before(node, tokens)?,
-                    InsertAfter => store.insert_after(node, tokens)?,
-                    Replace => store.replace_node(node, tokens)?,
-                    _ => unreachable!(),
-                };
-                vec![Frame::done(id, op, Self::interval_payload(iv))]
-            }
-            Delete => {
-                let node = NodeId(r.u64()?);
-                r.finish()?;
-                self.store.lock().delete_node(node)?;
-                vec![Frame::done(id, op, Vec::new())]
-            }
             ReadAll => {
                 r.finish()?;
-                let tokens = self.store.lock().read_all()?;
+                let tokens = store.read_all()?;
                 let text = Self::render(&tokens)?;
                 let mut frames = Vec::with_capacity(text.len() / READ_ALL_CHUNK + 2);
                 // Chunks split on byte boundaries; the client re-validates
@@ -393,7 +425,7 @@ impl Engine {
             }
             Stats => {
                 r.finish()?;
-                let entries = self.stat_entries();
+                let entries = self.stat_entries(store);
                 let mut p = Vec::new();
                 put_u32(&mut p, entries.len() as u32);
                 for (name, value) in entries {
@@ -404,7 +436,6 @@ impl Engine {
             }
             Report => {
                 r.finish()?;
-                let store = self.store.lock();
                 let rep = store.storage_report()?;
                 let text = format!(
                     "blocks {}  ranges {}  index entries {}  free pages {}\n\
@@ -425,14 +456,8 @@ impl Engine {
                 put_str(&mut p, &text);
                 vec![Frame::done(id, op, p)]
             }
-            Flush => {
-                r.finish()?;
-                self.store.lock().flush()?;
-                vec![Frame::done(id, op, Vec::new())]
-            }
             Verify => {
                 r.finish()?;
-                let mut store = self.store.lock();
                 store.check_invariants()?;
                 // Walking every token forces every data page through the
                 // pool, so checksum verification covers the whole file.
@@ -446,19 +471,9 @@ impl Engine {
                 put_str(&mut p, &summary);
                 vec![Frame::done(id, op, p)]
             }
-            Compact => {
-                let target = r.u64()?;
-                r.finish()?;
-                let rep = self.store.lock().compact(target as usize)?;
-                let mut p = Vec::new();
-                put_u64(&mut p, rep.merges);
-                put_u64(&mut p, rep.ranges_before);
-                put_u64(&mut p, rep.ranges_after);
-                vec![Frame::done(id, op, p)]
-            }
             Ranges => {
                 r.finish()?;
-                let entries = self.store.lock().range_index_entries()?;
+                let entries = store.range_index_entries()?;
                 let mut text = String::from("RangeId  BlockId  StartId  EndId\n");
                 for e in entries {
                     use std::fmt::Write as _;
@@ -475,17 +490,79 @@ impl Engine {
                 put_str(&mut p, &text);
                 vec![Frame::done(id, op, p)]
             }
-            Shutdown => unreachable!("handled by dispatch"),
+            _ => unreachable!("not a read opcode"),
+        };
+        Ok(frames)
+    }
+
+    /// Mutating opcodes: `store` is the exclusive borrow. The caller
+    /// commits and waits for durability after this returns.
+    fn run_write(
+        &self,
+        req: &Frame,
+        opcode: OpCode,
+        store: &mut XmlStore,
+    ) -> Result<Vec<Frame>, ExecError> {
+        use OpCode::*;
+        let id = req.req_id;
+        let op = req.opcode;
+        let mut r = Reader::new(&req.payload);
+        let frames = match opcode {
+            BulkLoad => {
+                let xml = r.str()?;
+                r.finish()?;
+                let tokens = Self::parse_xml(&xml)?;
+                let iv = store.bulk_insert(tokens)?;
+                vec![Frame::done(id, op, Self::interval_payload(iv))]
+            }
+            InsertFirst | InsertLast | InsertBefore | InsertAfter | Replace => {
+                let node = NodeId(r.u64()?);
+                let xml = r.str()?;
+                r.finish()?;
+                let tokens = Self::parse_xml(&xml)?;
+                let iv = match opcode {
+                    InsertFirst => store.insert_into_first(node, tokens)?,
+                    InsertLast => store.insert_into_last(node, tokens)?,
+                    InsertBefore => store.insert_before(node, tokens)?,
+                    InsertAfter => store.insert_after(node, tokens)?,
+                    Replace => store.replace_node(node, tokens)?,
+                    _ => unreachable!(),
+                };
+                vec![Frame::done(id, op, Self::interval_payload(iv))]
+            }
+            Delete => {
+                let node = NodeId(r.u64()?);
+                r.finish()?;
+                store.delete_node(node)?;
+                vec![Frame::done(id, op, Vec::new())]
+            }
+            Flush => {
+                r.finish()?;
+                store.flush()?;
+                vec![Frame::done(id, op, Vec::new())]
+            }
+            Compact => {
+                let target = r.u64()?;
+                r.finish()?;
+                let rep = store.compact(target as usize)?;
+                let mut p = Vec::new();
+                put_u64(&mut p, rep.merges);
+                put_u64(&mut p, rep.ranges_before);
+                put_u64(&mut p, rep.ranges_after);
+                vec![Frame::done(id, op, p)]
+            }
+            _ => unreachable!("not a write opcode"),
         };
         Ok(frames)
     }
 
     /// Every counter the server can name: store ops, buffer pools, partial
-    /// index, lock manager, and the server's own session counters.
-    fn stat_entries(&self) -> Vec<(String, u64)> {
-        let mut out = Vec::with_capacity(40);
+    /// index, lock manager, group commit, and the server's own session
+    /// counters. `store` is the shared borrow the Stats opcode already
+    /// holds.
+    fn stat_entries(&self, store: &XmlStore) -> Vec<(String, u64)> {
+        let mut out = Vec::with_capacity(60);
         {
-            let store = self.store.lock();
             let s = store.stats();
             for (name, value) in [
                 ("store.inserts", s.inserts),
@@ -524,9 +601,27 @@ impl Engine {
                 "partial.entries".to_string(),
                 store.partial_index().map_or(0, |p| p.len() as u64),
             ));
+            if let Some(gc) = store.group_commit_stats() {
+                out.push(("wal.group_commits".to_string(), gc.commits));
+                out.push(("wal.group_syncs".to_string(), gc.syncs));
+                // One histogram entry per batch-size bucket, labeled by its
+                // upper bound ("le" as in less-or-equal; the last is open).
+                debug_assert_eq!(gc.batches.len(), GC_HISTOGRAM_BUCKETS);
+                for (i, &count) in gc.batches.iter().enumerate() {
+                    let label = match GC_HISTOGRAM_BOUNDS.get(i) {
+                        Some(bound) => format!("wal.group_batch_le_{bound}"),
+                        None => "wal.group_batch_gt_16".to_string(),
+                    };
+                    out.push((label, count));
+                }
+            }
         }
         let locks = self.locks.stats();
         out.push(("lock.acquisitions".to_string(), locks.acquisitions));
+        out.push((
+            "lock.fast_shared_grants".to_string(),
+            locks.fast_shared_grants,
+        ));
         out.push(("lock.waits".to_string(), locks.waits));
         out.push(("lock.deadlocks".to_string(), locks.deadlocks));
         for (name, value) in self.stats.snapshot() {

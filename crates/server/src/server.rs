@@ -99,6 +99,7 @@ impl Server {
         let config = config.normalized();
         let listener = TcpListener::bind(&*config.addr)?;
         let local_addr = listener.local_addr()?;
+        store.set_commit_window(config.commit_window);
         let stats = Arc::new(ServerStats::default());
         let shared = Arc::new(Shared {
             engine: Engine::new(store, stats.clone(), config.debug_sleep),

@@ -4,6 +4,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Atomic counters describing the server's own behavior (as opposed to
 /// the store's), surfaced through the `stats` opcode.
+///
+/// The read/write families split request execution by access mode: reads
+/// run under *shared* store access (many in flight at once — the in-flight
+/// gauge and its high-water mark make the overlap observable), writes run
+/// under exclusive access and amortize durability through the group-commit
+/// WAL (whose batch histogram is reported alongside, see
+/// `Engine::stat_entries`).
 #[derive(Debug, Default)]
 pub struct ServerStats {
     /// Connections accepted over the server's lifetime.
@@ -22,12 +29,36 @@ pub struct ServerStats {
     pub deadlocks: AtomicU64,
     /// Malformed frames / payloads answered with `Protocol`.
     pub protocol_errors: AtomicU64,
+    /// Read opcodes executed under shared store access.
+    pub reads_shared: AtomicU64,
+    /// Write opcodes executed under exclusive store access.
+    pub writes_exclusive: AtomicU64,
+    /// Read opcodes currently holding shared access.
+    pub reads_in_flight: AtomicU64,
+    /// Most read opcodes ever observed holding shared access at once —
+    /// values above 1 prove readers genuinely overlap.
+    pub reads_max_in_flight: AtomicU64,
+    /// Write commits that waited on the shared group-commit fsync.
+    pub commit_waits: AtomicU64,
 }
 
 impl ServerStats {
     /// Increments a counter.
     pub fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a read entering execution under shared access, maintaining
+    /// the in-flight gauge and its high-water mark.
+    pub fn read_enter(&self) {
+        self.reads_shared.fetch_add(1, Ordering::Relaxed);
+        let now = self.reads_in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.reads_max_in_flight.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Records a read leaving execution.
+    pub fn read_exit(&self) {
+        self.reads_in_flight.fetch_sub(1, Ordering::Relaxed);
     }
 
     /// Named snapshot of every counter, in stable order.
@@ -45,6 +76,14 @@ impl ServerStats {
             ("server.timeouts", read(&self.timeouts)),
             ("server.deadlocks", read(&self.deadlocks)),
             ("server.protocol_errors", read(&self.protocol_errors)),
+            ("server.reads_shared", read(&self.reads_shared)),
+            ("server.writes_exclusive", read(&self.writes_exclusive)),
+            ("server.reads_in_flight", read(&self.reads_in_flight)),
+            (
+                "server.reads_max_in_flight",
+                read(&self.reads_max_in_flight),
+            ),
+            ("server.commit_waits", read(&self.commit_waits)),
         ]
     }
 }

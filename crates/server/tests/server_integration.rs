@@ -385,7 +385,7 @@ fn graceful_shutdown_persists_through_wal() {
     c.shutdown_server().unwrap();
     handle.join().unwrap();
 
-    let mut reopened = StoreBuilder::new().directory(&dir).open().unwrap();
+    let reopened = StoreBuilder::new().directory(&dir).open().unwrap();
     reopened.check_invariants().unwrap();
     let xml = serialize(&reopened.read_all().unwrap(), &SerializeOptions::default()).unwrap();
     for i in 0..10 {

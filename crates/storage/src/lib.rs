@@ -39,7 +39,10 @@ pub use faulty::{FaultConfig, FaultHandle, FaultyPageStore};
 pub use page::PageId;
 pub use pool::{BufferPool, PoolOptions, PoolStats, RetryPolicy};
 pub use store::{FilePageStore, MemPageStore, PageStore};
-pub use wal::{RecoveredImage, Wal, WalRecovery};
+pub use wal::{
+    CommitTicket, GroupCommit, GroupCommitStats, RecoveredImage, Wal, WalRecovery,
+    GC_HISTOGRAM_BOUNDS, GC_HISTOGRAM_BUCKETS,
+};
 
 /// Configuration for a storage instance.
 #[derive(Debug, Clone)]

@@ -77,6 +77,10 @@ struct Frame {
     page: PageId,
     data: Box<[u8]>,
     dirty: bool,
+    /// The current contents were already snapshotted by
+    /// [`BufferPool::unlogged_dirty_images`] (i.e. appended to the WAL);
+    /// cleared whenever the frame is re-dirtied.
+    logged: bool,
     last_used: u64,
 }
 
@@ -213,6 +217,7 @@ impl BufferPool {
                     page: PageId::NONE,
                     data: vec![0u8; self.store.page_size()].into_boxed_slice(),
                     dirty: false,
+                    logged: false,
                     last_used: 0,
                 });
                 inner.frames.len() - 1
@@ -244,6 +249,7 @@ impl BufferPool {
         }
         inner.frames[idx].page = id;
         inner.frames[idx].dirty = false;
+        inner.frames[idx].logged = false;
         inner.frames[idx].last_used = tick;
         inner.map.insert(id, idx);
         Ok(idx)
@@ -261,6 +267,7 @@ impl BufferPool {
         let mut inner = self.inner.lock();
         let idx = self.fetch(&mut inner, id)?;
         inner.frames[idx].dirty = true;
+        inner.frames[idx].logged = false;
         Ok(f(&mut inner.frames[idx].data))
     }
 
@@ -281,7 +288,9 @@ impl BufferPool {
         // against logic errors anyway.
         debug_assert_eq!(inner.frames[ia].page, a, "frame A evicted mid-pair");
         inner.frames[ia].dirty = true;
+        inner.frames[ia].logged = false;
         inner.frames[ib].dirty = true;
+        inner.frames[ib].logged = false;
         debug_assert_ne!(ia, ib);
         let (fa, fb) = if ia < ib {
             let (left, right) = inner.frames.split_at_mut(ib);
@@ -320,6 +329,26 @@ impl BufferPool {
         images
     }
 
+    /// Like [`BufferPool::dirty_page_images`], but skips frames whose
+    /// current contents were already snapshotted, and marks the returned
+    /// ones as logged. This is the group-commit increment: under no-steal,
+    /// consecutive commits each log only the pages dirtied since the last
+    /// commit, while the full dirty set stays in the pool until `flush_all`.
+    pub fn unlogged_dirty_images(&self) -> Vec<(PageId, Vec<u8>)> {
+        let mut inner = self.inner.lock();
+        let mut images: Vec<(PageId, Vec<u8>)> = inner
+            .frames
+            .iter_mut()
+            .filter(|f| f.dirty && !f.logged && f.page != PageId::NONE)
+            .map(|f| {
+                f.logged = true;
+                (f.page, f.data.to_vec())
+            })
+            .collect();
+        images.sort_by_key(|(page, _)| page.0);
+        images
+    }
+
     /// Sets the LSN stamped onto pages by subsequent physical writes
     /// (checksum mode only).
     pub fn set_stamp_lsn(&self, lsn: u64) {
@@ -335,6 +364,7 @@ impl BufferPool {
                 let page = inner.frames[idx].page;
                 self.write_back(page, &mut inner.frames[idx].data)?;
                 inner.frames[idx].dirty = false;
+                inner.frames[idx].logged = false;
             }
         }
         Ok(())
@@ -632,6 +662,29 @@ mod tests {
             failed,
             "with no retry budget a transient error must surface"
         );
+    }
+
+    #[test]
+    fn unlogged_dirty_images_are_incremental() {
+        let p = pool(8);
+        let a = p.allocate().unwrap();
+        let b = p.allocate().unwrap();
+        p.write(a, |buf| buf[0] = 1).unwrap();
+        p.write(b, |buf| buf[0] = 2).unwrap();
+        let first = p.unlogged_dirty_images();
+        assert_eq!(first.len(), 2);
+        // Nothing new: the same dirty frames are not re-snapshotted...
+        assert!(p.unlogged_dirty_images().is_empty());
+        // ...but the full dirty set is still visible to a full flush.
+        assert_eq!(p.dirty_page_images().len(), 2);
+        // Re-dirtying one page makes exactly that page unlogged again.
+        p.write(a, |buf| buf[0] = 9).unwrap();
+        let second = p.unlogged_dirty_images();
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].0, a);
+        assert_eq!(second[0].1[0], 9);
+        p.flush_all().unwrap();
+        assert!(p.unlogged_dirty_images().is_empty());
     }
 
     #[test]

@@ -22,12 +22,30 @@
 //! torn tail and is reported (and later truncated), never replayed.
 //! Complete records with no following commit are an uncommitted batch and
 //! are discarded too: the flush that wrote them never promised durability.
+//!
+//! # Group commit
+//!
+//! [`Wal::commit_nosync`] appends the commit record but defers the fsync to
+//! a shared [`GroupCommit`] handle: the returned [`CommitTicket`] is waited
+//! on *after* the caller releases whatever lock serialized the append, so
+//! concurrent committers share one `sync_data` call. The first waiter to
+//! find no sync in progress becomes the leader: it sleeps for the configured
+//! window (letting more commits queue behind it), reads the highest
+//! requested LSN, and issues one fsync that seals every batch appended up to
+//! that point. Followers just wait until `highest_synced` covers their LSN.
+//! A full [`Wal::commit`] or [`Wal::reset`] also advances `highest_synced`
+//! (and wakes waiters) — by the time `reset` truncates the log, the data
+//! file itself is synced, so every outstanding commit is already durable.
 
 use crate::error::StorageError;
 use crate::page::PageId;
+use parking_lot::{Condvar, Mutex};
 use std::fs::{File, OpenOptions};
 use std::os::unix::fs::FileExt;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 const MAGIC: u64 = u64::from_le_bytes(*b"AXS_WAL\0");
 const VERSION: u32 = 1;
@@ -68,6 +86,195 @@ pub struct WalRecovery {
     pub uncommitted_records: u64,
 }
 
+/// Number of buckets in the group-commit batch-size histogram: batches of
+/// 1, 2, 3, 4, 5–8, 9–16, and 17+ commits per fsync.
+pub const GC_HISTOGRAM_BUCKETS: usize = 7;
+
+/// Upper bounds (inclusive) of the histogram buckets; the last bucket is
+/// open-ended.
+pub const GC_HISTOGRAM_BOUNDS: [u64; GC_HISTOGRAM_BUCKETS - 1] = [1, 2, 3, 4, 8, 16];
+
+fn gc_bucket(batch: u64) -> usize {
+    GC_HISTOGRAM_BOUNDS
+        .iter()
+        .position(|&b| batch <= b)
+        .unwrap_or(GC_HISTOGRAM_BUCKETS - 1)
+}
+
+struct GcInner {
+    /// Highest commit LSN any committer has asked to make durable.
+    highest_requested: u64,
+    /// Highest commit LSN known durable (fsynced, or superseded by a full
+    /// data-file sync at reset time).
+    highest_synced: u64,
+    /// A leader is currently inside the window/fsync.
+    syncing: bool,
+    /// Commits registered since the last fsync sealed its batch.
+    pending: u64,
+}
+
+/// Snapshot of group-commit activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GroupCommitStats {
+    /// Commits that went through the group-commit path.
+    pub commits: u64,
+    /// `sync_data` calls issued by leaders (each seals >= 1 commit).
+    pub syncs: u64,
+    /// Batch-size histogram: commits per fsync, bucketed as 1, 2, 3, 4,
+    /// 5–8, 9–16, 17+.
+    pub batches: [u64; GC_HISTOGRAM_BUCKETS],
+}
+
+/// Shared fsync batcher behind [`Wal::commit_nosync`]. One exists per WAL;
+/// [`CommitTicket`]s hold it alive independently of the `Wal` handle.
+pub struct GroupCommit {
+    /// Clone of the WAL file descriptor so leaders can fsync without
+    /// borrowing the (exclusively held) `Wal`.
+    file: File,
+    /// Leader wait window in nanoseconds (0 = fsync immediately).
+    window_nanos: AtomicU64,
+    inner: Mutex<GcInner>,
+    cond: Condvar,
+    commits: AtomicU64,
+    syncs: AtomicU64,
+    batches: [AtomicU64; GC_HISTOGRAM_BUCKETS],
+}
+
+impl GroupCommit {
+    fn new(file: File) -> Arc<GroupCommit> {
+        Arc::new(GroupCommit {
+            file,
+            window_nanos: AtomicU64::new(0),
+            inner: Mutex::new(GcInner {
+                highest_requested: 0,
+                highest_synced: 0,
+                syncing: false,
+                pending: 0,
+            }),
+            cond: Condvar::new(),
+            commits: AtomicU64::new(0),
+            syncs: AtomicU64::new(0),
+            batches: Default::default(),
+        })
+    }
+
+    /// Sets the leader wait window. Longer windows batch more commits per
+    /// fsync at the cost of commit latency; zero fsyncs immediately.
+    pub fn set_window(&self, window: Duration) {
+        self.window_nanos.store(
+            window.as_nanos().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// The current leader wait window.
+    pub fn window(&self) -> Duration {
+        Duration::from_nanos(self.window_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> GroupCommitStats {
+        let mut batches = [0u64; GC_HISTOGRAM_BUCKETS];
+        for (out, b) in batches.iter_mut().zip(&self.batches) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        GroupCommitStats {
+            commits: self.commits.load(Ordering::Relaxed),
+            syncs: self.syncs.load(Ordering::Relaxed),
+            batches,
+        }
+    }
+
+    /// Blocks until commit `lsn` is durable, electing a leader to fsync on
+    /// behalf of every queued committer.
+    fn wait_durable(&self, lsn: u64) -> Result<(), StorageError> {
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        let mut g = self.inner.lock();
+        if lsn > g.highest_requested {
+            g.highest_requested = lsn;
+        }
+        g.pending += 1;
+        loop {
+            if g.highest_synced >= lsn {
+                return Ok(());
+            }
+            if g.syncing {
+                self.cond.wait(&mut g);
+                continue;
+            }
+            // Leader: give followers the window to append their commits,
+            // then seal everything requested so far with one fsync. The
+            // records behind `highest_requested` were fully written before
+            // their committers registered, so the fsync covers them.
+            g.syncing = true;
+            drop(g);
+            let window = self.window();
+            if !window.is_zero() {
+                std::thread::sleep(window);
+            }
+            let (target, batch) = {
+                let mut g = self.inner.lock();
+                let target = g.highest_requested;
+                let batch = std::mem::take(&mut g.pending);
+                (target, batch)
+            };
+            let synced = self.file.sync_data();
+            let mut after = self.inner.lock();
+            after.syncing = false;
+            if let Err(e) = synced {
+                // Wake everyone; a waiter will take over as the next leader
+                // and retry the fsync.
+                self.cond.notify_all();
+                return Err(e.into());
+            }
+            if target > after.highest_synced {
+                after.highest_synced = target;
+            }
+            self.syncs.fetch_add(1, Ordering::Relaxed);
+            if batch > 0 {
+                self.batches[gc_bucket(batch)].fetch_add(1, Ordering::Relaxed);
+            }
+            self.cond.notify_all();
+            g = after;
+        }
+    }
+
+    /// Marks every commit at or below `lsn` durable and wakes waiters —
+    /// called when a full sync (commit or data-file flush) supersedes the
+    /// queued fsyncs.
+    fn mark_synced_through(&self, lsn: u64) {
+        let mut g = self.inner.lock();
+        if lsn > g.highest_synced {
+            g.highest_synced = lsn;
+            drop(g);
+            self.cond.notify_all();
+        }
+    }
+}
+
+/// A pending group commit: proof that the commit record is in the log,
+/// waiting to become durable. Obtain from [`Wal::commit_nosync`], then call
+/// [`CommitTicket::wait`] *after* releasing locks so unrelated committers
+/// can batch into the same fsync.
+#[must_use = "a commit is not durable until the ticket is waited on"]
+pub struct CommitTicket {
+    group: Arc<GroupCommit>,
+    lsn: u64,
+}
+
+impl CommitTicket {
+    /// The LSN of the commit record this ticket tracks.
+    pub fn lsn(&self) -> u64 {
+        self.lsn
+    }
+
+    /// Blocks until the commit is durable (fsynced by this thread or a
+    /// concurrent leader, or superseded by a full data-file sync).
+    pub fn wait(self) -> Result<(), StorageError> {
+        self.group.wait_durable(self.lsn)
+    }
+}
+
 /// An append-only write-ahead log over one file.
 pub struct Wal {
     file: File,
@@ -78,6 +285,8 @@ pub struct Wal {
     next_lsn: u64,
     /// Records appended through this handle (images + commits).
     appended: u64,
+    /// Shared fsync batcher for [`Wal::commit_nosync`].
+    group: Arc<GroupCommit>,
 }
 
 fn open_file(path: &Path) -> Result<File, StorageError> {
@@ -100,12 +309,14 @@ impl Wal {
         header[12..16].copy_from_slice(&(page_size as u32).to_le_bytes());
         file.write_all_at(&header, 0)?;
         file.sync_data()?;
+        let group = GroupCommit::new(file.try_clone()?);
         Ok(Wal {
             file,
             page_size,
             end: HEADER_LEN,
             next_lsn: 1,
             appended: 0,
+            group,
         })
     }
 
@@ -168,6 +379,7 @@ impl Wal {
         }
         recovery.torn_tail_bytes = (buf.len() - valid_end) as u64;
         recovery.uncommitted_records = pending.len() as u64;
+        let group = GroupCommit::new(file.try_clone()?);
         Ok((
             Wal {
                 file,
@@ -175,6 +387,7 @@ impl Wal {
                 end: valid_end as u64,
                 next_lsn: max_lsn + 1,
                 appended: 0,
+                group,
             },
             recovery,
         ))
@@ -193,7 +406,27 @@ impl Wal {
     pub fn commit(&mut self) -> Result<u64, StorageError> {
         let lsn = self.append(RecordKind::Commit, 0, &[])?;
         self.file.sync_data()?;
+        // The full sync also covers any commit records queued behind a
+        // group-commit leader; let their waiters go.
+        self.group.mark_synced_through(lsn);
         Ok(lsn)
+    }
+
+    /// Appends a commit record *without* syncing, returning a ticket that
+    /// becomes durable through the shared [`GroupCommit`] batcher. Call
+    /// [`CommitTicket::wait`] after releasing whatever lock serialized the
+    /// append.
+    pub fn commit_nosync(&mut self) -> Result<CommitTicket, StorageError> {
+        let lsn = self.append(RecordKind::Commit, 0, &[])?;
+        Ok(CommitTicket {
+            group: Arc::clone(&self.group),
+            lsn,
+        })
+    }
+
+    /// The shared group-commit batcher (window configuration and stats).
+    pub fn group_commit(&self) -> &Arc<GroupCommit> {
+        &self.group
     }
 
     fn append(&mut self, kind: RecordKind, page: u64, payload: &[u8]) -> Result<u64, StorageError> {
@@ -215,7 +448,14 @@ impl Wal {
 
     /// Truncates the log back to its header (checkpoint: the data file now
     /// holds everything the last commit promised).
+    ///
+    /// Outstanding [`CommitTicket`]s are released first: reset only runs
+    /// after the data file itself is synced, so every commit appended so
+    /// far is already durable — truncating without waking waiters would
+    /// leave them blocked on an fsync of records that no longer exist.
     pub fn reset(&mut self) -> Result<(), StorageError> {
+        self.group
+            .mark_synced_through(self.next_lsn.saturating_sub(1));
         self.file.set_len(HEADER_LEN)?;
         self.file.sync_data()?;
         self.end = HEADER_LEN;
@@ -397,6 +637,84 @@ mod tests {
         let (_, rec) = Wal::recover(&path, PS).unwrap();
         assert_eq!(rec.batches.len(), 1);
         assert_eq!(rec.batches[0][0].page, PageId(7));
+    }
+
+    #[test]
+    fn group_commit_tickets_become_durable() {
+        let path = temp_wal("group");
+        let wal = Mutex::new(Wal::create(&path, PS).unwrap());
+        wal.lock()
+            .group_commit()
+            .set_window(Duration::from_millis(1));
+        std::thread::scope(|scope| {
+            for t in 0..8u8 {
+                let wal = &wal;
+                scope.spawn(move || {
+                    for i in 0..4u8 {
+                        let ticket = {
+                            let mut w = wal.lock();
+                            w.append_image(PageId(t as u64), &image(t ^ i)).unwrap();
+                            w.commit_nosync().unwrap()
+                        };
+                        // Wait outside the lock — this is where batching
+                        // across committers happens.
+                        ticket.wait().unwrap();
+                    }
+                });
+            }
+        });
+        let wal = wal.into_inner();
+        let stats = wal.group_commit().stats();
+        assert_eq!(stats.commits, 32);
+        assert!(stats.syncs >= 1 && stats.syncs <= 32);
+        assert_eq!(stats.batches.iter().sum::<u64>(), stats.syncs);
+        drop(wal);
+        let (_, rec) = Wal::recover(&path, PS).unwrap();
+        assert_eq!(rec.batches.len(), 32, "every nosync commit must be sealed");
+        assert_eq!(rec.uncommitted_records, 0);
+        assert_eq!(rec.torn_tail_bytes, 0);
+    }
+
+    #[test]
+    fn reset_releases_outstanding_tickets() {
+        let path = temp_wal("group-reset");
+        let mut wal = Wal::create(&path, PS).unwrap();
+        wal.append_image(PageId(1), &image(1)).unwrap();
+        let ticket = wal.commit_nosync().unwrap();
+        wal.reset().unwrap();
+        // The ticket must resolve without anyone fsyncing on its behalf.
+        ticket.wait().unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), HEADER_LEN);
+    }
+
+    #[test]
+    fn full_commit_releases_queued_tickets() {
+        let path = temp_wal("group-full");
+        let mut wal = Wal::create(&path, PS).unwrap();
+        wal.append_image(PageId(1), &image(1)).unwrap();
+        let ticket = wal.commit_nosync().unwrap();
+        wal.append_image(PageId(2), &image(2)).unwrap();
+        wal.commit().unwrap();
+        ticket.wait().unwrap();
+        let stats = wal.group_commit().stats();
+        assert_eq!(stats.syncs, 0, "the full commit's fsync covered the ticket");
+        drop(wal);
+        let (_, rec) = Wal::recover(&path, PS).unwrap();
+        assert_eq!(rec.batches.len(), 2);
+    }
+
+    #[test]
+    fn histogram_buckets_cover_all_sizes() {
+        assert_eq!(gc_bucket(1), 0);
+        assert_eq!(gc_bucket(2), 1);
+        assert_eq!(gc_bucket(3), 2);
+        assert_eq!(gc_bucket(4), 3);
+        assert_eq!(gc_bucket(5), 4);
+        assert_eq!(gc_bucket(8), 4);
+        assert_eq!(gc_bucket(9), 5);
+        assert_eq!(gc_bucket(16), 5);
+        assert_eq!(gc_bucket(17), 6);
+        assert_eq!(gc_bucket(1000), 6);
     }
 
     #[test]

@@ -323,7 +323,7 @@ pub type StoreMatch = (Option<NodeId>, Vec<Token>);
 
 /// Evaluates a compiled path over the whole store, returning each match's
 /// stable node id and subtree tokens.
-pub fn evaluate_store(store: &mut XmlStore, path: &XPath) -> Result<Vec<StoreMatch>, StoreError> {
+pub fn evaluate_store(store: &XmlStore, path: &XPath) -> Result<Vec<StoreMatch>, StoreError> {
     let pairs: Vec<(Option<NodeId>, Token)> = store.read().collect::<Result<_, _>>()?;
     let borrowed: Vec<(Option<NodeId>, &Token)> = pairs.iter().map(|(id, t)| (*id, t)).collect();
     let matches = evaluate_pairs(borrowed, path);
@@ -495,7 +495,7 @@ mod tests {
         let mut store = axs_core::StoreBuilder::new().build().unwrap();
         store.bulk_insert(toks(DOC)).unwrap();
         let path = compile("/orders/order/qty").unwrap();
-        let results = evaluate_store(&mut store, &path).unwrap();
+        let results = evaluate_store(&store, &path).unwrap();
         assert_eq!(results.len(), 2);
         for (id, sub) in &results {
             let id = id.expect("store matches carry ids");
@@ -511,7 +511,7 @@ mod tests {
         store.bulk_insert(toks(DOC)).unwrap();
         // Add a third order via XUpdate and re-query.
         let path = compile("/orders/order").unwrap();
-        let before = evaluate_store(&mut store, &path).unwrap();
+        let before = evaluate_store(&store, &path).unwrap();
         assert_eq!(before.len(), 2);
         store
             .insert_into_last(before[1].0.unwrap(), toks("<late>true</late>"))
@@ -520,10 +520,10 @@ mod tests {
         store
             .insert_into_last(root, toks(r#"<order id="3"><item>cog</item></order>"#))
             .unwrap();
-        let after = evaluate_store(&mut store, &path).unwrap();
+        let after = evaluate_store(&store, &path).unwrap();
         assert_eq!(after.len(), 3);
         let late = compile("/orders/order[late='true']/@id").unwrap();
-        let hits = evaluate_store(&mut store, &late).unwrap();
+        let hits = evaluate_store(&store, &late).unwrap();
         assert_eq!(hits.len(), 1);
     }
 }

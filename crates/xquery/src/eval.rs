@@ -25,14 +25,11 @@ type Env = HashMap<String, Vec<Vec<Token>>>;
 /// )?)?;
 /// let query = parse_flwor(r#"for $o in /os/o where $o/q > 6
 ///                            return <hot id="{ $o/@id }"/>"#)?;
-/// let rows = evaluate_flwor(&mut store, &query)?;
+/// let rows = evaluate_flwor(&store, &query)?;
 /// assert_eq!(serialize(&rows[0], &SerializeOptions::default())?, r#"<hot id="2"/>"#);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn evaluate_flwor(
-    store: &mut XmlStore,
-    query: &FlworQuery,
-) -> Result<Vec<Vec<Token>>, StoreError> {
+pub fn evaluate_flwor(store: &XmlStore, query: &FlworQuery) -> Result<Vec<Vec<Token>>, StoreError> {
     // FOR: bind the variable, one environment per binding.
     let bindings = axs_xpath::evaluate_store(store, &query.source)?;
     let mut envs: Vec<Env> = bindings
@@ -225,9 +222,9 @@ mod tests {
     }
 
     fn run(query: &str) -> Vec<String> {
-        let mut s = store();
+        let s = store();
         let q = parse_flwor(query).unwrap();
-        evaluate_flwor(&mut s, &q)
+        evaluate_flwor(&s, &q)
             .unwrap()
             .iter()
             .map(|toks| serialize(toks, &SerializeOptions::default()).unwrap())
@@ -342,13 +339,13 @@ mod tests {
 
     #[test]
     fn constructed_fragments_are_well_formed() {
-        let mut s = store();
+        let s = store();
         let q = parse_flwor(
             "for $o in /orders/order let $i := $o/item \
              return <r a=\"{ $o/@id }\">{ $i }</r>",
         )
         .unwrap();
-        for row in evaluate_flwor(&mut s, &q).unwrap() {
+        for row in evaluate_flwor(&s, &q).unwrap() {
             axs_xdm::fragment_well_formed(&row).unwrap();
             let mut target = StoreBuilder::new().build().unwrap();
             target.bulk_insert(row).unwrap();
@@ -373,7 +370,7 @@ mod tests {
              return { string($o/item) }",
         )
         .unwrap();
-        let rows: Vec<String> = evaluate_flwor(&mut s, &q)
+        let rows: Vec<String> = evaluate_flwor(&s, &q)
             .unwrap()
             .iter()
             .map(|t| serialize(t, &SerializeOptions::default()).unwrap())

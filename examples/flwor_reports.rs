@@ -69,10 +69,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     // 4. Whole-binding splice after an update.
-    let first =
-        axs_xpath::evaluate_store(&mut store, &compile("/purchase-orders/purchase-order[1]")?)?[0]
-            .0
-            .unwrap();
+    let first = axs_xpath::evaluate_store(&store, &compile("/purchase-orders/purchase-order[1]")?)?
+        [0]
+    .0
+    .unwrap();
     store.insert_into_last(
         first,
         parse_fragment("<flag>audit</flag>", axs_xml::ParseOptions::default())?,

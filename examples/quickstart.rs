@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 5. Query with the XPath subset.
     let path = compile("/ticket/gate")?;
-    for (id, sub) in axs_xpath::evaluate_store(&mut store, &path)? {
+    for (id, sub) in axs_xpath::evaluate_store(&store, &path)? {
         println!(
             "match {} = {}",
             id.expect("store matches carry ids"),

@@ -45,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     println!("-- after inserting a hot item into <asia> --");
     let asia = compile("/site/regions/asia")?;
-    let asia_id = evaluate_store(&mut store, &asia)?[0]
+    let asia_id = evaluate_store(&store, &asia)?[0]
         .0
         .expect("store matches carry ids");
     store.insert_into_first(

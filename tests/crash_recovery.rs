@@ -168,7 +168,7 @@ fn run_trial(tmpl: &Path, trial: &Path, crash_after: Option<u64>, torn: bool) ->
     drop(real);
 
     // Reopen without faults: recovery must land on an admissible snapshot.
-    let mut recovered = StoreBuilder::new()
+    let recovered = StoreBuilder::new()
         .directory(trial)
         .storage(storage())
         .open()
@@ -191,6 +191,119 @@ fn run_trial(tmpl: &Path, trial: &Path, crash_after: Option<u64>, torn: bool) ->
     }
     std::fs::remove_dir_all(trial).unwrap();
     TrialResult { writes, crashed }
+}
+
+/// Group-commit crash sweep: several `commit()`s are issued without any
+/// flush (no-steal keeps the data file at the last flushed state, so the
+/// WAL alone carries them), then the log is torn at every sampled byte
+/// length — modeling a crash anywhere inside the batched-fsync window.
+/// Recovery must land on the state after some *whole* commit group, never
+/// between two mutations of one group, and sweeping the tear point across
+/// the log must walk through every group state in order.
+#[test]
+fn group_commit_crash_is_all_or_nothing() {
+    const GROUPS: usize = 5;
+    let dir = temp_dir("gc-template");
+    let mut store = StoreBuilder::new()
+        .directory(&dir)
+        .storage(storage())
+        .build()
+        .unwrap();
+    store.bulk_insert(docgen::purchase_orders(2, 6)).unwrap();
+    store.flush().unwrap();
+    let baseline_wal = std::fs::metadata(dir.join("wal.log")).unwrap().len();
+
+    let mut shadow = StoreBuilder::new().storage(storage()).build().unwrap();
+    shadow.bulk_insert(docgen::purchase_orders(2, 6)).unwrap();
+
+    // Each group is several mutations sealed by one commit(); the ticket is
+    // deliberately dropped without waiting — the "crash" below may tear the
+    // log before the batched fsync would have covered it.
+    let root = NodeId(1);
+    let mut snapshots = vec![shadow.read_all().unwrap()];
+    let mut inserted: Vec<NodeId> = Vec::new();
+    for g in 0..GROUPS {
+        let iv = shadow.insert_into_last(root, order_frag(g)).unwrap();
+        let riv = store.insert_into_last(root, order_frag(g)).unwrap();
+        assert_eq!(riv, iv, "id allocation must be deterministic");
+        // Odd groups also delete the previous group's insert, so every
+        // group mixes operations yet every snapshot stays distinct.
+        if g % 2 == 1 {
+            shadow.delete_node(inserted[g - 1]).unwrap();
+            store.delete_node(inserted[g - 1]).unwrap();
+        }
+        inserted.push(iv.start);
+        let ticket = store
+            .commit()
+            .unwrap()
+            .expect("durable stores return tickets");
+        drop(ticket);
+        snapshots.push(shadow.read_all().unwrap());
+    }
+    drop(store); // crash: no flush, the data file still holds the baseline
+
+    let full_wal = std::fs::metadata(dir.join("wal.log")).unwrap().len();
+    assert!(full_wal > baseline_wal, "commits must have grown the log");
+
+    // Tear the copied log at sampled lengths from "no group durable" to
+    // "all groups durable". Group extents are kilobytes wide, so a step
+    // this size cannot jump over a whole group.
+    let step = ((full_wal - baseline_wal) / 512).max(1);
+    let trial = temp_dir("gc-trial");
+    let mut reached = vec![false; snapshots.len()];
+    let mut last_k = 0usize;
+    let mut torn_tails = 0u64;
+    let mut cut = baseline_wal;
+    loop {
+        copy_template(&dir, &trial);
+        let wal = std::fs::OpenOptions::new()
+            .write(true)
+            .open(trial.join("wal.log"))
+            .unwrap();
+        wal.set_len(cut).unwrap();
+        drop(wal);
+
+        let recovered = StoreBuilder::new()
+            .directory(&trial)
+            .storage(storage())
+            .open()
+            .expect("recovery must reopen the store");
+        recovered.check_invariants().unwrap();
+        torn_tails += recovered.stats().torn_tail_truncations;
+        let tokens = recovered.read_all().unwrap();
+        drop(recovered);
+        std::fs::remove_dir_all(&trial).unwrap();
+
+        let k = snapshots
+            .iter()
+            .position(|s| s == &tokens)
+            .unwrap_or_else(|| {
+                panic!(
+                    "cut={cut}: recovered {} tokens matching no commit-group \
+                     boundary — a group was replayed partially",
+                    tokens.len()
+                )
+            });
+        assert!(
+            k >= last_k,
+            "cut={cut}: longer log recovered an older state ({k} < {last_k})"
+        );
+        last_k = k;
+        reached[k] = true;
+
+        if cut == full_wal {
+            break;
+        }
+        cut = (cut + step).min(full_wal);
+    }
+    for (k, hit) in reached.iter().enumerate() {
+        assert!(hit, "no tear point recovered commit group {k}");
+    }
+    assert!(
+        torn_tails > 0,
+        "the sweep must have cut inside at least one record"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]

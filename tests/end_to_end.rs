@@ -67,7 +67,7 @@ fn full_lifecycle_on_disk() {
             .insert_into_last(NodeId(1), frag("<purchase-order id=\"41\"/>"))
             .unwrap();
         let path = compile("/purchase-orders/purchase-order[1]").unwrap();
-        let first = evaluate_store(&mut store, &path).unwrap()[0].0.unwrap();
+        let first = evaluate_store(&store, &path).unwrap()[0].0.unwrap();
         store.delete_node(first).unwrap();
         expected_text =
             serialize(&store.read_all().unwrap(), &SerializeOptions::default()).unwrap();
@@ -128,7 +128,7 @@ fn policies_agree_on_query_results() {
         let results: Vec<Vec<String>> = queries
             .iter()
             .map(|q| {
-                evaluate_store(&mut store, &compile(q).unwrap())
+                evaluate_store(&store, &compile(q).unwrap())
                     .unwrap()
                     .into_iter()
                     .map(|(id, sub)| format!("{:?}:{}", id, sub.len()))

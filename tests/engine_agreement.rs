@@ -12,13 +12,13 @@ fn flwor_identity_equals_xpath() {
     store.bulk_insert(docgen::auction_site(7, 6)).unwrap();
 
     for path in ["/site/regions/asia/item", "//person", "//bidder/increase"] {
-        let xpath_hits: Vec<Vec<Token>> = evaluate_store(&mut store, &compile(path).unwrap())
+        let xpath_hits: Vec<Vec<Token>> = evaluate_store(&store, &compile(path).unwrap())
             .unwrap()
             .into_iter()
             .map(|(_, t)| t)
             .collect();
         let flwor = parse_flwor(&format!("for $x in {path} return {{ $x }}")).unwrap();
-        let flwor_rows = evaluate_flwor(&mut store, &flwor).unwrap();
+        let flwor_rows = evaluate_flwor(&store, &flwor).unwrap();
         assert_eq!(xpath_hits, flwor_rows, "path {path}");
     }
 }
@@ -28,9 +28,9 @@ fn flwor_where_equals_xpath_predicate() {
     let mut store = StoreBuilder::new().build().unwrap();
     store.bulk_insert(docgen::purchase_orders(3, 30)).unwrap();
 
-    let via_predicate = evaluate_store(&mut store, &compile("//line[qty>90]").unwrap()).unwrap();
+    let via_predicate = evaluate_store(&store, &compile("//line[qty>90]").unwrap()).unwrap();
     let via_where = evaluate_flwor(
-        &mut store,
+        &store,
         &parse_flwor("for $l in //line where $l/qty > 90 return { $l }").unwrap(),
     )
     .unwrap();
@@ -47,7 +47,7 @@ fn navigation_agrees_with_xpath_children() {
     store.bulk_insert(docgen::auction_site(11, 4)).unwrap();
 
     // For every <item>, children_of must equal the child::* + text()/etc.
-    let items = evaluate_store(&mut store, &compile("//item").unwrap()).unwrap();
+    let items = evaluate_store(&store, &compile("//item").unwrap()).unwrap();
     assert!(!items.is_empty());
     for (id, _) in items {
         let id = id.unwrap();
@@ -69,7 +69,7 @@ fn string_values_agree_between_store_and_query_layers() {
     let mut store = StoreBuilder::new().build().unwrap();
     store.bulk_insert(docgen::purchase_orders(9, 10)).unwrap();
 
-    let customers = evaluate_store(&mut store, &compile("//customer").unwrap()).unwrap();
+    let customers = evaluate_store(&store, &compile("//customer").unwrap()).unwrap();
     for (id, sub) in customers {
         let via_store = store.string_value(id.unwrap()).unwrap();
         // Serialize + strip tags via the FLWOR string() of self is overkill;

@@ -78,7 +78,7 @@ fn corrupted_block_header_is_detected() {
     build_store(&dir).unwrap();
     // Page 1 is the first block; smash its header magic.
     corrupt(&dir, 1024, 4);
-    let result = open_store(&dir).and_then(|mut s| s.read_all());
+    let result = open_store(&dir).and_then(|s| s.read_all());
     assert!(result.is_err(), "corruption must surface as an error");
     std::fs::remove_dir_all(&dir).unwrap();
 }
@@ -93,7 +93,7 @@ fn corrupted_payload_bytes_fail_decoding_not_process() {
     // Open may succeed or fail depending on which structures the bytes hit;
     // either way nothing panics and errors are typed.
     match open_store(&dir) {
-        Ok(mut s) => {
+        Ok(s) => {
             let _ = s.read_all(); // must not panic
             let _ = s.check_invariants(); // must not panic
         }
@@ -110,7 +110,7 @@ fn truncated_index_file_is_rebuilt_on_open() {
     build_store(&dir).unwrap();
     // Indexes are derived data: wipe the index file entirely.
     std::fs::write(dir.join("index.pages"), []).unwrap();
-    let mut s = open_store(&dir).unwrap();
+    let s = open_store(&dir).unwrap();
     s.check_invariants().unwrap();
     assert!(s.read_node(NodeId(2)).is_ok());
     std::fs::remove_dir_all(&dir).unwrap();
@@ -128,7 +128,7 @@ fn misaligned_data_file_is_repaired_on_open() {
         .unwrap();
     f.write_all(b"garbage").unwrap();
     drop(f);
-    let mut s = open_store(&dir).expect("recovery repairs the torn tail");
+    let s = open_store(&dir).expect("recovery repairs the torn tail");
     assert!(s.stats().torn_tail_truncations >= 1);
     s.check_invariants().unwrap();
     assert!(!s.read_all().unwrap().is_empty());
@@ -150,7 +150,7 @@ fn random_page_corruption_never_panics() {
         let offset = rng.gen_range(0..file_len.saturating_sub(16));
         corrupt(&dir, offset, rng.gen_range(1..64));
         match open_store(&dir) {
-            Ok(mut s) => {
+            Ok(s) => {
                 // Exercise the main read paths; errors allowed, panics not.
                 let _ = s.read_all();
                 for id in 1..10u64 {
@@ -191,7 +191,7 @@ fn reopen_after_unflushed_changes_sees_exactly_the_flushed_state() {
         s.bulk_insert(docgen::purchase_orders(10, 10)).unwrap();
         // Dropped without flush.
     }
-    let mut s = open_store(&dir).unwrap();
+    let s = open_store(&dir).unwrap();
     s.check_invariants().unwrap();
     assert_eq!(s.read_all().unwrap(), flushed);
     std::fs::remove_dir_all(&dir).unwrap();
@@ -211,7 +211,7 @@ fn single_byte_corruption_always_detected() {
         let mut bytes = pristine.clone();
         bytes[1024 + offset] ^= 0xFF; // page 1: the first block page
         std::fs::write(dir.join("data.pages"), &bytes).unwrap();
-        let outcome = open_store(&dir).and_then(|mut s| {
+        let outcome = open_store(&dir).and_then(|s| {
             s.read_all()?;
             Ok(())
         });

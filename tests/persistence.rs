@@ -57,7 +57,7 @@ fn reopen_with_a_different_policy_rebuilds_matching_indexes() {
     }
     {
         // …and back to range-only.
-        let mut s = StoreBuilder::new()
+        let s = StoreBuilder::new()
             .directory(&dir)
             .storage(cfg())
             .policy(IndexingPolicy::RangeOnly {
@@ -190,7 +190,7 @@ fn many_reopen_cycles_accumulate_correctly() {
         .unwrap();
         s.flush().unwrap();
     }
-    let mut s = StoreBuilder::new()
+    let s = StoreBuilder::new()
         .directory(&dir)
         .storage(cfg())
         .open()

@@ -171,7 +171,7 @@ proptest! {
         let dir = unique_dir();
         let run = run_ops(&dir, &ops, Some(k), torn);
 
-        let mut recovered = StoreBuilder::new()
+        let recovered = StoreBuilder::new()
             .directory(&dir)
             .storage(storage())
             .open()
