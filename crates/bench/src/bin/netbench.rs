@@ -11,8 +11,10 @@
 //! reads, while with many clients reads keep flowing through the shared
 //! lock during writers' commit windows. Results print as one JSON object
 //! per configuration and the whole sweep is archived to
-//! `BENCH_netbench.json` (override with `--out`), including a
-//! `read_scaling` section comparing the 1-client run against the widest.
+//! `BENCH_netbench.json` (override with `--out`, schema v2: git commit,
+//! run parameters, and per-run server-side histogram snapshots scraped
+//! via the `Metrics` opcode), including a `read_scaling` section
+//! comparing the 1-client run against the widest.
 //!
 //! ```sh
 //! cargo run --release -p axs-bench --bin netbench             # full sweep
@@ -20,12 +22,31 @@
 //! AXS_NETBENCH_OPS=50 cargo run -p axs-bench --bin netbench   # quick pass
 //! ```
 
-use axs_client::Client;
+use axs_client::{Client, StatEntry};
 use axs_core::StoreBuilder;
 use axs_server::{Server, ServerConfig};
 use std::time::{Duration, Instant};
 
 const CLIENT_COUNTS: &[usize] = &[1, 4, 16];
+
+/// Bumped whenever the archive layout changes so downstream tooling can
+/// refuse files it does not understand. v2 added `git_commit`,
+/// `parameters`, and per-run `server_metrics` histogram snapshots.
+const SCHEMA_VERSION: u32 = 2;
+
+/// Best-effort commit hash of the tree the benchmark was built from.
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
 
 struct Options {
     /// Percentage of operations that are reads, evenly interleaved.
@@ -139,18 +160,27 @@ fn main() {
 
     let mut doc = String::from("{\n");
     doc.push_str(&format!(
-        "  \"bench\": \"server_loopback\",\n  \"read_pct\": {},\n  \"ops_per_client\": {},\n",
-        opts.read_pct, opts.ops
+        "  \"bench\": \"server_loopback\",\n  \"schema_version\": {SCHEMA_VERSION},\n  \
+         \"git_commit\": \"{}\",\n",
+        git_commit()
     ));
     doc.push_str(&format!(
-        "  \"durable\": {},\n  \"commit_window_ms\": {},\n",
+        "  \"parameters\": {{\"read_pct\": {}, \"ops_per_client\": {}, \
+         \"client_counts\": [{}], \"durable\": {}, \"commit_window_ms\": {}}},\n",
+        opts.read_pct,
+        opts.ops,
+        CLIENT_COUNTS
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
         !opts.mem,
         opts.commit_window.as_millis()
     ));
     doc.push_str("  \"runs\": [\n");
     for (i, r) in runs.iter().enumerate() {
         let sep = if i + 1 < runs.len() { "," } else { "" };
-        doc.push_str(&format!("    {}{sep}\n", r.to_json()));
+        doc.push_str(&format!("    {}{sep}\n", r.to_archive_json()));
     }
     doc.push_str("  ],\n");
     doc.push_str(&format!("  \"read_scaling\": {scaling},\n"));
@@ -173,6 +203,10 @@ struct RunResult {
     elapsed: Duration,
     read_latencies_us: Vec<u64>,
     write_latencies_us: Vec<u64>,
+    /// Server-side histogram summaries (`rq.*`, `path.*`, `obs.*`, `wal.*`)
+    /// scraped through the `Metrics` opcode just before shutdown, so the
+    /// archive carries what the server saw, not only what clients timed.
+    server_metrics: Vec<StatEntry>,
 }
 
 impl RunResult {
@@ -212,6 +246,22 @@ impl RunResult {
             pct(&self.write_latencies_us, 0.50),
             pct(&self.write_latencies_us, 0.99),
         )
+    }
+
+    /// The console JSON plus the server's own histogram snapshot — used
+    /// only for the archive file, where size does not matter.
+    fn to_archive_json(&self) -> String {
+        let mut json = self.to_json();
+        json.pop(); // strip the closing brace, reopen the object
+        json.push_str(",\"server_metrics\":{");
+        for (i, e) in self.server_metrics.iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            json.push_str(&format!("\"{}\":{}", e.name, e.value));
+        }
+        json.push_str("}}");
+        json
     }
 }
 
@@ -313,6 +363,18 @@ fn run_one(clients: usize, opts: &Options) -> RunResult {
     });
     let elapsed = started.elapsed();
 
+    // Scrape the server's own view of the run (latency histograms, lookup
+    // paths, group-commit shape) before it goes away.
+    let (_prom, entries) = setup.metrics().unwrap();
+    let server_metrics: Vec<StatEntry> = entries
+        .into_iter()
+        .filter(|e| {
+            ["rq.", "path.", "obs.", "wal."]
+                .iter()
+                .any(|p| e.name.starts_with(p))
+        })
+        .collect();
+
     handle.shutdown();
     handle.join().unwrap();
     if !opts.mem {
@@ -334,5 +396,6 @@ fn run_one(clients: usize, opts: &Options) -> RunResult {
         elapsed,
         read_latencies_us,
         write_latencies_us,
+        server_metrics,
     }
 }

@@ -21,8 +21,11 @@ const USAGE: &str = "usage:
   axs [directory]                 interactive shell (in-memory without a directory)
   axs serve [directory] [--addr HOST:PORT] [--workers N] [--queue N]
             [--max-connections N] [--commit-window-ms N] [--debug-sleep]
+            [--slow-ms N] [--no-trace]
                                   run the axsd server (in-memory without a directory)
   axs connect HOST:PORT           interactive shell against a running server
+  axs top HOST:PORT [--interval-ms N] [--once]
+                                  live latency/throughput dashboard for a server
   axs verify <directory>          check invariants + checksums; exit 1 on corruption
   axs recover <directory>         run WAL crash recovery; exit 1 on failure";
 
@@ -31,6 +34,7 @@ fn main() {
     let code = match args.first().map(String::as_str) {
         Some("serve") => cmd_serve(&args[1..]),
         Some("connect") => cmd_connect(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("recover") => cmd_recover(&args[1..]),
         Some("help") | Some("--help") | Some("-h") => {
@@ -118,6 +122,72 @@ fn repl(mut execute: impl FnMut(axs_cli::Command) -> Outcome) -> i32 {
     }
 }
 
+// ---- axs top --------------------------------------------------------------
+
+/// Live dashboard: scrape `Metrics` every interval, render the deltas.
+/// `--once` takes a single snapshot and exits (no screen clearing) — the
+/// CI smoke run uses it to prove the dashboard renders against a live
+/// server.
+fn cmd_top(args: &[String]) -> i32 {
+    let mut addr: Option<String> = None;
+    let mut interval = Duration::from_millis(1000);
+    let mut once = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--interval-ms" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(n)) => interval = Duration::from_millis(n.max(100)),
+                _ => {
+                    eprintln!("error: --interval-ms needs a number\n{USAGE}");
+                    return 2;
+                }
+            },
+            "--once" => once = true,
+            flag if flag.starts_with("--") => {
+                eprintln!("error: unknown flag {flag}\n{USAGE}");
+                return 2;
+            }
+            a if addr.is_none() => addr = Some(a.to_string()),
+            extra => {
+                eprintln!("error: unexpected argument {extra:?}\n{USAGE}");
+                return 2;
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("usage: axs top HOST:PORT [--interval-ms N] [--once]");
+        return 2;
+    };
+    let mut client = match axs_client::Client::connect(addr.as_str()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            return 1;
+        }
+    };
+    let mut prev: Option<Vec<axs_client::StatEntry>> = None;
+    loop {
+        let (_text, entries) = match client.metrics() {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("metrics fetch failed: {e}");
+                return 1;
+            }
+        };
+        let dashboard = axs_cli::top::render_dashboard(prev.as_deref(), &entries, interval, &addr);
+        if once {
+            print!("{dashboard}");
+            let _ = std::io::stdout().flush();
+            return 0;
+        }
+        // Clear screen + home, then the dashboard (plain ANSI, no deps).
+        print!("\x1b[2J\x1b[H{dashboard}");
+        let _ = std::io::stdout().flush();
+        prev = Some(entries);
+        std::thread::sleep(interval);
+    }
+}
+
 // ---- axs serve ------------------------------------------------------------
 
 /// Set by the SIGINT/SIGTERM handler; polled by the serve loop.
@@ -178,6 +248,18 @@ fn cmd_serve(args: &[String]) -> i32 {
             }),
             "--debug-sleep" => {
                 config.debug_sleep = true;
+                Ok(())
+            }
+            "--slow-ms" => value_of("--slow-ms").and_then(|v| {
+                v.parse::<u64>()
+                    .map(|n| {
+                        // 0 disables the slow-request log entirely.
+                        config.slow_request = (n > 0).then(|| Duration::from_millis(n));
+                    })
+                    .map_err(|e| format!("--slow-ms: {e}"))
+            }),
+            "--no-trace" => {
+                config.trace = false;
                 Ok(())
             }
             flag if flag.starts_with("--") => Err(format!("unknown flag {flag}")),

@@ -38,6 +38,8 @@ pub enum Command {
     Print,
     /// `stats` — operation and lookup counters.
     Stats,
+    /// `metrics` — observability scrape (Prometheus text; remote only).
+    Metrics,
     /// `report` — storage report.
     Report,
     /// `ranges` — dump the Range Index (Tables 2/3 style).
@@ -165,6 +167,7 @@ pub fn parse_command(line: &str) -> Result<Option<Command>, ParseCommandError> {
         }
         "print" | "p" => Command::Print,
         "stats" => Command::Stats,
+        "metrics" => Command::Metrics,
         "report" => Command::Report,
         "ranges" => Command::Ranges,
         "compact" => {
@@ -203,6 +206,7 @@ commands:
   delete <id> | replace <id> <xml>
   print                       serialize the whole store
   stats | report | ranges     inspect counters / storage / Range Index
+  metrics                     latency histograms + tracing series (server only)
   compact [bytes]             merge adjacent ranges
   save                        flush to disk (directory-backed stores)
   recover                     reopen the store through crash recovery

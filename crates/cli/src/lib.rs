@@ -22,6 +22,7 @@
 pub mod command;
 pub mod remote;
 pub mod session;
+pub mod top;
 
 pub use command::{parse_command, Command};
 pub use remote::RemoteSession;

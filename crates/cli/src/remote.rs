@@ -132,6 +132,10 @@ impl RemoteSession {
                 }
                 out
             }
+            Command::Metrics => {
+                let (text, _entries) = c.metrics().map_err(fail)?;
+                text
+            }
             Command::Report => c.report().map_err(fail)?,
             Command::Ranges => c.ranges().map_err(fail)?,
             Command::Compact(target) => {

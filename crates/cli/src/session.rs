@@ -202,6 +202,12 @@ impl Session {
                     s.range_moves,
                 )
             }
+            Command::Metrics => {
+                return Err(
+                    "metrics needs a running server (axs connect); locally, try 'stats'"
+                        .to_string(),
+                )
+            }
             Command::Report => {
                 let r = self.store.storage_report().map_err(|e| e.to_string())?;
                 format!(

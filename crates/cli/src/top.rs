@@ -1,0 +1,151 @@
+//! The `axs top` dashboard: renders one screenful of live server health
+//! from two successive `Metrics`-opcode snapshots (the delta gives rates).
+//!
+//! Pure rendering lives here so tests (and the CI smoke run's `--once`
+//! mode) can exercise it without a terminal.
+
+use axs_client::StatEntry;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+fn get(entries: &[StatEntry], name: &str) -> u64 {
+    entries
+        .iter()
+        .find(|e| e.name == name)
+        .map_or(0, |e| e.value)
+}
+
+/// Requests per second between two snapshots (0 without a predecessor).
+fn rate(prev: Option<&[StatEntry]>, cur: &[StatEntry], name: &str, interval: Duration) -> f64 {
+    let Some(prev) = prev else { return 0.0 };
+    let secs = interval.as_secs_f64();
+    if secs <= 0.0 {
+        return 0.0;
+    }
+    get(cur, name).saturating_sub(get(prev, name)) as f64 / secs
+}
+
+/// Renders the dashboard text from the extended `Metrics` entries.
+/// `prev` is the previous snapshot (for rates); `interval` the time
+/// between the two.
+pub fn render_dashboard(
+    prev: Option<&[StatEntry]>,
+    cur: &[StatEntry],
+    interval: Duration,
+    addr: &str,
+) -> String {
+    let mut out = String::with_capacity(2048);
+    let _ = writeln!(
+        out,
+        "axsd {addr} — {:.1} req/s   requests {}   reads in flight {} (max {})",
+        rate(prev, cur, "server.requests", interval),
+        get(cur, "server.requests"),
+        get(cur, "server.reads_in_flight"),
+        get(cur, "server.reads_max_in_flight"),
+    );
+    let _ = writeln!(
+        out,
+        "errors: busy {}  timeouts {}  deadlocks {}  protocol {}   slow requests {}",
+        get(cur, "server.busy_rejections"),
+        get(cur, "server.timeouts"),
+        get(cur, "server.deadlocks"),
+        get(cur, "server.protocol_errors"),
+        get(cur, "obs.slow_requests"),
+    );
+    let _ = writeln!(out, "\nlatency by opcode family (us)");
+    let _ = writeln!(
+        out,
+        "  {:<12} {:>10} {:>8} {:>8} {:>8} {:>10}",
+        "family", "count", "p50", "p90", "p99", "max"
+    );
+    for family in ["point_read", "query", "scan", "write", "bulk", "control"] {
+        let count = get(cur, &format!("rq.{family}.count"));
+        if count == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>10} {:>8} {:>8} {:>8} {:>10}",
+            family,
+            count,
+            get(cur, &format!("rq.{family}.p50_us")),
+            get(cur, &format!("rq.{family}.p90_us")),
+            get(cur, &format!("rq.{family}.p99_us")),
+            get(cur, &format!("rq.{family}.max_us")),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nlookup paths: partial hit ratio {}%   p99 partial {}us / full {}us / range_scan {}us",
+        get(cur, "obs.partial_hit_ratio_pct"),
+        get(cur, "path.partial.p99_us"),
+        get(cur, "path.full.p99_us"),
+        get(cur, "path.range_scan.p99_us"),
+    );
+    let _ = writeln!(
+        out,
+        "waits p99: queue {}us   lock {}us   group-commit {}us   wal append {}us",
+        get(cur, "obs.queue_wait_us.p99_us"),
+        get(cur, "obs.lock_wait_us.p99_us"),
+        get(cur, "obs.group_commit_wait_us.p99_us"),
+        get(cur, "obs.wal_append_us.p99_us"),
+    );
+    let commits = get(cur, "wal.group_commits");
+    let syncs = get(cur, "wal.group_syncs");
+    let mean_batch = if syncs == 0 {
+        0.0
+    } else {
+        commits as f64 / syncs as f64
+    };
+    let _ = writeln!(
+        out,
+        "group commit: {commits} commits / {syncs} fsyncs (mean batch {mean_batch:.1})   traces retained {}",
+        get(cur, "obs.traces_retained"),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(name: &str, value: u64) -> StatEntry {
+        StatEntry {
+            name: name.to_string(),
+            value,
+        }
+    }
+
+    #[test]
+    fn dashboard_renders_core_panels() {
+        let cur = vec![
+            e("server.requests", 300),
+            e("server.reads_in_flight", 2),
+            e("server.reads_max_in_flight", 5),
+            e("rq.point_read.count", 100),
+            e("rq.point_read.p50_us", 10),
+            e("rq.point_read.p90_us", 20),
+            e("rq.point_read.p99_us", 40),
+            e("rq.point_read.max_us", 77),
+            e("obs.partial_hit_ratio_pct", 93),
+            e("wal.group_commits", 10),
+            e("wal.group_syncs", 4),
+        ];
+        let prev = vec![e("server.requests", 100)];
+        let text = render_dashboard(Some(&prev), &cur, Duration::from_secs(2), "1.2.3.4:9");
+        assert!(text.contains("100.0 req/s"), "{text}");
+        assert!(text.contains("point_read"), "{text}");
+        assert!(text.contains("hit ratio 93%"), "{text}");
+        assert!(text.contains("mean batch 2.5"), "{text}");
+        assert!(text.contains("reads in flight 2 (max 5)"), "{text}");
+        // Empty families are suppressed.
+        assert!(!text.contains("control"), "{text}");
+    }
+
+    #[test]
+    fn first_snapshot_has_zero_rate() {
+        let cur = vec![e("server.requests", 50)];
+        let text = render_dashboard(None, &cur, Duration::from_secs(1), "x");
+        assert!(text.contains("0.0 req/s"), "{text}");
+    }
+}

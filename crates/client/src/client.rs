@@ -402,6 +402,24 @@ impl Client {
         Ok(entries)
     }
 
+    /// Observability scrape: Prometheus-style exposition text plus the
+    /// extended self-describing entries (derived percentiles, ratios and
+    /// gauges the text also carries, in machine-friendly form).
+    pub fn metrics(&mut self) -> Result<(String, Vec<StatEntry>), ClientError> {
+        let out = self.roundtrip(OpCode::Metrics, Vec::new())?;
+        let mut r = Reader::new(&out);
+        let text = r.str()?;
+        let n = r.u32()? as usize;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = r.str()?;
+            let value = r.u64()?;
+            entries.push(StatEntry { name, value });
+        }
+        r.finish()?;
+        Ok((text, entries))
+    }
+
     /// Rendered storage report.
     pub fn report(&mut self) -> Result<String, ClientError> {
         let out = self.roundtrip(OpCode::Report, Vec::new())?;

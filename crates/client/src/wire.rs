@@ -93,6 +93,11 @@ pub enum OpCode {
     /// Ask the server to shut down gracefully (flushes through the WAL):
     /// empty → empty, then the listener closes.
     Shutdown = 23,
+    /// Observability scrape: empty → `str prometheus_text, u32 n,
+    /// n × (str key, u64 value)` — Prometheus-style exposition text plus
+    /// a self-describing extended counter/percentile payload (same shape
+    /// as [`OpCode::Stats`], so the entry set can grow freely).
+    Metrics = 24,
 }
 
 impl OpCode {
@@ -123,6 +128,7 @@ impl OpCode {
             21 => Ranges,
             22 => Sleep,
             23 => Shutdown,
+            24 => Metrics,
             _ => return None,
         })
     }
@@ -719,6 +725,6 @@ mod tests {
             }
         }
         assert_eq!(OpCode::from_u8(0), None);
-        assert_eq!(OpCode::from_u8(24), None);
+        assert_eq!(OpCode::from_u8(25), None);
     }
 }

@@ -461,10 +461,10 @@ impl XmlStore {
     /// partial index. The server uses this to map a node id onto its
     /// lockable resource before acquiring hierarchical locks.
     pub fn locate_range(&self, id: NodeId) -> Result<Option<(u64, u64)>, StoreError> {
-        Ok(self
-            .range_index
-            .locate(id)?
-            .map(|e| (e.block.0, e.range_id)))
+        let probe = axs_obs::probe_start();
+        let located = self.range_index.locate(id)?;
+        axs_obs::probe(axs_obs::EventKind::RangeProbe, probe, id.0, 0);
+        Ok(located.map(|e| (e.block.0, e.range_id)))
     }
 
     /// Direct read access to the partial index (for inspection).
@@ -611,6 +611,7 @@ impl XmlStore {
     /// batches in order. Returns `Ok(None)` for in-memory stores, which
     /// have nothing to make durable.
     pub fn commit(&mut self) -> Result<Option<CommitTicket>, StoreError> {
+        let _span = axs_obs::span_enter(axs_obs::EventKind::Commit, 0, 0);
         self.write_meta()?;
         let Some(wal) = &mut self.wal else {
             return Ok(None);
@@ -972,17 +973,21 @@ impl XmlStore {
     /// pages through the pool, statistics) is internally synchronized, so
     /// concurrent shared readers can locate nodes without exclusive access.
     pub(crate) fn find_begin(&self, id: NodeId) -> Result<(u64, u32, u32), StoreError> {
+        let probe = axs_obs::probe_start();
         // 1. Partial index (lazy).
         if let Some(p) = &self.partial {
             if let Some(pos) = p.get(id) {
                 self.stats.record_lookup(LookupPath::Partial);
+                axs_obs::probe(axs_obs::EventKind::LookupPartial, probe, id.0, 0);
                 return Ok((pos.begin_range, pos.begin_index, pos.begin_byte));
             }
+            axs_obs::point(axs_obs::EventKind::PartialMiss, id.0, 0);
         }
         // 2. Full index (eager baseline).
         if let Some(tree) = &self.full_index {
             if let Some(v) = tree.get(id.0)? {
                 self.stats.record_lookup(LookupPath::Full);
+                axs_obs::probe(axs_obs::EventKind::LookupFull, probe, id.0, 0);
                 let range_id = u64::from_le_bytes(v[0..8].try_into().unwrap());
                 let idx = u32::from_le_bytes(v[8..12].try_into().unwrap());
                 let byte = u32::from_le_bytes(v[12..16].try_into().unwrap());
@@ -1003,6 +1008,12 @@ impl XmlStore {
             .ok_or(StoreError::Corrupt("range index points at wrong range"))?;
         self.stats.record_lookup(LookupPath::RangeScan);
         SharedStats::add(&self.stats.tokens_scanned, idx as u64 + 1);
+        axs_obs::probe(
+            axs_obs::EventKind::LookupRangeScan,
+            probe,
+            idx as u64 + 1,
+            id.0,
+        );
         Ok((entry.range_id, idx as u32, data.byte_offset_of(idx) as u32))
     }
 
@@ -1011,8 +1022,10 @@ impl XmlStore {
     /// nodes that were actually looked up).
     pub(crate) fn find_position(&self, id: NodeId) -> Result<NodePosition, StoreError> {
         if let Some(p) = &self.partial {
+            let probe = axs_obs::probe_start();
             if let Some(pos) = p.get(id) {
                 self.stats.record_lookup(LookupPath::Partial);
+                axs_obs::probe(axs_obs::EventKind::LookupPartial, probe, id.0, 0);
                 return Ok(pos);
             }
         }
@@ -1053,6 +1066,8 @@ impl XmlStore {
             return Ok((begin_range, begin_index, begin_byte));
         }
         let mut byte = begin_byte as usize + axs_xdm::encoded_len(&data.tokens[idx]);
+        let probe = axs_obs::probe_start();
+        let mut scanned = 0u64;
         loop {
             idx += 1;
             while idx >= data.tokens.len() {
@@ -1066,8 +1081,10 @@ impl XmlStore {
                 byte = RANGE_HEADER_LEN;
             }
             SharedStats::bump(&self.stats.tokens_scanned);
+            scanned += 1;
             depth += data.tokens[idx].kind().depth_delta();
             if depth == 0 {
+                axs_obs::probe(axs_obs::EventKind::ScanEnd, probe, scanned, 0);
                 return Ok((data.header.range_id, idx as u32, byte as u32));
             }
             byte += axs_xdm::encoded_len(&data.tokens[idx]);

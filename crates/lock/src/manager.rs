@@ -102,6 +102,28 @@ pub struct LockStats {
     pub fast_shared_grants: u64,
 }
 
+/// Encodes a lock mode into an observability event's `a` field (the
+/// mapping `axs_obs::EventKind::lock_mode_name` decodes).
+fn obs_mode_code(mode: LockMode) -> u64 {
+    match mode {
+        LockMode::S => 0,
+        LockMode::X => 1,
+        LockMode::IS => 2,
+        LockMode::IX => 3,
+    }
+}
+
+/// Packs a resource into an observability event's `b` field: the whole
+/// store is `u64::MAX`, otherwise `block << 24 | range` (range ids above
+/// 2^24 alias, which is acceptable for a diagnostic label).
+fn obs_resource_code(resource: Resource) -> u64 {
+    match resource {
+        Resource::Store => u64::MAX,
+        Resource::Block(block) => block << 24,
+        Resource::Range { block, range } => (block << 24) | (range & 0x00ff_ffff),
+    }
+}
+
 /// The hierarchical lock manager. Cheap to share behind an `Arc`.
 ///
 /// ```
@@ -176,6 +198,18 @@ impl LockManager {
     /// overhead. Any conflict anywhere on the path falls back to the
     /// general level-by-level path with its waiting and deadlock checks.
     pub fn lock(&self, tx: TxId, resource: Resource, mode: LockMode) -> Result<(), LockError> {
+        let probe = axs_obs::probe_start();
+        let result = self.lock_inner(tx, resource, mode);
+        axs_obs::probe(
+            axs_obs::EventKind::LockWait,
+            probe,
+            obs_mode_code(mode),
+            obs_resource_code(resource),
+        );
+        result
+    }
+
+    fn lock_inner(&self, tx: TxId, resource: Resource, mode: LockMode) -> Result<(), LockError> {
         if matches!(mode, LockMode::S | LockMode::IS) && self.try_fast_shared(tx, resource, mode) {
             return Ok(());
         }

@@ -1,0 +1,234 @@
+//! Log-bucketed latency histograms: power-of-two buckets over `u64`
+//! samples, recorded with one relaxed atomic increment, mergeable, and
+//! good enough for p50/p90/p99 at every scale from sub-microsecond lock
+//! waits to multi-second bulk loads.
+//!
+//! Bucket `i` counts samples whose value `v` satisfies
+//! `bucket_index(v) == i`, where bucket 0 holds `{0, 1}` and bucket `i`
+//! (for `i >= 1`) holds `[2^i, 2^(i+1) - 1]`. With 64 buckets the whole
+//! `u64` range is covered — no sample is ever dropped or clamped at
+//! record time. Percentiles come back as the *upper bound* of the bucket
+//! the requested rank falls into, clamped to the true observed maximum,
+//! so `p50 <= p90 <= p99 <= max` always holds (proptest-verified in
+//! `tests/proptest_histogram.rs`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two buckets; covers the full `u64` range.
+pub const HIST_BUCKETS: usize = 64;
+
+/// The bucket a sample lands in: 0 for `{0, 1}`, otherwise `floor(log2 v)`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    (63 - (v | 1).leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i` (`1`, then `3, 7, 15, …`,
+/// saturating at `u64::MAX` for the last bucket).
+#[inline]
+pub fn bucket_bound(i: usize) -> u64 {
+    if i >= 63 {
+        u64::MAX
+    } else {
+        (2u64 << i) - 1
+    }
+}
+
+/// A concurrent histogram: fixed power-of-two buckets plus count, sum and
+/// max, all relaxed atomics. Recording is wait-free; snapshots are
+/// advisory (buckets may be mid-update relative to each other, which for
+/// monitoring is fine).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Histogram {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of every bucket and aggregate.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HIST_BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(&self.buckets) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes every bucket and aggregate (tests and tools; racing
+    /// recorders may interleave, which is acceptable for monitoring).
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A plain-value copy of a [`Histogram`], mergeable and queryable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see [`bucket_index`]).
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples (saturation-free only below 2^64 total).
+    pub sum: u64,
+    /// Largest sample observed.
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Folds `other` into `self` — histograms from different shards or
+    /// processes combine bucket-wise because the bounds are fixed.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The value at quantile `q` (`0.0..=1.0`): the upper bound of the
+    /// bucket containing the `ceil(q * count)`-th sample, clamped to the
+    /// observed max so a sparse top bucket cannot overshoot. Returns 0 for
+    /// an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Index of the highest non-empty bucket, if any — exposition uses it
+    /// to stop emitting trailing zero buckets.
+    pub fn highest_bucket(&self) -> Option<usize> {
+        self.buckets.iter().rposition(|&c| c > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(7), 2);
+        assert_eq!(bucket_index(8), 3);
+        assert_eq!(bucket_index(u64::MAX), 63);
+        assert_eq!(bucket_bound(0), 1);
+        assert_eq!(bucket_bound(2), 7);
+        assert_eq!(bucket_bound(63), u64::MAX);
+        // Every value's bucket bound is >= the value.
+        for v in [0u64, 1, 2, 5, 100, 1 << 40, u64::MAX] {
+            assert!(bucket_bound(bucket_index(v)) >= v);
+        }
+    }
+
+    #[test]
+    fn record_and_percentiles() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1106);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 5);
+        assert!(s.percentile(0.5) <= s.percentile(0.9));
+        assert!(s.percentile(0.9) <= s.percentile(0.99));
+        assert!(s.percentile(0.99) <= s.max);
+        // A single-sample histogram reports its sample exactly.
+        let one = Histogram::new();
+        one.record(5);
+        assert_eq!(one.snapshot().percentile(0.99), 5);
+    }
+
+    #[test]
+    fn merge_is_bucketwise() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(3);
+        a.record(100);
+        b.record(7);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count, 3);
+        assert_eq!(m.sum, 110);
+        assert_eq!(m.max, 100);
+        assert_eq!(m.buckets.iter().sum::<u64>(), 3);
+    }
+}

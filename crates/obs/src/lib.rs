@@ -1,0 +1,30 @@
+//! `axs-obs`: structured observability for the adaptive store.
+//!
+//! Three pieces, all designed to cost one relaxed atomic load when
+//! observability is disabled:
+//!
+//! * [`hist`] — log-bucketed (power-of-two) atomic latency histograms
+//!   with mergeable snapshots and clamped percentile math.
+//! * [`trace`] — per-request span traces: a thread-local context begun by
+//!   the server worker, fed by instrumentation points in the lock
+//!   manager, store and WAL, rendered as a span tree for the slow log.
+//!   Also home to the process-wide [`trace::GlobalMetrics`] histograms
+//!   every instrumentation point feeds.
+//! * [`ring`] — a non-blocking most-recent-N buffer of finished traces.
+//!
+//! The `core`, `lock` and `storage` crates depend only on this crate (no
+//! server types); the server owns trace lifecycle (id allocation at frame
+//! decode, begin/finish around dispatch) and exposition (the `Metrics`
+//! opcode, slow-request log and `axs top`).
+
+pub mod hist;
+pub mod ring;
+pub mod trace;
+
+pub use hist::{bucket_bound, bucket_index, Histogram, HistogramSnapshot, HIST_BUCKETS};
+pub use ring::{TraceRing, TRACE_RING_CAPACITY};
+pub use trace::{
+    enabled, global, next_trace_id, point, probe, probe_start, set_enabled, span_enter,
+    trace_begin, trace_finish, Event, EventKind, FinishedTrace, GlobalMetrics, SpanGuard,
+    TRACE_EVENT_CAP,
+};

@@ -1,0 +1,136 @@
+//! A fixed-capacity ring of recent finished traces.
+//!
+//! Writers (worker threads finishing a request) claim the next slot with
+//! one atomic increment and then `try_lock` that slot's mutex — if a
+//! reader (or a lagging writer) still holds it, the trace is dropped and
+//! a counter bumped rather than blocking the request path. Readers take
+//! each slot lock briefly to clone the trace out.
+
+use crate::trace::FinishedTrace;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Default number of retained traces.
+pub const TRACE_RING_CAPACITY: usize = 256;
+
+struct Slot {
+    /// Claim sequence number, for ordering `recent()` output.
+    seq: u64,
+    trace: FinishedTrace,
+}
+
+/// Concurrent most-recent-N store for [`FinishedTrace`]s.
+pub struct TraceRing {
+    slots: Vec<Mutex<Option<Slot>>>,
+    cursor: AtomicUsize,
+    dropped: AtomicU64,
+}
+
+impl TraceRing {
+    /// A ring retaining up to `capacity` traces (at least 1).
+    pub fn new(capacity: usize) -> TraceRing {
+        let capacity = capacity.max(1);
+        TraceRing {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Stores `trace`, overwriting the oldest entry. Never blocks: if the
+    /// claimed slot is contended the trace is dropped (see [`Self::dropped`]).
+    pub fn push(&self, trace: FinishedTrace) {
+        let seq = self.cursor.fetch_add(1, Ordering::Relaxed) as u64;
+        let idx = (seq as usize) % self.slots.len();
+        match self.slots[idx].try_lock() {
+            Some(mut slot) => *slot = Some(Slot { seq, trace }),
+            None => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Retained traces, most recent first.
+    pub fn recent(&self) -> Vec<FinishedTrace> {
+        let mut entries: Vec<(u64, FinishedTrace)> = self
+            .slots
+            .iter()
+            .filter_map(|s| {
+                let guard = s.lock();
+                guard.as_ref().map(|slot| (slot.seq, slot.trace.clone()))
+            })
+            .collect();
+        entries.sort_by_key(|e| std::cmp::Reverse(e.0));
+        entries.into_iter().map(|(_, t)| t).collect()
+    }
+
+    /// Traces dropped because their slot was contended at push time.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+impl Default for TraceRing {
+    fn default() -> Self {
+        TraceRing::new(TRACE_RING_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(id: u64) -> FinishedTrace {
+        FinishedTrace {
+            trace_id: id,
+            opcode: 0,
+            total_us: id,
+            events: Vec::new(),
+            truncated: false,
+        }
+    }
+
+    #[test]
+    fn keeps_most_recent() {
+        let ring = TraceRing::new(4);
+        for id in 0..10 {
+            ring.push(t(id));
+        }
+        let recent = ring.recent();
+        assert_eq!(recent.len(), 4);
+        let ids: Vec<u64> = recent.iter().map(|x| x.trace_id).collect();
+        assert_eq!(ids, vec![9, 8, 7, 6], "most recent first");
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn concurrent_pushes_land() {
+        let ring = std::sync::Arc::new(TraceRing::new(64));
+        std::thread::scope(|s| {
+            for base in 0..4u64 {
+                let ring = ring.clone();
+                s.spawn(move || {
+                    for i in 0..100 {
+                        ring.push(t(base * 1000 + i));
+                    }
+                });
+            }
+        });
+        // Every push either landed in a slot or was counted as dropped.
+        // 400 pushes sweep the 64 slots several times over, so the ring
+        // ends full unless every overwrite of some slot was contended
+        // away — and each contended overwrite is in `dropped`.
+        let retained = ring.recent().len() as u64;
+        assert!(retained <= 64);
+        assert!(
+            retained + ring.dropped() >= 64,
+            "retained {retained} + dropped {} accounts for a full sweep",
+            ring.dropped()
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for the log-bucketed histogram: the invariants the
+//! `Metrics` exposition and percentile math lean on.
+
+use axs_obs::hist::{bucket_bound, bucket_index, Histogram, HistogramSnapshot, HIST_BUCKETS};
+use proptest::prelude::*;
+
+fn snapshot_of(samples: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #[test]
+    fn bucket_counts_sum_to_sample_count(samples in proptest::collection::vec(any::<u64>(), 0..200)) {
+        let s = snapshot_of(&samples);
+        prop_assert_eq!(s.count, samples.len() as u64);
+        prop_assert_eq!(s.buckets.iter().sum::<u64>(), samples.len() as u64);
+    }
+
+    #[test]
+    fn every_sample_lands_in_its_bucket(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < HIST_BUCKETS);
+        // The bucket's bound is the first power-of-two boundary at or
+        // above the sample, and the previous bucket (if any) ends below it.
+        prop_assert!(bucket_bound(i) >= v);
+        if i > 0 {
+            prop_assert!(bucket_bound(i - 1) < v);
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_monotone(i in 0usize..HIST_BUCKETS - 1) {
+        prop_assert!(bucket_bound(i) < bucket_bound(i + 1));
+    }
+
+    #[test]
+    fn percentiles_ordered_and_bounded(samples in proptest::collection::vec(any::<u64>(), 1..200)) {
+        let s = snapshot_of(&samples);
+        let p50 = s.percentile(0.50);
+        let p90 = s.percentile(0.90);
+        let p99 = s.percentile(0.99);
+        prop_assert!(p50 <= p90, "p50 {} > p90 {}", p50, p90);
+        prop_assert!(p90 <= p99, "p90 {} > p99 {}", p90, p99);
+        prop_assert!(p99 <= s.max, "p99 {} > max {}", p99, s.max);
+        let true_max = *samples.iter().max().unwrap();
+        prop_assert_eq!(s.max, true_max);
+        // A percentile never reports below the true minimum's bucket.
+        let true_min = *samples.iter().min().unwrap();
+        prop_assert!(s.percentile(0.0) >= true_min.min(bucket_bound(bucket_index(true_min))));
+    }
+
+    #[test]
+    fn percentile_brackets_true_rank_value(samples in proptest::collection::vec(0u64..1_000_000, 1..100)) {
+        // The reported quantile is >= the exact rank value and within its
+        // power-of-two bucket (the documented resolution guarantee).
+        let s = snapshot_of(&samples);
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.5, 0.9, 0.99] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
+            let exact = sorted[rank];
+            let got = s.percentile(q);
+            prop_assert!(got >= exact, "q={} got {} < exact {}", q, got, exact);
+            prop_assert!(
+                got <= bucket_bound(bucket_index(exact)).min(s.max),
+                "q={} got {} beyond exact's bucket bound {}",
+                q, got, bucket_bound(bucket_index(exact))
+            );
+        }
+    }
+
+    #[test]
+    fn merge_matches_combined_recording(
+        a in proptest::collection::vec(any::<u64>(), 0..100),
+        b in proptest::collection::vec(any::<u64>(), 0..100),
+    ) {
+        let mut merged = snapshot_of(&a);
+        merged.merge(&snapshot_of(&b));
+        let combined: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        let direct = snapshot_of(&combined);
+        prop_assert_eq!(merged.count, direct.count);
+        prop_assert_eq!(merged.max, direct.max);
+        prop_assert_eq!(&merged.buckets[..], &direct.buckets[..]);
+        for q in [0.5, 0.9, 0.99] {
+            prop_assert_eq!(merged.percentile(q), direct.percentile(q));
+        }
+    }
+}

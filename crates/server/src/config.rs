@@ -34,6 +34,15 @@ pub struct ServerConfig {
     /// issuing one shared fsync. Zero syncs each commit immediately; the
     /// useful range is 0–2 ms. Ignored by in-memory stores.
     pub commit_window: Duration,
+    /// Requests slower than this are dumped — full span tree — to the
+    /// slow-request log (stderr plus the in-process buffer exposed by
+    /// [`crate::ServerHandle::slow_log`]). `None` disables the log.
+    pub slow_request: Option<Duration>,
+    /// Per-request tracing and latency histograms. On by default: the
+    /// recording paths are branch-gated relaxed-atomic work, cheap enough
+    /// to leave on in production. Off reduces observability to the plain
+    /// `Stats` counters.
+    pub trace: bool,
 }
 
 impl Default for ServerConfig {
@@ -47,6 +56,8 @@ impl Default for ServerConfig {
             request_timeout: Duration::from_secs(30),
             debug_sleep: false,
             commit_window: Duration::ZERO,
+            slow_request: Some(Duration::from_millis(50)),
+            trace: true,
         }
     }
 }

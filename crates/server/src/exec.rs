@@ -20,6 +20,7 @@
 //! (store / block / range) on top: admission, isolation, and deadlock
 //! detection for many sessions.
 
+use crate::metrics::EngineMetrics;
 use crate::stats::ServerStats;
 use axs_client::wire::{put_str, put_u32, put_u64, ErrorCode, Frame, OpCode, Reader, WireError};
 use axs_core::{StoreError, XmlStore, GC_HISTOGRAM_BOUNDS, GC_HISTOGRAM_BUCKETS};
@@ -103,17 +104,30 @@ pub(crate) struct Engine {
     store: RwLock<XmlStore>,
     locks: LockManager,
     stats: Arc<ServerStats>,
+    metrics: Arc<EngineMetrics>,
     debug_sleep: bool,
 }
 
 impl Engine {
-    pub(crate) fn new(store: XmlStore, stats: Arc<ServerStats>, debug_sleep: bool) -> Engine {
+    pub(crate) fn new(
+        store: XmlStore,
+        stats: Arc<ServerStats>,
+        metrics: Arc<EngineMetrics>,
+        debug_sleep: bool,
+    ) -> Engine {
         Engine {
             store: RwLock::new(store),
             locks: LockManager::new(),
             stats,
+            metrics,
             debug_sleep,
         }
+    }
+
+    /// The server's observability state (latency histograms, slow log,
+    /// trace ring).
+    pub(crate) fn metrics(&self) -> &Arc<EngineMetrics> {
+        &self.metrics
     }
 
     /// Flushes the store through the WAL (graceful-shutdown path; callers
@@ -158,6 +172,7 @@ impl Engine {
     }
 
     fn dispatch_inner(&self, req: &Frame, opcode: OpCode) -> Result<Vec<Frame>, ExecError> {
+        let _span = axs_obs::span_enter(axs_obs::EventKind::Execute, opcode as u64, 0);
         match self.intent_of(req, opcode)? {
             Intent::None => self.run(req, opcode),
             intent => self.run_locked(req, opcode, intent),
@@ -173,7 +188,9 @@ impl Engine {
             InsertFirst | InsertLast | InsertBefore | InsertAfter | Delete | Replace => {
                 Intent::WriteNode(Self::peek_id(req)?)
             }
-            Query | Flwor | ReadAll | Stats | Report | Ranges | Verify => Intent::ReadStore,
+            Query | Flwor | ReadAll | Stats | Metrics | Report | Ranges | Verify => {
+                Intent::ReadStore
+            }
             BulkLoad | Flush | Compact => Intent::WriteStore,
         })
     }
@@ -259,13 +276,14 @@ impl Engine {
         use OpCode::*;
         match opcode {
             Ping | Sleep => self.run_control(req, opcode),
-            ReadNode | Value | Children | Parent | Query | Flwor | ReadAll | Stats | Report
-            | Ranges | Verify => {
+            ReadNode | Value | Children | Parent | Query | Flwor | ReadAll | Stats | Metrics
+            | Report | Ranges | Verify => {
                 let store = self.store.read();
-                self.stats.read_enter();
-                let result = self.run_read(req, opcode, &store);
-                self.stats.read_exit();
-                result
+                // The guard keeps `reads_in_flight` honest even if the
+                // opcode body panics (satellite fix: previously a bare
+                // decrement that a panic would skip).
+                let _in_flight = self.stats.read_enter();
+                self.run_read(req, opcode, &store)
             }
             BulkLoad | InsertFirst | InsertLast | InsertBefore | InsertAfter | Delete | Replace
             | Flush | Compact => {
@@ -427,6 +445,20 @@ impl Engine {
                 r.finish()?;
                 let entries = self.stat_entries(store);
                 let mut p = Vec::new();
+                put_u32(&mut p, entries.len() as u32);
+                for (name, value) in entries {
+                    put_str(&mut p, &name);
+                    put_u64(&mut p, value);
+                }
+                vec![Frame::done(id, op, p)]
+            }
+            Metrics => {
+                r.finish()?;
+                let counters = self.stat_entries(store);
+                let text = self.metrics.prometheus_text(&counters);
+                let entries = self.metrics.extended_entries(&counters);
+                let mut p = Vec::new();
+                put_str(&mut p, &text);
                 put_u32(&mut p, entries.len() as u32);
                 for (name, value) in entries {
                     put_str(&mut p, &name);

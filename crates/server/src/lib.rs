@@ -38,10 +38,11 @@
 
 mod config;
 mod exec;
+mod metrics;
 mod pool;
 mod server;
 mod stats;
 
 pub use config::ServerConfig;
 pub use server::{Server, ServerError, ServerHandle};
-pub use stats::ServerStats;
+pub use stats::{ReadGuard, ServerStats};

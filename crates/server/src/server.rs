@@ -18,6 +18,7 @@
 
 use crate::config::ServerConfig;
 use crate::exec::Engine;
+use crate::metrics::EngineMetrics;
 use crate::pool::{SubmitError, WorkerPool};
 use crate::stats::ServerStats;
 use axs_client::wire::{self, ErrorCode, Frame, OpCode, Status};
@@ -100,9 +101,15 @@ impl Server {
         let listener = TcpListener::bind(&*config.addr)?;
         let local_addr = listener.local_addr()?;
         store.set_commit_window(config.commit_window);
+        if config.trace {
+            // Process-wide: instrumentation points in core/lock/storage
+            // branch on this flag before touching any clock or atomic.
+            axs_obs::set_enabled(true);
+        }
         let stats = Arc::new(ServerStats::default());
+        let metrics = Arc::new(EngineMetrics::new(config.slow_request));
         let shared = Arc::new(Shared {
-            engine: Engine::new(store, stats.clone(), config.debug_sleep),
+            engine: Engine::new(store, stats.clone(), metrics, config.debug_sleep),
             pool: WorkerPool::new(config.workers, config.queue_depth),
             stats,
             config,
@@ -139,6 +146,18 @@ impl ServerHandle {
     /// The server's own activity counters.
     pub fn stats(&self) -> &ServerStats {
         &self.shared.stats
+    }
+
+    /// Retained slow-request log lines (each a rendered span tree),
+    /// oldest first. Lines also go to stderr as they happen; this buffer
+    /// lets tests and embedders inspect them without capturing stderr.
+    pub fn slow_log(&self) -> Vec<String> {
+        self.shared.engine.metrics().slow_log()
+    }
+
+    /// Recently finished request traces, most recent first.
+    pub fn recent_traces(&self) -> Vec<axs_obs::FinishedTrace> {
+        self.shared.engine.metrics().recent_traces()
     }
 
     /// True once shutdown has been requested (handle, opcode, or signal).
@@ -407,10 +426,28 @@ fn answer(req: &Frame, shared: &Arc<Shared>, writer: &mut BufWriter<TcpStream>) 
     let (tx, rx) = mpsc::channel();
     let job_req = req.clone();
     let job_shared = shared.clone();
+    // Trace identity is fixed at frame decode time; the worker thread owns
+    // the trace itself (begin → instrumented dispatch → finish), since the
+    // whole request executes on it.
+    let trace_id = axs_obs::next_trace_id();
+    let enqueued = Instant::now();
     let submitted = shared.pool.try_submit(Box::new(move || {
+        axs_obs::trace_begin(trace_id, job_req.opcode);
+        axs_obs::probe(
+            axs_obs::EventKind::QueueWait,
+            axs_obs::enabled().then_some(enqueued),
+            0,
+            0,
+        );
+        let outcome = job_shared.engine.dispatch(&job_req);
+        let trace = axs_obs::trace_finish();
+        job_shared
+            .engine
+            .metrics()
+            .finish_request(job_req.opcode, enqueued.elapsed(), trace);
         // The session may have timed out and moved on; a dead channel
         // just discards the result.
-        let _ = tx.send(job_shared.engine.dispatch(&job_req));
+        let _ = tx.send(outcome);
     }));
     match submitted {
         Ok(()) => {}

@@ -49,16 +49,15 @@ impl ServerStats {
     }
 
     /// Records a read entering execution under shared access, maintaining
-    /// the in-flight gauge and its high-water mark.
-    pub fn read_enter(&self) {
+    /// the in-flight gauge and its high-water mark. The returned guard
+    /// decrements the gauge when dropped — including on unwind, so a
+    /// panicking read opcode cannot leave the gauge stuck.
+    #[must_use = "the guard's Drop records the read leaving execution"]
+    pub fn read_enter(&self) -> ReadGuard<'_> {
         self.reads_shared.fetch_add(1, Ordering::Relaxed);
         let now = self.reads_in_flight.fetch_add(1, Ordering::Relaxed) + 1;
         self.reads_max_in_flight.fetch_max(now, Ordering::Relaxed);
-    }
-
-    /// Records a read leaving execution.
-    pub fn read_exit(&self) {
-        self.reads_in_flight.fetch_sub(1, Ordering::Relaxed);
+        ReadGuard { stats: self }
     }
 
     /// Named snapshot of every counter, in stable order.
@@ -85,5 +84,18 @@ impl ServerStats {
             ),
             ("server.commit_waits", read(&self.commit_waits)),
         ]
+    }
+}
+
+/// Holds the `reads_in_flight` gauge up for one executing read (see
+/// [`ServerStats::read_enter`]); decrements on drop, panic included.
+#[derive(Debug)]
+pub struct ReadGuard<'a> {
+    stats: &'a ServerStats,
+}
+
+impl Drop for ReadGuard<'_> {
+    fn drop(&mut self) {
+        self.stats.reads_in_flight.fetch_sub(1, Ordering::Relaxed);
     }
 }

@@ -188,6 +188,13 @@ impl GroupCommit {
     /// Blocks until commit `lsn` is durable, electing a leader to fsync on
     /// behalf of every queued committer.
     fn wait_durable(&self, lsn: u64) -> Result<(), StorageError> {
+        let probe = axs_obs::probe_start();
+        let result = self.wait_durable_inner(lsn);
+        axs_obs::probe(axs_obs::EventKind::GroupCommitWait, probe, lsn, 0);
+        result
+    }
+
+    fn wait_durable_inner(&self, lsn: u64) -> Result<(), StorageError> {
         self.commits.fetch_add(1, Ordering::Relaxed);
         let mut g = self.inner.lock();
         if lsn > g.highest_requested {
@@ -430,6 +437,7 @@ impl Wal {
     }
 
     fn append(&mut self, kind: RecordKind, page: u64, payload: &[u8]) -> Result<u64, StorageError> {
+        let probe = axs_obs::probe_start();
         let lsn = self.next_lsn;
         let mut rec = Vec::with_capacity(RECORD_HEADER_LEN + payload.len() + TRAILER_LEN);
         rec.push(kind as u8);
@@ -443,6 +451,7 @@ impl Wal {
         self.end += rec.len() as u64;
         self.next_lsn += 1;
         self.appended += 1;
+        axs_obs::probe(axs_obs::EventKind::WalAppend, probe, rec.len() as u64, 0);
         Ok(lsn)
     }
 

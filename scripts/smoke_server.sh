@@ -44,13 +44,14 @@ for _ in $(seq 1 100); do
 done
 grep -q "axsd listening on" "$SERVER_LOG" || fail "server never reported listening"
 
-# A scripted remote session: load, query, update, stats, flush.
+# A scripted remote session: load, query, update, stats, metrics, flush.
 CLIENT_OUT="$("$AXS" connect "127.0.0.1:$PORT" <<'EOF'
 loadxml <orders><order id="1"><qty>5</qty></order></orders>
 query /orders/order
 insert-last 1 <order id="2"/>
 query //order
 stats
+metrics
 save
 quit
 EOF
@@ -62,6 +63,21 @@ echo "$CLIENT_OUT" | grep -q "inserted"        || fail "insert did not succeed: 
 echo "$CLIENT_OUT" | grep -q "2 match(es)"     || fail "post-insert query wrong: $CLIENT_OUT"
 echo "$CLIENT_OUT" | grep -q "server.requests" || fail "stats missing server counters: $CLIENT_OUT"
 echo "$CLIENT_OUT" | grep -q "flushed"         || fail "flush did not succeed: $CLIENT_OUT"
+
+# metrics-smoke: the Metrics opcode must expose the documented Prometheus
+# series, and `axs top --once` must render a dashboard from the same data.
+echo "$CLIENT_OUT" | grep -q "axs_server_requests" \
+    || fail "metrics missing counter series: $CLIENT_OUT"
+echo "$CLIENT_OUT" | grep -q 'axs_request_duration_us_bucket{family="' \
+    || fail "metrics missing request-latency histogram: $CLIENT_OUT"
+echo "$CLIENT_OUT" | grep -q 'axs_lookup_duration_us' \
+    || fail "metrics missing lookup-path histogram: $CLIENT_OUT"
+
+TOP_OUT="$("$AXS" top "127.0.0.1:$PORT" --once)" || fail "axs top --once failed"
+echo "$TOP_OUT" | grep -q "req/s"                    || fail "top missing rate line: $TOP_OUT"
+echo "$TOP_OUT" | grep -q "latency by opcode family" || fail "top missing family table: $TOP_OUT"
+echo "$TOP_OUT" | grep -q "lookup paths"             || fail "top missing lookup paths: $TOP_OUT"
+echo "$TOP_OUT" | grep -q "group commit"             || fail "top missing group-commit line: $TOP_OUT"
 
 # Graceful shutdown must drain and flush through the WAL.
 kill -TERM "$SERVER_PID"
