@@ -14,7 +14,11 @@
 //! `BENCH_netbench.json` (override with `--out`, schema v2: git commit,
 //! run parameters, and per-run server-side histogram snapshots scraped
 //! via the `Metrics` opcode), including a `read_scaling` section
-//! comparing the 1-client run against the widest.
+//! comparing the 1-client run against the widest. `--stores N` spreads
+//! clients round-robin across N named stores (separate WALs, separate
+//! lock hierarchies) and adds a `store_scaling` section comparing the
+//! widest multi-store run against a single-store reference at the same
+//! client count.
 //!
 //! ```sh
 //! cargo run --release -p axs-bench --bin netbench             # full sweep
@@ -23,8 +27,7 @@
 //! ```
 
 use axs_client::{Client, StatEntry};
-use axs_core::StoreBuilder;
-use axs_server::{Server, ServerConfig};
+use axs_server::{Catalog, CatalogConfig, Server, ServerConfig};
 use std::time::{Duration, Instant};
 
 const CLIENT_COUNTS: &[usize] = &[1, 4, 16];
@@ -48,6 +51,7 @@ fn git_commit() -> String {
         .unwrap_or_else(|| "unknown".to_string())
 }
 
+#[derive(Clone)]
 struct Options {
     /// Percentage of operations that are reads, evenly interleaved.
     read_pct: u32,
@@ -60,6 +64,10 @@ struct Options {
     /// Benchmark an in-memory store instead of a durable one (no WAL, no
     /// commit stalls — measures the wire + dispatch path alone).
     mem: bool,
+    /// Named stores to spread clients across (round-robin). Each store
+    /// has its own WAL and lock hierarchy, so writers on different
+    /// stores stop contending on one exclusive lock and one fsync queue.
+    stores: usize,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -72,6 +80,7 @@ fn parse_args() -> Result<Options, String> {
         out: "BENCH_netbench.json".to_string(),
         commit_window: Duration::from_millis(1),
         mem: false,
+        stores: 1,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -104,6 +113,15 @@ fn parse_args() -> Result<Options, String> {
                 opts.commit_window = Duration::from_millis(v);
             }
             "--mem" => opts.mem = true,
+            "--stores" => {
+                let v: usize = value_of("--stores")?
+                    .parse()
+                    .map_err(|e| format!("--stores: {e}"))?;
+                if v == 0 {
+                    return Err("--stores must be at least 1".to_string());
+                }
+                opts.stores = v;
+            }
             other => return Err(format!("unknown argument {other}")),
         }
     }
@@ -117,15 +135,16 @@ fn main() {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: netbench [--read-pct N] [--ops N] [--out PATH] \
-                 [--commit-window-ms N] [--mem]"
+                 [--commit-window-ms N] [--mem] [--stores N]"
             );
             std::process::exit(2);
         }
     };
     println!(
-        "axsd loopback throughput — {} ops/client, {}% reads, {}",
+        "axsd loopback throughput — {} ops/client, {}% reads, {} store(s), {}",
         opts.ops,
         opts.read_pct,
+        opts.stores,
         match opts.mem {
             true => "in-memory store".to_string(),
             false => format!(
@@ -158,6 +177,32 @@ fn main() {
     );
     println!("read_scaling {scaling}");
 
+    // With several stores, re-run the widest configuration on a single
+    // store: same clients, same mix, one WAL and one lock hierarchy
+    // instead of N. The delta is what per-store isolation buys writers.
+    let store_scaling = (opts.stores > 1).then(|| {
+        let single = Options {
+            stores: 1,
+            ..opts.clone()
+        };
+        let reference = run_one(widest.clients, &single);
+        println!("{}", reference.to_json());
+        let section = format!(
+            "{{\"clients\":{},\"stores\":{},\"multi_write_rps\":{:.0},\
+             \"single_write_rps\":{:.0},\"write_speedup\":{:.2},\
+             \"multi_rps\":{:.0},\"single_rps\":{:.0}}}",
+            widest.clients,
+            opts.stores,
+            widest.write_rps(),
+            reference.write_rps(),
+            widest.write_rps() / reference.write_rps().max(1e-9),
+            widest.total_rps(),
+            reference.total_rps(),
+        );
+        println!("store_scaling {section}");
+        (section, reference)
+    });
+
     let mut doc = String::from("{\n");
     doc.push_str(&format!(
         "  \"bench\": \"server_loopback\",\n  \"schema_version\": {SCHEMA_VERSION},\n  \
@@ -166,7 +211,8 @@ fn main() {
     ));
     doc.push_str(&format!(
         "  \"parameters\": {{\"read_pct\": {}, \"ops_per_client\": {}, \
-         \"client_counts\": [{}], \"durable\": {}, \"commit_window_ms\": {}}},\n",
+         \"client_counts\": [{}], \"durable\": {}, \"commit_window_ms\": {}, \
+         \"stores\": {}}},\n",
         opts.read_pct,
         opts.ops,
         CLIENT_COUNTS
@@ -175,7 +221,8 @@ fn main() {
             .collect::<Vec<_>>()
             .join(", "),
         !opts.mem,
-        opts.commit_window.as_millis()
+        opts.commit_window.as_millis(),
+        opts.stores
     ));
     doc.push_str("  \"runs\": [\n");
     for (i, r) in runs.iter().enumerate() {
@@ -184,10 +231,20 @@ fn main() {
     }
     doc.push_str("  ],\n");
     doc.push_str(&format!("  \"read_scaling\": {scaling},\n"));
+    if let Some((section, reference)) = &store_scaling {
+        doc.push_str(&format!("  \"store_scaling\": {section},\n"));
+        doc.push_str(&format!(
+            "  \"single_store_reference\": {},\n",
+            reference.to_archive_json()
+        ));
+    }
     doc.push_str(
         "  \"note\": \"baseline = 1 client (every request serialized, the \
          pre-shared-read-path behavior); widest = concurrent clients on the \
-         shared read path overlapping writers' group-commit windows\"\n}\n",
+         shared read path overlapping writers' group-commit windows; \
+         store_scaling (when present) compares the widest run across N \
+         stores against the same clients on one store — separate WALs and \
+         lock hierarchies are what multi-store buys writers\"\n}\n",
     );
     if let Err(e) = std::fs::write(&opts.out, doc) {
         eprintln!("cannot write {}: {e}", opts.out);
@@ -199,6 +256,7 @@ fn main() {
 struct RunResult {
     clients: usize,
     workers: usize,
+    stores: usize,
     read_pct: u32,
     elapsed: Duration,
     read_latencies_us: Vec<u64>,
@@ -218,6 +276,11 @@ impl RunResult {
         self.write_latencies_us.len() as f64 / self.elapsed.as_secs_f64().max(1e-9)
     }
 
+    fn total_rps(&self) -> f64 {
+        (self.read_latencies_us.len() + self.write_latencies_us.len()) as f64
+            / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
     fn to_json(&self) -> String {
         let requests = self.read_latencies_us.len() + self.write_latencies_us.len();
         let pct = |sorted: &[u64], p: f64| -> u64 {
@@ -228,12 +291,13 @@ impl RunResult {
             sorted[idx]
         };
         format!(
-            "{{\"bench\":\"server_loopback\",\"clients\":{},\"workers\":{},\
+            "{{\"bench\":\"server_loopback\",\"clients\":{},\"workers\":{},\"stores\":{},\
              \"read_pct\":{},\"requests\":{requests},\"reads\":{},\"writes\":{},\
              \"elapsed_s\":{:.3},\"rps\":{:.0},\"read_rps\":{:.0},\"write_rps\":{:.0},\
              \"read_p50_us\":{},\"read_p99_us\":{},\"write_p50_us\":{},\"write_p99_us\":{}}}",
             self.clients,
             self.workers,
+            self.stores,
             self.read_pct,
             self.read_latencies_us.len(),
             self.write_latencies_us.len(),
@@ -265,53 +329,85 @@ impl RunResult {
     }
 }
 
+/// The store client `t` is bound to: clients round-robin across the
+/// configured store count; store 0 is the catalog's built-in `default`.
+fn store_name(i: usize) -> String {
+    if i == 0 {
+        "default".to_string()
+    } else {
+        format!("s{i}")
+    }
+}
+
 /// One configuration: a fresh server (durable by default, so writes pay
 /// the real WAL-commit price), `clients` threads, each performing `ops`
 /// operations of which `read_pct`% are point reads and the rest range
 /// inserts, evenly interleaved (Bresenham-style, so the mix holds at
-/// every prefix and every run is deterministic).
+/// every prefix and every run is deterministic). With `--stores N`,
+/// clients round-robin across N named stores, each with its own WAL and
+/// lock hierarchy.
 fn run_one(clients: usize, opts: &Options) -> RunResult {
-    let (ops, read_pct) = (opts.ops, opts.read_pct);
+    let (ops, read_pct, stores) = (opts.ops, opts.read_pct, opts.stores.max(1));
     let workers = clients.clamp(2, 16);
     let dir = std::env::temp_dir().join(format!("axs-netbench-{}-{clients}", std::process::id()));
-    let store = match opts.mem {
-        true => StoreBuilder::new().build().unwrap(),
+    let catalog_config = CatalogConfig {
+        // Every store stays resident for the whole run: this measures
+        // per-store isolation, not eviction churn.
+        max_open: stores.max(8),
+        commit_window: opts.commit_window,
+    };
+    let catalog = match opts.mem {
+        true => Catalog::in_memory(catalog_config).unwrap(),
         false => {
             let _ = std::fs::remove_dir_all(&dir);
-            StoreBuilder::new().directory(&dir).build().unwrap()
+            std::fs::create_dir_all(&dir).unwrap();
+            Catalog::open(&dir, catalog_config).unwrap()
         }
     };
-    let handle = Server::start(
-        store,
+    let handle = Server::start_catalog(
+        catalog,
         ServerConfig {
             workers,
             queue_depth: 1024,
             max_connections: clients + 4,
             commit_window: opts.commit_window,
+            max_open_stores: stores.max(8),
             ..ServerConfig::default()
         },
     )
     .unwrap();
 
     // One subtree per client so writers contend on the hierarchy, not on
-    // a single range.
-    let seed: String = {
-        let subtrees: String = (0..clients).map(|t| format!("<t{t}/>")).collect();
-        format!("<root>{subtrees}</root>")
-    };
+    // a single range; each store seeds subtrees only for the clients
+    // bound to it.
     let mut setup = Client::connect(handle.local_addr()).unwrap();
-    let (root, _) = setup.bulk_load(&seed).unwrap();
-    let kids = setup.children(root).unwrap();
+    let mut subtree_of = vec![0u64; clients];
+    for s in 0..stores {
+        let name = store_name(s);
+        if s > 0 {
+            setup.create_store(&name).unwrap();
+        }
+        setup.use_store(&name).unwrap();
+        let members: Vec<usize> = (0..clients).filter(|t| t % stores == s).collect();
+        let seed: String = members.iter().map(|t| format!("<t{t}/>")).collect();
+        let (root, _) = setup.bulk_load(&format!("<root>{seed}</root>")).unwrap();
+        let kids = setup.children(root).unwrap();
+        for (k, t) in members.iter().enumerate() {
+            subtree_of[*t] = kids[k].0;
+        }
+    }
 
     let started = Instant::now();
     let lat: Vec<(Vec<u64>, Vec<u64>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|t| {
                 let addr = handle.local_addr();
-                let subtree = kids[t].0;
+                let subtree = subtree_of[t];
+                let store = store_name(t % stores);
                 scope.spawn(move || {
                     let mut c = Client::connect(addr).unwrap();
                     c.set_timeout(Some(Duration::from_secs(60))).unwrap();
+                    c.use_store(&store).unwrap();
                     // Every client seeds one element before the clock-free
                     // loop so reads always have a target.
                     let (mut last, _) = c.insert_last(subtree, r#"<e j="seed"/>"#).unwrap();
@@ -369,7 +465,7 @@ fn run_one(clients: usize, opts: &Options) -> RunResult {
     let server_metrics: Vec<StatEntry> = entries
         .into_iter()
         .filter(|e| {
-            ["rq.", "path.", "obs.", "wal."]
+            ["rq.", "path.", "obs.", "wal.", "cat."]
                 .iter()
                 .any(|p| e.name.starts_with(p))
         })
@@ -392,6 +488,7 @@ fn run_one(clients: usize, opts: &Options) -> RunResult {
     RunResult {
         clients,
         workers,
+        stores,
         read_pct,
         elapsed,
         read_latencies_us,

@@ -12,8 +12,9 @@
 use axs_cli::session::Outcome;
 use axs_cli::{parse_command, RemoteSession, Session};
 use axs_core::StoreBuilder;
-use axs_server::{Server, ServerConfig};
+use axs_server::{Catalog, CatalogConfig, Server, ServerConfig};
 use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
@@ -21,13 +22,19 @@ const USAGE: &str = "usage:
   axs [directory]                 interactive shell (in-memory without a directory)
   axs serve [directory] [--addr HOST:PORT] [--workers N] [--queue N]
             [--max-connections N] [--commit-window-ms N] [--debug-sleep]
-            [--slow-ms N] [--no-trace]
-                                  run the axsd server (in-memory without a directory)
+            [--slow-ms N] [--no-trace] [--max-open-stores N]
+                                  run the axsd server (in-memory without a directory);
+                                  the directory is a catalog root and may hold many
+                                  named stores (create-store / use in the shell)
   axs connect HOST:PORT           interactive shell against a running server
   axs top HOST:PORT [--interval-ms N] [--once]
                                   live latency/throughput dashboard for a server
-  axs verify <directory>          check invariants + checksums; exit 1 on corruption
-  axs recover <directory>         run WAL crash recovery; exit 1 on failure";
+  axs verify <directory> [store] [--all]
+                                  check invariants + checksums; with a store name or
+                                  --all, walk the named store(s) of a catalog root;
+                                  exit 1 if any store fails
+  axs recover <directory> [store] [--all]
+                                  run WAL crash recovery; exit 1 if any store fails";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -262,6 +269,11 @@ fn cmd_serve(args: &[String]) -> i32 {
                 config.trace = false;
                 Ok(())
             }
+            "--max-open-stores" => value_of("--max-open-stores").and_then(|v| {
+                v.parse()
+                    .map(|n| config.max_open_stores = n)
+                    .map_err(|e| format!("--max-open-stores: {e}"))
+            }),
             flag if flag.starts_with("--") => Err(format!("unknown flag {flag}")),
             path if dir.is_none() => {
                 dir = Some(path.to_string());
@@ -275,28 +287,29 @@ fn cmd_serve(args: &[String]) -> i32 {
         }
     }
 
-    let store = match &dir {
-        Some(d) => {
-            let existing = std::path::Path::new(d).join("data.pages").exists();
-            let builder = StoreBuilder::new().directory(d);
-            if existing {
-                builder.open()
-            } else {
-                builder.build()
-            }
-        }
-        None => StoreBuilder::new().build(),
+    // The directory is a catalog root: a legacy single-store directory is
+    // adopted in place as the `default` store, and `create-store` adds
+    // named stores under `<dir>/stores/`. Without a directory the catalog
+    // is in-memory (named stores work; nothing persists).
+    let catalog_config = CatalogConfig {
+        max_open: config.max_open_stores,
+        commit_window: config.commit_window,
     };
-    let store = match store {
-        Ok(s) => s,
+    let catalog = match &dir {
+        Some(d) => Catalog::open(d, catalog_config),
+        None => Catalog::in_memory(catalog_config),
+    };
+    let catalog = match catalog {
+        Ok(c) => c,
         Err(e) => {
-            eprintln!("cannot open store: {e}");
+            eprintln!("cannot open catalog: {e}");
             return 1;
         }
     };
+    let store_count = catalog.list().len();
 
     install_signal_handlers();
-    let handle = match Server::start(store, config) {
+    let handle = match Server::start_catalog(catalog, config) {
         Ok(h) => h,
         Err(e) => {
             eprintln!("cannot start server: {e}");
@@ -306,8 +319,8 @@ fn cmd_serve(args: &[String]) -> i32 {
     // The smoke test and humans both read this line to learn the port.
     println!("axsd listening on {}", handle.local_addr());
     match &dir {
-        Some(d) => println!("store: {d}"),
-        None => println!("store: in-memory (contents are lost at shutdown)"),
+        Some(d) => println!("catalog: {d} ({store_count} store(s))"),
+        None => println!("catalog: in-memory (contents are lost at shutdown)"),
     }
     let _ = std::io::stdout().flush();
 
@@ -331,57 +344,162 @@ fn cmd_serve(args: &[String]) -> i32 {
 
 // ---- axs verify / axs recover --------------------------------------------
 
-fn cmd_verify(args: &[String]) -> i32 {
-    let Some(dir) = args.first() else {
-        eprintln!("usage: axs verify <directory>");
-        return 2;
-    };
-    let store = match StoreBuilder::new().directory(dir).open() {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("verify {dir}: cannot open store: {e}");
-            return 1;
+/// Parsed `axs verify` / `axs recover` arguments: the catalog root plus
+/// which store(s) to walk.
+struct MaintArgs {
+    root: String,
+    store: Option<String>,
+    all: bool,
+}
+
+fn parse_maint_args(cmd: &str, args: &[String]) -> Result<MaintArgs, String> {
+    let usage = format!("usage: axs {cmd} <directory> [store] [--all]");
+    let mut root: Option<String> = None;
+    let mut store: Option<String> = None;
+    let mut all = false;
+    for arg in args {
+        match arg.as_str() {
+            "--all" => all = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}\n{usage}")),
+            a if root.is_none() => root = Some(a.to_string()),
+            a if store.is_none() => store = Some(a.to_string()),
+            extra => return Err(format!("unexpected argument {extra:?}\n{usage}")),
         }
-    };
-    if let Err(e) = store.check_invariants() {
-        eprintln!("verify {dir}: corruption detected: {e}");
-        return 1;
     }
-    // Walking every token forces every data page through the pool, so
-    // checksum verification covers the whole file.
-    match store.read_all() {
-        Ok(tokens) => {
-            println!(
-                "ok: invariants hold, {} tokens readable, {} range(s)",
-                tokens.len(),
-                store.range_count()
-            );
-            0
+    let root = root.ok_or(usage)?;
+    Ok(MaintArgs { root, store, all })
+}
+
+/// Resolves which store directories a maintenance command walks.
+///
+/// A catalog root keeps named stores under `<root>/stores/<name>`; a
+/// pre-catalog root (`data.pages` at top level) is itself the `default`
+/// store. With neither a store name nor `--all`, a plain single-store
+/// directory keeps its historical one-store behavior and a catalog root
+/// walks everything (same as `--all`).
+fn resolve_store_dirs(args: &MaintArgs) -> Result<Vec<(String, PathBuf)>, String> {
+    let root = Path::new(&args.root);
+    let legacy_default = root.join("data.pages").exists();
+    let stores_dir = root.join("stores");
+
+    let mut entries: Vec<(String, PathBuf)> = Vec::new();
+    if legacy_default {
+        entries.push(("default".to_string(), root.to_path_buf()));
+    }
+    if stores_dir.is_dir() {
+        let mut named: Vec<(String, PathBuf)> = std::fs::read_dir(&stores_dir)
+            .map_err(|e| format!("cannot list {}: {e}", stores_dir.display()))?
+            .filter_map(|entry| {
+                let entry = entry.ok()?;
+                let name = entry.file_name().into_string().ok()?;
+                // Skip in-flight create/drop leftovers; boot sweeps them.
+                if name.starts_with(".tmp.") || name.starts_with(".drop.") {
+                    return None;
+                }
+                entry.path().is_dir().then(|| (name.clone(), entry.path()))
+            })
+            .collect();
+        named.sort();
+        entries.extend(named);
+    }
+
+    match (&args.store, args.all) {
+        (Some(_), true) => Err("pass a store name or --all, not both".to_string()),
+        (Some(name), false) => {
+            let hit = entries.iter().find(|(n, _)| n == name).cloned();
+            hit.map(|e| vec![e])
+                .ok_or_else(|| format!("no store named {name:?} under {}", args.root))
         }
-        Err(e) => {
-            eprintln!("verify {dir}: corruption detected: {e}");
-            1
+        (None, _) if entries.is_empty() => {
+            // Neither a legacy store nor a catalog root: keep the old
+            // behavior of trying the directory itself so the error comes
+            // from the store layer ("cannot open …").
+            Ok(vec![("default".to_string(), root.to_path_buf())])
         }
+        (None, true) => Ok(entries),
+        (None, false) => Ok(entries),
     }
 }
 
-fn cmd_recover(args: &[String]) -> i32 {
-    let Some(dir) = args.first() else {
-        eprintln!("usage: axs recover <directory>");
-        return 2;
-    };
-    match StoreBuilder::new().directory(dir).open() {
-        Ok(store) => {
-            let s = store.stats();
-            println!(
-                "recovered from {dir}: {} replay pass(es), {} torn tail(s) truncated",
-                s.recoveries, s.torn_tail_truncations
-            );
-            0
-        }
+fn verify_one(label: &str, dir: &Path) -> Result<String, String> {
+    let store = StoreBuilder::new()
+        .directory(dir)
+        .open()
+        .map_err(|e| format!("cannot open store: {e}"))?;
+    store
+        .check_invariants()
+        .map_err(|e| format!("corruption detected: {e}"))?;
+    // Walking every token forces every data page through the pool, so
+    // checksum verification covers the whole file.
+    let tokens = store
+        .read_all()
+        .map_err(|e| format!("corruption detected: {e}"))?;
+    Ok(format!(
+        "ok: {label}: invariants hold, {} tokens readable, {} range(s)",
+        tokens.len(),
+        store.range_count()
+    ))
+}
+
+fn recover_one(label: &str, dir: &Path) -> Result<String, String> {
+    let store = StoreBuilder::new()
+        .directory(dir)
+        .open()
+        .map_err(|e| format!("recovery failed: {e}"))?;
+    let s = store.stats();
+    Ok(format!(
+        "recovered {label}: {} replay pass(es), {} torn tail(s) truncated",
+        s.recoveries, s.torn_tail_truncations
+    ))
+}
+
+/// Shared driver for `verify` and `recover`: walk the resolved store
+/// set, print per-store verdicts, exit non-zero if any store failed.
+fn run_maintenance(
+    cmd: &str,
+    args: &[String],
+    run: impl Fn(&str, &Path) -> Result<String, String>,
+) -> i32 {
+    let parsed = match parse_maint_args(cmd, args) {
+        Ok(p) => p,
         Err(e) => {
-            eprintln!("recover {dir}: recovery failed: {e}");
-            1
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let targets = match resolve_store_dirs(&parsed) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{cmd} {}: {e}", parsed.root);
+            return 1;
+        }
+    };
+    let mut failures = 0usize;
+    for (name, dir) in &targets {
+        match run(name, dir) {
+            Ok(line) => println!("{line}"),
+            Err(e) => {
+                eprintln!("{cmd} {}: store {name:?}: {e}", parsed.root);
+                failures += 1;
+            }
         }
     }
+    if failures > 0 {
+        eprintln!(
+            "{cmd} {}: {failures} of {} store(s) failed",
+            parsed.root,
+            targets.len()
+        );
+        1
+    } else {
+        0
+    }
+}
+
+fn cmd_verify(args: &[String]) -> i32 {
+    run_maintenance("verify", args, verify_one)
+}
+
+fn cmd_recover(args: &[String]) -> i32 {
+    run_maintenance("recover", args, recover_one)
 }

@@ -54,6 +54,14 @@ pub enum Command {
     Verify,
     /// `export <path>` — stream the whole store to an XML file.
     Export(String),
+    /// `use <store>` — bind the session to a named store (server only).
+    Use(String),
+    /// `stores` — list the server's catalog (server only).
+    Stores,
+    /// `create-store <name>` — create a named store (server only).
+    CreateStore(String),
+    /// `drop-store <name>` — drop a named store and its data (server only).
+    DropStore(String),
     /// `help`.
     Help,
     /// `quit` / `exit`.
@@ -185,6 +193,10 @@ pub fn parse_command(line: &str) -> Result<Option<Command>, ParseCommandError> {
         "recover" => Command::Recover,
         "verify" => Command::Verify,
         "export" => Command::Export(need_rest("export <path>")?),
+        "use" => Command::Use(need_rest("use <store>")?),
+        "stores" => Command::Stores,
+        "create-store" => Command::CreateStore(need_rest("create-store <name>")?),
+        "drop-store" => Command::DropStore(need_rest("drop-store <name>")?),
         "help" | "?" => Command::Help,
         "quit" | "exit" => Command::Quit,
         other => return Err(err(format!("unknown command {other:?}; try 'help'"))),
@@ -212,6 +224,9 @@ commands:
   recover                     reopen the store through crash recovery
   verify                      check invariants and page checksums
   export <path>               stream the store to an XML file
+  stores                      list the server's named stores (server only)
+  use <store>                 switch this session to a named store (server only)
+  create-store <name> | drop-store <name>   manage named stores (server only)
   help | quit";
 
 #[cfg(test)]
@@ -316,6 +331,25 @@ mod tests {
             Some(Command::Export("/tmp/out.xml".to_string()))
         );
         assert!(parse_command("export").is_err());
+    }
+
+    #[test]
+    fn catalog_commands() {
+        assert_eq!(
+            parse_command("use orders").unwrap(),
+            Some(Command::Use("orders".to_string()))
+        );
+        assert_eq!(parse_command("stores").unwrap(), Some(Command::Stores));
+        assert_eq!(
+            parse_command("create-store archive").unwrap(),
+            Some(Command::CreateStore("archive".to_string()))
+        );
+        assert_eq!(
+            parse_command("drop-store archive").unwrap(),
+            Some(Command::DropStore("archive".to_string()))
+        );
+        assert!(parse_command("use").is_err());
+        assert!(parse_command("create-store").is_err());
     }
 
     #[test]

@@ -156,6 +156,31 @@ impl RemoteSession {
                 return Err("recover runs on the server at startup, not remotely".to_string())
             }
             Command::Verify => c.verify().map_err(fail)?,
+            Command::Use(name) => {
+                let id = c.use_store(&name).map_err(fail)?;
+                format!("using store {name:?} (id {id})")
+            }
+            Command::Stores => {
+                let stores = c.list_stores().map_err(fail)?;
+                let current = c.current_store().0.to_string();
+                let mut out = String::new();
+                for s in stores {
+                    let marker = if s.name == current { "*" } else { " " };
+                    let state = if s.open { "open" } else { "closed" };
+                    let _ = writeln!(out, "{marker} {:<24} id {:<5} {state}", s.name, s.id);
+                }
+                out.push_str("(* = this session's store)");
+                out
+            }
+            Command::CreateStore(name) => {
+                let id = c.create_store(&name).map_err(fail)?;
+                format!("created store {name:?} (id {id})")
+            }
+            Command::DropStore(name) => {
+                c.drop_store(&name).map_err(fail)?;
+                let (current, _) = c.current_store();
+                format!("dropped store {name:?} (session now on {current:?})")
+            }
         };
         Ok(Outcome::Output(out))
     }

@@ -312,6 +312,11 @@ impl Session {
                     self.store.range_count(),
                 )
             }
+            Command::Use(_) | Command::Stores | Command::CreateStore(_) | Command::DropStore(_) => {
+                return Err(
+                    "store catalog commands need a running server (axs connect)".to_string(),
+                )
+            }
         };
         Ok(Outcome::Output(out))
     }

@@ -74,6 +74,52 @@ pub fn render_dashboard(
             get(cur, &format!("rq.{family}.max_us")),
         );
     }
+    // Per-store panel (multi-store catalogs): `rq.store.<name>.*` entries
+    // carry one merged latency summary per store, `cat.*` the catalog's
+    // own gauges. A single-store server shows just its `default` row.
+    let stores: Vec<&str> = {
+        let mut names: Vec<&str> = cur
+            .iter()
+            .filter_map(|e| {
+                e.name
+                    .strip_prefix("rq.store.")
+                    .and_then(|rest| rest.strip_suffix(".count"))
+            })
+            .collect();
+        names.sort_unstable();
+        names
+    };
+    if !stores.is_empty() {
+        let _ = writeln!(
+            out,
+            "\nstores: {} known, {} open   lazy opens {}  evictions {}  created {}  dropped {}",
+            get(cur, "cat.stores"),
+            get(cur, "cat.open_stores"),
+            get(cur, "cat.lazy_opens"),
+            get(cur, "cat.evictions"),
+            get(cur, "cat.creates"),
+            get(cur, "cat.drops"),
+        );
+        let _ = writeln!(
+            out,
+            "  {:<16} {:>10} {:>9} {:>8} {:>8} {:>8} {:>10}",
+            "store", "count", "req/s", "p50", "p90", "p99", "max"
+        );
+        for store in stores {
+            let k = |suffix: &str| format!("rq.store.{store}.{suffix}");
+            let _ = writeln!(
+                out,
+                "  {:<16} {:>10} {:>9.1} {:>8} {:>8} {:>8} {:>10}",
+                store,
+                get(cur, &k("count")),
+                rate(prev, cur, &k("count"), interval),
+                get(cur, &k("p50_us")),
+                get(cur, &k("p90_us")),
+                get(cur, &k("p99_us")),
+                get(cur, &k("max_us")),
+            );
+        }
+    }
     let _ = writeln!(
         out,
         "\nlookup paths: partial hit ratio {}%   p99 partial {}us / full {}us / range_scan {}us",
@@ -140,6 +186,26 @@ mod tests {
         assert!(text.contains("reads in flight 2 (max 5)"), "{text}");
         // Empty families are suppressed.
         assert!(!text.contains("control"), "{text}");
+    }
+
+    #[test]
+    fn dashboard_shows_per_store_panel() {
+        let cur = vec![
+            e("cat.stores", 3),
+            e("cat.open_stores", 2),
+            e("cat.lazy_opens", 4),
+            e("rq.store.default.count", 120),
+            e("rq.store.default.p50_us", 8),
+            e("rq.store.default.p99_us", 90),
+            e("rq.store.orders.count", 40),
+            e("rq.store.orders.p99_us", 55),
+        ];
+        let prev = vec![e("rq.store.orders.count", 20)];
+        let text = render_dashboard(Some(&prev), &cur, Duration::from_secs(2), "x");
+        assert!(text.contains("stores: 3 known, 2 open"), "{text}");
+        assert!(text.contains("default"), "{text}");
+        assert!(text.contains("orders"), "{text}");
+        assert!(text.contains("10.0"), "{text}"); // orders req/s over the delta
     }
 
     #[test]

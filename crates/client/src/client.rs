@@ -90,6 +90,18 @@ pub struct StatEntry {
     pub value: u64,
 }
 
+/// One catalog row from the `list_stores` opcode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreInfo {
+    /// Store name.
+    pub name: String,
+    /// Store id (what `use_store` binds and frames carry).
+    pub id: u16,
+    /// Whether the store is currently resident on the server (false means
+    /// the next request opens it lazily).
+    pub open: bool,
+}
+
 /// A blocking connection to one `axsd` server.
 ///
 /// One request is in flight at a time (the protocol is strictly
@@ -108,6 +120,11 @@ pub struct Client {
     writer: BufWriter<TcpStream>,
     next_req: u64,
     poisoned: bool,
+    /// Store id stamped into every request frame; 0 (the default store)
+    /// until [`Client::use_store`] rebinds it.
+    store: u16,
+    /// Name behind [`Client::store`], for display.
+    store_name: String,
 }
 
 impl Client {
@@ -124,6 +141,8 @@ impl Client {
             writer,
             next_req: 1,
             poisoned: false,
+            store: 0,
+            store_name: "default".to_string(),
         })
     }
 
@@ -182,7 +201,10 @@ impl Client {
     ) -> Result<Vec<Frame>, ClientError> {
         let req_id = self.next_req;
         self.next_req += 1;
-        wire::write_frame(&mut self.writer, &Frame::request(req_id, opcode, payload))?;
+        wire::write_frame(
+            &mut self.writer,
+            &Frame::request_on(req_id, opcode, self.store, payload),
+        )?;
         let mut frames = Vec::new();
         loop {
             let frame = wire::read_frame(&mut self.reader)?;
@@ -479,5 +501,69 @@ impl Client {
     /// Asks the server to shut down gracefully (flushing through the WAL).
     pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
         self.roundtrip(OpCode::Shutdown, Vec::new()).map(|_| ())
+    }
+
+    // ---- catalog ----------------------------------------------------------
+
+    /// The store this connection currently addresses, as `(name, id)`.
+    pub fn current_store(&self) -> (&str, u16) {
+        (&self.store_name, self.store)
+    }
+
+    /// Binds this connection to the named store: every subsequent request
+    /// carries its id. Unknown names surface as [`ClientError::Server`]
+    /// with [`ErrorCode::UnknownStore`] and leave the binding unchanged.
+    pub fn use_store(&mut self, name: &str) -> Result<u16, ClientError> {
+        let mut p = Vec::with_capacity(4 + name.len());
+        put_str(&mut p, name);
+        let out = self.roundtrip(OpCode::UseStore, p)?;
+        let mut r = Reader::new(&out);
+        let id = r.u16()?;
+        r.finish()?;
+        self.store = id;
+        self.store_name = name.to_string();
+        Ok(id)
+    }
+
+    /// Creates a named store in the server's catalog; returns its id.
+    /// Does not rebind this connection — call [`Client::use_store`] for
+    /// that.
+    pub fn create_store(&mut self, name: &str) -> Result<u16, ClientError> {
+        let mut p = Vec::with_capacity(4 + name.len());
+        put_str(&mut p, name);
+        let out = self.roundtrip(OpCode::CreateStore, p)?;
+        let mut r = Reader::new(&out);
+        let id = r.u16()?;
+        r.finish()?;
+        Ok(id)
+    }
+
+    /// Drops a named store (files, WAL, index state). If this connection
+    /// was bound to it, the binding falls back to the default store.
+    pub fn drop_store(&mut self, name: &str) -> Result<(), ClientError> {
+        let mut p = Vec::with_capacity(4 + name.len());
+        put_str(&mut p, name);
+        self.roundtrip(OpCode::DropStore, p)?;
+        if self.store_name == name {
+            self.store = 0;
+            self.store_name = "default".to_string();
+        }
+        Ok(())
+    }
+
+    /// Lists the server's catalog, sorted by name.
+    pub fn list_stores(&mut self) -> Result<Vec<StoreInfo>, ClientError> {
+        let out = self.roundtrip(OpCode::ListStores, Vec::new())?;
+        let mut r = Reader::new(&out);
+        let n = r.u32()? as usize;
+        let mut stores = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = r.str()?;
+            let id = r.u16()?;
+            let open = r.u8()? != 0;
+            stores.push(StoreInfo { name, id, open });
+        }
+        r.finish()?;
+        Ok(stores)
     }
 }

@@ -28,7 +28,9 @@
 //! ```
 
 pub mod client;
+pub mod router;
 pub mod wire;
 
-pub use client::{Client, ClientError, Match, StatEntry};
+pub use client::{Client, ClientError, Match, StatEntry, StoreInfo};
+pub use router::{RouterError, ShardRouter};
 pub use wire::{ErrorCode, Frame, OpCode, Status};

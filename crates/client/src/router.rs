@@ -1,0 +1,296 @@
+//! # Sharding router: store names → `axsd` endpoints
+//!
+//! One `axsd` serves many named stores (see the catalog opcodes); a fleet
+//! serves many `axsd`s. [`ShardRouter`] is the client-side building block
+//! for the second step: a consistent-hash ring over N endpoints that maps
+//! each store name to its owning server, with per-endpoint connection
+//! reuse and typed errors on misroute.
+//!
+//! Consistent hashing (rather than `hash(name) % N`) keeps the mapping
+//! stable under fleet changes: each endpoint owns many small arcs of a
+//! 64-bit ring (virtual nodes), so removing one endpoint remaps only the
+//! stores it owned — every other store keeps its server, its connection,
+//! and its warm adaptive-index state.
+
+use crate::client::{Client, ClientError};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Virtual nodes per endpoint. More points smooth the load split between
+/// endpoints (the std-dev of arc ownership shrinks roughly with √points)
+/// at the cost of a bigger ring; 64 keeps the imbalance within a few
+/// percent for small fleets.
+const DEFAULT_REPLICAS: usize = 64;
+
+/// What went wrong routing a store to an endpoint.
+#[derive(Debug)]
+pub enum RouterError {
+    /// The router was built with no endpoints.
+    NoEndpoints,
+    /// A request for `store` was directed at `endpoint`, but the ring
+    /// owns it at `owner` — the caller is talking to the wrong server.
+    Misroute {
+        /// Store being addressed.
+        store: String,
+        /// Endpoint the ring maps the store to.
+        owner: String,
+        /// Endpoint the caller tried to use.
+        endpoint: String,
+    },
+    /// Connecting to or talking with the owning endpoint failed.
+    Client(ClientError),
+}
+
+impl fmt::Display for RouterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouterError::NoEndpoints => write!(f, "router has no endpoints"),
+            RouterError::Misroute {
+                store,
+                owner,
+                endpoint,
+            } => write!(
+                f,
+                "misroute: store {store:?} is owned by {owner}, not {endpoint}"
+            ),
+            RouterError::Client(e) => write!(f, "routed client: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RouterError {}
+
+impl From<ClientError> for RouterError {
+    fn from(e: ClientError) -> Self {
+        RouterError::Client(e)
+    }
+}
+
+/// FNV-1a (64-bit) with a splitmix64 finalizer. Raw FNV leaves the hashes
+/// of short, near-identical strings ("10.0.0.1:7878#0", "…#1", …)
+/// correlated in the high bits the ring orders by; the finalizer's
+/// avalanche scatters them uniformly around the ring.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// A consistent-hash router over N `axsd` endpoints with per-endpoint
+/// connection reuse.
+///
+/// ```no_run
+/// use axs_client::ShardRouter;
+///
+/// let mut router = ShardRouter::new(vec![
+///     "10.0.0.1:7878".into(),
+///     "10.0.0.2:7878".into(),
+/// ])?;
+/// let client = router.client_for("tenant-42")?; // connected + bound
+/// client.bulk_load("<doc/>")?;
+/// # Ok::<(), axs_client::RouterError>(())
+/// ```
+pub struct ShardRouter {
+    endpoints: Vec<String>,
+    /// Ring point → index into `endpoints`. A store is owned by the first
+    /// point clockwise from its own hash (wrapping).
+    ring: BTreeMap<u64, usize>,
+    /// One reused connection per endpoint, opened on first route.
+    conns: HashMap<usize, Client>,
+}
+
+impl ShardRouter {
+    /// A router over `endpoints` with the default virtual-node count.
+    pub fn new(endpoints: Vec<String>) -> Result<ShardRouter, RouterError> {
+        ShardRouter::with_replicas(endpoints, DEFAULT_REPLICAS)
+    }
+
+    /// A router with `replicas` virtual nodes per endpoint (≥ 1).
+    pub fn with_replicas(
+        endpoints: Vec<String>,
+        replicas: usize,
+    ) -> Result<ShardRouter, RouterError> {
+        if endpoints.is_empty() {
+            return Err(RouterError::NoEndpoints);
+        }
+        let replicas = replicas.max(1);
+        let mut ring = BTreeMap::new();
+        for (i, endpoint) in endpoints.iter().enumerate() {
+            for r in 0..replicas {
+                // Later endpoints win point collisions deterministically;
+                // with 64-bit points collisions are effectively theoretical.
+                ring.insert(fnv1a(format!("{endpoint}#{r}").as_bytes()), i);
+            }
+        }
+        Ok(ShardRouter {
+            endpoints,
+            ring,
+            conns: HashMap::new(),
+        })
+    }
+
+    /// The endpoints this router spreads stores across.
+    pub fn endpoints(&self) -> &[String] {
+        &self.endpoints
+    }
+
+    fn owner_index(&self, store: &str) -> usize {
+        let h = fnv1a(store.as_bytes());
+        // First ring point clockwise from the store's hash, wrapping to
+        // the ring's start.
+        let (_, &i) = self
+            .ring
+            .range(h..)
+            .next()
+            .or_else(|| self.ring.iter().next())
+            .expect("ring is non-empty");
+        i
+    }
+
+    /// The endpoint that owns `store` under the current ring.
+    pub fn route(&self, store: &str) -> &str {
+        &self.endpoints[self.owner_index(store)]
+    }
+
+    /// Errors with [`RouterError::Misroute`] unless `endpoint` owns
+    /// `store` — the guard a server-side proxy or a caller holding its own
+    /// connections uses before issuing a request.
+    pub fn check_route(&self, store: &str, endpoint: &str) -> Result<(), RouterError> {
+        let owner = self.route(store);
+        if owner == endpoint {
+            Ok(())
+        } else {
+            Err(RouterError::Misroute {
+                store: store.to_string(),
+                owner: owner.to_string(),
+                endpoint: endpoint.to_string(),
+            })
+        }
+    }
+
+    /// A connection to the endpoint owning `store`, bound to that store
+    /// (`UseStore`), connecting on first use and reusing it afterwards. A
+    /// connection poisoned by an earlier I/O error is transparently
+    /// re-established; typed server errors (unknown store, busy) pass
+    /// through as [`RouterError::Client`].
+    pub fn client_for(&mut self, store: &str) -> Result<&mut Client, RouterError> {
+        let i = self.owner_index(store);
+        if self.conns.get(&i).is_some_and(Client::is_poisoned) {
+            self.conns.remove(&i);
+        }
+        if !self.conns.contains_key(&i) {
+            let client = Client::connect(self.endpoints[i].as_str())?;
+            self.conns.insert(i, client);
+        }
+        let client = self.conns.get_mut(&i).expect("inserted above");
+        if client.current_store().0 != store {
+            client.use_store(store)?;
+        }
+        Ok(client)
+    }
+
+    /// Drops the cached connection to `endpoint` (e.g. after the caller
+    /// observed it misbehaving); the next route reconnects.
+    pub fn disconnect(&mut self, endpoint: &str) {
+        if let Some(i) = self.endpoints.iter().position(|e| e == endpoint) {
+            self.conns.remove(&i);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn endpoints(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("10.0.0.{i}:7878")).collect()
+    }
+
+    #[test]
+    fn empty_fleet_is_a_typed_error() {
+        assert!(matches!(
+            ShardRouter::new(Vec::new()),
+            Err(RouterError::NoEndpoints)
+        ));
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        let router = ShardRouter::new(endpoints(3)).unwrap();
+        for i in 0..100 {
+            let store = format!("tenant-{i}");
+            let a = router.route(&store).to_string();
+            let b = router.route(&store).to_string();
+            assert_eq!(a, b);
+            assert!(router.endpoints().contains(&a));
+        }
+    }
+
+    #[test]
+    fn ring_spreads_stores_across_all_endpoints() {
+        let router = ShardRouter::new(endpoints(4)).unwrap();
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for i in 0..400 {
+            *counts
+                .entry(router.route(&format!("tenant-{i}")).to_string())
+                .or_default() += 1;
+        }
+        assert_eq!(counts.len(), 4, "every endpoint owns some stores");
+        for (endpoint, n) in counts {
+            assert!(
+                (20..=200).contains(&n),
+                "{endpoint} owns {n}/400 — ring badly imbalanced"
+            );
+        }
+    }
+
+    #[test]
+    fn removing_an_endpoint_only_remaps_its_own_stores() {
+        let full = ShardRouter::new(endpoints(4)).unwrap();
+        let mut shrunk_eps = endpoints(4);
+        let removed = shrunk_eps.remove(3);
+        let shrunk = ShardRouter::new(shrunk_eps).unwrap();
+        for i in 0..200 {
+            let store = format!("tenant-{i}");
+            let before = full.route(&store);
+            if before != removed {
+                assert_eq!(
+                    before,
+                    shrunk.route(&store),
+                    "{store} moved off a surviving endpoint"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn misroute_is_typed_with_owner_and_culprit() {
+        let router = ShardRouter::new(endpoints(2)).unwrap();
+        let store = "tenant-7";
+        let owner = router.route(store).to_string();
+        let wrong = router
+            .endpoints()
+            .iter()
+            .find(|e| **e != owner)
+            .unwrap()
+            .clone();
+        router.check_route(store, &owner).unwrap();
+        match router.check_route(store, &wrong) {
+            Err(RouterError::Misroute {
+                store: s,
+                owner: o,
+                endpoint: e,
+            }) => {
+                assert_eq!(s, store);
+                assert_eq!(o, owner);
+                assert_eq!(e, wrong);
+            }
+            other => panic!("expected Misroute, got {other:?}"),
+        }
+    }
+}

@@ -10,6 +10,8 @@
 //! u64  request id (echoed verbatim in every response frame)
 //! u8   opcode (see OpCode; responses echo the request's opcode)
 //! u8   status (requests: 0; responses: 0 = Done, 1 = More, 2 = Err)
+//! u16  store id (requests: which store to address, 0 = default;
+//!      responses echo the request's; catalog opcodes ignore it)
 //! [u8] payload (opcode-specific)
 //! ```
 //!
@@ -23,16 +25,17 @@ use std::io::{self, Read, Write};
 /// First four bytes of the hello exchanged by both sides.
 pub const MAGIC: [u8; 4] = *b"AXSD";
 
-/// Protocol version carried in the hello.
-pub const VERSION: u8 = 1;
+/// Protocol version carried in the hello. Version 2 added the `u16`
+/// store id to the frame header and the catalog opcodes (25–28).
+pub const VERSION: u8 = 2;
 
 /// Hard cap on one frame's body, guarding both sides against allocating
 /// for garbage or hostile length prefixes.
 pub const FRAME_MAX: usize = 32 << 20;
 
 /// Fixed part of a frame after the length prefix: request id + opcode +
-/// status.
-pub const FRAME_HEADER: usize = 8 + 1 + 1;
+/// status + store id.
+pub const FRAME_HEADER: usize = 8 + 1 + 1 + 2;
 
 /// Request opcodes. Responses echo the request's opcode byte.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,6 +101,19 @@ pub enum OpCode {
     /// a self-describing extended counter/percentile payload (same shape
     /// as [`OpCode::Stats`], so the entry set can grow freely).
     Metrics = 24,
+    /// Create a named store in the catalog: `str name` → `u16 id`.
+    /// Ignores the header's store id.
+    CreateStore = 25,
+    /// Drop a named store (its files, WAL, and index state): `str name` →
+    /// empty. The `default` store cannot be dropped. Ignores the header's
+    /// store id.
+    DropStore = 26,
+    /// List the catalog: empty → `u32 n, n × (str name, u16 id,
+    /// u8 open)`. Ignores the header's store id.
+    ListStores = 27,
+    /// Resolve a store name for this connection: `str name` → `u16 id`.
+    /// The client stamps the returned id into subsequent frame headers.
+    UseStore = 28,
 }
 
 impl OpCode {
@@ -129,6 +145,10 @@ impl OpCode {
             22 => Sleep,
             23 => Shutdown,
             24 => Metrics,
+            25 => CreateStore,
+            26 => DropStore,
+            27 => ListStores,
+            28 => UseStore,
             _ => return None,
         })
     }
@@ -181,6 +201,11 @@ pub enum ErrorCode {
     TooLarge = 8,
     /// The server is shutting down.
     ShuttingDown = 9,
+    /// The frame's store id (or a named store) is not in the catalog —
+    /// never bound, dropped, or stale from before a drop + recreate.
+    UnknownStore = 10,
+    /// `CreateStore` on a name that already exists.
+    StoreExists = 11,
 }
 
 impl ErrorCode {
@@ -197,6 +222,8 @@ impl ErrorCode {
             7 => Unsupported,
             8 => TooLarge,
             9 => ShuttingDown,
+            10 => UnknownStore,
+            11 => StoreExists,
             _ => return None,
         })
     }
@@ -214,6 +241,8 @@ impl fmt::Display for ErrorCode {
             ErrorCode::Unsupported => "unsupported",
             ErrorCode::TooLarge => "too-large",
             ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::UnknownStore => "unknown-store",
+            ErrorCode::StoreExists => "store-exists",
         })
     }
 }
@@ -227,27 +256,40 @@ pub struct Frame {
     pub opcode: u8,
     /// Status byte (see [`Status`]).
     pub status: u8,
+    /// Store id: requests address this store (0 = default); responses
+    /// echo the request's. Catalog opcodes ignore it.
+    pub store: u16,
     /// Opcode-specific payload.
     pub payload: Vec<u8>,
 }
 
 impl Frame {
-    /// A request frame.
+    /// A request frame addressing the default store (callers with a
+    /// `UseStore` binding set [`Frame::store`] afterwards, or use
+    /// [`Frame::request_on`]).
     pub fn request(req_id: u64, opcode: OpCode, payload: Vec<u8>) -> Frame {
+        Frame::request_on(req_id, opcode, 0, payload)
+    }
+
+    /// A request frame addressing a specific store id.
+    pub fn request_on(req_id: u64, opcode: OpCode, store: u16, payload: Vec<u8>) -> Frame {
         Frame {
             req_id,
             opcode: opcode as u8,
             status: Status::Done as u8,
+            store,
             payload,
         }
     }
 
-    /// A final (`Done`) response frame.
+    /// A final (`Done`) response frame. The server stamps the request's
+    /// store id onto every response before writing it.
     pub fn done(req_id: u64, opcode: u8, payload: Vec<u8>) -> Frame {
         Frame {
             req_id,
             opcode,
             status: Status::Done as u8,
+            store: 0,
             payload,
         }
     }
@@ -258,6 +300,7 @@ impl Frame {
             req_id,
             opcode,
             status: Status::More as u8,
+            store: 0,
             payload,
         }
     }
@@ -271,6 +314,7 @@ impl Frame {
             req_id,
             opcode,
             status: Status::Err as u8,
+            store: 0,
             payload,
         }
     }
@@ -355,6 +399,7 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
     header[4..12].copy_from_slice(&frame.req_id.to_le_bytes());
     header[12] = frame.opcode;
     header[13] = frame.status;
+    header[14..16].copy_from_slice(&frame.store.to_le_bytes());
     w.write_all(&header)?;
     w.write_all(&frame.payload)?;
     w.flush()
@@ -385,6 +430,7 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Frame> {
         req_id: u64::from_le_bytes(fixed[0..8].try_into().unwrap()),
         opcode: fixed[8],
         status: fixed[9],
+        store: u16::from_le_bytes(fixed[10..12].try_into().unwrap()),
         payload,
     })
 }
@@ -446,6 +492,7 @@ impl FrameDecoder {
                         req_id: u64::from_le_bytes(self.buf[4..12].try_into().unwrap()),
                         opcode: self.buf[12],
                         status: self.buf[13],
+                        store: u16::from_le_bytes(self.buf[14..16].try_into().unwrap()),
                         payload: self.buf[4 + FRAME_HEADER..4 + body].to_vec(),
                     };
                     self.buf.clear();
@@ -480,6 +527,11 @@ impl FrameDecoder {
 }
 
 // ---- payload encoding -----------------------------------------------------
+
+/// Appends a `u16`.
+pub fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
 
 /// Appends a `u32`.
 pub fn put_u32(out: &mut Vec<u8>, v: u32) {
@@ -725,6 +777,41 @@ mod tests {
             }
         }
         assert_eq!(OpCode::from_u8(0), None);
-        assert_eq!(OpCode::from_u8(25), None);
+        assert_eq!(OpCode::from_u8(29), None);
+    }
+
+    #[test]
+    fn store_id_rides_the_frame_header() {
+        let frame = Frame::request_on(11, OpCode::ReadNode, 7, vec![1, 2, 3]);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &frame).unwrap();
+        let back = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.store, 7);
+        assert_eq!(back, frame);
+
+        // The resumable decoder sees the same id.
+        let mut decoder = FrameDecoder::new();
+        let decoded = decoder.poll(&mut buf.as_slice()).unwrap();
+        assert_eq!(decoded.store, 7);
+
+        // Default-store requests carry id 0; responses start at 0 until
+        // the server stamps them.
+        assert_eq!(Frame::request(1, OpCode::Ping, Vec::new()).store, 0);
+        assert_eq!(Frame::done(1, OpCode::Ping as u8, Vec::new()).store, 0);
+    }
+
+    #[test]
+    fn catalog_opcodes_and_errors_decode() {
+        for (b, op) in [
+            (25, OpCode::CreateStore),
+            (26, OpCode::DropStore),
+            (27, OpCode::ListStores),
+            (28, OpCode::UseStore),
+        ] {
+            assert_eq!(OpCode::from_u8(b), Some(op));
+        }
+        assert_eq!(ErrorCode::from_u16(10), Some(ErrorCode::UnknownStore));
+        assert_eq!(ErrorCode::from_u16(11), Some(ErrorCode::StoreExists));
+        assert_eq!(ErrorCode::UnknownStore.to_string(), "unknown-store");
     }
 }

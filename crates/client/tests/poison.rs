@@ -21,6 +21,7 @@ fn wire_error_poisons_the_client() {
             req_id: req.req_id,
             opcode: req.opcode,
             status: 9,
+            store: req.store,
             payload: Vec::new(),
         };
         wire::write_frame(&mut sock, &garbage).unwrap();

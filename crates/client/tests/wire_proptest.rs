@@ -50,12 +50,14 @@ fn frame_strategy() -> impl Strategy<Value = Frame> {
         any::<u64>(),
         any::<u8>(),
         any::<u8>(),
+        any::<u16>(),
         proptest::collection::vec(any::<u8>(), 0..200),
     )
-        .prop_map(|(req_id, opcode, status, payload)| Frame {
+        .prop_map(|(req_id, opcode, status, store, payload)| Frame {
             req_id,
             opcode,
             status,
+            store,
             payload,
         })
 }

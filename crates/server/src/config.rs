@@ -43,6 +43,10 @@ pub struct ServerConfig {
     /// to leave on in production. Off reduces observability to the plain
     /// `Stats` counters.
     pub trace: bool,
+    /// Catalog stores held open (resident) at once; the least-recently-
+    /// used idle store is flushed and closed when one more must open.
+    /// Stores with requests in flight are never evicted.
+    pub max_open_stores: usize,
 }
 
 impl Default for ServerConfig {
@@ -58,6 +62,7 @@ impl Default for ServerConfig {
             commit_window: Duration::ZERO,
             slow_request: Some(Duration::from_millis(50)),
             trace: true,
+            max_open_stores: 8,
         }
     }
 }
@@ -68,6 +73,7 @@ impl ServerConfig {
         self.workers = self.workers.max(1);
         self.queue_depth = self.queue_depth.max(1);
         self.max_connections = self.max_connections.max(1);
+        self.max_open_stores = self.max_open_stores.max(1);
         self
     }
 }

@@ -1,14 +1,17 @@
-//! Request execution: opcode dispatch against the shared store, isolated
-//! by the hierarchical lock manager.
+//! Request execution: opcode dispatch against the store catalog, isolated
+//! per store by that store's hierarchical lock manager.
 //!
-//! Every request runs as one short transaction: acquire the locks its
-//! opcode needs (shared for reads, exclusive for writes, scoped to the
-//! range subtree the target node lives in where one can be located),
-//! execute against the store, release everything (strict two-phase — all
-//! locks at the end). A request picked as a deadlock victim is answered
-//! with a typed `Lock` error and can simply be retried by the client.
+//! Every request frame names a store (the `u16` id in the frame header, 0
+//! = default); dispatch resolves it through the [`Catalog`] — opening the
+//! store lazily on first access — and runs as one short transaction:
+//! acquire the locks its opcode needs (shared for reads, exclusive for
+//! writes, scoped to the range subtree the target node lives in where one
+//! can be located), execute against that store, release everything
+//! (strict two-phase — all locks at the end). A request picked as a
+//! deadlock victim is answered with a typed `Lock` error and can simply
+//! be retried by the client.
 //!
-//! Physical access to the [`XmlStore`] is a reader-writer lock mirroring
+//! Physical access to each [`XmlStore`] is a reader-writer lock mirroring
 //! the logical modes: the store's entire read API works through `&self`
 //! (partial-index memoization and statistics are internally synchronized),
 //! so every read-only opcode executes under *shared* access and genuinely
@@ -18,16 +21,20 @@
 //! durability is batched with its neighbors'. The lock manager layers the
 //! *logical* concurrency control of the paper's three-layer hierarchy
 //! (store / block / range) on top: admission, isolation, and deadlock
-//! detection for many sessions.
+//! detection for many sessions. Both the reader-writer lock and the lock
+//! manager live on the store's catalog slot, so sessions on different
+//! stores share nothing and never contend.
 
 use crate::metrics::EngineMetrics;
 use crate::stats::ServerStats;
-use axs_client::wire::{put_str, put_u32, put_u64, ErrorCode, Frame, OpCode, Reader, WireError};
+use axs_catalog::{Catalog, CatalogError, StoreSlot};
+use axs_client::wire::{
+    put_str, put_u16, put_u32, put_u64, ErrorCode, Frame, OpCode, Reader, WireError,
+};
 use axs_core::{StoreError, XmlStore, GC_HISTOGRAM_BOUNDS, GC_HISTOGRAM_BUCKETS};
-use axs_lock::{LockError, LockManager, LockMode, Resource};
+use axs_lock::{LockError, LockMode, Resource};
 use axs_xdm::{NodeId, Token};
 use axs_xml::{parse_document, parse_fragment, serialize, ParseOptions, SerializeOptions};
-use parking_lot::RwLock;
 use std::sync::Arc;
 
 /// Streamed `ReadAll` chunk size: big enough to amortize framing, small
@@ -98,11 +105,24 @@ impl From<LockError> for ExecError {
     }
 }
 
-/// The shared execution engine: one store, one lock manager, the server's
-/// own counters. Shared by every session and worker.
+impl From<CatalogError> for ExecError {
+    fn from(e: CatalogError) -> Self {
+        let code = match &e {
+            CatalogError::UnknownStore(_) => ErrorCode::UnknownStore,
+            CatalogError::StoreExists(_) => ErrorCode::StoreExists,
+            CatalogError::InvalidName(_) => ErrorCode::Protocol,
+            CatalogError::NoRoot | CatalogError::CannotDropDefault => ErrorCode::Unsupported,
+            CatalogError::Store(_) | CatalogError::Io(_) => ErrorCode::Store,
+        };
+        ExecError::new(code, e.to_string())
+    }
+}
+
+/// The shared execution engine: the store catalog plus the server's own
+/// counters. Shared by every session and worker; per-store state (the
+/// reader-writer lock, the lock manager) lives on each catalog slot.
 pub(crate) struct Engine {
-    store: RwLock<XmlStore>,
-    locks: LockManager,
+    catalog: Arc<Catalog>,
     stats: Arc<ServerStats>,
     metrics: Arc<EngineMetrics>,
     debug_sleep: bool,
@@ -110,14 +130,13 @@ pub(crate) struct Engine {
 
 impl Engine {
     pub(crate) fn new(
-        store: XmlStore,
+        catalog: Arc<Catalog>,
         stats: Arc<ServerStats>,
         metrics: Arc<EngineMetrics>,
         debug_sleep: bool,
     ) -> Engine {
         Engine {
-            store: RwLock::new(store),
-            locks: LockManager::new(),
+            catalog,
             stats,
             metrics,
             debug_sleep,
@@ -130,15 +149,32 @@ impl Engine {
         &self.metrics
     }
 
-    /// Flushes the store through the WAL (graceful-shutdown path; callers
-    /// must ensure no workers are still executing).
-    pub(crate) fn flush_store(&self) -> Result<(), StoreError> {
-        self.store.write().flush()
+    /// The metric label for a frame's store id: the live store name, or
+    /// `"?"` for ids the catalog no longer (or never) knew.
+    pub(crate) fn store_label(&self, store_id: u16) -> String {
+        self.catalog
+            .name_of(store_id)
+            .unwrap_or_else(|| "?".to_string())
+    }
+
+    /// Flushes every open store through its WAL (graceful-shutdown path;
+    /// callers must ensure no workers are still executing).
+    pub(crate) fn flush_stores(&self) -> Result<(), CatalogError> {
+        self.catalog.flush_all()
     }
 
     /// Executes one request frame, producing the full ordered response.
-    /// Never panics outward; failures become typed error frames.
+    /// Never panics outward; failures become typed error frames. Every
+    /// response frame echoes the request's store id.
     pub(crate) fn dispatch(&self, req: &Frame) -> DispatchOutcome {
+        let mut outcome = self.dispatch_unstamped(req);
+        for frame in &mut outcome.frames {
+            frame.store = req.store;
+        }
+        outcome
+    }
+
+    fn dispatch_unstamped(&self, req: &Frame) -> DispatchOutcome {
         let Some(opcode) = OpCode::from_u8(req.opcode) else {
             ServerStats::bump(&self.stats.protocol_errors);
             return DispatchOutcome::done(vec![Frame::error(
@@ -173,10 +209,67 @@ impl Engine {
 
     fn dispatch_inner(&self, req: &Frame, opcode: OpCode) -> Result<Vec<Frame>, ExecError> {
         let _span = axs_obs::span_enter(axs_obs::EventKind::Execute, opcode as u64, 0);
-        match self.intent_of(req, opcode)? {
-            Intent::None => self.run(req, opcode),
-            intent => self.run_locked(req, opcode, intent),
+        use OpCode::*;
+        if matches!(opcode, CreateStore | DropStore | ListStores | UseStore) {
+            // Catalog opcodes address the catalog itself, not a store; the
+            // frame's store id is deliberately ignored and the catalog's
+            // own mutex is the only synchronization they need.
+            return self.run_catalog(req, opcode);
         }
+        // Everything else addresses the store in the frame header: resolve
+        // it (lazy-opening it on first access), then run under its locks.
+        let slot = self.catalog.slot_by_id(req.store)?;
+        match self.intent_of(req, opcode)? {
+            Intent::None => self.run(req, opcode, &slot),
+            intent => self.run_locked(req, opcode, intent, &slot),
+        }
+    }
+
+    /// Catalog management opcodes: create / drop / list / resolve.
+    fn run_catalog(&self, req: &Frame, opcode: OpCode) -> Result<Vec<Frame>, ExecError> {
+        let id = req.req_id;
+        let op = req.opcode;
+        let mut r = Reader::new(&req.payload);
+        let frames = match opcode {
+            OpCode::CreateStore => {
+                let name = r.str()?;
+                r.finish()?;
+                let store_id = self.catalog.create(&name)?;
+                ServerStats::bump(&self.stats.stores_created);
+                let mut p = Vec::new();
+                put_u16(&mut p, store_id);
+                vec![Frame::done(id, op, p)]
+            }
+            OpCode::DropStore => {
+                let name = r.str()?;
+                r.finish()?;
+                self.catalog.drop_store(&name)?;
+                ServerStats::bump(&self.stats.stores_dropped);
+                vec![Frame::done(id, op, Vec::new())]
+            }
+            OpCode::ListStores => {
+                r.finish()?;
+                let stores = self.catalog.list();
+                let mut p = Vec::new();
+                put_u32(&mut p, stores.len() as u32);
+                for s in stores {
+                    put_str(&mut p, &s.name);
+                    put_u16(&mut p, s.id);
+                    p.push(u8::from(s.open));
+                }
+                vec![Frame::done(id, op, p)]
+            }
+            OpCode::UseStore => {
+                let name = r.str()?;
+                r.finish()?;
+                let store_id = self.catalog.resolve(&name)?;
+                let mut p = Vec::new();
+                put_u16(&mut p, store_id);
+                vec![Frame::done(id, op, p)]
+            }
+            _ => unreachable!("not a catalog opcode"),
+        };
+        Ok(frames)
     }
 
     /// Decodes enough of the payload to know what the opcode will lock.
@@ -192,6 +285,9 @@ impl Engine {
                 Intent::ReadStore
             }
             BulkLoad | Flush | Compact => Intent::WriteStore,
+            CreateStore | DropStore | ListStores | UseStore => {
+                unreachable!("catalog opcodes dispatch before intent")
+            }
         })
     }
 
@@ -213,19 +309,20 @@ impl Engine {
         req: &Frame,
         opcode: OpCode,
         intent: Intent,
+        slot: &StoreSlot,
     ) -> Result<Vec<Frame>, ExecError> {
-        let tx = self.locks.begin();
+        let tx = slot.locks.begin();
         let result = (|| {
             match intent {
-                Intent::ReadStore => self.locks.lock(tx, Resource::Store, LockMode::S)?,
-                Intent::WriteStore => self.locks.lock(tx, Resource::Store, LockMode::X)?,
-                Intent::ReadNode(id) => self.lock_node(tx, id, LockMode::S)?,
-                Intent::WriteNode(id) => self.lock_node(tx, id, LockMode::X)?,
+                Intent::ReadStore => slot.locks.lock(tx, Resource::Store, LockMode::S)?,
+                Intent::WriteStore => slot.locks.lock(tx, Resource::Store, LockMode::X)?,
+                Intent::ReadNode(id) => self.lock_node(slot, tx, id, LockMode::S)?,
+                Intent::WriteNode(id) => self.lock_node(slot, tx, id, LockMode::X)?,
                 Intent::None => {}
             }
-            self.run(req, opcode)
+            self.run(req, opcode, slot)
         })();
-        self.locks.unlock_all(tx);
+        slot.locks.unlock_all(tx);
         result
     }
 
@@ -234,29 +331,35 @@ impl Engine {
     /// grant. Nodes the Range Index does not cover (not yet inserted, or
     /// deleted) fall back to a whole-store lock so the store itself can
     /// produce the precise `NodeNotFound` error under protection.
-    fn lock_node(&self, tx: axs_lock::TxId, id: NodeId, mode: LockMode) -> Result<(), ExecError> {
+    fn lock_node(
+        &self,
+        slot: &StoreSlot,
+        tx: axs_lock::TxId,
+        id: NodeId,
+        mode: LockMode,
+    ) -> Result<(), ExecError> {
         // Bounded retries: under heavy splitting the mapping may keep
         // moving; degrade to a whole-store lock rather than live-lock.
         for _ in 0..4 {
-            let located = self.store.read().locate_range(id)?;
+            let located = slot.store.read().locate_range(id)?;
             let Some((block, range)) = located else {
                 let store_mode = if mode == LockMode::S {
                     LockMode::S
                 } else {
                     LockMode::X
                 };
-                self.locks.lock(tx, Resource::Store, store_mode)?;
+                slot.locks.lock(tx, Resource::Store, store_mode)?;
                 return Ok(());
             };
-            self.locks
+            slot.locks
                 .lock(tx, Resource::Range { block, range }, mode)?;
-            if self.store.read().locate_range(id)? == Some((block, range)) {
+            if slot.store.read().locate_range(id)? == Some((block, range)) {
                 return Ok(());
             }
             // Mapping moved while we waited; drop and retry from scratch.
-            self.locks.unlock_all(tx);
+            slot.locks.unlock_all(tx);
         }
-        self.locks.lock(
+        slot.locks.lock(
             tx,
             Resource::Store,
             if mode == LockMode::S {
@@ -272,24 +375,24 @@ impl Engine {
     /// deliberately skipped for lock-free opcodes). Read opcodes run under
     /// shared physical access; write opcodes take exclusive access, commit,
     /// and wait for group-commit durability only after releasing it.
-    fn run(&self, req: &Frame, opcode: OpCode) -> Result<Vec<Frame>, ExecError> {
+    fn run(&self, req: &Frame, opcode: OpCode, slot: &StoreSlot) -> Result<Vec<Frame>, ExecError> {
         use OpCode::*;
         match opcode {
             Ping | Sleep => self.run_control(req, opcode),
             ReadNode | Value | Children | Parent | Query | Flwor | ReadAll | Stats | Metrics
             | Report | Ranges | Verify => {
-                let store = self.store.read();
+                let store = slot.store.read();
                 // The guard keeps `reads_in_flight` honest even if the
                 // opcode body panics (satellite fix: previously a bare
                 // decrement that a panic would skip).
                 let _in_flight = self.stats.read_enter();
-                self.run_read(req, opcode, &store)
+                self.run_read(req, opcode, &store, slot)
             }
             BulkLoad | InsertFirst | InsertLast | InsertBefore | InsertAfter | Delete | Replace
             | Flush | Compact => {
                 ServerStats::bump(&self.stats.writes_exclusive);
                 let (frames, ticket) = {
-                    let mut store = self.store.write();
+                    let mut store = slot.store.write();
                     let frames = self.run_write(req, opcode, &mut store)?;
                     // Flush is its own durability point; everything else
                     // commits here and waits below, outside the lock.
@@ -306,7 +409,9 @@ impl Engine {
                 }
                 Ok(frames)
             }
-            Shutdown => unreachable!("handled by dispatch"),
+            Shutdown | CreateStore | DropStore | ListStores | UseStore => {
+                unreachable!("handled by dispatch")
+            }
         }
     }
 
@@ -343,6 +448,7 @@ impl Engine {
         req: &Frame,
         opcode: OpCode,
         store: &XmlStore,
+        slot: &StoreSlot,
     ) -> Result<Vec<Frame>, ExecError> {
         use OpCode::*;
         let id = req.req_id;
@@ -443,7 +549,7 @@ impl Engine {
             }
             Stats => {
                 r.finish()?;
-                let entries = self.stat_entries(store);
+                let entries = self.stat_entries(store, slot);
                 let mut p = Vec::new();
                 put_u32(&mut p, entries.len() as u32);
                 for (name, value) in entries {
@@ -454,7 +560,7 @@ impl Engine {
             }
             Metrics => {
                 r.finish()?;
-                let counters = self.stat_entries(store);
+                let counters = self.stat_entries(store, slot);
                 let text = self.metrics.prometheus_text(&counters);
                 let entries = self.metrics.extended_entries(&counters);
                 let mut p = Vec::new();
@@ -589,10 +695,12 @@ impl Engine {
     }
 
     /// Every counter the server can name: store ops, buffer pools, partial
-    /// index, lock manager, group commit, and the server's own session
-    /// counters. `store` is the shared borrow the Stats opcode already
-    /// holds.
-    fn stat_entries(&self, store: &XmlStore) -> Vec<(String, u64)> {
+    /// index, lock manager, group commit, catalog activity, and the
+    /// server's own session counters. `store` is the shared borrow the
+    /// Stats opcode already holds; the `store.*`/`pool.*`/`partial.*`/
+    /// `wal.*`/`lock.*` groups describe the store the request addressed,
+    /// while `cat.*` and `server.*` are process-wide.
+    fn stat_entries(&self, store: &XmlStore, slot: &StoreSlot) -> Vec<(String, u64)> {
         let mut out = Vec::with_capacity(60);
         {
             let s = store.stats();
@@ -648,7 +756,7 @@ impl Engine {
                 }
             }
         }
-        let locks = self.locks.stats();
+        let locks = slot.locks.stats();
         out.push(("lock.acquisitions".to_string(), locks.acquisitions));
         out.push((
             "lock.fast_shared_grants".to_string(),
@@ -656,6 +764,14 @@ impl Engine {
         ));
         out.push(("lock.waits".to_string(), locks.waits));
         out.push(("lock.deadlocks".to_string(), locks.deadlocks));
+        let (cat, live, open) = self.catalog.stats();
+        out.push(("cat.stores".to_string(), live as u64));
+        out.push(("cat.open_stores".to_string(), open as u64));
+        out.push(("cat.lazy_opens".to_string(), cat.lazy_opens));
+        out.push(("cat.evictions".to_string(), cat.evictions));
+        out.push(("cat.creates".to_string(), cat.creates));
+        out.push(("cat.drops".to_string(), cat.drops));
+        out.push(("cat.orphans_swept".to_string(), cat.orphans_swept));
         for (name, value) in self.stats.snapshot() {
             out.push((name.to_string(), value));
         }

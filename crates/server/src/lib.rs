@@ -6,9 +6,12 @@
 //! system: hierarchical range/block locking (`axs-lock`), a partial index
 //! designed around concurrent updaters (§5, §7) and a crash-safe WAL. This
 //! crate puts a network face on those ingredients: a multi-threaded TCP
-//! server that owns one [`axs_core::XmlStore`] and serves many concurrent
-//! sessions over the length-prefixed binary protocol defined in
-//! [`axs_client::wire`].
+//! server that owns a [`Catalog`] of named [`axs_core::XmlStore`]s and
+//! serves many concurrent sessions over the length-prefixed binary
+//! protocol defined in [`axs_client::wire`]. Every request frame names
+//! its target store by id; stores are opened lazily on first access and
+//! each has its own WAL, adaptive-index state, and lock hierarchy, so
+//! sessions on different stores share nothing but the worker pool.
 //!
 //! Architecture, per connection and per request:
 //!
@@ -43,6 +46,7 @@ mod pool;
 mod server;
 mod stats;
 
+pub use axs_catalog::{Catalog, CatalogConfig, CatalogError};
 pub use config::ServerConfig;
 pub use server::{Server, ServerError, ServerHandle};
 pub use stats::{ReadGuard, ServerStats};

@@ -23,7 +23,8 @@
 use axs_client::wire::OpCode;
 use axs_obs::{FinishedTrace, Histogram, HistogramSnapshot, TraceRing};
 use parking_lot::Mutex;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Slow-log lines retained in process for inspection (`ServerHandle`).
@@ -89,6 +90,7 @@ impl OpFamily {
             }
             Some(BulkLoad | Flush | Compact) => OpFamily::Bulk,
             Some(Ping | Sleep | Shutdown) | None => OpFamily::Control,
+            Some(CreateStore | DropStore | ListStores | UseStore) => OpFamily::Control,
         }
     }
 }
@@ -104,7 +106,13 @@ pub(crate) fn opcode_name(opcode_byte: u8) -> String {
 /// Per-server observability state: request-latency histograms by opcode
 /// family, the retained-trace ring, and the slow-request log.
 pub(crate) struct EngineMetrics {
+    /// Aggregate per-family latency across every store (the series the
+    /// unlabeled `axs_request_duration_us{family=...}` exposition carries).
     families: [Histogram; OpFamily::ALL.len()],
+    /// Per-store per-family latency, keyed by store name; backs the
+    /// additional `store="..."`-labeled series and `rq.store.<name>.*`
+    /// entries. BTreeMap keeps the exposition order deterministic.
+    by_store: Mutex<BTreeMap<String, Arc<[Histogram; OpFamily::ALL.len()]>>>,
     ring: TraceRing,
     slow_threshold: Option<Duration>,
     slow_log: Mutex<VecDeque<String>>,
@@ -114,22 +122,33 @@ impl EngineMetrics {
     pub(crate) fn new(slow_threshold: Option<Duration>) -> EngineMetrics {
         EngineMetrics {
             families: [const { Histogram::new() }; OpFamily::ALL.len()],
+            by_store: Mutex::new(BTreeMap::new()),
             ring: TraceRing::default(),
             slow_threshold,
             slow_log: Mutex::new(VecDeque::new()),
         }
     }
 
-    /// Records one finished request: family latency, the slow-request log
-    /// (when over threshold) and trace retention.
+    /// Records one finished request: family latency (aggregate and under
+    /// the request's store label), the slow-request log (when over
+    /// threshold) and trace retention.
     pub(crate) fn finish_request(
         &self,
         opcode_byte: u8,
+        store: &str,
         total: Duration,
         trace: Option<FinishedTrace>,
     ) {
         let total_us = total.as_micros().min(u64::MAX as u128) as u64;
-        self.families[OpFamily::of(opcode_byte).index()].record(total_us);
+        let family = OpFamily::of(opcode_byte).index();
+        self.families[family].record(total_us);
+        let per_store = {
+            let mut map = self.by_store.lock();
+            map.entry(store.to_string())
+                .or_insert_with(|| Arc::new([const { Histogram::new() }; OpFamily::ALL.len()]))
+                .clone()
+        };
+        per_store[family].record(total_us);
         if self.slow_threshold.is_some_and(|t| total >= t) {
             let name = opcode_name(opcode_byte);
             let line = match &trace {
@@ -168,6 +187,21 @@ impl EngineMetrics {
             .collect()
     }
 
+    /// Per-store per-family latency snapshots, store names sorted.
+    fn store_snapshots(&self) -> Vec<(String, Vec<(&'static str, HistogramSnapshot)>)> {
+        self.by_store
+            .lock()
+            .iter()
+            .map(|(store, hists)| {
+                let families = OpFamily::ALL
+                    .iter()
+                    .map(|f| (f.name(), hists[f.index()].snapshot()))
+                    .collect();
+                (store.clone(), families)
+            })
+            .collect()
+    }
+
     /// The Prometheus-style exposition text. `counters` is the full
     /// `Stats`-opcode entry list (already holding the store borrow).
     pub(crate) fn prometheus_text(&self, counters: &[(String, u64)]) -> String {
@@ -185,15 +219,27 @@ impl EngineMetrics {
             };
             out.push_str(&format!("# TYPE {series} {kind}\n{series} {value}\n"));
         }
+        // Aggregate family series first (label shape unchanged from v1),
+        // then the same histogram broken down with a `store` label —
+        // per-family per-store series only for families that saw traffic
+        // on that store, so the exposition stays proportional to use.
+        let mut request_labeled: Vec<(String, HistogramSnapshot)> = self
+            .family_snapshots()
+            .iter()
+            .map(|(name, s)| (format!("family=\"{name}\""), *s))
+            .collect();
+        for (store, families) in self.store_snapshots() {
+            for (family, s) in families {
+                if s.count > 0 {
+                    request_labeled.push((format!("family=\"{family}\",store=\"{store}\""), s));
+                }
+            }
+        }
         emit_histogram(
             &mut out,
             "axs_request_duration_us",
             "request latency by opcode family, microseconds",
-            &self
-                .family_snapshots()
-                .iter()
-                .map(|(name, s)| (format!("family=\"{name}\""), *s))
-                .collect::<Vec<_>>(),
+            &request_labeled,
         );
         let g = axs_obs::global();
         emit_histogram(
@@ -232,6 +278,16 @@ impl EngineMetrics {
         let mut out: Vec<(String, u64)> = counters.to_vec();
         for (name, s) in self.family_snapshots() {
             push_summary(&mut out, &format!("rq.{name}"), &s);
+        }
+        // Per-store rollup: one summary per store, families merged, so
+        // `axs top` can show a store breakdown in one round trip without
+        // the entry list growing as stores × families.
+        for (store, families) in self.store_snapshots() {
+            let mut merged = HistogramSnapshot::default();
+            for (_, s) in families {
+                merged.merge(&s);
+            }
+            push_summary(&mut out, &format!("rq.store.{store}"), &merged);
         }
         let g = axs_obs::global();
         for (path, s) in [
@@ -328,10 +384,12 @@ mod tests {
 
     #[test]
     fn families_cover_every_opcode() {
-        for b in 1..=24u8 {
+        for b in 1..=28u8 {
             assert!(OpCode::from_u8(b).is_some(), "opcode {b} exists");
             let _ = OpFamily::of(b); // must not panic
         }
+        assert_eq!(OpFamily::of(25), OpFamily::Control);
+        assert_eq!(OpFamily::of(28), OpFamily::Control);
         assert_eq!(OpFamily::of(5), OpFamily::PointRead);
         assert_eq!(OpFamily::of(3), OpFamily::Query);
         assert_eq!(OpFamily::of(24), OpFamily::Scan);
@@ -344,8 +402,8 @@ mod tests {
     #[test]
     fn prometheus_text_shape() {
         let m = EngineMetrics::new(None);
-        m.finish_request(5, Duration::from_micros(100), None);
-        m.finish_request(5, Duration::from_micros(3), None);
+        m.finish_request(5, "default", Duration::from_micros(100), None);
+        m.finish_request(5, "aux", Duration::from_micros(3), None);
         let counters = vec![("server.requests".to_string(), 2u64)];
         let text = m.prometheus_text(&counters);
         assert!(text.contains("axs_server_requests 2"), "{text}");
@@ -355,6 +413,14 @@ mod tests {
         );
         assert!(
             text.contains("axs_request_duration_us_count{family=\"point_read\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("axs_request_duration_us_count{family=\"point_read\",store=\"default\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("axs_request_duration_us_count{family=\"point_read\",store=\"aux\"} 1"),
             "{text}"
         );
         assert!(
@@ -368,9 +434,9 @@ mod tests {
     #[test]
     fn slow_log_records_over_threshold_only() {
         let m = EngineMetrics::new(Some(Duration::from_millis(10)));
-        m.finish_request(1, Duration::from_millis(1), None);
+        m.finish_request(1, "default", Duration::from_millis(1), None);
         assert!(m.slow_log().is_empty());
-        m.finish_request(1, Duration::from_millis(11), None);
+        m.finish_request(1, "default", Duration::from_millis(11), None);
         let log = m.slow_log();
         assert_eq!(log.len(), 1);
         assert!(log[0].contains("slow request"), "{}", log[0]);
@@ -380,7 +446,7 @@ mod tests {
     #[test]
     fn extended_entries_carry_percentiles() {
         let m = EngineMetrics::new(None);
-        m.finish_request(5, Duration::from_micros(100), None);
+        m.finish_request(5, "default", Duration::from_micros(100), None);
         let counters = vec![
             ("partial.hits".to_string(), 3u64),
             ("partial.misses".to_string(), 1u64),
@@ -397,5 +463,6 @@ mod tests {
         assert!(get("rq.point_read.p99_us") >= 100);
         assert_eq!(get("obs.partial_hit_ratio_pct"), 75);
         assert!(get("rq.point_read.p50_us") <= get("rq.point_read.p99_us"));
+        assert_eq!(get("rq.store.default.count"), 1);
     }
 }

@@ -21,6 +21,7 @@ use crate::exec::Engine;
 use crate::metrics::EngineMetrics;
 use crate::pool::{SubmitError, WorkerPool};
 use crate::stats::ServerStats;
+use axs_catalog::{Catalog, CatalogConfig};
 use axs_client::wire::{self, ErrorCode, Frame, OpCode, Status};
 use axs_core::XmlStore;
 use parking_lot::Mutex;
@@ -46,8 +47,8 @@ const MAX_REJECT_THREADS: usize = 32;
 pub enum ServerError {
     /// Binding or configuring the listener failed.
     Io(std::io::Error),
-    /// The final WAL flush during shutdown failed.
-    Flush(axs_core::StoreError),
+    /// The final catalog-wide WAL flush during shutdown failed.
+    Flush(axs_catalog::CatalogError),
 }
 
 impl fmt::Display for ServerError {
@@ -95,12 +96,28 @@ pub struct Server;
 
 impl Server {
     /// Binds `config.addr`, takes ownership of `store`, and starts
-    /// serving. Returns once the listener is live.
+    /// serving. The store becomes the catalog's permanent `default`;
+    /// catalog create/drop report `Unsupported` on this path — use
+    /// [`Server::start_catalog`] for multi-store serving. Returns once
+    /// the listener is live.
     pub fn start(store: XmlStore, config: ServerConfig) -> Result<ServerHandle, ServerError> {
+        let catalog_config = CatalogConfig {
+            max_open: config.max_open_stores,
+            commit_window: config.commit_window,
+        };
+        Server::start_catalog(Catalog::adopt(store, catalog_config), config)
+    }
+
+    /// Binds `config.addr` and serves every store in `catalog`, routing
+    /// each request by the store id in its frame header. Returns once the
+    /// listener is live.
+    pub fn start_catalog(
+        catalog: Catalog,
+        config: ServerConfig,
+    ) -> Result<ServerHandle, ServerError> {
         let config = config.normalized();
         let listener = TcpListener::bind(&*config.addr)?;
         let local_addr = listener.local_addr()?;
-        store.set_commit_window(config.commit_window);
         if config.trace {
             // Process-wide: instrumentation points in core/lock/storage
             // branch on this flag before touching any clock or atomic.
@@ -109,7 +126,7 @@ impl Server {
         let stats = Arc::new(ServerStats::default());
         let metrics = Arc::new(EngineMetrics::new(config.slow_request));
         let shared = Arc::new(Shared {
-            engine: Engine::new(store, stats.clone(), metrics, config.debug_sleep),
+            engine: Engine::new(Arc::new(catalog), stats.clone(), metrics, config.debug_sleep),
             pool: WorkerPool::new(config.workers, config.queue_depth),
             stats,
             config,
@@ -186,7 +203,10 @@ impl ServerHandle {
             let _ = s.join();
         }
         self.shared.pool.shutdown();
-        self.shared.engine.flush_store().map_err(ServerError::Flush)
+        self.shared
+            .engine
+            .flush_stores()
+            .map_err(ServerError::Flush)
     }
 }
 
@@ -356,9 +376,8 @@ fn run_session(stream: TcpStream, shared: &Arc<Shared>) {
             ServerStats::bump(&shared.stats.protocol_errors);
             let _ = wire::write_frame(
                 &mut writer,
-                &Frame::error(
-                    req.req_id,
-                    req.opcode,
+                &error_frame(
+                    &req,
                     ErrorCode::Protocol,
                     "request frames must carry status 0",
                 ),
@@ -413,12 +432,7 @@ fn answer(req: &Frame, shared: &Arc<Shared>, writer: &mut BufWriter<TcpStream>) 
     if shared.shutdown.load(Ordering::SeqCst) {
         let _ = wire::write_frame(
             writer,
-            &Frame::error(
-                req.req_id,
-                req.opcode,
-                ErrorCode::ShuttingDown,
-                "server is shutting down",
-            ),
+            &error_frame(req, ErrorCode::ShuttingDown, "server is shutting down"),
         );
         return false;
     }
@@ -441,10 +455,11 @@ fn answer(req: &Frame, shared: &Arc<Shared>, writer: &mut BufWriter<TcpStream>) 
         );
         let outcome = job_shared.engine.dispatch(&job_req);
         let trace = axs_obs::trace_finish();
+        let store_label = job_shared.engine.store_label(job_req.store);
         job_shared
             .engine
             .metrics()
-            .finish_request(job_req.opcode, enqueued.elapsed(), trace);
+            .finish_request(job_req.opcode, &store_label, enqueued.elapsed(), trace);
         // The session may have timed out and moved on; a dead channel
         // just discards the result.
         let _ = tx.send(outcome);
@@ -455,24 +470,14 @@ fn answer(req: &Frame, shared: &Arc<Shared>, writer: &mut BufWriter<TcpStream>) 
             ServerStats::bump(&shared.stats.busy_rejections);
             return wire::write_frame(
                 writer,
-                &Frame::error(
-                    req.req_id,
-                    req.opcode,
-                    ErrorCode::Busy,
-                    "worker queue full; retry",
-                ),
+                &error_frame(req, ErrorCode::Busy, "worker queue full; retry"),
             )
             .is_ok();
         }
         Err(SubmitError::Closed) => {
             let _ = wire::write_frame(
                 writer,
-                &Frame::error(
-                    req.req_id,
-                    req.opcode,
-                    ErrorCode::ShuttingDown,
-                    "server is shutting down",
-                ),
+                &error_frame(req, ErrorCode::ShuttingDown, "server is shutting down"),
             );
             return false;
         }
@@ -498,9 +503,8 @@ fn answer(req: &Frame, shared: &Arc<Shared>, writer: &mut BufWriter<TcpStream>) 
             // timed-out request's outcome is ambiguous (at-least-once).
             let _ = wire::write_frame(
                 writer,
-                &Frame::error(
-                    req.req_id,
-                    req.opcode,
+                &error_frame(
+                    req,
                     ErrorCode::Timeout,
                     "request exceeded the server's request timeout; connection closing",
                 ),
@@ -511,16 +515,19 @@ fn answer(req: &Frame, shared: &Arc<Shared>, writer: &mut BufWriter<TcpStream>) 
             // Worker pool shut down mid-request.
             let _ = wire::write_frame(
                 writer,
-                &Frame::error(
-                    req.req_id,
-                    req.opcode,
-                    ErrorCode::ShuttingDown,
-                    "server is shutting down",
-                ),
+                &error_frame(req, ErrorCode::ShuttingDown, "server is shutting down"),
             );
             false
         }
     }
+}
+
+/// A session-level error frame (busy, timeout, shutdown…) echoing the
+/// request's store id, like every engine-built response does.
+fn error_frame(req: &Frame, code: ErrorCode, msg: &str) -> Frame {
+    let mut f = Frame::error(req.req_id, req.opcode, code, msg);
+    f.store = req.store;
+    f
 }
 
 fn write_all_frames(writer: &mut BufWriter<TcpStream>, frames: &[Frame]) -> bool {

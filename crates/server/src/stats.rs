@@ -40,6 +40,10 @@ pub struct ServerStats {
     pub reads_max_in_flight: AtomicU64,
     /// Write commits that waited on the shared group-commit fsync.
     pub commit_waits: AtomicU64,
+    /// Stores created via the `CreateStore` opcode.
+    pub stores_created: AtomicU64,
+    /// Stores dropped via the `DropStore` opcode.
+    pub stores_dropped: AtomicU64,
 }
 
 impl ServerStats {
@@ -83,6 +87,8 @@ impl ServerStats {
                 read(&self.reads_max_in_flight),
             ),
             ("server.commit_waits", read(&self.commit_waits)),
+            ("server.stores_created", read(&self.stores_created)),
+            ("server.stores_dropped", read(&self.stores_dropped)),
         ]
     }
 }

@@ -1,0 +1,240 @@
+//! Multi-store catalog over the wire: one `axsd` serving several named
+//! stores with isolated contents and durability.
+//!
+//! The centerpiece creates three stores, writes to all of them from
+//! concurrent clients, restarts the server on the same catalog root, and
+//! shadow-verifies every store's contents survived independently.
+
+use axs_client::{Client, ClientError};
+use axs_server::{Catalog, CatalogConfig, Server, ServerConfig, ServerHandle};
+use std::path::Path;
+use std::time::Duration;
+
+fn start_in_memory(config: ServerConfig) -> ServerHandle {
+    let catalog = Catalog::in_memory(CatalogConfig::default()).unwrap();
+    Server::start_catalog(catalog, config).unwrap()
+}
+
+fn start_at(root: &Path, config: ServerConfig) -> ServerHandle {
+    let catalog = Catalog::open(root, CatalogConfig::default()).unwrap();
+    Server::start_catalog(catalog, config).unwrap()
+}
+
+fn connect(handle: &ServerHandle) -> Client {
+    let mut client = Client::connect(handle.local_addr()).unwrap();
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    client
+}
+
+fn error_code(result: Result<impl std::fmt::Debug, ClientError>) -> String {
+    match result {
+        Err(ClientError::Server { code, .. }) => format!("{code}"),
+        other => panic!("expected a typed server error, got {other:?}"),
+    }
+}
+
+#[test]
+fn catalog_opcodes_full_surface() {
+    let handle = start_in_memory(ServerConfig::default());
+    let mut c = connect(&handle);
+
+    // A fresh catalog holds exactly the default store, and the session
+    // starts bound to it.
+    let stores = c.list_stores().unwrap();
+    assert_eq!(stores.len(), 1);
+    assert_eq!(stores[0].name, "default");
+    assert_eq!(c.current_store(), ("default", 0));
+
+    // Create two stores; ids are distinct and non-default.
+    let a = c.create_store("alpha").unwrap();
+    let b = c.create_store("beta").unwrap();
+    assert_ne!(a, 0);
+    assert_ne!(b, 0);
+    assert_ne!(a, b);
+    assert_eq!(error_code(c.create_store("alpha")), "store-exists");
+    assert_eq!(error_code(c.use_store("missing")), "unknown-store");
+    assert_eq!(error_code(c.create_store("Bad Name!")), "protocol");
+
+    // Writes land in the bound store only.
+    c.use_store("alpha").unwrap();
+    c.bulk_load("<a><x/></a>").unwrap();
+    assert_eq!(c.query("//x").unwrap().len(), 1);
+    c.use_store("beta").unwrap();
+    assert_eq!(c.query("//x").unwrap().len(), 0);
+    c.bulk_load("<b><y/><y/></b>").unwrap();
+    assert_eq!(c.query("//y").unwrap().len(), 2);
+    c.use_store("default").unwrap();
+    assert_eq!(c.query("//x").unwrap().len(), 0);
+    assert_eq!(c.query("//y").unwrap().len(), 0);
+
+    let names: Vec<String> = c
+        .list_stores()
+        .unwrap()
+        .into_iter()
+        .map(|s| s.name)
+        .collect();
+    assert_eq!(names, ["alpha", "beta", "default"]);
+
+    // Dropping a store invalidates its id: a second client still bound
+    // to it gets a typed UnknownStore, not another store's data.
+    let mut stale = connect(&handle);
+    stale.use_store("beta").unwrap();
+    c.drop_store("beta").unwrap();
+    assert_eq!(error_code(stale.query("//y")), "unknown-store");
+
+    // Recreating the name mints a fresh, empty store — the stale binding
+    // stays dead (its id is never reused).
+    c.create_store("beta").unwrap();
+    assert_eq!(error_code(stale.query("//y")), "unknown-store");
+    c.use_store("beta").unwrap();
+    assert_eq!(c.query("//y").unwrap().len(), 0);
+
+    // The default store cannot be dropped.
+    assert!(c.drop_store("default").is_err());
+
+    handle.shutdown();
+    handle.join().unwrap();
+}
+
+#[test]
+fn three_stores_concurrent_writes_restart_shadow_verify() {
+    let dir = std::env::temp_dir().join(format!("axsd-multi-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    const STORES: [&str; 3] = ["inv", "orders", "audit"];
+    const WRITERS_PER_STORE: usize = 2;
+    const INSERTS_PER_WRITER: usize = 25;
+
+    let handle = start_at(&dir, ServerConfig::default());
+    {
+        let mut admin = connect(&handle);
+        for store in STORES {
+            admin.create_store(store).unwrap();
+            admin.use_store(store).unwrap();
+            admin.bulk_load(&format!("<{store}><seed/></{store}>")).unwrap();
+        }
+    }
+
+    // Concurrent writers, each bound to one store, each tagging its
+    // entries so the shadow check can attribute every row.
+    std::thread::scope(|scope| {
+        for store in STORES {
+            for w in 0..WRITERS_PER_STORE {
+                let handle = &handle;
+                scope.spawn(move || {
+                    let mut c = connect(handle);
+                    c.use_store(store).unwrap();
+                    for i in 0..INSERTS_PER_WRITER {
+                        c.insert_last(1, &format!(r#"<entry tag="{store}-{w}-{i}"/>"#))
+                            .unwrap();
+                    }
+                });
+            }
+        }
+    });
+
+    // Restart: graceful shutdown flushes every store through its own WAL,
+    // then a fresh server opens the same catalog root.
+    handle.shutdown();
+    handle.join().unwrap();
+    let handle = start_at(&dir, ServerConfig::default());
+    let mut c = connect(&handle);
+
+    // Shadow-verify each store: every tagged entry present, nothing from
+    // any other store leaked in, and the server-side verifier agrees.
+    for store in STORES {
+        c.use_store(store).unwrap();
+        let matches = c.query("//entry").unwrap();
+        assert_eq!(
+            matches.len(),
+            WRITERS_PER_STORE * INSERTS_PER_WRITER,
+            "store {store} lost or gained rows"
+        );
+        let xml = c.read_all().unwrap();
+        for w in 0..WRITERS_PER_STORE {
+            for i in 0..INSERTS_PER_WRITER {
+                let tag = format!(r#"tag="{store}-{w}-{i}""#);
+                assert!(xml.contains(&tag), "store {store} missing {tag}");
+            }
+        }
+        for other in STORES.iter().filter(|s| **s != store) {
+            assert!(
+                !xml.contains(&format!(r#"tag="{other}-"#)),
+                "store {store} contains rows from {other}"
+            );
+        }
+        assert!(c.verify().unwrap().starts_with("ok:"), "verify {store}");
+    }
+
+    handle.shutdown();
+    handle.join().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn lazy_open_and_eviction_visible_in_stats() {
+    let dir = std::env::temp_dir().join(format!("axsd-evict-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Cap residency at 2 stores so touching 4 forces lazy opens and
+    // evictions while requests keep succeeding.
+    let config = ServerConfig {
+        max_open_stores: 2,
+        ..ServerConfig::default()
+    };
+    let catalog = Catalog::open(
+        &dir,
+        CatalogConfig {
+            max_open: 2,
+            ..CatalogConfig::default()
+        },
+    )
+    .unwrap();
+    let handle = Server::start_catalog(catalog, config).unwrap();
+    let mut c = connect(&handle);
+
+    for i in 0..4 {
+        c.create_store(&format!("s{i}")).unwrap();
+    }
+    for round in 0..2 {
+        for i in 0..4 {
+            c.use_store(&format!("s{i}")).unwrap();
+            if round == 0 {
+                c.bulk_load(&format!("<s><n v=\"{i}\"/></s>")).unwrap();
+            } else {
+                // Round two re-reads stores that were evicted in round
+                // one: the lazy reopen must bring their data back.
+                assert_eq!(c.query("//n").unwrap().len(), 1, "store s{i}");
+            }
+        }
+    }
+
+    let stats = c.stats().unwrap();
+    let get = |name: &str| {
+        stats
+            .iter()
+            .find(|e| e.name == name)
+            .unwrap_or_else(|| panic!("stat {name} missing"))
+            .value
+    };
+    assert_eq!(get("cat.stores"), 5, "default + 4 named");
+    assert!(get("cat.open_stores") <= 2, "cap respected");
+    assert!(get("cat.lazy_opens") >= 2, "round two reopened stores");
+    assert!(get("cat.evictions") >= 2, "cap forced evictions");
+    assert_eq!(get("server.stores_created"), 4);
+
+    // The metrics exposition carries per-store labeled series alongside
+    // the aggregate family series.
+    let (text, _) = c.metrics().unwrap();
+    assert!(
+        text.contains("axs_request_duration_us_bucket{family="),
+        "{text}"
+    );
+    assert!(text.contains("store=\"s0\""), "{text}");
+
+    handle.shutdown();
+    handle.join().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -57,27 +57,56 @@ quit
 EOF
 )"
 
-echo "$CLIENT_OUT" | grep -q "loaded nodes"    || fail "bulkload did not succeed: $CLIENT_OUT"
-echo "$CLIENT_OUT" | grep -q "1 match(es)"     || fail "first query wrong: $CLIENT_OUT"
-echo "$CLIENT_OUT" | grep -q "inserted"        || fail "insert did not succeed: $CLIENT_OUT"
-echo "$CLIENT_OUT" | grep -q "2 match(es)"     || fail "post-insert query wrong: $CLIENT_OUT"
-echo "$CLIENT_OUT" | grep -q "server.requests" || fail "stats missing server counters: $CLIENT_OUT"
-echo "$CLIENT_OUT" | grep -q "flushed"         || fail "flush did not succeed: $CLIENT_OUT"
+grep -q "loaded nodes"    <<<"$CLIENT_OUT" || fail "bulkload did not succeed: $CLIENT_OUT"
+grep -q "1 match(es)"     <<<"$CLIENT_OUT" || fail "first query wrong: $CLIENT_OUT"
+grep -q "inserted"        <<<"$CLIENT_OUT" || fail "insert did not succeed: $CLIENT_OUT"
+grep -q "2 match(es)"     <<<"$CLIENT_OUT" || fail "post-insert query wrong: $CLIENT_OUT"
+grep -q "server.requests" <<<"$CLIENT_OUT" || fail "stats missing server counters: $CLIENT_OUT"
+grep -q "flushed"         <<<"$CLIENT_OUT" || fail "flush did not succeed: $CLIENT_OUT"
 
 # metrics-smoke: the Metrics opcode must expose the documented Prometheus
 # series, and `axs top --once` must render a dashboard from the same data.
-echo "$CLIENT_OUT" | grep -q "axs_server_requests" \
+grep -q "axs_server_requests" <<<"$CLIENT_OUT" \
     || fail "metrics missing counter series: $CLIENT_OUT"
-echo "$CLIENT_OUT" | grep -q 'axs_request_duration_us_bucket{family="' \
+grep -q 'axs_request_duration_us_bucket{family="' <<<"$CLIENT_OUT" \
     || fail "metrics missing request-latency histogram: $CLIENT_OUT"
-echo "$CLIENT_OUT" | grep -q 'axs_lookup_duration_us' \
+grep -q 'axs_lookup_duration_us' <<<"$CLIENT_OUT" \
     || fail "metrics missing lookup-path histogram: $CLIENT_OUT"
 
 TOP_OUT="$("$AXS" top "127.0.0.1:$PORT" --once)" || fail "axs top --once failed"
-echo "$TOP_OUT" | grep -q "req/s"                    || fail "top missing rate line: $TOP_OUT"
-echo "$TOP_OUT" | grep -q "latency by opcode family" || fail "top missing family table: $TOP_OUT"
-echo "$TOP_OUT" | grep -q "lookup paths"             || fail "top missing lookup paths: $TOP_OUT"
-echo "$TOP_OUT" | grep -q "group commit"             || fail "top missing group-commit line: $TOP_OUT"
+grep -q "req/s"                    <<<"$TOP_OUT" || fail "top missing rate line: $TOP_OUT"
+grep -q "latency by opcode family" <<<"$TOP_OUT" || fail "top missing family table: $TOP_OUT"
+grep -q "lookup paths"             <<<"$TOP_OUT" || fail "top missing lookup paths: $TOP_OUT"
+grep -q "group commit"             <<<"$TOP_OUT" || fail "top missing group-commit line: $TOP_OUT"
+
+# multi-store stage: create two named stores, route writes to each, drop
+# one, and check the survivor still answers and the dropped one is gone.
+MULTI_OUT="$("$AXS" connect "127.0.0.1:$PORT" <<'EOF'
+create-store red
+create-store blue
+use red
+loadxml <reds><r/></reds>
+use blue
+loadxml <blues><b/><b/></blues>
+query //b
+use red
+query //b
+stores
+drop-store blue
+use blue
+query //r
+quit
+EOF
+)"
+
+grep -q 'created store "red"'  <<<"$MULTI_OUT" || fail "create-store red failed: $MULTI_OUT"
+grep -q 'created store "blue"' <<<"$MULTI_OUT" || fail "create-store blue failed: $MULTI_OUT"
+grep -q "2 match(es)"          <<<"$MULTI_OUT" || fail "blue store query wrong: $MULTI_OUT"
+grep -q "0 match(es)"          <<<"$MULTI_OUT" || fail "stores not isolated: $MULTI_OUT"
+grep -q "blue .*open"          <<<"$MULTI_OUT" || fail "stores listing missed blue: $MULTI_OUT"
+grep -q 'dropped store "blue"' <<<"$MULTI_OUT" || fail "drop-store failed: $MULTI_OUT"
+grep -q "unknown-store"        <<<"$MULTI_OUT" || fail "dropped store still reachable: $MULTI_OUT"
+grep -q "1 match(es)"          <<<"$MULTI_OUT" || fail "survivor store lost data: $MULTI_OUT"
 
 # Graceful shutdown must drain and flush through the WAL.
 kill -TERM "$SERVER_PID"
@@ -87,6 +116,6 @@ grep -q "clean shutdown" "$SERVER_LOG" || fail "server did not report clean shut
 
 # The store must reopen clean with the remote insert persisted.
 VERIFY_OUT="$("$AXS" verify "$STORE")" || fail "verify failed after shutdown: $VERIFY_OUT"
-echo "$VERIFY_OUT" | grep -q "^ok:" || fail "verify output unexpected: $VERIFY_OUT"
+grep -q "^ok:" <<<"$VERIFY_OUT" || fail "verify output unexpected: $VERIFY_OUT"
 
 echo "smoke: OK — $VERIFY_OUT"
