@@ -1,6 +1,6 @@
 //! Loopback throughput for the `axsd` server: requests/sec and latency
-//! percentiles at 1, 4, and 16 client threads, split into read and write
-//! families.
+//! percentiles at 1, 4, 16, and 64 client threads, split into read and
+//! write families.
 //!
 //! Each client owns one subtree of the shared document and interleaves
 //! point reads with range inserts in a configurable ratio (`--read-pct`,
@@ -18,7 +18,10 @@
 //! clients round-robin across N named stores (separate WALs, separate
 //! lock hierarchies) and adds a `store_scaling` section comparing the
 //! widest multi-store run against a single-store reference at the same
-//! client count.
+//! client count. Unless `--mvcc off`, the whole sweep is repeated with
+//! MVCC snapshot reads disabled and archived as a `snapshot_scaling`
+//! A/B: locked reads (S-locks plus the store's reader-writer lock)
+//! versus pinned-epoch snapshot reads at every client count.
 //!
 //! ```sh
 //! cargo run --release -p axs-bench --bin netbench             # full sweep
@@ -30,12 +33,14 @@ use axs_client::{Client, StatEntry};
 use axs_server::{Catalog, CatalogConfig, Server, ServerConfig};
 use std::time::{Duration, Instant};
 
-const CLIENT_COUNTS: &[usize] = &[1, 4, 16];
+const CLIENT_COUNTS: &[usize] = &[1, 4, 16, 64];
 
 /// Bumped whenever the archive layout changes so downstream tooling can
 /// refuse files it does not understand. v2 added `git_commit`,
-/// `parameters`, and per-run `server_metrics` histogram snapshots.
-const SCHEMA_VERSION: u32 = 2;
+/// `parameters`, and per-run `server_metrics` histogram snapshots. v3
+/// added the 64-client point, the per-run `mvcc` flag, and the
+/// `snapshot_scaling` locked-vs-MVCC A/B.
+const SCHEMA_VERSION: u32 = 3;
 
 /// Best-effort commit hash of the tree the benchmark was built from.
 fn git_commit() -> String {
@@ -68,6 +73,10 @@ struct Options {
     /// has its own WAL and lock hierarchy, so writers on different
     /// stores stop contending on one exclusive lock and one fsync queue.
     stores: usize,
+    /// MVCC snapshot reads (`--mvcc on|off`). On, the default, also runs
+    /// the locked-read baseline sweep for the `snapshot_scaling` A/B;
+    /// off benchmarks the locked path alone.
+    mvcc: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -81,6 +90,7 @@ fn parse_args() -> Result<Options, String> {
         commit_window: Duration::from_millis(1),
         mem: false,
         stores: 1,
+        mvcc: true,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -122,6 +132,13 @@ fn parse_args() -> Result<Options, String> {
                 }
                 opts.stores = v;
             }
+            "--mvcc" => {
+                opts.mvcc = match value_of("--mvcc")?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("--mvcc must be on|off, got {other}")),
+                };
+            }
             other => return Err(format!("unknown argument {other}")),
         }
     }
@@ -135,16 +152,17 @@ fn main() {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: netbench [--read-pct N] [--ops N] [--out PATH] \
-                 [--commit-window-ms N] [--mem] [--stores N]"
+                 [--commit-window-ms N] [--mem] [--stores N] [--mvcc on|off]"
             );
             std::process::exit(2);
         }
     };
     println!(
-        "axsd loopback throughput — {} ops/client, {}% reads, {} store(s), {}",
+        "axsd loopback throughput — {} ops/client, {}% reads, {} store(s), mvcc {}, {}",
         opts.ops,
         opts.read_pct,
         opts.stores,
+        if opts.mvcc { "on" } else { "off" },
         match opts.mem {
             true => "in-memory store".to_string(),
             false => format!(
@@ -203,6 +221,47 @@ fn main() {
         (section, reference)
     });
 
+    // Snapshot A/B: the identical sweep with MVCC off, so every read goes
+    // back through the S-lock hierarchy and the store's reader-writer
+    // lock. Skipped when the main sweep itself ran locked.
+    let snapshot_scaling = opts.mvcc.then(|| {
+        println!("-- locked-read baseline (mvcc off) --");
+        let locked_opts = Options {
+            mvcc: false,
+            ..opts.clone()
+        };
+        let locked: Vec<RunResult> = CLIENT_COUNTS
+            .iter()
+            .map(|&clients| {
+                let r = run_one(clients, &locked_opts);
+                println!("{}", r.to_json());
+                r
+            })
+            .collect();
+        let points: Vec<String> = runs
+            .iter()
+            .zip(&locked)
+            .map(|(mvcc, lock)| {
+                format!(
+                    "{{\"clients\":{},\"locked_read_rps\":{:.0},\"mvcc_read_rps\":{:.0},\
+                     \"read_speedup\":{:.2},\"locked_read_p99_us\":{},\"mvcc_read_p99_us\":{},\
+                     \"locked_write_rps\":{:.0},\"mvcc_write_rps\":{:.0}}}",
+                    mvcc.clients,
+                    lock.read_rps(),
+                    mvcc.read_rps(),
+                    mvcc.read_rps() / lock.read_rps().max(1e-9),
+                    lock.read_p99_us(),
+                    mvcc.read_p99_us(),
+                    lock.write_rps(),
+                    mvcc.write_rps(),
+                )
+            })
+            .collect();
+        let section = format!("[{}]", points.join(", "));
+        println!("snapshot_scaling {section}");
+        (section, locked)
+    });
+
     let mut doc = String::from("{\n");
     doc.push_str(&format!(
         "  \"bench\": \"server_loopback\",\n  \"schema_version\": {SCHEMA_VERSION},\n  \
@@ -212,7 +271,7 @@ fn main() {
     doc.push_str(&format!(
         "  \"parameters\": {{\"read_pct\": {}, \"ops_per_client\": {}, \
          \"client_counts\": [{}], \"durable\": {}, \"commit_window_ms\": {}, \
-         \"stores\": {}}},\n",
+         \"stores\": {}, \"mvcc\": {}}},\n",
         opts.read_pct,
         opts.ops,
         CLIENT_COUNTS
@@ -222,7 +281,8 @@ fn main() {
             .join(", "),
         !opts.mem,
         opts.commit_window.as_millis(),
-        opts.stores
+        opts.stores,
+        opts.mvcc
     ));
     doc.push_str("  \"runs\": [\n");
     for (i, r) in runs.iter().enumerate() {
@@ -238,13 +298,32 @@ fn main() {
             reference.to_archive_json()
         ));
     }
+    if let Some((section, locked)) = &snapshot_scaling {
+        doc.push_str(&format!("  \"snapshot_scaling\": {section},\n"));
+        doc.push_str("  \"locked_baseline_runs\": [\n");
+        for (i, r) in locked.iter().enumerate() {
+            let sep = if i + 1 < locked.len() { "," } else { "" };
+            doc.push_str(&format!("    {}{sep}\n", r.to_archive_json()));
+        }
+        doc.push_str("  ],\n");
+    }
     doc.push_str(
         "  \"note\": \"baseline = 1 client (every request serialized, the \
          pre-shared-read-path behavior); widest = concurrent clients on the \
          shared read path overlapping writers' group-commit windows; \
          store_scaling (when present) compares the widest run across N \
          stores against the same clients on one store — separate WALs and \
-         lock hierarchies are what multi-store buys writers\"\n}\n",
+         lock hierarchies are what multi-store buys writers; \
+         snapshot_scaling (when present) is the locked-vs-MVCC read A/B at \
+         each client count — with MVCC on, reads pin an epoch and take zero \
+         locks. Caveat: this host is a single hardware core, so client \
+         threads, server workers, and the fsync thread all timeshare one \
+         CPU — concurrency gains here come from overlapping *waits* (fsync \
+         windows, lock queues), not parallel execution, and MVCC's benefit \
+         shows mainly as readers not queueing behind writers' commit \
+         windows rather than as multicore read scaling; absolute rps and \
+         the 64-client points especially are scheduler-bound and should \
+         not be read as multi-core throughput\"\n}\n",
     );
     if let Err(e) = std::fs::write(&opts.out, doc) {
         eprintln!("cannot write {}: {e}", opts.out);
@@ -258,6 +337,7 @@ struct RunResult {
     workers: usize,
     stores: usize,
     read_pct: u32,
+    mvcc: bool,
     elapsed: Duration,
     read_latencies_us: Vec<u64>,
     write_latencies_us: Vec<u64>,
@@ -281,6 +361,14 @@ impl RunResult {
             / self.elapsed.as_secs_f64().max(1e-9)
     }
 
+    fn read_p99_us(&self) -> u64 {
+        if self.read_latencies_us.is_empty() {
+            return 0;
+        }
+        let idx = ((self.read_latencies_us.len() as f64 - 1.0) * 0.99).round() as usize;
+        self.read_latencies_us[idx]
+    }
+
     fn to_json(&self) -> String {
         let requests = self.read_latencies_us.len() + self.write_latencies_us.len();
         let pct = |sorted: &[u64], p: f64| -> u64 {
@@ -292,13 +380,14 @@ impl RunResult {
         };
         format!(
             "{{\"bench\":\"server_loopback\",\"clients\":{},\"workers\":{},\"stores\":{},\
-             \"read_pct\":{},\"requests\":{requests},\"reads\":{},\"writes\":{},\
+             \"read_pct\":{},\"mvcc\":{},\"requests\":{requests},\"reads\":{},\"writes\":{},\
              \"elapsed_s\":{:.3},\"rps\":{:.0},\"read_rps\":{:.0},\"write_rps\":{:.0},\
              \"read_p50_us\":{},\"read_p99_us\":{},\"write_p50_us\":{},\"write_p99_us\":{}}}",
             self.clients,
             self.workers,
             self.stores,
             self.read_pct,
+            self.mvcc,
             self.read_latencies_us.len(),
             self.write_latencies_us.len(),
             self.elapsed.as_secs_f64(),
@@ -372,6 +461,7 @@ fn run_one(clients: usize, opts: &Options) -> RunResult {
             max_connections: clients + 4,
             commit_window: opts.commit_window,
             max_open_stores: stores.max(8),
+            mvcc: opts.mvcc,
             ..ServerConfig::default()
         },
     )
@@ -465,7 +555,7 @@ fn run_one(clients: usize, opts: &Options) -> RunResult {
     let server_metrics: Vec<StatEntry> = entries
         .into_iter()
         .filter(|e| {
-            ["rq.", "path.", "obs.", "wal.", "cat."]
+            ["rq.", "path.", "obs.", "wal.", "cat.", "mvcc.", "lock."]
                 .iter()
                 .any(|p| e.name.starts_with(p))
         })
@@ -490,6 +580,7 @@ fn run_one(clients: usize, opts: &Options) -> RunResult {
         workers,
         stores,
         read_pct,
+        mvcc: opts.mvcc,
         elapsed,
         read_latencies_us,
         write_latencies_us,

@@ -173,17 +173,24 @@ pub struct StoreSlot {
     pub store: RwLock<XmlStore>,
     /// This store's own logical lock hierarchy (store / block / range).
     pub locks: LockManager,
+    /// The store's MVCC epoch registry, shared with the store itself:
+    /// sessions pin read snapshots here without touching `store` or
+    /// `locks`, and pinned snapshots stay readable even if the catalog
+    /// evicts (flushes and closes) the store underneath them.
+    pub epochs: Arc<axs_core::EpochRegistry>,
     /// LRU stamp maintained by [`Catalog::slot_by_id`].
     last_used: AtomicU64,
 }
 
 impl StoreSlot {
     fn new(name: String, id: u16, store: XmlStore) -> Arc<StoreSlot> {
+        let epochs = store.epoch_registry();
         Arc::new(StoreSlot {
             name,
             id,
             store: RwLock::new(store),
             locks: LockManager::new(),
+            epochs,
             last_used: AtomicU64::new(0),
         })
     }
@@ -221,10 +228,7 @@ enum Backing {
     /// Stores live in directories under `<root>/stores/`; `legacy_default`
     /// maps the `default` store onto the root itself when the root is a
     /// pre-catalog single-store directory.
-    Durable {
-        root: PathBuf,
-        legacy_default: bool,
-    },
+    Durable { root: PathBuf, legacy_default: bool },
     /// Every store is in-memory and permanently resident (eviction would
     /// lose data). Create/drop work; nothing persists.
     Memory,
@@ -701,8 +705,7 @@ mod tests {
         for name in ["a", "b", "c"] {
             let slot = cat.slot(name).unwrap();
             let tokens = slot.store.read().read_all().unwrap();
-            let xml =
-                axs_xml::serialize(&tokens, &axs_xml::SerializeOptions::default()).unwrap();
+            let xml = axs_xml::serialize(&tokens, &axs_xml::SerializeOptions::default()).unwrap();
             assert!(xml.contains(&format!("<{name}/>")), "{name}: {xml}");
         }
         let _ = std::fs::remove_dir_all(&root);
@@ -732,7 +735,10 @@ mod tests {
 
     #[test]
     fn adopted_catalog_refuses_create() {
-        let cat = Catalog::adopt(StoreBuilder::new().build().unwrap(), CatalogConfig::default());
+        let cat = Catalog::adopt(
+            StoreBuilder::new().build().unwrap(),
+            CatalogConfig::default(),
+        );
         assert!(cat.slot(DEFAULT_STORE).is_ok());
         assert!(matches!(cat.create("x"), Err(CatalogError::NoRoot)));
     }

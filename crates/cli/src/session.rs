@@ -2,7 +2,7 @@
 //! output. Fully decoupled from stdin/stdout so tests can drive it.
 
 use crate::command::{Command, HELP};
-use axs_core::{StoreBuilder, StoreError, XmlStore};
+use axs_core::{ReadView, StoreBuilder, StoreError, XmlStore};
 use axs_xml::{parse_fragment, serialize, ParseOptions, SerializeOptions};
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -313,9 +313,7 @@ impl Session {
                 )
             }
             Command::Use(_) | Command::Stores | Command::CreateStore(_) | Command::DropStore(_) => {
-                return Err(
-                    "store catalog commands need a running server (axs connect)".to_string(),
-                )
+                return Err("store catalog commands need a running server (axs connect)".to_string())
             }
         };
         Ok(Outcome::Output(out))

@@ -4,27 +4,34 @@
 //! not stored (§6.1): "by knowing the start identifier of a Range and by
 //! successively reading successive the tokens of that range, identifiers can
 //! be generated and re-associated to the tokens they belong to."
+//!
+//! The cursor is generic over [`ReadView`], so the same state machine scans
+//! the live store and frozen MVCC snapshots.
 
 use crate::error::StoreError;
 use crate::range::RangeData;
 use crate::store::XmlStore;
+use crate::view::{ReadView, ViewPos};
 use axs_idgen::IdRegenerator;
-use axs_storage::PageId;
 use axs_xdm::{NodeId, Token};
+use std::sync::Arc;
 
-/// Streaming document-order cursor over the whole store. Yields
+/// Streaming document-order cursor over a whole view. Yields
 /// `(regenerated id, token)` pairs; end tokens carry no id.
-pub struct StoreCursor<'s> {
-    store: &'s XmlStore,
+pub struct ViewCursor<'v, V: ReadView> {
+    view: &'v V,
     state: CursorState,
 }
+
+/// Streaming document-order cursor over the live store (the concrete
+/// [`ViewCursor`] the Table 1 `read()` returns).
+pub type StoreCursor<'s> = ViewCursor<'s, XmlStore>;
 
 enum CursorState {
     /// Positioned inside a range.
     InRange {
-        block: PageId,
-        slot: u16,
-        data: RangeData,
+        pos: ViewPos,
+        data: Arc<RangeData>,
         idx: usize,
         regen: IdRegenerator,
     },
@@ -34,20 +41,19 @@ enum CursorState {
     Done,
 }
 
-impl<'s> StoreCursor<'s> {
-    pub(crate) fn new(store: &'s XmlStore) -> StoreCursor<'s> {
-        StoreCursor {
-            store,
+impl<'v, V: ReadView> ViewCursor<'v, V> {
+    pub(crate) fn new(view: &'v V) -> ViewCursor<'v, V> {
+        ViewCursor {
+            view,
             state: CursorState::Start,
         }
     }
 
-    fn enter_range(&mut self, block: PageId, slot: u16) -> Result<(), StoreError> {
-        let data = self.store.load_range_at(block, slot)?;
+    fn enter_range(&mut self, pos: ViewPos) -> Result<(), StoreError> {
+        let data = self.view.view_load_at(pos)?;
         let regen = IdRegenerator::new(data.header.start_id);
         self.state = CursorState::InRange {
-            block,
-            slot,
+            pos,
             data,
             idx: 0,
             regen,
@@ -59,16 +65,15 @@ impl<'s> StoreCursor<'s> {
         loop {
             match &mut self.state {
                 CursorState::Done => return Ok(None),
-                CursorState::Start => match self.store.first_range_pos()? {
-                    Some((b, s)) => self.enter_range(b, s)?,
+                CursorState::Start => match self.view.view_first_range()? {
+                    Some(p) => self.enter_range(p)?,
                     None => {
                         self.state = CursorState::Done;
                         return Ok(None);
                     }
                 },
                 CursorState::InRange {
-                    block,
-                    slot,
+                    pos,
                     data,
                     idx,
                     regen,
@@ -79,9 +84,9 @@ impl<'s> StoreCursor<'s> {
                         *idx += 1;
                         return Ok(Some((id, tok)));
                     }
-                    let (b, s) = (*block, *slot);
-                    match self.store.next_range_pos(b, s)? {
-                        Some((nb, ns)) => self.enter_range(nb, ns)?,
+                    let p = *pos;
+                    match self.view.view_next_range(p)? {
+                        Some(np) => self.enter_range(np)?,
                         None => {
                             self.state = CursorState::Done;
                             return Ok(None);
@@ -93,7 +98,7 @@ impl<'s> StoreCursor<'s> {
     }
 }
 
-impl Iterator for StoreCursor<'_> {
+impl<V: ReadView> Iterator for ViewCursor<'_, V> {
     type Item = Result<(Option<NodeId>, Token), StoreError>;
 
     fn next(&mut self) -> Option<Self::Item> {
@@ -110,8 +115,8 @@ impl Iterator for StoreCursor<'_> {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::store::StoreBuilder;
+    use axs_xdm::{NodeId, Token};
     use axs_xml::{parse_fragment, ParseOptions};
 
     fn frag(xml: &str) -> Vec<Token> {

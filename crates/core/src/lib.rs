@@ -18,6 +18,10 @@
 //!   `insert_into_first` / `insert_into_last` / `delete_node` /
 //!   `replace_node` / `replace_content` / `read` / `read_node`;
 //! - [`cursor`] — document-order token cursors with ID regeneration;
+//! - [`view`] — [`ReadView`]: the read surface shared by the live store
+//!   and frozen MVCC snapshots;
+//! - [`mvcc`] — epoch-based snapshots: publish on commit, pin at read
+//!   dispatch, retire when no reader pins the epoch;
 //! - [`policy`] — [`IndexingPolicy`]: Full / RangeOnly / RangePlusPartial /
 //!   Adaptive, plus the adaptive controller;
 //! - [`stats`] — operation and lookup-path counters;
@@ -28,6 +32,7 @@ pub mod cursor;
 pub mod error;
 pub mod locking;
 pub mod maintenance;
+pub mod mvcc;
 pub mod navigate;
 pub mod ops;
 pub mod policy;
@@ -35,15 +40,18 @@ pub mod psvi;
 pub mod range;
 pub mod stats;
 pub mod store;
+pub mod view;
 
 pub use axs_storage::{CommitTicket, GroupCommitStats, GC_HISTOGRAM_BOUNDS, GC_HISTOGRAM_BUCKETS};
 pub use bulkload::BulkLoader;
-pub use cursor::StoreCursor;
+pub use cursor::{StoreCursor, ViewCursor};
 pub use error::StoreError;
 pub use locking::ConcurrentStore;
 pub use maintenance::{CompactionReport, StorageReport};
+pub use mvcc::{EpochRegistry, MvccStats, PinnedSnapshot, Snapshot};
 pub use policy::{AdaptiveConfig, AdaptiveController, IndexingPolicy};
 pub use psvi::AnnotateOutcome;
 pub use range::{RangeHeader, RANGE_HEADER_LEN};
 pub use stats::{LookupPath, SharedStats, StoreStats};
 pub use store::{StoreBuilder, XmlStore};
+pub use view::{ReadView, ViewPos, ViewSpan};

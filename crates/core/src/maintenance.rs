@@ -201,6 +201,7 @@ mod tests {
     use super::*;
     use crate::policy::IndexingPolicy;
     use crate::store::StoreBuilder;
+    use crate::view::ReadView;
     use axs_xdm::Token;
     use axs_xml::{parse_fragment, ParseOptions};
 

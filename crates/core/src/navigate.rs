@@ -2,254 +2,18 @@
 //!
 //! §9 of the paper: "Structural properties of the actual elements of the
 //! XQuery DataModel, such as hierarchical or sibling relationships can also
-//! be maintained by the Partial Index." This module provides that
-//! navigation layer: parent, children, siblings, attributes, names, and
-//! string values — all derived from the flat token representation (and all
-//! benefiting from memoized positions).
-
-use crate::error::StoreError;
-use crate::store::XmlStore;
-use axs_idgen::IdRegenerator;
-use axs_xdm::{NodeId, QName, Token, TokenKind};
-
-impl XmlStore {
-    /// The node's name, for element and attribute nodes.
-    pub fn name_of(&self, id: NodeId) -> Result<Option<QName>, StoreError> {
-        let (range_id, idx, _) = self.find_begin(id)?;
-        Ok(self.token_at(range_id, idx)?.name().cloned())
-    }
-
-    /// The node kind (token kind of the begin token).
-    pub fn kind_of(&self, id: NodeId) -> Result<TokenKind, StoreError> {
-        let (range_id, idx, _) = self.find_begin(id)?;
-        Ok(self.token_at(range_id, idx)?.kind())
-    }
-
-    /// The XPath string value: concatenated descendant text for elements,
-    /// the value itself for attribute/text/comment/PI nodes.
-    pub fn string_value(&self, id: NodeId) -> Result<String, StoreError> {
-        let tokens = self.read_node(id)?;
-        let mut out = String::new();
-        match tokens[0].kind() {
-            TokenKind::BeginElement => {
-                let mut in_attribute = 0u32;
-                for tok in &tokens {
-                    match tok.kind() {
-                        TokenKind::BeginAttribute => in_attribute += 1,
-                        TokenKind::EndAttribute => in_attribute -= 1,
-                        TokenKind::Text if in_attribute == 0 => {
-                            out.push_str(tok.string_value().unwrap_or_default());
-                        }
-                        _ => {}
-                    }
-                }
-            }
-            _ => out.push_str(tokens[0].string_value().unwrap_or_default()),
-        }
-        Ok(out)
-    }
-
-    /// Identifiers of the node's children (attributes excluded), in
-    /// document order. Empty for leaf nodes.
-    pub fn children_of(&self, id: NodeId) -> Result<Vec<NodeId>, StoreError> {
-        let subtree = self.read_subtree_with_ids(id)?;
-        let mut out = Vec::new();
-        let mut depth = 0i32;
-        for (nid, tok) in &subtree {
-            let kind = tok.kind();
-            if depth == 1 {
-                if let Some(nid) = nid {
-                    if kind != TokenKind::BeginAttribute {
-                        out.push(*nid);
-                    }
-                }
-            }
-            depth += kind.depth_delta();
-        }
-        Ok(out)
-    }
-
-    /// Identifiers and values of the node's attribute nodes.
-    pub fn attributes_of(&self, id: NodeId) -> Result<Vec<(NodeId, QName, String)>, StoreError> {
-        let subtree = self.read_subtree_with_ids(id)?;
-        let mut out = Vec::new();
-        let mut depth = 0i32;
-        for (nid, tok) in &subtree {
-            if depth == 1 && tok.kind() == TokenKind::BeginAttribute {
-                if let (Some(nid), Token::BeginAttribute { name, value, .. }) = (nid, tok) {
-                    out.push((*nid, name.clone(), value.to_string()));
-                }
-            }
-            depth += tok.kind().depth_delta();
-        }
-        Ok(out)
-    }
-
-    /// The parent node's identifier, or `None` for top-level nodes.
-    ///
-    /// Implemented by a backward structural scan from the begin token: the
-    /// parent is the first unmatched begin token to the left. Identifier
-    /// regeneration works per range, so each visited range is decoded once.
-    pub fn parent_of(&self, id: NodeId) -> Result<Option<NodeId>, StoreError> {
-        let (begin_range, begin_index, _) = self.find_begin(id)?;
-        let (mut block_page, mut slot, mut data) = self.load_range(begin_range)?;
-        let mut idx = begin_index as i64;
-        // Walking left: a running depth that increases on end tokens and
-        // decreases on begin tokens; the parent is the begin token that
-        // takes the balance below zero.
-        let mut balance = 0i64;
-        loop {
-            idx -= 1;
-            while idx < 0 {
-                match self.prev_range_pos(block_page, slot)? {
-                    Some((b, s)) => {
-                        block_page = b;
-                        slot = s;
-                        data = self.load_range_at(b, s)?;
-                        idx = data.tokens.len() as i64 - 1;
-                    }
-                    None => return Ok(None),
-                }
-            }
-            let kind = data.tokens[idx as usize].kind();
-            balance += i64::from(kind.depth_delta());
-            if balance > 0 {
-                let nid = data
-                    .token_id(idx as usize)
-                    .ok_or(StoreError::Corrupt("begin token without id"))?;
-                return Ok(Some(nid));
-            }
-        }
-    }
-
-    /// The node's following sibling, if any.
-    pub fn next_sibling_of(&self, id: NodeId) -> Result<Option<NodeId>, StoreError> {
-        let pos = self.find_position(id)?;
-        let (mut block_page, mut slot, mut data) = self.load_range(pos.end_range)?;
-        let mut idx = pos.end_index as usize + 1;
-        while idx >= data.tokens.len() {
-            match self.next_range_pos(block_page, slot)? {
-                Some((b, s)) => {
-                    block_page = b;
-                    slot = s;
-                    data = self.load_range_at(b, s)?;
-                    idx = 0;
-                }
-                None => return Ok(None),
-            }
-        }
-        let tok = &data.tokens[idx];
-        if tok.kind().is_end() {
-            // Parent closes before another sibling starts.
-            return Ok(None);
-        }
-        Ok(Some(
-            data.token_id(idx)
-                .ok_or(StoreError::Corrupt("node token without id"))?,
-        ))
-    }
-
-    /// The node's preceding sibling, if any.
-    pub fn prev_sibling_of(&self, id: NodeId) -> Result<Option<NodeId>, StoreError> {
-        let (begin_range, begin_index, _) = self.find_begin(id)?;
-        let (mut block_page, mut slot, mut data) = self.load_range(begin_range)?;
-        let mut idx = begin_index as i64;
-        let mut balance = 0i64;
-        loop {
-            idx -= 1;
-            while idx < 0 {
-                match self.prev_range_pos(block_page, slot)? {
-                    Some((b, s)) => {
-                        block_page = b;
-                        slot = s;
-                        data = self.load_range_at(b, s)?;
-                        idx = data.tokens.len() as i64 - 1;
-                    }
-                    None => return Ok(None),
-                }
-            }
-            let kind = data.tokens[idx as usize].kind();
-            match kind.depth_delta() {
-                1 => {
-                    if balance == 0 {
-                        // Parent's begin token reached first: no sibling.
-                        return Ok(None);
-                    }
-                    balance += 1;
-                    if balance == 0 {
-                        // A closed subtree's begin token — a sibling unless
-                        // it is an attribute node (attributes are not
-                        // siblings; keep scanning left past them).
-                        if kind == TokenKind::BeginAttribute {
-                            continue;
-                        }
-                        return Ok(Some(
-                            data.token_id(idx as usize)
-                                .ok_or(StoreError::Corrupt("begin token without id"))?,
-                        ));
-                    }
-                }
-                -1 => balance -= 1,
-                _ => {
-                    if balance == 0 {
-                        // A leaf sibling.
-                        return Ok(Some(
-                            data.token_id(idx as usize)
-                                .ok_or(StoreError::Corrupt("leaf token without id"))?,
-                        ));
-                    }
-                }
-            }
-        }
-    }
-
-    /// Reads a subtree with regenerated identifiers (helper for navigation).
-    fn read_subtree_with_ids(
-        &self,
-        id: NodeId,
-    ) -> Result<Vec<(Option<NodeId>, Token)>, StoreError> {
-        let pos = self.find_position(id)?;
-        let (mut block_page, mut slot, mut data) = self.load_range(pos.begin_range)?;
-        let mut idx = pos.begin_index as usize;
-        let mut regen = IdRegenerator::new(
-            data.token_id(idx)
-                .map(|_| data.header.start_id)
-                .unwrap_or(data.header.start_id),
-        );
-        // Fast-forward the regenerator to the begin token.
-        let mut regen_at = 0usize;
-        while regen_at < idx {
-            regen.step(data.tokens[regen_at].kind());
-            regen_at += 1;
-        }
-        let mut out = Vec::new();
-        loop {
-            let tok = data.tokens[idx].clone();
-            let nid = regen.step(tok.kind());
-            let done = data.header.range_id == pos.end_range && idx as u32 == pos.end_index;
-            out.push((nid, tok));
-            if done {
-                return Ok(out);
-            }
-            idx += 1;
-            while idx >= data.tokens.len() {
-                let (b, s) = self
-                    .next_range_pos(block_page, slot)?
-                    .ok_or(StoreError::Corrupt("subtree runs past end of store"))?;
-                block_page = b;
-                slot = s;
-                data = self.load_range_at(b, s)?;
-                idx = 0;
-                regen = IdRegenerator::new(data.header.start_id);
-            }
-        }
-    }
-}
+//! be maintained by the Partial Index." The navigation layer — parent,
+//! children, siblings, attributes, names, and string values, all derived
+//! from the flat token representation — lives in [`crate::view::ReadView`]
+//! as provided methods, so the same algorithms run against the live store
+//! and against frozen MVCC snapshots. This module keeps the store-backed
+//! test battery for that layer.
 
 #[cfg(test)]
 mod tests {
-    use super::*;
-    use crate::store::StoreBuilder;
+    use crate::store::{StoreBuilder, XmlStore};
+    use crate::view::ReadView;
+    use axs_xdm::{NodeId, Token, TokenKind};
     use axs_xml::{parse_fragment, ParseOptions};
 
     fn frag(xml: &str) -> Vec<Token> {

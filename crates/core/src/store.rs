@@ -7,6 +7,7 @@
 //! The Partial Index is memory-resident by design (§5, Table 5 row 4).
 
 use crate::error::StoreError;
+use crate::mvcc::{EpochRegistry, MvccStats};
 use crate::policy::{AdaptiveController, AdaptiveDecision, IndexingPolicy};
 use crate::range::{chop_fragment, RangeData, RangeHeader, RANGE_HEADER_LEN};
 use crate::stats::{LookupPath, SharedStats, StoreStats};
@@ -19,7 +20,7 @@ use axs_storage::{
 };
 use axs_xdm::{fragment_well_formed, NodeId, Token};
 use parking_lot::{Mutex, MutexGuard};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -212,6 +213,7 @@ impl StoreBuilder {
         let mut store = XmlStore::empty(self.policy, data_pool, index_pool, meta_page)?;
         store.wal = wal;
         store.write_meta()?;
+        store.publish_snapshot(0)?;
         Ok(store)
     }
 
@@ -303,6 +305,8 @@ impl StoreBuilder {
             .torn_tail_truncations
             .store(torn_tails, std::sync::atomic::Ordering::Relaxed);
         store.rebuild_indexes()?;
+        // Epoch 1 is the recovered state: exactly the WAL-committed prefix.
+        store.publish_snapshot(0)?;
         Ok(store)
     }
 }
@@ -355,6 +359,12 @@ pub struct XmlStore {
     target_range_bytes: AtomicUsize,
     policy: IndexingPolicy,
     stats: SharedStats,
+    /// Epoch lifecycle for MVCC snapshot reads; shared with the server
+    /// sessions that pin epochs, so it outlives catalog eviction.
+    epochs: Arc<EpochRegistry>,
+    /// Ranges whose payload changed since the last published snapshot —
+    /// the copy-on-write set: only these are re-decoded at publish time.
+    mvcc_dirty: HashSet<u64>,
 }
 
 impl XmlStore {
@@ -399,6 +409,8 @@ impl XmlStore {
             target_range_bytes: AtomicUsize::new(target_range_bytes),
             policy,
             stats: SharedStats::default(),
+            epochs: Arc::new(EpochRegistry::default()),
+            mvcc_dirty: HashSet::new(),
         })
     }
 
@@ -594,6 +606,7 @@ impl XmlStore {
             self.data_pool.sync()?;
         }
         self.index_pool.sync()?;
+        self.publish_snapshot(0)?;
         Ok(())
     }
 
@@ -614,6 +627,7 @@ impl XmlStore {
         let _span = axs_obs::span_enter(axs_obs::EventKind::Commit, 0, 0);
         self.write_meta()?;
         let Some(wal) = &mut self.wal else {
+            self.publish_snapshot(0)?;
             return Ok(None);
         };
         let images = self.data_pool.unlogged_dirty_images();
@@ -626,7 +640,60 @@ impl XmlStore {
         if last_lsn > 0 {
             self.data_pool.set_stamp_lsn(last_lsn);
         }
+        // Publish the new epoch after the batch is sealed in the WAL. This
+        // is the same visibility-before-durability point as the exclusive
+        // write lock release: snapshot readers may observe the commit
+        // before its group fsync completes, and a crash in that window
+        // erases the epoch together with the batch on replay.
+        self.publish_snapshot(ticket.lsn())?;
         Ok(Some(ticket))
+    }
+
+    // ---- MVCC snapshot publication -----------------------------------------
+
+    /// The per-store epoch registry. Shared (`Arc`) with server sessions so
+    /// pinned snapshots stay readable across catalog eviction of the store.
+    pub fn epoch_registry(&self) -> Arc<EpochRegistry> {
+        self.epochs.clone()
+    }
+
+    /// Epoch lifecycle counters (the `mvcc.*` stat entries).
+    pub fn mvcc_stats(&self) -> MvccStats {
+        self.epochs.stats()
+    }
+
+    /// Marks a range's payload as changed since the last snapshot; publish
+    /// re-decodes exactly these and shares every other range's `Arc` with
+    /// the previous epoch.
+    fn mark_range_dirty(&mut self, range_id: u64) {
+        self.mvcc_dirty.insert(range_id);
+    }
+
+    /// Publishes the current range chain as the next epoch (copy-on-write:
+    /// clean ranges reuse the previous snapshot's decoded data).
+    fn publish_snapshot(&mut self, lsn: u64) -> Result<(), StoreError> {
+        let prev = self.epochs.current();
+        let mut ranges = Vec::with_capacity(self.range_dir.len());
+        let mut cur = self.first_range_pos()?;
+        while let Some((b, s)) = cur {
+            let payload = self
+                .data_pool
+                .read(b, |buf| block::range_bytes(buf, b, s).map(<[u8]>::to_vec))??;
+            let header = RangeHeader::decode(&payload)?;
+            let reuse = if self.mvcc_dirty.contains(&header.range_id) {
+                None
+            } else {
+                prev.as_ref().and_then(|p| p.range_arc(header.range_id))
+            };
+            ranges.push(match reuse {
+                Some(arc) => arc,
+                None => Arc::new(RangeData::decode(&payload)?),
+            });
+            cur = self.next_range_pos(b, s)?;
+        }
+        self.epochs.publish(lsn, ranges);
+        self.mvcc_dirty.clear();
+        Ok(())
     }
 
     /// Group-commit activity (fsync batching behind [`XmlStore::commit`]);
@@ -925,6 +992,7 @@ impl XmlStore {
         self.data_pool.write(block_page, |buf| {
             block::replace_range(buf, block_page, slot, &payload)
         })??;
+        self.mark_range_dirty(range.header.range_id);
         Ok(())
     }
 
@@ -1164,6 +1232,9 @@ impl XmlStore {
         pos: u16,
         ranges: &[RangeData],
     ) -> Result<(), StoreError> {
+        for r in ranges {
+            self.mark_range_dirty(r.header.range_id);
+        }
         let payloads: Vec<Vec<u8>> = ranges.iter().map(RangeData::encode).collect();
         let max = block::max_payload(self.page_size);
         for p in &payloads {
@@ -1315,6 +1386,7 @@ impl XmlStore {
                     self.data_pool.write(block_page, |buf| {
                         block::replace_range(buf, block_page, slot, &left_payload)
                     })??;
+                    self.mark_range_dirty(range_id);
                     split_info = Some(SplitInfo {
                         range_id,
                         at: token_idx as u32,
@@ -1494,6 +1566,7 @@ impl XmlStore {
         to: usize,
     ) -> Result<(), StoreError> {
         let header = data.header;
+        self.mark_range_dirty(header.range_id);
         let prefix: Vec<Token> = data.tokens[..from].to_vec();
         let suffix: Vec<Token> = data.tokens[to + 1..].to_vec();
         let prefix_ids = axs_xdm::count_ids(&prefix);

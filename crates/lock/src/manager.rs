@@ -100,6 +100,10 @@ pub struct LockStats {
     /// Shared (S/IS) requests granted with their whole intention path in
     /// one step by the fast path — the common case for read traffic.
     pub fast_shared_grants: u64,
+    /// Reads that skipped the lock hierarchy entirely because they ran
+    /// against a pinned MVCC snapshot — they never touched the manager
+    /// beyond this counter, so they can neither wait nor deadlock.
+    pub snapshot_bypasses: u64,
 }
 
 /// Encodes a lock mode into an observability event's `a` field (the
@@ -150,6 +154,7 @@ pub struct LockManager {
     waits: AtomicU64,
     deadlocks: AtomicU64,
     fast_shared_grants: AtomicU64,
+    snapshot_bypasses: AtomicU64,
 }
 
 impl Default for LockManager {
@@ -169,7 +174,14 @@ impl LockManager {
             waits: AtomicU64::new(0),
             deadlocks: AtomicU64::new(0),
             fast_shared_grants: AtomicU64::new(0),
+            snapshot_bypasses: AtomicU64::new(0),
         }
+    }
+
+    /// Records a read that ran against a pinned MVCC snapshot instead of
+    /// acquiring S locks (see [`LockStats::snapshot_bypasses`]).
+    pub fn note_snapshot_bypass(&self) {
+        self.snapshot_bypasses.fetch_add(1, Ordering::Relaxed);
     }
 
     /// A snapshot of the cumulative activity counters.
@@ -179,6 +191,7 @@ impl LockManager {
             waits: self.waits.load(Ordering::Relaxed),
             deadlocks: self.deadlocks.load(Ordering::Relaxed),
             fast_shared_grants: self.fast_shared_grants.load(Ordering::Relaxed),
+            snapshot_bypasses: self.snapshot_bypasses.load(Ordering::Relaxed),
         }
     }
 

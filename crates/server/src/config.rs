@@ -47,6 +47,14 @@ pub struct ServerConfig {
     /// used idle store is flushed and closed when one more must open.
     /// Stores with requests in flight are never evicted.
     pub max_open_stores: usize,
+    /// MVCC snapshot reads. On (the default), data-read opcodes pin the
+    /// store's current epoch at dispatch and run lock-free against that
+    /// frozen snapshot — readers never wait for writers or each other.
+    /// Off forces every read through the hierarchical lock manager and the
+    /// store's reader-writer lock (the pre-MVCC behavior; the netbench A/B
+    /// baseline). Admin reads (`Stats`, `Report`, `Verify`, …) always take
+    /// the locked path: they inspect live store internals, not a snapshot.
+    pub mvcc: bool,
 }
 
 impl Default for ServerConfig {
@@ -63,6 +71,7 @@ impl Default for ServerConfig {
             slow_request: Some(Duration::from_millis(50)),
             trace: true,
             max_open_stores: 8,
+            mvcc: true,
         }
     }
 }

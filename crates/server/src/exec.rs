@@ -11,19 +11,29 @@
 //! deadlock victim is answered with a typed `Lock` error and can simply
 //! be retried by the client.
 //!
+//! **Data reads take none of those locks.** With MVCC on (the default),
+//! every document-content read — point reads, navigation, XPath, FLWOR,
+//! full scans — pins the epoch current at dispatch and runs against that
+//! frozen [`Snapshot`](axs_core::Snapshot): readers never wait for
+//! writers, writers never wait for readers, and a long scan observes one
+//! consistent commit point no matter how many commits land meanwhile.
+//! The locked path below remains for writes, for admin reads, and as the
+//! `mvcc: false` baseline.
+//!
 //! Physical access to each [`XmlStore`] is a reader-writer lock mirroring
 //! the logical modes: the store's entire read API works through `&self`
 //! (partial-index memoization and statistics are internally synchronized),
 //! so every read-only opcode executes under *shared* access and genuinely
 //! overlaps with other readers. Mutating opcodes take the writer side,
-//! commit, then release it *before* waiting on the group-commit fsync —
-//! so the store is already serving the next request while this writer's
-//! durability is batched with its neighbors'. The lock manager layers the
-//! *logical* concurrency control of the paper's three-layer hierarchy
-//! (store / block / range) on top: admission, isolation, and deadlock
-//! detection for many sessions. Both the reader-writer lock and the lock
-//! manager live on the store's catalog slot, so sessions on different
-//! stores share nothing and never contend.
+//! commit, publish the next MVCC epoch, then release it *before* waiting
+//! on the group-commit fsync — so the store is already serving the next
+//! request while this writer's durability is batched with its neighbors'.
+//! The lock manager layers the *logical* concurrency control of the
+//! paper's three-layer hierarchy (store / block / range) on top:
+//! admission, isolation, and deadlock detection for many sessions. Both
+//! the reader-writer lock and the lock manager live on the store's
+//! catalog slot, so sessions on different stores share nothing and never
+//! contend.
 
 use crate::metrics::EngineMetrics;
 use crate::stats::ServerStats;
@@ -31,7 +41,7 @@ use axs_catalog::{Catalog, CatalogError, StoreSlot};
 use axs_client::wire::{
     put_str, put_u16, put_u32, put_u64, ErrorCode, Frame, OpCode, Reader, WireError,
 };
-use axs_core::{StoreError, XmlStore, GC_HISTOGRAM_BOUNDS, GC_HISTOGRAM_BUCKETS};
+use axs_core::{ReadView, StoreError, XmlStore, GC_HISTOGRAM_BOUNDS, GC_HISTOGRAM_BUCKETS};
 use axs_lock::{LockError, LockMode, Resource};
 use axs_xdm::{NodeId, Token};
 use axs_xml::{parse_document, parse_fragment, serialize, ParseOptions, SerializeOptions};
@@ -126,6 +136,7 @@ pub(crate) struct Engine {
     stats: Arc<ServerStats>,
     metrics: Arc<EngineMetrics>,
     debug_sleep: bool,
+    mvcc: bool,
 }
 
 impl Engine {
@@ -134,12 +145,14 @@ impl Engine {
         stats: Arc<ServerStats>,
         metrics: Arc<EngineMetrics>,
         debug_sleep: bool,
+        mvcc: bool,
     ) -> Engine {
         Engine {
             catalog,
             stats,
             metrics,
             debug_sleep,
+            mvcc,
         }
     }
 
@@ -219,10 +232,37 @@ impl Engine {
         // Everything else addresses the store in the frame header: resolve
         // it (lazy-opening it on first access), then run under its locks.
         let slot = self.catalog.slot_by_id(req.store)?;
+        if self.mvcc && Self::snapshot_read(opcode) {
+            // MVCC fast path: pin the epoch current at dispatch and run
+            // against that frozen snapshot. No hierarchical locks, no
+            // store reader-writer lock — this read cannot wait on any
+            // writer, and no writer waits on it. The in-flight gauge
+            // still counts it so overlap stays observable.
+            if let Some(snap) = slot.epochs.pin() {
+                slot.locks.note_snapshot_bypass();
+                ServerStats::bump(&self.stats.reads_snapshot);
+                let _in_flight = self.stats.read_enter();
+                return self.run_read_data(req, opcode, &*snap);
+            }
+            // No published epoch (never happens for a built/opened store;
+            // defensive): fall through to the locked path.
+        }
         match self.intent_of(req, opcode)? {
             Intent::None => self.run(req, opcode, &slot),
             intent => self.run_locked(req, opcode, intent, &slot),
         }
+    }
+
+    /// Data-read opcodes eligible for the lock-free snapshot path: they
+    /// read document content only. Admin reads (`Stats`, `Metrics`,
+    /// `Report`, `Ranges`, `Verify`) inspect live store internals — pools,
+    /// indexes, on-disk layout — so they keep the locked path.
+    fn snapshot_read(opcode: OpCode) -> bool {
+        use OpCode::*;
+        matches!(
+            opcode,
+            ReadNode | Value | Children | Parent | Query | Flwor | ReadAll
+        )
     }
 
     /// Catalog management opcodes: create / drop / list / resolve.
@@ -441,14 +481,18 @@ impl Engine {
         Ok(frames)
     }
 
-    /// Read-only opcodes: `store` is a shared borrow — any number of these
-    /// run concurrently.
-    fn run_read(
+    /// Document-content reads, generic over the [`ReadView`] they run
+    /// against: the live [`XmlStore`] (locked path, MVCC off or a store
+    /// with no published epoch) or a pinned MVCC [`Snapshot`]
+    /// (lock-free path). One body, two access modes — the concurrency
+    /// battery's engine-agreement tests lean on this sharing.
+    ///
+    /// [`Snapshot`]: axs_core::Snapshot
+    fn run_read_data<V: ReadView>(
         &self,
         req: &Frame,
         opcode: OpCode,
-        store: &XmlStore,
-        slot: &StoreSlot,
+        view: &V,
     ) -> Result<Vec<Frame>, ExecError> {
         use OpCode::*;
         let id = req.req_id;
@@ -460,7 +504,7 @@ impl Engine {
                 r.finish()?;
                 let compiled = axs_xpath::compile(&path)
                     .map_err(|e| ExecError::new(ErrorCode::Parse, e.to_string()))?;
-                let matches = axs_xpath::evaluate_store(store, &compiled)?;
+                let matches = axs_xpath::evaluate_store(view, &compiled)?;
                 let mut frames = Vec::with_capacity(matches.len() + 1);
                 for (node, tokens) in &matches {
                     let mut p = Vec::new();
@@ -479,7 +523,7 @@ impl Engine {
                 r.finish()?;
                 let q = axs_xquery::parse_flwor(&text)
                     .map_err(|e| ExecError::new(ErrorCode::Parse, e.to_string()))?;
-                let rows = axs_xquery::evaluate_flwor(store, &q)?;
+                let rows = axs_xquery::evaluate_flwor(view, &q)?;
                 let mut frames = Vec::with_capacity(rows.len() + 1);
                 for row in &rows {
                     let mut p = Vec::new();
@@ -494,7 +538,7 @@ impl Engine {
             ReadNode => {
                 let node = NodeId(r.u64()?);
                 r.finish()?;
-                let tokens = store.read_node(node)?;
+                let tokens = view.read_node(node)?;
                 let mut p = Vec::new();
                 put_str(&mut p, &Self::render(&tokens)?);
                 vec![Frame::done(id, op, p)]
@@ -502,7 +546,7 @@ impl Engine {
             Value => {
                 let node = NodeId(r.u64()?);
                 r.finish()?;
-                let value = store.string_value(node)?;
+                let value = view.string_value(node)?;
                 let mut p = Vec::new();
                 put_str(&mut p, &value);
                 vec![Frame::done(id, op, p)]
@@ -510,12 +554,12 @@ impl Engine {
             Children => {
                 let node = NodeId(r.u64()?);
                 r.finish()?;
-                let kids = store.children_of(node)?;
+                let kids = view.children_of(node)?;
                 let mut p = Vec::new();
                 put_u32(&mut p, kids.len() as u32);
                 for kid in kids {
                     put_u64(&mut p, kid.get());
-                    let name = store
+                    let name = view
                         .name_of(kid)?
                         .map(|q| q.to_lexical())
                         .unwrap_or_default();
@@ -526,7 +570,7 @@ impl Engine {
             Parent => {
                 let node = NodeId(r.u64()?);
                 r.finish()?;
-                let parent = store.parent_of(node)?;
+                let parent = view.parent_of(node)?;
                 let mut p = Vec::new();
                 p.push(u8::from(parent.is_some()));
                 put_u64(&mut p, parent.map_or(0, NodeId::get));
@@ -534,7 +578,7 @@ impl Engine {
             }
             ReadAll => {
                 r.finish()?;
-                let tokens = store.read_all()?;
+                let tokens = view.read_all()?;
                 let text = Self::render(&tokens)?;
                 let mut frames = Vec::with_capacity(text.len() / READ_ALL_CHUNK + 2);
                 // Chunks split on byte boundaries; the client re-validates
@@ -547,6 +591,29 @@ impl Engine {
                 frames.push(Frame::done(id, op, fin));
                 frames
             }
+            _ => unreachable!("not a data-read opcode"),
+        };
+        Ok(frames)
+    }
+
+    /// Read-only opcodes on the locked path: `store` is a shared borrow —
+    /// any number of these run concurrently. Data reads delegate to the
+    /// generic body; admin reads inspect the live store and the slot.
+    fn run_read(
+        &self,
+        req: &Frame,
+        opcode: OpCode,
+        store: &XmlStore,
+        slot: &StoreSlot,
+    ) -> Result<Vec<Frame>, ExecError> {
+        use OpCode::*;
+        if Self::snapshot_read(opcode) {
+            return self.run_read_data(req, opcode, store);
+        }
+        let id = req.req_id;
+        let op = req.opcode;
+        let r = Reader::new(&req.payload);
+        let frames = match opcode {
             Stats => {
                 r.finish()?;
                 let entries = self.stat_entries(store, slot);
@@ -756,6 +823,23 @@ impl Engine {
                 }
             }
         }
+        {
+            // Epoch lifecycle of this store: how many snapshots are alive,
+            // where the min-active-epoch watermark sits, and how much has
+            // been reclaimed. `mvcc.snapshot_age_*` is the pin-time age of
+            // the snapshot readers actually observed, in microseconds.
+            let m = slot.epochs.stats();
+            out.push(("mvcc.current_epoch".to_string(), m.current_epoch));
+            out.push(("mvcc.epochs_live".to_string(), m.epochs_live));
+            out.push(("mvcc.oldest_pinned".to_string(), m.oldest_pinned));
+            out.push(("mvcc.retired_total".to_string(), m.retired_total));
+            out.push(("mvcc.pins_active".to_string(), m.pins_active));
+            out.push(("mvcc.pins_total".to_string(), m.pins_total));
+            let age = slot.epochs.age_snapshot();
+            out.push(("mvcc.snapshot_age_us_p50".to_string(), age.percentile(0.50)));
+            out.push(("mvcc.snapshot_age_us_p99".to_string(), age.percentile(0.99)));
+            out.push(("mvcc.snapshot_age_us_max".to_string(), age.max));
+        }
         let locks = slot.locks.stats();
         out.push(("lock.acquisitions".to_string(), locks.acquisitions));
         out.push((
@@ -764,6 +848,10 @@ impl Engine {
         ));
         out.push(("lock.waits".to_string(), locks.waits));
         out.push(("lock.deadlocks".to_string(), locks.deadlocks));
+        out.push((
+            "lock.snapshot_bypasses".to_string(),
+            locks.snapshot_bypasses,
+        ));
         let (cat, live, open) = self.catalog.stats();
         out.push(("cat.stores".to_string(), live as u64));
         out.push(("cat.open_stores".to_string(), open as u64));

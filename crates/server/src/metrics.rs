@@ -416,7 +416,9 @@ mod tests {
             "{text}"
         );
         assert!(
-            text.contains("axs_request_duration_us_count{family=\"point_read\",store=\"default\"} 1"),
+            text.contains(
+                "axs_request_duration_us_count{family=\"point_read\",store=\"default\"} 1"
+            ),
             "{text}"
         );
         assert!(

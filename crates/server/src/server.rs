@@ -126,7 +126,13 @@ impl Server {
         let stats = Arc::new(ServerStats::default());
         let metrics = Arc::new(EngineMetrics::new(config.slow_request));
         let shared = Arc::new(Shared {
-            engine: Engine::new(Arc::new(catalog), stats.clone(), metrics, config.debug_sleep),
+            engine: Engine::new(
+                Arc::new(catalog),
+                stats.clone(),
+                metrics,
+                config.debug_sleep,
+                config.mvcc,
+            ),
             pool: WorkerPool::new(config.workers, config.queue_depth),
             stats,
             config,
@@ -456,10 +462,12 @@ fn answer(req: &Frame, shared: &Arc<Shared>, writer: &mut BufWriter<TcpStream>) 
         let outcome = job_shared.engine.dispatch(&job_req);
         let trace = axs_obs::trace_finish();
         let store_label = job_shared.engine.store_label(job_req.store);
-        job_shared
-            .engine
-            .metrics()
-            .finish_request(job_req.opcode, &store_label, enqueued.elapsed(), trace);
+        job_shared.engine.metrics().finish_request(
+            job_req.opcode,
+            &store_label,
+            enqueued.elapsed(),
+            trace,
+        );
         // The session may have timed out and moved on; a dead channel
         // just discards the result.
         let _ = tx.send(outcome);

@@ -31,6 +31,9 @@ pub struct ServerStats {
     pub protocol_errors: AtomicU64,
     /// Read opcodes executed under shared store access.
     pub reads_shared: AtomicU64,
+    /// Read opcodes served from a pinned MVCC snapshot — no store lock,
+    /// no hierarchical locks; a subset of `reads_shared`.
+    pub reads_snapshot: AtomicU64,
     /// Write opcodes executed under exclusive store access.
     pub writes_exclusive: AtomicU64,
     /// Read opcodes currently holding shared access.
@@ -80,6 +83,7 @@ impl ServerStats {
             ("server.deadlocks", read(&self.deadlocks)),
             ("server.protocol_errors", read(&self.protocol_errors)),
             ("server.reads_shared", read(&self.reads_shared)),
+            ("server.reads_snapshot", read(&self.reads_snapshot)),
             ("server.writes_exclusive", read(&self.writes_exclusive)),
             ("server.reads_in_flight", read(&self.reads_in_flight)),
             (

@@ -127,7 +127,13 @@ fn metrics_opcode_exposes_every_documented_series() {
 /// histogram) must move, and the server-computed hit ratio must follow.
 #[test]
 fn partial_index_counters_move_under_cached_lookups() {
-    let handle = start_in_memory(ServerConfig::default());
+    // The partial index serves the *locked* read path; MVCC snapshot
+    // reads resolve ids inside the frozen snapshot instead. Turn MVCC
+    // off so the cached lookups actually reach the partial index.
+    let handle = start_in_memory(ServerConfig {
+        mvcc: false,
+        ..ServerConfig::default()
+    });
     let mut c = connect(&handle);
 
     let items: String = (0..32).map(|i| format!(r#"<item n="{i}"/>"#)).collect();
@@ -176,8 +182,12 @@ fn partial_index_counters_move_under_cached_lookups() {
 /// taken — the acceptance shape for diagnosing a slow request.
 #[test]
 fn slow_log_emits_span_tree_with_lock_and_index_events() {
+    // Lock-wait and index-path events are locked-path instrumentation;
+    // snapshot reads take no locks and probe no index, so this test pins
+    // the pre-MVCC read path.
     let handle = start_in_memory(ServerConfig {
         slow_request: Some(Duration::ZERO),
+        mvcc: false,
         ..ServerConfig::default()
     });
     let mut c = connect(&handle);

@@ -112,7 +112,9 @@ fn three_stores_concurrent_writes_restart_shadow_verify() {
         for store in STORES {
             admin.create_store(store).unwrap();
             admin.use_store(store).unwrap();
-            admin.bulk_load(&format!("<{store}><seed/></{store}>")).unwrap();
+            admin
+                .bulk_load(&format!("<{store}><seed/></{store}>"))
+                .unwrap();
         }
     }
 

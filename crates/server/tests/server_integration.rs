@@ -6,7 +6,7 @@
 //! single-threaded shadow store replaying the same operations.
 
 use axs_client::{Client, ClientError};
-use axs_core::StoreBuilder;
+use axs_core::{ReadView, StoreBuilder};
 use axs_server::{Server, ServerConfig, ServerHandle};
 use axs_xml::{parse_fragment, serialize, ParseOptions, SerializeOptions};
 use std::time::Duration;
@@ -410,4 +410,89 @@ fn requests_after_shutdown_are_rejected() {
         Err(other) => panic!("unexpected error: {other}"),
     }
     handle.join().unwrap();
+}
+
+/// Data reads take the MVCC snapshot path: zero lock-manager traffic,
+/// counted by `server.reads_snapshot` / `lock.snapshot_bypasses`, and
+/// read-your-writes holds (an acknowledged write's epoch is published
+/// before the response, so the next read pins it or something newer).
+#[test]
+fn snapshot_reads_bypass_locks_and_see_acknowledged_writes() {
+    let handle = start_in_memory(ServerConfig::default());
+    let mut c = connect(&handle);
+
+    let (root, _) = c.bulk_load(r#"<doc><a>1</a></doc>"#).unwrap();
+
+    let get = |stats: &[axs_client::StatEntry], name: &str| {
+        stats
+            .iter()
+            .find(|e| e.name == name)
+            .unwrap_or_else(|| panic!("stat {name} missing"))
+            .value
+    };
+    let before = c.stats().unwrap();
+    let locks0 = get(&before, "lock.acquisitions");
+    let bypass0 = get(&before, "lock.snapshot_bypasses");
+    let snap0 = get(&before, "server.reads_snapshot");
+
+    // Read-your-writes across the snapshot path: every acknowledged
+    // insert is visible to the very next read.
+    for i in 0..8 {
+        let (id, _) = c.insert_last(root, &format!(r#"<e n="{i}"/>"#)).unwrap();
+        let xml = c.read_node(id).unwrap();
+        assert!(xml.contains(&format!(r#"n="{i}""#)), "{xml}");
+        assert_eq!(c.parent(id).unwrap(), Some(root));
+    }
+    assert_eq!(c.query("//e").unwrap().len(), 8);
+
+    let after = c.stats().unwrap();
+    let reads = 8 * 2 + 1; // read_node + parent per round, plus the query
+    assert_eq!(
+        get(&after, "server.reads_snapshot") - snap0,
+        reads,
+        "every data read took the snapshot path"
+    );
+    assert_eq!(
+        get(&after, "lock.snapshot_bypasses") - bypass0,
+        reads,
+        "each snapshot read bypassed the lock hierarchy exactly once"
+    );
+    // Writes still lock; reads contributed zero acquisitions: exactly one
+    // X-path (store IX, block IX, range X or store X) per insert.
+    let lock_delta = get(&after, "lock.acquisitions") - locks0;
+    assert!(
+        lock_delta <= 8 * 3 + 2,
+        "reads must not acquire locks (saw {lock_delta} acquisitions for 8 writes)"
+    );
+    assert!(
+        get(&after, "mvcc.current_epoch") >= 9,
+        "one epoch per commit"
+    );
+    assert_eq!(
+        get(&after, "mvcc.pins_active"),
+        0,
+        "pins are request-scoped"
+    );
+
+    // The locked baseline still answers identically when MVCC is off.
+    drop(c);
+    handle.shutdown();
+    handle.join().unwrap();
+    let locked = Server::start(
+        StoreBuilder::new().build().unwrap(),
+        ServerConfig {
+            mvcc: false,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut c = connect(&locked);
+    let (root, _) = c.bulk_load(r#"<doc><a>1</a></doc>"#).unwrap();
+    let (id, _) = c.insert_last(root, r#"<e n="0"/>"#).unwrap();
+    assert!(c.read_node(id).unwrap().contains(r#"n="0""#));
+    let stats = c.stats().unwrap();
+    assert_eq!(get(&stats, "server.reads_snapshot"), 0);
+    assert_eq!(get(&stats, "lock.snapshot_bypasses"), 0);
+    locked.shutdown();
+    locked.join().unwrap();
 }

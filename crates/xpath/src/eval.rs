@@ -5,7 +5,7 @@
 //! steps with set semantics in document order.
 
 use crate::ast::{Axis, NodeTest, Predicate, Step, XPath};
-use axs_core::{StoreError, XmlStore};
+use axs_core::{ReadView, StoreError};
 use axs_xdm::{NodeId, Token, TokenKind};
 
 /// One query result: the matched node's token span (within the evaluated
@@ -321,10 +321,11 @@ pub fn evaluate_from_roots(tokens: &[Token], path: &XPath) -> Vec<Match> {
 /// One store-evaluation result: stable node id + subtree tokens.
 pub type StoreMatch = (Option<NodeId>, Vec<Token>);
 
-/// Evaluates a compiled path over the whole store, returning each match's
-/// stable node id and subtree tokens.
-pub fn evaluate_store(store: &XmlStore, path: &XPath) -> Result<Vec<StoreMatch>, StoreError> {
-    let pairs: Vec<(Option<NodeId>, Token)> = store.read().collect::<Result<_, _>>()?;
+/// Evaluates a compiled path over a whole read view (the live store or a
+/// frozen MVCC snapshot), returning each match's stable node id and
+/// subtree tokens.
+pub fn evaluate_store<V: ReadView>(store: &V, path: &XPath) -> Result<Vec<StoreMatch>, StoreError> {
+    let pairs: Vec<(Option<NodeId>, Token)> = store.cursor().collect::<Result<_, _>>()?;
     let borrowed: Vec<(Option<NodeId>, &Token)> = pairs.iter().map(|(id, t)| (*id, t)).collect();
     let matches = evaluate_pairs(borrowed, path);
     Ok(matches

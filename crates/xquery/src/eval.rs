@@ -1,7 +1,7 @@
 //! FLWOR evaluation over the store.
 
 use crate::ast::{AttrPart, Constructor, FlworQuery, VarPath};
-use axs_core::{StoreError, XmlStore};
+use axs_core::{ReadView, StoreError};
 use axs_xdm::{Token, TokenKind};
 use axs_xpath::evaluate_from_roots;
 use std::collections::HashMap;
@@ -29,7 +29,10 @@ type Env = HashMap<String, Vec<Vec<Token>>>;
 /// assert_eq!(serialize(&rows[0], &SerializeOptions::default())?, r#"<hot id="2"/>"#);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn evaluate_flwor(store: &XmlStore, query: &FlworQuery) -> Result<Vec<Vec<Token>>, StoreError> {
+pub fn evaluate_flwor<V: ReadView>(
+    store: &V,
+    query: &FlworQuery,
+) -> Result<Vec<Vec<Token>>, StoreError> {
     // FOR: bind the variable, one environment per binding.
     let bindings = axs_xpath::evaluate_store(store, &query.source)?;
     let mut envs: Vec<Env> = bindings
@@ -205,7 +208,7 @@ fn construct_into(env: &Env, c: &Constructor, out: &mut Vec<Token>) {
 mod tests {
     use super::*;
     use crate::parser::parse_flwor;
-    use axs_core::StoreBuilder;
+    use axs_core::{StoreBuilder, XmlStore};
     use axs_xml::{parse_fragment, serialize, ParseOptions, SerializeOptions};
 
     const DOC: &str = r#"<orders>

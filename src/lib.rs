@@ -38,8 +38,9 @@ pub use axs_xquery as xquery;
 /// Everything a typical user needs, one `use` away.
 pub mod prelude {
     pub use axs_core::{
-        AdaptiveConfig, CompactionReport, ConcurrentStore, IndexingPolicy, StorageReport,
-        StoreBuilder, StoreError, StoreStats, XmlStore,
+        AdaptiveConfig, CompactionReport, ConcurrentStore, EpochRegistry, IndexingPolicy,
+        MvccStats, PinnedSnapshot, ReadView, Snapshot, StorageReport, StoreBuilder, StoreError,
+        StoreStats, XmlStore,
     };
     pub use axs_idgen::{DeweyId, DeweyOrder, IdScheme, MonotonicIds};
     pub use axs_index::PartialIndexConfig;

@@ -306,6 +306,109 @@ fn group_commit_crash_is_all_or_nothing() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// In-flight snapshot readers across a crash: readers pinned at each
+/// commit group keep serving their frozen epoch after the store process
+/// "dies" (is dropped) mid-window — pins hold the snapshot alive
+/// independently of the store — and recovery publishes exactly one fresh
+/// epoch whose content is the WAL-committed prefix, never an epoch from
+/// an un-fsynced write.
+#[test]
+fn snapshot_readers_pinned_at_crash_points_stay_frozen() {
+    const GROUPS: usize = 4;
+    let dir = temp_dir("mvcc-crash");
+    let mut store = StoreBuilder::new()
+        .directory(&dir)
+        .storage(storage())
+        .build()
+        .unwrap();
+    store.bulk_insert(docgen::purchase_orders(2, 6)).unwrap();
+    store.flush().unwrap();
+    let baseline_wal = std::fs::metadata(dir.join("wal.log")).unwrap().len();
+    let registry = store.epoch_registry();
+
+    // Each group: mutate, commit without waiting for the group fsync, pin
+    // the epoch that commit just published. The pin's view must equal the
+    // store's logical state at that instant.
+    let root = NodeId(1);
+    let mut pins = Vec::new();
+    for g in 0..GROUPS {
+        store.insert_into_last(root, order_frag(g)).unwrap();
+        let ticket = store
+            .commit()
+            .unwrap()
+            .expect("durable stores return tickets");
+        drop(ticket); // crash may strike before this group's fsync
+        let pin = registry.pin().unwrap();
+        let expect = store.read_all().unwrap();
+        assert_eq!(pin.read_all().unwrap(), expect, "pin sees commit {g}");
+        pins.push((pin, expect));
+    }
+
+    // Crash: the store dies with every reader still in flight. The pinned
+    // epochs survive it — they are frozen heap state, not file state.
+    drop(store);
+    for (g, (pin, expect)) in pins.iter().enumerate() {
+        assert_eq!(
+            &pin.read_all().unwrap(),
+            expect,
+            "pin {g} changed across the crash of its store"
+        );
+    }
+
+    // Tear the log at "nothing durable", "something durable", and "all
+    // durable"; recovery must republish exactly the committed prefix as
+    // its single epoch 1 — uncommitted groups produce no epoch.
+    let full_wal = std::fs::metadata(dir.join("wal.log")).unwrap().len();
+    assert!(full_wal > baseline_wal);
+    let trial = temp_dir("mvcc-crash-trial");
+    for cut in [
+        baseline_wal,
+        baseline_wal + (full_wal - baseline_wal) / 2,
+        full_wal,
+    ] {
+        copy_template(&dir, &trial);
+        let wal = std::fs::OpenOptions::new()
+            .write(true)
+            .open(trial.join("wal.log"))
+            .unwrap();
+        wal.set_len(cut).unwrap();
+        drop(wal);
+
+        let recovered = StoreBuilder::new()
+            .directory(&trial)
+            .storage(storage())
+            .open()
+            .expect("recovery must reopen the store");
+        recovered.check_invariants().unwrap();
+        let tokens = recovered.read_all().unwrap();
+        let stats = recovered.mvcc_stats();
+        assert_eq!(
+            stats.current_epoch, 1,
+            "cut={cut}: recovery publishes exactly one epoch"
+        );
+        assert_eq!(stats.epochs_live, 1);
+        let snap = recovered
+            .epoch_registry()
+            .pin()
+            .expect("the recovered epoch is pinnable");
+        assert_eq!(
+            snap.read_all().unwrap(),
+            tokens,
+            "cut={cut}: the recovered epoch is the WAL-committed prefix"
+        );
+        drop(snap);
+        drop(recovered);
+        std::fs::remove_dir_all(&trial).unwrap();
+
+        // The pre-crash pins are still immutable — recovery of a copy
+        // cannot reach back into them.
+        for (pin, expect) in &pins {
+            assert_eq!(&pin.read_all().unwrap(), expect);
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn crash_matrix_every_write_index() {
     let tmpl = temp_dir("tmpl");

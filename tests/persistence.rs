@@ -3,7 +3,7 @@
 //! surviving restarts, and adaptive state reset semantics.
 
 use adaptive_xml_storage::prelude::*;
-use axs_core::IndexingPolicy;
+use axs_core::{IndexingPolicy, ReadView};
 use axs_workload::docgen;
 use axs_xml::ParseOptions;
 use std::path::PathBuf;

@@ -1,0 +1,175 @@
+//! Property test for MVCC snapshot isolation: a reader pinned at epoch E
+//! observes exactly the committed state at E — bit-identical tokens, same
+//! per-node string values — no matter how many writes commit after the
+//! pin, and never observes a node created after E.
+//!
+//! The shadow model is the sequential one: at pin time the live store's
+//! own `read_all()` (which proptest_store already proves equal to the
+//! reference semantics) is recorded, and the pinned snapshot must keep
+//! agreeing with that frozen copy while the live store diverges.
+
+use adaptive_xml_storage::prelude::*;
+use axs_xdm::TokenKind;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum WriteOp {
+    /// Append a small element under the root.
+    Append(String),
+    /// Insert before the selected live child.
+    InsertBefore(usize, String),
+    /// Delete the selected live child (subtree).
+    Delete(usize),
+    /// Replace the selected live child with a fresh element.
+    Replace(usize, String),
+}
+
+fn op_strategy() -> impl Strategy<Value = WriteOp> {
+    let name = "[a-z]{1,5}";
+    let sel = any::<usize>();
+    prop_oneof![
+        3 => name.prop_map(WriteOp::Append),
+        2 => (sel, name).prop_map(|(s, n)| WriteOp::InsertBefore(s, n)),
+        2 => sel.prop_map(WriteOp::Delete),
+        2 => (sel, name).prop_map(|(s, n)| WriteOp::Replace(s, n)),
+    ]
+}
+
+fn fragment(name: &str, text: &str) -> Vec<Token> {
+    vec![
+        Token::begin_element(name),
+        Token::text(text),
+        Token::EndElement,
+    ]
+}
+
+/// Live element ids under the root (excluding the root itself), in
+/// document order — the pool write ops pick targets from.
+fn live_children(store: &XmlStore, root: NodeId) -> Vec<NodeId> {
+    store
+        .read()
+        .map(|r| r.unwrap())
+        .filter_map(|(id, t)| match (id, t.kind()) {
+            (Some(id), TokenKind::BeginElement) if id != root => Some(id),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Applies one op against the live store; returns the id of a node the op
+/// newly created, if any (the probe for "invisible to older pins").
+fn apply(store: &mut XmlStore, root: NodeId, op: &WriteOp) -> Option<NodeId> {
+    let targets = live_children(store, root);
+    match op {
+        WriteOp::Append(name) => {
+            let iv = store.insert_into_last(root, fragment(name, "app")).unwrap();
+            Some(iv.start)
+        }
+        WriteOp::InsertBefore(sel, name) if !targets.is_empty() => {
+            let target = targets[sel % targets.len()];
+            let iv = store.insert_before(target, fragment(name, "ins")).unwrap();
+            Some(iv.start)
+        }
+        WriteOp::Delete(sel) if !targets.is_empty() => {
+            let target = targets[sel % targets.len()];
+            store.delete_node(target).unwrap();
+            None
+        }
+        WriteOp::Replace(sel, name) if !targets.is_empty() => {
+            let target = targets[sel % targets.len()];
+            let iv = store.replace_node(target, fragment(name, "rep")).unwrap();
+            Some(iv.start)
+        }
+        // Target pool empty: degrade to an append so every op commits
+        // something (keeps the epoch counter honest).
+        WriteOp::InsertBefore(_, name) | WriteOp::Replace(_, name) => {
+            let iv = store.insert_into_last(root, fragment(name, "app")).unwrap();
+            Some(iv.start)
+        }
+        WriteOp::Delete(_) => None,
+    }
+}
+
+/// What a pinned reader is entitled to see forever: the full token stream
+/// and a per-node value sample, captured from the live store at pin time.
+struct Shadow {
+    epoch: u64,
+    tokens: Vec<Token>,
+    values: Vec<(NodeId, String)>,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn pinned_readers_never_see_later_writes(
+        ops in proptest::collection::vec(op_strategy(), 1..32),
+    ) {
+        let mut store = StoreBuilder::new().build().unwrap();
+        let iv = store
+            .bulk_insert(fragment("root", "seed"))
+            .unwrap();
+        let root = iv.start;
+        store.commit().unwrap();
+
+        let registry = store.epoch_registry();
+        let mut pins: Vec<(PinnedSnapshot, Shadow)> = Vec::new();
+        let mut last_epoch = 0u64;
+
+        for (i, op) in ops.iter().enumerate() {
+            // Pin a reader every few writes, so pins of different ages
+            // coexist while the store keeps moving.
+            if i % 3 == 0 {
+                let pin = registry.pin().expect("a built store always has an epoch");
+                prop_assert!(pin.epoch() >= last_epoch, "epochs are monotone");
+                last_epoch = pin.epoch();
+                let tokens = store.read_all().unwrap();
+                // The pin taken *before* any further write agrees with the
+                // live store right now.
+                prop_assert_eq!(&pin.read_all().unwrap(), &tokens);
+                let values = live_children(&store, root)
+                    .into_iter()
+                    .take(4)
+                    .map(|id| (id, store.string_value(id).unwrap()))
+                    .collect();
+                pins.push((pin, Shadow { epoch: last_epoch, tokens, values }));
+            }
+
+            let new_node = apply(&mut store, root, op);
+            store.commit().unwrap();
+
+            // Every held pin still reads its frozen state, bit for bit —
+            // and cannot see the node this write just created.
+            for (pin, shadow) in &pins {
+                prop_assert_eq!(&pin.read_all().unwrap(), &shadow.tokens);
+                for (id, value) in &shadow.values {
+                    prop_assert_eq!(&pin.string_value(*id).unwrap(), value);
+                }
+                if let Some(id) = new_node {
+                    prop_assert!(
+                        pin.read_node(id).is_err(),
+                        "epoch {} must not see node {:?} created after it",
+                        shadow.epoch,
+                        id,
+                    );
+                }
+            }
+
+            // The watermark is the oldest held pin while any exist.
+            if let Some((_, oldest)) = pins.first() {
+                prop_assert_eq!(registry.min_active_epoch(), oldest.epoch);
+            }
+        }
+
+        // Releasing every pin collapses the registry to just the current
+        // epoch; nothing leaks.
+        drop(pins);
+        let stats = registry.stats();
+        prop_assert_eq!(stats.pins_active, 0);
+        prop_assert_eq!(stats.epochs_live, 1);
+        prop_assert_eq!(registry.min_active_epoch(), stats.current_epoch);
+    }
+}

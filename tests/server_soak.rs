@@ -8,7 +8,7 @@
 //! and this suite would never notice.
 
 use axs_client::{Client, ClientError};
-use axs_core::StoreBuilder;
+use axs_core::{ReadView, StoreBuilder};
 use axs_server::{Server, ServerConfig};
 use axs_xml::{parse_fragment, serialize, ParseOptions, SerializeOptions};
 use std::path::PathBuf;
