@@ -39,8 +39,11 @@ const CLIENT_COUNTS: &[usize] = &[1, 4, 16, 64];
 /// refuse files it does not understand. v2 added `git_commit`,
 /// `parameters`, and per-run `server_metrics` histogram snapshots. v3
 /// added the 64-client point, the per-run `mvcc` flag, and the
-/// `snapshot_scaling` locked-vs-MVCC A/B.
-const SCHEMA_VERSION: u32 = 3;
+/// `snapshot_scaling` locked-vs-MVCC A/B. v4 added the top-level
+/// `summary` block: one headline row (rps, read/write p50/p99) per
+/// scenario × client count, including the locked baseline and the
+/// single-store reference, so dashboards need not walk `runs`.
+const SCHEMA_VERSION: u32 = 4;
 
 /// Best-effort commit hash of the tree the benchmark was built from.
 fn git_commit() -> String {
@@ -262,6 +265,26 @@ fn main() {
         (section, locked)
     });
 
+    // Headline summary: one row per scenario × client count — the main
+    // sweep, the single-store reference, and the locked-read baseline —
+    // so dashboards can read the whole story without walking `runs`.
+    let mut summary: Vec<String> = Vec::new();
+    let main_label = if opts.mvcc { "mvcc" } else { "locked" };
+    for r in &runs {
+        summary.push(r.summary_json(&format!("{main_label}/clients-{}", r.clients)));
+    }
+    if let Some((_, reference)) = &store_scaling {
+        summary.push(reference.summary_json(&format!(
+            "single-store-reference/clients-{}",
+            reference.clients
+        )));
+    }
+    if let Some((_, locked)) = &snapshot_scaling {
+        for r in locked {
+            summary.push(r.summary_json(&format!("locked-baseline/clients-{}", r.clients)));
+        }
+    }
+
     let mut doc = String::from("{\n");
     doc.push_str(&format!(
         "  \"bench\": \"server_loopback\",\n  \"schema_version\": {SCHEMA_VERSION},\n  \
@@ -284,6 +307,12 @@ fn main() {
         opts.stores,
         opts.mvcc
     ));
+    doc.push_str("  \"summary\": [\n");
+    for (i, s) in summary.iter().enumerate() {
+        let sep = if i + 1 < summary.len() { "," } else { "" };
+        doc.push_str(&format!("    {s}{sep}\n"));
+    }
+    doc.push_str("  ],\n");
     doc.push_str("  \"runs\": [\n");
     for (i, r) in runs.iter().enumerate() {
         let sep = if i + 1 < runs.len() { "," } else { "" };
@@ -362,22 +391,40 @@ impl RunResult {
     }
 
     fn read_p99_us(&self) -> u64 {
-        if self.read_latencies_us.is_empty() {
+        Self::pct(&self.read_latencies_us, 0.99)
+    }
+
+    /// Percentile over an already-sorted latency vector.
+    fn pct(sorted: &[u64], p: f64) -> u64 {
+        if sorted.is_empty() {
             return 0;
         }
-        let idx = ((self.read_latencies_us.len() as f64 - 1.0) * 0.99).round() as usize;
-        self.read_latencies_us[idx]
+        let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+        sorted[idx]
+    }
+
+    /// One headline row for the archive's `summary` block.
+    fn summary_json(&self, scenario: &str) -> String {
+        format!(
+            "{{\"scenario\":\"{scenario}\",\"clients\":{},\"stores\":{},\"mvcc\":{},\
+             \"rps\":{:.0},\"read_rps\":{:.0},\"write_rps\":{:.0},\
+             \"read_p50_us\":{},\"read_p99_us\":{},\"write_p50_us\":{},\"write_p99_us\":{}}}",
+            self.clients,
+            self.stores,
+            self.mvcc,
+            self.total_rps(),
+            self.read_rps(),
+            self.write_rps(),
+            Self::pct(&self.read_latencies_us, 0.50),
+            Self::pct(&self.read_latencies_us, 0.99),
+            Self::pct(&self.write_latencies_us, 0.50),
+            Self::pct(&self.write_latencies_us, 0.99),
+        )
     }
 
     fn to_json(&self) -> String {
         let requests = self.read_latencies_us.len() + self.write_latencies_us.len();
-        let pct = |sorted: &[u64], p: f64| -> u64 {
-            if sorted.is_empty() {
-                return 0;
-            }
-            let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-            sorted[idx]
-        };
+        let pct = Self::pct;
         format!(
             "{{\"bench\":\"server_loopback\",\"clients\":{},\"workers\":{},\"stores\":{},\
              \"read_pct\":{},\"mvcc\":{},\"requests\":{requests},\"reads\":{},\"writes\":{},\

@@ -27,6 +27,9 @@ const USAGE: &str = "usage:
                                   the directory is a catalog root and may hold many
                                   named stores (create-store / use in the shell)
   axs connect HOST:PORT           interactive shell against a running server
+  axs explain HOST:PORT <id>      execute a node lookup and print its plan trace:
+  axs explain HOST:PORT query <xpath>       which lookup path served it, per-stage
+  axs explain HOST:PORT flwor <query>       timings, adaptive-index decisions
   axs top HOST:PORT [--interval-ms N] [--once]
                                   live latency/throughput dashboard for a server
   axs verify <directory> [store] [--all]
@@ -41,6 +44,7 @@ fn main() {
     let code = match args.first().map(String::as_str) {
         Some("serve") => cmd_serve(&args[1..]),
         Some("connect") => cmd_connect(&args[1..]),
+        Some("explain") => cmd_explain(&args[1..]),
         Some("top") => cmd_top(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("recover") => cmd_recover(&args[1..]),
@@ -125,6 +129,54 @@ fn repl(mut execute: impl FnMut(axs_cli::Command) -> Outcome) -> i32 {
         };
         if !emit(&format!("{output}\n")) {
             return 0;
+        }
+    }
+}
+
+// ---- axs explain ----------------------------------------------------------
+
+/// One-shot explain against a running server: same grammar as the REPL's
+/// `explain` command, one report on stdout, exit 1 on any failure.
+fn cmd_explain(args: &[String]) -> i32 {
+    let usage = "usage: axs explain HOST:PORT <id> | query <xpath> | flwor <query>";
+    let Some(addr) = args.first() else {
+        eprintln!("{usage}");
+        return 2;
+    };
+    let target = args[1..].join(" ");
+    let cmd = match parse_command(&format!("explain {target}")) {
+        Ok(Some(c)) => c,
+        Ok(None) | Err(_) if target.is_empty() => {
+            eprintln!("{usage}");
+            return 2;
+        }
+        Ok(None) => unreachable!("non-empty explain line always parses or errors"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let mut client = match axs_client::Client::connect(addr.as_str()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            return 1;
+        }
+    };
+    let report = match cmd {
+        axs_cli::Command::ExplainNode(id) => client.explain_node(id.get()),
+        axs_cli::Command::ExplainQuery(path) => client.explain_query(&path),
+        axs_cli::Command::ExplainFlwor(query) => client.explain_flwor(&query),
+        _ => unreachable!("explain lines parse to explain commands"),
+    };
+    match report {
+        Ok(r) => {
+            println!("{}", r.render());
+            0
+        }
+        Err(e) => {
+            eprintln!("explain failed: {e}");
+            1
         }
     }
 }

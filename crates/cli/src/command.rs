@@ -62,6 +62,17 @@ pub enum Command {
     CreateStore(String),
     /// `drop-store <name>` — drop a named store and its data (server only).
     DropStore(String),
+    /// `explain <id>` — execute a node lookup on the live path and print
+    /// its plan trace: lookup-path verdict, stages, decisions (server only).
+    ExplainNode(NodeId),
+    /// `explain query <xpath>` — execute and explain an XPath query.
+    ExplainQuery(String),
+    /// `explain flwor <query>` / `explain for ...` — execute and explain
+    /// a FLWOR query.
+    ExplainFlwor(String),
+    /// `recorder [n]` — dump the server's flight recorder, most recent
+    /// `n` requests (0 = server default; server only).
+    Recorder(u64),
     /// `help`.
     Help,
     /// `quit` / `exit`.
@@ -193,6 +204,40 @@ pub fn parse_command(line: &str) -> Result<Option<Command>, ParseCommandError> {
         "recover" => Command::Recover,
         "verify" => Command::Verify,
         "export" => Command::Export(need_rest("export <path>")?),
+        "explain" => {
+            let usage = "explain <id> | explain query <xpath> | explain flwor <query>";
+            let (sub, tail) = match rest.split_once(char::is_whitespace) {
+                Some((s, t)) => (s, t.trim()),
+                None => (rest, ""),
+            };
+            match sub {
+                "" => return Err(err(format!("usage: {usage}"))),
+                "query" | "q" => {
+                    if tail.is_empty() {
+                        return Err(err(format!("usage: {usage}")));
+                    }
+                    Command::ExplainQuery(tail.to_string())
+                }
+                // `explain for $x in ...` — the query starts at `for`.
+                "for" => Command::ExplainFlwor(rest.to_string()),
+                "flwor" => {
+                    if tail.is_empty() {
+                        return Err(err(format!("usage: {usage}")));
+                    }
+                    Command::ExplainFlwor(tail.to_string())
+                }
+                _ => Command::ExplainNode(parse_id(Some(sub), usage)?),
+            }
+        }
+        "recorder" => {
+            let limit = if rest.is_empty() {
+                0
+            } else {
+                rest.parse::<u64>()
+                    .map_err(|_| err("usage: recorder [n]"))?
+            };
+            Command::Recorder(limit)
+        }
         "use" => Command::Use(need_rest("use <store>")?),
         "stores" => Command::Stores,
         "create-store" => Command::CreateStore(need_rest("create-store <name>")?),
@@ -224,6 +269,9 @@ commands:
   recover                     reopen the store through crash recovery
   verify                      check invariants and page checksums
   export <path>               stream the store to an XML file
+  explain <id>                execute a lookup, print which index path served it
+  explain query <xpath> | explain for ...   explain a query (server only)
+  recorder [n]                dump the server's flight recorder (server only)
   stores                      list the server's named stores (server only)
   use <store>                 switch this session to a named store (server only)
   create-store <name> | drop-store <name>   manage named stores (server only)
@@ -350,6 +398,50 @@ mod tests {
         );
         assert!(parse_command("use").is_err());
         assert!(parse_command("create-store").is_err());
+    }
+
+    #[test]
+    fn explain_command_forms() {
+        assert_eq!(
+            parse_command("explain 7").unwrap(),
+            Some(Command::ExplainNode(NodeId(7)))
+        );
+        assert_eq!(
+            parse_command("explain #7").unwrap(),
+            Some(Command::ExplainNode(NodeId(7)))
+        );
+        assert_eq!(
+            parse_command("explain query //order[@id='7']").unwrap(),
+            Some(Command::ExplainQuery("//order[@id='7']".to_string()))
+        );
+        assert_eq!(
+            parse_command("explain for $x in /a return { $x }").unwrap(),
+            Some(Command::ExplainFlwor(
+                "for $x in /a return { $x }".to_string()
+            ))
+        );
+        assert_eq!(
+            parse_command("explain flwor for $x in /a return { $x }").unwrap(),
+            Some(Command::ExplainFlwor(
+                "for $x in /a return { $x }".to_string()
+            ))
+        );
+        assert!(parse_command("explain").is_err());
+        assert!(parse_command("explain query").is_err());
+        assert!(parse_command("explain banana").is_err());
+    }
+
+    #[test]
+    fn recorder_command_forms() {
+        assert_eq!(
+            parse_command("recorder").unwrap(),
+            Some(Command::Recorder(0))
+        );
+        assert_eq!(
+            parse_command("recorder 16").unwrap(),
+            Some(Command::Recorder(16))
+        );
+        assert!(parse_command("recorder lots").is_err());
     }
 
     #[test]

@@ -136,6 +136,10 @@ impl RemoteSession {
                 let (text, _entries) = c.metrics().map_err(fail)?;
                 text
             }
+            Command::ExplainNode(id) => c.explain_node(id.get()).map_err(fail)?.render(),
+            Command::ExplainQuery(path) => c.explain_query(&path).map_err(fail)?.render(),
+            Command::ExplainFlwor(query) => c.explain_flwor(&query).map_err(fail)?.render(),
+            Command::Recorder(limit) => c.dump_recorder(limit).map_err(fail)?,
             Command::Report => c.report().map_err(fail)?,
             Command::Ranges => c.ranges().map_err(fail)?,
             Command::Compact(target) => {
@@ -229,6 +233,14 @@ mod tests {
         assert!(run(&mut s, "report").contains("blocks"));
         assert!(run(&mut s, "ranges").contains("RangeId"));
         assert!(run(&mut s, "verify").starts_with("ok:"));
+        // Introspection: explain prints a path verdict, recorder a dump.
+        let out = run(&mut s, "explain 1");
+        assert!(out.contains("path="), "{out}");
+        assert!(out.contains("stages:"), "{out}");
+        let out = run(&mut s, "explain query //order");
+        assert!(out.contains("results=2"), "{out}");
+        let out = run(&mut s, "recorder");
+        assert!(out.contains("flight recorder dump"), "{out}");
         // Errors render, the session survives, recover is refused.
         assert!(run(&mut s, "show 999").starts_with("error:"));
         assert!(run(&mut s, "recover").starts_with("error:"));

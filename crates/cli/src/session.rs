@@ -208,6 +208,15 @@ impl Session {
                         .to_string(),
                 )
             }
+            Command::ExplainNode(_) | Command::ExplainQuery(_) | Command::ExplainFlwor(_) => {
+                return Err(
+                    "explain needs a running server (axs connect); locally, try 'stats'"
+                        .to_string(),
+                )
+            }
+            Command::Recorder(_) => {
+                return Err("the flight recorder lives in the server (axs connect)".to_string())
+            }
             Command::Report => {
                 let r = self.store.storage_report().map_err(|e| e.to_string())?;
                 format!(

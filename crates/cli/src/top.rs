@@ -128,6 +128,33 @@ pub fn render_dashboard(
         get(cur, "path.full.p99_us"),
         get(cur, "path.range_scan.p99_us"),
     );
+    // MVCC panel: how old the snapshots readers run against are, and how
+    // many epochs the pins keep alive.
+    let _ = writeln!(
+        out,
+        "mvcc: epoch {} ({} live, oldest pinned {})   pins active {} (total {})   snapshot age p50 {}us / p99 {}us",
+        get(cur, "mvcc.current_epoch"),
+        get(cur, "mvcc.epochs_live"),
+        get(cur, "mvcc.oldest_pinned"),
+        get(cur, "mvcc.pins_active"),
+        get(cur, "mvcc.pins_total"),
+        get(cur, "mvcc.snapshot_age_us_p50"),
+        get(cur, "mvcc.snapshot_age_us_p99"),
+    );
+    // Adaptive-index decision panel: the laziness at work — admissions
+    // from first-touch lookups, evictions under budget pressure, window
+    // verdicts from the read/write-mix controller.
+    let _ = writeln!(
+        out,
+        "adaptive index: admits {} ({:.1}/s)   evictions {}   skips {}   windows grow/shrink/hold {}/{}/{}",
+        get(cur, "adapt.admits"),
+        rate(prev, cur, "adapt.admits", interval),
+        get(cur, "adapt.evictions"),
+        get(cur, "adapt.skips"),
+        get(cur, "adapt.grows"),
+        get(cur, "adapt.shrinks"),
+        get(cur, "adapt.holds"),
+    );
     let _ = writeln!(
         out,
         "waits p99: queue {}us   lock {}us   group-commit {}us   wal append {}us",
@@ -206,6 +233,35 @@ mod tests {
         assert!(text.contains("default"), "{text}");
         assert!(text.contains("orders"), "{text}");
         assert!(text.contains("10.0"), "{text}"); // orders req/s over the delta
+    }
+
+    #[test]
+    fn dashboard_shows_mvcc_and_adaptive_panels() {
+        let cur = vec![
+            e("mvcc.current_epoch", 17),
+            e("mvcc.epochs_live", 3),
+            e("mvcc.oldest_pinned", 15),
+            e("mvcc.pins_active", 2),
+            e("mvcc.pins_total", 400),
+            e("mvcc.snapshot_age_us_p50", 12),
+            e("mvcc.snapshot_age_us_p99", 180),
+            e("adapt.admits", 64),
+            e("adapt.evictions", 8),
+            e("adapt.skips", 1),
+            e("adapt.grows", 2),
+            e("adapt.shrinks", 1),
+            e("adapt.holds", 9),
+        ];
+        let prev = vec![e("adapt.admits", 44)];
+        let text = render_dashboard(Some(&prev), &cur, Duration::from_secs(2), "x");
+        assert!(
+            text.contains("mvcc: epoch 17 (3 live, oldest pinned 15)"),
+            "{text}"
+        );
+        assert!(text.contains("pins active 2 (total 400)"), "{text}");
+        assert!(text.contains("snapshot age p50 12us / p99 180us"), "{text}");
+        assert!(text.contains("admits 64 (10.0/s)"), "{text}");
+        assert!(text.contains("windows grow/shrink/hold 2/1/9"), "{text}");
     }
 
     #[test]

@@ -102,6 +102,112 @@ pub struct StoreInfo {
     pub open: bool,
 }
 
+/// Decodes a wire lookup-path code (the server derives it from trace
+/// events; mirrors `axs-obs`'s path constants).
+fn path_name(code: u8) -> &'static str {
+    match code {
+        1 => "partial",
+        2 => "full",
+        3 => "scan",
+        4 => "mixed",
+        _ => "none",
+    }
+}
+
+/// One per-stage event inside an [`ExplainReport`] — a span or point
+/// event the traced request recorded (labels match the slow-log format:
+/// `queue_wait`, `lock_wait`, `lookup_partial`, `lookup_range_scan`, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExplainEvent {
+    /// Stable event label.
+    pub label: String,
+    /// Nesting depth under the request root.
+    pub depth: u8,
+    /// Start offset from the request beginning, microseconds.
+    pub at_us: u64,
+    /// Duration, microseconds (0 for point events).
+    pub dur_us: u64,
+    /// Event-specific payload (node id, token count, lock mode, …).
+    pub a: u64,
+    /// Event-specific payload.
+    pub b: u64,
+}
+
+/// The structured plan trace an `Explain` request returns: which of the
+/// three paper lookup paths fired, the MVCC and locking context, the
+/// per-stage timings, and the adaptive-index decisions the request
+/// triggered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExplainReport {
+    /// Lookup-path verdict: `none`, `partial`, `full`, `scan` or `mixed`.
+    pub path: String,
+    /// True when a normal (non-explain) execution of this request would
+    /// have run lock-free against an MVCC snapshot instead; explain
+    /// always runs the locked/live path, because only the live store
+    /// exercises the three paper lookup paths.
+    pub would_snapshot: bool,
+    /// Current epoch at execution time.
+    pub epoch: u64,
+    /// Strongest lock mode the request took (`S`, `X`, `IS`, `IX`), or
+    /// `None` when it ran without locks.
+    pub lock_mode: Option<String>,
+    /// Wall time of the explained execution, microseconds.
+    pub total_us: u64,
+    /// Result cardinality (1 for a node lookup, rows for a query).
+    pub result_count: u64,
+    /// Per-stage events in chronological order.
+    pub events: Vec<ExplainEvent>,
+    /// Adaptive-index decisions logged during this request, rendered
+    /// (`#seq +at_us admit node=… reason=…`).
+    pub decisions: Vec<String>,
+}
+
+impl ExplainReport {
+    /// Renders the report as indented text (the REPL/CLI output).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "path={} epoch={} lock={} total={}us results={}{}\n",
+            self.path,
+            self.epoch,
+            self.lock_mode.as_deref().unwrap_or("none"),
+            self.total_us,
+            self.result_count,
+            if self.would_snapshot {
+                " (normal execution would read an MVCC snapshot)"
+            } else {
+                ""
+            },
+        );
+        out.push_str("stages:\n");
+        for e in &self.events {
+            let indent = "  ".repeat(e.depth as usize + 1);
+            let _ = write!(
+                out,
+                "{indent}+{:<8} {:<18}",
+                format!("{}us", e.at_us),
+                e.label
+            );
+            if e.dur_us > 0 {
+                let _ = write!(out, " dur={}us", e.dur_us);
+            }
+            if e.a != 0 || e.b != 0 {
+                let _ = write!(out, " a={} b={}", e.a, e.b);
+            }
+            out.push('\n');
+        }
+        if self.decisions.is_empty() {
+            out.push_str("decisions: (none)\n");
+        } else {
+            out.push_str("decisions:\n");
+            for d in &self.decisions {
+                let _ = writeln!(out, "  {d}");
+            }
+        }
+        out
+    }
+}
+
 /// A blocking connection to one `axsd` server.
 ///
 /// One request is in flight at a time (the protocol is strictly
@@ -501,6 +607,98 @@ impl Client {
     /// Asks the server to shut down gracefully (flushing through the WAL).
     pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
         self.roundtrip(OpCode::Shutdown, Vec::new()).map(|_| ())
+    }
+
+    // ---- introspection ----------------------------------------------------
+
+    fn explain(&mut self, kind: u8, target: Vec<u8>) -> Result<ExplainReport, ClientError> {
+        let mut p = Vec::with_capacity(1 + target.len());
+        p.push(kind);
+        p.extend_from_slice(&target);
+        let out = self.roundtrip(OpCode::Explain, p)?;
+        let mut r = Reader::new(&out);
+        let path = path_name(r.u8()?).to_string();
+        let would_snapshot = r.u8()? != 0;
+        let epoch = r.u64()?;
+        let lock_mode = match r.u8()? {
+            0 => Some("S".to_string()),
+            1 => Some("X".to_string()),
+            2 => Some("IS".to_string()),
+            3 => Some("IX".to_string()),
+            _ => None,
+        };
+        let total_us = r.u64()?;
+        let result_count = r.u64()?;
+        let n = r.u32()? as usize;
+        let mut events = Vec::with_capacity(n);
+        for _ in 0..n {
+            let label = r.str()?;
+            let depth = r.u8()?;
+            let at_us = r.u64()?;
+            let dur_us = r.u64()?;
+            let a = r.u64()?;
+            let b = r.u64()?;
+            events.push(ExplainEvent {
+                label,
+                depth,
+                at_us,
+                dur_us,
+                a,
+                b,
+            });
+        }
+        let m = r.u32()? as usize;
+        let mut decisions = Vec::with_capacity(m);
+        for _ in 0..m {
+            decisions.push(r.str()?);
+        }
+        r.finish()?;
+        Ok(ExplainReport {
+            path,
+            would_snapshot,
+            epoch,
+            lock_mode,
+            total_us,
+            result_count,
+            events,
+            decisions,
+        })
+    }
+
+    /// Explains a node lookup: executes `read_node(id)` on the locked/live
+    /// path and returns its plan trace instead of the subtree.
+    pub fn explain_node(&mut self, id: u64) -> Result<ExplainReport, ClientError> {
+        let mut t = Vec::new();
+        put_u64(&mut t, id);
+        self.explain(0, t)
+    }
+
+    /// Explains an XPath query: executes it and returns the plan trace
+    /// instead of the matches.
+    pub fn explain_query(&mut self, path: &str) -> Result<ExplainReport, ClientError> {
+        let mut t = Vec::with_capacity(4 + path.len());
+        put_str(&mut t, path);
+        self.explain(1, t)
+    }
+
+    /// Explains a FLWOR query: executes it and returns the plan trace
+    /// instead of the rows.
+    pub fn explain_flwor(&mut self, query: &str) -> Result<ExplainReport, ClientError> {
+        let mut t = Vec::with_capacity(4 + query.len());
+        put_str(&mut t, query);
+        self.explain(2, t)
+    }
+
+    /// Dumps the server's flight recorder (most recent `limit` requests,
+    /// 0 = server default). The server also writes the dump to its stderr.
+    pub fn dump_recorder(&mut self, limit: u64) -> Result<String, ClientError> {
+        let mut p = Vec::new();
+        put_u64(&mut p, limit);
+        let out = self.roundtrip(OpCode::DumpRecorder, p)?;
+        let mut r = Reader::new(&out);
+        let text = r.str()?;
+        r.finish()?;
+        Ok(text)
     }
 
     // ---- catalog ----------------------------------------------------------

@@ -31,6 +31,6 @@ pub mod client;
 pub mod router;
 pub mod wire;
 
-pub use client::{Client, ClientError, Match, StatEntry, StoreInfo};
+pub use client::{Client, ClientError, ExplainEvent, ExplainReport, Match, StatEntry, StoreInfo};
 pub use router::{RouterError, ShardRouter};
 pub use wire::{ErrorCode, Frame, OpCode, Status};

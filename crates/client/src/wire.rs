@@ -114,6 +114,20 @@ pub enum OpCode {
     /// Resolve a store name for this connection: `str name` → `u16 id`.
     /// The client stamps the returned id into subsequent frame headers.
     UseStore = 28,
+    /// Execute a request on the locked/live path and return its plan
+    /// trace instead of its result. Request: `u8 kind` then the target —
+    /// kind 0 = node lookup (`u64 id`), 1 = XPath (`str path`),
+    /// 2 = FLWOR (`str query`). Response: `u8 path_code,
+    /// u8 would_snapshot, u64 epoch, u8 lock_mode, u64 total_us,
+    /// u64 result_count, u32 n × (str label, u8 depth, u64 at_us,
+    /// u64 dur_us, u64 a, u64 b), u32 m × str decision` — the lookup-path
+    /// verdict, MVCC context, strongest lock mode (255 = none), per-stage
+    /// events, and the adaptive decisions the request triggered.
+    Explain = 29,
+    /// Dump the flight recorder: `u64 limit` (0 = default) → `str dump`.
+    /// Also writes the dump to the server's stderr. Ignores the header's
+    /// store id.
+    DumpRecorder = 30,
 }
 
 impl OpCode {
@@ -149,6 +163,8 @@ impl OpCode {
             26 => DropStore,
             27 => ListStores,
             28 => UseStore,
+            29 => Explain,
+            30 => DumpRecorder,
             _ => return None,
         })
     }
@@ -777,7 +793,7 @@ mod tests {
             }
         }
         assert_eq!(OpCode::from_u8(0), None);
-        assert_eq!(OpCode::from_u8(29), None);
+        assert_eq!(OpCode::from_u8(31), None);
     }
 
     #[test]
@@ -807,6 +823,8 @@ mod tests {
             (26, OpCode::DropStore),
             (27, OpCode::ListStores),
             (28, OpCode::UseStore),
+            (29, OpCode::Explain),
+            (30, OpCode::DumpRecorder),
         ] {
             assert_eq!(OpCode::from_u8(b), Some(op));
         }

@@ -27,6 +27,7 @@
 //! - [`stats`] — operation and lookup-path counters;
 //! - [`locking`] — a reader-writer concurrent wrapper (§9 outlook).
 
+pub mod adapt;
 pub mod bulkload;
 pub mod cursor;
 pub mod error;
@@ -42,6 +43,7 @@ pub mod stats;
 pub mod store;
 pub mod view;
 
+pub use adapt::{AdaptCounts, AdaptEvent, AdaptEventKind, AdaptLog, ADAPT_LOG_CAPACITY};
 pub use axs_storage::{CommitTicket, GroupCommitStats, GC_HISTOGRAM_BOUNDS, GC_HISTOGRAM_BUCKETS};
 pub use bulkload::BulkLoader;
 pub use cursor::{StoreCursor, ViewCursor};

@@ -135,6 +135,7 @@ pub struct AdaptiveController {
     target_range_bytes: usize,
     partial_capacity: usize,
     decisions: u64,
+    last_read_pct: u64,
 }
 
 impl AdaptiveController {
@@ -149,6 +150,7 @@ impl AdaptiveController {
             target_range_bytes,
             partial_capacity,
             decisions: 0,
+            last_read_pct: 0,
         }
     }
 
@@ -165,6 +167,12 @@ impl AdaptiveController {
     /// Number of window-boundary decisions taken so far.
     pub fn decisions(&self) -> u64 {
         self.decisions
+    }
+
+    /// Read percentage (0–100) of the window behind the most recent
+    /// decision — the evidence the decision log records as its reason.
+    pub fn last_read_pct(&self) -> u64 {
+        self.last_read_pct
     }
 
     /// Records a read-class operation; returns a decision when a window
@@ -186,6 +194,7 @@ impl AdaptiveController {
             return None;
         }
         let read_fraction = self.reads as f64 / (self.reads + self.updates) as f64;
+        self.last_read_pct = (read_fraction * 100.0).round() as u64;
         self.reads = 0;
         self.updates = 0;
         self.decisions += 1;

@@ -6,6 +6,7 @@
 //! (Range Index and, under the full-index policy, the per-node Full Index).
 //! The Partial Index is memory-resident by design (§5, Table 5 row 4).
 
+use crate::adapt::{AdaptEventKind, AdaptLog};
 use crate::error::StoreError;
 use crate::mvcc::{EpochRegistry, MvccStats};
 use crate::policy::{AdaptiveController, AdaptiveDecision, IndexingPolicy};
@@ -354,6 +355,9 @@ pub struct XmlStore {
     /// The adaptive controller sits behind a mutex so concurrent shared
     /// readers can feed it observations without exclusive store access.
     adaptive: Option<Mutex<AdaptiveController>>,
+    /// Decision log: admit/evict/skip/retune events with reasons, always-on
+    /// counters (`adapt.*`), ring entries gated on the tracing flag.
+    decision_log: AdaptLog,
     /// Target encoded range size — atomic so adaptive decisions reached
     /// under shared access apply without a writer in between.
     target_range_bytes: AtomicUsize,
@@ -406,6 +410,7 @@ impl XmlStore {
             full_index,
             partial,
             adaptive,
+            decision_log: AdaptLog::new(),
             target_range_bytes: AtomicUsize::new(target_range_bytes),
             policy,
             stats: SharedStats::default(),
@@ -501,6 +506,11 @@ impl XmlStore {
     /// the duration of the returned guard).
     pub fn adaptive_controller(&self) -> Option<MutexGuard<'_, AdaptiveController>> {
         self.adaptive.as_ref().map(Mutex::lock)
+    }
+
+    /// The adaptive-index decision log (admit/evict/skip/retune events).
+    pub fn decision_log(&self) -> &AdaptLog {
+        &self.decision_log
     }
 
     /// The identifier the next insert will start allocating at.
@@ -738,9 +748,13 @@ impl XmlStore {
         if let Some(ctl) = &self.adaptive {
             let mut ctl = ctl.lock();
             if let Some(decision) = ctl.observe_read() {
-                let (cap, target) = (ctl.partial_capacity(), ctl.target_range_bytes());
+                let (cap, target, pct) = (
+                    ctl.partial_capacity(),
+                    ctl.target_range_bytes(),
+                    ctl.last_read_pct(),
+                );
                 drop(ctl);
-                self.apply_adaptive(decision, cap, target);
+                self.apply_adaptive(decision, cap, target, pct);
             }
         }
     }
@@ -749,15 +763,27 @@ impl XmlStore {
         if let Some(ctl) = &self.adaptive {
             let mut ctl = ctl.lock();
             if let Some(decision) = ctl.observe_update() {
-                let (cap, target) = (ctl.partial_capacity(), ctl.target_range_bytes());
+                let (cap, target, pct) = (
+                    ctl.partial_capacity(),
+                    ctl.target_range_bytes(),
+                    ctl.last_read_pct(),
+                );
                 drop(ctl);
-                self.apply_adaptive(decision, cap, target);
+                self.apply_adaptive(decision, cap, target, pct);
             }
         }
     }
 
-    fn apply_adaptive(&self, decision: AdaptiveDecision, cap: usize, target: usize) {
-        let _ = decision;
+    fn apply_adaptive(&self, decision: AdaptiveDecision, cap: usize, target: usize, read_pct: u64) {
+        let (kind, reason) = match decision {
+            AdaptiveDecision::FavorReads => (AdaptEventKind::GrowPartial, "read-heavy-window"),
+            AdaptiveDecision::FavorUpdates => {
+                (AdaptEventKind::ShrinkPartial, "update-heavy-window")
+            }
+            AdaptiveDecision::Hold => (AdaptEventKind::Hold, "mixed-window"),
+        };
+        self.decision_log
+            .record(kind, 0, cap as u64, read_pct, reason);
         self.target_range_bytes.store(
             target
                 .min(block::max_payload(self.page_size))
@@ -767,7 +793,16 @@ impl XmlStore {
         // The adaptive policy always starts with a partial index
         // (`IndexingPolicy::initial_partial`), so only the capacity moves.
         if let Some(p) = &self.partial {
-            p.set_capacity(cap);
+            let evicted = p.set_capacity(cap);
+            if evicted > 0 {
+                self.decision_log.record(
+                    AdaptEventKind::Evict,
+                    0,
+                    evicted as u64,
+                    cap as u64,
+                    "budget-shrink",
+                );
+            }
         }
     }
 
@@ -1109,7 +1144,33 @@ impl XmlStore {
             end_byte,
         };
         if let Some(p) = &self.partial {
-            p.insert(id, pos);
+            let out = p.insert(id, pos);
+            if out.admitted {
+                self.decision_log.record(
+                    AdaptEventKind::Admit,
+                    id.0,
+                    out.entries as u64,
+                    out.capacity as u64,
+                    "memoized-lookup",
+                );
+                if let Some(victim) = out.evicted {
+                    self.decision_log.record(
+                        AdaptEventKind::Evict,
+                        victim.0,
+                        out.entries as u64,
+                        out.capacity as u64,
+                        "lru-pressure",
+                    );
+                }
+            } else {
+                self.decision_log.record(
+                    AdaptEventKind::Skip,
+                    id.0,
+                    out.entries as u64,
+                    out.capacity as u64,
+                    "capacity-zero",
+                );
+            }
         }
         Ok(pos)
     }

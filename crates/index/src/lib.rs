@@ -22,5 +22,7 @@ pub mod partial;
 pub mod range_index;
 
 pub use btree::BTree;
-pub use partial::{NodePosition, PartialIndex, PartialIndexConfig, PartialIndexStats};
+pub use partial::{
+    InsertOutcome, NodePosition, PartialIndex, PartialIndexConfig, PartialIndexStats,
+};
 pub use range_index::{RangeEntry, RangeIndex};

@@ -83,6 +83,20 @@ impl PartialIndexStats {
     }
 }
 
+/// What one [`PartialIndex::insert`] call did — the raw material for the
+/// adaptive decision log (admit/evict/skip events with reasons).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InsertOutcome {
+    /// False when capacity is zero and the entry was not admitted.
+    pub admitted: bool,
+    /// The LRU victim this admission pushed out, if any.
+    pub evicted: Option<NodeId>,
+    /// Live entries after the call.
+    pub entries: usize,
+    /// Capacity bound at the time of the call.
+    pub capacity: usize,
+}
+
 struct Entry {
     pos: NodePosition,
     tick: u64,
@@ -158,19 +172,26 @@ impl PartialIndex {
     }
 
     /// Memoizes a node position discovered during a lookup. Overwrites any
-    /// stale entry for the same node. No-ops when capacity is zero.
-    pub fn insert(&self, id: NodeId, pos: NodePosition) {
+    /// stale entry for the same node. No-ops when capacity is zero. The
+    /// returned outcome says what the admission did (for the decision log).
+    pub fn insert(&self, id: NodeId, pos: NodePosition) -> InsertOutcome {
         let mut inner = self.inner.lock();
         if inner.capacity == 0 {
-            return;
+            return InsertOutcome {
+                admitted: false,
+                evicted: None,
+                entries: inner.map.len(),
+                capacity: 0,
+            };
         }
         inner.tick += 1;
         let tick = inner.tick;
+        let mut evicted = None;
         if let Some(old) = inner.map.remove(&id) {
             inner.lru.remove(&old.tick);
             inner.unlink_range(old.pos, id);
         } else if inner.map.len() >= inner.capacity {
-            inner.evict_one();
+            evicted = inner.evict_one();
         }
         inner.map.insert(id, Entry { pos, tick });
         inner.lru.insert(tick, id);
@@ -179,6 +200,12 @@ impl PartialIndex {
             inner.by_range.entry(pos.end_range).or_default().push(id);
         }
         inner.stats.insertions += 1;
+        InsertOutcome {
+            admitted: true,
+            evicted,
+            entries: inner.map.len(),
+            capacity: inner.capacity,
+        }
     }
 
     /// Drops every entry referencing `range_id` — called when a range splits
@@ -211,13 +238,18 @@ impl PartialIndex {
     }
 
     /// Retargets the capacity (the adaptive policy's knob), evicting LRU
-    /// entries immediately when shrinking.
-    pub fn set_capacity(&self, capacity: usize) {
+    /// entries immediately when shrinking; returns how many were evicted.
+    pub fn set_capacity(&self, capacity: usize) -> usize {
         let mut inner = self.inner.lock();
         inner.capacity = capacity;
+        let mut evicted = 0;
         while inner.map.len() > inner.capacity {
-            inner.evict_one();
+            if inner.evict_one().is_none() {
+                break;
+            }
+            evicted += 1;
         }
+        evicted
     }
 
     /// The current capacity bound.
@@ -278,14 +310,14 @@ impl PartialIndex {
 }
 
 impl Inner {
-    fn evict_one(&mut self) {
-        if let Some((&tick, &victim)) = self.lru.iter().next() {
-            self.lru.remove(&tick);
-            if let Some(entry) = self.map.remove(&victim) {
-                self.unlink_range(entry.pos, victim);
-            }
-            self.stats.evictions += 1;
+    fn evict_one(&mut self) -> Option<NodeId> {
+        let (&tick, &victim) = self.lru.iter().next()?;
+        self.lru.remove(&tick);
+        if let Some(entry) = self.map.remove(&victim) {
+            self.unlink_range(entry.pos, victim);
         }
+        self.stats.evictions += 1;
+        Some(victim)
     }
 
     fn unlink_range(&mut self, pos: NodePosition, id: NodeId) {
@@ -381,9 +413,41 @@ mod tests {
     #[test]
     fn zero_capacity_disables() {
         let idx = PartialIndex::new(PartialIndexConfig { capacity: 0 });
-        idx.insert(NodeId(1), pos(1, 0));
+        let out = idx.insert(NodeId(1), pos(1, 0));
+        assert!(!out.admitted);
         assert!(idx.is_empty());
         assert!(idx.get(NodeId(1)).is_none());
+    }
+
+    #[test]
+    fn insert_outcome_reports_admission_and_victim() {
+        let idx = small();
+        let out = idx.insert(NodeId(1), pos(1, 0));
+        assert!(out.admitted);
+        assert_eq!(out.evicted, None);
+        assert_eq!(out.entries, 1);
+        assert_eq!(out.capacity, 3);
+        idx.insert(NodeId(2), pos(1, 1));
+        idx.insert(NodeId(3), pos(1, 2));
+        let out = idx.insert(NodeId(4), pos(1, 3));
+        assert_eq!(out.evicted, Some(NodeId(1)), "coldest entry is the victim");
+        assert_eq!(out.entries, 3);
+        // Overwriting an existing entry evicts nothing.
+        let out = idx.insert(NodeId(4), pos(2, 0));
+        assert_eq!(out.evicted, None);
+        assert_eq!(out.entries, 3);
+    }
+
+    #[test]
+    fn set_capacity_returns_eviction_count() {
+        let idx = PartialIndex::new(PartialIndexConfig { capacity: 8 });
+        for i in 0..8u64 {
+            idx.insert(NodeId(i + 1), pos(1, i as u32));
+        }
+        assert_eq!(idx.set_capacity(3), 5);
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.set_capacity(16), 0);
+        assert!(idx.check_consistent());
     }
 
     #[test]

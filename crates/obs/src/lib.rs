@@ -11,6 +11,9 @@
 //!   Also home to the process-wide [`trace::GlobalMetrics`] histograms
 //!   every instrumentation point feeds.
 //! * [`ring`] — a non-blocking most-recent-N buffer of finished traces.
+//! * [`recorder`] — the always-on flight recorder: a non-blocking ring of
+//!   compact request summaries fed on *every* request (tracing on or
+//!   off), dumped to stderr on panic, slow requests, or on demand.
 //!
 //! The `core`, `lock` and `storage` crates depend only on this crate (no
 //! server types); the server owns trace lifecycle (id allocation at frame
@@ -18,10 +21,15 @@
 //! opcode, slow-request log and `axs top`).
 
 pub mod hist;
+pub mod recorder;
 pub mod ring;
 pub mod trace;
 
 pub use hist::{bucket_bound, bucket_index, Histogram, HistogramSnapshot, HIST_BUCKETS};
+pub use recorder::{
+    install_panic_hook, path_label, recorder, set_opcode_namer, FlightRecorder, RequestSummary,
+    PATH_FULL, PATH_MIXED, PATH_NONE, PATH_PARTIAL, PATH_SCAN, RECORDER_CAPACITY,
+};
 pub use ring::{TraceRing, TRACE_RING_CAPACITY};
 pub use trace::{
     enabled, global, next_trace_id, point, probe, probe_start, set_enabled, span_enter,

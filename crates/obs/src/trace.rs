@@ -182,6 +182,32 @@ impl FinishedTrace {
     pub fn has(&self, kind: EventKind) -> bool {
         self.events.iter().any(|e| e.kind == kind)
     }
+
+    /// The lookup-path verdict for this request, as a flight-recorder
+    /// path code (see `crate::recorder::path_label`): which of the three
+    /// paper lookup paths served it — partial index, full index, or
+    /// range-index scan — `PATH_MIXED` when more than one fired (e.g. a
+    /// query touching many nodes), `PATH_NONE` when none did.
+    pub fn lookup_path_code(&self) -> u8 {
+        let mut partial = false;
+        let mut full = false;
+        let mut scan = false;
+        for e in &self.events {
+            match e.kind {
+                EventKind::LookupPartial => partial = true,
+                EventKind::LookupFull => full = true,
+                EventKind::LookupRangeScan => scan = true,
+                _ => {}
+            }
+        }
+        match (partial, full, scan) {
+            (false, false, false) => crate::recorder::PATH_NONE,
+            (true, false, false) => crate::recorder::PATH_PARTIAL,
+            (false, true, false) => crate::recorder::PATH_FULL,
+            (false, false, true) => crate::recorder::PATH_SCAN,
+            _ => crate::recorder::PATH_MIXED,
+        }
+    }
 }
 
 struct ActiveTrace {

@@ -229,9 +229,16 @@ impl Engine {
             // own mutex is the only synchronization they need.
             return self.run_catalog(req, opcode);
         }
+        if opcode == DumpRecorder {
+            // The flight recorder is process-wide; no store needed.
+            return self.run_dump_recorder(req);
+        }
         // Everything else addresses the store in the frame header: resolve
         // it (lazy-opening it on first access), then run under its locks.
         let slot = self.catalog.slot_by_id(req.store)?;
+        if opcode == Explain {
+            return self.run_explain(req, &slot);
+        }
         if self.mvcc && Self::snapshot_read(opcode) {
             // MVCC fast path: pin the epoch current at dispatch and run
             // against that frozen snapshot. No hierarchical locks, no
@@ -263,6 +270,162 @@ impl Engine {
             opcode,
             ReadNode | Value | Children | Parent | Query | Flwor | ReadAll
         )
+    }
+
+    /// Default entry count for an on-demand flight-recorder dump.
+    const DUMP_DEFAULT_LIMIT: usize = 64;
+
+    /// `DumpRecorder`: renders the flight recorder's recent entries, writes
+    /// the dump to the server's stderr (the post-mortem channel), and
+    /// returns the same text to the client.
+    fn run_dump_recorder(&self, req: &Frame) -> Result<Vec<Frame>, ExecError> {
+        let mut r = Reader::new(&req.payload);
+        let limit = r.u64()?;
+        r.finish()?;
+        let limit = if limit == 0 {
+            Self::DUMP_DEFAULT_LIMIT
+        } else {
+            limit as usize
+        };
+        let text = axs_obs::recorder().render("on-demand", limit);
+        eprint!("{text}");
+        let mut p = Vec::new();
+        put_str(&mut p, &text);
+        Ok(vec![Frame::done(req.req_id, req.opcode, p)])
+    }
+
+    /// `Explain`: executes the embedded request on the locked/live path
+    /// under a dedicated trace and answers with the plan trace instead of
+    /// the result.
+    ///
+    /// The live path is deliberate: only the live store exercises the
+    /// paper's three lookup paths (an MVCC snapshot has its own frozen id
+    /// index and touches neither the partial index nor the adaptive
+    /// controller), so explaining *is* a statement about what the locked
+    /// execution would do — the response carries a `would_snapshot` flag
+    /// telling the caller when a normal execution would have read a
+    /// snapshot instead.
+    ///
+    /// Tracing is force-enabled for the inner execution when the server
+    /// runs with `--no-trace` (and restored after); the flag is process-
+    /// wide, so concurrent requests may record a stray event during that
+    /// window — harmless, and the only way to explain on a gated server.
+    fn run_explain(&self, req: &Frame, slot: &StoreSlot) -> Result<Vec<Frame>, ExecError> {
+        let mut r = Reader::new(&req.payload);
+        let kind = r.u8()?;
+        let (inner_op, inner_payload) = match kind {
+            0 => {
+                let node = r.u64()?;
+                r.finish()?;
+                let mut p = Vec::new();
+                put_u64(&mut p, node);
+                (OpCode::ReadNode, p)
+            }
+            1 => {
+                let path = r.str()?;
+                r.finish()?;
+                let mut p = Vec::new();
+                put_str(&mut p, &path);
+                (OpCode::Query, p)
+            }
+            2 => {
+                let query = r.str()?;
+                r.finish()?;
+                let mut p = Vec::new();
+                put_str(&mut p, &query);
+                (OpCode::Flwor, p)
+            }
+            other => {
+                return Err(ExecError::new(
+                    ErrorCode::Protocol,
+                    format!("unknown explain kind {other}"),
+                ))
+            }
+        };
+        let inner = Frame::request_on(req.req_id, inner_op, req.store, inner_payload);
+        let would_snapshot = self.mvcc && Self::snapshot_read(inner_op);
+        let epoch = slot.epochs.stats().current_epoch;
+        let log_seq = slot.store.read().decision_log().last_seq();
+
+        // A dedicated trace for the inner execution. `trace_begin`
+        // discards the worker's trace of the Explain request itself; the
+        // worker's `trace_finish` then returns `None`, which the metrics
+        // layer already treats as an untraced request.
+        let was_enabled = axs_obs::enabled();
+        if !was_enabled {
+            axs_obs::set_enabled(true);
+        }
+        axs_obs::trace_begin(axs_obs::next_trace_id(), inner_op as u8);
+        let result = {
+            // The inner execution skips `dispatch_inner`, so give its
+            // trace the same top-level execute span every request gets.
+            let _span = axs_obs::span_enter(axs_obs::EventKind::Execute, inner_op as u64, 0);
+            self.intent_of(&inner, inner_op)
+                .and_then(|intent| self.run_locked(&inner, inner_op, intent, slot))
+        };
+        let trace = axs_obs::trace_finish();
+        if !was_enabled {
+            axs_obs::set_enabled(false);
+        }
+        let frames = result?;
+        let trace = trace
+            .ok_or_else(|| ExecError::new(ErrorCode::Store, "explain trace was not recorded"))?;
+
+        let result_count = match inner_op {
+            OpCode::ReadNode => 1,
+            // Streamed responses: one `More` frame per row.
+            _ => frames.len().saturating_sub(1) as u64,
+        };
+        let decisions: Vec<String> = slot
+            .store
+            .read()
+            .decision_log()
+            .since(log_seq)
+            .iter()
+            .map(axs_core::AdaptEvent::render)
+            .collect();
+
+        let mut p = Vec::new();
+        p.push(trace.lookup_path_code());
+        p.push(u8::from(would_snapshot));
+        put_u64(&mut p, epoch);
+        p.push(Self::strongest_lock_mode(&trace));
+        put_u64(&mut p, trace.total_us);
+        put_u64(&mut p, result_count);
+        let mut events: Vec<&axs_obs::Event> = trace.events.iter().collect();
+        events.sort_by_key(|e| e.at_us);
+        put_u32(&mut p, events.len() as u32);
+        for e in events {
+            put_str(&mut p, e.kind.label());
+            p.push(e.depth);
+            put_u64(&mut p, e.at_us);
+            put_u64(&mut p, e.dur_us);
+            put_u64(&mut p, e.a);
+            put_u64(&mut p, e.b);
+        }
+        put_u32(&mut p, decisions.len() as u32);
+        for d in &decisions {
+            put_str(&mut p, d);
+        }
+        Ok(vec![Frame::done(req.req_id, req.opcode, p)])
+    }
+
+    /// The strongest lock mode among the trace's `LockWait` events
+    /// (X > IX > S > IS), as the wire's mode byte; 255 when none.
+    fn strongest_lock_mode(trace: &axs_obs::FinishedTrace) -> u8 {
+        let rank = |mode: u64| match mode {
+            1 => 4u8, // X
+            3 => 3,   // IX
+            0 => 2,   // S
+            2 => 1,   // IS
+            _ => 0,
+        };
+        trace
+            .events
+            .iter()
+            .filter(|e| e.kind == axs_obs::EventKind::LockWait)
+            .max_by_key(|e| rank(e.a))
+            .map_or(255, |e| e.a as u8)
     }
 
     /// Catalog management opcodes: create / drop / list / resolve.
@@ -325,8 +488,8 @@ impl Engine {
                 Intent::ReadStore
             }
             BulkLoad | Flush | Compact => Intent::WriteStore,
-            CreateStore | DropStore | ListStores | UseStore => {
-                unreachable!("catalog opcodes dispatch before intent")
+            CreateStore | DropStore | ListStores | UseStore | Explain | DumpRecorder => {
+                unreachable!("handled before intent")
             }
         })
     }
@@ -449,7 +612,7 @@ impl Engine {
                 }
                 Ok(frames)
             }
-            Shutdown | CreateStore | DropStore | ListStores | UseStore => {
+            Shutdown | CreateStore | DropStore | ListStores | UseStore | Explain | DumpRecorder => {
                 unreachable!("handled by dispatch")
             }
         }
@@ -822,6 +985,19 @@ impl Engine {
                     out.push((label, count));
                 }
             }
+        }
+        {
+            // Adaptive-index decisions of this store: what the admission /
+            // eviction / retuning machinery did (the always-on counters of
+            // the decision log; the event ring itself is trace-gated).
+            let c = store.decision_log().counts();
+            out.push(("adapt.admits".to_string(), c.admits));
+            out.push(("adapt.evictions".to_string(), c.evictions));
+            out.push(("adapt.skips".to_string(), c.skips));
+            out.push(("adapt.grows".to_string(), c.grows));
+            out.push(("adapt.shrinks".to_string(), c.shrinks));
+            out.push(("adapt.holds".to_string(), c.holds));
+            out.push(("adapt.log_seq".to_string(), store.decision_log().last_seq()));
         }
         {
             // Epoch lifecycle of this store: how many snapshots are alive,

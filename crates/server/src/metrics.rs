@@ -83,14 +83,16 @@ impl OpFamily {
         use OpCode::*;
         match OpCode::from_u8(opcode_byte) {
             Some(ReadNode | Value | Children | Parent) => OpFamily::PointRead,
-            Some(Query | Flwor) => OpFamily::Query,
+            Some(Query | Flwor | Explain) => OpFamily::Query,
             Some(ReadAll | Stats | Report | Ranges | Verify | Metrics) => OpFamily::Scan,
             Some(InsertFirst | InsertLast | InsertBefore | InsertAfter | Delete | Replace) => {
                 OpFamily::Write
             }
             Some(BulkLoad | Flush | Compact) => OpFamily::Bulk,
             Some(Ping | Sleep | Shutdown) | None => OpFamily::Control,
-            Some(CreateStore | DropStore | ListStores | UseStore) => OpFamily::Control,
+            Some(CreateStore | DropStore | ListStores | UseStore | DumpRecorder) => {
+                OpFamily::Control
+            }
         }
     }
 }
@@ -100,6 +102,46 @@ pub(crate) fn opcode_name(opcode_byte: u8) -> String {
     match OpCode::from_u8(opcode_byte) {
         Some(op) => format!("{op:?}"),
         None => format!("op{opcode_byte}"),
+    }
+}
+
+/// Static opcode name for the obs flight recorder, whose namer hook
+/// cannot allocate (`fn(u8) -> &'static str`). Must agree with
+/// [`opcode_name`] for every decodable byte.
+pub(crate) fn opcode_name_static(opcode_byte: u8) -> &'static str {
+    use OpCode::*;
+    match OpCode::from_u8(opcode_byte) {
+        Some(Ping) => "Ping",
+        Some(BulkLoad) => "BulkLoad",
+        Some(Query) => "Query",
+        Some(Flwor) => "Flwor",
+        Some(ReadNode) => "ReadNode",
+        Some(Value) => "Value",
+        Some(Children) => "Children",
+        Some(Parent) => "Parent",
+        Some(InsertFirst) => "InsertFirst",
+        Some(InsertLast) => "InsertLast",
+        Some(InsertBefore) => "InsertBefore",
+        Some(InsertAfter) => "InsertAfter",
+        Some(Delete) => "Delete",
+        Some(Replace) => "Replace",
+        Some(ReadAll) => "ReadAll",
+        Some(Stats) => "Stats",
+        Some(Report) => "Report",
+        Some(Flush) => "Flush",
+        Some(Verify) => "Verify",
+        Some(Compact) => "Compact",
+        Some(Ranges) => "Ranges",
+        Some(Sleep) => "Sleep",
+        Some(Shutdown) => "Shutdown",
+        Some(Metrics) => "Metrics",
+        Some(CreateStore) => "CreateStore",
+        Some(DropStore) => "DropStore",
+        Some(ListStores) => "ListStores",
+        Some(UseStore) => "UseStore",
+        Some(Explain) => "Explain",
+        Some(DumpRecorder) => "DumpRecorder",
+        None => "unknown",
     }
 }
 
@@ -130,12 +172,16 @@ impl EngineMetrics {
     }
 
     /// Records one finished request: family latency (aggregate and under
-    /// the request's store label), the slow-request log (when over
-    /// threshold) and trace retention.
+    /// the request's store label), the flight-recorder summary, the
+    /// slow-request log (when over threshold) and trace retention.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn finish_request(
         &self,
         opcode_byte: u8,
         store: &str,
+        store_id: u16,
+        ok: bool,
+        bytes: u64,
         total: Duration,
         trace: Option<FinishedTrace>,
     ) {
@@ -149,6 +195,17 @@ impl EngineMetrics {
                 .clone()
         };
         per_store[family].record(total_us);
+        axs_obs::recorder().record(axs_obs::RequestSummary {
+            trace_id: trace.as_ref().map_or(0, |t| t.trace_id),
+            store: store_id,
+            opcode: opcode_byte,
+            path: trace
+                .as_ref()
+                .map_or(axs_obs::PATH_NONE, FinishedTrace::lookup_path_code),
+            ok,
+            total_us,
+            bytes,
+        });
         if self.slow_threshold.is_some_and(|t| total >= t) {
             let name = opcode_name(opcode_byte);
             let line = match &trace {
@@ -158,6 +215,7 @@ impl EngineMetrics {
                 ),
             };
             eprint!("{line}");
+            axs_obs::recorder().dump_to_stderr("slow-request", 32);
             let mut log = self.slow_log.lock();
             if log.len() >= SLOW_LOG_CAP {
                 log.pop_front();
@@ -384,12 +442,15 @@ mod tests {
 
     #[test]
     fn families_cover_every_opcode() {
-        for b in 1..=28u8 {
+        for b in 1..=30u8 {
             assert!(OpCode::from_u8(b).is_some(), "opcode {b} exists");
             let _ = OpFamily::of(b); // must not panic
+            assert_eq!(opcode_name_static(b), opcode_name(b), "opcode {b} name");
         }
         assert_eq!(OpFamily::of(25), OpFamily::Control);
         assert_eq!(OpFamily::of(28), OpFamily::Control);
+        assert_eq!(OpFamily::of(29), OpFamily::Query);
+        assert_eq!(OpFamily::of(30), OpFamily::Control);
         assert_eq!(OpFamily::of(5), OpFamily::PointRead);
         assert_eq!(OpFamily::of(3), OpFamily::Query);
         assert_eq!(OpFamily::of(24), OpFamily::Scan);
@@ -402,8 +463,8 @@ mod tests {
     #[test]
     fn prometheus_text_shape() {
         let m = EngineMetrics::new(None);
-        m.finish_request(5, "default", Duration::from_micros(100), None);
-        m.finish_request(5, "aux", Duration::from_micros(3), None);
+        m.finish_request(5, "default", 0, true, 8, Duration::from_micros(100), None);
+        m.finish_request(5, "aux", 1, true, 8, Duration::from_micros(3), None);
         let counters = vec![("server.requests".to_string(), 2u64)];
         let text = m.prometheus_text(&counters);
         assert!(text.contains("axs_server_requests 2"), "{text}");
@@ -436,9 +497,9 @@ mod tests {
     #[test]
     fn slow_log_records_over_threshold_only() {
         let m = EngineMetrics::new(Some(Duration::from_millis(10)));
-        m.finish_request(1, "default", Duration::from_millis(1), None);
+        m.finish_request(1, "default", 0, true, 0, Duration::from_millis(1), None);
         assert!(m.slow_log().is_empty());
-        m.finish_request(1, "default", Duration::from_millis(11), None);
+        m.finish_request(1, "default", 0, true, 0, Duration::from_millis(11), None);
         let log = m.slow_log();
         assert_eq!(log.len(), 1);
         assert!(log[0].contains("slow request"), "{}", log[0]);
@@ -448,7 +509,7 @@ mod tests {
     #[test]
     fn extended_entries_carry_percentiles() {
         let m = EngineMetrics::new(None);
-        m.finish_request(5, "default", Duration::from_micros(100), None);
+        m.finish_request(5, "default", 0, true, 16, Duration::from_micros(100), None);
         let counters = vec![
             ("partial.hits".to_string(), 3u64),
             ("partial.misses".to_string(), 1u64),

@@ -118,6 +118,11 @@ impl Server {
         let config = config.normalized();
         let listener = TcpListener::bind(&*config.addr)?;
         let local_addr = listener.local_addr()?;
+        // Flight-recorder wiring is process-wide and idempotent: opcode
+        // names for dump lines, and a panic hook that dumps the recorder
+        // before the default hook prints the backtrace.
+        axs_obs::set_opcode_namer(crate::metrics::opcode_name_static);
+        axs_obs::install_panic_hook();
         if config.trace {
             // Process-wide: instrumentation points in core/lock/storage
             // branch on this flag before touching any clock or atomic.
@@ -462,9 +467,17 @@ fn answer(req: &Frame, shared: &Arc<Shared>, writer: &mut BufWriter<TcpStream>) 
         let outcome = job_shared.engine.dispatch(&job_req);
         let trace = axs_obs::trace_finish();
         let store_label = job_shared.engine.store_label(job_req.store);
+        let ok = outcome
+            .frames
+            .iter()
+            .all(|f| Status::from_u8(f.status) != Some(Status::Err));
+        let bytes: u64 = outcome.frames.iter().map(|f| f.payload.len() as u64).sum();
         job_shared.engine.metrics().finish_request(
             job_req.opcode,
             &store_label,
+            job_req.store,
+            ok,
+            bytes,
             enqueued.elapsed(),
             trace,
         );

@@ -100,6 +100,33 @@ fn metrics_opcode_exposes_every_documented_series() {
     get(&entries, "obs.traces_retained");
     get(&entries, "obs.traces_dropped");
     get(&entries, "obs.slow_requests");
+    // Every documented MVCC and adaptive-decision counter must be
+    // present (and therefore in the Prometheus text too — counters map
+    // dot-to-underscore mechanically).
+    for series in [
+        "mvcc.current_epoch",
+        "mvcc.epochs_live",
+        "mvcc.oldest_pinned",
+        "mvcc.retired_total",
+        "mvcc.pins_active",
+        "mvcc.pins_total",
+        "mvcc.snapshot_age_us_p50",
+        "mvcc.snapshot_age_us_p99",
+        "mvcc.snapshot_age_us_max",
+        "adapt.admits",
+        "adapt.evictions",
+        "adapt.skips",
+        "adapt.grows",
+        "adapt.shrinks",
+        "adapt.holds",
+        "adapt.log_seq",
+    ] {
+        get(&entries, series);
+        assert!(
+            text.contains(&format!("axs_{}", series.replace('.', "_"))),
+            "{series} missing from Prometheus text"
+        );
+    }
     // The extended entries embed every plain Stats counter too, so one
     // round trip serves the dashboard.
     get(&entries, "server.requests");
@@ -117,6 +144,78 @@ fn metrics_opcode_exposes_every_documented_series() {
     );
     assert!(get(&entries, "obs.execute_us.count") > 0);
     assert!(get(&entries, "obs.queue_wait_us.count") > 0);
+
+    handle.shutdown();
+    handle.join().unwrap();
+}
+
+/// Prometheus exposition sanity for the request-latency histogram: for
+/// every label set (both the aggregate `family="..."` series and the
+/// per-store `family="...",store="..."` ones) the `le` buckets must be
+/// cumulative — non-decreasing in emission order, closing with a `+Inf`
+/// bucket equal to the series' `_count`.
+#[test]
+fn request_histogram_buckets_are_cumulative_per_store() {
+    let handle = start_in_memory(ServerConfig::default());
+    let mut c = connect(&handle);
+
+    let (root, _) = c.bulk_load(r#"<doc><a/><b/></doc>"#).unwrap();
+    for _ in 0..8 {
+        c.read_node(root).unwrap();
+    }
+    c.query("//a").unwrap();
+
+    let (text, _) = c.metrics().unwrap();
+
+    // bucket lines per label set (minus the `le` label), in file order —
+    // the emitter writes ascending bounds, so order of appearance is
+    // bound order.
+    let mut buckets: std::collections::BTreeMap<String, Vec<(String, u64)>> =
+        std::collections::BTreeMap::new();
+    let mut counts: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("axs_request_duration_us_bucket{") {
+            let (labels, value) = rest.split_once("} ").unwrap();
+            let (others, le) = match labels.split_once("le=\"") {
+                Some((prefix, le)) => (
+                    prefix.trim_end_matches(',').to_string(),
+                    le.trim_end_matches('"').to_string(),
+                ),
+                None => panic!("bucket line without le: {line}"),
+            };
+            buckets
+                .entry(others)
+                .or_default()
+                .push((le, value.parse().unwrap()));
+        } else if let Some(rest) = line.strip_prefix("axs_request_duration_us_count{") {
+            let (labels, value) = rest.split_once("} ").unwrap();
+            counts.insert(labels.to_string(), value.parse().unwrap());
+        }
+    }
+
+    // The workload touched the default store: its labeled series exists.
+    assert!(
+        buckets.keys().any(|k| k.contains("store=\"default\"")),
+        "per-store request histogram present: {:?}",
+        buckets.keys().collect::<Vec<_>>()
+    );
+    for (labels, series) in &buckets {
+        assert!(!series.is_empty(), "{labels}");
+        let mut prev = 0u64;
+        for (le, v) in series {
+            assert!(
+                *v >= prev,
+                "bucket le=\"{le}\" not cumulative for {{{labels}}}: {v} < {prev}\n{text}"
+            );
+            prev = *v;
+        }
+        let (last_le, last_v) = series.last().unwrap();
+        assert_eq!(last_le, "+Inf", "series closes with +Inf: {{{labels}}}");
+        let count = counts
+            .get(labels)
+            .unwrap_or_else(|| panic!("no _count for {{{labels}}}"));
+        assert_eq!(last_v, count, "+Inf bucket equals _count for {{{labels}}}");
+    }
 
     handle.shutdown();
     handle.join().unwrap();

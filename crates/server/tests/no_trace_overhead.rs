@@ -1,0 +1,69 @@
+//! The `--no-trace` contract: with tracing gated off, requests record no
+//! trace events at all — yet the flight recorder stays on (it is built
+//! to be cheap enough to feed untraced), and `Explain` still works by
+//! force-enabling tracing for just its inner execution and restoring
+//! the gate afterwards.
+//!
+//! This lives in its own integration binary on purpose: the obs enabled
+//! flag is process-wide, and any sibling test starting a default
+//! (`trace: true`) server would flip it mid-assertion.
+
+use axs_client::Client;
+use axs_core::StoreBuilder;
+use axs_server::{Server, ServerConfig};
+use std::time::Duration;
+
+#[test]
+fn no_trace_records_nothing_but_recorder_and_explain_still_work() {
+    assert!(
+        !axs_obs::enabled(),
+        "precondition: this binary must not share a process with traced servers"
+    );
+    let handle = Server::start(
+        StoreBuilder::new().build().unwrap(),
+        ServerConfig {
+            trace: false,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    c.set_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    let recorded_before = axs_obs::recorder().recorded();
+    let (root, _) = c.bulk_load(r#"<doc><a/><b/></doc>"#).unwrap();
+    for _ in 0..5 {
+        c.read_node(root).unwrap();
+    }
+
+    // Zero tracing overhead: not a single span tree was retained.
+    assert!(
+        handle.recent_traces().is_empty(),
+        "tracing off retains no traces"
+    );
+    // The always-on recorder still summarized every request — with no
+    // trace to derive from, entries carry trace id 0 and path `none`.
+    assert!(axs_obs::recorder().recorded() >= recorded_before + 6);
+    let recent = axs_obs::recorder().recent(8);
+    assert!(!recent.is_empty());
+    assert!(recent.iter().all(|r| r.trace_id == 0));
+    assert!(recent.iter().all(|r| axs_obs::path_label(r.path) == "none"));
+
+    // Explain force-enables tracing for its inner execution only: the
+    // report is fully populated, and the gate is off again afterwards.
+    let report = c.explain_node(root).unwrap();
+    assert_eq!(report.path, "scan", "{report:?}");
+    assert!(!report.events.is_empty(), "{report:?}");
+    assert!(
+        !axs_obs::enabled(),
+        "explain restores the tracing gate it borrowed"
+    );
+
+    // The decision log obeys the same gate: counters moved (always-on
+    // atomics) but only the explain window's events entered the ring.
+    let dump = c.dump_recorder(0).unwrap();
+    assert!(dump.contains("op=ReadNode"), "{dump}");
+
+    handle.shutdown();
+    handle.join().unwrap();
+}

@@ -24,10 +24,18 @@ cleanup() {
 }
 trap cleanup EXIT
 
+# When set (CI does), failing runs copy the server log — which carries
+# slow-request lines and flight-recorder dumps — here for artifact upload.
+ARTIFACTS="${AXS_SMOKE_ARTIFACTS:-}"
+
 fail() {
     echo "smoke: FAIL — $1" >&2
     echo "---- server log ----" >&2
     cat "$SERVER_LOG" >&2 || true
+    if [[ -n "$ARTIFACTS" ]]; then
+        mkdir -p "$ARTIFACTS"
+        cp "$SERVER_LOG" "$ARTIFACTS/smoke-server.log" 2>/dev/null || true
+    fi
     exit 1
 }
 
@@ -78,6 +86,37 @@ grep -q "req/s"                    <<<"$TOP_OUT" || fail "top missing rate line:
 grep -q "latency by opcode family" <<<"$TOP_OUT" || fail "top missing family table: $TOP_OUT"
 grep -q "lookup paths"             <<<"$TOP_OUT" || fail "top missing lookup paths: $TOP_OUT"
 grep -q "group commit"             <<<"$TOP_OUT" || fail "top missing group-commit line: $TOP_OUT"
+
+# explain stage: the first point-lookup of a cold node walks the in-range
+# scan path, and that lookup memoizes the node, so the second explain of
+# the same id must hit the partial index. Node 2 (the first <order>) has
+# never been individually located — queries are cursor scans and the
+# insert targeted node 1 — so it is still cold here. Explain always runs
+# under the locked path on the server, so the verdicts are deterministic
+# even with MVCC snapshots on.
+EXPLAIN_COLD="$("$AXS" explain "127.0.0.1:$PORT" 2)" || fail "explain (cold) failed"
+grep -q "path=scan" <<<"$EXPLAIN_COLD" \
+    || fail "cold explain not a range scan: $EXPLAIN_COLD"
+grep -q "lookup_range_scan" <<<"$EXPLAIN_COLD" \
+    || fail "cold explain missing scan stage: $EXPLAIN_COLD"
+grep -q "admit" <<<"$EXPLAIN_COLD" \
+    || fail "cold explain logged no admission decision: $EXPLAIN_COLD"
+EXPLAIN_WARM="$("$AXS" explain "127.0.0.1:$PORT" 2)" || fail "explain (warm) failed"
+grep -q "path=partial" <<<"$EXPLAIN_WARM" \
+    || fail "warm explain missed the partial index: $EXPLAIN_WARM"
+grep -q "lookup_partial" <<<"$EXPLAIN_WARM" \
+    || fail "warm explain missing probe stage: $EXPLAIN_WARM"
+
+# The on-demand flight-recorder dump must replay recent requests.
+RECORDER_OUT="$("$AXS" connect "127.0.0.1:$PORT" <<'EOF'
+recorder
+quit
+EOF
+)"
+grep -q "flight recorder dump (on-demand)" <<<"$RECORDER_OUT" \
+    || fail "recorder dump missing header: $RECORDER_OUT"
+grep -q "op=Explain" <<<"$RECORDER_OUT" \
+    || fail "recorder dump missing the explain requests: $RECORDER_OUT"
 
 # multi-store stage: create two named stores, route writes to each, drop
 # one, and check the survivor still answers and the dropped one is gone.
