@@ -21,7 +21,11 @@
 //! client count. Unless `--mvcc off`, the whole sweep is repeated with
 //! MVCC snapshot reads disabled and archived as a `snapshot_scaling`
 //! A/B: locked reads (S-locks plus the store's reader-writer lock)
-//! versus pinned-epoch snapshot reads at every client count.
+//! versus pinned-epoch snapshot reads at every client count. Every sweep
+//! also runs the `writer_scaling` A/B: all-write CRUD clients on
+//! disjoint subtrees versus the same clients on one hot subtree, the
+//! measurement for the partitioned write path (`--workload crud-disjoint`
+//! makes that shape the main sweep too).
 //!
 //! ```sh
 //! cargo run --release -p axs-bench --bin netbench             # full sweep
@@ -42,8 +46,16 @@ const CLIENT_COUNTS: &[usize] = &[1, 4, 16, 64];
 /// `snapshot_scaling` locked-vs-MVCC A/B. v4 added the top-level
 /// `summary` block: one headline row (rps, read/write p50/p99) per
 /// scenario × client count, including the locked baseline and the
-/// single-store reference, so dashboards need not walk `runs`.
-const SCHEMA_VERSION: u32 = 4;
+/// single-store reference, so dashboards need not walk `runs`. v5 added
+/// the `--workload` flag, the per-run `workload`/`hot_subtree` fields,
+/// the `server.*`/`partition.*` counters in `server_metrics`, and the
+/// `writer_scaling` section: the crud-disjoint A/B (N writers on
+/// disjoint subtrees vs. the same N hammering one hot subtree) at 4 and
+/// 16 clients.
+const SCHEMA_VERSION: u32 = 5;
+
+/// Client counts for the `writer_scaling` disjoint-vs-hot A/B.
+const WRITER_SCALING_CLIENTS: &[usize] = &[4, 16];
 
 /// Best-effort commit hash of the tree the benchmark was built from.
 fn git_commit() -> String {
@@ -80,6 +92,30 @@ struct Options {
     /// the locked-read baseline sweep for the `snapshot_scaling` A/B;
     /// off benchmarks the locked path alone.
     mvcc: bool,
+    /// Operation shape (`--workload mixed|crud-disjoint`). `mixed` is the
+    /// read-mostly interleave; `crud-disjoint` is all-writes CRUD (insert
+    /// / replace / delete) with every client on its own subtree — the
+    /// shape the partitioned write path is built for.
+    workload: Workload,
+    /// All clients write the *same* subtree (the hot half of the
+    /// `writer_scaling` A/B). Internal — set by the A/B driver, not a
+    /// command-line flag.
+    hot_subtree: bool,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Workload {
+    Mixed,
+    CrudDisjoint,
+}
+
+impl Workload {
+    fn name(self) -> &'static str {
+        match self {
+            Workload::Mixed => "mixed",
+            Workload::CrudDisjoint => "crud-disjoint",
+        }
+    }
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -94,6 +130,8 @@ fn parse_args() -> Result<Options, String> {
         mem: false,
         stores: 1,
         mvcc: true,
+        workload: Workload::Mixed,
+        hot_subtree: false,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -142,6 +180,17 @@ fn parse_args() -> Result<Options, String> {
                     other => return Err(format!("--mvcc must be on|off, got {other}")),
                 };
             }
+            "--workload" => {
+                opts.workload = match value_of("--workload")?.as_str() {
+                    "mixed" => Workload::Mixed,
+                    "crud-disjoint" => Workload::CrudDisjoint,
+                    other => {
+                        return Err(format!(
+                            "--workload must be mixed|crud-disjoint, got {other}"
+                        ))
+                    }
+                };
+            }
             other => return Err(format!("unknown argument {other}")),
         }
     }
@@ -155,17 +204,19 @@ fn main() {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: netbench [--read-pct N] [--ops N] [--out PATH] \
-                 [--commit-window-ms N] [--mem] [--stores N] [--mvcc on|off]"
+                 [--commit-window-ms N] [--mem] [--stores N] [--mvcc on|off] \
+                 [--workload mixed|crud-disjoint]"
             );
             std::process::exit(2);
         }
     };
     println!(
-        "axsd loopback throughput — {} ops/client, {}% reads, {} store(s), mvcc {}, {}",
+        "axsd loopback throughput — {} ops/client, {}% reads, {} store(s), mvcc {}, workload {}, {}",
         opts.ops,
         opts.read_pct,
         opts.stores,
         if opts.mvcc { "on" } else { "off" },
+        opts.workload.name(),
         match opts.mem {
             true => "in-memory store".to_string(),
             false => format!(
@@ -226,8 +277,9 @@ fn main() {
 
     // Snapshot A/B: the identical sweep with MVCC off, so every read goes
     // back through the S-lock hierarchy and the store's reader-writer
-    // lock. Skipped when the main sweep itself ran locked.
-    let snapshot_scaling = opts.mvcc.then(|| {
+    // lock. Skipped when the main sweep itself ran locked, and under the
+    // all-writes crud-disjoint workload (no reads to A/B).
+    let snapshot_scaling = (opts.mvcc && opts.workload == Workload::Mixed).then(|| {
         println!("-- locked-read baseline (mvcc off) --");
         let locked_opts = Options {
             mvcc: false,
@@ -265,6 +317,66 @@ fn main() {
         (section, locked)
     });
 
+    // Writer-scaling A/B: N all-write CRUD clients on disjoint subtrees
+    // (every writer maps to its own partition lanes) against the same N
+    // hammering one hot subtree (every writer queues on the same lanes).
+    // The delta is what the partitioned write path buys when writes
+    // actually are disjoint; the scraped `server.writes_parallel` /
+    // `server.writes_conflicted` counters show whether the overlap the
+    // rps claims actually happened inside the server.
+    println!("-- writer scaling (crud-disjoint vs. one hot subtree) --");
+    let metric = |r: &RunResult, name: &str| {
+        r.server_metrics
+            .iter()
+            .find(|e| e.name == name)
+            .map_or(0, |e| e.value)
+    };
+    let mut writer_points: Vec<String> = Vec::new();
+    let mut writer_runs: Vec<RunResult> = Vec::new();
+    for &wclients in WRITER_SCALING_CLIENTS {
+        let disjoint = run_one(
+            wclients,
+            &Options {
+                workload: Workload::CrudDisjoint,
+                hot_subtree: false,
+                ..opts.clone()
+            },
+        );
+        println!("{}", disjoint.to_json());
+        let hot = run_one(
+            wclients,
+            &Options {
+                workload: Workload::CrudDisjoint,
+                hot_subtree: true,
+                ..opts.clone()
+            },
+        );
+        println!("{}", hot.to_json());
+        writer_points.push(format!(
+            "{{\"clients\":{wclients},\"disjoint_write_rps\":{:.0},\"hot_write_rps\":{:.0},\
+             \"disjoint_speedup\":{:.2},\
+             \"disjoint_write_p50_us\":{},\"disjoint_write_p99_us\":{},\
+             \"hot_write_p50_us\":{},\"hot_write_p99_us\":{},\
+             \"disjoint_writes_parallel\":{},\"disjoint_writes_conflicted\":{},\
+             \"hot_writes_parallel\":{},\"hot_writes_conflicted\":{}}}",
+            disjoint.write_rps(),
+            hot.write_rps(),
+            disjoint.write_rps() / hot.write_rps().max(1e-9),
+            RunResult::pct(&disjoint.write_latencies_us, 0.50),
+            RunResult::pct(&disjoint.write_latencies_us, 0.99),
+            RunResult::pct(&hot.write_latencies_us, 0.50),
+            RunResult::pct(&hot.write_latencies_us, 0.99),
+            metric(&disjoint, "server.writes_parallel"),
+            metric(&disjoint, "server.writes_conflicted"),
+            metric(&hot, "server.writes_parallel"),
+            metric(&hot, "server.writes_conflicted"),
+        ));
+        writer_runs.push(disjoint);
+        writer_runs.push(hot);
+    }
+    let writer_scaling = format!("[{}]", writer_points.join(", "));
+    println!("writer_scaling {writer_scaling}");
+
     // Headline summary: one row per scenario × client count — the main
     // sweep, the single-store reference, and the locked-read baseline —
     // so dashboards can read the whole story without walking `runs`.
@@ -284,6 +396,14 @@ fn main() {
             summary.push(r.summary_json(&format!("locked-baseline/clients-{}", r.clients)));
         }
     }
+    for r in &writer_runs {
+        let shape = if r.hot_subtree {
+            "crud-hot"
+        } else {
+            "crud-disjoint"
+        };
+        summary.push(r.summary_json(&format!("{shape}/clients-{}", r.clients)));
+    }
 
     let mut doc = String::from("{\n");
     doc.push_str(&format!(
@@ -294,7 +414,8 @@ fn main() {
     doc.push_str(&format!(
         "  \"parameters\": {{\"read_pct\": {}, \"ops_per_client\": {}, \
          \"client_counts\": [{}], \"durable\": {}, \"commit_window_ms\": {}, \
-         \"stores\": {}, \"mvcc\": {}}},\n",
+         \"stores\": {}, \"mvcc\": {}, \"workload\": \"{}\", \
+         \"writer_scaling_clients\": [{}]}},\n",
         opts.read_pct,
         opts.ops,
         CLIENT_COUNTS
@@ -305,7 +426,13 @@ fn main() {
         !opts.mem,
         opts.commit_window.as_millis(),
         opts.stores,
-        opts.mvcc
+        opts.mvcc,
+        opts.workload.name(),
+        WRITER_SCALING_CLIENTS
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
     ));
     doc.push_str("  \"summary\": [\n");
     for (i, s) in summary.iter().enumerate() {
@@ -336,6 +463,13 @@ fn main() {
         }
         doc.push_str("  ],\n");
     }
+    doc.push_str(&format!("  \"writer_scaling\": {writer_scaling},\n"));
+    doc.push_str("  \"writer_scaling_runs\": [\n");
+    for (i, r) in writer_runs.iter().enumerate() {
+        let sep = if i + 1 < writer_runs.len() { "," } else { "" };
+        doc.push_str(&format!("    {}{sep}\n", r.to_archive_json()));
+    }
+    doc.push_str("  ],\n");
     doc.push_str(
         "  \"note\": \"baseline = 1 client (every request serialized, the \
          pre-shared-read-path behavior); widest = concurrent clients on the \
@@ -352,7 +486,18 @@ fn main() {
          shows mainly as readers not queueing behind writers' commit \
          windows rather than as multicore read scaling; absolute rps and \
          the 64-client points especially are scheduler-bound and should \
-         not be read as multi-core throughput\"\n}\n",
+         not be read as multi-core throughput. writer_scaling is the \
+         crud-disjoint A/B: the same all-write CRUD clients on disjoint \
+         subtrees (one partition lane per writer) vs. one hot subtree \
+         (every writer on the same lane) — on this 1-core host the \
+         partitioned write path cannot execute mutations in parallel \
+         (the store mutation itself stays serialized behind one short \
+         exclusive lock), so any disjoint_speedup comes from overlapping \
+         commit *waits* (WAL fsync batching, snapshot publish merging) \
+         across writers, and a speedup near 1.0 is the honest 1-core \
+         result, not a regression; the writes_parallel/writes_conflicted \
+         counters are the ground truth for how much overlap and queueing \
+         actually occurred inside the server\"\n}\n",
     );
     if let Err(e) = std::fs::write(&opts.out, doc) {
         eprintln!("cannot write {}: {e}", opts.out);
@@ -367,6 +512,8 @@ struct RunResult {
     stores: usize,
     read_pct: u32,
     mvcc: bool,
+    workload: &'static str,
+    hot_subtree: bool,
     elapsed: Duration,
     read_latencies_us: Vec<u64>,
     write_latencies_us: Vec<u64>,
@@ -427,7 +574,8 @@ impl RunResult {
         let pct = Self::pct;
         format!(
             "{{\"bench\":\"server_loopback\",\"clients\":{},\"workers\":{},\"stores\":{},\
-             \"read_pct\":{},\"mvcc\":{},\"requests\":{requests},\"reads\":{},\"writes\":{},\
+             \"read_pct\":{},\"mvcc\":{},\"workload\":\"{}\",\"hot_subtree\":{},\
+             \"requests\":{requests},\"reads\":{},\"writes\":{},\
              \"elapsed_s\":{:.3},\"rps\":{:.0},\"read_rps\":{:.0},\"write_rps\":{:.0},\
              \"read_p50_us\":{},\"read_p99_us\":{},\"write_p50_us\":{},\"write_p99_us\":{}}}",
             self.clients,
@@ -435,6 +583,8 @@ impl RunResult {
             self.stores,
             self.read_pct,
             self.mvcc,
+            self.workload,
+            self.hot_subtree,
             self.read_latencies_us.len(),
             self.write_latencies_us.len(),
             self.elapsed.as_secs_f64(),
@@ -530,11 +680,15 @@ fn run_one(clients: usize, opts: &Options) -> RunResult {
         let (root, _) = setup.bulk_load(&format!("<root>{seed}</root>")).unwrap();
         let kids = setup.children(root).unwrap();
         for (k, t) in members.iter().enumerate() {
-            subtree_of[*t] = kids[k].0;
+            // Hot-subtree mode (the conflicting half of `writer_scaling`):
+            // every client on this store hammers the first member's
+            // subtree instead of its own.
+            subtree_of[*t] = kids[if opts.hot_subtree { 0 } else { k }].0;
         }
     }
 
     let started = Instant::now();
+    let workload = opts.workload;
     let lat: Vec<(Vec<u64>, Vec<u64>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|t| {
@@ -550,6 +704,49 @@ fn run_one(clients: usize, opts: &Options) -> RunResult {
                     let (mut last, _) = c.insert_last(subtree, r#"<e j="seed"/>"#).unwrap();
                     let mut reads = Vec::new();
                     let mut writes = Vec::new();
+                    if workload == Workload::CrudDisjoint {
+                        // All-writes CRUD: mostly inserts, plus a replace
+                        // and a delete (followed by a reinsert so `last`
+                        // stays live) every eighth op. Clients touch only
+                        // nodes they created, so in disjoint mode the
+                        // writers never overlap logically — exactly the
+                        // shape the partitioned write path should scale.
+                        let insert = |c: &mut Client, frag: &str| loop {
+                            match c.insert_last(subtree, frag) {
+                                Ok((start, _)) => break start,
+                                Err(e) if e.is_busy() => continue,
+                                Err(e) => panic!("insert: {e}"),
+                            }
+                        };
+                        for j in 0..ops {
+                            let t0 = Instant::now();
+                            match j % 8 {
+                                6 => loop {
+                                    match c.replace(last, &format!(r#"<e j="{j}r"/>"#)) {
+                                        Ok((start, _)) => {
+                                            last = start;
+                                            break;
+                                        }
+                                        Err(e) if e.is_busy() => continue,
+                                        Err(e) => panic!("replace: {e}"),
+                                    }
+                                },
+                                7 => loop {
+                                    match c.delete(last) {
+                                        Ok(()) => {
+                                            last = insert(&mut c, &format!(r#"<e j="{j}d"/>"#));
+                                            break;
+                                        }
+                                        Err(e) if e.is_busy() => continue,
+                                        Err(e) => panic!("delete: {e}"),
+                                    }
+                                },
+                                _ => last = insert(&mut c, &format!(r#"<e j="{j}"/>"#)),
+                            }
+                            writes.push(t0.elapsed().as_micros() as u64);
+                        }
+                        return (reads, writes);
+                    }
                     let write_share = 100 - read_pct as usize;
                     for j in 0..ops {
                         // Op j is a write when the Bresenham accumulator
@@ -602,9 +799,19 @@ fn run_one(clients: usize, opts: &Options) -> RunResult {
     let server_metrics: Vec<StatEntry> = entries
         .into_iter()
         .filter(|e| {
-            ["rq.", "path.", "obs.", "wal.", "cat.", "mvcc.", "lock."]
-                .iter()
-                .any(|p| e.name.starts_with(p))
+            [
+                "rq.",
+                "path.",
+                "obs.",
+                "wal.",
+                "cat.",
+                "mvcc.",
+                "lock.",
+                "server.",
+                "partition.",
+            ]
+            .iter()
+            .any(|p| e.name.starts_with(p))
         })
         .collect();
 
@@ -628,6 +835,8 @@ fn run_one(clients: usize, opts: &Options) -> RunResult {
         stores,
         read_pct,
         mvcc: opts.mvcc,
+        workload: opts.workload.name(),
+        hot_subtree: opts.hot_subtree,
         elapsed,
         read_latencies_us,
         write_latencies_us,

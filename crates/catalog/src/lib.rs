@@ -178,6 +178,18 @@ pub struct StoreSlot {
     /// `locks`, and pinned snapshots stay readable even if the catalog
     /// evicts (flushes and closes) the store underneath them.
     pub epochs: Arc<axs_core::EpochRegistry>,
+    /// The store's commit combiner: writers commit with
+    /// `commit_nopublish` under the exclusive store lock, then run
+    /// `ensure_published` here *after* dropping it, so concurrent
+    /// partitions' deltas merge into one epoch publish.
+    pub publisher: Arc<axs_core::Publisher>,
+    /// Range id → write partition, shared with the store that maintains
+    /// it; the server maps granted X-subtrees through this without the
+    /// store lock.
+    pub partitions: Arc<axs_core::PartitionMap>,
+    /// Per-partition writer latches: writers on disjoint partitions
+    /// overlap, conflicting writers queue here (and are counted).
+    pub latches: axs_core::PartitionLatches,
     /// LRU stamp maintained by [`Catalog::slot_by_id`].
     last_used: AtomicU64,
 }
@@ -185,12 +197,18 @@ pub struct StoreSlot {
 impl StoreSlot {
     fn new(name: String, id: u16, store: XmlStore) -> Arc<StoreSlot> {
         let epochs = store.epoch_registry();
+        let publisher = store.publisher();
+        let partitions = store.partition_map();
+        let latches = axs_core::PartitionLatches::new(partitions.partitions());
         Arc::new(StoreSlot {
             name,
             id,
             store: RwLock::new(store),
             locks: LockManager::new(),
             epochs,
+            publisher,
+            partitions,
+            latches,
             last_used: AtomicU64::new(0),
         })
     }

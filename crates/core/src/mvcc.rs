@@ -23,25 +23,99 @@
 //! replays the committed prefix; see the crash-matrix tests).
 
 use crate::error::StoreError;
-use crate::range::RangeData;
+use crate::range::{RangeData, RangeHeader};
 use crate::view::{ReadView, ViewPos};
 use axs_obs::{Histogram, HistogramSnapshot};
 use axs_xdm::{IdInterval, NodeId};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
-/// An immutable, fully decoded view of the store's range chain at one
-/// commit point. Implements [`ReadView`], so every read algorithm (point
-/// reads, navigation, cursors, XPath/XQuery) runs against it unchanged.
+/// One range frozen into a snapshot: the raw encoded payload plus its
+/// eagerly decoded header (cheap — 24 fixed bytes, and enough to build the
+/// snapshot's id and range indexes). The full token decode is deferred to
+/// the first read that actually loads the range ([`LazyRange::data`]),
+/// so publishing an epoch costs O(dirty payload bytes), not O(dirty token
+/// decode) — and ranges nobody reads are never decoded at all.
+pub struct LazyRange {
+    header: RangeHeader,
+    payload: Vec<u8>,
+    decoded: OnceLock<Arc<RangeData>>,
+    /// Registry-wide count of deferred decodes that actually happened
+    /// (`mvcc.lazy_materialized`): proof the laziness fires.
+    materialized: Arc<AtomicU64>,
+}
+
+impl LazyRange {
+    /// Wraps an encoded payload, decoding only the header.
+    pub fn from_payload(
+        payload: Vec<u8>,
+        materialized: Arc<AtomicU64>,
+    ) -> Result<LazyRange, StoreError> {
+        let header = RangeHeader::decode(&payload)?;
+        Ok(LazyRange {
+            header,
+            payload,
+            decoded: OnceLock::new(),
+            materialized,
+        })
+    }
+
+    /// Wraps already-decoded data (tests, eager callers). Does not count
+    /// as a lazy materialization.
+    pub fn from_decoded(data: Arc<RangeData>) -> LazyRange {
+        let cell = OnceLock::new();
+        let _ = cell.set(data.clone());
+        LazyRange {
+            header: data.header,
+            payload: Vec::new(),
+            decoded: cell,
+            materialized: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The range header (decoded at publish time).
+    pub fn header(&self) -> &RangeHeader {
+        &self.header
+    }
+
+    /// The fully decoded tokens, materializing them on first call. Decodes
+    /// race-free: concurrent first readers may both decode, but exactly one
+    /// result wins the cell and the counter advances once.
+    pub fn data(&self) -> Result<Arc<RangeData>, StoreError> {
+        if let Some(d) = self.decoded.get() {
+            return Ok(d.clone());
+        }
+        let data = Arc::new(RangeData::decode(&self.payload)?);
+        match self.decoded.set(data) {
+            Ok(()) => {
+                self.materialized.fetch_add(1, Ordering::Relaxed);
+                Ok(self.decoded.get().expect("just set").clone())
+            }
+            Err(_) => Ok(self.decoded.get().expect("set raced").clone()),
+        }
+    }
+
+    /// Whether the full decode has happened.
+    pub fn is_materialized(&self) -> bool {
+        self.decoded.get().is_some()
+    }
+}
+
+/// An immutable view of the store's range chain at one commit point, with
+/// per-range payloads decoded lazily on first read. Implements
+/// [`ReadView`], so every read algorithm (point reads, navigation,
+/// cursors, XPath/XQuery) runs against it unchanged.
 pub struct Snapshot {
     epoch: u64,
     lsn: u64,
     created: Instant,
-    /// Ranges in document order, shared with neighbouring epochs.
-    ranges: Vec<Arc<RangeData>>,
+    /// Ranges in document order, shared with neighbouring epochs (so a
+    /// range decoded under one epoch stays decoded in every epoch that
+    /// shares it).
+    ranges: Vec<Arc<LazyRange>>,
     /// Id interval → document position, sorted by interval start. Intervals
     /// are disjoint (each id lives in exactly one range), so containment
     /// lookup is a binary search.
@@ -51,7 +125,7 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
-    fn new(epoch: u64, lsn: u64, ranges: Vec<Arc<RangeData>>) -> Snapshot {
+    fn new(epoch: u64, lsn: u64, ranges: Vec<Arc<LazyRange>>) -> Snapshot {
         let mut by_id: Vec<(IdInterval, u32)> = ranges
             .iter()
             .enumerate()
@@ -89,9 +163,9 @@ impl Snapshot {
         self.ranges.len()
     }
 
-    /// The shared decoded data of `range_id`, if present (the publish-time
-    /// copy-on-write reuse hook).
-    pub(crate) fn range_arc(&self, range_id: u64) -> Option<Arc<RangeData>> {
+    /// The shared (possibly still undecoded) range of `range_id`, if
+    /// present (the publish-time copy-on-write reuse hook).
+    pub(crate) fn range_arc(&self, range_id: u64) -> Option<Arc<LazyRange>> {
         self.by_range
             .get(&range_id)
             .map(|&i| self.ranges[i as usize].clone())
@@ -123,8 +197,8 @@ impl ReadView for Snapshot {
     fn view_load_at(&self, at: ViewPos) -> Result<Arc<RangeData>, StoreError> {
         self.ranges
             .get(at.0 as usize)
-            .cloned()
-            .ok_or(StoreError::Corrupt("snapshot position out of range"))
+            .ok_or(StoreError::Corrupt("snapshot position out of range"))?
+            .data()
     }
 
     fn view_locate_range(&self, range_id: u64) -> Result<ViewPos, StoreError> {
@@ -143,7 +217,7 @@ impl ReadView for Snapshot {
         if !iv.contains(id) {
             return Err(StoreError::NodeNotFound(id));
         }
-        let data = &self.ranges[pos as usize];
+        let data = self.ranges[pos as usize].data()?;
         let idx = data.index_of_id(id).ok_or(StoreError::Corrupt(
             "snapshot interval points at wrong range",
         ))?;
@@ -193,6 +267,10 @@ pub struct MvccStats {
     pub pins_active: u64,
     /// Pins taken over the registry's lifetime.
     pub pins_total: u64,
+    /// Snapshot ranges whose deferred token decode actually ran — the
+    /// lazy-materialization counter (publish defers all decoding; this
+    /// advances only when a reader first loads a range).
+    pub lazy_materialized: u64,
 }
 
 struct RegistryInner {
@@ -210,6 +288,9 @@ pub struct EpochRegistry {
     inner: Mutex<RegistryInner>,
     retired_total: AtomicU64,
     pins_total: AtomicU64,
+    /// Shared with every [`LazyRange`] this registry publishes: counts the
+    /// deferred decodes that actually ran.
+    lazy_materialized: Arc<AtomicU64>,
     /// Age of the pinned snapshot at pin time, in microseconds — how stale
     /// the data a reader observes actually is.
     age_us: Histogram,
@@ -224,16 +305,23 @@ impl Default for EpochRegistry {
             }),
             retired_total: AtomicU64::new(0),
             pins_total: AtomicU64::new(0),
+            lazy_materialized: Arc::new(AtomicU64::new(0)),
             age_us: Histogram::new(),
         }
     }
 }
 
 impl EpochRegistry {
+    /// The shared lazy-materialization counter, for building
+    /// [`LazyRange`]s that report into this registry's stats.
+    pub fn materialized_counter(&self) -> Arc<AtomicU64> {
+        self.lazy_materialized.clone()
+    }
+
     /// Publishes the next epoch from a document-ordered range chain,
     /// superseding (and possibly retiring) the previous current snapshot.
     /// Returns the new epoch number.
-    pub fn publish(&self, lsn: u64, ranges: Vec<Arc<RangeData>>) -> u64 {
+    pub fn publish(&self, lsn: u64, ranges: Vec<Arc<LazyRange>>) -> u64 {
         let mut inner = self.inner.lock();
         let epoch = inner.current.as_ref().map(|s| s.epoch + 1).unwrap_or(1);
         let snap = Arc::new(Snapshot::new(epoch, lsn, ranges));
@@ -309,12 +397,137 @@ impl EpochRegistry {
             retired_total: self.retired_total.load(Ordering::Relaxed),
             pins_active,
             pins_total: self.pins_total.load(Ordering::Relaxed),
+            lazy_materialized: self.lazy_materialized.load(Ordering::Relaxed),
         }
     }
 
     /// Snapshot-age histogram (µs between publish and pin).
     pub fn age_snapshot(&self) -> HistogramSnapshot {
         self.age_us.snapshot()
+    }
+}
+
+/// What one commit changed, captured under the store's exclusive lock:
+/// the document-ordered range-id chain after the mutation, plus the raw
+/// payloads of the ranges the commit dirtied. Everything else is resolved
+/// against the previous epoch at publish time (copy-on-write).
+pub struct PublishDelta {
+    /// LSN of the WAL commit record sealing this delta's batch.
+    pub lsn: u64,
+    /// Stable range ids in document order — the full chain at capture time.
+    pub order: Vec<u64>,
+    /// Encoded payloads of the ranges dirtied since the last capture,
+    /// keyed by stable range id.
+    pub fresh: HashMap<u64, Arc<LazyRange>>,
+}
+
+/// The commit combiner: turns per-writer commit deltas into merged epoch
+/// publishes, outside every store lock.
+///
+/// Writers on disjoint partitions call [`Publisher::submit`] under the
+/// (short) exclusive store section — right after their batch is sealed in
+/// the WAL — then release the store and call
+/// [`Publisher::ensure_published`] before waiting on their group-commit
+/// ticket. The first writer through publishes one snapshot covering every
+/// pending delta; the others observe `published_lsn` has already passed
+/// their commit and piggyback on that merged epoch. Visibility ordering is
+/// preserved exactly as before: an epoch becomes visible after its batch's
+/// WAL append and before the group fsync, so recovery still replays the
+/// committed prefix into one epoch (the crash-matrix invariant).
+pub struct Publisher {
+    epochs: Arc<EpochRegistry>,
+    /// Serializes snapshot construction + publish. `pending` is taken
+    /// *inside* this lock so a delta submitted between the gate check and
+    /// the publish is either included or left for its own writer.
+    publish_lock: Mutex<()>,
+    pending: Mutex<Option<PublishDelta>>,
+    published_lsn: AtomicU64,
+    merged_publishes: AtomicU64,
+    publishes: AtomicU64,
+}
+
+impl Publisher {
+    /// A publisher feeding `epochs`.
+    pub fn new(epochs: Arc<EpochRegistry>) -> Publisher {
+        Publisher {
+            epochs,
+            publish_lock: Mutex::new(()),
+            pending: Mutex::new(None),
+            published_lsn: AtomicU64::new(0),
+            merged_publishes: AtomicU64::new(0),
+            publishes: AtomicU64::new(0),
+        }
+    }
+
+    /// Queues one commit's delta, merging it into any delta already
+    /// pending (fresh payloads union, latest chain order and LSN win).
+    /// Called with the store's exclusive lock held, so submissions are
+    /// totally ordered with the mutations they describe.
+    pub fn submit(&self, delta: PublishDelta) {
+        let mut pending = self.pending.lock();
+        match pending.as_mut() {
+            Some(p) => {
+                p.fresh.extend(delta.fresh);
+                p.order = delta.order;
+                p.lsn = p.lsn.max(delta.lsn);
+            }
+            None => *pending = Some(delta),
+        }
+    }
+
+    /// Publishes every pending delta as one epoch unless a concurrent
+    /// publisher already covered `lsn` (then this commit rides the merged
+    /// epoch). Call *after* releasing the store lock and *before* waiting
+    /// on the commit ticket.
+    pub fn ensure_published(&self, lsn: u64) -> Result<(), StoreError> {
+        if lsn > 0 && self.published_lsn.load(Ordering::Acquire) >= lsn {
+            self.merged_publishes.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        let _gate = self.publish_lock.lock();
+        if lsn > 0 && self.published_lsn.load(Ordering::Acquire) >= lsn {
+            self.merged_publishes.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        let Some(delta) = self.pending.lock().take() else {
+            // A direct publish (flush, recovery) already covered the
+            // pending work; nothing left to do.
+            return Ok(());
+        };
+        let prev = self.epochs.current();
+        let mut ranges = Vec::with_capacity(delta.order.len());
+        for rid in &delta.order {
+            let arc = delta
+                .fresh
+                .get(rid)
+                .cloned()
+                .or_else(|| prev.as_ref().and_then(|p| p.range_arc(*rid)))
+                .ok_or(StoreError::Corrupt("publish delta missing a range"))?;
+            ranges.push(arc);
+        }
+        self.epochs.publish(delta.lsn, ranges);
+        self.publishes.fetch_add(1, Ordering::Relaxed);
+        let new = delta.lsn;
+        self.published_lsn.fetch_max(new, Ordering::Release);
+        Ok(())
+    }
+
+    /// Notes a direct, out-of-band publish of the full chain (flush,
+    /// build, open): drops any pending delta — the direct snapshot already
+    /// includes that work — and advances the published watermark.
+    pub fn note_direct_publish(&self, lsn: u64) {
+        let _gate = self.publish_lock.lock();
+        *self.pending.lock() = None;
+        self.published_lsn.fetch_max(lsn, Ordering::Release);
+    }
+
+    /// `(publishes, merged)`: epochs this publisher built vs. commits that
+    /// piggybacked on an epoch another writer published.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.publishes.load(Ordering::Relaxed),
+            self.merged_publishes.load(Ordering::Relaxed),
+        )
     }
 }
 
@@ -404,5 +617,97 @@ mod tests {
         assert_eq!(s.epochs_live, 1);
         assert_eq!(reg.min_active_epoch(), 5);
         assert!(reg.age_snapshot().count >= 5, "pin ages recorded");
+    }
+
+    fn lazy(reg: &EpochRegistry, range_id: u64, start: u64) -> Arc<LazyRange> {
+        let data = RangeData::new(
+            range_id,
+            NodeId(start),
+            vec![
+                axs_xdm::Token::begin_element("n"),
+                axs_xdm::Token::EndElement,
+            ],
+        );
+        Arc::new(LazyRange::from_payload(data.encode(), reg.materialized_counter()).unwrap())
+    }
+
+    #[test]
+    fn lazy_range_decodes_once_on_first_read() {
+        let reg = registry();
+        reg.publish(5, vec![lazy(&reg, 1, 1), lazy(&reg, 2, 10)]);
+        let pin = reg.pin().unwrap();
+        assert_eq!(reg.stats().lazy_materialized, 0, "publish decodes nothing");
+        // First load materializes exactly the touched range.
+        let data = pin.view_load_at((0, 0)).unwrap();
+        assert_eq!(data.header.range_id, 1);
+        assert_eq!(reg.stats().lazy_materialized, 1);
+        // Re-reading is free; the untouched neighbour stays encoded.
+        let _ = pin.view_load_at((0, 0)).unwrap();
+        assert_eq!(reg.stats().lazy_materialized, 1);
+        // COW across epochs shares the decoded cell.
+        drop(pin);
+        let carried = reg.current().unwrap().range_arc(1).unwrap();
+        reg.publish(6, vec![carried, lazy(&reg, 2, 10)]);
+        let pin = reg.pin().unwrap();
+        let _ = pin.view_load_at((0, 0)).unwrap();
+        assert_eq!(reg.stats().lazy_materialized, 1, "decode survives COW");
+    }
+
+    #[test]
+    fn publisher_merges_pending_deltas_into_one_epoch() {
+        let reg = registry();
+        let publisher = Publisher::new(reg.clone());
+        // Two commits land before anyone publishes (the combiner window).
+        let r1 = lazy(&reg, 1, 1);
+        let r2 = lazy(&reg, 2, 10);
+        publisher.submit(PublishDelta {
+            lsn: 5,
+            order: vec![1],
+            fresh: HashMap::from([(1, r1.clone())]),
+        });
+        publisher.submit(PublishDelta {
+            lsn: 7,
+            order: vec![1, 2],
+            fresh: HashMap::from([(2, r2)]),
+        });
+        publisher.ensure_published(7).unwrap();
+        let snap = reg.current().unwrap();
+        assert_eq!(snap.epoch(), 1);
+        assert_eq!(snap.lsn(), 7);
+        assert_eq!(snap.range_count(), 2, "merged epoch covers both commits");
+        // The earlier committer piggybacks: no second epoch.
+        publisher.ensure_published(5).unwrap();
+        assert_eq!(reg.current().unwrap().epoch(), 1);
+        assert_eq!(publisher.stats(), (1, 1), "one publish, one merge");
+        // A later commit resolves clean ranges from the previous epoch.
+        publisher.submit(PublishDelta {
+            lsn: 9,
+            order: vec![1, 2],
+            fresh: HashMap::new(),
+        });
+        publisher.ensure_published(9).unwrap();
+        let snap = reg.current().unwrap();
+        assert_eq!(snap.epoch(), 2);
+        assert!(
+            Arc::ptr_eq(&snap.range_arc(1).unwrap(), &r1),
+            "clean range shared by Arc across the publisher path"
+        );
+    }
+
+    #[test]
+    fn direct_publish_supersedes_pending_deltas() {
+        let reg = registry();
+        let publisher = Publisher::new(reg.clone());
+        publisher.submit(PublishDelta {
+            lsn: 4,
+            order: vec![1],
+            fresh: HashMap::from([(1, lazy(&reg, 1, 1))]),
+        });
+        // A flush publishes the full chain directly…
+        reg.publish(0, vec![lazy(&reg, 1, 1)]);
+        publisher.note_direct_publish(0);
+        // …so the writer's ensure_published finds nothing left to do.
+        publisher.ensure_published(4).unwrap();
+        assert_eq!(reg.current().unwrap().epoch(), 1);
     }
 }

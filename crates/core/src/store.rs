@@ -8,7 +8,8 @@
 
 use crate::adapt::{AdaptEventKind, AdaptLog};
 use crate::error::StoreError;
-use crate::mvcc::{EpochRegistry, MvccStats};
+use crate::mvcc::{EpochRegistry, LazyRange, MvccStats, PublishDelta, Publisher};
+use crate::partition::PartitionMap;
 use crate::policy::{AdaptiveController, AdaptiveDecision, IndexingPolicy};
 use crate::range::{chop_fragment, RangeData, RangeHeader, RANGE_HEADER_LEN};
 use crate::stats::{LookupPath, SharedStats, StoreStats};
@@ -369,6 +370,14 @@ pub struct XmlStore {
     /// Ranges whose payload changed since the last published snapshot —
     /// the copy-on-write set: only these are re-decoded at publish time.
     mvcc_dirty: HashSet<u64>,
+    /// Commit combiner: merges concurrent writers' publish deltas into one
+    /// epoch publish outside the store's exclusive section. Shared (`Arc`)
+    /// with the server so `ensure_published` runs after the lock drops.
+    publisher: Arc<Publisher>,
+    /// Range id → write partition, maintained at range creation / split /
+    /// merge; shared with the server so it maps granted X-subtrees onto
+    /// partition latches without the store lock.
+    partitions: Arc<PartitionMap>,
 }
 
 impl XmlStore {
@@ -394,6 +403,7 @@ impl XmlStore {
             .initial_target_range_bytes()
             .min(block::max_payload(page_size))
             .max(RANGE_HEADER_LEN + 16);
+        let epochs = Arc::new(EpochRegistry::default());
         Ok(XmlStore {
             data_pool,
             index_pool,
@@ -414,8 +424,10 @@ impl XmlStore {
             target_range_bytes: AtomicUsize::new(target_range_bytes),
             policy,
             stats: SharedStats::default(),
-            epochs: Arc::new(EpochRegistry::default()),
+            publisher: Arc::new(Publisher::new(epochs.clone())),
+            epochs,
             mvcc_dirty: HashSet::new(),
+            partitions: Arc::new(PartitionMap::default()),
         })
     }
 
@@ -574,6 +586,7 @@ impl XmlStore {
             block::remove_range(buf, block_page, slot).map(|_| ())
         })??;
         self.range_dir.remove(&range_id);
+        self.partitions.remove(range_id);
         if let Some(iv) = header.interval() {
             self.range_index.remove(iv.start)?;
         }
@@ -634,12 +647,49 @@ impl XmlStore {
     /// batches in order. Returns `Ok(None)` for in-memory stores, which
     /// have nothing to make durable.
     pub fn commit(&mut self) -> Result<Option<CommitTicket>, StoreError> {
+        let ticket = self.commit_nopublish()?;
+        if let Some(t) = &ticket {
+            self.publisher.ensure_published(t.lsn())?;
+        }
+        Ok(ticket)
+    }
+
+    /// [`XmlStore::commit`] without the epoch publish: seals the batch in
+    /// the WAL and *submits* a publish delta to the store's [`Publisher`]
+    /// instead of building the snapshot inline. The caller must call
+    /// [`Publisher::ensure_published`] with the ticket's LSN — normally
+    /// *after* releasing exclusive store access, so the (O(ranges))
+    /// snapshot construction runs outside the write gate and concurrent
+    /// partitions' deltas merge into a single epoch publish, ordered after
+    /// their batched WAL appends and before the shared group fsync.
+    pub fn commit_nopublish(&mut self) -> Result<Option<CommitTicket>, StoreError> {
         let _span = axs_obs::span_enter(axs_obs::EventKind::Commit, 0, 0);
         self.write_meta()?;
-        let Some(wal) = &mut self.wal else {
+        if self.wal.is_none() {
+            // In-memory stores have no WAL LSN to gate on; publish inline.
             self.publish_snapshot(0)?;
             return Ok(None);
-        };
+        }
+        // Capture the delta while we still hold exclusive access: the chain
+        // order (8-byte header peeks only) plus raw payload copies for just
+        // the dirty ranges. Token decoding stays lazy (`LazyRange`).
+        let order = self.chain_range_ids()?;
+        let mut fresh = HashMap::with_capacity(self.mvcc_dirty.len());
+        let counter = self.epochs.materialized_counter();
+        for rid in std::mem::take(&mut self.mvcc_dirty) {
+            // A range can be dirtied and then dropped (merge/delete) in the
+            // same batch; absent from the directory means absent from the
+            // chain, so it needs no payload.
+            if !self.range_dir.contains_key(&rid) {
+                continue;
+            }
+            let (_, _, payload) = self.load_range_payload(rid)?;
+            fresh.insert(
+                rid,
+                Arc::new(LazyRange::from_payload(payload, counter.clone())?),
+            );
+        }
+        let wal = self.wal.as_mut().expect("checked above");
         let images = self.data_pool.unlogged_dirty_images();
         let mut last_lsn = 0;
         for (page, image) in &images {
@@ -650,13 +700,34 @@ impl XmlStore {
         if last_lsn > 0 {
             self.data_pool.set_stamp_lsn(last_lsn);
         }
-        // Publish the new epoch after the batch is sealed in the WAL. This
-        // is the same visibility-before-durability point as the exclusive
-        // write lock release: snapshot readers may observe the commit
-        // before its group fsync completes, and a crash in that window
-        // erases the epoch together with the batch on replay.
-        self.publish_snapshot(ticket.lsn())?;
+        // Hand the delta to the publisher only after the batch is sealed in
+        // the WAL: the eventual epoch publish is thereby ordered after the
+        // batched append and before the group fsync — the same
+        // visibility-before-durability point as before. Snapshot readers
+        // may observe the commit before its fsync completes, and a crash in
+        // that window erases the epoch together with the batch on replay.
+        self.publisher.submit(PublishDelta {
+            lsn: ticket.lsn(),
+            order,
+            fresh,
+        });
         Ok(Some(ticket))
+    }
+
+    /// Stable range ids in document (chain) order, peeking only the first
+    /// 8 payload bytes of each slot — cheap enough to run per commit even
+    /// on large stores.
+    fn chain_range_ids(&self) -> Result<Vec<u64>, StoreError> {
+        let mut order = Vec::with_capacity(self.range_dir.len());
+        let mut cur = self.first_range_pos()?;
+        while let Some((b, s)) = cur {
+            let rid = self.data_pool.read(b, |buf| {
+                block::range_bytes(buf, b, s).map(|p| get_u64(p, 0))
+            })??;
+            order.push(rid);
+            cur = self.next_range_pos(b, s)?;
+        }
+        Ok(order)
     }
 
     // ---- MVCC snapshot publication -----------------------------------------
@@ -680,9 +751,12 @@ impl XmlStore {
     }
 
     /// Publishes the current range chain as the next epoch (copy-on-write:
-    /// clean ranges reuse the previous snapshot's decoded data).
+    /// clean ranges reuse the previous snapshot's — possibly already
+    /// decoded — `LazyRange`; dirty ranges re-enter lazily, decoded only on
+    /// first snapshot read).
     fn publish_snapshot(&mut self, lsn: u64) -> Result<(), StoreError> {
         let prev = self.epochs.current();
+        let counter = self.epochs.materialized_counter();
         let mut ranges = Vec::with_capacity(self.range_dir.len());
         let mut cur = self.first_range_pos()?;
         while let Some((b, s)) = cur {
@@ -697,13 +771,26 @@ impl XmlStore {
             };
             ranges.push(match reuse {
                 Some(arc) => arc,
-                None => Arc::new(RangeData::decode(&payload)?),
+                None => Arc::new(LazyRange::from_payload(payload, counter.clone())?),
             });
             cur = self.next_range_pos(b, s)?;
         }
         self.epochs.publish(lsn, ranges);
+        // A direct publish reflects the full current chain, superseding any
+        // delta a concurrent committer may have queued below this LSN.
+        self.publisher.note_direct_publish(lsn);
         self.mvcc_dirty.clear();
         Ok(())
+    }
+
+    /// The store's commit combiner (see [`XmlStore::commit_nopublish`]).
+    pub fn publisher(&self) -> Arc<Publisher> {
+        self.publisher.clone()
+    }
+
+    /// The store's write-partition map, shared with the dispatch layer.
+    pub fn partition_map(&self) -> Arc<PartitionMap> {
+        self.partitions.clone()
     }
 
     /// Group-commit activity (fsync batching behind [`XmlStore::commit`]);
@@ -1463,6 +1550,18 @@ impl XmlStore {
             new_ranges.push(right);
         }
 
+        // Partition map upkeep: ranges born inside an existing range stay in
+        // its partition (a writer latching that partition never creates
+        // ranges outside it); document-end appends spread round-robin.
+        for r in &new_ranges {
+            match target {
+                Some((range_id, _)) => self.partitions.inherit(range_id, r.header.range_id),
+                None => {
+                    self.partitions.of(r.header.range_id);
+                }
+            }
+        }
+
         self.place_ranges(block_page, insert_slot, &new_ranges)?;
 
         // Index the new ranges (and the split-off right half).
@@ -1644,6 +1743,7 @@ impl XmlStore {
                 block::remove_range(buf, block_page, slot).map(|_| ())
             })??;
             self.range_dir.remove(&header.range_id);
+            self.partitions.remove(header.range_id);
             if self.block_range_count(block_page)? == 0 {
                 self.unlink_block(block_page)?;
             }
@@ -1691,6 +1791,7 @@ impl XmlStore {
         let left = RangeData::new(header.range_id, header.start_id, prefix);
         let right_id = self.next_range_id;
         self.next_range_id += 1;
+        self.partitions.inherit(header.range_id, right_id);
         let right = RangeData::new(right_id, suffix_start, suffix);
         SharedStats::bump(&self.stats.range_splits);
         let left_payload = left.encode();

@@ -68,6 +68,22 @@ impl DispatchOutcome {
     }
 }
 
+/// A write opcode's request, decoded and XML-parsed *before* the
+/// exclusive store section so the CPU-heavy part of a write runs outside
+/// every latch (see `Engine::run`'s write arm).
+enum WritePayload {
+    /// `BulkLoad`: the parsed document.
+    Load(Vec<Token>),
+    /// Node-scoped inserts and `Replace`: target node + parsed fragment.
+    Node(NodeId, Vec<Token>),
+    /// `Delete`: target node.
+    Target(NodeId),
+    /// `Flush`: no payload.
+    Empty,
+    /// `Compact`: target range-size budget.
+    Budget(u64),
+}
+
 /// The locks an opcode needs before touching the store.
 enum Intent {
     /// No store access (ping, sleep).
@@ -255,7 +271,7 @@ impl Engine {
             // defensive): fall through to the locked path.
         }
         match self.intent_of(req, opcode)? {
-            Intent::None => self.run(req, opcode, &slot),
+            Intent::None => self.run(req, opcode, &slot, None),
             intent => self.run_locked(req, opcode, intent, &slot),
         }
     }
@@ -523,7 +539,19 @@ impl Engine {
                 Intent::WriteNode(id) => self.lock_node(slot, tx, id, LockMode::X)?,
                 Intent::None => {}
             }
-            self.run(req, opcode, slot)
+            // Map the write's *granted* X footprint onto store partitions
+            // (grants are stable for the rest of the transaction under
+            // strict 2PL, so the mapping cannot go stale). An empty list
+            // means every partition — the whole-store write case.
+            let write_partitions = match intent {
+                Intent::WriteStore => Some(Vec::new()),
+                Intent::WriteNode(_) => Some(match slot.locks.exclusive_footprint(tx) {
+                    None => Vec::new(),
+                    Some(ranges) => ranges.iter().map(|&r| slot.partitions.of(r)).collect(),
+                }),
+                _ => None,
+            };
+            self.run(req, opcode, slot, write_partitions)
         })();
         slot.locks.unlock_all(tx);
         result
@@ -576,9 +604,21 @@ impl Engine {
 
     /// Executes the opcode body. Lock acquisition already happened (or was
     /// deliberately skipped for lock-free opcodes). Read opcodes run under
-    /// shared physical access; write opcodes take exclusive access, commit,
-    /// and wait for group-commit durability only after releasing it.
-    fn run(&self, req: &Frame, opcode: OpCode, slot: &StoreSlot) -> Result<Vec<Frame>, ExecError> {
+    /// shared physical access. Write opcodes run the partitioned pipeline:
+    /// parse before any physical access, latch only the partitions the
+    /// granted X-subtrees map onto (`write_partitions`, empty = all),
+    /// mutate + seal the WAL batch under the short exclusive section, then
+    /// release everything before merging the epoch publish and waiting on
+    /// the shared group fsync — so writers on disjoint partitions overlap
+    /// through parse, publish, and fsync, and only conflicting writers
+    /// queue end to end.
+    fn run(
+        &self,
+        req: &Frame,
+        opcode: OpCode,
+        slot: &StoreSlot,
+        write_partitions: Option<Vec<u32>>,
+    ) -> Result<Vec<Frame>, ExecError> {
         use OpCode::*;
         match opcode {
             Ping | Sleep => self.run_control(req, opcode),
@@ -593,20 +633,36 @@ impl Engine {
             }
             BulkLoad | InsertFirst | InsertLast | InsertBefore | InsertAfter | Delete | Replace
             | Flush | Compact => {
-                ServerStats::bump(&self.stats.writes_exclusive);
+                // Decode and parse the payload before touching any latch:
+                // XML parsing is the CPU-heavy part of small writes and
+                // needs no physical access at all.
+                let payload = Self::parse_write_payload(req, opcode)?;
+                let latch = slot
+                    .latches
+                    .acquire(write_partitions.as_deref().unwrap_or(&[]));
+                if latch.conflicted {
+                    ServerStats::bump(&self.stats.writes_conflicted);
+                }
+                let _in_flight = self.stats.write_enter();
                 let (frames, ticket) = {
                     let mut store = slot.store.write();
-                    let frames = self.run_write(req, opcode, &mut store)?;
+                    let frames = self.run_write(req, opcode, payload, &mut store)?;
                     // Flush is its own durability point; everything else
-                    // commits here and waits below, outside the lock.
+                    // seals its batch here and publishes + waits below,
+                    // outside the lock.
                     let ticket = if opcode == Flush {
                         None
                     } else {
-                        store.commit()?
+                        store.commit_nopublish()?
                     };
                     (frames, ticket)
                 };
+                // Store lock released; release the partition latches with
+                // it so the next writer mutates while this one publishes
+                // and waits for the batched fsync.
+                drop(latch);
                 if let Some(ticket) = ticket {
+                    slot.publisher.ensure_published(ticket.lsn())?;
                     ServerStats::bump(&self.stats.commit_waits);
                     ticket.wait().map_err(StoreError::from)?;
                 }
@@ -863,31 +919,64 @@ impl Engine {
         Ok(frames)
     }
 
-    /// Mutating opcodes: `store` is the exclusive borrow. The caller
-    /// commits and waits for durability after this returns.
-    fn run_write(
-        &self,
-        req: &Frame,
-        opcode: OpCode,
-        store: &mut XmlStore,
-    ) -> Result<Vec<Frame>, ExecError> {
+    /// Decodes and parses a write opcode's payload — everything that can
+    /// happen before (and therefore outside) the exclusive store section.
+    fn parse_write_payload(req: &Frame, opcode: OpCode) -> Result<WritePayload, ExecError> {
         use OpCode::*;
-        let id = req.req_id;
-        let op = req.opcode;
         let mut r = Reader::new(&req.payload);
-        let frames = match opcode {
+        let payload = match opcode {
             BulkLoad => {
                 let xml = r.str()?;
                 r.finish()?;
-                let tokens = Self::parse_xml(&xml)?;
-                let iv = store.bulk_insert(tokens)?;
-                vec![Frame::done(id, op, Self::interval_payload(iv))]
+                WritePayload::Load(Self::parse_xml(&xml)?)
             }
             InsertFirst | InsertLast | InsertBefore | InsertAfter | Replace => {
                 let node = NodeId(r.u64()?);
                 let xml = r.str()?;
                 r.finish()?;
-                let tokens = Self::parse_xml(&xml)?;
+                WritePayload::Node(node, Self::parse_xml(&xml)?)
+            }
+            Delete => {
+                let node = NodeId(r.u64()?);
+                r.finish()?;
+                WritePayload::Target(node)
+            }
+            Flush => {
+                r.finish()?;
+                WritePayload::Empty
+            }
+            Compact => {
+                let target = r.u64()?;
+                r.finish()?;
+                WritePayload::Budget(target)
+            }
+            _ => unreachable!("not a write opcode"),
+        };
+        Ok(payload)
+    }
+
+    /// Mutating opcodes: `store` is the exclusive borrow, `payload` the
+    /// pre-parsed request. The caller commits and waits for durability
+    /// after this returns.
+    fn run_write(
+        &self,
+        req: &Frame,
+        opcode: OpCode,
+        payload: WritePayload,
+        store: &mut XmlStore,
+    ) -> Result<Vec<Frame>, ExecError> {
+        use OpCode::*;
+        let id = req.req_id;
+        let op = req.opcode;
+        let frames = match (opcode, payload) {
+            (BulkLoad, WritePayload::Load(tokens)) => {
+                let iv = store.bulk_insert(tokens)?;
+                vec![Frame::done(id, op, Self::interval_payload(iv))]
+            }
+            (
+                InsertFirst | InsertLast | InsertBefore | InsertAfter | Replace,
+                WritePayload::Node(node, tokens),
+            ) => {
                 let iv = match opcode {
                     InsertFirst => store.insert_into_first(node, tokens)?,
                     InsertLast => store.insert_into_last(node, tokens)?,
@@ -898,20 +987,15 @@ impl Engine {
                 };
                 vec![Frame::done(id, op, Self::interval_payload(iv))]
             }
-            Delete => {
-                let node = NodeId(r.u64()?);
-                r.finish()?;
+            (Delete, WritePayload::Target(node)) => {
                 store.delete_node(node)?;
                 vec![Frame::done(id, op, Vec::new())]
             }
-            Flush => {
-                r.finish()?;
+            (Flush, WritePayload::Empty) => {
                 store.flush()?;
                 vec![Frame::done(id, op, Vec::new())]
             }
-            Compact => {
-                let target = r.u64()?;
-                r.finish()?;
+            (Compact, WritePayload::Budget(target)) => {
                 let rep = store.compact(target as usize)?;
                 let mut p = Vec::new();
                 put_u64(&mut p, rep.merges);
@@ -919,7 +1003,7 @@ impl Engine {
                 put_u64(&mut p, rep.ranges_after);
                 vec![Frame::done(id, op, p)]
             }
-            _ => unreachable!("not a write opcode"),
+            _ => unreachable!("payload shape matches opcode by construction"),
         };
         Ok(frames)
     }
@@ -1015,6 +1099,28 @@ impl Engine {
             out.push(("mvcc.snapshot_age_us_p50".to_string(), age.percentile(0.50)));
             out.push(("mvcc.snapshot_age_us_p99".to_string(), age.percentile(0.99)));
             out.push(("mvcc.snapshot_age_us_max".to_string(), age.max));
+            // Lazy materialization: ranges decoded on first snapshot read
+            // instead of eagerly at publish. Staying well below the range
+            // count proves publishes don't decode what nobody reads.
+            out.push(("mvcc.lazy_materialized".to_string(), m.lazy_materialized));
+            let (publishes, merged) = slot.publisher.stats();
+            out.push(("mvcc.publishes".to_string(), publishes));
+            out.push(("mvcc.publishes_merged".to_string(), merged));
+        }
+        {
+            // Writer partitioning of this store: latch lanes, ranges
+            // mapped, and how often writers collided on a lane.
+            out.push((
+                "partition.lanes".to_string(),
+                u64::from(slot.partitions.partitions()),
+            ));
+            out.push((
+                "partition.ranges_assigned".to_string(),
+                slot.partitions.assigned() as u64,
+            ));
+            let (acquisitions, conflicts) = slot.latches.stats();
+            out.push(("partition.latch_acquisitions".to_string(), acquisitions));
+            out.push(("partition.latch_conflicts".to_string(), conflicts));
         }
         let locks = slot.locks.stats();
         out.push(("lock.acquisitions".to_string(), locks.acquisitions));

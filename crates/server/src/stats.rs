@@ -36,6 +36,19 @@ pub struct ServerStats {
     pub reads_snapshot: AtomicU64,
     /// Write opcodes executed under exclusive store access.
     pub writes_exclusive: AtomicU64,
+    /// Writes that entered execution while at least one other write was
+    /// already in flight on the same store — disjoint-partition overlap
+    /// made real (values above 0 prove writers genuinely run in parallel
+    /// through parse/publish/fsync).
+    pub writes_parallel: AtomicU64,
+    /// Writes whose partition latches were already held on arrival: the
+    /// writer queued behind a conflicting writer instead of overlapping.
+    pub writes_conflicted: AtomicU64,
+    /// Write opcodes currently in flight (between partition-latch grant
+    /// and commit-publish completion).
+    pub writes_in_flight: AtomicU64,
+    /// Most writes ever observed in flight at once.
+    pub writes_max_in_flight: AtomicU64,
     /// Read opcodes currently holding shared access.
     pub reads_in_flight: AtomicU64,
     /// Most read opcodes ever observed holding shared access at once —
@@ -85,6 +98,13 @@ impl ServerStats {
             ("server.reads_shared", read(&self.reads_shared)),
             ("server.reads_snapshot", read(&self.reads_snapshot)),
             ("server.writes_exclusive", read(&self.writes_exclusive)),
+            ("server.writes_parallel", read(&self.writes_parallel)),
+            ("server.writes_conflicted", read(&self.writes_conflicted)),
+            ("server.writes_in_flight", read(&self.writes_in_flight)),
+            (
+                "server.writes_max_in_flight",
+                read(&self.writes_max_in_flight),
+            ),
             ("server.reads_in_flight", read(&self.reads_in_flight)),
             (
                 "server.reads_max_in_flight",
@@ -107,5 +127,61 @@ pub struct ReadGuard<'a> {
 impl Drop for ReadGuard<'_> {
     fn drop(&mut self) {
         self.stats.reads_in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+impl ServerStats {
+    /// Records a write entering execution (its partition latches granted),
+    /// maintaining the in-flight gauge, its high-water mark, and
+    /// `writes_parallel` (bumped when another write was already in
+    /// flight). The guard decrements the gauge on drop, panic included.
+    #[must_use = "the guard's Drop records the write leaving execution"]
+    pub fn write_enter(&self) -> WriteGuard<'_> {
+        self.writes_exclusive.fetch_add(1, Ordering::Relaxed);
+        let prior = self.writes_in_flight.fetch_add(1, Ordering::Relaxed);
+        if prior >= 1 {
+            self.writes_parallel.fetch_add(1, Ordering::Relaxed);
+        }
+        self.writes_max_in_flight
+            .fetch_max(prior + 1, Ordering::Relaxed);
+        WriteGuard { stats: self }
+    }
+}
+
+/// Holds the `writes_in_flight` gauge up for one executing write (see
+/// [`ServerStats::write_enter`]); decrements on drop, panic included.
+#[derive(Debug)]
+pub struct WriteGuard<'a> {
+    stats: &'a ServerStats,
+}
+
+impl Drop for WriteGuard<'_> {
+    fn drop(&mut self) {
+        self.stats.writes_in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_enter_tracks_overlap() {
+        let stats = ServerStats::default();
+        let g1 = stats.write_enter();
+        assert_eq!(stats.writes_parallel.load(Ordering::Relaxed), 0);
+        let g2 = stats.write_enter();
+        assert_eq!(stats.writes_parallel.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.writes_max_in_flight.load(Ordering::Relaxed), 2);
+        drop(g2);
+        drop(g1);
+        assert_eq!(stats.writes_in_flight.load(Ordering::Relaxed), 0);
+        let named = stats.snapshot();
+        assert!(named
+            .iter()
+            .any(|(n, v)| *n == "server.writes_parallel" && *v == 1));
+        assert!(named
+            .iter()
+            .any(|(n, v)| *n == "server.writes_exclusive" && *v == 2));
     }
 }

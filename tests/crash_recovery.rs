@@ -409,6 +409,176 @@ fn snapshot_readers_pinned_at_crash_points_stay_frozen() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// Multi-writer crash matrix (writer-concurrency tentpole): several
+/// writers commit concurrently on *disjoint subtrees* through the
+/// partitioned pipeline (`commit_nopublish` under the lock, merged epoch
+/// publish + group-fsync wait outside it), then the WAL is torn at every
+/// sampled byte length. Each commit wraps TWO sibling elements, so
+/// recovery must honor three properties at every tear point:
+///
+/// - **all-or-nothing per commit group**: a commit's pair is either fully
+///   present or fully absent, never split;
+/// - **per-writer prefix**: each writer's commits replay in their issue
+///   order, so the recovered elements of one subtree form a contiguous
+///   prefix of that writer's sequence (the interleaving *between* writers
+///   is whatever order their WAL appends landed in);
+/// - **a single recovered epoch** equal to the WAL-committed prefix.
+#[test]
+fn multi_writer_crash_matrix_recovers_per_writer_prefixes() {
+    const WRITERS: usize = 3;
+    const COMMITS: usize = 8;
+    let dir = temp_dir("mw-template");
+    let mut store = StoreBuilder::new()
+        .directory(&dir)
+        .storage(storage())
+        .commit_window(std::time::Duration::from_millis(1))
+        .build()
+        .unwrap();
+    store
+        .bulk_insert(parse_fragment("<root/>", axs_xml::ParseOptions::data_centric()).unwrap())
+        .unwrap();
+    // One subtree per writer; the insert's interval start is its node id.
+    let subtrees: Vec<NodeId> = (0..WRITERS)
+        .map(|t| {
+            let frag =
+                parse_fragment(&format!("<t{t}/>"), axs_xml::ParseOptions::data_centric()).unwrap();
+            store.insert_into_last(NodeId(1), frag).unwrap().start
+        })
+        .collect();
+    store.flush().unwrap();
+    let baseline_wal = std::fs::metadata(dir.join("wal.log")).unwrap().len();
+
+    // Concurrent phase: every writer commits on its own subtree through
+    // the pipelined path, racing the others through parse-free mutation,
+    // merged publish, and the shared fsync batcher.
+    let store = ConcurrentStore::new(store);
+    let barrier = std::sync::Barrier::new(WRITERS);
+    std::thread::scope(|scope| {
+        for (t, &subtree) in subtrees.iter().enumerate() {
+            let store = store.clone();
+            let barrier = &barrier;
+            scope.spawn(move || {
+                barrier.wait();
+                for j in 0..COMMITS {
+                    // Two siblings per commit: the all-or-nothing probe.
+                    let frag = parse_fragment(
+                        &format!("<w{t}-{j}a/><w{t}-{j}b/>"),
+                        axs_xml::ParseOptions::data_centric(),
+                    )
+                    .unwrap();
+                    store
+                        .with_write_pipelined(|s| s.insert_into_last(subtree, frag))
+                        .unwrap()
+                        .unwrap();
+                }
+            });
+        }
+    });
+    store.with_read(|s| s.check_invariants()).unwrap();
+    drop(store); // crash: nothing flushed since the baseline
+
+    let full_wal = std::fs::metadata(dir.join("wal.log")).unwrap().len();
+    assert!(full_wal > baseline_wal, "commits must have grown the log");
+
+    // Count a writer's recovered commits, asserting pairs are atomic and
+    // the indices form a contiguous prefix.
+    let writer_prefix = |tokens: &[Token], t: usize, cut: u64| -> usize {
+        let has = |name: &str| {
+            tokens
+                .iter()
+                .any(|tok| tok.name().is_some_and(|n| n.is_local(name)))
+        };
+        let mut prefix = 0;
+        let mut ended = false;
+        for j in 0..COMMITS {
+            let a = has(&format!("w{t}-{j}a"));
+            let b = has(&format!("w{t}-{j}b"));
+            assert_eq!(
+                a, b,
+                "cut={cut}: writer {t} commit {j} was replayed partially"
+            );
+            if a {
+                assert!(
+                    !ended,
+                    "cut={cut}: writer {t} commit {j} present after a gap — \
+                     not a prefix of its issue order"
+                );
+                prefix = j + 1;
+            } else {
+                ended = true;
+            }
+        }
+        prefix
+    };
+
+    let step = ((full_wal - baseline_wal) / 512).max(1);
+    let trial = temp_dir("mw-trial");
+    let mut last_prefixes = vec![0usize; WRITERS];
+    let mut saw_partial = false;
+    let mut cut = baseline_wal;
+    loop {
+        copy_template(&dir, &trial);
+        let wal = std::fs::OpenOptions::new()
+            .write(true)
+            .open(trial.join("wal.log"))
+            .unwrap();
+        wal.set_len(cut).unwrap();
+        drop(wal);
+
+        let recovered = StoreBuilder::new()
+            .directory(&trial)
+            .storage(storage())
+            .open()
+            .expect("recovery must reopen the store");
+        recovered.check_invariants().unwrap();
+        let stats = recovered.mvcc_stats();
+        assert_eq!(
+            stats.current_epoch, 1,
+            "cut={cut}: recovery publishes exactly one epoch"
+        );
+        assert_eq!(stats.epochs_live, 1);
+        let snap = recovered.epoch_registry().pin().unwrap();
+        let tokens = recovered.read_all().unwrap();
+        assert_eq!(
+            snap.read_all().unwrap(),
+            tokens,
+            "cut={cut}: the recovered epoch is the WAL-committed prefix"
+        );
+        drop(snap);
+        drop(recovered);
+        std::fs::remove_dir_all(&trial).unwrap();
+
+        let prefixes: Vec<usize> = (0..WRITERS)
+            .map(|t| writer_prefix(&tokens, t, cut))
+            .collect();
+        for (t, (&now, &before)) in prefixes.iter().zip(&last_prefixes).enumerate() {
+            assert!(
+                now >= before,
+                "cut={cut}: longer log recovered fewer commits for writer {t}"
+            );
+        }
+        if prefixes.iter().any(|&p| p > 0) && prefixes.iter().any(|&p| p < COMMITS) {
+            saw_partial = true;
+        }
+        last_prefixes = prefixes;
+
+        if cut == full_wal {
+            break;
+        }
+        cut = (cut + step).min(full_wal);
+    }
+    assert_eq!(
+        last_prefixes,
+        vec![COMMITS; WRITERS],
+        "the full log must recover every writer's commits"
+    );
+    assert!(
+        saw_partial,
+        "the sweep never landed mid-stream — step too coarse to mean anything"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn crash_matrix_every_write_index() {
     let tmpl = temp_dir("tmpl");
